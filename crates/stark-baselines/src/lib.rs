@@ -1,0 +1,25 @@
+//! # stark-baselines — comparison systems for the paper's evaluation
+//!
+//! The paper's Figure 4 compares STARK against two other Spark-based
+//! spatial frameworks. Neither is usable from Rust, so this crate
+//! reimplements their *published join strategies* on the same engine,
+//! isolating exactly the algorithmic differences the paper attributes to
+//! STARK:
+//!
+//! * [`geospark_join`] — GeoSpark-style replicate-to-all-overlapping
+//!   partitions with an id-tagging pass and a duplicate-elimination
+//!   shuffle (optionally disabled to reproduce the duplicate-results bug
+//!   the paper reports);
+//! * [`spatialspark_join`] — SpatialSpark-style tile join with
+//!   reference-point duplicate avoidance;
+//! * [`broadcast_join`] — plain all-pairs evaluation ("no partitioning");
+//! * [`RegionScheme`] — the grid ("Tile") and Voronoi region layouts the
+//!   baselines partition with.
+
+mod geospark;
+mod scheme;
+mod spatialspark;
+
+pub use geospark::{geospark_join, id_pairs, GeoSparkConfig, GeoSparkPair};
+pub use scheme::RegionScheme;
+pub use spatialspark::{broadcast_join, spatialspark_join};

@@ -1,0 +1,243 @@
+//! Region schemes for replication-based partitioning.
+//!
+//! GeoSpark- and SpatialSpark-style joins assign every geometry to *all*
+//! partitions whose region its MBR overlaps (the first of the two
+//! options in paper §2.1 — the one STARK rejects in favour of centroid
+//! assignment + extents). A scheme is a list of region envelopes plus an
+//! implicit overflow partition for geometries overlapping none.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stark_geo::{Coord, Envelope};
+
+/// A set of (possibly overlapping) region envelopes.
+#[derive(Debug, Clone)]
+pub struct RegionScheme {
+    pub name: &'static str,
+    regions: Vec<Envelope>,
+    /// Set for regular grids: `(dims, space)` enables O(1) point
+    /// location instead of a scan over the regions.
+    grid: Option<(usize, Envelope)>,
+}
+
+impl RegionScheme {
+    /// Equal-sized grid tiles over `space` — SpatialSpark's "Tile"
+    /// partitioner and GeoSpark's equal grid.
+    pub fn grid(dims: usize, space: &Envelope) -> Self {
+        let dims = dims.max(1);
+        assert!(!space.is_empty(), "grid space must be non-empty");
+        let w = (space.width() / dims as f64).max(f64::MIN_POSITIVE);
+        let h = (space.height() / dims as f64).max(f64::MIN_POSITIVE);
+        let mut regions = Vec::with_capacity(dims * dims);
+        for row in 0..dims {
+            for col in 0..dims {
+                let x = space.min_x() + col as f64 * w;
+                let y = space.min_y() + row as f64 * h;
+                regions.push(Envelope::from_bounds(x, y, x + w, y + h));
+            }
+        }
+        RegionScheme { name: "tile", regions, grid: Some((dims, *space)) }
+    }
+
+    /// Voronoi-style regions — GeoSpark's Voronoi partitioner: `k`
+    /// centres refined with a few Lloyd iterations over the sample, each
+    /// region approximated by the envelope of its assigned sample points
+    /// (the approximation GeoSpark itself makes).
+    pub fn voronoi(k: usize, sample: &[Coord], seed: u64) -> Self {
+        let k = k.max(1).min(sample.len().max(1));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centers: Vec<Coord> = if sample.is_empty() {
+            vec![Coord::new(0.0, 0.0)]
+        } else {
+            (0..k).map(|_| sample[rng.gen_range(0..sample.len())]).collect()
+        };
+
+        let mut assignment = vec![0usize; sample.len()];
+        for _ in 0..5 {
+            // assign
+            for (i, p) in sample.iter().enumerate() {
+                assignment[i] = nearest(&centers, p);
+            }
+            // recentre
+            let mut sums = vec![(0.0f64, 0.0f64, 0usize); centers.len()];
+            for (i, p) in sample.iter().enumerate() {
+                let s = &mut sums[assignment[i]];
+                s.0 += p.x;
+                s.1 += p.y;
+                s.2 += 1;
+            }
+            for (c, s) in centers.iter_mut().zip(&sums) {
+                if s.2 > 0 {
+                    *c = Coord::new(s.0 / s.2 as f64, s.1 / s.2 as f64);
+                }
+            }
+        }
+
+        let mut regions = vec![Envelope::empty(); centers.len()];
+        for (i, p) in sample.iter().enumerate() {
+            regions[assignment[i]].expand_to_include(p);
+        }
+        // empty regions collapse to their centre point
+        for (r, c) in regions.iter_mut().zip(&centers) {
+            if r.is_empty() {
+                *r = Envelope::from_point(*c);
+            }
+        }
+        RegionScheme { name: "voronoi", regions, grid: None }
+    }
+
+    /// Region count *excluding* the overflow partition.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total partition count (regions + overflow).
+    pub fn num_partitions(&self) -> usize {
+        self.regions.len() + 1
+    }
+
+    /// Index of the overflow partition.
+    pub fn overflow(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Bounding box of all regions (the scheme's coverage).
+    pub fn coverage(&self) -> Envelope {
+        self.regions.iter().fold(Envelope::empty(), |acc, r| acc.union(r))
+    }
+
+    /// All partitions `env` must be replicated to: every overlapping
+    /// region, plus the overflow partition when the envelope *escapes*
+    /// the scheme's coverage (sticks out of the covered bounding box).
+    ///
+    /// The escape rule makes the reference-point duplicate-avoidance of
+    /// the tile join airtight: whenever a matched pair's reference point
+    /// falls outside every region, both envelopes provably escape, so
+    /// both sides are present in the overflow partition that owns the
+    /// pair.
+    pub fn targets(&self, env: &Envelope) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(env))
+            .map(|(i, _)| i)
+            .collect();
+        if out.is_empty() || !self.coverage().contains_envelope(env) {
+            out.push(self.overflow());
+        }
+        out
+    }
+
+    /// The region envelopes.
+    pub fn regions(&self) -> &[Envelope] {
+        &self.regions
+    }
+
+    /// Index of a region containing `c`, or the overflow partition when
+    /// none does. O(1) for grid schemes, O(regions) otherwise.
+    pub fn locate(&self, c: &stark_geo::Coord) -> usize {
+        if let Some((dims, space)) = &self.grid {
+            if !space.contains_coord(c) {
+                return self.overflow();
+            }
+            let w = (space.width() / *dims as f64).max(f64::MIN_POSITIVE);
+            let h = (space.height() / *dims as f64).max(f64::MIN_POSITIVE);
+            let col = (((c.x - space.min_x()) / w).floor() as i64).clamp(0, *dims as i64 - 1)
+                as usize;
+            let row = (((c.y - space.min_y()) / h).floor() as i64).clamp(0, *dims as i64 - 1)
+                as usize;
+            return row * dims + col;
+        }
+        self.regions
+            .iter()
+            .position(|r| r.contains_coord(c))
+            .unwrap_or_else(|| self.overflow())
+    }
+}
+
+fn nearest(centers: &[Coord], p: &Coord) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = c.distance_sq(p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_tiles_cover_space() {
+        let space = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let s = RegionScheme::grid(4, &space);
+        assert_eq!(s.num_regions(), 16);
+        assert_eq!(s.num_partitions(), 17);
+        let area: f64 = s.regions().iter().map(Envelope::area).sum();
+        assert!((area - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_in_one_tile_interior() {
+        let space = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let s = RegionScheme::grid(2, &space);
+        let t = s.targets(&Envelope::from_point(Coord::new(2.0, 2.0)));
+        assert_eq!(t, vec![0]);
+    }
+
+    #[test]
+    fn spanning_envelope_replicates() {
+        let space = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let s = RegionScheme::grid(2, &space);
+        let t = s.targets(&Envelope::from_bounds(4.0, 4.0, 6.0, 6.0));
+        assert_eq!(t.len(), 4, "envelope spans all four tiles: {t:?}");
+    }
+
+    #[test]
+    fn outside_goes_to_overflow() {
+        let space = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let s = RegionScheme::grid(2, &space);
+        let t = s.targets(&Envelope::from_point(Coord::new(100.0, 100.0)));
+        assert_eq!(t, vec![s.overflow()]);
+    }
+
+    #[test]
+    fn voronoi_regions_cover_sample() {
+        let sample: Vec<Coord> =
+            (0..200).map(|i| Coord::new((i % 20) as f64, (i / 20) as f64)).collect();
+        let s = RegionScheme::voronoi(5, &sample, 42);
+        assert_eq!(s.name, "voronoi");
+        assert!(s.num_regions() <= 5);
+        for p in &sample {
+            assert!(
+                !s.targets(&Envelope::from_point(*p)).is_empty(),
+                "point {p} not covered"
+            );
+            // points from the sample never land in overflow
+            assert_ne!(s.targets(&Envelope::from_point(*p)), vec![s.overflow()]);
+        }
+    }
+
+    #[test]
+    fn voronoi_with_empty_sample() {
+        let s = RegionScheme::voronoi(3, &[], 1);
+        assert!(s.num_regions() >= 1);
+        // everything overflows except the degenerate centre point
+        let t = s.targets(&Envelope::from_point(Coord::new(5.0, 5.0)));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn voronoi_is_deterministic() {
+        let sample: Vec<Coord> = (0..50).map(|i| Coord::new(i as f64, (i * 3 % 7) as f64)).collect();
+        let a = RegionScheme::voronoi(4, &sample, 9);
+        let b = RegionScheme::voronoi(4, &sample, 9);
+        assert_eq!(a.regions(), b.regions());
+    }
+}

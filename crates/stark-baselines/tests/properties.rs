@@ -1,0 +1,144 @@
+//! Differential property tests: every baseline join strategy must agree
+//! with the exhaustive reference on random mixed workloads.
+
+use proptest::prelude::*;
+use stark::{STObject, STPredicate};
+use stark_baselines::{
+    broadcast_join, geospark_join, id_pairs, spatialspark_join, GeoSparkConfig, RegionScheme,
+};
+use stark_engine::{Context, Rdd};
+use stark_geo::{Envelope, Geometry};
+
+/// Random mixed geometries: points and small rectangles, some outside
+/// the scheme's space to exercise the overflow/escape path.
+fn geoms_strategy(max: usize) -> impl Strategy<Value = Vec<Geometry>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ((-20.0f64..120.0), (-20.0f64..120.0)).prop_map(|(x, y)| Geometry::point(x, y)),
+            ((-20.0f64..110.0), (-20.0f64..110.0), (0.5f64..15.0), (0.5f64..15.0))
+                .prop_map(|(x, y, w, h)| Geometry::rect(x, y, x + w, y + h)),
+        ],
+        1..max,
+    )
+}
+
+fn to_rdd(ctx: &Context, gs: &[Geometry]) -> Rdd<(STObject, u32)> {
+    let data: Vec<(STObject, u32)> = gs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (STObject::new(g.clone()), i as u32))
+        .collect();
+    ctx.parallelize(data, 4)
+}
+
+fn reference(a: &[Geometry], b: &[Geometry], pred: STPredicate) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for (i, ga) in a.iter().enumerate() {
+        for (j, gb) in b.iter().enumerate() {
+            if pred.eval(&STObject::new(ga.clone()), &STObject::new(gb.clone())) {
+                out.push((i as u64, j as u64));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn ids(joined: Vec<((STObject, u32), (STObject, u32))>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> =
+        joined.into_iter().map(|((_, a), (_, b))| (a as u64, b as u64)).collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn geospark_matches_reference(
+        left in geoms_strategy(40),
+        right in geoms_strategy(40),
+        dims in 1usize..5,
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let scheme = RegionScheme::grid(dims, &Envelope::from_bounds(0.0, 0.0, 100.0, 100.0));
+        let joined = geospark_join(
+            &to_rdd(&ctx, &left),
+            &to_rdd(&ctx, &right),
+            &scheme,
+            STPredicate::Intersects,
+            GeoSparkConfig::default(),
+        );
+        prop_assert_eq!(id_pairs(&joined), reference(&left, &right, STPredicate::Intersects));
+    }
+
+    #[test]
+    fn spatialspark_matches_reference(
+        left in geoms_strategy(40),
+        right in geoms_strategy(40),
+        dims in 1usize..5,
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let scheme = RegionScheme::grid(dims, &Envelope::from_bounds(0.0, 0.0, 100.0, 100.0));
+        let joined = spatialspark_join(
+            &to_rdd(&ctx, &left),
+            &to_rdd(&ctx, &right),
+            &scheme,
+            STPredicate::Intersects,
+            4,
+        );
+        prop_assert_eq!(
+            ids(joined.collect()),
+            reference(&left, &right, STPredicate::Intersects)
+        );
+    }
+
+    #[test]
+    fn spatialspark_distance_join_matches_reference(
+        left in geoms_strategy(30),
+        right in geoms_strategy(30),
+        d in 0.5f64..20.0,
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let scheme = RegionScheme::grid(3, &Envelope::from_bounds(0.0, 0.0, 100.0, 100.0));
+        let pred = STPredicate::within_distance(d);
+        let joined =
+            spatialspark_join(&to_rdd(&ctx, &left), &to_rdd(&ctx, &right), &scheme, pred, 4);
+        prop_assert_eq!(ids(joined.collect()), reference(&left, &right, pred));
+    }
+
+    #[test]
+    fn broadcast_matches_reference(
+        left in geoms_strategy(30),
+        right in geoms_strategy(30),
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let joined =
+            broadcast_join(&to_rdd(&ctx, &left), &to_rdd(&ctx, &right), STPredicate::Intersects);
+        prop_assert_eq!(
+            ids(joined.collect()),
+            reference(&left, &right, STPredicate::Intersects)
+        );
+    }
+
+    #[test]
+    fn voronoi_geospark_matches_reference(
+        pts in proptest::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 2..60),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let geoms: Vec<Geometry> = pts.iter().map(|&(x, y)| Geometry::point(x, y)).collect();
+        let sample: Vec<stark_geo::Coord> =
+            pts.iter().map(|&(x, y)| stark_geo::Coord::new(x, y)).collect();
+        let scheme = RegionScheme::voronoi(k, &sample, seed);
+        let joined = geospark_join(
+            &to_rdd(&ctx, &geoms),
+            &to_rdd(&ctx, &geoms),
+            &scheme,
+            STPredicate::Intersects,
+            GeoSparkConfig::default(),
+        );
+        prop_assert_eq!(id_pairs(&joined), reference(&geoms, &geoms, STPredicate::Intersects));
+    }
+}

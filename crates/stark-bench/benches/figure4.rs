@@ -1,0 +1,55 @@
+//! Criterion micro-scale tracking of Figure 4: self-join execution time
+//! per system and partitioner. The paper-scale regeneration is
+//! `cargo run --release -p stark-bench --bin repro -- figure4 1000000`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stark::{BspPartitioner, JoinConfig, STPredicate, SpatialRddExt};
+use stark_baselines::{broadcast_join, geospark_join, spatialspark_join, GeoSparkConfig, RegionScheme};
+use stark_bench::workloads;
+use stark_engine::Context;
+use stark_geo::Coord;
+use std::sync::Arc;
+
+const N: usize = 5_000;
+
+fn bench_figure4(c: &mut Criterion) {
+    let ctx = Context::new();
+    let data = workloads::figure4_points(&ctx, N, 8).cache();
+    data.count();
+    let pred = STPredicate::Intersects;
+
+    let mut group = c.benchmark_group("figure4_selfjoin");
+    group.sample_size(10);
+
+    // GeoSpark-like with its best partitioner (Voronoi)
+    let sample: Vec<Coord> = data.collect().iter().map(|(o, _)| o.centroid()).collect();
+    let voronoi = RegionScheme::voronoi(16, &sample, 11);
+    group.bench_function(BenchmarkId::new("geospark", "voronoi"), |b| {
+        b.iter(|| geospark_join(&data, &data, &voronoi, pred, GeoSparkConfig::default()).count())
+    });
+
+    // SpatialSpark-like: no partitioning (broadcast) and tile
+    group.bench_function(BenchmarkId::new("spatialspark", "nopart"), |b| {
+        b.iter(|| broadcast_join(&data, &data, pred).count())
+    });
+    let tile = RegionScheme::grid(4, &workloads::space());
+    group.bench_function(BenchmarkId::new("spatialspark", "tile"), |b| {
+        b.iter(|| spatialspark_join(&data, &data, &tile, pred, 5).count())
+    });
+
+    // STARK: no partitioning and BSP
+    let srdd = data.spatial();
+    group.bench_function(BenchmarkId::new("stark", "nopart"), |b| {
+        b.iter(|| srdd.self_join(pred, JoinConfig::default()).count())
+    });
+    let bsp = Arc::new(BspPartitioner::build((N / 16).max(16), 4.0, &srdd.summarize()));
+    let partitioned = srdd.partition_by(bsp);
+    group.bench_function(BenchmarkId::new("stark", "bsp"), |b| {
+        b.iter(|| partitioned.self_join(pred, JoinConfig::default()).count())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion micro benchmarks for the spatialbm suite (S1–S4) and the
+//! ablations (A1 pruning, A3 index modes). Paper-scale numbers come from
+//! the `repro` binary; these track relative costs in CI-sized runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stark::cluster::{dbscan, DbscanParams};
+use stark::{GridPartitioner, JoinConfig, STPredicate, SpatialRddExt};
+use stark_bench::workloads;
+use stark_engine::Context;
+use stark_geo::DistanceFn;
+use std::sync::Arc;
+
+fn bench_filter(c: &mut Criterion) {
+    let ctx = Context::new();
+    let data = workloads::uniform_points(&ctx, 20_000, 8).cache();
+    data.count();
+    let srdd = data.spatial();
+    let part = srdd.partition_by(Arc::new(GridPartitioner::build(6, &srdd.summarize())));
+    part.count();
+    let indexed = part.live_index(5);
+    indexed.count();
+    let query = workloads::query_polygon(0.05);
+    let pred = STPredicate::ContainedBy;
+
+    let mut group = c.benchmark_group("s1_filter");
+    group.sample_size(20);
+    group.bench_function("nopart_noindex", |b| b.iter(|| srdd.filter(&query, pred).count()));
+    group.bench_function("grid_noindex", |b| b.iter(|| part.filter(&query, pred).count()));
+    group.bench_function("grid_liveindex", |b| b.iter(|| indexed.filter(&query, pred).count()));
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let ctx = Context::new();
+    let left = workloads::uniform_points(&ctx, 3_000, 8);
+    let right = workloads::figure4_points(&ctx, 3_000, 8);
+    let lspat = left.spatial();
+    let lpart = lspat.partition_by(Arc::new(GridPartitioner::build(6, &lspat.summarize())));
+    lpart.count();
+    let rspat = right.spatial();
+    let pred = STPredicate::within_distance(2.0);
+
+    let mut group = c.benchmark_group("s2_join");
+    group.sample_size(10);
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| lpart.join(&rspat, pred, JoinConfig::nested_loop()).count())
+    });
+    group.bench_function("live_index", |b| {
+        b.iter(|| lpart.join(&rspat, pred, JoinConfig::live_index(5)).count())
+    });
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let ctx = Context::new();
+    let data = workloads::uniform_points(&ctx, 50_000, 8).cache();
+    data.count();
+    let srdd = data.spatial();
+    let indexed = srdd.live_index(8);
+    indexed.count();
+    let q = stark::STObject::point(500.0, 500.0);
+
+    let mut group = c.benchmark_group("s3_knn");
+    group.sample_size(20);
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("plain", k), &k, |b, &k| {
+            b.iter(|| srdd.knn(&q, k, DistanceFn::Euclidean))
+        });
+        group.bench_with_input(BenchmarkId::new("live_index", k), &k, |b, &k| {
+            b.iter(|| indexed.knn(&q, k, DistanceFn::Euclidean))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let ctx = Context::new();
+    let data = workloads::world_points(&ctx, 5_000, 8).cache();
+    data.count();
+    let srdd = data.spatial();
+
+    let mut group = c.benchmark_group("s4_dbscan");
+    group.sample_size(10);
+    group.bench_function("distributed", |b| {
+        b.iter(|| dbscan(&srdd, DbscanParams::new(1.0, 8)).count())
+    });
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let ctx = Context::new();
+    let data = workloads::uniform_points(&ctx, 50_000, 8);
+    let srdd = data.spatial();
+    let part = srdd.partition_by(Arc::new(GridPartitioner::build(8, &srdd.summarize())));
+    part.count();
+    let query = workloads::query_polygon(0.01);
+
+    let mut group = c.benchmark_group("a1_pruning");
+    group.sample_size(20);
+    group.bench_function("on", |b| {
+        b.iter(|| part.filter(&query, STPredicate::ContainedBy).count())
+    });
+    let q2 = query.clone();
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let q = q2.clone();
+            part.rdd().filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &q)).count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let ctx = Context::new();
+    let data = workloads::uniform_points(&ctx, 20_000, 8).cache();
+    data.count();
+    let srdd = data.spatial();
+
+    let mut group = c.benchmark_group("a3_index_build");
+    group.sample_size(10);
+    for order in [3usize, 5, 10, 30] {
+        group.bench_with_input(BenchmarkId::new("live_index", order), &order, |b, &o| {
+            b.iter(|| srdd.live_index(o).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_join,
+    bench_knn,
+    bench_dbscan,
+    bench_pruning,
+    bench_index_build
+);
+criterion_main!(benches);

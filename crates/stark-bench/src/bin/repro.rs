@@ -1,0 +1,99 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!   repro all `[n]`          # every experiment (default scale)
+//!   repro figure4 `[n]`      # the Figure 4 self-join comparison
+//!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes
+//!
+//! `n` overrides the workload size. Figure 4's paper-scale run is
+//! `repro figure4 1000000` (takes a while on a small machine).
+
+use stark_bench::experiments;
+use stark_engine::Context;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let n: Option<usize> = args.get(2).and_then(|s| s.parse().ok());
+    let ctx = Context::new();
+
+    let run = |name: &str| which == "all" || which == name;
+    let mut ran = false;
+
+    if run("features") {
+        ran = true;
+        print!("{}", experiments::features().render());
+        println!();
+    }
+    if run("figure4") {
+        ran = true;
+        print!("{}", experiments::figure4(&ctx, n.unwrap_or(100_000)).render());
+        println!();
+    }
+    if run("filter") {
+        ran = true;
+        print!("{}", experiments::filter(&ctx, n.unwrap_or(200_000)).render());
+        println!();
+    }
+    if run("join") {
+        ran = true;
+        print!("{}", experiments::join(&ctx, n.unwrap_or(20_000)).render());
+        println!();
+    }
+    if run("knn") {
+        ran = true;
+        print!("{}", experiments::knn(&ctx, n.unwrap_or(200_000)).render());
+        println!();
+    }
+    if run("dbscan") {
+        ran = true;
+        let base = n.unwrap_or(30_000);
+        print!(
+            "{}",
+            experiments::dbscan_scaling(&ctx, &[base / 4, base / 2, base]).render()
+        );
+        println!();
+    }
+    if run("pruning") {
+        ran = true;
+        print!("{}", experiments::pruning(&ctx, n.unwrap_or(200_000)).render());
+        println!();
+    }
+    if run("balance") {
+        ran = true;
+        print!("{}", experiments::balance(&ctx, n.unwrap_or(100_000)).render());
+        println!();
+    }
+    if run("scaling") {
+        ran = true;
+        let base = n.unwrap_or(200_000);
+        print!(
+            "{}",
+            experiments::scaling(&ctx, &[base / 4, base / 2, base]).render()
+        );
+        println!();
+    }
+    if run("temporal") {
+        ran = true;
+        print!("{}", experiments::temporal(&ctx, n.unwrap_or(200_000)).render());
+        println!();
+    }
+    if run("indexmodes") {
+        ran = true;
+        print!("{}", experiments::index_modes(&ctx, n.unwrap_or(100_000), 10).render());
+        println!();
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes"
+        );
+        std::process::exit(2);
+    }
+
+    let m = ctx.metrics();
+    eprintln!(
+        "[engine] jobs={} tasks={} records={} pruned_partitions={} shuffles={}",
+        m.jobs, m.tasks_launched, m.records_read, m.partitions_pruned, m.shuffles
+    );
+}

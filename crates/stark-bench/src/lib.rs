@@ -1,0 +1,14 @@
+//! # stark-bench — the paper's evaluation, regenerated
+//!
+//! One experiment per table/figure of the STARK paper plus the
+//! `spatialbm` suite its Section 3 references, and ablations for the
+//! design decisions of §2 (extent pruning, BSP-vs-grid, index modes).
+//! The `repro` binary prints the tables; criterion benches
+//! (`benches/figure4.rs`, `benches/spatialbm.rs`) track the same
+//! operations at micro scale.
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::{secs, timed, Table};

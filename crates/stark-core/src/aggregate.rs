@@ -1,0 +1,192 @@
+//! Spatial aggregation: per-cell statistics over a fixed grid — the
+//! "spatio-temporal join and aggregation" part of the paper's
+//! demonstration scenarios (§4), and the input to the front end's
+//! heatmap-style visualisations.
+
+use crate::spatial_rdd::SpatialRdd;
+use stark_engine::{Data, Rdd};
+use stark_geo::Envelope;
+
+/// Per-cell aggregate of a grid aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Grid column (x) and row (y).
+    pub col: usize,
+    pub row: usize,
+    /// The cell's spatial bounds.
+    pub bounds: Envelope,
+    /// Number of records whose centroid falls in the cell.
+    pub count: u64,
+    /// Earliest and latest event start among timed records, if any.
+    pub time_range: Option<(i64, i64)>,
+}
+
+impl<V: Data> SpatialRdd<V> {
+    /// Aggregates the dataset onto a `dims × dims` grid over `space`:
+    /// per cell, the record count and covered time range. Returns only
+    /// non-empty cells, ordered row-major. Records with centroids outside
+    /// `space` clamp to the border cells, so totals always match.
+    pub fn aggregate_by_grid(&self, dims: usize, space: &Envelope) -> Vec<CellStats> {
+        let dims = dims.max(1);
+        assert!(!space.is_empty(), "aggregation space must be non-empty");
+        let cell_w = (space.width() / dims as f64).max(f64::MIN_POSITIVE);
+        let cell_h = (space.height() / dims as f64).max(f64::MIN_POSITIVE);
+        let (sx, sy) = (space.min_x(), space.min_y());
+
+        // per-partition partial grids, merged on the driver
+        type Partial = Vec<(u64, Option<(i64, i64)>)>;
+        let partials: Vec<Partial> = {
+            self.rdd().run_partitions(move |_, data| {
+                let mut grid: Partial = vec![(0, None); dims * dims];
+                for (o, _) in &data {
+                    let c = o.centroid();
+                    let col = (((c.x - sx) / cell_w).floor() as i64)
+                        .clamp(0, dims as i64 - 1) as usize;
+                    let row = (((c.y - sy) / cell_h).floor() as i64)
+                        .clamp(0, dims as i64 - 1) as usize;
+                    let slot = &mut grid[row * dims + col];
+                    slot.0 += 1;
+                    if let Some(t) = o.time() {
+                        let s = t.start();
+                        slot.1 = Some(match slot.1 {
+                            Some((lo, hi)) => (lo.min(s), hi.max(s)),
+                            None => (s, s),
+                        });
+                    }
+                }
+                grid
+            })
+        };
+
+        let mut merged: Vec<(u64, Option<(i64, i64)>)> = vec![(0, None); dims * dims];
+        for grid in partials {
+            for (slot, (count, range)) in merged.iter_mut().zip(grid) {
+                slot.0 += count;
+                slot.1 = match (slot.1, range) {
+                    (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+                    (got, None) => got,
+                    (None, got) => got,
+                };
+            }
+        }
+
+        merged
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (count, _))| *count > 0)
+            .map(|(i, (count, time_range))| {
+                let col = i % dims;
+                let row = i / dims;
+                let min_x = sx + col as f64 * cell_w;
+                let min_y = sy + row as f64 * cell_h;
+                CellStats {
+                    col,
+                    row,
+                    bounds: Envelope::from_bounds(min_x, min_y, min_x + cell_w, min_y + cell_h),
+                    count,
+                    time_range,
+                }
+            })
+            .collect()
+    }
+
+    /// Count of records per category produced by `key`, as a dataset —
+    /// the distributed counterpart of Piglet's `GROUP ... BY`.
+    pub fn count_by(
+        &self,
+        key: impl Fn(&crate::stobject::STObject, &V) -> String + Send + Sync + 'static,
+    ) -> Rdd<(String, u64)> {
+        self.rdd()
+            .map(move |(o, v)| (key(&o, &v), 1u64))
+            .reduce_by_key(self.rdd().context().default_partitions(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial_rdd::SpatialRddExt;
+    use crate::stobject::STObject;
+    use stark_engine::Context;
+
+    fn events(ctx: &Context) -> SpatialRdd<u32> {
+        // 4 points in each quadrant of [0,10]^2, with distinct times
+        let mut data = Vec::new();
+        let mut id = 0u32;
+        for &(qx, qy) in &[(1.0, 1.0), (6.0, 1.0), (1.0, 6.0), (6.0, 6.0)] {
+            for i in 0..4 {
+                data.push((STObject::point_at(qx + i as f64 * 0.5, qy, id as i64 * 10), id));
+                id += 1;
+            }
+        }
+        ctx.parallelize(data, 3).spatial()
+    }
+
+    #[test]
+    fn quadrant_aggregation() {
+        let ctx = Context::with_parallelism(2);
+        let rdd = events(&ctx);
+        let cells = rdd.aggregate_by_grid(2, &Envelope::from_bounds(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.count == 4));
+        let total: u64 = cells.iter().map(|c| c.count).sum();
+        assert_eq!(total, 16);
+        // row-major ordering and coordinates
+        assert_eq!((cells[0].col, cells[0].row), (0, 0));
+        assert_eq!((cells[3].col, cells[3].row), (1, 1));
+        assert_eq!(cells[0].bounds, Envelope::from_bounds(0.0, 0.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn time_ranges_are_tracked() {
+        let ctx = Context::with_parallelism(2);
+        let rdd = events(&ctx);
+        let cells = rdd.aggregate_by_grid(2, &Envelope::from_bounds(0.0, 0.0, 10.0, 10.0));
+        // first quadrant holds ids 0..4 → times 0..30
+        let q0 = cells.iter().find(|c| (c.col, c.row) == (0, 0)).unwrap();
+        assert_eq!(q0.time_range, Some((0, 30)));
+        // last quadrant holds ids 12..16 → times 120..150
+        let q3 = cells.iter().find(|c| (c.col, c.row) == (1, 1)).unwrap();
+        assert_eq!(q3.time_range, Some((120, 150)));
+    }
+
+    #[test]
+    fn out_of_space_points_clamp() {
+        let ctx = Context::with_parallelism(2);
+        let data = vec![
+            (STObject::point(-100.0, -100.0), 0u32),
+            (STObject::point(100.0, 100.0), 1),
+        ];
+        let rdd = ctx.parallelize(data, 1).spatial();
+        let cells = rdd.aggregate_by_grid(3, &Envelope::from_bounds(0.0, 0.0, 9.0, 9.0));
+        let total: u64 = cells.iter().map(|c| c.count).sum();
+        assert_eq!(total, 2, "clamped records are still counted");
+    }
+
+    #[test]
+    fn untimed_records_have_no_time_range() {
+        let ctx = Context::with_parallelism(2);
+        let data = vec![(STObject::point(1.0, 1.0), 0u32)];
+        let rdd = ctx.parallelize(data, 1).spatial();
+        let cells = rdd.aggregate_by_grid(1, &Envelope::from_bounds(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].time_range, None);
+    }
+
+    #[test]
+    fn count_by_category() {
+        let ctx = Context::with_parallelism(2);
+        let data: Vec<(STObject, String)> = (0..30)
+            .map(|i| {
+                (
+                    STObject::point(i as f64, 0.0),
+                    if i % 3 == 0 { "a" } else { "b" }.to_string(),
+                )
+            })
+            .collect();
+        let rdd = ctx.parallelize(data, 4).spatial();
+        let mut counts = rdd.count_by(|_, cat| cat.clone()).collect();
+        counts.sort();
+        assert_eq!(counts, vec![("a".to_string(), 10), ("b".to_string(), 20)]);
+    }
+}

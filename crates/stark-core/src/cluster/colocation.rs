@@ -1,0 +1,240 @@
+//! Co-location pattern mining (paper §4: the demonstration queries
+//! include "clustering/co-location").
+//!
+//! A co-location pattern `(A, B)` is a pair of event categories whose
+//! instances frequently occur near each other. Following the standard
+//! participation-index formulation: the *participation ratio* of `A` in
+//! `(A, B)` is the fraction of `A` instances with at least one `B`
+//! instance within the neighbourhood distance; the *participation index*
+//! is the minimum of the two ratios. Patterns at or above the threshold
+//! are reported.
+
+use crate::join::JoinConfig;
+use crate::predicate::STPredicate;
+use crate::spatial_rdd::SpatialRdd;
+use stark_engine::Data;
+use stark_geo::DistanceFn;
+use std::collections::{HashMap, HashSet};
+
+/// Parameters for co-location mining.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColocationParams {
+    /// Neighbourhood distance.
+    pub distance: f64,
+    /// Distance function for the neighbourhood test.
+    pub dist_fn: DistanceFn,
+    /// Minimum participation index for a pattern to be reported.
+    pub min_participation: f64,
+}
+
+impl ColocationParams {
+    pub fn new(distance: f64, min_participation: f64) -> Self {
+        assert!(distance > 0.0, "distance must be positive");
+        assert!(
+            (0.0..=1.0).contains(&min_participation),
+            "participation index must be in [0, 1]"
+        );
+        ColocationParams {
+            distance,
+            dist_fn: DistanceFn::Euclidean,
+            min_participation,
+        }
+    }
+}
+
+/// A mined co-location pattern between two categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColocationPattern {
+    /// The two categories, lexicographically ordered.
+    pub categories: (String, String),
+    /// Fraction of `categories.0` instances with a `categories.1`
+    /// neighbour.
+    pub participation_a: f64,
+    /// Fraction of `categories.1` instances with a `categories.0`
+    /// neighbour.
+    pub participation_b: f64,
+    /// `min(participation_a, participation_b)`.
+    pub participation_index: f64,
+    /// Number of neighbouring instance pairs observed.
+    pub pair_count: usize,
+}
+
+/// Mines pairwise co-location patterns from a categorised event dataset.
+///
+/// `category` projects each record's category label. The neighbourhood
+/// relation is evaluated with a `withinDistance` self-join, which uses
+/// the dataset's spatial partitioning when present. Patterns are returned
+/// sorted by descending participation index.
+pub fn colocation_patterns<V: Data>(
+    input: &SpatialRdd<V>,
+    category: impl Fn(&V) -> String + Send + Sync + 'static,
+    params: ColocationParams,
+) -> Vec<ColocationPattern> {
+    // Tag instances with ids and categories once.
+    let tagged = input
+        .rdd()
+        .zip_with_index()
+        .map(move |(id, (o, v))| (o, (id, category(&v))))
+        .cache();
+
+    // Instances per category (for the ratio denominators).
+    let mut category_sizes: HashMap<String, usize> = HashMap::new();
+    for (_, (_, cat)) in tagged.collect() {
+        *category_sizes.entry(cat).or_default() += 1;
+    }
+
+    // Neighbour pairs via the distance self-join; same-category and
+    // self pairs are dropped. id-tagging preserves partition structure,
+    // so the input's partitioning metadata carries over.
+    let srdd = SpatialRdd::with_info(tagged, input.partitioning().cloned());
+    let pred = STPredicate::WithinDistance { max_dist: params.distance, dist_fn: params.dist_fn };
+    let pairs = srdd.self_join(pred, JoinConfig::default());
+
+    // participants[(A, B)] = set of A-instance ids with a B neighbour
+    let mut participants: HashMap<(String, String), HashSet<u64>> = HashMap::new();
+    let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+    for ((_, (lid, lcat)), (_, (rid, rcat))) in pairs.collect() {
+        if lid == rid || lcat == rcat {
+            continue;
+        }
+        participants.entry((lcat.clone(), rcat.clone())).or_default().insert(lid);
+        // count each unordered pair once (the join emits both directions)
+        if lcat < rcat {
+            *pair_counts.entry((lcat, rcat)).or_default() += 1;
+        }
+    }
+
+    let mut patterns = Vec::new();
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    for (a, b) in participants.keys() {
+        let key = if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let (a, b) = key.clone();
+        let count_a = participants.get(&(a.clone(), b.clone())).map_or(0, HashSet::len);
+        let count_b = participants.get(&(b.clone(), a.clone())).map_or(0, HashSet::len);
+        let total_a = *category_sizes.get(&a).unwrap_or(&0);
+        let total_b = *category_sizes.get(&b).unwrap_or(&0);
+        if total_a == 0 || total_b == 0 {
+            continue;
+        }
+        let pa = count_a as f64 / total_a as f64;
+        let pb = count_b as f64 / total_b as f64;
+        let pi = pa.min(pb);
+        if pi >= params.min_participation {
+            patterns.push(ColocationPattern {
+                categories: (a.clone(), b.clone()),
+                participation_a: pa,
+                participation_b: pb,
+                participation_index: pi,
+                pair_count: pair_counts.get(&(a, b)).copied().unwrap_or(0),
+            });
+        }
+    }
+    patterns.sort_by(|x, y| {
+        y.participation_index
+            .partial_cmp(&x.participation_index)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.categories.cmp(&y.categories))
+    });
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial_rdd::SpatialRddExt;
+    use crate::stobject::STObject;
+    use stark_engine::Context;
+
+    fn events(
+        ctx: &Context,
+        spec: &[(&str, f64, f64)],
+    ) -> SpatialRdd<String> {
+        let data: Vec<(STObject, String)> = spec
+            .iter()
+            .map(|&(cat, x, y)| (STObject::point(x, y), cat.to_string()))
+            .collect();
+        ctx.parallelize(data, 3).spatial()
+    }
+
+    #[test]
+    fn perfect_colocation() {
+        let ctx = Context::with_parallelism(2);
+        // every cafe has a bakery next door, and vice versa
+        let spec: Vec<(&str, f64, f64)> = (0..10)
+            .flat_map(|i| {
+                let x = i as f64 * 10.0;
+                vec![("cafe", x, 0.0), ("bakery", x + 0.5, 0.0)]
+            })
+            .collect();
+        let rdd = events(&ctx, &spec);
+        let got = colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.5));
+        assert_eq!(got.len(), 1);
+        let p = &got[0];
+        assert_eq!(p.categories, ("bakery".to_string(), "cafe".to_string()));
+        assert_eq!(p.participation_index, 1.0);
+        assert_eq!(p.pair_count, 10);
+    }
+
+    #[test]
+    fn partial_participation() {
+        let ctx = Context::with_parallelism(2);
+        // 4 parks; only 2 have a fountain nearby; fountains always near a park
+        let spec = [
+            ("park", 0.0, 0.0),
+            ("park", 100.0, 0.0),
+            ("park", 200.0, 0.0),
+            ("park", 300.0, 0.0),
+            ("fountain", 0.4, 0.0),
+            ("fountain", 100.4, 0.0),
+        ];
+        let rdd = events(&ctx, &spec);
+        let got = colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.0));
+        assert_eq!(got.len(), 1);
+        let p = &got[0];
+        // participation of "fountain" is 1.0, of "park" is 0.5
+        assert!((p.participation_index - 0.5).abs() < 1e-9);
+        let (a, _b) = &p.categories;
+        let (pa, pb) = (p.participation_a, p.participation_b);
+        let park_ratio = if a == "park" { pa } else { pb };
+        let fountain_ratio = if a == "fountain" { pa } else { pb };
+        assert!((park_ratio - 0.5).abs() < 1e-9);
+        assert!((fountain_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_filters_weak_patterns() {
+        let ctx = Context::with_parallelism(2);
+        let spec = [
+            ("a", 0.0, 0.0),
+            ("b", 0.5, 0.0),
+            ("a", 100.0, 0.0),
+            ("b", 200.0, 0.0),
+        ];
+        let rdd = events(&ctx, &spec);
+        // pattern PI = 0.5; threshold 0.6 filters it
+        assert!(colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.6))
+            .is_empty());
+        assert_eq!(
+            colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.4)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn same_category_neighbours_ignored() {
+        let ctx = Context::with_parallelism(2);
+        let spec = [("x", 0.0, 0.0), ("x", 0.1, 0.0), ("x", 0.2, 0.0)];
+        let rdd = events(&ctx, &spec);
+        assert!(colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.0))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn params_validated() {
+        ColocationParams::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,478 @@
+//! Distributed DBSCAN in the MR-DBSCAN style (paper §2.3, He et al. [1]).
+//!
+//! The implementation exploits the spatial partitioning exactly as the
+//! paper describes: points within ε of a partition's border are
+//! *replicated* into the neighbouring partitions, a local DBSCAN runs in
+//! parallel on each partition, and a merge step unions local clusters
+//! through the replicated points.
+//!
+//! Correctness relies on two invariants of ε-replication:
+//!
+//! 1. a point's **home** partition contains its complete ε-neighbourhood,
+//!    so core/border/noise classification at home is globally exact;
+//! 2. a *locally* core replica is also globally core (a local
+//!    neighbourhood is a subset of the global one), so merging the
+//!    clusters of core replicas never over-merges.
+
+use crate::cluster::union_find::UnionFind;
+use crate::partitioner::{BspPartitioner, SpatialPartitioner};
+use crate::spatial_rdd::SpatialRdd;
+use crate::stobject::STObject;
+use stark_engine::{Data, Rdd};
+use stark_index::{Entry, StrTree};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// DBSCAN parameters: neighbourhood radius and density threshold.
+/// A point is *core* when its closed ε-neighbourhood (itself included)
+/// holds at least `min_pts` points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    pub eps: f64,
+    pub min_pts: usize,
+}
+
+impl DbscanParams {
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        DbscanParams { eps, min_pts }
+    }
+}
+
+/// Single-threaded textbook DBSCAN over a record slice, used per
+/// partition by the distributed algorithm and as the test oracle.
+///
+/// Distances are Euclidean between geometries. Returns, per record,
+/// `(cluster, is_core)` where `cluster` is `None` for noise. Cluster ids
+/// are dense from 0 in discovery order.
+pub fn dbscan_local<V>(
+    records: &[(STObject, V)],
+    params: &DbscanParams,
+) -> (Vec<Option<usize>>, Vec<bool>) {
+    let n = records.len();
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut core = vec![false; n];
+    if n == 0 {
+        return (labels, core);
+    }
+
+    let entries: Vec<Entry<usize>> = records
+        .iter()
+        .enumerate()
+        .map(|(i, (o, _))| Entry::new(o.envelope(), i))
+        .collect();
+    let tree = StrTree::build(8, entries);
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        let probe = records[i].0.envelope().buffered(params.eps);
+        let mut out = Vec::new();
+        tree.for_each_candidate(&probe, &mut |e| {
+            let j = e.item;
+            if records[i].0.geo().distance(records[j].0.geo()) <= params.eps {
+                out.push(j);
+            }
+        });
+        out
+    };
+
+    let mut next_cluster = 0usize;
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let ns = neighbors(i);
+        if ns.len() < params.min_pts {
+            continue; // noise for now; may become border later
+        }
+        // start a new cluster and expand it
+        let cid = next_cluster;
+        next_cluster += 1;
+        core[i] = true;
+        labels[i] = Some(cid);
+        let mut queue: std::collections::VecDeque<usize> = ns.into_iter().collect();
+        while let Some(j) = queue.pop_front() {
+            if labels[j].is_none() {
+                labels[j] = Some(cid);
+            }
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let njs = neighbors(j);
+            if njs.len() >= params.min_pts {
+                core[j] = true;
+                queue.extend(njs);
+            }
+        }
+    }
+    (labels, core)
+}
+
+/// Intermediate row flowing through the distributed stages.
+type Tagged<V> = (u64, STObject, V, bool /*home*/, bool /*replicated*/);
+type Labeled<V> = (u64, STObject, V, bool, bool, Option<u64> /*label*/, bool /*core*/);
+
+/// Distributed DBSCAN. Returns `(object, value, cluster)` with dense
+/// cluster ids (`None` = noise), in the partitioned order.
+///
+/// Uses the input's spatial partitioning when present; otherwise builds a
+/// cost-based BSP partitioning sized for the data (the paper's default
+/// pairing of DBSCAN with spatial partitioning).
+pub fn dbscan<V: Data>(
+    input: &SpatialRdd<V>,
+    params: DbscanParams,
+) -> Rdd<(STObject, V, Option<u64>)> {
+    // ε-replication needs *spatial* partition bounds; partitioners
+    // without them (e.g. the temporal one) fall back to a fresh BSP.
+    let existing = input
+        .partitioning()
+        .and_then(|info| info.partitioner.clone())
+        .filter(|p| p.cells().iter().all(|c| !c.bounds.is_empty()));
+    let partitioner: Arc<dyn SpatialPartitioner> = match existing {
+        Some(p) => p,
+        None => {
+            let summary = input.summarize();
+            let max_cost = (summary.len() / 8).max(64);
+            Arc::new(BspPartitioner::build(max_cost, params.eps.max(1e-9) * 4.0, &summary))
+        }
+    };
+    let num_parts = partitioner.num_partitions();
+    let cells: Vec<_> = partitioner.cells().iter().map(|c| c.bounds).collect();
+    let eps = params.eps;
+
+    // 1. Tag with global ids and replicate ε-border points.
+    let p = partitioner.clone();
+    let cells_for_assign = cells.clone();
+    let tagged: Rdd<(usize, Tagged<V>)> =
+        input.rdd().zip_with_index().flat_map(move |(id, (o, v))| {
+            let home = p.partition_of(&o);
+            let env = o.envelope();
+            let mut targets = vec![home];
+            for (ci, bounds) in cells_for_assign.iter().enumerate() {
+                if ci != home && bounds.distance(&env) <= eps {
+                    targets.push(ci);
+                }
+            }
+            let replicated = targets.len() > 1;
+            targets
+                .into_iter()
+                .map(|t| (t, (id, o.clone(), v.clone(), t == home, replicated)))
+                .collect::<Vec<_>>()
+        });
+    let placed = tagged.partition_by(num_parts, |(t, _)| *t).map(|(_, row)| row);
+
+    // 2. Local DBSCAN per partition; labels become globally unique via
+    //    (partition << 32) | local cluster id.
+    let clustered: Rdd<Labeled<V>> = placed
+        .map_partitions_with_index(move |part, rows| {
+            let recs: Vec<(STObject, V)> =
+                rows.iter().map(|(_, o, v, _, _)| (o.clone(), v.clone())).collect();
+            let (labels, cores) = dbscan_local(&recs, &params);
+            rows.into_iter()
+                .zip(labels.into_iter().zip(cores))
+                .map(|((id, o, v, home, repl), (label, core))| {
+                    let global = label.map(|l| ((part as u64) << 32) | l as u64);
+                    (id, o, v, home, repl, global, core)
+                })
+                .collect()
+        })
+        .cache();
+
+    // 3. Merge step on the driver, using only the replicated points.
+    let merge_info: Vec<(u64, bool, Option<u64>, bool)> = clustered
+        .filter(|row| row.4)
+        .map(|(id, _, _, home, _, label, core)| (id, home, label, core))
+        .collect();
+
+    let mut by_id: HashMap<u64, Vec<(bool, Option<u64>, bool)>> = HashMap::new();
+    for (id, home, label, core) in merge_info {
+        by_id.entry(id).or_default().push((home, label, core));
+    }
+
+    let mut uf = UnionFind::new();
+    let mut overrides: HashMap<u64, u64> = HashMap::new();
+    for (id, memberships) in &by_id {
+        let is_core = memberships.iter().any(|(_, l, c)| *c && l.is_some());
+        let labels: Vec<u64> = memberships.iter().filter_map(|(_, l, _)| *l).collect();
+        if is_core {
+            for w in labels.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+        // Final assignment for this replicated point: prefer its home
+        // label; otherwise adopt a label from some replica (border case).
+        let home_label = memberships.iter().find(|(h, _, _)| *h).and_then(|(_, l, _)| *l);
+        if let Some(l) = home_label.or_else(|| labels.first().copied()) {
+            overrides.insert(*id, l);
+        }
+    }
+
+    // 4. Canonical → dense cluster ids.
+    let mut home_labels: Vec<u64> = clustered
+        .run_partitions(|_, rows| {
+            let mut ls: Vec<u64> =
+                rows.iter().filter(|r| r.3).filter_map(|r| r.5).collect();
+            ls.sort_unstable();
+            ls.dedup();
+            ls
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    home_labels.extend(overrides.values().copied());
+    home_labels.sort_unstable();
+    home_labels.dedup();
+
+    let mut canon_to_dense: HashMap<u64, u64> = HashMap::new();
+    let mut label_to_dense: HashMap<u64, u64> = HashMap::new();
+    let mut canonical: Vec<u64> =
+        home_labels.iter().map(|&l| uf.find(l)).collect();
+    canonical.sort_unstable();
+    canonical.dedup();
+    for (dense, c) in canonical.iter().enumerate() {
+        canon_to_dense.insert(*c, dense as u64);
+    }
+    for l in home_labels {
+        label_to_dense.insert(l, canon_to_dense[&uf.find(l)]);
+    }
+    let overrides_dense: HashMap<u64, u64> =
+        overrides.into_iter().map(|(id, l)| (id, label_to_dense[&l])).collect();
+
+    // 5. Emit home rows with final labels.
+    let label_map = Arc::new(label_to_dense);
+    let override_map = Arc::new(overrides_dense);
+    clustered
+        .filter(|row| row.3)
+        .map(move |(id, o, v, _, replicated, label, _)| {
+            let fin = if replicated {
+                override_map.get(&id).copied()
+            } else {
+                label.and_then(|l| label_map.get(&l).copied())
+            };
+            (o, v, fin)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::GridPartitioner;
+    use crate::spatial_rdd::SpatialRddExt;
+    use stark_engine::Context;
+
+    fn to_rdd(ctx: &Context, pts: &[(f64, f64)], parts: usize) -> SpatialRdd<u32> {
+        let data: Vec<(STObject, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
+            .collect();
+        ctx.parallelize(data, parts).spatial()
+    }
+
+    /// Three tight, well-separated blobs plus two isolated noise points.
+    fn blobs() -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)] {
+            for i in 0..12 {
+                pts.push((cx + (i % 4) as f64 * 0.1, cy + (i / 4) as f64 * 0.1));
+            }
+        }
+        pts.push((5.0, 5.0));
+        pts.push((15.0, 5.0));
+        pts
+    }
+
+    #[test]
+    fn local_dbscan_finds_blobs() {
+        let data: Vec<(STObject, u32)> = blobs()
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
+            .collect();
+        let (labels, cores) = dbscan_local(&data, &DbscanParams::new(0.5, 4));
+        // three clusters of 12, two noise points
+        let mut sizes: HashMap<usize, usize> = HashMap::new();
+        let mut noise = 0;
+        for l in &labels {
+            match l {
+                Some(c) => *sizes.entry(*c).or_default() += 1,
+                None => noise += 1,
+            }
+        }
+        assert_eq!(noise, 2);
+        assert_eq!(sizes.len(), 3);
+        assert!(sizes.values().all(|&s| s == 12));
+        // blob members with full neighbourhoods are core
+        assert!(cores.iter().filter(|&&c| c).count() >= 3 * 4);
+    }
+
+    #[test]
+    fn local_dbscan_all_noise_when_sparse() {
+        let data: Vec<(STObject, u32)> = (0..10)
+            .map(|i| (STObject::point(i as f64 * 100.0, 0.0), i))
+            .collect();
+        let (labels, cores) = dbscan_local(&data, &DbscanParams::new(1.0, 3));
+        assert!(labels.iter().all(|l| l.is_none()));
+        assert!(cores.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn local_dbscan_single_cluster_line() {
+        // chain of points each 0.5 apart: one cluster with min_pts 2
+        let data: Vec<(STObject, u32)> =
+            (0..20).map(|i| (STObject::point(i as f64 * 0.5, 0.0), i)).collect();
+        let (labels, _) = dbscan_local(&data, &DbscanParams::new(0.6, 2));
+        assert!(labels.iter().all(|l| *l == Some(0)));
+    }
+
+    #[test]
+    fn local_dbscan_empty() {
+        let data: Vec<(STObject, u32)> = Vec::new();
+        let (labels, cores) = dbscan_local(&data, &DbscanParams::new(1.0, 2));
+        assert!(labels.is_empty());
+        assert!(cores.is_empty());
+    }
+
+    /// Compare distributed and local DBSCAN as set partitions of ids.
+    fn clusterings_agree(
+        distributed: Vec<(STObject, u32, Option<u64>)>,
+        reference: (&[(STObject, u32)], &DbscanParams),
+    ) {
+        let (data, params) = reference;
+        let (ref_labels, _) = dbscan_local(data, params);
+        let ref_map: HashMap<u32, Option<usize>> = data
+            .iter()
+            .zip(ref_labels)
+            .map(|((_, v), l)| (*v, l))
+            .collect();
+
+        // noise sets must match exactly
+        let dist_noise: std::collections::BTreeSet<u32> = distributed
+            .iter()
+            .filter(|(_, _, l)| l.is_none())
+            .map(|(_, v, _)| *v)
+            .collect();
+        let ref_noise: std::collections::BTreeSet<u32> = ref_map
+            .iter()
+            .filter(|(_, l)| l.is_none())
+            .map(|(v, _)| *v)
+            .collect();
+        assert_eq!(dist_noise, ref_noise, "noise sets differ");
+
+        // cluster groupings must be identical up to renaming
+        let mut pairing: HashMap<u64, usize> = HashMap::new();
+        let mut reverse: HashMap<usize, u64> = HashMap::new();
+        for (_, v, l) in &distributed {
+            let (Some(dl), Some(rl)) = (*l, ref_map[v]) else { continue };
+            match pairing.get(&dl) {
+                Some(&expected) => assert_eq!(expected, rl, "cluster split for id {v}"),
+                None => {
+                    assert!(
+                        reverse.insert(rl, dl).is_none(),
+                        "two distributed clusters map to reference cluster {rl}"
+                    );
+                    pairing.insert(dl, rl);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_local_on_blobs() {
+        let ctx = Context::with_parallelism(4);
+        let pts = blobs();
+        let data: Vec<(STObject, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
+            .collect();
+        let params = DbscanParams::new(0.5, 4);
+        let rdd = to_rdd(&ctx, &pts, 5);
+        let result = dbscan(&rdd, params).collect();
+        assert_eq!(result.len(), pts.len());
+        clusterings_agree(result, (&data, &params));
+    }
+
+    #[test]
+    fn distributed_matches_local_with_explicit_partitioning() {
+        let ctx = Context::with_parallelism(4);
+        let pts = blobs();
+        let data: Vec<(STObject, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
+            .collect();
+        let params = DbscanParams::new(0.5, 4);
+        let rdd = to_rdd(&ctx, &pts, 3);
+        let grid = rdd.partition_by(Arc::new(GridPartitioner::build(3, &rdd.summarize())));
+        let result = dbscan(&grid, params).collect();
+        clusterings_agree(result, (&data, &params));
+    }
+
+    #[test]
+    fn cluster_spanning_partition_borders_is_merged() {
+        let ctx = Context::with_parallelism(4);
+        // one long chain crossing the whole space — any grid cut splits it
+        let pts: Vec<(f64, f64)> = (0..60).map(|i| (i as f64 * 0.4, 0.0)).collect();
+        let data: Vec<(STObject, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
+            .collect();
+        let params = DbscanParams::new(0.5, 2);
+        let rdd = to_rdd(&ctx, &pts, 4);
+        let grid = rdd.partition_by(Arc::new(GridPartitioner::build(4, &rdd.summarize())));
+        let result = dbscan(&grid, params).collect();
+        let labels: std::collections::BTreeSet<Option<u64>> =
+            result.iter().map(|(_, _, l)| *l).collect();
+        assert_eq!(labels.len(), 1, "expected one merged cluster, got {labels:?}");
+        assert!(labels.iter().all(|l| l.is_some()));
+        clusterings_agree(result, (&data, &params));
+    }
+
+    #[test]
+    fn temporal_partitioning_falls_back_to_spatial_for_clustering() {
+        use crate::partitioner::TemporalPartitioner;
+        let ctx = Context::with_parallelism(4);
+        // one spatial chain, but with times that scatter it across every
+        // temporal bucket — a naive per-bucket clustering would shatter it
+        let data: Vec<(STObject, u32)> = (0..40)
+            .map(|i| {
+                (
+                    STObject::point_at(i as f64 * 0.4, 0.0, (i % 7) as i64 * 1000),
+                    i,
+                )
+            })
+            .collect();
+        let rdd = ctx.parallelize(data, 4).spatial();
+        let times: Vec<Option<crate::temporal::Temporal>> =
+            rdd.rdd().collect().iter().map(|(o, _)| o.time().copied()).collect();
+        let temporal = rdd.partition_by(Arc::new(TemporalPartitioner::build(7, &times)));
+
+        let result = dbscan(&temporal, DbscanParams::new(0.5, 2)).collect();
+        let labels: std::collections::BTreeSet<Option<u64>> =
+            result.iter().map(|(_, _, l)| *l).collect();
+        assert_eq!(labels.len(), 1, "the chain must stay one cluster: {labels:?}");
+        assert!(labels.iter().all(|l| l.is_some()));
+    }
+
+    #[test]
+    fn dense_ids_are_contiguous_from_zero() {
+        let ctx = Context::with_parallelism(4);
+        let rdd = to_rdd(&ctx, &blobs(), 6);
+        let result = dbscan(&rdd, DbscanParams::new(0.5, 4)).collect();
+        let mut ids: Vec<u64> = result.iter().filter_map(|(_, _, l)| *l).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn params_validated() {
+        DbscanParams::new(0.0, 3);
+    }
+}

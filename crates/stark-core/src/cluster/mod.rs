@@ -1,0 +1,11 @@
+//! Clustering operators (paper §2.3: "An important data mining operation
+//! is clustering. STARK implements the DBSCAN algorithm … inspired by
+//! MR-DBSCAN").
+
+mod colocation;
+mod dbscan;
+mod union_find;
+
+pub use colocation::{colocation_patterns, ColocationParams, ColocationPattern};
+pub use dbscan::{dbscan, dbscan_local, DbscanParams};
+pub use union_find::UnionFind;

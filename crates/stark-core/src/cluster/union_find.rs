@@ -1,0 +1,81 @@
+//! A sparse union-find over `u64` labels, used by the DBSCAN merge step.
+
+use std::collections::HashMap;
+
+/// Disjoint-set forest with path compression and union by size.
+/// Elements spring into existence on first touch.
+#[derive(Debug, Default)]
+pub struct UnionFind {
+    parent: HashMap<u64, u64>,
+    size: HashMap<u64, u64>,
+}
+
+impl UnionFind {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical representative of `x`'s set.
+    pub fn find(&mut self, x: u64) -> u64 {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    pub fn union(&mut self, a: u64, b: u64) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let sa = *self.size.get(&ra).unwrap_or(&1);
+        let sb = *self.size.get(&rb).unwrap_or(&1);
+        let (big, small) = if sa >= sb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(small, big);
+        self.size.insert(big, sa + sb);
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn connected(&mut self, a: u64, b: u64) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_root() {
+        let mut uf = UnionFind::new();
+        assert_eq!(uf.find(7), 7);
+        assert!(!uf.connected(1, 2));
+    }
+
+    #[test]
+    fn union_transitivity() {
+        let mut uf = UnionFind::new();
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(10, 11);
+        assert!(uf.connected(1, 3));
+        assert!(uf.connected(3, 2));
+        assert!(!uf.connected(1, 10));
+        uf.union(3, 10);
+        assert!(uf.connected(1, 11));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new();
+        uf.union(1, 2);
+        uf.union(1, 2);
+        uf.union(2, 1);
+        assert!(uf.connected(1, 2));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for STARK operations.
+
+use stark_engine::StorageError;
+use stark_geo::GeoError;
+use std::fmt;
+
+/// Errors produced by STARK operators and persistence.
+#[derive(Debug)]
+pub enum StarkError {
+    /// Geometry construction or WKT parsing failed.
+    Geo(GeoError),
+    /// Index persistence / loading failed.
+    Storage(StorageError),
+    /// An operator was invoked with an unusable configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarkError::Geo(e) => write!(f, "geometry error: {e}"),
+            StarkError::Storage(e) => write!(f, "storage error: {e}"),
+            StarkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StarkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StarkError::Geo(e) => Some(e),
+            StarkError::Storage(e) => Some(e),
+            StarkError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<GeoError> for StarkError {
+    fn from(e: GeoError) -> Self {
+        StarkError::Geo(e)
+    }
+}
+
+impl From<StorageError> for StarkError {
+    fn from(e: StorageError) -> Self {
+        StarkError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StarkError::from(GeoError::InvalidGeometry("x".into()));
+        assert!(e.to_string().contains("geometry error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = StarkError::InvalidConfig("bad".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,312 @@
+//! Cost-based binary space partitioner (paper §2.1, based on the
+//! MR-DBSCAN partitioning scheme of He et al. [1]).
+//!
+//! The data space is recursively split into two regions of (near-)equal
+//! *cost* — number of contained records — until a region's cost drops
+//! below a threshold or the region reaches a minimum side length. Dense
+//! areas therefore receive many small partitions while sparse areas are
+//! covered by few large ones, fixing the skew problem of the fixed grid.
+
+use super::{fit_extents, DataSummary, PartitionCell, SpatialPartitioner};
+use stark_geo::{Coord, Envelope};
+
+/// Hard cap on histogram cells so adversarial side-length choices cannot
+/// explode memory; the effective side length grows if the cap would be hit.
+const MAX_HISTOGRAM_CELLS: usize = 1 << 20;
+
+/// Cost-based binary space partitioner.
+#[derive(Debug, Clone)]
+pub struct BspPartitioner {
+    space: Envelope,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// histogram-cell → partition id
+    lookup: Vec<u32>,
+    cells: Vec<PartitionCell>,
+}
+
+impl BspPartitioner {
+    /// Builds a partitioning from the data summary.
+    ///
+    /// * `max_cost` — recursion stops once a region holds at most this
+    ///   many records (the paper's cost threshold);
+    /// * `side_length` — granularity threshold: regions are never split
+    ///   below this side length.
+    pub fn build(max_cost: usize, side_length: f64, data: &DataSummary) -> Self {
+        let max_cost = max_cost.max(1);
+        assert!(side_length > 0.0, "side_length must be positive");
+
+        let mut space = Envelope::empty();
+        for (_, centroid) in data {
+            space.expand_to_include(centroid);
+        }
+        if space.is_empty() {
+            space = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
+        }
+
+        // Histogram resolution: one cell per side_length, capped.
+        let mut side = side_length;
+        let (mut nx, mut ny) = grid_dims(&space, side);
+        while (nx as u128) * (ny as u128) > MAX_HISTOGRAM_CELLS as u128 {
+            side *= 2.0;
+            let d = grid_dims(&space, side);
+            nx = d.0;
+            ny = d.1;
+        }
+        let cell_w = positive(space.width() / nx as f64);
+        let cell_h = positive(space.height() / ny as f64);
+
+        // Count records per histogram cell.
+        let mut counts = vec![0u64; nx * ny];
+        for (_, c) in data {
+            let (cx, cy) = locate(&space, cell_w, cell_h, nx, ny, c);
+            counts[cy * nx + cx] += 1;
+        }
+
+        // 2D prefix sums for O(1) range cost.
+        let mut prefix = vec![0u64; (nx + 1) * (ny + 1)];
+        for y in 0..ny {
+            for x in 0..nx {
+                prefix[(y + 1) * (nx + 1) + (x + 1)] = counts[y * nx + x]
+                    + prefix[y * (nx + 1) + (x + 1)]
+                    + prefix[(y + 1) * (nx + 1) + x]
+                    - prefix[y * (nx + 1) + x];
+            }
+        }
+        let cost = |x0: usize, y0: usize, x1: usize, y1: usize| -> u64 {
+            prefix[y1 * (nx + 1) + x1] + prefix[y0 * (nx + 1) + x0]
+                - prefix[y0 * (nx + 1) + x1]
+                - prefix[y1 * (nx + 1) + x0]
+        };
+
+        // Recursive binary splitting over histogram-cell rectangles.
+        let mut leaves: Vec<(usize, usize, usize, usize)> = Vec::new();
+        let mut stack = vec![(0usize, 0usize, nx, ny)];
+        while let Some((x0, y0, x1, y1)) = stack.pop() {
+            let c = cost(x0, y0, x1, y1);
+            let splittable = (x1 - x0 > 1) || (y1 - y0 > 1);
+            if c <= max_cost as u64 || !splittable {
+                leaves.push((x0, y0, x1, y1));
+                continue;
+            }
+            // Find the split (on either axis) with the most even halves.
+            let mut best: Option<(u64, bool, usize)> = None; // (imbalance, vertical?, pos)
+            for sx in (x0 + 1)..x1 {
+                let left = cost(x0, y0, sx, y1);
+                let imbalance = (2 * left).abs_diff(c);
+                if best.is_none_or(|(b, _, _)| imbalance < b) {
+                    best = Some((imbalance, true, sx));
+                }
+            }
+            for sy in (y0 + 1)..y1 {
+                let low = cost(x0, y0, x1, sy);
+                let imbalance = (2 * low).abs_diff(c);
+                if best.is_none_or(|(b, _, _)| imbalance < b) {
+                    best = Some((imbalance, false, sy));
+                }
+            }
+            match best {
+                Some((_, true, sx)) => {
+                    stack.push((x0, y0, sx, y1));
+                    stack.push((sx, y0, x1, y1));
+                }
+                Some((_, false, sy)) => {
+                    stack.push((x0, y0, x1, sy));
+                    stack.push((x0, sy, x1, y1));
+                }
+                None => leaves.push((x0, y0, x1, y1)),
+            }
+        }
+
+        // Materialise cells and the histogram-cell → partition lookup.
+        let mut cells = Vec::with_capacity(leaves.len());
+        let mut lookup = vec![0u32; nx * ny];
+        for (id, &(x0, y0, x1, y1)) in leaves.iter().enumerate() {
+            let bounds = Envelope::from_bounds(
+                space.min_x() + x0 as f64 * cell_w,
+                space.min_y() + y0 as f64 * cell_h,
+                space.min_x() + x1 as f64 * cell_w,
+                space.min_y() + y1 as f64 * cell_h,
+            );
+            cells.push(PartitionCell::new(id, bounds));
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    lookup[y * nx + x] = id as u32;
+                }
+            }
+        }
+
+        let mut bsp = BspPartitioner { space, nx, ny, cell_w, cell_h, lookup, cells };
+        let probe = bsp.clone();
+        fit_extents(&mut bsp.cells, |c| probe.partition_for_centroid(c), data);
+        bsp
+    }
+}
+
+fn grid_dims(space: &Envelope, side: f64) -> (usize, usize) {
+    let nx = (space.width() / side).ceil().max(1.0) as usize;
+    let ny = (space.height() / side).ceil().max(1.0) as usize;
+    (nx, ny)
+}
+
+fn positive(v: f64) -> f64 {
+    if v > 0.0 { v } else { 1.0 }
+}
+
+fn locate(
+    space: &Envelope,
+    cell_w: f64,
+    cell_h: f64,
+    nx: usize,
+    ny: usize,
+    c: &Coord,
+) -> (usize, usize) {
+    let cx = (((c.x - space.min_x()) / cell_w).floor() as i64).clamp(0, nx as i64 - 1) as usize;
+    let cy = (((c.y - space.min_y()) / cell_h).floor() as i64).clamp(0, ny as i64 - 1) as usize;
+    (cx, cy)
+}
+
+impl SpatialPartitioner for BspPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn partition_for_centroid(&self, c: &Coord) -> usize {
+        let (cx, cy) = locate(&self.space, self.cell_w, self.cell_h, self.nx, self.ny, c);
+        self.lookup[cy * self.nx + cx] as usize
+    }
+
+    fn cells(&self) -> &[PartitionCell] {
+        &self.cells
+    }
+
+    fn name(&self) -> &'static str {
+        "bsp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::balance_stats;
+
+    fn summary(pts: &[(f64, f64)]) -> DataSummary {
+        pts.iter()
+            .map(|&(x, y)| {
+                let c = Coord::new(x, y);
+                (Envelope::from_point(c), c)
+            })
+            .collect()
+    }
+
+    /// Skewed data: a dense blob plus a few far-away stragglers.
+    fn skewed_data(n_dense: usize) -> DataSummary {
+        let mut pts = Vec::new();
+        for i in 0..n_dense {
+            let f = i as f64 / n_dense as f64;
+            pts.push((f * 0.9, (i % 97) as f64 / 97.0 * 0.9));
+        }
+        pts.push((100.0, 100.0));
+        pts.push((99.0, 98.0));
+        summary(&pts)
+    }
+
+    #[test]
+    fn respects_cost_threshold() {
+        let data = skewed_data(1000);
+        let bsp = BspPartitioner::build(100, 0.05, &data);
+        // count per partition must be <= max_cost unless at granularity
+        let mut counts = vec![0usize; bsp.num_partitions()];
+        for (_, c) in &data {
+            counts[bsp.partition_for_centroid(c)] += 1;
+        }
+        // the dense region must have been split into many partitions
+        assert!(bsp.num_partitions() > 5, "only {} partitions", bsp.num_partitions());
+        let over: Vec<usize> = counts.iter().copied().filter(|&c| c > 150).collect();
+        assert!(over.is_empty(), "oversized partitions: {over:?}");
+    }
+
+    #[test]
+    fn sparse_region_is_one_partition() {
+        let data = skewed_data(1000);
+        let bsp = BspPartitioner::build(100, 0.05, &data);
+        // the two far-away points share a partition (cheap region)
+        let a = bsp.partition_for_centroid(&Coord::new(100.0, 100.0));
+        let b = bsp.partition_for_centroid(&Coord::new(99.0, 98.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn beats_grid_on_skewed_balance() {
+        use crate::partitioner::GridPartitioner;
+        let data = skewed_data(5000);
+        let bsp = BspPartitioner::build(500, 0.02, &data);
+        let grid = GridPartitioner::build((bsp.num_partitions() as f64).sqrt().ceil() as usize, &data);
+
+        let count_for = |p: &dyn SpatialPartitioner| {
+            let mut counts = vec![0usize; p.num_partitions()];
+            for (_, c) in &data {
+                counts[p.partition_for_centroid(c)] += 1;
+            }
+            counts
+        };
+        let bsp_max = count_for(&bsp).into_iter().max().unwrap();
+        let grid_max = count_for(&grid).into_iter().max().unwrap();
+        assert!(
+            bsp_max < grid_max,
+            "bsp max partition {bsp_max} should beat grid max {grid_max}"
+        );
+        let s = balance_stats(&count_for(&bsp));
+        assert!(s.non_empty >= 2);
+    }
+
+    #[test]
+    fn total_assignment_covers_all_points() {
+        let data = skewed_data(500);
+        let bsp = BspPartitioner::build(50, 0.01, &data);
+        for (env, c) in &data {
+            let id = bsp.partition_for_centroid(c);
+            assert!(id < bsp.num_partitions());
+            assert!(bsp.cells()[id].extent.contains_envelope(env));
+        }
+    }
+
+    #[test]
+    fn leaf_bounds_tile_space() {
+        let data = skewed_data(300);
+        let bsp = BspPartitioner::build(30, 0.05, &data);
+        let total_area: f64 = bsp.cells().iter().map(|c| c.bounds.area()).sum();
+        let space_area = bsp.space.area();
+        assert!(
+            (total_area - space_area).abs() < space_area * 1e-6,
+            "leaves {total_area} vs space {space_area}"
+        );
+    }
+
+    #[test]
+    fn single_partition_when_under_cost() {
+        let data = summary(&[(0.0, 0.0), (1.0, 1.0)]);
+        let bsp = BspPartitioner::build(100, 0.5, &data);
+        assert_eq!(bsp.num_partitions(), 1);
+        assert_eq!(bsp.name(), "bsp");
+    }
+
+    #[test]
+    fn empty_data() {
+        let bsp = BspPartitioner::build(10, 1.0, &Vec::new());
+        assert_eq!(bsp.num_partitions(), 1);
+        // arbitrary coordinates still map somewhere valid
+        assert_eq!(bsp.partition_for_centroid(&Coord::new(5.0, -3.0)), 0);
+    }
+
+    #[test]
+    fn histogram_cap_is_enforced() {
+        // pathological side length far finer than the data span
+        let data = summary(&[(0.0, 0.0), (1e6, 1e6)]);
+        let bsp = BspPartitioner::build(1, 1e-6, &data);
+        assert!(bsp.nx * bsp.ny <= super::MAX_HISTOGRAM_CELLS);
+        assert!(bsp.num_partitions() >= 1);
+    }
+}

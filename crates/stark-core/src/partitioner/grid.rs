@@ -1,0 +1,165 @@
+//! Fixed-grid spatial partitioner (paper §2.1, "Grid Partitioner").
+
+use super::{fit_extents, DataSummary, PartitionCell, SpatialPartitioner};
+use stark_geo::{Coord, Envelope};
+
+/// Divides the data space into `dims × dims` rectangular cells of equal
+/// size. Cell bounds are computed up-front; a single pass assigns each
+/// record by locating its centroid's cell.
+#[derive(Debug, Clone)]
+pub struct GridPartitioner {
+    dims: usize,
+    space: Envelope,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<PartitionCell>,
+}
+
+impl GridPartitioner {
+    /// Builds a grid over the given space without fitting extents;
+    /// extents stay at the cell bounds intersected with nothing (empty)
+    /// until [`GridPartitioner::build`] style fitting is applied.
+    pub fn with_space(dims: usize, space: Envelope) -> Self {
+        let dims = dims.max(1);
+        assert!(!space.is_empty(), "grid space must be non-empty");
+        let cell_w = positive(space.width() / dims as f64);
+        let cell_h = positive(space.height() / dims as f64);
+        let mut cells = Vec::with_capacity(dims * dims);
+        for row in 0..dims {
+            for col in 0..dims {
+                let min_x = space.min_x() + col as f64 * cell_w;
+                let min_y = space.min_y() + row as f64 * cell_h;
+                let bounds = Envelope::from_bounds(min_x, min_y, min_x + cell_w, min_y + cell_h);
+                cells.push(PartitionCell::new(row * dims + col, bounds));
+            }
+        }
+        GridPartitioner { dims, space, cell_w, cell_h, cells }
+    }
+
+    /// Builds a `dims × dims` grid covering the data's bounding box and
+    /// fits the per-partition extents from the data summary.
+    pub fn build(dims: usize, data: &DataSummary) -> Self {
+        let mut space = Envelope::empty();
+        for (_, centroid) in data {
+            space.expand_to_include(centroid);
+        }
+        if space.is_empty() {
+            space = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
+        }
+        let mut grid = Self::with_space(dims, space);
+        let g = grid.clone();
+        fit_extents(&mut grid.cells, |c| g.partition_for_centroid(c), data);
+        grid
+    }
+
+    /// Cells per axis.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+fn positive(v: f64) -> f64 {
+    if v > 0.0 { v } else { 1.0 }
+}
+
+impl SpatialPartitioner for GridPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn partition_for_centroid(&self, c: &Coord) -> usize {
+        let col = (((c.x - self.space.min_x()) / self.cell_w).floor() as i64)
+            .clamp(0, self.dims as i64 - 1) as usize;
+        let row = (((c.y - self.space.min_y()) / self.cell_h).floor() as i64)
+            .clamp(0, self.dims as i64 - 1) as usize;
+        row * self.dims + col
+    }
+
+    fn cells(&self) -> &[PartitionCell] {
+        &self.cells
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stobject::STObject;
+
+    fn summary(pts: &[(f64, f64)]) -> DataSummary {
+        pts.iter()
+            .map(|&(x, y)| {
+                let c = Coord::new(x, y);
+                (Envelope::from_point(c), c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cells_tile_the_space() {
+        let g = GridPartitioner::with_space(4, Envelope::from_bounds(0.0, 0.0, 8.0, 8.0));
+        assert_eq!(g.num_partitions(), 16);
+        let area: f64 = g.cells().iter().map(|c| c.bounds.area()).sum();
+        assert!((area - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_locates_cell() {
+        let g = GridPartitioner::with_space(2, Envelope::from_bounds(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(g.partition_for_centroid(&Coord::new(1.0, 1.0)), 0);
+        assert_eq!(g.partition_for_centroid(&Coord::new(9.0, 1.0)), 1);
+        assert_eq!(g.partition_for_centroid(&Coord::new(1.0, 9.0)), 2);
+        assert_eq!(g.partition_for_centroid(&Coord::new(9.0, 9.0)), 3);
+    }
+
+    #[test]
+    fn out_of_space_centroids_clamp() {
+        let g = GridPartitioner::with_space(2, Envelope::from_bounds(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(g.partition_for_centroid(&Coord::new(-5.0, -5.0)), 0);
+        assert_eq!(g.partition_for_centroid(&Coord::new(100.0, 100.0)), 3);
+    }
+
+    #[test]
+    fn every_point_lands_in_its_cell_bounds() {
+        let data = summary(&[(0.5, 0.5), (3.3, 7.2), (9.9, 9.9), (5.0, 5.0)]);
+        let g = GridPartitioner::build(3, &data);
+        for (env, c) in &data {
+            let id = g.partition_for_centroid(c);
+            // the centroid is inside (or on the boundary of) its cell
+            assert!(g.cells()[id].bounds.buffered(1e-9).contains_coord(c));
+            // and the extent covers the record MBR
+            assert!(g.cells()[id].extent.contains_envelope(env));
+        }
+    }
+
+    #[test]
+    fn extents_track_extended_objects() {
+        // a polygon whose centroid is in one cell but which spills over
+        let poly = STObject::from_wkt("POLYGON((4 4, 12 4, 12 6, 4 6, 4 4))").unwrap();
+        let data: DataSummary = vec![(poly.envelope(), poly.centroid())];
+        let g = GridPartitioner::build(2, &data);
+        let id = g.partition_of(&poly);
+        assert!(g.cells()[id].extent.contains_envelope(&poly.envelope()));
+        // the extent exceeds the cell bounds — overlapping partitions
+        assert!(!g.cells()[id].bounds.contains_envelope(&g.cells()[id].extent));
+    }
+
+    #[test]
+    fn degenerate_single_point_data() {
+        let data = summary(&[(5.0, 5.0), (5.0, 5.0)]);
+        let g = GridPartitioner::build(4, &data);
+        let id = g.partition_for_centroid(&Coord::new(5.0, 5.0));
+        assert!(id < g.num_partitions());
+        assert!(!g.cells()[id].extent.is_empty());
+    }
+
+    #[test]
+    fn dims_clamped_to_one() {
+        let g = GridPartitioner::with_space(0, Envelope::from_bounds(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(g.num_partitions(), 1);
+        assert_eq!(g.name(), "grid");
+    }
+}

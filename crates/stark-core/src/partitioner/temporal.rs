@@ -1,0 +1,202 @@
+//! Temporal range partitioner — the extension the paper flags as missing
+//! ("in its current version, STARK only considers the spatial component
+//! for partitioning", §2.1).
+//!
+//! Records are bucketed by the *start* of their temporal component into
+//! equal-width time slices; untimed records go to a dedicated bucket.
+//! Combined with the per-partition [`TemporalExtent`]s fitted by
+//! [`SpatialRdd::partition_by`](crate::SpatialRdd::partition_by), timed
+//! filters then prune whole time slices.
+
+use super::{PartitionCell, SpatialPartitioner};
+use crate::stobject::STObject;
+use crate::temporal::Temporal;
+use stark_geo::{Coord, Envelope};
+
+/// Equal-width temporal range partitioner.
+///
+/// Implements [`SpatialPartitioner`] so it plugs into the same
+/// `partition_by` machinery; its cells carry no meaningful spatial bounds
+/// (pruning relies on the fitted extents, which are always sound).
+#[derive(Debug, Clone)]
+pub struct TemporalPartitioner {
+    start: i64,
+    end: i64,
+    buckets: usize,
+    cells: Vec<PartitionCell>,
+}
+
+impl TemporalPartitioner {
+    /// Builds `buckets` equal time slices over the observed range of
+    /// `times` plus one bucket for untimed records (the last partition).
+    pub fn build(buckets: usize, times: &[Option<Temporal>]) -> Self {
+        let buckets = buckets.max(1);
+        let mut start = i64::MAX;
+        let mut end = i64::MIN;
+        for t in times.iter().flatten() {
+            start = start.min(t.start());
+            end = end.max(match t.end_exclusive() {
+                Some(e) => e,
+                None => t.start(),
+            });
+        }
+        if start > end {
+            // no timed records at all
+            start = 0;
+            end = 1;
+        }
+        if end == start {
+            end = start + 1;
+        }
+        let cells = (0..=buckets).map(|i| PartitionCell::new(i, Envelope::empty())).collect();
+        TemporalPartitioner { start, end, buckets, cells }
+    }
+
+    /// The bucket index for a temporal value.
+    fn bucket_of(&self, t: &Temporal) -> usize {
+        let span = (self.end - self.start).max(1) as i128;
+        let offset = (t.start().saturating_sub(self.start)).max(0) as i128;
+        let b = (offset * self.buckets as i128 / span) as usize;
+        b.min(self.buckets - 1)
+    }
+
+    /// The dedicated partition for untimed records.
+    pub fn untimed_partition(&self) -> usize {
+        self.buckets
+    }
+
+    /// The covered time range.
+    pub fn time_range(&self) -> (i64, i64) {
+        (self.start, self.end)
+    }
+}
+
+impl SpatialPartitioner for TemporalPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.buckets + 1
+    }
+
+    /// Centroids carry no time; everything without a temporal component
+    /// lands in the untimed bucket.
+    fn partition_for_centroid(&self, _c: &Coord) -> usize {
+        self.untimed_partition()
+    }
+
+    fn cells(&self) -> &[PartitionCell] {
+        &self.cells
+    }
+
+    fn name(&self) -> &'static str {
+        "temporal"
+    }
+
+    fn partition_of(&self, obj: &STObject) -> usize {
+        match obj.time() {
+            Some(t) => self.bucket_of(t),
+            None => self.untimed_partition(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::STPredicate;
+    use crate::spatial_rdd::SpatialRddExt;
+    use stark_engine::Context;
+    use std::sync::Arc;
+
+    #[test]
+    fn buckets_cover_range_in_order() {
+        let times: Vec<Option<Temporal>> =
+            (0..100).map(|i| Some(Temporal::instant(i * 10))).collect();
+        let p = TemporalPartitioner::build(4, &times);
+        assert_eq!(p.num_partitions(), 5);
+        assert_eq!(p.time_range(), (0, 990));
+        let b0 = p.partition_of(&STObject::point_at(0.0, 0.0, 0));
+        let b_last = p.partition_of(&STObject::point_at(0.0, 0.0, 989));
+        assert_eq!(b0, 0);
+        assert_eq!(b_last, 3);
+        // monotone bucketing
+        let mut prev = 0;
+        for t in (0..990).step_by(10) {
+            let b = p.partition_of(&STObject::point_at(0.0, 0.0, t));
+            assert!(b >= prev);
+            assert!(b < 4);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn untimed_records_get_their_own_bucket() {
+        let times = vec![Some(Temporal::instant(5)), None];
+        let p = TemporalPartitioner::build(3, &times);
+        assert_eq!(p.partition_of(&STObject::point(0.0, 0.0)), p.untimed_partition());
+        assert_ne!(
+            p.partition_of(&STObject::point_at(0.0, 0.0, 5)),
+            p.untimed_partition()
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // no timed records
+        let p = TemporalPartitioner::build(4, &[None, None]);
+        assert_eq!(p.num_partitions(), 5);
+        // a single instant
+        let p = TemporalPartitioner::build(4, &[Some(Temporal::instant(42))]);
+        assert_eq!(p.partition_of(&STObject::point_at(0.0, 0.0, 42)), 0);
+        // out-of-range times clamp
+        let b = p.partition_of(&STObject::point_at(0.0, 0.0, 1_000_000));
+        assert!(b < p.num_partitions());
+    }
+
+    #[test]
+    fn temporal_pruning_through_the_filter_path() {
+        let ctx = Context::with_parallelism(4);
+        // events spread over time but all in the same small area
+        let data: Vec<(STObject, u32)> = (0..400)
+            .map(|i| (STObject::point_at((i % 20) as f64, (i / 20) as f64, i as i64 * 10), i))
+            .collect();
+        let rdd = ctx.parallelize(data, 8).spatial();
+        let times: Vec<Option<Temporal>> =
+            rdd.rdd().collect().iter().map(|(o, _)| o.time().copied()).collect();
+        let part = rdd.partition_by(Arc::new(TemporalPartitioner::build(8, &times)));
+
+        // a query window covering all space but a narrow time slice
+        let query = STObject::from_wkt_interval(
+            "POLYGON((-1 -1, 21 -1, 21 21, -1 21, -1 -1))",
+            0,
+            500,
+        )
+        .unwrap();
+        let before = ctx.metrics();
+        let hits = part.filter(&query, STPredicate::ContainedBy).count();
+        let delta = ctx.metrics().since(&before);
+        assert_eq!(hits, 50, "events with t in [0, 500)");
+        assert!(
+            delta.partitions_pruned >= 6,
+            "time slices outside the window must be pruned, got {}",
+            delta.partitions_pruned
+        );
+    }
+
+    #[test]
+    fn untimed_query_prunes_timed_buckets() {
+        let ctx = Context::with_parallelism(2);
+        let mut data: Vec<(STObject, u32)> =
+            (0..100).map(|i| (STObject::point_at(1.0, 1.0, i as i64), i)).collect();
+        data.push((STObject::point(1.0, 1.0), 100)); // one untimed record
+        let rdd = ctx.parallelize(data, 4).spatial();
+        let times: Vec<Option<Temporal>> =
+            rdd.rdd().collect().iter().map(|(o, _)| o.time().copied()).collect();
+        let part = rdd.partition_by(Arc::new(TemporalPartitioner::build(4, &times)));
+
+        let query = STObject::from_wkt("POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap();
+        let before = ctx.metrics();
+        let hits = part.filter(&query, STPredicate::ContainedBy).count();
+        let delta = ctx.metrics().since(&before);
+        assert_eq!(hits, 1, "only the untimed record matches an untimed query");
+        assert!(delta.partitions_pruned >= 4, "all timed buckets pruned");
+    }
+}

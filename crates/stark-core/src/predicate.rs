@@ -1,0 +1,221 @@
+//! First-class spatio-temporal predicates.
+//!
+//! The filter and join operators are parameterised by a predicate value so
+//! that partition pruning, index lookup and final refinement can all
+//! dispatch on the same description of the query.
+
+use crate::stobject::STObject;
+use serde::{Deserialize, Serialize};
+use stark_geo::{DistanceFn, Envelope};
+use std::fmt;
+
+/// The spatio-temporal predicates supported by STARK's filter and join
+/// operators (paper §2.3): `intersects`, `contains`, `containedBy`, and
+/// `withinDistance` with a pluggable distance function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum STPredicate {
+    /// Spatial and (when both defined) temporal intersection.
+    Intersects,
+    /// The left object completely contains the right one.
+    Contains,
+    /// The left object is completely contained by the right one.
+    ContainedBy,
+    /// The spatial distance between the objects is at most `max_dist`.
+    WithinDistance { max_dist: f64, dist_fn: DistanceFn },
+}
+
+impl STPredicate {
+    /// Shorthand for `WithinDistance` with the Euclidean metric.
+    pub fn within_distance(max_dist: f64) -> Self {
+        STPredicate::WithinDistance { max_dist, dist_fn: DistanceFn::Euclidean }
+    }
+
+    /// Evaluates the predicate on `(left, right)`.
+    pub fn eval(&self, left: &STObject, right: &STObject) -> bool {
+        match self {
+            STPredicate::Intersects => left.intersects(right),
+            STPredicate::Contains => left.contains(right),
+            STPredicate::ContainedBy => left.contained_by(right),
+            STPredicate::WithinDistance { max_dist, dist_fn } => {
+                left.distance(right, *dist_fn) <= *max_dist
+            }
+        }
+    }
+
+    /// Whether a data partition whose member envelopes are all inside
+    /// `extent` could possibly contain an element `e` with
+    /// `pred(e, query) == true`. Sound (never prunes a match), not
+    /// necessarily tight. This is the partition-pruning test of §2.1.
+    pub fn partition_may_match(&self, extent: &Envelope, query: &STObject) -> bool {
+        if extent.is_empty() {
+            return false;
+        }
+        let q = query.envelope();
+        match self {
+            // any match must spatially intersect the query MBR
+            STPredicate::Intersects | STPredicate::ContainedBy => extent.intersects(&q),
+            // an element containing the query has an MBR covering the
+            // query MBR; the partition extent then also covers it
+            STPredicate::Contains => extent.contains_envelope(&q),
+            STPredicate::WithinDistance { max_dist, dist_fn } => {
+                // envelope separation lower-bounds the planar distance;
+                // convert it into a lower bound under dist_fn
+                let sep = extent.distance(&q);
+                dist_fn.lower_bound_from_planar(sep) <= *max_dist
+            }
+        }
+    }
+
+    /// Temporal analogue of [`STPredicate::partition_may_match`]: whether
+    /// a partition with the given temporal extent could hold an element
+    /// matching this predicate against `query`. Sound, not tight.
+    ///
+    /// `withinDistance` is a purely spatial operator, so it never prunes
+    /// on time. For the combined predicates, eq. (2)/(3) make a timed
+    /// query matchable only by timed elements with a satisfiable temporal
+    /// relation, and an untimed query only by untimed elements.
+    pub fn partition_may_match_temporal(
+        &self,
+        extent: &crate::temporal::TemporalExtent,
+        query: &STObject,
+    ) -> bool {
+        let temporal_kind = match self {
+            STPredicate::WithinDistance { .. } => return true,
+            STPredicate::Intersects | STPredicate::ContainedBy => TemporalKind::Intersect,
+            STPredicate::Contains => TemporalKind::Contain,
+        };
+        match query.time() {
+            // untimed query: only untimed elements can match (eq. 2)
+            None => extent.has_untimed(),
+            Some(qt) => match temporal_kind {
+                TemporalKind::Intersect => extent.may_intersect(qt),
+                TemporalKind::Contain => extent.may_contain(qt),
+            },
+        }
+    }
+
+    /// The envelope an index must be probed with to obtain a candidate
+    /// superset for this predicate against `query`.
+    pub fn index_probe(&self, query: &STObject) -> Envelope {
+        let q = query.envelope();
+        match self {
+            STPredicate::Intersects | STPredicate::Contains | STPredicate::ContainedBy => q,
+            STPredicate::WithinDistance { max_dist, dist_fn } => match dist_fn {
+                // planar metrics: buffering the MBR by max_dist is sound
+                DistanceFn::Euclidean | DistanceFn::Manhattan => q.buffered(*max_dist),
+                // Haversine: metres → degrees, using the smallest
+                // metres-per-degree (longitude at high latitude is
+                // smaller, so be generous: 1 degree >= 111 km only for
+                // latitude; buffer by max_dist / (111km * cos(lat_max)),
+                // conservatively capped to the whole space for high
+                // latitudes)
+                DistanceFn::Haversine => {
+                    let lat = q.min_y().abs().max(q.max_y().abs()).min(89.0);
+                    let metres_per_deg = 111_320.0 * lat.to_radians().cos().max(0.02);
+                    q.buffered(max_dist / metres_per_deg)
+                }
+            },
+        }
+    }
+}
+
+/// Which temporal relation the pruning test must preserve.
+enum TemporalKind {
+    Intersect,
+    Contain,
+}
+
+impl fmt::Display for STPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            STPredicate::Intersects => write!(f, "intersects"),
+            STPredicate::Contains => write!(f, "contains"),
+            STPredicate::ContainedBy => write!(f, "containedBy"),
+            STPredicate::WithinDistance { max_dist, dist_fn } => {
+                write!(f, "withinDistance({max_dist}, {dist_fn:?})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::Temporal;
+    use stark_geo::Geometry;
+
+    fn region() -> STObject {
+        STObject::from_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))").unwrap()
+    }
+
+    #[test]
+    fn eval_dispatch() {
+        let r = region();
+        let p = STObject::point(5.0, 5.0);
+        assert!(STPredicate::Intersects.eval(&r, &p));
+        assert!(STPredicate::Contains.eval(&r, &p));
+        assert!(!STPredicate::Contains.eval(&p, &r));
+        assert!(STPredicate::ContainedBy.eval(&p, &r));
+        assert!(STPredicate::within_distance(1.0)
+            .eval(&STObject::point(11.0, 5.0), &r));
+        assert!(!STPredicate::within_distance(0.5)
+            .eval(&STObject::point(11.0, 5.0), &r));
+    }
+
+    #[test]
+    fn pruning_is_sound_for_intersects() {
+        let q = region();
+        let near = Envelope::from_bounds(5.0, 5.0, 20.0, 20.0);
+        let far = Envelope::from_bounds(100.0, 100.0, 110.0, 110.0);
+        assert!(STPredicate::Intersects.partition_may_match(&near, &q));
+        assert!(!STPredicate::Intersects.partition_may_match(&far, &q));
+        assert!(!STPredicate::Intersects.partition_may_match(&Envelope::empty(), &q));
+    }
+
+    #[test]
+    fn pruning_for_contains_needs_covering_extent() {
+        let q = STObject::new(Geometry::rect(4.0, 4.0, 6.0, 6.0));
+        let covering = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let partial = Envelope::from_bounds(5.0, 5.0, 10.0, 10.0);
+        assert!(STPredicate::Contains.partition_may_match(&covering, &q));
+        assert!(!STPredicate::Contains.partition_may_match(&partial, &q));
+    }
+
+    #[test]
+    fn pruning_for_within_distance() {
+        let q = STObject::point(0.0, 0.0);
+        let pred = STPredicate::within_distance(5.0);
+        let close = Envelope::from_bounds(3.0, 0.0, 10.0, 1.0);
+        let far = Envelope::from_bounds(10.0, 0.0, 20.0, 1.0);
+        assert!(pred.partition_may_match(&close, &q));
+        assert!(!pred.partition_may_match(&far, &q));
+    }
+
+    #[test]
+    fn index_probe_buffers_for_distance() {
+        let q = STObject::point(0.0, 0.0);
+        let probe = STPredicate::within_distance(3.0).index_probe(&q);
+        assert_eq!(probe.min_x(), -3.0);
+        assert_eq!(probe.max_y(), 3.0);
+        let plain = STPredicate::Intersects.index_probe(&q);
+        assert_eq!(plain.area(), 0.0);
+    }
+
+    #[test]
+    fn eval_respects_temporal_rule() {
+        let qry = STObject::with_time(
+            Geometry::rect(0.0, 0.0, 10.0, 10.0),
+            Temporal::interval(0, 100),
+        );
+        let in_time = STObject::point_at(5.0, 5.0, 50);
+        let out_of_time = STObject::point_at(5.0, 5.0, 200);
+        assert!(STPredicate::ContainedBy.eval(&in_time, &qry));
+        assert!(!STPredicate::ContainedBy.eval(&out_of_time, &qry));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(STPredicate::Intersects.to_string(), "intersects");
+        assert_eq!(STPredicate::ContainedBy.to_string(), "containedBy");
+    }
+}

@@ -1,0 +1,218 @@
+//! `STObject` — STARK's spatio-temporal value type (paper §2.3).
+
+use crate::temporal::Temporal;
+use serde::{Deserialize, Serialize};
+use stark_geo::{Coord, Envelope, GeoError, Geometry};
+use std::fmt;
+
+/// A spatio-temporal object: a spatial geometry plus an optional temporal
+/// component, exactly mirroring the paper's two-field `STObject` class.
+///
+/// The combined predicates implement the paper's formal definition: for a
+/// predicate θ and objects `o`, `p`,
+///
+/// ```text
+/// θ(o, p) ⇔ θs(s(o), s(p)) ∧ (                       (1)
+///     (t(o) = ⊥ ∧ t(p) = ⊥) ∨                        (2)
+///     (t(o) ≠ ⊥ ∧ t(p) ≠ ⊥ ∧ θt(t(o), t(p))))       (3)
+/// ```
+///
+/// i.e. the spatial predicate must hold, and either both objects carry no
+/// time, or both carry time and the temporal predicate holds as well. A
+/// timed object never matches an untimed one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct STObject {
+    geo: Geometry,
+    time: Option<Temporal>,
+}
+
+impl STObject {
+    /// A purely spatial object (no temporal component).
+    pub fn new(geo: Geometry) -> Self {
+        STObject { geo, time: None }
+    }
+
+    /// A spatio-temporal object.
+    pub fn with_time(geo: Geometry, time: Temporal) -> Self {
+        STObject { geo, time: Some(time) }
+    }
+
+    /// Parses the spatial component from WKT; no temporal component.
+    pub fn from_wkt(wkt: &str) -> Result<Self, GeoError> {
+        Ok(STObject::new(Geometry::from_wkt(wkt)?))
+    }
+
+    /// Parses the spatial component from WKT and attaches an instant,
+    /// mirroring the paper's `STObject(wkt, time)` constructor.
+    pub fn from_wkt_instant(wkt: &str, time: i64) -> Result<Self, GeoError> {
+        Ok(STObject::with_time(Geometry::from_wkt(wkt)?, Temporal::instant(time)))
+    }
+
+    /// Parses the spatial component from WKT and attaches the interval
+    /// `[begin, end)`, mirroring `STObject(wkt, begin, end)`.
+    pub fn from_wkt_interval(wkt: &str, begin: i64, end: i64) -> Result<Self, GeoError> {
+        Ok(STObject::with_time(Geometry::from_wkt(wkt)?, Temporal::interval(begin, end)))
+    }
+
+    /// A point event at `(x, y)` occurring at instant `t`.
+    pub fn point_at(x: f64, y: f64, t: i64) -> Self {
+        STObject::with_time(Geometry::point(x, y), Temporal::instant(t))
+    }
+
+    /// A timeless point.
+    pub fn point(x: f64, y: f64) -> Self {
+        STObject::new(Geometry::point(x, y))
+    }
+
+    /// The spatial component.
+    pub fn geo(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// The optional temporal component.
+    pub fn time(&self) -> Option<&Temporal> {
+        self.time.as_ref()
+    }
+
+    /// Spatial minimum bounding rectangle.
+    pub fn envelope(&self) -> Envelope {
+        self.geo.envelope()
+    }
+
+    /// Spatial centroid (the partition-assignment point, paper §2.1).
+    pub fn centroid(&self) -> Coord {
+        self.geo.centroid()
+    }
+
+    /// Applies the papers' temporal combination rule (clauses 2 and 3)
+    /// for a given temporal predicate.
+    fn temporal_ok(&self, other: &STObject, pred: impl Fn(&Temporal, &Temporal) -> bool) -> bool {
+        match (&self.time, &other.time) {
+            (None, None) => true,
+            (Some(a), Some(b)) => pred(a, b),
+            _ => false,
+        }
+    }
+
+    /// Spatio-temporal intersection (paper: `intersect(o)`).
+    pub fn intersects(&self, other: &STObject) -> bool {
+        self.geo.intersects(&other.geo) && self.temporal_ok(other, Temporal::intersects)
+    }
+
+    /// Spatio-temporal containment (paper: `contains(o)`): this object
+    /// completely contains `other` in space and, when both are timed,
+    /// in time.
+    pub fn contains(&self, other: &STObject) -> bool {
+        self.geo.contains(&other.geo) && self.temporal_ok(other, Temporal::contains)
+    }
+
+    /// Reverse containment (paper: `containedBy(o)`).
+    pub fn contained_by(&self, other: &STObject) -> bool {
+        other.contains(self)
+    }
+
+    /// Spatial distance under the given distance function. The temporal
+    /// component does not participate (STARK's `withinDistance` is a
+    /// spatial operator with a pluggable distance function).
+    pub fn distance(&self, other: &STObject, dist_fn: stark_geo::DistanceFn) -> f64 {
+        dist_fn.distance(&self.geo, &other.geo)
+    }
+}
+
+impl From<Geometry> for STObject {
+    fn from(geo: Geometry) -> Self {
+        STObject::new(geo)
+    }
+}
+
+impl fmt::Display for STObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.time {
+            Some(t) => write!(f, "{} {}", self.geo, t),
+            None => write!(f, "{}", self.geo),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_only_objects_use_spatial_predicate() {
+        let region = STObject::from_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))").unwrap();
+        let ev = STObject::point(5.0, 5.0);
+        assert!(region.intersects(&ev));
+        assert!(region.contains(&ev));
+        assert!(ev.contained_by(&region));
+        assert!(!ev.contains(&region));
+    }
+
+    #[test]
+    fn timed_vs_untimed_never_match() {
+        // clause (2)/(3): one ⊥ and one defined → predicate is false
+        let timed = STObject::point_at(5.0, 5.0, 100);
+        let untimed = STObject::point(5.0, 5.0);
+        assert!(!timed.intersects(&untimed));
+        assert!(!untimed.intersects(&timed));
+        assert!(!untimed.contains(&timed));
+    }
+
+    #[test]
+    fn both_timed_require_both_predicates() {
+        let region = STObject::from_wkt_interval(
+            "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))",
+            0,
+            1000,
+        )
+        .unwrap();
+        let hit = STObject::point_at(5.0, 5.0, 500);
+        let wrong_time = STObject::point_at(5.0, 5.0, 2000);
+        let wrong_place = STObject::point_at(50.0, 50.0, 500);
+        assert!(region.intersects(&hit));
+        assert!(region.contains(&hit));
+        assert!(!region.intersects(&wrong_time));
+        assert!(!region.contains(&wrong_time));
+        assert!(!region.intersects(&wrong_place));
+    }
+
+    #[test]
+    fn contained_by_matches_paper_example() {
+        // paper: qry = polygon + [begin, end); events.containedBy(qry)
+        let qry = STObject::from_wkt_interval(
+            "POLYGON((0 0, 100 0, 100 100, 0 100, 0 0))",
+            10,
+            20,
+        )
+        .unwrap();
+        let inside = STObject::point_at(50.0, 50.0, 15);
+        let outside_time = STObject::point_at(50.0, 50.0, 25);
+        assert!(inside.contained_by(&qry));
+        assert!(!outside_time.contained_by(&qry));
+    }
+
+    #[test]
+    fn distance_uses_distance_function() {
+        let a = STObject::point(0.0, 0.0);
+        let b = STObject::point(3.0, 4.0);
+        assert_eq!(a.distance(&b, stark_geo::DistanceFn::Euclidean), 5.0);
+        assert_eq!(a.distance(&b, stark_geo::DistanceFn::Manhattan), 7.0);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let o = STObject::from_wkt_instant("POINT(1 2)", 42).unwrap();
+        assert_eq!(o.time(), Some(&Temporal::instant(42)));
+        assert_eq!(o.centroid(), Coord::new(1.0, 2.0));
+        assert_eq!(o.to_string(), "POINT (1 2) @42");
+        assert_eq!(STObject::point(1.0, 2.0).to_string(), "POINT (1 2)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = STObject::from_wkt_interval("POINT(1 2)", 5, 10).unwrap();
+        let json = serde_json::to_string(&o).unwrap();
+        let back: STObject = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+}

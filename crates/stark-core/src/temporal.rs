@@ -1,0 +1,400 @@
+//! Temporal expressions and predicates.
+//!
+//! STARK's `STObject` carries an optional temporal component: either an
+//! instant or an interval (the paper's query example builds an interval
+//! from `begin`/`end` `Long` values). Timestamps here are `i64` ticks
+//! (e.g. epoch seconds or milliseconds — the algebra is unit-agnostic).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A temporal component: a single instant or a (possibly right-open)
+/// interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Temporal {
+    /// One point in time.
+    Instant(i64),
+    /// A half-open interval `[start, end)`. `end = None` means the
+    /// interval extends to infinity ("valid from `start` on").
+    Interval { start: i64, end: Option<i64> },
+}
+
+impl Temporal {
+    /// Creates an instant.
+    pub fn instant(t: i64) -> Self {
+        Temporal::Instant(t)
+    }
+
+    /// Creates a closed-start, open-end interval; panics if `end < start`.
+    pub fn interval(start: i64, end: i64) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Temporal::Interval { start, end: Some(end) }
+    }
+
+    /// Creates an interval open to the right (`[start, ∞)`).
+    pub fn from_instant_on(start: i64) -> Self {
+        Temporal::Interval { start, end: None }
+    }
+
+    /// Earliest covered instant.
+    pub fn start(&self) -> i64 {
+        match self {
+            Temporal::Instant(t) => *t,
+            Temporal::Interval { start, .. } => *start,
+        }
+    }
+
+    /// Exclusive upper bound; `None` for right-open intervals. An instant
+    /// behaves as the degenerate interval `[t, t]` (closed).
+    pub fn end_exclusive(&self) -> Option<i64> {
+        match self {
+            Temporal::Instant(t) => Some(*t),
+            Temporal::Interval { end, .. } => *end,
+        }
+    }
+
+    /// Length of the interval in ticks (0 for instants, `None` if open).
+    pub fn length(&self) -> Option<i64> {
+        match self {
+            Temporal::Instant(_) => Some(0),
+            Temporal::Interval { start, end } => end.map(|e| e - *start),
+        }
+    }
+
+    /// Whether the instant `t` falls inside this temporal expression.
+    pub fn covers_instant(&self, t: i64) -> bool {
+        match self {
+            Temporal::Instant(s) => *s == t,
+            Temporal::Interval { start, end } => {
+                t >= *start && end.is_none_or(|e| t < e || (e == *start && t == e))
+            }
+        }
+    }
+
+    /// Whether the two temporal expressions share at least one instant.
+    pub fn intersects(&self, other: &Temporal) -> bool {
+        match (self, other) {
+            (Temporal::Instant(a), Temporal::Instant(b)) => a == b,
+            (Temporal::Instant(a), iv @ Temporal::Interval { .. })
+            | (iv @ Temporal::Interval { .. }, Temporal::Instant(a)) => iv.covers_instant(*a),
+            (
+                a @ Temporal::Interval { start: s1, end: e1 },
+                b @ Temporal::Interval { start: s2, end: e2 },
+            ) => {
+                // A degenerate interval [s, s) stands for the instant s.
+                let deg1 = *e1 == Some(*s1);
+                let deg2 = *e2 == Some(*s2);
+                match (deg1, deg2) {
+                    (true, _) => b.covers_instant(*s1),
+                    (_, true) => a.covers_instant(*s2),
+                    (false, false) => {
+                        let upper1 = e1.unwrap_or(i64::MAX);
+                        let upper2 = e2.unwrap_or(i64::MAX);
+                        (*s1).max(*s2) < upper1.min(upper2)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether this expression temporally contains `other` entirely.
+    pub fn contains(&self, other: &Temporal) -> bool {
+        match (self, other) {
+            (Temporal::Instant(a), Temporal::Instant(b)) => a == b,
+            (Temporal::Instant(a), Temporal::Interval { start, end }) => {
+                // an instant contains only the degenerate interval at a
+                *start == *a && *end == Some(*a)
+            }
+            (iv @ Temporal::Interval { .. }, Temporal::Instant(b)) => iv.covers_instant(*b),
+            (
+                Temporal::Interval { start: s1, end: e1 },
+                Temporal::Interval { start: s2, end: e2 },
+            ) => {
+                if s2 < s1 {
+                    return false;
+                }
+                match (e1, e2) {
+                    (None, _) => true,
+                    (Some(_), None) => false,
+                    (Some(a), Some(b)) => b <= a,
+                }
+            }
+        }
+    }
+
+    /// Reverse of [`Temporal::contains`].
+    pub fn contained_by(&self, other: &Temporal) -> bool {
+        other.contains(self)
+    }
+}
+
+/// Summary of the temporal components inside one partition — the
+/// time-axis analogue of the spatial extent (§2.1). The paper notes that
+/// "in its current version, STARK only considers the spatial component
+/// for partitioning"; this type is the building block of the temporal
+/// extension: it lets filters prune partitions on the time axis too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalExtent {
+    /// Earliest start among timed members; `None` when no member is timed.
+    pub min_start: Option<i64>,
+    /// Latest (exclusive) end among timed members; `Some(i64::MAX)`
+    /// stands for an open-ended member.
+    pub max_end: Option<i64>,
+    /// Number of members without a temporal component. Needed because an
+    /// untimed query can only ever match untimed members (eq. 2).
+    pub untimed: u64,
+    /// Number of timed members.
+    pub timed: u64,
+}
+
+impl TemporalExtent {
+    /// Extent of an empty partition.
+    pub fn empty() -> Self {
+        TemporalExtent { min_start: None, max_end: None, untimed: 0, timed: 0 }
+    }
+
+    /// Folds one record's temporal component into the extent.
+    pub fn expand(&mut self, time: Option<&Temporal>) {
+        match time {
+            None => self.untimed += 1,
+            Some(t) => {
+                self.timed += 1;
+                let start = t.start();
+                // instants count as the degenerate closed range [t, t+1)
+                let end = match t.end_exclusive() {
+                    Some(e) if e > start => e,
+                    Some(_) => start.saturating_add(1),
+                    None => i64::MAX,
+                };
+                self.min_start = Some(self.min_start.map_or(start, |m| m.min(start)));
+                self.max_end = Some(self.max_end.map_or(end, |m| m.max(end)));
+            }
+        }
+    }
+
+    /// Builds the extent of a record collection.
+    pub fn of<'a, I: IntoIterator<Item = Option<&'a Temporal>>>(times: I) -> Self {
+        let mut e = TemporalExtent::empty();
+        for t in times {
+            e.expand(t);
+        }
+        e
+    }
+
+    /// The covered closed-open time range of the timed members, if any.
+    pub fn range(&self) -> Option<(i64, i64)> {
+        self.min_start.zip(self.max_end)
+    }
+
+    /// Whether a member could *temporally intersect* `query_time` —
+    /// necessary condition for `intersects` and `containedBy` matches
+    /// against a timed query. Sound: never rules out a real match.
+    pub fn may_intersect(&self, query_time: &Temporal) -> bool {
+        let Some((lo, hi)) = self.range() else { return false };
+        let q_lo = query_time.start();
+        let q_hi = match query_time.end_exclusive() {
+            Some(e) if e > q_lo => e,
+            Some(_) => q_lo.saturating_add(1),
+            None => i64::MAX,
+        };
+        lo < q_hi && q_lo < hi
+    }
+
+    /// Whether a member could *temporally contain* `query_time` —
+    /// necessary condition for `contains` matches against a timed query.
+    pub fn may_contain(&self, query_time: &Temporal) -> bool {
+        let Some((lo, hi)) = self.range() else { return false };
+        let q_lo = query_time.start();
+        let q_hi = query_time.end_exclusive().unwrap_or(i64::MAX);
+        lo <= q_lo && hi >= q_hi
+    }
+
+    /// Whether the partition holds any untimed member (the only kind an
+    /// untimed query can match, per eq. 2).
+    pub fn has_untimed(&self) -> bool {
+        self.untimed > 0
+    }
+}
+
+impl Default for TemporalExtent {
+    fn default() -> Self {
+        TemporalExtent::empty()
+    }
+}
+
+impl fmt::Display for Temporal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Temporal::Instant(t) => write!(f, "@{t}"),
+            Temporal::Interval { start, end: Some(e) } => write!(f, "[{start}, {e})"),
+            Temporal::Interval { start, end: None } => write!(f, "[{start}, ∞)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_relations() {
+        let a = Temporal::instant(5);
+        let b = Temporal::instant(5);
+        let c = Temporal::instant(6);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(&b));
+        assert!(!a.contains(&c));
+        assert!(a.contained_by(&b));
+    }
+
+    #[test]
+    fn instant_vs_interval() {
+        let iv = Temporal::interval(10, 20);
+        assert!(iv.intersects(&Temporal::instant(10)));
+        assert!(iv.intersects(&Temporal::instant(15)));
+        assert!(!iv.intersects(&Temporal::instant(20)), "end is exclusive");
+        assert!(!iv.intersects(&Temporal::instant(9)));
+        assert!(iv.contains(&Temporal::instant(15)));
+        assert!(!Temporal::instant(15).contains(&iv));
+        assert!(Temporal::instant(15).contained_by(&iv));
+    }
+
+    #[test]
+    fn interval_overlap() {
+        let a = Temporal::interval(0, 10);
+        let b = Temporal::interval(5, 15);
+        let c = Temporal::interval(10, 20);
+        let d = Temporal::interval(20, 30);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c), "half-open: [0,10) and [10,20) are disjoint");
+        assert!(!a.intersects(&d));
+        assert!(c.intersects(&b));
+    }
+
+    #[test]
+    fn interval_containment() {
+        let outer = Temporal::interval(0, 100);
+        let inner = Temporal::interval(10, 20);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+        assert!(inner.contained_by(&outer));
+    }
+
+    #[test]
+    fn open_ended_intervals() {
+        let open = Temporal::from_instant_on(50);
+        assert!(open.intersects(&Temporal::interval(0, 51)));
+        assert!(!open.intersects(&Temporal::interval(0, 50)));
+        assert!(open.intersects(&Temporal::instant(1_000_000)));
+        assert!(open.contains(&Temporal::interval(60, 70)));
+        assert!(open.contains(&Temporal::from_instant_on(60)));
+        assert!(!open.contains(&Temporal::from_instant_on(40)));
+        assert!(!Temporal::interval(0, 100).contains(&open));
+        assert_eq!(open.length(), None);
+    }
+
+    #[test]
+    fn degenerate_empty_interval_acts_as_instant() {
+        let deg = Temporal::interval(5, 5);
+        assert!(deg.covers_instant(5));
+        assert!(!deg.covers_instant(6));
+        assert!(deg.intersects(&Temporal::instant(5)));
+        assert!(Temporal::interval(0, 10).contains(&deg));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval end")]
+    fn inverted_interval_panics() {
+        Temporal::interval(10, 5);
+    }
+
+    #[test]
+    fn length_and_accessors() {
+        assert_eq!(Temporal::interval(10, 25).length(), Some(15));
+        assert_eq!(Temporal::instant(3).length(), Some(0));
+        assert_eq!(Temporal::interval(10, 25).start(), 10);
+        assert_eq!(Temporal::interval(10, 25).end_exclusive(), Some(25));
+    }
+
+    #[test]
+    fn extent_folds_members() {
+        let times = [
+            Some(Temporal::instant(10)),
+            Some(Temporal::interval(20, 40)),
+            None,
+            Some(Temporal::instant(5)),
+        ];
+        let e = TemporalExtent::of(times.iter().map(|t| t.as_ref()));
+        assert_eq!(e.range(), Some((5, 40)));
+        assert_eq!(e.untimed, 1);
+        assert_eq!(e.timed, 3);
+        assert!(e.has_untimed());
+    }
+
+    #[test]
+    fn extent_open_end_is_infinite() {
+        let e = TemporalExtent::of([Some(&Temporal::from_instant_on(100))]);
+        assert_eq!(e.range(), Some((100, i64::MAX)));
+        assert!(e.may_intersect(&Temporal::instant(1_000_000)));
+        assert!(!e.may_intersect(&Temporal::instant(99)));
+        assert!(e.may_contain(&Temporal::from_instant_on(200)));
+    }
+
+    #[test]
+    fn extent_pruning_is_sound_for_members() {
+        let members = [
+            Temporal::instant(10),
+            Temporal::interval(50, 60),
+            Temporal::interval(5, 15),
+        ];
+        let e = TemporalExtent::of(members.iter().map(Some));
+        let queries = [
+            Temporal::instant(12),
+            Temporal::interval(0, 100),
+            Temporal::interval(55, 58),
+            Temporal::instant(200),
+            Temporal::interval(61, 70),
+        ];
+        for q in &queries {
+            let any_intersect = members.iter().any(|m| m.intersects(q));
+            let any_contain = members.iter().any(|m| m.contains(q));
+            if any_intersect {
+                assert!(e.may_intersect(q), "pruned an intersecting member for {q}");
+            }
+            if any_contain {
+                assert!(e.may_contain(q), "pruned a containing member for {q}");
+            }
+        }
+        // definitely-disjoint queries are pruned
+        assert!(!e.may_intersect(&Temporal::instant(200)));
+        assert!(!e.may_contain(&Temporal::interval(0, 1000)));
+    }
+
+    #[test]
+    fn empty_extent_prunes_timed_queries() {
+        let e = TemporalExtent::empty();
+        assert!(!e.may_intersect(&Temporal::instant(5)));
+        assert!(!e.may_contain(&Temporal::instant(5)));
+        assert!(!e.has_untimed());
+        assert_eq!(e.range(), None);
+    }
+
+    #[test]
+    fn extent_instant_counts_as_unit_range() {
+        let e = TemporalExtent::of([Some(&Temporal::instant(7))]);
+        assert_eq!(e.range(), Some((7, 8)));
+        assert!(e.may_intersect(&Temporal::instant(7)));
+        assert!(!e.may_intersect(&Temporal::instant(8)));
+        assert!(e.may_contain(&Temporal::instant(7)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Temporal::instant(5).to_string(), "@5");
+        assert_eq!(Temporal::interval(1, 2).to_string(), "[1, 2)");
+        assert_eq!(Temporal::from_instant_on(9).to_string(), "[9, ∞)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based tests for the STARK operator layer: the combined
+//! predicate semantics (paper eqs. 1–3), partitioner invariants, and
+//! operator-vs-oracle equivalence on randomised datasets.
+
+use proptest::prelude::*;
+use stark::{
+    BspPartitioner, GridPartitioner, JoinConfig, STObject, STPredicate, SpatialPartitioner,
+    SpatialRddExt, Temporal,
+};
+use stark_engine::Context;
+use stark_geo::{Coord, DistanceFn, Envelope, Geometry};
+use std::sync::Arc;
+
+fn temporal_strategy() -> impl Strategy<Value = Option<Temporal>> {
+    prop_oneof![
+        Just(None),
+        (-1000i64..1000).prop_map(|t| Some(Temporal::instant(t))),
+        (-1000i64..1000, 0i64..500)
+            .prop_map(|(s, len)| Some(Temporal::interval(s, s + len))),
+        (-1000i64..1000).prop_map(|s| Some(Temporal::from_instant_on(s))),
+    ]
+}
+
+fn stobject_strategy() -> impl Strategy<Value = STObject> {
+    let geom = prop_oneof![
+        ((-100.0f64..100.0), (-100.0f64..100.0))
+            .prop_map(|(x, y)| Geometry::point(x, y)),
+        ((-100.0f64..100.0), (-100.0f64..100.0), (0.1f64..40.0), (0.1f64..40.0))
+            .prop_map(|(x, y, w, h)| Geometry::rect(x, y, x + w, y + h)),
+    ];
+    (geom, temporal_strategy()).prop_map(|(g, t)| match t {
+        Some(t) => STObject::with_time(g, t),
+        None => STObject::new(g),
+    })
+}
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(((-50.0f64..50.0), (-50.0f64..50.0)), 1..max)
+}
+
+/// The paper's formal definition, transcribed literally.
+fn formal_predicate(
+    spatial: impl Fn(&Geometry, &Geometry) -> bool,
+    temporal: impl Fn(&Temporal, &Temporal) -> bool,
+    o: &STObject,
+    p: &STObject,
+) -> bool {
+    let clause1 = spatial(o.geo(), p.geo());
+    let clause2 = o.time().is_none() && p.time().is_none();
+    let clause3 = match (o.time(), p.time()) {
+        (Some(a), Some(b)) => temporal(a, b),
+        _ => false,
+    };
+    clause1 && (clause2 || clause3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn combined_predicates_match_formal_definition(
+        o in stobject_strategy(),
+        p in stobject_strategy(),
+    ) {
+        prop_assert_eq!(
+            o.intersects(&p),
+            formal_predicate(Geometry::intersects, Temporal::intersects, &o, &p)
+        );
+        prop_assert_eq!(
+            o.contains(&p),
+            formal_predicate(Geometry::contains, Temporal::contains, &o, &p)
+        );
+        prop_assert_eq!(o.contained_by(&p), p.contains(&o));
+    }
+
+    #[test]
+    fn filter_equals_driver_side_scan(
+        pts in points_strategy(120),
+        (qx, qy, qw, qh) in ((-60.0f64..60.0), (-60.0f64..60.0), (1.0f64..60.0), (1.0f64..60.0)),
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let data: Vec<(STObject, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i))
+            .collect();
+        let rdd = ctx.parallelize(data.clone(), 5).spatial();
+        let query = STObject::new(Geometry::rect(qx, qy, qx + qw, qy + qh));
+
+        for pred in [STPredicate::Intersects, STPredicate::ContainedBy,
+                     STPredicate::within_distance(5.0)] {
+            let mut got: Vec<usize> = rdd
+                .filter(&query, pred)
+                .collect()
+                .into_iter()
+                .map(|(_, i)| i)
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<usize> = data
+                .iter()
+                .filter(|(o, _)| pred.eval(o, &query))
+                .map(|(_, i)| *i)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "predicate {}", pred);
+        }
+    }
+
+    #[test]
+    fn partitioners_are_total_and_extent_sound(
+        pts in points_strategy(200),
+        dims in 1usize..6,
+        max_cost in 5usize..50,
+    ) {
+        let summary: Vec<(Envelope, Coord)> = pts
+            .iter()
+            .map(|&(x, y)| (Envelope::from_point(Coord::new(x, y)), Coord::new(x, y)))
+            .collect();
+        let partitioners: Vec<Arc<dyn SpatialPartitioner>> = vec![
+            Arc::new(GridPartitioner::build(dims, &summary)),
+            Arc::new(BspPartitioner::build(max_cost, 1.0, &summary)),
+        ];
+        for p in partitioners {
+            for (env, c) in &summary {
+                let id = p.partition_for_centroid(c);
+                prop_assert!(id < p.num_partitions(), "{} out of range", p.name());
+                prop_assert!(
+                    p.cells()[id].extent.contains_envelope(env),
+                    "{} extent must cover member", p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_filter_equals_unpartitioned(
+        pts in points_strategy(150),
+        dims in 1usize..5,
+        (qx, qy) in ((-60.0f64..60.0), (-60.0f64..60.0)),
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let data: Vec<(STObject, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i))
+            .collect();
+        let rdd = ctx.parallelize(data, 4).spatial();
+        let query = STObject::new(Geometry::rect(qx, qy, qx + 30.0, qy + 30.0));
+
+        let baseline = rdd.filter(&query, STPredicate::ContainedBy).count();
+        let part = rdd.partition_by(Arc::new(GridPartitioner::build(dims, &rdd.summarize())));
+        prop_assert_eq!(part.filter(&query, STPredicate::ContainedBy).count(), baseline);
+        prop_assert_eq!(part.live_index(4).contained_by(&query).count(), baseline);
+    }
+
+    #[test]
+    fn knn_matches_sorted_scan(
+        pts in points_strategy(150),
+        k in 0usize..20,
+        (qx, qy) in ((-60.0f64..60.0), (-60.0f64..60.0)),
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let data: Vec<(STObject, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i))
+            .collect();
+        let rdd = ctx.parallelize(data.clone(), 6).spatial();
+        let q = STObject::point(qx, qy);
+
+        let got = rdd.knn(&q, k, DistanceFn::Euclidean);
+        let mut expect: Vec<f64> = data
+            .iter()
+            .map(|(o, _)| o.distance(&q, DistanceFn::Euclidean))
+            .collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(k);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g.0 - e).abs() < 1e-9);
+        }
+        // indexed path agrees too
+        let idx = rdd.live_index(4).knn(&q, k, DistanceFn::Euclidean);
+        prop_assert_eq!(idx.len(), got.len());
+        for (g, e) in idx.iter().zip(&expect) {
+            prop_assert!((g.0 - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn self_join_equals_reference(
+        pts in points_strategy(60),
+        dims in 1usize..4,
+    ) {
+        let ctx = Context::with_parallelism(3);
+        let data: Vec<(STObject, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i))
+            .collect();
+        let rdd = ctx.parallelize(data.clone(), 3).spatial();
+        let pred = STPredicate::within_distance(10.0);
+
+        let mut expect: Vec<(usize, usize)> = Vec::new();
+        for (lo, li) in &data {
+            for (ro, ri) in &data {
+                if pred.eval(lo, ro) {
+                    expect.push((*li, *ri));
+                }
+            }
+        }
+        expect.sort_unstable();
+
+        let part = rdd.partition_by(Arc::new(GridPartitioner::build(dims, &rdd.summarize())));
+        for cfg in [JoinConfig::nested_loop(), JoinConfig::live_index(4)] {
+            let mut got: Vec<(usize, usize)> = part
+                .self_join(pred, cfg)
+                .collect()
+                .into_iter()
+                .map(|((_, a), (_, b))| (a, b))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn pruning_mask_is_sound(
+        pts in points_strategy(150),
+        dims in 2usize..6,
+        (qx, qy, qs) in ((-60.0f64..60.0), (-60.0f64..60.0), (1.0f64..40.0)),
+    ) {
+        // Every element matching the predicate must live in an unmasked
+        // partition — pruning may only remove non-matching partitions.
+        let summary: Vec<(Envelope, Coord)> = pts
+            .iter()
+            .map(|&(x, y)| (Envelope::from_point(Coord::new(x, y)), Coord::new(x, y)))
+            .collect();
+        let grid = GridPartitioner::build(dims, &summary);
+        let query = STObject::new(Geometry::rect(qx, qy, qx + qs, qy + qs));
+
+        for pred in [STPredicate::Intersects, STPredicate::ContainedBy,
+                     STPredicate::Contains, STPredicate::within_distance(3.0)] {
+            for &(x, y) in &pts {
+                let o = STObject::point(x, y);
+                if pred.eval(&o, &query) {
+                    let cell = &grid.cells()[grid.partition_of(&o)];
+                    prop_assert!(
+                        pred.partition_may_match(&cell.extent, &query),
+                        "pruned a matching element under {}", pred
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the temporal algebra and the temporal-extent
+//! pruning bounds.
+
+use proptest::prelude::*;
+use stark::{Temporal, TemporalExtent};
+
+fn temporal_strategy() -> impl Strategy<Value = Temporal> {
+    prop_oneof![
+        (-500i64..500).prop_map(Temporal::instant),
+        (-500i64..500, 0i64..300).prop_map(|(s, len)| Temporal::interval(s, s + len)),
+        (-500i64..500).prop_map(Temporal::from_instant_on),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersects_is_symmetric(a in temporal_strategy(), b in temporal_strategy()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn intersects_is_reflexive_for_nonempty(a in temporal_strategy()) {
+        // all generated temporals denote non-empty point sets
+        prop_assert!(a.intersects(&a));
+        prop_assert!(a.contains(&a));
+        prop_assert!(a.contained_by(&a));
+    }
+
+    #[test]
+    fn contains_implies_intersects(a in temporal_strategy(), b in temporal_strategy()) {
+        if a.contains(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn contains_is_transitive(
+        a in temporal_strategy(),
+        b in temporal_strategy(),
+        c in temporal_strategy(),
+    ) {
+        if a.contains(&b) && b.contains(&c) {
+            prop_assert!(a.contains(&c), "{a} ⊇ {b} ⊇ {c} but not {a} ⊇ {c}");
+        }
+    }
+
+    #[test]
+    fn contains_is_antisymmetric_up_to_equality(
+        a in temporal_strategy(),
+        b in temporal_strategy(),
+    ) {
+        if a.contains(&b) && b.contains(&a) {
+            // the two denote the same point set: instant t and the
+            // degenerate interval [t, t] are the only distinct-repr case
+            prop_assert_eq!(a.start(), b.start());
+        }
+    }
+
+    #[test]
+    fn intersects_agrees_with_instant_membership(
+        a in temporal_strategy(),
+        t in -600i64..600,
+    ) {
+        let instant = Temporal::instant(t);
+        prop_assert_eq!(a.intersects(&instant), a.covers_instant(t));
+    }
+
+    #[test]
+    fn interval_intersection_matches_range_overlap(
+        (s1, l1) in (-500i64..500, 1i64..300),
+        (s2, l2) in (-500i64..500, 1i64..300),
+    ) {
+        let a = Temporal::interval(s1, s1 + l1);
+        let b = Temporal::interval(s2, s2 + l2);
+        let overlap = s1.max(s2) < (s1 + l1).min(s2 + l2);
+        prop_assert_eq!(a.intersects(&b), overlap);
+    }
+
+    #[test]
+    fn extent_never_prunes_a_member_match(
+        members in proptest::collection::vec(temporal_strategy(), 1..30),
+        query in temporal_strategy(),
+    ) {
+        let extent = TemporalExtent::of(members.iter().map(Some));
+        if members.iter().any(|m| m.intersects(&query)) {
+            prop_assert!(extent.may_intersect(&query), "pruned an intersect match");
+        }
+        if members.iter().any(|m| m.contains(&query)) {
+            prop_assert!(extent.may_contain(&query), "pruned a contains match");
+        }
+    }
+
+    #[test]
+    fn extent_counts_are_exact(
+        members in proptest::collection::vec(
+            prop_oneof![Just(None), temporal_strategy().prop_map(Some)],
+            0..40,
+        ),
+    ) {
+        let extent = TemporalExtent::of(members.iter().map(|m| m.as_ref()));
+        let timed = members.iter().filter(|m| m.is_some()).count() as u64;
+        prop_assert_eq!(extent.timed, timed);
+        prop_assert_eq!(extent.untimed, members.len() as u64 - timed);
+        prop_assert_eq!(extent.has_untimed(), timed != members.len() as u64);
+        // the range covers every timed member's start
+        if let Some((lo, hi)) = extent.range() {
+            for m in members.iter().flatten() {
+                prop_assert!(m.start() >= lo);
+                // every member's end exceeds its start, and hi is the max
+                // end, so each start lies strictly below hi
+                prop_assert!(m.start() < hi);
+            }
+        } else {
+            prop_assert_eq!(timed, 0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The engine entry point, analogous to Spark's `SparkContext`.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::rdd::Rdd;
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum number of worker threads per job (the "cluster size").
+    pub parallelism: usize,
+    /// Default number of partitions for new datasets.
+    pub default_partitions: usize,
+    /// Human-readable application name, surfaced in panics and logs.
+    pub app_name: String,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        EngineConfig {
+            parallelism: cores,
+            default_partitions: cores,
+            app_name: "stark".to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ContextInner {
+    pub(crate) config: EngineConfig,
+    pub(crate) metrics: Metrics,
+}
+
+/// Handle to the engine; cheap to clone, shared by all datasets it creates.
+#[derive(Debug, Clone)]
+pub struct Context {
+    pub(crate) inner: Arc<ContextInner>,
+}
+
+impl Context {
+    /// Creates a context with the given configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Context { inner: Arc::new(ContextInner { config, metrics: Metrics::default() }) }
+    }
+
+    /// Creates a context with default configuration (one worker per core).
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Creates a context with a fixed worker-thread budget.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        let parallelism = parallelism.max(1);
+        Self::with_config(EngineConfig {
+            parallelism,
+            default_partitions: parallelism,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The configured worker-thread budget.
+    pub fn parallelism(&self) -> usize {
+        self.inner.config.parallelism
+    }
+
+    /// The configured default partition count.
+    pub fn default_partitions(&self) -> usize {
+        self.inner.config.default_partitions
+    }
+
+    /// Distributes a local collection into `num_partitions` chunks,
+    /// mirroring `SparkContext.parallelize`.
+    pub fn parallelize<T: crate::rdd::Data>(
+        &self,
+        data: Vec<T>,
+        num_partitions: usize,
+    ) -> Rdd<T> {
+        Rdd::from_collection(self.clone(), data, num_partitions.max(1))
+    }
+
+    /// [`Context::parallelize`] with the context's default partition count.
+    pub fn parallelize_default<T: crate::rdd::Data>(&self, data: Vec<T>) -> Rdd<T> {
+        let n = self.default_partitions();
+        self.parallelize(data, n)
+    }
+
+    /// Point-in-time copy of the engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    pub(crate) fn raw_metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = Context::new();
+        assert!(c.parallelism() >= 1);
+        assert!(c.default_partitions() >= 1);
+    }
+
+    #[test]
+    fn parallelism_clamped_to_one() {
+        let c = Context::with_parallelism(0);
+        assert_eq!(c.parallelism(), 1);
+    }
+
+    #[test]
+    fn parallelize_splits_into_partitions() {
+        let c = Context::with_parallelism(4);
+        let rdd = c.parallelize((0..10).collect(), 3);
+        assert_eq!(rdd.num_partitions(), 3);
+        assert_eq!(rdd.collect().len(), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! # stark-engine — in-process partitioned dataflow engine
+//!
+//! The reproduction's substitute for Apache Spark. STARK's contributions
+//! are partition-level algorithmics — spatial partitioning, partition
+//! pruning via bounds, per-partition indexing, partition-aligned joins —
+//! so this engine reproduces exactly the Spark machinery those rely on:
+//!
+//! * a lazy DAG of partitioned datasets ([`Rdd`]) with narrow
+//!   transformations, hash/custom shuffles ([`Rdd::partition_by`]),
+//!   caching and `zipPartitions`;
+//! * a bounded thread-pool executor where worker threads stand in for
+//!   cluster nodes (skewed partitions serialise on a worker, just as on
+//!   a real cluster);
+//! * task metrics ([`MetricsSnapshot`]) including a pruned-partition
+//!   counter driven by [`Rdd::with_partition_mask`];
+//! * a directory-backed [`ObjectStore`] standing in for HDFS.
+//!
+//! ```
+//! use stark_engine::Context;
+//!
+//! let ctx = Context::with_parallelism(4);
+//! let sum = ctx.parallelize((1..=100).collect(), 8)
+//!     .filter(|x| x % 2 == 0)
+//!     .map(|x| x as i64)
+//!     .reduce(|a, b| a + b);
+//! assert_eq!(sum, Some(2550));
+//! ```
+
+pub mod context;
+mod executor;
+pub mod metrics;
+pub mod rdd;
+pub mod storage;
+
+pub use context::{Context, EngineConfig};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use rdd::{Data, Lineage, Rdd};
+pub use storage::{ObjectStore, StorageError};

@@ -1,0 +1,107 @@
+//! Engine instrumentation.
+//!
+//! Spark exposes task- and stage-level metrics through its UI; this engine
+//! exposes the counters the STARK evaluation cares about — most notably
+//! how many partition tasks ran and how many were pruned away by spatial
+//! partition bounds (paper §2.1: pruned partitions "decrease the number of
+//! data items to process significantly").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by every job run on a [`crate::Context`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Partition tasks actually executed.
+    pub tasks_launched: AtomicU64,
+    /// Records materialised out of partition computations.
+    pub records_read: AtomicU64,
+    /// Partition tasks skipped by predicate-driven pruning.
+    pub partitions_pruned: AtomicU64,
+    /// Shuffles (full re-partitioning passes) performed.
+    pub shuffles: AtomicU64,
+    /// Actions (jobs) started.
+    pub jobs: AtomicU64,
+}
+
+impl Metrics {
+    pub fn inc_tasks(&self, n: u64) {
+        self.tasks_launched.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_records(&self, n: u64) {
+        self.records_read.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_pruned(&self, n: u64) {
+        self.partitions_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_shuffles(&self) {
+        self.shuffles.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_jobs(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_launched: self.tasks_launched.load(Ordering::Relaxed),
+            records_read: self.records_read.load(Ordering::Relaxed),
+            partitions_pruned: self.partitions_pruned.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data view of [`Metrics`], cheap to copy and diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub tasks_launched: u64,
+    pub records_read: u64,
+    pub partitions_pruned: u64,
+    pub shuffles: u64,
+    pub jobs: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_launched: self.tasks_launched - earlier.tasks_launched,
+            records_read: self.records_read - earlier.records_read,
+            partitions_pruned: self.partitions_pruned - earlier.partitions_pruned,
+            shuffles: self.shuffles - earlier.shuffles,
+            jobs: self.jobs - earlier.jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.inc_tasks(3);
+        m.inc_records(100);
+        m.inc_pruned(2);
+        m.inc_shuffles();
+        m.inc_jobs();
+        let s = m.snapshot();
+        assert_eq!(s.tasks_launched, 3);
+        assert_eq!(s.records_read, 100);
+        assert_eq!(s.partitions_pruned, 2);
+        assert_eq!(s.shuffles, 1);
+        assert_eq!(s.jobs, 1);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let m = Metrics::default();
+        m.inc_tasks(5);
+        let before = m.snapshot();
+        m.inc_tasks(7);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.tasks_launched, 7);
+    }
+}

@@ -1,0 +1,1045 @@
+//! Resilient-distributed-dataset lookalike: a lazy, partitioned,
+//! immutable dataset with narrow transformations, shuffles and actions.
+//!
+//! The DAG is built from `Arc<dyn RddImpl>` nodes; nothing executes until
+//! an action runs partition tasks on the context's thread pool. This is
+//! the minimal subset of Spark's RDD model that STARK's operators need:
+//! `map`/`filter`/`flatMap`/`mapPartitions`, `partitionBy` (shuffle),
+//! `union`, `zipPartitions` for partition-aligned joins, caching, and a
+//! partition-mask operator used for spatial partition pruning.
+
+use crate::context::Context;
+use crate::executor;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, OnceLock};
+
+/// Bound alias for everything that can live in a dataset.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// A node in the dataset DAG: how many partitions, and how to compute one.
+pub(crate) trait RddImpl<T: Data>: Send + Sync {
+    fn num_partitions(&self) -> usize;
+    fn compute(&self, partition: usize) -> Vec<T>;
+}
+
+/// A lazy partitioned dataset. Cheap to clone (clones share the DAG).
+#[derive(Clone)]
+pub struct Rdd<T: Data> {
+    pub(crate) ctx: Context,
+    pub(crate) inner: Arc<dyn RddImpl<T>>,
+    lineage: Arc<Lineage>,
+}
+
+/// Lineage node describing how a dataset was derived — the engine's
+/// equivalent of Spark's `RDD.toDebugString`.
+#[derive(Debug)]
+pub struct Lineage {
+    /// Operator description, e.g. `Shuffle(16)`.
+    pub op: String,
+    /// Lineage of the input datasets.
+    pub parents: Vec<Arc<Lineage>>,
+}
+
+impl Lineage {
+    fn leaf(op: impl Into<String>) -> Arc<Lineage> {
+        Arc::new(Lineage { op: op.into(), parents: Vec::new() })
+    }
+
+    fn derived(op: impl Into<String>, parents: Vec<Arc<Lineage>>) -> Arc<Lineage> {
+        Arc::new(Lineage { op: op.into(), parents })
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        out.push_str(&self.op);
+        out.push('\n');
+        for p in &self.parents {
+            p.render(indent + 1, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sources
+// ---------------------------------------------------------------------------
+
+struct ParallelCollection<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Data> RddImpl<T> for ParallelCollection<T> {
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        self.partitions[partition].clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// narrow transformations
+// ---------------------------------------------------------------------------
+
+struct MapPartitionsRdd<T: Data, U: Data> {
+    parent: Arc<dyn RddImpl<T>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize, Vec<T>) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> RddImpl<U> for MapPartitionsRdd<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<U> {
+        (self.f)(partition, self.parent.compute(partition))
+    }
+}
+
+struct UnionRdd<T: Data> {
+    parents: Vec<Arc<dyn RddImpl<T>>>,
+}
+
+impl<T: Data> RddImpl<T> for UnionRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        let mut idx = partition;
+        for p in &self.parents {
+            if idx < p.num_partitions() {
+                return p.compute(idx);
+            }
+            idx -= p.num_partitions();
+        }
+        panic!("partition {partition} out of range for union");
+    }
+}
+
+/// Skips computing masked-out partitions entirely; the engine-level hook
+/// behind STARK's partition pruning.
+struct MaskRdd<T: Data> {
+    ctx: Context,
+    parent: Arc<dyn RddImpl<T>>,
+    mask: Vec<bool>,
+}
+
+impl<T: Data> RddImpl<T> for MaskRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        if self.mask[partition] {
+            self.parent.compute(partition)
+        } else {
+            self.ctx.raw_metrics().inc_pruned(1);
+            Vec::new()
+        }
+    }
+}
+
+struct ZipPartitionsRdd<A: Data, B: Data, R: Data> {
+    left: Arc<dyn RddImpl<A>>,
+    right: Arc<dyn RddImpl<B>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize, Vec<A>, Vec<B>) -> Vec<R> + Send + Sync>,
+}
+
+impl<A: Data, B: Data, R: Data> RddImpl<R> for ZipPartitionsRdd<A, B, R> {
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<R> {
+        (self.f)(partition, self.left.compute(partition), self.right.compute(partition))
+    }
+}
+
+struct PartitionPairJoinRdd<A: Data, B: Data, R: Data> {
+    left: Arc<dyn RddImpl<A>>,
+    right: Arc<dyn RddImpl<B>>,
+    pairs: Vec<(usize, usize)>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(Vec<A>, Vec<B>) -> Vec<R> + Send + Sync>,
+}
+
+impl<A: Data, B: Data, R: Data> RddImpl<R> for PartitionPairJoinRdd<A, B, R> {
+    fn num_partitions(&self) -> usize {
+        self.pairs.len()
+    }
+    fn compute(&self, partition: usize) -> Vec<R> {
+        let (i, j) = self.pairs[partition];
+        (self.f)(self.left.compute(i), self.right.compute(j))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shuffle and cache
+// ---------------------------------------------------------------------------
+
+struct ShuffledRdd<T: Data> {
+    ctx: Context,
+    parent: Arc<dyn RddImpl<T>>,
+    #[allow(clippy::type_complexity)]
+    partition_fn: Arc<dyn Fn(&T) -> usize + Send + Sync>,
+    num_partitions: usize,
+    buckets: OnceLock<Vec<Vec<T>>>,
+}
+
+impl<T: Data> ShuffledRdd<T> {
+    fn materialize(&self) -> &Vec<Vec<T>> {
+        self.buckets.get_or_init(|| {
+            self.ctx.raw_metrics().inc_shuffles();
+            let per_partition: Vec<Vec<Vec<T>>> =
+                executor::run_partitions(&self.ctx, &self.parent, |_, data| {
+                    let mut buckets: Vec<Vec<T>> =
+                        (0..self.num_partitions).map(|_| Vec::new()).collect();
+                    for item in data {
+                        let b = (self.partition_fn)(&item) % self.num_partitions;
+                        buckets[b].push(item);
+                    }
+                    buckets
+                });
+            let mut merged: Vec<Vec<T>> =
+                (0..self.num_partitions).map(|_| Vec::new()).collect();
+            for mut task_buckets in per_partition {
+                for (i, b) in task_buckets.drain(..).enumerate() {
+                    merged[i].extend(b);
+                }
+            }
+            merged
+        })
+    }
+}
+
+impl<T: Data> RddImpl<T> for ShuffledRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        self.materialize()[partition].clone()
+    }
+}
+
+struct CachedRdd<T: Data> {
+    parent: Arc<dyn RddImpl<T>>,
+    cells: Vec<OnceLock<Vec<T>>>,
+}
+
+impl<T: Data> RddImpl<T> for CachedRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        self.cells[partition].get_or_init(|| self.parent.compute(partition)).clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the public API
+// ---------------------------------------------------------------------------
+
+impl<T: Data> Rdd<T> {
+    pub(crate) fn from_collection(ctx: Context, data: Vec<T>, num_partitions: usize) -> Self {
+        let total = data.len();
+        let num_partitions = num_partitions.max(1);
+        let chunk = total.div_ceil(num_partitions).max(1);
+        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(num_partitions);
+        let mut iter = data.into_iter();
+        for _ in 0..num_partitions {
+            partitions.push(iter.by_ref().take(chunk).collect());
+        }
+        let lineage =
+            Lineage::leaf(format!("ParallelCollection[{total} records, {num_partitions} partitions]"));
+        Rdd { ctx, inner: Arc::new(ParallelCollection { partitions }), lineage }
+    }
+
+    fn derive<U: Data>(&self, op: impl Into<String>, inner: Arc<dyn RddImpl<U>>) -> Rdd<U> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner,
+            lineage: Lineage::derived(op, vec![self.lineage.clone()]),
+        }
+    }
+
+    /// Renders the operator lineage of this dataset, root-first — the
+    /// engine's answer to Spark's `toDebugString`.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.lineage.render(0, &mut out);
+        out
+    }
+
+    /// The lineage root of this dataset.
+    pub fn lineage(&self) -> &Arc<Lineage> {
+        &self.lineage
+    }
+
+    /// The context that owns this dataset.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.inner.num_partitions()
+    }
+
+    // -- narrow transformations ------------------------------------------
+
+    /// Element-wise transformation.
+    pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
+        self.named_map_partitions("Map", move |_, data| data.into_iter().map(&f).collect())
+    }
+
+    /// Keeps elements satisfying the predicate.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        self.named_map_partitions("Filter", move |_, data| {
+            data.into_iter().filter(|t| f(t)).collect()
+        })
+    }
+
+    /// Element-wise one-to-many transformation.
+    pub fn flat_map<U: Data, I>(&self, f: impl Fn(T) -> I + Send + Sync + 'static) -> Rdd<U>
+    where
+        I: IntoIterator<Item = U>,
+    {
+        self.named_map_partitions("FlatMap", move |_, data| {
+            data.into_iter().flat_map(&f).collect()
+        })
+    }
+
+    /// Whole-partition transformation.
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.named_map_partitions("MapPartitions", move |_, data| f(data))
+    }
+
+    /// Whole-partition transformation that also receives the partition id.
+    pub fn map_partitions_with_index<U: Data>(
+        &self,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.named_map_partitions("MapPartitions", f)
+    }
+
+    fn named_map_partitions<U: Data>(
+        &self,
+        op: &str,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.derive(op, Arc::new(MapPartitionsRdd { parent: self.inner.clone(), f: Arc::new(f) }))
+    }
+
+    /// Concatenation of the two datasets' partition lists.
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner: Arc::new(UnionRdd { parents: vec![self.inner.clone(), other.inner.clone()] }),
+            lineage: Lineage::derived(
+                "Union",
+                vec![self.lineage.clone(), other.lineage.clone()],
+            ),
+        }
+    }
+
+    /// Masks out partitions: a `false` entry makes the corresponding
+    /// partition compute to empty *without* touching its parent. The
+    /// engine counts each skip in
+    /// [`MetricsSnapshot::partitions_pruned`](crate::metrics::MetricsSnapshot).
+    pub fn with_partition_mask(&self, mask: Vec<bool>) -> Rdd<T> {
+        assert_eq!(
+            mask.len(),
+            self.num_partitions(),
+            "mask length must equal partition count"
+        );
+        let skipped = mask.iter().filter(|m| !**m).count();
+        self.derive(
+            format!("PartitionMask[{skipped} of {} pruned]", mask.len()),
+            Arc::new(MaskRdd { ctx: self.ctx.clone(), parent: self.inner.clone(), mask }),
+        )
+    }
+
+    /// Pairs up equal-numbered partitions of two datasets. Panics at
+    /// action time if the partition counts differ.
+    pub fn zip_partitions<B: Data, R: Data>(
+        &self,
+        other: &Rdd<B>,
+        f: impl Fn(usize, Vec<T>, Vec<B>) -> Vec<R> + Send + Sync + 'static,
+    ) -> Rdd<R> {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "zip_partitions requires equal partition counts"
+        );
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner: Arc::new(ZipPartitionsRdd {
+                left: self.inner.clone(),
+                right: other.inner.clone(),
+                f: Arc::new(f),
+            }),
+            lineage: Lineage::derived(
+                "ZipPartitions",
+                vec![self.lineage.clone(), other.lineage.clone()],
+            ),
+        }
+    }
+
+    /// Joins selected partition pairs of two datasets: output partition
+    /// `p` computes `f(left[pairs[p].0], right[pairs[p].1])`.
+    ///
+    /// This is the partition-pair join scheme STARK uses for spatial
+    /// joins: only pairs whose partition extents can satisfy the join
+    /// predicate are listed, and each pair is evaluated exactly once, so
+    /// no duplicate elimination is needed. Callers should [`Rdd::cache`]
+    /// inputs whose partitions appear in several pairs.
+    pub fn join_partition_pairs<B: Data, R: Data>(
+        &self,
+        other: &Rdd<B>,
+        pairs: Vec<(usize, usize)>,
+        f: impl Fn(Vec<T>, Vec<B>) -> Vec<R> + Send + Sync + 'static,
+    ) -> Rdd<R> {
+        let ln = self.num_partitions();
+        let rn = other.num_partitions();
+        for &(i, j) in &pairs {
+            assert!(i < ln && j < rn, "partition pair ({i}, {j}) out of range");
+        }
+        let n_pairs = pairs.len();
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner: Arc::new(PartitionPairJoinRdd {
+                left: self.inner.clone(),
+                right: other.inner.clone(),
+                pairs,
+                f: Arc::new(f),
+            }),
+            lineage: Lineage::derived(
+                format!("PartitionPairJoin[{n_pairs} pairs of {ln}x{rn}]"),
+                vec![self.lineage.clone(), other.lineage.clone()],
+            ),
+        }
+    }
+
+    // -- shuffle / cache ---------------------------------------------------
+
+    /// Re-distributes every element to the partition chosen by `f`
+    /// (modulo `num_partitions`). This is the engine's shuffle; STARK's
+    /// spatial partitioners plug in here, mirroring `RDD.partitionBy`.
+    pub fn partition_by(
+        &self,
+        num_partitions: usize,
+        f: impl Fn(&T) -> usize + Send + Sync + 'static,
+    ) -> Rdd<T> {
+        let num_partitions = num_partitions.max(1);
+        self.derive(
+            format!("Shuffle[{num_partitions} partitions]"),
+            Arc::new(ShuffledRdd {
+                ctx: self.ctx.clone(),
+                parent: self.inner.clone(),
+                partition_fn: Arc::new(f),
+                num_partitions,
+                buckets: OnceLock::new(),
+            }),
+        )
+    }
+
+    /// Memoises each partition after its first computation.
+    pub fn cache(&self) -> Rdd<T> {
+        let cells = (0..self.num_partitions()).map(|_| OnceLock::new()).collect();
+        self.derive("Cache", Arc::new(CachedRdd { parent: self.inner.clone(), cells }))
+    }
+
+    // -- actions ------------------------------------------------------------
+
+    /// Runs `f` over every partition in parallel and returns the results
+    /// in partition order. The building block for all other actions.
+    pub fn run_partitions<R: Send>(
+        &self,
+        f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+    ) -> Vec<R> {
+        self.ctx.raw_metrics().inc_jobs();
+        executor::run_partitions(&self.ctx, &self.inner, f)
+    }
+
+    /// Materialises the whole dataset in partition order.
+    pub fn collect(&self) -> Vec<T> {
+        self.run_partitions(|_, data| data).into_iter().flatten().collect()
+    }
+
+    /// Materialises the dataset keeping partition boundaries.
+    pub fn glom(&self) -> Vec<Vec<T>> {
+        self.run_partitions(|_, data| data)
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.run_partitions(|_, data| data.len()).into_iter().sum()
+    }
+
+    /// Number of elements in each partition.
+    pub fn count_per_partition(&self) -> Vec<usize> {
+        self.run_partitions(|_, data| data.len())
+    }
+
+    /// Combines all elements with an associative function; `None` when
+    /// the dataset is empty.
+    pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync) -> Option<T> {
+        self.run_partitions(|_, data| data.into_iter().reduce(&f))
+            .into_iter()
+            .flatten()
+            .reduce(&f)
+    }
+
+    /// Folds each partition from `zero`, then folds the partials.
+    pub fn fold<A: Send + Sync + Clone>(
+        &self,
+        zero: A,
+        f: impl Fn(A, T) -> A + Send + Sync,
+        combine: impl Fn(A, A) -> A,
+    ) -> A {
+        self.run_partitions(|_, data| data.into_iter().fold(zero.clone(), &f))
+            .into_iter()
+            .fold(zero, combine)
+    }
+
+    /// At most `n` elements, taken in partition order.
+    pub fn take(&self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        for part in self.glom() {
+            for item in part {
+                if out.len() == n {
+                    return out;
+                }
+                out.push(item);
+            }
+        }
+        out
+    }
+
+    /// The first element, if any.
+    pub fn first(&self) -> Option<T> {
+        self.take(1).into_iter().next()
+    }
+
+    /// Distributed sample-sort: range-partitions the data on a sampled
+    /// key distribution, then sorts each partition locally — Spark's
+    /// `sortBy` scheme. The result is globally sorted across partition
+    /// boundaries (partition *i* ≤ partition *i+1*).
+    pub fn sort_by<K: Data + Ord>(
+        &self,
+        num_partitions: usize,
+        key: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Rdd<T> {
+        let num_partitions = num_partitions.max(1);
+        let key = Arc::new(key);
+
+        // 1. Sample keys and derive range splitters.
+        let k1 = key.clone();
+        let mut sampled: Vec<K> = self.sample(0.1, 0x5eed).map(move |t| k1(&t)).collect();
+        if sampled.len() < num_partitions * 4 {
+            // tiny inputs: sample everything
+            let k2 = key.clone();
+            sampled = self.map(move |t| k2(&t)).collect();
+        }
+        sampled.sort();
+        let mut splitters: Vec<K> = Vec::with_capacity(num_partitions.saturating_sub(1));
+        for i in 1..num_partitions {
+            if sampled.is_empty() {
+                break;
+            }
+            let idx = (i * sampled.len() / num_partitions).min(sampled.len() - 1);
+            splitters.push(sampled[idx].clone());
+        }
+        splitters.dedup();
+
+        // 2. Range shuffle + local sort.
+        let k3 = key.clone();
+        let shuffled = self.partition_by(splitters.len() + 1, move |t| {
+            let k = k3(t);
+            splitters.partition_point(|s| *s <= k)
+        });
+        let k4 = key.clone();
+        shuffled.map_partitions(move |mut data| {
+            data.sort_by_key(|t| k4(t));
+            data
+        })
+    }
+
+    /// Bernoulli sample: keeps each element independently with
+    /// probability `fraction`. Deterministic for a given seed and
+    /// partitioning (a splitmix64 stream per partition).
+    pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.map_partitions_with_index(move |part, data| {
+            let mut state = seed ^ (part as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            data.into_iter()
+                .filter(|_| {
+                    state = splitmix64(state);
+                    // uniform draw in [0, 1)
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    u < fraction
+                })
+                .collect()
+        })
+    }
+
+    /// Pairs every element with a dataset-wide sequential index.
+    pub fn zip_with_index(&self) -> Rdd<(u64, T)> {
+        let counts = self.count_per_partition();
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut acc = 0u64;
+        for c in counts {
+            offsets.push(acc);
+            acc += c as u64;
+        }
+        self.map_partitions_with_index(move |i, data| {
+            let base = offsets[i];
+            data.into_iter()
+                .enumerate()
+                .map(|(j, t)| (base + j as u64, t))
+                .collect()
+        })
+    }
+}
+
+/// splitmix64 step — a tiny, high-quality PRNG for sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<T: Data + Hash + Eq> Rdd<T> {
+    /// Removes duplicates via a hash shuffle into `num_partitions` buckets.
+    pub fn distinct(&self, num_partitions: usize) -> Rdd<T> {
+        self.partition_by(num_partitions, |t| {
+            use std::hash::Hasher;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish() as usize
+        })
+        .map_partitions(|data| {
+            let mut seen = std::collections::HashSet::with_capacity(data.len());
+            data.into_iter().filter(|t| seen.insert(t.clone())).collect()
+        })
+    }
+}
+
+impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
+    fn hash_of(k: &K) -> usize {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        k.hash(&mut h);
+        h.finish() as usize
+    }
+
+    /// Hash-partitions by key, mirroring Spark's `HashPartitioner`.
+    pub fn partition_by_key(&self, num_partitions: usize) -> Rdd<(K, V)> {
+        self.partition_by(num_partitions, |(k, _)| Self::hash_of(k))
+    }
+
+    /// Groups values by key after a hash shuffle.
+    pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)> {
+        self.partition_by_key(num_partitions).map_partitions(|data| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in data {
+                groups.entry(k).or_default().push(v);
+            }
+            groups.into_iter().collect()
+        })
+    }
+
+    /// Transforms values, keeping keys (and partitioning) intact.
+    pub fn map_values<U: Data>(
+        &self,
+        f: impl Fn(V) -> U + Send + Sync + 'static,
+    ) -> Rdd<(K, U)> {
+        self.map(move |(k, v)| (k, f(v)))
+    }
+
+    /// Projects the keys.
+    pub fn keys(&self) -> Rdd<K> {
+        self.map(|(k, _)| k)
+    }
+
+    /// Projects the values.
+    pub fn values(&self) -> Rdd<V> {
+        self.map(|(_, v)| v)
+    }
+
+    /// Number of records per key, gathered on the driver.
+    pub fn count_by_key(&self) -> HashMap<K, u64> {
+        self.map_values(|_| 1u64)
+            .reduce_by_key(self.num_partitions().max(1), |a, b| a + b)
+            .collect()
+            .into_iter()
+            .collect()
+    }
+
+    /// Per-key reduction after a hash shuffle.
+    pub fn reduce_by_key(
+        &self,
+        num_partitions: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)> {
+        self.partition_by_key(num_partitions).map_partitions(move |data| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in data {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        acc.insert(k, f(prev, v));
+                    }
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::Context;
+
+    fn ctx() -> Context {
+        Context::with_parallelism(4)
+    }
+
+    #[test]
+    fn map_filter_flatmap() {
+        let c = ctx();
+        let r = c.parallelize((0..100).collect(), 7);
+        assert_eq!(r.map(|x| x * 2).collect(), (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(r.filter(|x| x % 2 == 0).count(), 50);
+        assert_eq!(r.flat_map(|x| vec![x, x]).count(), 200);
+    }
+
+    #[test]
+    fn collect_preserves_partition_order() {
+        let c = ctx();
+        let data: Vec<i64> = (0..1000).collect();
+        let r = c.parallelize(data.clone(), 13);
+        assert_eq!(r.collect(), data);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let c = ctx();
+        let r = c.parallelize(Vec::<i32>::new(), 4);
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.collect(), Vec::<i32>::new());
+        assert_eq!(r.reduce(|a, b| a + b), None);
+        assert_eq!(r.first(), None);
+    }
+
+    #[test]
+    fn more_partitions_than_elements() {
+        let c = ctx();
+        let r = c.parallelize(vec![1, 2, 3], 10);
+        assert_eq!(r.num_partitions(), 10);
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reduce_and_fold() {
+        let c = ctx();
+        let r = c.parallelize((1..=100).collect(), 9);
+        assert_eq!(r.reduce(|a, b| a + b), Some(5050));
+        assert_eq!(r.fold(0i64, |a, b| a + b as i64, |a, b| a + b), 5050);
+    }
+
+    #[test]
+    fn take_and_first() {
+        let c = ctx();
+        let r = c.parallelize((0..50).collect(), 6);
+        assert_eq!(r.take(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.take(0), Vec::<i32>::new());
+        assert_eq!(r.take(500).len(), 50);
+        assert_eq!(r.first(), Some(0));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = c.parallelize(vec![1, 2], 2);
+        let b = c.parallelize(vec![3, 4, 5], 2);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 4);
+        assert_eq!(u.collect(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn partition_by_routes_elements() {
+        let c = ctx();
+        let r = c.parallelize((0..100).collect(), 5).partition_by(4, |x| (*x % 4) as usize);
+        assert_eq!(r.num_partitions(), 4);
+        let parts = r.glom();
+        for (i, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), 25);
+            assert!(part.iter().all(|x| (*x % 4) as usize == i));
+        }
+        // shuffle was counted
+        assert!(c.metrics().shuffles >= 1);
+    }
+
+    #[test]
+    fn partition_mask_skips_and_counts() {
+        let c = ctx();
+        let r = c.parallelize((0..100).collect(), 4);
+        let masked = r.with_partition_mask(vec![true, false, true, false]);
+        let before = c.metrics();
+        let n = masked.count();
+        assert_eq!(n, 50);
+        let delta = c.metrics().since(&before);
+        assert_eq!(delta.partitions_pruned, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn partition_mask_length_checked() {
+        let c = ctx();
+        c.parallelize(vec![1], 2).with_partition_mask(vec![true]);
+    }
+
+    #[test]
+    fn zip_partitions_pairs_up() {
+        let c = ctx();
+        let a = c.parallelize((0..10).collect(), 2);
+        let b = c.parallelize((100..110).collect(), 2);
+        let z = a.zip_partitions(&b, |_, xs, ys| {
+            xs.into_iter().zip(ys).map(|(x, y)| x + y).collect()
+        });
+        assert_eq!(z.collect(), (0..10).map(|i| 100 + 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cache_computes_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let c = ctx();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        let r = c
+            .parallelize((0..10).collect(), 2)
+            .map(move |x| {
+                hits2.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .cache();
+        assert_eq!(r.count(), 10);
+        assert_eq!(r.count(), 10);
+        assert_eq!(r.collect().len(), 10);
+        assert_eq!(hits.load(Ordering::Relaxed), 10, "map ran once per element");
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let c = ctx();
+        let r = c.parallelize(vec![1, 2, 2, 3, 3, 3, 4], 3).distinct(4);
+        let mut got = r.collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn group_by_key_and_reduce_by_key() {
+        let c = ctx();
+        let pairs: Vec<(u32, u32)> = (0..30).map(|i| (i % 3, i)).collect();
+        let r = c.parallelize(pairs, 5);
+        let grouped = r.group_by_key(4);
+        let mut sizes: Vec<(u32, usize)> =
+            grouped.collect().into_iter().map(|(k, vs)| (k, vs.len())).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![(0, 10), (1, 10), (2, 10)]);
+
+        let mut sums = r.reduce_by_key(4, |a, b| a + b).collect();
+        sums.sort_unstable();
+        let expect: Vec<(u32, u32)> = vec![
+            (0, (0..30).filter(|i| i % 3 == 0).sum()),
+            (1, (0..30).filter(|i| i % 3 == 1).sum()),
+            (2, (0..30).filter(|i| i % 3 == 2).sum()),
+        ];
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn sort_by_produces_global_order() {
+        let c = ctx();
+        let data: Vec<i64> = (0..2000).map(|i| (i * 7919) % 4093).collect();
+        let sorted = c.parallelize(data.clone(), 7).sort_by(5, |x| *x);
+        let collected = sorted.collect();
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(collected, expect, "globally sorted across partitions");
+        // partitions form non-overlapping ranges
+        let glommed = sorted.glom();
+        let mut prev_max = i64::MIN;
+        for part in glommed.iter().filter(|p| !p.is_empty()) {
+            assert!(part.first().unwrap() >= &prev_max);
+            prev_max = *part.last().unwrap();
+        }
+    }
+
+    #[test]
+    fn sort_by_handles_duplicates_and_tiny_inputs() {
+        let c = ctx();
+        let sorted = c.parallelize(vec![5, 5, 5, 1, 1], 3).sort_by(4, |x| *x);
+        assert_eq!(sorted.collect(), vec![1, 1, 5, 5, 5]);
+        let empty: Vec<i32> = Vec::new();
+        assert_eq!(c.parallelize(empty, 2).sort_by(3, |x| *x).count(), 0);
+    }
+
+    #[test]
+    fn sort_by_key_projection() {
+        let c = ctx();
+        let pairs: Vec<(String, u32)> =
+            vec![("b".into(), 2), ("a".into(), 1), ("c".into(), 3), ("a".into(), 0)];
+        let sorted = c.parallelize(pairs, 2).sort_by(2, |(k, _)| k.clone());
+        let keys: Vec<String> = sorted.collect().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let c = ctx();
+        let r = c.parallelize((0..10_000).collect(), 8);
+        let a = r.sample(0.3, 42).collect();
+        let b = r.sample(0.3, 42).collect();
+        assert_eq!(a, b, "same seed, same sample");
+        let n = a.len() as f64;
+        assert!((n - 3000.0).abs() < 300.0, "got {n} of ~3000");
+        let other = r.sample(0.3, 43).collect();
+        assert_ne!(a, other, "different seed, different sample");
+        assert_eq!(r.sample(0.0, 1).count(), 0);
+        assert_eq!(r.sample(1.0, 1).count(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn sample_validates_fraction() {
+        let c = ctx();
+        c.parallelize(vec![1], 1).sample(1.5, 0);
+    }
+
+    #[test]
+    fn explain_renders_lineage() {
+        let c = ctx();
+        let r = c
+            .parallelize((0..100).collect(), 4)
+            .filter(|x| x % 2 == 0)
+            .map(|x| x * 2)
+            .partition_by(3, |x| *x as usize)
+            .cache();
+        let plan = r.explain();
+        let lines: Vec<&str> = plan.lines().collect();
+        assert_eq!(lines[0], "Cache");
+        assert!(lines[1].trim_start().starts_with("Shuffle[3"));
+        assert_eq!(lines[2].trim_start(), "Map");
+        assert_eq!(lines[3].trim_start(), "Filter");
+        assert!(lines[4].trim_start().starts_with("ParallelCollection[100"));
+    }
+
+    #[test]
+    fn explain_shows_both_join_parents() {
+        let c = ctx();
+        let a = c.parallelize(vec![1, 2], 1);
+        let b = c.parallelize(vec![3], 1);
+        let u = a.union(&b);
+        let plan = u.explain();
+        assert!(plan.starts_with("Union"));
+        assert_eq!(plan.matches("ParallelCollection").count(), 2);
+
+        let j = a.join_partition_pairs(&b, vec![(0, 0)], |x, _y: Vec<i32>| x);
+        assert!(j.explain().starts_with("PartitionPairJoin[1 pairs"));
+    }
+
+    #[test]
+    fn explain_reports_pruned_mask() {
+        let c = ctx();
+        let r = c.parallelize((0..8).collect(), 4).with_partition_mask(vec![
+            true, false, false, true,
+        ]);
+        assert!(r.explain().starts_with("PartitionMask[2 of 4 pruned]"), "{}", r.explain());
+    }
+
+    #[test]
+    fn pair_conveniences() {
+        let c = ctx();
+        let pairs: Vec<(u32, u32)> = (0..20).map(|i| (i % 4, i)).collect();
+        let r = c.parallelize(pairs, 3);
+        assert_eq!(r.keys().count(), 20);
+        assert_eq!(r.values().collect(), (0..20).collect::<Vec<u32>>());
+        let doubled = r.map_values(|v| v * 2);
+        assert_eq!(doubled.collect()[3], (3, 6));
+        let counts = r.count_by_key();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.values().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn zip_with_index_is_sequential() {
+        let c = ctx();
+        let r = c.parallelize((100..200).collect(), 7).zip_with_index();
+        let collected = r.collect();
+        for (expected_idx, (idx, val)) in collected.iter().enumerate() {
+            assert_eq!(*idx, expected_idx as u64);
+            assert_eq!(*val, 100 + expected_idx as i32);
+        }
+    }
+
+    #[test]
+    fn chained_pipeline() {
+        let c = ctx();
+        let result = c
+            .parallelize((0..1000).collect(), 8)
+            .filter(|x| x % 3 == 0)
+            .map(|x| x * 2)
+            .partition_by(4, |x| (*x as usize) / 500)
+            .map(|x| x + 1)
+            .count();
+        assert_eq!(result, 334);
+    }
+
+    #[test]
+    fn join_partition_pairs_evaluates_selected_pairs() {
+        let c = ctx();
+        let left = c.parallelize(vec![1, 2, 3, 4], 2).cache(); // [1,2] [3,4]
+        let right = c.parallelize(vec![10, 20], 2).cache(); // [10] [20]
+        let joined = left.join_partition_pairs(&right, vec![(0, 0), (1, 1)], |xs, ys| {
+            xs.into_iter().flat_map(|x| ys.iter().map(move |y| x + y)).collect()
+        });
+        assert_eq!(joined.num_partitions(), 2);
+        assert_eq!(joined.collect(), vec![11, 12, 23, 24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn join_partition_pairs_validates_ranges() {
+        let c = ctx();
+        let left = c.parallelize(vec![1], 1);
+        let right = c.parallelize(vec![2], 1);
+        left.join_partition_pairs(&right, vec![(0, 5)], |a, _b: Vec<i32>| a);
+    }
+
+    #[test]
+    fn metrics_count_tasks_and_records() {
+        let c = ctx();
+        let before = c.metrics();
+        let r = c.parallelize((0..100).collect(), 4);
+        r.count();
+        let delta = c.metrics().since(&before);
+        assert_eq!(delta.tasks_launched, 4);
+        assert_eq!(delta.records_read, 100);
+        assert_eq!(delta.jobs, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! A directory-backed object store — the reproduction's stand-in for
+//! HDFS (paper Figure 2: raw data and persisted indexes live in HDFS and
+//! are re-loaded by later programs).
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Errors from object-store operations.
+#[derive(Debug)]
+pub enum StorageError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+    InvalidKey(String),
+    NotFound(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Serde(e) => write!(f, "storage (de)serialisation error: {e}"),
+            StorageError::InvalidKey(k) => write!(f, "invalid object key: {k:?}"),
+            StorageError::NotFound(k) => write!(f, "object not found: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StorageError {
+    fn from(e: serde_json::Error) -> Self {
+        StorageError::Serde(e)
+    }
+}
+
+/// A flat namespace of named binary objects rooted at a directory.
+///
+/// Keys may contain `/` to form logical sub-paths (`index/part-0007`),
+/// but never `..` or absolute components.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    root: PathBuf,
+}
+
+impl ObjectStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(ObjectStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, key: &str) -> Result<PathBuf, StorageError> {
+        if key.is_empty()
+            || key.starts_with('/')
+            || key.split('/').any(|c| c.is_empty() || c == "." || c == "..")
+        {
+            return Err(StorageError::InvalidKey(key.to_string()));
+        }
+        Ok(self.root.join(key))
+    }
+
+    /// Writes `data` under `key`, replacing any previous object.
+    pub fn put_bytes(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        let path = self.resolve(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension("tmp-write");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Reads the object stored under `key`.
+    pub fn get_bytes(&self, key: &str) -> Result<Bytes, StorageError> {
+        let path = self.resolve(key)?;
+        match fs::read(&path) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Serialises `value` as JSON under `key`.
+    pub fn put_json<T: Serialize>(&self, key: &str, value: &T) -> Result<(), StorageError> {
+        let data = serde_json::to_vec(value)?;
+        self.put_bytes(key, &data)
+    }
+
+    /// Deserialises the JSON object stored under `key`.
+    pub fn get_json<T: DeserializeOwned>(&self, key: &str) -> Result<T, StorageError> {
+        let data = self.get_bytes(key)?;
+        Ok(serde_json::from_slice(&data)?)
+    }
+
+    /// Whether an object exists under `key`.
+    pub fn exists(&self, key: &str) -> bool {
+        self.resolve(key).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    /// Removes the object under `key` (idempotent).
+    pub fn delete(&self, key: &str) -> Result<(), StorageError> {
+        let path = self.resolve(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists all object keys under the optional `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Result<Vec<String>, StorageError> {
+        let mut keys = Vec::new();
+        let base = if prefix.is_empty() { self.root.clone() } else { self.resolve(prefix)? };
+        if !base.exists() {
+            return Ok(keys);
+        }
+        collect_keys(&self.root, &base, &mut keys)?;
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+fn collect_keys(root: &Path, dir: &Path, keys: &mut Vec<String>) -> Result<(), StorageError> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_keys(root, &path, keys)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            keys.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ObjectStore {
+        let dir = std::env::temp_dir()
+            .join(format!("stark-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ObjectStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = temp_store("roundtrip");
+        s.put_bytes("a/b/c.bin", b"hello").unwrap();
+        assert_eq!(&s.get_bytes("a/b/c.bin").unwrap()[..], b"hello");
+        assert!(s.exists("a/b/c.bin"));
+        assert!(!s.exists("a/b/missing"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = temp_store("json");
+        let value = vec![(1u32, "x".to_string()), (2, "y".to_string())];
+        s.put_json("meta", &value).unwrap();
+        let back: Vec<(u32, String)> = s.get_json("meta").unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = temp_store("overwrite");
+        s.put_bytes("k", b"one").unwrap();
+        s.put_bytes("k", b"two").unwrap();
+        assert_eq!(&s.get_bytes("k").unwrap()[..], b"two");
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let s = temp_store("missing");
+        match s.get_bytes("nope") {
+            Err(StorageError::NotFound(k)) => assert_eq!(k, "nope"),
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        let s = temp_store("invalid");
+        for key in ["", "/abs", "a/../b", "a//b", "."] {
+            assert!(
+                matches!(s.put_bytes(key, b"x"), Err(StorageError::InvalidKey(_))),
+                "key {key:?} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let s = temp_store("delete");
+        s.put_bytes("k", b"v").unwrap();
+        s.delete("k").unwrap();
+        s.delete("k").unwrap();
+        assert!(!s.exists("k"));
+    }
+
+    #[test]
+    fn list_with_prefix() {
+        let s = temp_store("list");
+        s.put_bytes("idx/part-0", b"a").unwrap();
+        s.put_bytes("idx/part-1", b"b").unwrap();
+        s.put_bytes("other/x", b"c").unwrap();
+        assert_eq!(s.list("idx").unwrap(), vec!["idx/part-0", "idx/part-1"]);
+        assert_eq!(s.list("").unwrap().len(), 3);
+        assert!(s.list("nothing").unwrap().is_empty());
+    }
+}

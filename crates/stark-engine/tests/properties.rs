@@ -1,0 +1,186 @@
+//! Property tests for the engine: algebraic laws of the dataset
+//! operators under arbitrary data and partition counts.
+
+use proptest::prelude::*;
+use stark_engine::Context;
+
+fn ctx() -> Context {
+    Context::with_parallelism(3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn collect_preserves_order_and_content(
+        data in proptest::collection::vec(any::<i32>(), 0..500),
+        parts in 1usize..12,
+    ) {
+        let r = ctx().parallelize(data.clone(), parts);
+        prop_assert_eq!(r.collect(), data);
+    }
+
+    #[test]
+    fn map_then_collect_is_iterator_map(
+        data in proptest::collection::vec(any::<i16>(), 0..300),
+        parts in 1usize..8,
+    ) {
+        let r = ctx().parallelize(data.clone(), parts).map(|x| x as i64 * 3 - 1);
+        let expect: Vec<i64> = data.iter().map(|&x| x as i64 * 3 - 1).collect();
+        prop_assert_eq!(r.collect(), expect);
+    }
+
+    #[test]
+    fn filter_count_matches(
+        data in proptest::collection::vec(any::<u32>(), 0..300),
+        parts in 1usize..8,
+        modulus in 1u32..7,
+    ) {
+        let m = modulus;
+        let r = ctx().parallelize(data.clone(), parts).filter(move |x| x % m == 0);
+        prop_assert_eq!(r.count(), data.iter().filter(|&&x| x % m == 0).count());
+    }
+
+    #[test]
+    fn partition_by_preserves_multiset(
+        data in proptest::collection::vec(any::<i32>(), 0..300),
+        src_parts in 1usize..6,
+        dst_parts in 1usize..9,
+    ) {
+        let r = ctx()
+            .parallelize(data.clone(), src_parts)
+            .partition_by(dst_parts, |x| x.unsigned_abs() as usize);
+        let mut got = r.collect();
+        let mut expect = data;
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(r.num_partitions(), dst_parts);
+    }
+
+    #[test]
+    fn partition_by_routes_consistently(
+        data in proptest::collection::vec(any::<i32>(), 1..200),
+        dst in 1usize..7,
+    ) {
+        let r = ctx().parallelize(data, 3).partition_by(dst, |x| x.unsigned_abs() as usize);
+        for (i, part) in r.glom().into_iter().enumerate() {
+            for x in part {
+                prop_assert_eq!(x.unsigned_abs() as usize % dst, i);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_is_set_semantics(
+        data in proptest::collection::vec(0i32..50, 0..300),
+        parts in 1usize..6,
+    ) {
+        let r = ctx().parallelize(data.clone(), parts).distinct(4);
+        let mut got = r.collect();
+        got.sort_unstable();
+        let mut expect: Vec<i32> = data;
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn union_is_concatenation(
+        a in proptest::collection::vec(any::<i32>(), 0..150),
+        b in proptest::collection::vec(any::<i32>(), 0..150),
+    ) {
+        let c = ctx();
+        let u = c.parallelize(a.clone(), 2).union(&c.parallelize(b.clone(), 3));
+        let mut expect = a;
+        expect.extend(b);
+        prop_assert_eq!(u.collect(), expect);
+    }
+
+    #[test]
+    fn reduce_matches_fold(
+        data in proptest::collection::vec(-1000i64..1000, 0..300),
+        parts in 1usize..8,
+    ) {
+        let r = ctx().parallelize(data.clone(), parts);
+        let sum = r.reduce(|a, b| a + b).unwrap_or(0);
+        prop_assert_eq!(sum, data.iter().sum::<i64>());
+        let folded = r.fold(0i64, |a, b| a + b, |a, b| a + b);
+        prop_assert_eq!(folded, sum);
+    }
+
+    #[test]
+    fn zip_with_index_is_dense(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        parts in 1usize..9,
+    ) {
+        let r = ctx().parallelize(data.clone(), parts).zip_with_index();
+        let collected = r.collect();
+        prop_assert_eq!(collected.len(), data.len());
+        for (expect_i, (i, v)) in collected.iter().enumerate() {
+            prop_assert_eq!(*i, expect_i as u64);
+            prop_assert_eq!(*v, data[expect_i]);
+        }
+    }
+
+    #[test]
+    fn sample_fraction_bounds(
+        data in proptest::collection::vec(any::<u16>(), 100..400),
+        seed in any::<u64>(),
+    ) {
+        let r = ctx().parallelize(data.clone(), 4);
+        let s = r.sample(0.5, seed);
+        let n = s.count();
+        prop_assert!(n <= data.len());
+        // loose lower bound: P(below 10%) is astronomically small
+        prop_assert!(n >= data.len() / 10, "sample suspiciously small: {n}");
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values(
+        pairs in proptest::collection::vec((0u8..10, any::<i32>()), 0..300),
+    ) {
+        let r = ctx().parallelize(pairs.clone(), 5).group_by_key(4);
+        let mut got: Vec<(u8, Vec<i32>)> = r.collect();
+        for (_, vs) in got.iter_mut() {
+            vs.sort_unstable();
+        }
+        got.sort();
+        let mut expect_map: std::collections::BTreeMap<u8, Vec<i32>> = Default::default();
+        for (k, v) in pairs {
+            expect_map.entry(k).or_default().push(v);
+        }
+        let mut expect: Vec<(u8, Vec<i32>)> = expect_map
+            .into_iter()
+            .map(|(k, mut vs)| {
+                vs.sort_unstable();
+                (k, vs)
+            })
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn take_is_prefix(
+        data in proptest::collection::vec(any::<i32>(), 0..200),
+        parts in 1usize..7,
+        n in 0usize..250,
+    ) {
+        let r = ctx().parallelize(data.clone(), parts);
+        let got = r.take(n);
+        let expect: Vec<i32> = data.into_iter().take(n).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn caching_is_transparent(
+        data in proptest::collection::vec(any::<i32>(), 0..200),
+        parts in 1usize..7,
+    ) {
+        let r = ctx().parallelize(data, parts).map(|x| x as i64 + 1);
+        let cached = r.cache();
+        prop_assert_eq!(r.collect(), cached.collect());
+        prop_assert_eq!(cached.count(), cached.count());
+    }
+}

@@ -1,0 +1,126 @@
+//! The event record schema used throughout the paper's examples:
+//! `(id: Int, category: String, time: Long, wkt: String)`.
+
+use serde::{Deserialize, Serialize};
+use stark::{STObject, Temporal};
+use stark_geo::{GeoError, Geometry};
+
+/// One extracted event: identifier, category tag, occurrence time and
+/// location geometry — the structured output of the text-extraction
+/// pipeline the paper's demonstration is embedded in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub id: u64,
+    pub category: String,
+    pub time: i64,
+    pub geometry: Geometry,
+}
+
+impl Event {
+    pub fn new(id: u64, category: impl Into<String>, time: i64, geometry: Geometry) -> Self {
+        Event { id, category: category.into(), time, geometry }
+    }
+
+    /// The paper's mapping step: `(id, ctgry, time, wkt)` →
+    /// `(STObject(wkt, time), (id, ctgry))`.
+    pub fn to_pair(&self) -> (STObject, (u64, String)) {
+        (
+            STObject::with_time(self.geometry.clone(), Temporal::instant(self.time)),
+            (self.id, self.category.clone()),
+        )
+    }
+
+    /// Serialises to a CSV line: `id,category,time,"WKT"`.
+    pub fn to_csv_line(&self) -> String {
+        format!("{},{},{},\"{}\"", self.id, self.category, self.time, self.geometry.to_wkt())
+    }
+
+    /// Parses a CSV line produced by [`Event::to_csv_line`].
+    pub fn from_csv_line(line: &str) -> Result<Event, EventParseError> {
+        let mut parts = line.splitn(4, ',');
+        let id = parts
+            .next()
+            .ok_or_else(|| EventParseError::new(line, "missing id"))?
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| EventParseError::new(line, &format!("bad id: {e}")))?;
+        let category = parts
+            .next()
+            .ok_or_else(|| EventParseError::new(line, "missing category"))?
+            .trim()
+            .to_string();
+        let time = parts
+            .next()
+            .ok_or_else(|| EventParseError::new(line, "missing time"))?
+            .trim()
+            .parse::<i64>()
+            .map_err(|e| EventParseError::new(line, &format!("bad time: {e}")))?;
+        let wkt_raw = parts.next().ok_or_else(|| EventParseError::new(line, "missing wkt"))?;
+        let wkt = wkt_raw.trim().trim_matches('"');
+        let geometry = Geometry::from_wkt(wkt)
+            .map_err(|e: GeoError| EventParseError::new(line, &e.to_string()))?;
+        Ok(Event { id, category, time, geometry })
+    }
+}
+
+/// Error when parsing an event CSV line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError {
+    pub line: String,
+    pub message: String,
+}
+
+impl EventParseError {
+    fn new(line: &str, message: &str) -> Self {
+        EventParseError { line: line.chars().take(80).collect(), message: message.to_string() }
+    }
+}
+
+impl std::fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot parse event line {:?}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for EventParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let e = Event::new(7, "earthquake", 1234, Geometry::point(13.4, 52.5));
+        let line = e.to_csv_line();
+        assert_eq!(line, "7,earthquake,1234,\"POINT (13.4 52.5)\"");
+        assert_eq!(Event::from_csv_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn wkt_with_commas_survives() {
+        let g = Geometry::from_wkt("POLYGON((0 0, 1 0, 1 1, 0 1, 0 0))").unwrap();
+        let e = Event::new(1, "region", 5, g);
+        let back = Event::from_csv_line(&e.to_csv_line()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn to_pair_matches_paper_mapping() {
+        let e = Event::new(3, "flood", 99, Geometry::point(1.0, 2.0));
+        let (st, (id, cat)) = e.to_pair();
+        assert_eq!(id, 3);
+        assert_eq!(cat, "flood");
+        assert_eq!(st.time(), Some(&Temporal::instant(99)));
+        assert_eq!(st.centroid(), stark_geo::Coord::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Event::from_csv_line("").is_err());
+        assert!(Event::from_csv_line("x,cat,5,\"POINT(0 0)\"").is_err());
+        assert!(Event::from_csv_line("1,cat,notatime,\"POINT(0 0)\"").is_err());
+        assert!(Event::from_csv_line("1,cat,5,\"NOT WKT\"").is_err());
+        let err = Event::from_csv_line("1,cat,5").unwrap_err();
+        assert!(err.message.contains("missing wkt"));
+    }
+}

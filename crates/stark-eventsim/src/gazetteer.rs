@@ -1,0 +1,217 @@
+//! A small gazetteer: geocoding and reverse geocoding.
+//!
+//! The paper's demonstration scenarios include "(reverse) geocoding" (§4)
+//! against the Wikipedia-derived event corpus. This module provides the
+//! substitute: a built-in table of major cities with an STR-tree index,
+//! supporting name → location (geocode) and location → nearest place
+//! (reverse geocode) lookups.
+
+use stark_geo::{haversine, Coord, Envelope};
+use stark_index::{Entry, StrTree};
+
+/// A named place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Place {
+    pub name: &'static str,
+    pub country: &'static str,
+    /// Longitude/latitude in degrees.
+    pub location: Coord,
+    pub population: u32,
+}
+
+/// Major world cities (coordinates rounded to two decimals).
+pub const CITIES: &[(&str, &str, f64, f64, u32)] = &[
+    ("Berlin", "DE", 13.40, 52.52, 3_700_000),
+    ("Hamburg", "DE", 9.99, 53.55, 1_900_000),
+    ("Munich", "DE", 11.58, 48.14, 1_500_000),
+    ("Paris", "FR", 2.35, 48.85, 2_100_000),
+    ("London", "GB", -0.13, 51.51, 9_000_000),
+    ("Madrid", "ES", -3.70, 40.42, 3_300_000),
+    ("Rome", "IT", 12.50, 41.90, 2_800_000),
+    ("Vienna", "AT", 16.37, 48.21, 1_900_000),
+    ("Warsaw", "PL", 21.01, 52.23, 1_800_000),
+    ("Moscow", "RU", 37.62, 55.76, 12_500_000),
+    ("Istanbul", "TR", 28.98, 41.01, 15_500_000),
+    ("Cairo", "EG", 31.24, 30.04, 9_900_000),
+    ("Lagos", "NG", 3.38, 6.52, 14_800_000),
+    ("Johannesburg", "ZA", 28.05, -26.20, 5_600_000),
+    ("New York", "US", -74.01, 40.71, 8_800_000),
+    ("Los Angeles", "US", -118.24, 34.05, 3_900_000),
+    ("Chicago", "US", -87.63, 41.88, 2_700_000),
+    ("Mexico City", "MX", -99.13, 19.43, 9_200_000),
+    ("Sao Paulo", "BR", -46.63, -23.55, 12_300_000),
+    ("Buenos Aires", "AR", -58.38, -34.60, 3_100_000),
+    ("Lima", "PE", -77.04, -12.05, 9_700_000),
+    ("Tokyo", "JP", 139.69, 35.68, 14_000_000),
+    ("Osaka", "JP", 135.50, 34.69, 2_700_000),
+    ("Seoul", "KR", 126.98, 37.57, 9_700_000),
+    ("Beijing", "CN", 116.40, 39.90, 21_500_000),
+    ("Shanghai", "CN", 121.47, 31.23, 24_900_000),
+    ("Mumbai", "IN", 72.88, 19.08, 12_400_000),
+    ("Delhi", "IN", 77.10, 28.70, 16_800_000),
+    ("Bangkok", "TH", 100.50, 13.76, 8_300_000),
+    ("Jakarta", "ID", 106.85, -6.21, 10_600_000),
+    ("Sydney", "AU", 151.21, -33.87, 5_300_000),
+    ("Melbourne", "AU", 144.96, -37.81, 5_100_000),
+];
+
+/// An indexed gazetteer over the built-in city table.
+pub struct Gazetteer {
+    places: Vec<Place>,
+    index: StrTree<usize>,
+}
+
+impl Gazetteer {
+    /// Builds the gazetteer with its spatial index.
+    pub fn new() -> Self {
+        let places: Vec<Place> = CITIES
+            .iter()
+            .map(|&(name, country, lon, lat, population)| Place {
+                name,
+                country,
+                location: Coord::new(lon, lat),
+                population,
+            })
+            .collect();
+        let entries = places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Entry::new(Envelope::from_point(p.location), i))
+            .collect();
+        Gazetteer { places, index: StrTree::build(8, entries) }
+    }
+
+    /// Number of known places.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Whether the gazetteer is empty (never, with the built-in table).
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// All places.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// Geocoding: case-insensitive exact name lookup.
+    pub fn geocode(&self, name: &str) -> Option<&Place> {
+        self.places.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Reverse geocoding: nearest place to the coordinate by great-circle
+    /// distance, with the distance in metres.
+    ///
+    /// Planar envelope distance does not soundly bound great-circle
+    /// metres near the poles and the antimeridian, so this is an exact
+    /// scan — trivially fast at gazetteer size.
+    pub fn reverse_geocode(&self, location: &Coord) -> Option<(&Place, f64)> {
+        self.places
+            .iter()
+            .map(|p| (p, haversine(location, &p.location)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// All places inside a lon/lat window, via the spatial index.
+    pub fn places_in_window(&self, window: &Envelope) -> Vec<&Place> {
+        self.index
+            .query_vec(window)
+            .into_iter()
+            .map(|e| &self.places[e.item])
+            .collect()
+    }
+
+    /// All places within `radius_m` metres of the coordinate, nearest
+    /// first.
+    pub fn places_within(&self, location: &Coord, radius_m: f64) -> Vec<(&Place, f64)> {
+        let mut out: Vec<(&Place, f64)> = self
+            .places
+            .iter()
+            .map(|p| (p, haversine(location, &p.location)))
+            .filter(|(_, d)| *d <= radius_m)
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+impl Default for Gazetteer {
+    fn default() -> Self {
+        Gazetteer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geocode_known_city() {
+        let g = Gazetteer::new();
+        let berlin = g.geocode("Berlin").unwrap();
+        assert_eq!(berlin.country, "DE");
+        assert!(g.geocode("berlin").is_some(), "case-insensitive");
+        assert!(g.geocode("Atlantis").is_none());
+        assert!(!g.is_empty());
+        assert!(g.len() >= 30);
+    }
+
+    #[test]
+    fn reverse_geocode_near_city() {
+        let g = Gazetteer::new();
+        // Potsdam is ~27 km from Berlin's centre
+        let (place, d) = g.reverse_geocode(&Coord::new(13.06, 52.40)).unwrap();
+        assert_eq!(place.name, "Berlin");
+        assert!(d > 10_000.0 && d < 50_000.0, "distance {d}");
+    }
+
+    #[test]
+    fn reverse_geocode_matches_linear_scan() {
+        let g = Gazetteer::new();
+        for probe in [
+            Coord::new(0.0, 0.0),
+            Coord::new(100.0, 30.0),
+            Coord::new(-80.0, -20.0),
+            Coord::new(150.0, -35.0),
+            Coord::new(-179.0, 80.0),
+        ] {
+            let (got, gd) = g.reverse_geocode(&probe).unwrap();
+            let (want, wd) = g
+                .places()
+                .iter()
+                .map(|p| (p, haversine(&probe, &p.location)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert_eq!(got.name, want.name, "probe {probe}");
+            assert!((gd - wd).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn window_query_via_index() {
+        let g = Gazetteer::new();
+        // central Europe window
+        let window = Envelope::from_bounds(5.0, 45.0, 25.0, 55.0);
+        let names: Vec<&str> =
+            g.places_in_window(&window).into_iter().map(|p| p.name).collect();
+        assert!(names.contains(&"Berlin"));
+        assert!(names.contains(&"Vienna"));
+        assert!(!names.contains(&"London"));
+        assert!(!names.contains(&"Tokyo"));
+    }
+
+    #[test]
+    fn places_within_radius() {
+        let g = Gazetteer::new();
+        // 700 km around Berlin: Hamburg (~255 km) yes; Paris (~880 km) no
+        let hits = g.places_within(&Coord::new(13.40, 52.52), 700_000.0);
+        let names: Vec<&str> = hits.iter().map(|(p, _)| p.name).collect();
+        assert!(names.contains(&"Berlin"));
+        assert!(names.contains(&"Hamburg"));
+        assert!(!names.contains(&"Paris"));
+        // ascending distance
+        assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,284 @@
+//! Synthetic spatio-temporal workload generators.
+//!
+//! The paper's demonstration uses real-world event data extracted from
+//! Wikipedia; this module is the reproduction's substitute. The
+//! generators reproduce the statistical properties the paper's design
+//! arguments rest on, in particular the land/sea skew that motivates the
+//! cost-based binary space partitioner ("events only occur on land, but
+//! not on sea", §2.1).
+
+use crate::event::Event;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stark_geo::{Coord, Envelope, Geometry};
+
+/// Event categories sampled by all generators.
+pub const CATEGORIES: &[&str] =
+    &["earthquake", "concert", "protest", "election", "flood", "festival", "accident"];
+
+/// Rough rectangular "continents" on a lon/lat world used by the skewed
+/// generator. Events are only placed inside these boxes, with weights
+/// roughly proportional to population, producing the dense-vs-empty skew
+/// the BSP partitioner targets.
+pub const CONTINENTS: &[(Envelope, f64)] = &[
+    // Europe (dense)
+    (Envelope::const_new(-10.0, 36.0, 30.0, 60.0), 30.0),
+    // East/South Asia (densest)
+    (Envelope::const_new(65.0, 5.0, 125.0, 45.0), 40.0),
+    // North America
+    (Envelope::const_new(-125.0, 25.0, -70.0, 50.0), 15.0),
+    // South America
+    (Envelope::const_new(-80.0, -35.0, -40.0, 5.0), 7.0),
+    // Africa
+    (Envelope::const_new(-15.0, -30.0, 45.0, 35.0), 6.0),
+    // Australia
+    (Envelope::const_new(115.0, -38.0, 153.0, -12.0), 2.0),
+];
+
+/// Deterministic, seeded workload generator.
+pub struct EventGenerator {
+    rng: StdRng,
+    time_range: std::ops::Range<i64>,
+    next_id: u64,
+}
+
+impl EventGenerator {
+    /// Creates a generator with a fixed seed (fully reproducible) and the
+    /// default event-time range.
+    pub fn new(seed: u64) -> Self {
+        EventGenerator { rng: StdRng::seed_from_u64(seed), time_range: 0..1_000_000, next_id: 0 }
+    }
+
+    /// Restricts generated event times to `range`.
+    pub fn with_time_range(mut self, range: std::ops::Range<i64>) -> Self {
+        assert!(range.start < range.end, "empty time range");
+        self.time_range = range;
+        self
+    }
+
+    fn next_event(&mut self, geometry: Geometry) -> Event {
+        let id = self.next_id;
+        self.next_id += 1;
+        let category = CATEGORIES[self.rng.gen_range(0..CATEGORIES.len())];
+        let time = self.rng.gen_range(self.time_range.clone());
+        Event::new(id, category, time, geometry)
+    }
+
+    /// `n` point events uniformly distributed over `space`.
+    pub fn uniform_points(&mut self, n: usize, space: &Envelope) -> Vec<Event> {
+        (0..n)
+            .map(|_| {
+                let x = self.rng.gen_range(space.min_x()..=space.max_x());
+                let y = self.rng.gen_range(space.min_y()..=space.max_y());
+                self.next_event(Geometry::point(x, y))
+            })
+            .collect()
+    }
+
+    /// `n` point events drawn from `k` Gaussian hotspots inside `space`
+    /// ("cities"). `sigma` is the hotspot spread.
+    pub fn clustered_points(
+        &mut self,
+        n: usize,
+        k: usize,
+        sigma: f64,
+        space: &Envelope,
+    ) -> Vec<Event> {
+        let k = k.max(1);
+        let centers: Vec<Coord> = (0..k)
+            .map(|_| {
+                Coord::new(
+                    self.rng.gen_range(space.min_x()..=space.max_x()),
+                    self.rng.gen_range(space.min_y()..=space.max_y()),
+                )
+            })
+            .collect();
+        (0..n)
+            .map(|_| {
+                let c = centers[self.rng.gen_range(0..k)];
+                let x = (c.x + self.gaussian() * sigma).clamp(space.min_x(), space.max_x());
+                let y = (c.y + self.gaussian() * sigma).clamp(space.min_y(), space.max_y());
+                self.next_event(Geometry::point(x, y))
+            })
+            .collect()
+    }
+
+    /// `n` world events: points only on the [`CONTINENTS`], weighted by
+    /// population — the skewed workload of the BSP motivation.
+    pub fn world_events(&mut self, n: usize) -> Vec<Event> {
+        let weights: Vec<f64> = CONTINENTS.iter().map(|(_, w)| *w).collect();
+        let dist = WeightedIndex::new(&weights).expect("static weights are valid");
+        (0..n)
+            .map(|_| {
+                let (land, _) = &CONTINENTS[dist.sample(&mut self.rng)];
+                // cluster towards the continent centre for extra skew
+                let cx = land.center().x;
+                let cy = land.center().y;
+                let x = (cx + self.gaussian() * land.width() / 4.0)
+                    .clamp(land.min_x(), land.max_x());
+                let y = (cy + self.gaussian() * land.height() / 4.0)
+                    .clamp(land.min_y(), land.max_y());
+                self.next_event(Geometry::point(x, y))
+            })
+            .collect()
+    }
+
+    /// `n` small rectangular region events (e.g. affected areas) with
+    /// sides up to `max_side`, placed uniformly in `space`.
+    pub fn rect_regions(&mut self, n: usize, max_side: f64, space: &Envelope) -> Vec<Event> {
+        (0..n)
+            .map(|_| {
+                let w = self.rng.gen_range(0.0..max_side);
+                let h = self.rng.gen_range(0.0..max_side);
+                let x = self.rng.gen_range(space.min_x()..=(space.max_x() - w).max(space.min_x()));
+                let y = self.rng.gen_range(space.min_y()..=(space.max_y() - h).max(space.min_y()));
+                self.next_event(Geometry::rect(x, y, x + w.max(1e-6), y + h.max(1e-6)))
+            })
+            .collect()
+    }
+
+    /// `n` short random-walk trajectories of `len` steps each, as
+    /// linestring events (e.g. storm tracks or vehicle traces).
+    pub fn trajectories(
+        &mut self,
+        n: usize,
+        len: usize,
+        step: f64,
+        space: &Envelope,
+    ) -> Vec<Event> {
+        let len = len.max(2);
+        (0..n)
+            .map(|_| {
+                let mut x = self.rng.gen_range(space.min_x()..=space.max_x());
+                let mut y = self.rng.gen_range(space.min_y()..=space.max_y());
+                let mut coords = Vec::with_capacity(len);
+                coords.push(Coord::new(x, y));
+                for _ in 1..len {
+                    x = (x + self.rng.gen_range(-step..=step)).clamp(space.min_x(), space.max_x());
+                    y = (y + self.rng.gen_range(-step..=step)).clamp(space.min_y(), space.max_y());
+                    coords.push(Coord::new(x, y));
+                }
+                let ls = stark_geo::LineString::new(coords).expect("len >= 2");
+                self.next_event(Geometry::LineString(ls))
+            })
+            .collect()
+    }
+
+    /// Box–Muller standard normal sample.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// The whole lon/lat world.
+pub fn world_bounds() -> Envelope {
+    Envelope::from_bounds(-180.0, -90.0, 180.0, 90.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = Envelope::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let a = EventGenerator::new(42).uniform_points(50, &space);
+        let b = EventGenerator::new(42).uniform_points(50, &space);
+        assert_eq!(a, b);
+        let c = EventGenerator::new(43).uniform_points(50, &space);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_points_stay_in_space() {
+        let space = Envelope::from_bounds(-5.0, 10.0, 5.0, 20.0);
+        let events = EventGenerator::new(1).uniform_points(200, &space);
+        assert_eq!(events.len(), 200);
+        for e in &events {
+            assert!(space.contains_envelope(&e.geometry.envelope()));
+            assert!(CATEGORIES.contains(&e.category.as_str()));
+            assert!((0..1_000_000).contains(&e.time));
+        }
+        // ids are sequential
+        assert!(events.iter().enumerate().all(|(i, e)| e.id == i as u64));
+    }
+
+    #[test]
+    fn clustered_points_concentrate() {
+        let space = Envelope::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+        let events = EventGenerator::new(7).clustered_points(500, 3, 2.0, &space);
+        // most points lie near one of 3 centres → a coarse grid has many
+        // empty cells
+        let mut grid = vec![0usize; 100];
+        for e in &events {
+            let c = e.geometry.centroid();
+            let gx = (c.x / 100.0).floor().clamp(0.0, 9.0) as usize;
+            let gy = (c.y / 100.0).floor().clamp(0.0, 9.0) as usize;
+            grid[gy * 10 + gx] += 1;
+        }
+        let occupied = grid.iter().filter(|&&c| c > 0).count();
+        assert!(occupied <= 12, "clusters too spread out: {occupied} occupied cells");
+    }
+
+    #[test]
+    fn world_events_stay_on_land() {
+        let events = EventGenerator::new(3).world_events(500);
+        for e in &events {
+            let c = e.geometry.centroid();
+            assert!(
+                CONTINENTS.iter().any(|(land, _)| land.contains_coord(&c)),
+                "event at sea: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn world_events_are_skewed() {
+        let events = EventGenerator::new(5).world_events(2000);
+        // Asia (weight 40) must hold more events than Australia (weight 2)
+        let in_box = |env: &Envelope| {
+            events.iter().filter(|e| env.contains_coord(&e.geometry.centroid())).count()
+        };
+        let asia = in_box(&CONTINENTS[1].0);
+        let australia = in_box(&CONTINENTS[5].0);
+        assert!(asia > 4 * australia, "asia {asia} vs australia {australia}");
+    }
+
+    #[test]
+    fn rect_regions_have_positive_area_and_fit() {
+        let space = Envelope::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let events = EventGenerator::new(11).rect_regions(100, 5.0, &space);
+        for e in &events {
+            let env = e.geometry.envelope();
+            assert!(env.area() > 0.0);
+            assert!(env.width() <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trajectories_have_requested_length() {
+        let space = Envelope::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let events = EventGenerator::new(13).trajectories(20, 10, 1.0, &space);
+        for e in &events {
+            match &e.geometry {
+                Geometry::LineString(l) => {
+                    assert_eq!(l.num_coords(), 10);
+                    assert!(space.contains_envelope(&l.envelope()));
+                }
+                other => panic!("expected linestring, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn time_range_is_respected() {
+        let space = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
+        let events = EventGenerator::new(2)
+            .with_time_range(100..200)
+            .uniform_points(100, &space);
+        assert!(events.iter().all(|e| (100..200).contains(&e.time)));
+    }
+}

@@ -1,0 +1,120 @@
+//! CSV reading/writing for event datasets — the "load from HDFS" step of
+//! the paper's workflow (Figure 2), against the local filesystem.
+
+use crate::event::{Event, EventParseError};
+use std::fs;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from dataset IO.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    Parse(EventParseError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<EventParseError> for IoError {
+    fn from(e: EventParseError) -> Self {
+        IoError::Parse(e)
+    }
+}
+
+/// Writes events as CSV (one line per event, no header).
+pub fn write_events_csv(path: impl AsRef<Path>, events: &[Event]) -> Result<(), IoError> {
+    let file = fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for e in events {
+        writeln!(w, "{}", e.to_csv_line())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads events from a CSV file written by [`write_events_csv`].
+/// Blank lines and `#`-prefixed comment lines are skipped.
+pub fn read_events_csv(path: impl AsRef<Path>) -> Result<Vec<Event>, IoError> {
+    let file = fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut events = Vec::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    while reader.read_line(&mut line)? != 0 {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            events.push(Event::from_csv_line(trimmed)?);
+        }
+        line.clear();
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::EventGenerator;
+    use stark_geo::Envelope;
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("stark-eventsim-{tag}-{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let space = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut g = EventGenerator::new(99);
+        let mut events = g.uniform_points(50, &space);
+        events.extend(g.rect_regions(10, 2.0, &space));
+        let path = temp_file("roundtrip");
+        write_events_csv(&path, &events).unwrap();
+        let back = read_events_csv(&path).unwrap();
+        assert_eq!(back, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let path = temp_file("comments");
+        std::fs::write(
+            &path,
+            "# header comment\n\n1,concert,5,\"POINT (1 2)\"\n\n# trailing\n",
+        )
+        .unwrap();
+        let events = read_events_csv(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        let path = temp_file("bad");
+        std::fs::write(&path, "not-a-number,cat,5,\"POINT (1 2)\"\n").unwrap();
+        assert!(matches!(read_events_csv(&path), Err(IoError::Parse(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_events_csv("/definitely/not/here.csv"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

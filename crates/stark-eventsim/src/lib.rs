@@ -1,0 +1,19 @@
+//! # stark-eventsim — synthetic spatio-temporal event workloads
+//!
+//! The STARK paper demonstrates on real-world event data extracted from
+//! Wikipedia by spatial/temporal taggers; that corpus is not available,
+//! so this crate generates statistically equivalent workloads (see
+//! DESIGN.md for the substitution argument): uniform and hotspot-clustered
+//! point events, skewed "land only" world events, rectangular region
+//! events and trajectory events — plus the `(id, category, time, wkt)`
+//! CSV schema from the paper's running example.
+
+pub mod event;
+pub mod gazetteer;
+pub mod generator;
+pub mod io;
+
+pub use event::{Event, EventParseError};
+pub use gazetteer::{Gazetteer, Place, CITIES};
+pub use generator::{world_bounds, EventGenerator, CATEGORIES, CONTINENTS};
+pub use io::{read_events_csv, write_events_csv, IoError};

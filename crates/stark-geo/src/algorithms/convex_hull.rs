@@ -1,0 +1,149 @@
+//! Convex hulls via Andrew's monotone chain.
+
+use crate::coord::Coord;
+use crate::error::GeoError;
+use crate::geometry::Geometry;
+use crate::polygon::{Polygon, Ring};
+
+/// Computes the convex hull of a coordinate set as a counter-clockwise
+/// ring of hull vertices (no closing duplicate). Returns fewer than three
+/// coordinates for degenerate inputs (empty, single point, collinear).
+pub fn convex_hull_coords(coords: &[Coord]) -> Vec<Coord> {
+    let mut pts: Vec<Coord> = coords.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup_by(|a, b| a.approx_eq(b));
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let cross = |o: &Coord, a: &Coord, b: &Coord| -> f64 {
+        (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+    };
+
+    let mut lower: Vec<Coord> = Vec::with_capacity(n);
+    for p in &pts {
+        while lower.len() >= 2
+            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(*p);
+    }
+    let mut upper: Vec<Coord> = Vec::with_capacity(n);
+    for p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(*p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+/// Convex hull of a geometry's coordinates, as a polygon.
+///
+/// Degenerate inputs (fewer than three non-collinear points) yield an
+/// `InvalidGeometry` error, mirroring the ring constructor.
+pub fn convex_hull(geometry: &Geometry) -> Result<Polygon, GeoError> {
+    let coords = all_coords(geometry);
+    let hull = convex_hull_coords(&coords);
+    if hull.len() < 3 {
+        return Err(GeoError::InvalidGeometry(
+            "convex hull of fewer than 3 non-collinear points".into(),
+        ));
+    }
+    Ok(Polygon::new(Ring::new(hull)?, Vec::new()))
+}
+
+fn all_coords(g: &Geometry) -> Vec<Coord> {
+    match g {
+        Geometry::Point(p) => vec![*p.coord()],
+        Geometry::MultiPoint(ps) => ps.iter().map(|p| *p.coord()).collect(),
+        Geometry::LineString(l) => l.coords().to_vec(),
+        Geometry::MultiLineString(ls) => {
+            ls.iter().flat_map(|l| l.coords().iter().copied()).collect()
+        }
+        Geometry::Polygon(p) => p.rings().flat_map(|r| r.coords_open().iter().copied()).collect(),
+        Geometry::MultiPolygon(ps) => ps
+            .iter()
+            .flat_map(|p| p.rings())
+            .flat_map(|r| r.coords_open().iter().copied())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            c(0.0, 0.0),
+            c(4.0, 0.0),
+            c(4.0, 4.0),
+            c(0.0, 4.0),
+            c(2.0, 2.0), // interior
+            c(1.0, 2.0), // interior
+        ];
+        let hull = convex_hull_coords(&pts);
+        assert_eq!(hull.len(), 4);
+        // all interior points excluded
+        assert!(!hull.iter().any(|p| p.approx_eq(&c(2.0, 2.0))));
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = vec![c(0.0, 0.0), c(3.0, 1.0), c(1.0, 4.0), c(-2.0, 2.0), c(1.0, 1.0)];
+        let hull = convex_hull_coords(&pts);
+        let ring = Ring::new(hull).unwrap();
+        assert!(ring.signed_area() > 0.0, "hull ring must be counter-clockwise");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull_coords(&[]).is_empty());
+        assert_eq!(convex_hull_coords(&[c(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull_coords(&[c(1.0, 1.0), c(1.0, 1.0)]).len(), 1);
+        // collinear points collapse to the two extremes
+        let hull = convex_hull_coords(&[c(0.0, 0.0), c(1.0, 1.0), c(2.0, 2.0), c(3.0, 3.0)]);
+        assert!(hull.len() <= 2, "collinear hull: {hull:?}");
+        assert!(convex_hull(&Geometry::point(1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        let pts: Vec<Coord> = (0..50)
+            .map(|i| c(((i * 17) % 23) as f64, ((i * 7) % 19) as f64))
+            .collect();
+        let g = Geometry::MultiPoint(pts.iter().map(|&p| crate::point::Point(p)).collect());
+        let hull = convex_hull(&g).unwrap();
+        let hull_geom = Geometry::Polygon(hull);
+        for p in &pts {
+            assert!(
+                hull_geom.intersects(&Geometry::point(p.x, p.y)),
+                "hull must cover {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn hull_of_polygon_is_itself_for_convex() {
+        let rect = Geometry::rect(0.0, 0.0, 5.0, 3.0);
+        let hull = convex_hull(&rect).unwrap();
+        assert!((hull.area() - 15.0).abs() < 1e-9);
+    }
+}

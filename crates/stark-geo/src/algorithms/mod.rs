@@ -1,0 +1,8 @@
+//! Geometric algorithms underpinning the predicate API.
+
+pub mod convex_hull;
+pub mod point_in_polygon;
+pub mod relate;
+pub mod segment;
+pub mod simplify;
+pub mod validity;

@@ -1,0 +1,142 @@
+//! Point-in-polygon classification by ray casting.
+
+use crate::algorithms::segment::point_on_segment;
+use crate::coord::Coord;
+use crate::polygon::{Polygon, Ring};
+
+/// Topological relationship of a point to a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointLocation {
+    /// Strictly inside the region.
+    Interior,
+    /// On the region's boundary.
+    Boundary,
+    /// Strictly outside the region.
+    Exterior,
+}
+
+/// Classifies `p` against the closed ring using the crossing-number rule.
+pub fn locate_in_ring(p: &Coord, ring: &Ring) -> PointLocation {
+    for (a, b) in ring.segments() {
+        if point_on_segment(p, a, b) {
+            return PointLocation::Boundary;
+        }
+    }
+    // Ray cast towards +x. Count crossings with the half-open rule
+    // (a.y <= p.y < b.y or b.y <= p.y < a.y) so ray-through-vertex cases
+    // are counted exactly once.
+    let mut inside = false;
+    for (a, b) in ring.segments() {
+        let crosses_y = (a.y <= p.y && p.y < b.y) || (b.y <= p.y && p.y < a.y);
+        if crosses_y {
+            let t = (p.y - a.y) / (b.y - a.y);
+            let x_at = a.x + t * (b.x - a.x);
+            if x_at > p.x {
+                inside = !inside;
+            }
+        }
+    }
+    if inside {
+        PointLocation::Interior
+    } else {
+        PointLocation::Exterior
+    }
+}
+
+/// Classifies `p` against the polygon's region (exterior minus holes).
+///
+/// Hole boundaries are part of the polygon's boundary; points strictly
+/// inside a hole are exterior.
+pub fn locate_in_polygon(p: &Coord, poly: &Polygon) -> PointLocation {
+    if !poly.envelope().contains_coord(p) {
+        return PointLocation::Exterior;
+    }
+    match locate_in_ring(p, poly.exterior()) {
+        PointLocation::Exterior => PointLocation::Exterior,
+        PointLocation::Boundary => PointLocation::Boundary,
+        PointLocation::Interior => {
+            for hole in poly.holes() {
+                match locate_in_ring(p, hole) {
+                    PointLocation::Interior => return PointLocation::Exterior,
+                    PointLocation::Boundary => return PointLocation::Boundary,
+                    PointLocation::Exterior => {}
+                }
+            }
+            PointLocation::Interior
+        }
+    }
+}
+
+/// Whether `p` lies inside or on the boundary of the polygon's region.
+pub fn polygon_covers_coord(poly: &Polygon, p: &Coord) -> bool {
+    locate_in_polygon(p, poly) != PointLocation::Exterior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(pts: &[(f64, f64)]) -> Ring {
+        Ring::new(pts.iter().map(|&(x, y)| Coord::new(x, y)).collect()).unwrap()
+    }
+
+    fn unit_square() -> Polygon {
+        Polygon::new(ring(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]), vec![])
+    }
+
+    #[test]
+    fn interior_exterior_boundary() {
+        let p = unit_square();
+        assert_eq!(locate_in_polygon(&Coord::new(2.0, 2.0), &p), PointLocation::Interior);
+        assert_eq!(locate_in_polygon(&Coord::new(5.0, 2.0), &p), PointLocation::Exterior);
+        assert_eq!(locate_in_polygon(&Coord::new(4.0, 2.0), &p), PointLocation::Boundary);
+        assert_eq!(locate_in_polygon(&Coord::new(0.0, 0.0), &p), PointLocation::Boundary);
+    }
+
+    #[test]
+    fn ray_through_vertex_counts_once() {
+        // point whose +x ray passes exactly through a polygon vertex
+        let tri = Polygon::new(ring(&[(2.0, 0.0), (4.0, 2.0), (2.0, 4.0)]), vec![]);
+        assert_eq!(locate_in_polygon(&Coord::new(0.0, 2.0), &tri), PointLocation::Exterior);
+        assert_eq!(locate_in_polygon(&Coord::new(2.5, 2.0), &tri), PointLocation::Interior);
+    }
+
+    #[test]
+    fn holes_are_exterior() {
+        let hole = ring(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]);
+        let p = Polygon::new(ring(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]), vec![hole]);
+        assert_eq!(locate_in_polygon(&Coord::new(2.0, 2.0), &p), PointLocation::Exterior);
+        assert_eq!(locate_in_polygon(&Coord::new(1.0, 2.0), &p), PointLocation::Boundary);
+        assert_eq!(locate_in_polygon(&Coord::new(0.5, 2.0), &p), PointLocation::Interior);
+        assert!(polygon_covers_coord(&p, &Coord::new(0.5, 2.0)));
+        assert!(!polygon_covers_coord(&p, &Coord::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // U-shape
+        let u = Polygon::new(
+            ring(&[
+                (0.0, 0.0),
+                (6.0, 0.0),
+                (6.0, 6.0),
+                (4.0, 6.0),
+                (4.0, 2.0),
+                (2.0, 2.0),
+                (2.0, 6.0),
+                (0.0, 6.0),
+            ]),
+            vec![],
+        );
+        assert_eq!(locate_in_polygon(&Coord::new(3.0, 4.0), &u), PointLocation::Exterior);
+        assert_eq!(locate_in_polygon(&Coord::new(1.0, 4.0), &u), PointLocation::Interior);
+        assert_eq!(locate_in_polygon(&Coord::new(5.0, 4.0), &u), PointLocation::Interior);
+        assert_eq!(locate_in_polygon(&Coord::new(3.0, 1.0), &u), PointLocation::Interior);
+    }
+
+    #[test]
+    fn envelope_short_circuit() {
+        let p = unit_square();
+        assert_eq!(locate_in_polygon(&Coord::new(100.0, 100.0), &p), PointLocation::Exterior);
+    }
+}

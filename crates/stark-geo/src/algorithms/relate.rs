@@ -1,0 +1,395 @@
+//! Binary spatial predicates over [`Geometry`] values.
+//!
+//! The dispatch here is deliberately simple and exhaustive: every pair of
+//! concrete geometry kinds is reduced to a small set of primitive tests
+//! (segment intersection, point-in-polygon, point-on-segment). Multi
+//! geometries fold over their members.
+
+use crate::algorithms::point_in_polygon::{locate_in_polygon, polygon_covers_coord, PointLocation};
+use crate::algorithms::segment::{
+    point_on_segment, point_segment_distance, segment_segment_distance, segments_cross_properly,
+    segments_intersect,
+};
+use crate::coord::Coord;
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+// ---------------------------------------------------------------------------
+// intersects
+// ---------------------------------------------------------------------------
+
+/// Whether the closed point sets of `a` and `b` share at least one point.
+pub fn intersects(a: &Geometry, b: &Geometry) -> bool {
+    if !a.envelope().intersects(&b.envelope()) {
+        return false;
+    }
+    use Geometry::*;
+    match (a, b) {
+        (Point(p), Point(q)) => p.coord().approx_eq(q.coord()),
+        (Point(p), LineString(l)) | (LineString(l), Point(p)) => point_on_line(p, l),
+        (Point(p), Polygon(pg)) | (Polygon(pg), Point(p)) => polygon_covers_coord(pg, p.coord()),
+        (LineString(l), LineString(m)) => lines_intersect(l, m),
+        (LineString(l), Polygon(pg)) | (Polygon(pg), LineString(l)) => {
+            line_polygon_intersect(l, pg)
+        }
+        (Polygon(p), Polygon(q)) => polygons_intersect(p, q),
+        // Multi geometries: any member intersecting is enough.
+        (MultiPoint(ps), other) | (other, MultiPoint(ps)) => {
+            ps.iter().any(|p| intersects(&Point(*p), other))
+        }
+        (MultiLineString(ls), other) | (other, MultiLineString(ls)) => {
+            ls.iter().any(|l| intersects(&LineString(l.clone()), other))
+        }
+        (MultiPolygon(ps), other) | (other, MultiPolygon(ps)) => {
+            ps.iter().any(|p| intersects(&Polygon(p.clone()), other))
+        }
+    }
+}
+
+fn point_on_line(p: &Point, l: &LineString) -> bool {
+    l.segments().any(|(a, b)| point_on_segment(p.coord(), a, b))
+}
+
+fn lines_intersect(l: &LineString, m: &LineString) -> bool {
+    l.segments().any(|(a, b)| m.segments().any(|(c, d)| segments_intersect(a, b, c, d)))
+}
+
+fn line_polygon_intersect(l: &LineString, pg: &Polygon) -> bool {
+    // Any vertex inside the region, or any edge touching any ring.
+    l.coords().iter().any(|c| polygon_covers_coord(pg, c))
+        || l.segments().any(|(a, b)| {
+            pg.rings().any(|r| r.segments().any(|(c, d)| segments_intersect(a, b, c, d)))
+        })
+}
+
+fn polygons_intersect(p: &Polygon, q: &Polygon) -> bool {
+    // Boundary touch or crossing?
+    let boundary = p.rings().any(|rp| {
+        q.rings().any(|rq| {
+            rp.segments()
+                .any(|(a, b)| rq.segments().any(|(c, d)| segments_intersect(a, b, c, d)))
+        })
+    });
+    if boundary {
+        return true;
+    }
+    // No boundary contact: one region strictly inside the other (or disjoint).
+    polygon_covers_coord(p, &q.exterior().coords_open()[0])
+        || polygon_covers_coord(q, &p.exterior().coords_open()[0])
+}
+
+// ---------------------------------------------------------------------------
+// covers (the kernel's `contains`)
+// ---------------------------------------------------------------------------
+
+/// Whether every point of `b` lies in the closed region of `a`.
+///
+/// For linestring-covers-linestring and the concave polygon edge cases the
+/// test is a sound approximation: all vertices and all segment midpoints
+/// of `b` must be covered and no segment of `b` may properly cross `a`'s
+/// boundary. This classifies all practically-occurring inputs correctly.
+pub fn covers(a: &Geometry, b: &Geometry) -> bool {
+    if !a.envelope().contains_envelope(&b.envelope()) {
+        return false;
+    }
+    use Geometry::*;
+    match (a, b) {
+        (Point(p), Point(q)) => p.coord().approx_eq(q.coord()),
+        (Point(_), MultiPoint(qs)) => qs.iter().all(|q| covers(a, &Point(*q))),
+        (Point(_), _) => false,
+        (LineString(l), Point(q)) => point_on_line(q, l),
+        (LineString(l), LineString(m)) => line_covers_line(l, m),
+        (LineString(_), Polygon(_)) => false,
+        (Polygon(pg), Point(q)) => polygon_covers_coord(pg, q.coord()),
+        (Polygon(pg), LineString(m)) => polygon_covers_line(pg, m),
+        (Polygon(p), Polygon(q)) => polygon_covers_polygon(p, q),
+        // Multi on the right: must cover every member.
+        (_, MultiPoint(qs)) => qs.iter().all(|q| covers(a, &Point(*q))),
+        (_, MultiLineString(qs)) => qs.iter().all(|q| covers(a, &LineString(q.clone()))),
+        (_, MultiPolygon(qs)) => qs.iter().all(|q| covers(a, &Polygon(q.clone()))),
+        // Multi on the left: some member must cover each piece of b.
+        // (A union of members could jointly cover b without any single
+        // member doing so; we accept the stricter per-member test, which
+        // is exact for the point workloads this engine processes.)
+        (MultiPoint(ps), _) => ps.iter().any(|p| covers(&Point(*p), b)),
+        (MultiLineString(ps), _) => ps.iter().any(|p| covers(&LineString(p.clone()), b)),
+        (MultiPolygon(ps), _) => ps.iter().any(|p| covers(&Polygon(p.clone()), b)),
+    }
+}
+
+fn midpoint(a: &Coord, b: &Coord) -> Coord {
+    Coord::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+}
+
+fn line_covers_line(l: &LineString, m: &LineString) -> bool {
+    m.coords().iter().all(|c| l.segments().any(|(a, b)| point_on_segment(c, a, b)))
+        && m.segments().all(|(p, q)| {
+            let mid = midpoint(p, q);
+            l.segments().any(|(a, b)| point_on_segment(&mid, a, b))
+        })
+}
+
+fn polygon_covers_line(pg: &Polygon, m: &LineString) -> bool {
+    m.coords().iter().all(|c| polygon_covers_coord(pg, c))
+        && m.segments().all(|(p, q)| polygon_covers_coord(pg, &midpoint(p, q)))
+        && m.segments().all(|(p, q)| {
+            pg.rings().all(|r| r.segments().all(|(a, b)| !segments_cross_properly(p, q, a, b)))
+        })
+}
+
+fn polygon_covers_polygon(p: &Polygon, q: &Polygon) -> bool {
+    // Every vertex of q covered, no proper boundary crossings, midpoints
+    // covered (concavity guard), and no hole of p pokes into q's interior.
+    let vertices_ok = q
+        .rings()
+        .all(|r| r.coords_open().iter().all(|c| polygon_covers_coord(p, c)));
+    if !vertices_ok {
+        return false;
+    }
+    let no_crossings = q.rings().all(|rq| {
+        p.rings().all(|rp| {
+            rq.segments()
+                .all(|(a, b)| rp.segments().all(|(c, d)| !segments_cross_properly(a, b, c, d)))
+        })
+    });
+    if !no_crossings {
+        return false;
+    }
+    let midpoints_ok = q
+        .exterior()
+        .segments()
+        .all(|(a, b)| polygon_covers_coord(p, &midpoint(a, b)));
+    if !midpoints_ok {
+        return false;
+    }
+    // A hole of p strictly inside q's region means part of q is not in p.
+    p.holes().iter().all(|h| {
+        !h.coords_open()
+            .iter()
+            .any(|c| locate_in_polygon(c, q) == PointLocation::Interior)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// distance
+// ---------------------------------------------------------------------------
+
+/// Minimum Euclidean distance between the closed point sets of `a` and
+/// `b`; zero when they intersect.
+pub fn distance(a: &Geometry, b: &Geometry) -> f64 {
+    use Geometry::*;
+    match (a, b) {
+        (Point(p), Point(q)) => p.coord().distance(q.coord()),
+        (Point(p), LineString(l)) | (LineString(l), Point(p)) => point_line_distance(p, l),
+        (Point(p), Polygon(pg)) | (Polygon(pg), Point(p)) => point_polygon_distance(p, pg),
+        (LineString(l), LineString(m)) => line_line_distance(l, m),
+        (LineString(l), Polygon(pg)) | (Polygon(pg), LineString(l)) => {
+            if line_polygon_intersect(l, pg) {
+                0.0
+            } else {
+                l.segments()
+                    .flat_map(|(a, b)| {
+                        pg.rings().flat_map(move |r| {
+                            r.segments().map(move |(c, d)| segment_segment_distance(a, b, c, d))
+                        })
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            }
+        }
+        (Polygon(p), Polygon(q)) => {
+            if polygons_intersect(p, q) {
+                0.0
+            } else {
+                p.rings()
+                    .flat_map(|rp| {
+                        q.rings().flat_map(move |rq| {
+                            rp.segments().flat_map(move |(a, b)| {
+                                rq.segments().map(move |(c, d)| {
+                                    segment_segment_distance(a, b, c, d)
+                                })
+                            })
+                        })
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            }
+        }
+        (MultiPoint(ps), other) | (other, MultiPoint(ps)) => ps
+            .iter()
+            .map(|p| distance(&Point(*p), other))
+            .fold(f64::INFINITY, f64::min),
+        (MultiLineString(ls), other) | (other, MultiLineString(ls)) => ls
+            .iter()
+            .map(|l| distance(&LineString(l.clone()), other))
+            .fold(f64::INFINITY, f64::min),
+        (MultiPolygon(ps), other) | (other, MultiPolygon(ps)) => ps
+            .iter()
+            .map(|p| distance(&Polygon(p.clone()), other))
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+fn line_line_distance(l: &LineString, m: &LineString) -> f64 {
+    if lines_intersect(l, m) {
+        return 0.0;
+    }
+    l.segments()
+        .flat_map(|(a, b)| m.segments().map(move |(c, d)| segment_segment_distance(a, b, c, d)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn point_line_distance(p: &Point, l: &LineString) -> f64 {
+    l.segments()
+        .map(|(a, b)| point_segment_distance(p.coord(), a, b))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn point_polygon_distance(p: &Point, pg: &Polygon) -> f64 {
+    if polygon_covers_coord(pg, p.coord()) {
+        return 0.0;
+    }
+    pg.rings()
+        .flat_map(|r| r.segments().map(|(a, b)| point_segment_distance(p.coord(), a, b)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    fn wkt(s: &str) -> Geometry {
+        Geometry::from_wkt(s).unwrap()
+    }
+
+    #[test]
+    fn point_point() {
+        assert!(intersects(&Geometry::point(1.0, 1.0), &Geometry::point(1.0, 1.0)));
+        assert!(!intersects(&Geometry::point(1.0, 1.0), &Geometry::point(1.0, 1.1)));
+        assert!(covers(&Geometry::point(1.0, 1.0), &Geometry::point(1.0, 1.0)));
+    }
+
+    #[test]
+    fn point_in_polygon_predicates() {
+        let poly = Geometry::rect(0.0, 0.0, 10.0, 10.0);
+        let inside = Geometry::point(5.0, 5.0);
+        let outside = Geometry::point(15.0, 5.0);
+        let boundary = Geometry::point(10.0, 5.0);
+        assert!(intersects(&poly, &inside));
+        assert!(!intersects(&poly, &outside));
+        assert!(intersects(&poly, &boundary));
+        assert!(covers(&poly, &inside));
+        assert!(covers(&poly, &boundary));
+        assert!(!covers(&poly, &outside));
+        assert!(!covers(&inside, &poly));
+    }
+
+    #[test]
+    fn polygon_polygon_relations() {
+        let a = Geometry::rect(0.0, 0.0, 10.0, 10.0);
+        let b = Geometry::rect(5.0, 5.0, 15.0, 15.0); // overlaps a
+        let c = Geometry::rect(2.0, 2.0, 4.0, 4.0); // inside a
+        let d = Geometry::rect(20.0, 20.0, 30.0, 30.0); // disjoint
+        assert!(intersects(&a, &b));
+        assert!(intersects(&a, &c));
+        assert!(!intersects(&a, &d));
+        assert!(covers(&a, &c));
+        assert!(!covers(&a, &b));
+        assert!(!covers(&c, &a));
+        assert!(covers(&a, &a));
+    }
+
+    #[test]
+    fn nested_without_boundary_contact() {
+        let outer = Geometry::rect(0.0, 0.0, 100.0, 100.0);
+        let inner = Geometry::rect(40.0, 40.0, 60.0, 60.0);
+        assert!(intersects(&outer, &inner));
+        assert!(intersects(&inner, &outer));
+    }
+
+    #[test]
+    fn polygon_with_hole_does_not_cover_hole_filler() {
+        let holed =
+            wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+        let filler = Geometry::rect(4.0, 4.0, 6.0, 6.0);
+        assert!(!covers(&holed, &filler));
+        // but it does cover a rectangle avoiding the hole
+        let side = Geometry::rect(0.5, 0.5, 2.0, 9.0);
+        assert!(covers(&holed, &side));
+        // point inside the hole does not intersect
+        assert!(!intersects(&holed, &Geometry::point(5.0, 5.0)));
+    }
+
+    #[test]
+    fn line_predicates() {
+        let l = wkt("LINESTRING(0 0, 10 10)");
+        let crossing = wkt("LINESTRING(0 10, 10 0)");
+        let parallel = wkt("LINESTRING(0 1, 9 10)");
+        let poly = Geometry::rect(4.0, 4.0, 6.0, 6.0);
+        assert!(intersects(&l, &crossing));
+        assert!(!intersects(&l, &parallel));
+        assert!(intersects(&l, &poly));
+        assert!(covers(&poly, &wkt("LINESTRING(4.5 4.5, 5.5 5.5)")));
+        assert!(!covers(&poly, &l));
+        assert!(covers(&l, &wkt("LINESTRING(1 1, 2 2)")));
+        assert!(!covers(&l, &crossing));
+    }
+
+    #[test]
+    fn line_through_polygon_with_endpoints_outside() {
+        let l = wkt("LINESTRING(-5 5, 15 5)");
+        let poly = Geometry::rect(0.0, 0.0, 10.0, 10.0);
+        assert!(intersects(&l, &poly));
+        assert!(!covers(&poly, &l));
+    }
+
+    #[test]
+    fn concave_polygon_does_not_cover_bridging_line() {
+        // U-shape; the line connects the two prongs across the notch
+        let u = wkt("POLYGON((0 0, 6 0, 6 6, 4 6, 4 2, 2 2, 2 6, 0 6, 0 0))");
+        let bridge = wkt("LINESTRING(1 5, 5 5)");
+        assert!(!covers(&u, &bridge));
+        assert!(intersects(&u, &bridge));
+        let inside = wkt("LINESTRING(0.5 1, 5 1)");
+        assert!(covers(&u, &inside));
+    }
+
+    #[test]
+    fn multipoint_fold() {
+        let mp = wkt("MULTIPOINT(1 1, 9 9)");
+        let poly = Geometry::rect(0.0, 0.0, 2.0, 2.0);
+        assert!(intersects(&mp, &poly));
+        assert!(!covers(&poly, &mp));
+        assert!(covers(&Geometry::rect(0.0, 0.0, 10.0, 10.0), &mp));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Geometry::point(0.0, 0.0);
+        let b = Geometry::point(3.0, 4.0);
+        assert_eq!(distance(&a, &b), 5.0);
+        let poly = Geometry::rect(10.0, 0.0, 20.0, 10.0);
+        assert_eq!(distance(&a, &poly), 10.0);
+        assert_eq!(distance(&Geometry::point(15.0, 5.0), &poly), 0.0);
+        let l = wkt("LINESTRING(0 2, 10 2)");
+        assert_eq!(distance(&a, &l), 2.0);
+        assert_eq!(distance(&l, &poly), 0.0);
+        let far = wkt("LINESTRING(0 20, 10 20)");
+        assert_eq!(distance(&far, &poly), 10.0);
+        assert_eq!(distance(&poly, &Geometry::rect(30.0, 0.0, 40.0, 10.0)), 10.0);
+    }
+
+    #[test]
+    fn intersects_is_symmetric() {
+        let cases = [
+            (wkt("POINT(5 5)"), Geometry::rect(0.0, 0.0, 10.0, 10.0)),
+            (wkt("LINESTRING(0 0, 10 10)"), Geometry::rect(2.0, 2.0, 4.0, 4.0)),
+            (Geometry::rect(0.0, 0.0, 3.0, 3.0), Geometry::rect(2.0, 2.0, 5.0, 5.0)),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(intersects(a, b), intersects(b, a));
+            assert_eq!(distance(a, b), distance(b, a));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Line-segment primitives: on-segment tests, intersection, distances.
+
+use crate::coord::{orientation, Coord, Orientation, EPSILON};
+
+/// Whether `p` lies on the closed segment `a..=b` (within tolerance).
+pub fn point_on_segment(p: &Coord, a: &Coord, b: &Coord) -> bool {
+    if orientation(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    p.x >= a.x.min(b.x) - EPSILON
+        && p.x <= a.x.max(b.x) + EPSILON
+        && p.y >= a.y.min(b.y) - EPSILON
+        && p.y <= a.y.max(b.y) + EPSILON
+}
+
+/// Whether the closed segments `p1..=p2` and `q1..=q2` share a point.
+///
+/// Standard orientation-based test with the four collinear special cases.
+pub fn segments_intersect(p1: &Coord, p2: &Coord, q1: &Coord, q2: &Coord) -> bool {
+    let o1 = orientation(p1, p2, q1);
+    let o2 = orientation(p1, p2, q2);
+    let o3 = orientation(q1, q2, p1);
+    let o4 = orientation(q1, q2, p2);
+
+    // General case. A mixed pair with one Collinear value cannot yield a
+    // false positive: q1 on line(p) and p1 on line(q) forces the two lines
+    // to coincide, which makes all four orientations collinear.
+    if o1 != o2 && o3 != o4 {
+        return true;
+    }
+
+    (o1 == Orientation::Collinear && point_on_segment(q1, p1, p2))
+        || (o2 == Orientation::Collinear && point_on_segment(q2, p1, p2))
+        || (o3 == Orientation::Collinear && point_on_segment(p1, q1, q2))
+        || (o4 == Orientation::Collinear && point_on_segment(p2, q1, q2))
+}
+
+/// Whether the open interiors of the two segments cross at a single point
+/// (a *proper* crossing — endpoint touches and collinear overlap excluded).
+pub fn segments_cross_properly(p1: &Coord, p2: &Coord, q1: &Coord, q2: &Coord) -> bool {
+    let o1 = orientation(p1, p2, q1);
+    let o2 = orientation(p1, p2, q2);
+    let o3 = orientation(q1, q2, p1);
+    let o4 = orientation(q1, q2, p2);
+    o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+        && o1 != o2
+        && o3 != o4
+}
+
+/// Minimum distance from point `p` to the closed segment `a..=b`.
+pub fn point_segment_distance(p: &Coord, a: &Coord, b: &Coord) -> f64 {
+    let ab = b.sub(a);
+    let len_sq = ab.dot(&ab);
+    if len_sq < f64::EPSILON {
+        return p.distance(a);
+    }
+    let ap = p.sub(a);
+    let t = (ap.dot(&ab) / len_sq).clamp(0.0, 1.0);
+    let proj = Coord::new(a.x + t * ab.x, a.y + t * ab.y);
+    p.distance(&proj)
+}
+
+/// Minimum distance between the two closed segments; zero if they touch.
+pub fn segment_segment_distance(p1: &Coord, p2: &Coord, q1: &Coord, q2: &Coord) -> f64 {
+    if segments_intersect(p1, p2, q1, q2) {
+        return 0.0;
+    }
+    point_segment_distance(p1, q1, q2)
+        .min(point_segment_distance(p2, q1, q2))
+        .min(point_segment_distance(q1, p1, p2))
+        .min(point_segment_distance(q2, p1, p2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn on_segment() {
+        assert!(point_on_segment(&c(1.0, 1.0), &c(0.0, 0.0), &c(2.0, 2.0)));
+        assert!(point_on_segment(&c(0.0, 0.0), &c(0.0, 0.0), &c(2.0, 2.0)));
+        assert!(!point_on_segment(&c(3.0, 3.0), &c(0.0, 0.0), &c(2.0, 2.0)));
+        assert!(!point_on_segment(&c(1.0, 1.2), &c(0.0, 0.0), &c(2.0, 2.0)));
+    }
+
+    #[test]
+    fn crossing_segments() {
+        assert!(segments_intersect(&c(0.0, 0.0), &c(2.0, 2.0), &c(0.0, 2.0), &c(2.0, 0.0)));
+        assert!(segments_cross_properly(&c(0.0, 0.0), &c(2.0, 2.0), &c(0.0, 2.0), &c(2.0, 0.0)));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        assert!(!segments_intersect(&c(0.0, 0.0), &c(1.0, 0.0), &c(0.0, 1.0), &c(1.0, 1.0)));
+        assert!(!segments_cross_properly(&c(0.0, 0.0), &c(1.0, 0.0), &c(0.0, 1.0), &c(1.0, 1.0)));
+    }
+
+    #[test]
+    fn endpoint_touch_intersects_but_not_properly() {
+        assert!(segments_intersect(&c(0.0, 0.0), &c(1.0, 1.0), &c(1.0, 1.0), &c(2.0, 0.0)));
+        assert!(!segments_cross_properly(&c(0.0, 0.0), &c(1.0, 1.0), &c(1.0, 1.0), &c(2.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        assert!(segments_intersect(&c(0.0, 0.0), &c(3.0, 0.0), &c(1.0, 0.0), &c(5.0, 0.0)));
+        assert!(!segments_cross_properly(&c(0.0, 0.0), &c(3.0, 0.0), &c(1.0, 0.0), &c(5.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        assert!(!segments_intersect(&c(0.0, 0.0), &c(1.0, 0.0), &c(2.0, 0.0), &c(3.0, 0.0)));
+    }
+
+    #[test]
+    fn t_junction_intersects() {
+        // q1 lies in the middle of segment p
+        assert!(segments_intersect(&c(0.0, 0.0), &c(4.0, 0.0), &c(2.0, 0.0), &c(2.0, 3.0)));
+    }
+
+    #[test]
+    fn point_segment_dist() {
+        assert_eq!(point_segment_distance(&c(0.0, 1.0), &c(-1.0, 0.0), &c(1.0, 0.0)), 1.0);
+        // beyond the endpoint: distance to endpoint
+        assert_eq!(point_segment_distance(&c(3.0, 4.0), &c(-1.0, 0.0), &c(0.0, 0.0)), 5.0);
+        // degenerate segment
+        assert_eq!(point_segment_distance(&c(3.0, 4.0), &c(0.0, 0.0), &c(0.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn segment_segment_dist() {
+        assert_eq!(
+            segment_segment_distance(&c(0.0, 0.0), &c(1.0, 0.0), &c(0.0, 2.0), &c(1.0, 2.0)),
+            2.0
+        );
+        assert_eq!(
+            segment_segment_distance(&c(0.0, 0.0), &c(2.0, 2.0), &c(0.0, 2.0), &c(2.0, 0.0)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Line simplification with Douglas–Peucker, useful for shrinking
+//! trajectory events before analysis.
+
+use crate::algorithms::segment::point_segment_distance;
+use crate::coord::Coord;
+use crate::linestring::LineString;
+
+/// Simplifies a coordinate chain with the Douglas–Peucker algorithm:
+/// vertices farther than `tolerance` from the simplified chain are kept.
+/// The first and last coordinates are always retained.
+pub fn simplify_coords(coords: &[Coord], tolerance: f64) -> Vec<Coord> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    if coords.len() <= 2 {
+        return coords.to_vec();
+    }
+    let mut keep = vec![false; coords.len()];
+    keep[0] = true;
+    keep[coords.len() - 1] = true;
+    let mut stack = vec![(0usize, coords.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut max_d, mut max_i) = (0.0f64, lo + 1);
+        for i in (lo + 1)..hi {
+            let d = point_segment_distance(&coords[i], &coords[lo], &coords[hi]);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > tolerance {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+    coords
+        .iter()
+        .zip(&keep)
+        .filter(|(_, k)| **k)
+        .map(|(c, _)| *c)
+        .collect()
+}
+
+/// Simplifies a linestring; always yields a valid linestring (at least
+/// the two endpoints survive).
+pub fn simplify(line: &LineString, tolerance: f64) -> LineString {
+    let coords = simplify_coords(line.coords(), tolerance);
+    LineString::new(coords).expect("endpoints always retained")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(pts: &[(f64, f64)]) -> LineString {
+        LineString::new(pts.iter().map(|&(x, y)| Coord::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let line = ls(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let s = simplify(&line, 0.01);
+        assert_eq!(s.num_coords(), 2);
+        assert_eq!(s.coords()[0], Coord::new(0.0, 0.0));
+        assert_eq!(s.coords()[1], Coord::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn significant_corner_is_kept() {
+        let line = ls(&[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]);
+        let s = simplify(&line, 1.0);
+        assert_eq!(s.num_coords(), 3, "the apex is 5 units off the chord");
+        let s = simplify(&line, 6.0);
+        assert_eq!(s.num_coords(), 2, "a loose tolerance drops the apex");
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_noncollinear_points() {
+        let line = ls(&[(0.0, 0.0), (1.0, 0.1), (2.0, 0.0)]);
+        let s = simplify(&line, 0.0);
+        assert_eq!(s.num_coords(), 3);
+    }
+
+    #[test]
+    fn simplified_stays_within_tolerance() {
+        // noisy sine-ish wiggle
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 * 0.1, (i as f64 * 0.6).sin() * 0.5))
+            .collect();
+        let line = ls(&pts);
+        let tol = 0.2;
+        let s = simplify(&line, tol);
+        assert!(s.num_coords() < line.num_coords());
+        // every dropped vertex is within `tol` of the simplified chain
+        for c in line.coords() {
+            let d = s
+                .segments()
+                .map(|(a, b)| point_segment_distance(c, a, b))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= tol + 1e-9, "vertex {c} is {d} away");
+        }
+    }
+
+    #[test]
+    fn two_point_line_unchanged() {
+        let line = ls(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(simplify(&line, 100.0).num_coords(), 2);
+    }
+}

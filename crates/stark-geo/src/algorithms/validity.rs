@@ -1,0 +1,182 @@
+//! Geometry validity checks.
+//!
+//! The paper's §3 observes that some competing systems "have serious bugs
+//! and produce wrong results"; validity checking on ingest is the first
+//! line of defence. These checks classify the structural problems that
+//! make predicate results undefined (self-intersecting rings, holes
+//! outside their shell).
+
+use crate::algorithms::point_in_polygon::{locate_in_ring, PointLocation};
+use crate::algorithms::segment::{point_on_segment, segments_cross_properly};
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::polygon::{Polygon, Ring};
+
+/// A structural defect found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// Two non-adjacent ring segments cross.
+    SelfIntersection { ring: usize, segment_a: usize, segment_b: usize },
+    /// The ring encloses no area.
+    ZeroAreaRing { ring: usize },
+    /// A hole has a vertex strictly outside the exterior ring.
+    HoleOutsideShell { hole: usize },
+    /// Two consecutive linestring vertices coincide.
+    RepeatedPoint { index: usize },
+}
+
+impl std::fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidityError::SelfIntersection { ring, segment_a, segment_b } => {
+                write!(f, "ring {ring}: segments {segment_a} and {segment_b} cross")
+            }
+            ValidityError::ZeroAreaRing { ring } => write!(f, "ring {ring} encloses no area"),
+            ValidityError::HoleOutsideShell { hole } => {
+                write!(f, "hole {hole} lies outside the exterior ring")
+            }
+            ValidityError::RepeatedPoint { index } => {
+                write!(f, "repeated consecutive point at index {index}")
+            }
+        }
+    }
+}
+
+/// Whether a ring is *simple*: no two non-adjacent segments touch or
+/// cross. O(n²) segment pairing — rings in event data are small.
+fn ring_self_intersections(ring: &Ring, ring_idx: usize, out: &mut Vec<ValidityError>) {
+    let segs: Vec<_> = ring.segments().collect();
+    let n = segs.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // adjacent segments share an endpoint by construction; the
+            // first and last segments are adjacent through the closure
+            let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+            let (a1, a2) = segs[i];
+            let (b1, b2) = segs[j];
+            if adjacent {
+                continue;
+            }
+            if segments_cross_properly(a1, a2, b1, b2)
+                || point_on_segment(b1, a1, a2)
+                || point_on_segment(b2, a1, a2)
+            {
+                out.push(ValidityError::SelfIntersection {
+                    ring: ring_idx,
+                    segment_a: i,
+                    segment_b: j,
+                });
+            }
+        }
+    }
+}
+
+fn validate_polygon(p: &Polygon, out: &mut Vec<ValidityError>) {
+    for (idx, ring) in p.rings().enumerate() {
+        if ring.area() < f64::EPSILON {
+            out.push(ValidityError::ZeroAreaRing { ring: idx });
+        }
+        ring_self_intersections(ring, idx, out);
+    }
+    for (h, hole) in p.holes().iter().enumerate() {
+        let outside = hole
+            .coords_open()
+            .iter()
+            .any(|c| locate_in_ring(c, p.exterior()) == PointLocation::Exterior);
+        if outside {
+            out.push(ValidityError::HoleOutsideShell { hole: h });
+        }
+    }
+}
+
+fn validate_linestring(l: &LineString, out: &mut Vec<ValidityError>) {
+    for (i, w) in l.coords().windows(2).enumerate() {
+        if w[0].approx_eq(&w[1]) {
+            out.push(ValidityError::RepeatedPoint { index: i });
+        }
+    }
+}
+
+/// Collects all structural defects of a geometry; empty = valid.
+pub fn validate(g: &Geometry) -> Vec<ValidityError> {
+    let mut out = Vec::new();
+    match g {
+        Geometry::Point(_) | Geometry::MultiPoint(_) => {}
+        Geometry::LineString(l) => validate_linestring(l, &mut out),
+        Geometry::MultiLineString(ls) => {
+            ls.iter().for_each(|l| validate_linestring(l, &mut out))
+        }
+        Geometry::Polygon(p) => validate_polygon(p, &mut out),
+        Geometry::MultiPolygon(ps) => ps.iter().for_each(|p| validate_polygon(p, &mut out)),
+    }
+    out
+}
+
+/// Whether the geometry has no structural defects.
+pub fn is_valid(g: &Geometry) -> bool {
+    validate(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wkt(s: &str) -> Geometry {
+        Geometry::from_wkt(s).unwrap()
+    }
+
+    #[test]
+    fn simple_shapes_are_valid() {
+        assert!(is_valid(&wkt("POINT(1 2)")));
+        assert!(is_valid(&wkt("LINESTRING(0 0, 1 1, 2 0)")));
+        assert!(is_valid(&wkt("POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))")));
+        assert!(is_valid(&wkt(
+            "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))"
+        )));
+    }
+
+    #[test]
+    fn bowtie_is_self_intersecting() {
+        // figure-eight: segments (0,0)-(4,4) and (4,0)-(0,4) cross
+        let g = wkt("POLYGON((0 0, 4 4, 4 0, 0 4, 0 0))");
+        let errors = validate(&g);
+        assert!(
+            errors.iter().any(|e| matches!(e, ValidityError::SelfIntersection { .. })),
+            "{errors:?}"
+        );
+        assert!(!is_valid(&g));
+    }
+
+    #[test]
+    fn zero_area_ring_detected() {
+        let g = wkt("POLYGON((0 0, 2 2, 4 4))"); // collinear
+        assert!(validate(&g)
+            .iter()
+            .any(|e| matches!(e, ValidityError::ZeroAreaRing { .. })));
+    }
+
+    #[test]
+    fn hole_outside_shell_detected() {
+        let g = wkt("POLYGON((0 0, 4 0, 4 4, 0 4, 0 0), (10 10, 12 10, 12 12, 10 12, 10 10))");
+        let errors = validate(&g);
+        assert!(errors.iter().any(|e| matches!(e, ValidityError::HoleOutsideShell { hole: 0 })));
+    }
+
+    #[test]
+    fn repeated_linestring_points_detected() {
+        let g = wkt("LINESTRING(0 0, 1 1, 1 1, 2 2)");
+        assert_eq!(validate(&g), vec![ValidityError::RepeatedPoint { index: 1 }]);
+    }
+
+    #[test]
+    fn multipolygon_reports_member_defects() {
+        let g = wkt("MULTIPOLYGON(((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 9 9, 9 5, 5 9, 5 5)))");
+        assert!(!is_valid(&g));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ValidityError::SelfIntersection { ring: 0, segment_a: 1, segment_b: 3 };
+        assert!(e.to_string().contains("segments 1 and 3"));
+    }
+}

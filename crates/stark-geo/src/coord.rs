@@ -1,0 +1,170 @@
+//! Planar coordinates and elementary vector operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relative tolerance used by the robustness-aware comparisons in this
+/// kernel. Geometry inputs are expected to be "world sized" (WGS84 degrees
+/// or metres), for which an absolute epsilon works well.
+pub const EPSILON: f64 = 1e-9;
+
+/// A two-dimensional coordinate.
+///
+/// `Coord` is a plain value type: it has no geometric semantics of its own
+/// and is shared by all geometry types in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate from its two components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Coord { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Coord::distance`]; prefer it for comparisons.
+    #[inline]
+    pub fn distance_sq(&self, other: &Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Coord) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Component-wise subtraction, yielding the vector `self - other`.
+    #[inline]
+    pub fn sub(&self, other: &Coord) -> Coord {
+        Coord::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Dot product, treating both coordinates as vectors from the origin.
+    #[inline]
+    pub fn dot(&self, other: &Coord) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Magnitude of the 2D cross product, treating both as vectors.
+    #[inline]
+    pub fn cross(&self, other: &Coord) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Whether the two coordinates are equal up to [`EPSILON`].
+    #[inline]
+    pub fn approx_eq(&self, other: &Coord) -> bool {
+        (self.x - other.x).abs() <= EPSILON && (self.y - other.y).abs() <= EPSILON
+    }
+
+    /// Whether both components are finite numbers.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Coord {
+    fn from((x, y): (f64, f64)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.x, self.y)
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` lies to the left of the directed line `a -> b`.
+    CounterClockwise,
+    /// `c` lies to the right of the directed line `a -> b`.
+    Clockwise,
+    /// The three points are collinear (within tolerance).
+    Collinear,
+}
+
+/// Computes the orientation of the ordered point triple `(a, b, c)`.
+///
+/// Uses the sign of the cross product of `b - a` and `c - a`, with an
+/// area-scaled tolerance so nearly-collinear triples are classified as
+/// collinear rather than flapping between the two turn directions.
+pub fn orientation(a: &Coord, b: &Coord, c: &Coord) -> Orientation {
+    let v1 = b.sub(a);
+    let v2 = c.sub(a);
+    let cross = v1.cross(&v2);
+    // Scale the tolerance by the magnitudes involved so that large
+    // coordinates do not produce spurious CCW/CW classifications.
+    let scale = v1.dot(&v1).max(v2.dot(&v2)).max(1.0);
+    let tol = EPSILON * scale;
+    if cross > tol {
+        Orientation::CounterClockwise
+    } else if cross < -tol {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn cross_sign_matches_orientation() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(1.0, 0.0);
+        let up = Coord::new(1.0, 1.0);
+        let down = Coord::new(1.0, -1.0);
+        let on = Coord::new(2.0, 0.0);
+        assert_eq!(orientation(&a, &b, &up), Orientation::CounterClockwise);
+        assert_eq!(orientation(&a, &b, &down), Orientation::Clockwise);
+        assert_eq!(orientation(&a, &b, &on), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orientation_is_robust_for_large_coordinates() {
+        let a = Coord::new(1e8, 1e8);
+        let b = Coord::new(2e8, 2e8);
+        let c = Coord::new(3e8, 3e8);
+        assert_eq!(orientation(&a, &b, &c), Orientation::Collinear);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_noise() {
+        let a = Coord::new(1.0, 1.0);
+        let b = Coord::new(1.0 + 1e-12, 1.0 - 1e-12);
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&Coord::new(1.1, 1.0)));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let c: Coord = (2.5, -3.5).into();
+        assert_eq!(c, Coord::new(2.5, -3.5));
+    }
+
+    #[test]
+    fn display_formats_as_wkt_pair() {
+        assert_eq!(Coord::new(1.5, 2.0).to_string(), "1.5 2");
+    }
+}

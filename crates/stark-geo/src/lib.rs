@@ -1,0 +1,45 @@
+//! # stark-geo — planar geometry kernel
+//!
+//! This crate is the reproduction's substitute for the JTS topology suite
+//! the STARK paper relies on (paper §2.2). It provides:
+//!
+//! * geometry types: [`Point`], [`LineString`], [`Polygon`] (with holes)
+//!   and their `Multi*` variants under the [`Geometry`] sum type;
+//! * [`Envelope`] minimum bounding rectangles;
+//! * WKT parsing and writing ([`Geometry::from_wkt`] / [`Geometry::to_wkt`]);
+//! * binary predicates `intersects`, `contains` (covers semantics),
+//!   `containedBy` and Euclidean `distance`;
+//! * pluggable distance functions ([`DistanceFn`]) including Haversine.
+//!
+//! ```
+//! use stark_geo::Geometry;
+//!
+//! let region = Geometry::from_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))").unwrap();
+//! let event = Geometry::point(3.0, 4.0);
+//! assert!(region.contains(&event));
+//! assert!(event.contained_by(&region));
+//! assert_eq!(event.distance(&Geometry::point(6.0, 8.0)), 5.0);
+//! ```
+
+pub mod algorithms;
+pub mod coord;
+pub mod distance;
+pub mod envelope;
+pub mod error;
+pub mod geometry;
+pub mod linestring;
+pub mod point;
+pub mod polygon;
+pub mod wkt;
+
+pub use algorithms::convex_hull::{convex_hull, convex_hull_coords};
+pub use algorithms::simplify::{simplify, simplify_coords};
+pub use algorithms::validity::{is_valid, validate, ValidityError};
+pub use coord::Coord;
+pub use distance::{haversine, DistanceFn, EARTH_RADIUS_M};
+pub use envelope::Envelope;
+pub use error::GeoError;
+pub use geometry::Geometry;
+pub use linestring::LineString;
+pub use point::Point;
+pub use polygon::{Polygon, Ring};

@@ -1,0 +1,97 @@
+//! Polylines.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use crate::error::GeoError;
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of at least two coordinates, interpreted as the
+/// chain of line segments connecting them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineString {
+    coords: Vec<Coord>,
+}
+
+impl LineString {
+    /// Builds a linestring, validating that it has at least two vertices
+    /// and only finite coordinates.
+    pub fn new(coords: Vec<Coord>) -> Result<Self, GeoError> {
+        if coords.len() < 2 {
+            return Err(GeoError::InvalidGeometry(
+                "LineString requires at least 2 coordinates".into(),
+            ));
+        }
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(GeoError::InvalidGeometry("non-finite coordinate".into()));
+        }
+        Ok(LineString { coords })
+    }
+
+    /// The vertex sequence.
+    #[inline]
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_coords(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Iterator over consecutive vertex pairs (the segments).
+    pub fn segments(&self) -> impl Iterator<Item = (&Coord, &Coord)> {
+        self.coords.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Total length of all segments.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Whether first and last vertex coincide.
+    pub fn is_closed(&self) -> bool {
+        self.coords.first().zip(self.coords.last()).is_some_and(|(a, b)| a.approx_eq(b))
+    }
+
+    /// Tightest axis-aligned rectangle covering all vertices.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::from_coords(self.coords.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(pts: &[(f64, f64)]) -> LineString {
+        LineString::new(pts.iter().map(|&(x, y)| Coord::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(LineString::new(vec![]).is_err());
+        assert!(LineString::new(vec![Coord::new(0.0, 0.0)]).is_err());
+        assert!(LineString::new(vec![Coord::new(0.0, 0.0), Coord::new(f64::NAN, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        let l = ls(&[(0.0, 0.0), (3.0, 4.0), (3.0, 8.0)]);
+        assert_eq!(l.length(), 9.0);
+        assert_eq!(l.segments().count(), 2);
+    }
+
+    #[test]
+    fn closedness() {
+        assert!(!ls(&[(0.0, 0.0), (1.0, 0.0)]).is_closed());
+        assert!(ls(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.0, 0.0)]).is_closed());
+    }
+
+    #[test]
+    fn envelope_covers_vertices() {
+        let l = ls(&[(0.0, 5.0), (-1.0, 2.0), (4.0, 3.0)]);
+        let e = l.envelope();
+        assert_eq!(e, Envelope::from_bounds(-1.0, 2.0, 4.0, 5.0));
+    }
+}

@@ -1,0 +1,82 @@
+//! The point geometry.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single location in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point(pub Coord);
+
+impl Point {
+    /// Creates a point from its two components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point(Coord::new(x, y))
+    }
+
+    /// The underlying coordinate.
+    #[inline]
+    pub fn coord(&self) -> &Coord {
+        &self.0
+    }
+
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.0.x
+    }
+
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.0.y
+    }
+
+    /// Degenerate envelope covering only this point.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::from_point(self.0)
+    }
+}
+
+impl From<Coord> for Point {
+    fn from(c: Coord) -> Self {
+        Point(c)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from(t: (f64, f64)) -> Self {
+        Point(t.into())
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POINT ({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Point::new(1.0, -2.0);
+        assert_eq!(p.x(), 1.0);
+        assert_eq!(p.y(), -2.0);
+        assert_eq!(*p.coord(), Coord::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn envelope_is_degenerate() {
+        let e = Point::new(3.0, 4.0).envelope();
+        assert_eq!(e.area(), 0.0);
+        assert!(e.contains_coord(&Coord::new(3.0, 4.0)));
+        assert!(!e.contains_coord(&Coord::new(3.0, 4.1)));
+    }
+
+    #[test]
+    fn display_is_wkt() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "POINT (1 2)");
+    }
+}

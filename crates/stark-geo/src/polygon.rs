@@ -1,0 +1,247 @@
+//! Polygons with optional holes.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use crate::error::GeoError;
+use serde::{Deserialize, Serialize};
+
+/// A closed ring of coordinates.
+///
+/// Stored with the closing vertex (`first == last`). Rings passed to
+/// [`Ring::new`] are closed automatically when the input is open.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ring {
+    coords: Vec<Coord>,
+}
+
+impl Ring {
+    /// Builds a ring from at least three distinct vertices; appends the
+    /// closing vertex when missing.
+    pub fn new(mut coords: Vec<Coord>) -> Result<Self, GeoError> {
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(GeoError::InvalidGeometry("non-finite coordinate".into()));
+        }
+        if coords.len() >= 2 && coords.first().unwrap().approx_eq(coords.last().unwrap()) {
+            coords.pop();
+        }
+        if coords.len() < 3 {
+            return Err(GeoError::InvalidGeometry(
+                "Ring requires at least 3 distinct coordinates".into(),
+            ));
+        }
+        let first = coords[0];
+        coords.push(first);
+        Ok(Ring { coords })
+    }
+
+    /// All vertices including the closing duplicate of the first.
+    #[inline]
+    pub fn coords_closed(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// Vertices without the closing duplicate.
+    #[inline]
+    pub fn coords_open(&self) -> &[Coord] {
+        &self.coords[..self.coords.len() - 1]
+    }
+
+    /// Iterator over the ring's segments, including the closing one.
+    pub fn segments(&self) -> impl Iterator<Item = (&Coord, &Coord)> {
+        self.coords.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Signed area by the shoelace formula: positive for counter-clockwise
+    /// vertex order, negative for clockwise.
+    pub fn signed_area(&self) -> f64 {
+        let mut sum = 0.0;
+        for (a, b) in self.segments() {
+            sum += a.x * b.y - b.x * a.y;
+        }
+        sum / 2.0
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.segments().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Area-weighted centroid of the enclosed region. Falls back to the
+    /// vertex mean for zero-area (degenerate) rings.
+    pub fn centroid(&self) -> Coord {
+        let a = self.signed_area();
+        if a.abs() < f64::EPSILON {
+            let open = self.coords_open();
+            let n = open.len() as f64;
+            let (sx, sy) = open.iter().fold((0.0, 0.0), |(sx, sy), c| (sx + c.x, sy + c.y));
+            return Coord::new(sx / n, sy / n);
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (p, q) in self.segments() {
+            let cross = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+        }
+        Coord::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Tightest axis-aligned rectangle around the ring.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::from_coords(self.coords.iter())
+    }
+}
+
+/// A polygon: one exterior ring and zero or more interior rings (holes).
+///
+/// Semantics are the usual simple-features ones: the polygon's region is
+/// the area inside the exterior ring minus the areas inside the holes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    exterior: Ring,
+    holes: Vec<Ring>,
+}
+
+impl Polygon {
+    /// Builds a polygon from an exterior ring and holes.
+    pub fn new(exterior: Ring, holes: Vec<Ring>) -> Self {
+        Polygon { exterior, holes }
+    }
+
+    /// Convenience constructor for a hole-free polygon from raw vertices.
+    pub fn from_exterior(coords: Vec<Coord>) -> Result<Self, GeoError> {
+        Ok(Polygon { exterior: Ring::new(coords)?, holes: Vec::new() })
+    }
+
+    /// An axis-aligned rectangular polygon covering `env`.
+    pub fn from_envelope(env: &Envelope) -> Result<Self, GeoError> {
+        if env.is_empty() {
+            return Err(GeoError::InvalidGeometry("empty envelope".into()));
+        }
+        Polygon::from_exterior(env.corners())
+    }
+
+    #[inline]
+    pub fn exterior(&self) -> &Ring {
+        &self.exterior
+    }
+
+    #[inline]
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    /// Exterior area minus hole areas.
+    pub fn area(&self) -> f64 {
+        self.exterior.area() - self.holes.iter().map(Ring::area).sum::<f64>()
+    }
+
+    /// Area-weighted centroid honoring holes. Falls back to the exterior
+    /// centroid when the net area vanishes.
+    pub fn centroid(&self) -> Coord {
+        let ext_a = self.exterior.area();
+        let hole_a: f64 = self.holes.iter().map(Ring::area).sum();
+        let net = ext_a - hole_a;
+        if net.abs() < f64::EPSILON {
+            return self.exterior.centroid();
+        }
+        let ec = self.exterior.centroid();
+        let mut cx = ec.x * ext_a;
+        let mut cy = ec.y * ext_a;
+        for h in &self.holes {
+            let hc = h.centroid();
+            let ha = h.area();
+            cx -= hc.x * ha;
+            cy -= hc.y * ha;
+        }
+        Coord::new(cx / net, cy / net)
+    }
+
+    /// Envelope of the exterior ring (holes cannot extend it).
+    pub fn envelope(&self) -> Envelope {
+        self.exterior.envelope()
+    }
+
+    /// Iterator over all rings: the exterior first, then the holes.
+    pub fn rings(&self) -> impl Iterator<Item = &Ring> {
+        std::iter::once(&self.exterior).chain(self.holes.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(pts: &[(f64, f64)]) -> Ring {
+        Ring::new(pts.iter().map(|&(x, y)| Coord::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn ring_auto_closes() {
+        let r = ring(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(r.coords_closed().len(), 4);
+        assert_eq!(r.coords_open().len(), 3);
+        assert!(r.coords_closed().first().unwrap().approx_eq(r.coords_closed().last().unwrap()));
+    }
+
+    #[test]
+    fn ring_rejects_too_few_vertices() {
+        assert!(Ring::new(vec![Coord::new(0.0, 0.0), Coord::new(1.0, 1.0)]).is_err());
+        // closed pair degenerates to 1 distinct vertex
+        assert!(Ring::new(vec![Coord::new(0.0, 0.0), Coord::new(0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn shoelace_signed_area() {
+        let ccw = ring(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        assert_eq!(ccw.signed_area(), 4.0);
+        let cw = ring(&[(0.0, 0.0), (0.0, 2.0), (2.0, 2.0), (2.0, 0.0)]);
+        assert_eq!(cw.signed_area(), -4.0);
+        assert_eq!(cw.area(), 4.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let r = ring(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        assert!(r.centroid().approx_eq(&Coord::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn polygon_area_subtracts_holes() {
+        let outer = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let hole = ring(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]);
+        let p = Polygon::new(outer, vec![hole]);
+        assert_eq!(p.area(), 100.0 - 4.0);
+        assert_eq!(p.rings().count(), 2);
+    }
+
+    #[test]
+    fn centroid_with_hole_shifts_away() {
+        let outer = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        // hole in the left half pushes the centroid right
+        let hole = ring(&[(1.0, 4.0), (3.0, 4.0), (3.0, 6.0), (1.0, 6.0)]);
+        let p = Polygon::new(outer, vec![hole]);
+        assert!(p.centroid().x > 5.0);
+        assert!((p.centroid().y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_envelope_rectangle() {
+        let e = Envelope::from_bounds(0.0, 0.0, 4.0, 2.0);
+        let p = Polygon::from_envelope(&e).unwrap();
+        assert_eq!(p.area(), 8.0);
+        assert_eq!(p.envelope(), e);
+        assert!(Polygon::from_envelope(&Envelope::empty()).is_err());
+    }
+
+    #[test]
+    fn perimeter() {
+        let r = ring(&[(0.0, 0.0), (3.0, 0.0), (3.0, 4.0)]);
+        assert_eq!(r.perimeter(), 12.0);
+    }
+}

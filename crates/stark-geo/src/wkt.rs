@@ -1,0 +1,452 @@
+//! Well-Known Text reader and writer.
+//!
+//! Supports the geometry kinds of [`Geometry`]: `POINT`, `MULTIPOINT`,
+//! `LINESTRING`, `MULTILINESTRING`, `POLYGON`, `MULTIPOLYGON`. Multi
+//! geometries accept `EMPTY`. Parsing is case-insensitive and tolerant of
+//! whitespace; `MULTIPOINT` accepts both the parenthesised
+//! (`MULTIPOINT((1 1), (2 2))`) and the bare (`MULTIPOINT(1 1, 2 2)`)
+//! member forms.
+
+use crate::coord::Coord;
+use crate::error::GeoError;
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+
+/// Parses a WKT string into a [`Geometry`].
+pub fn parse_wkt(input: &str) -> Result<Geometry, GeoError> {
+    let mut p = Parser::new(input);
+    let geom = p.parse_geometry()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing characters after geometry"));
+    }
+    Ok(geom)
+}
+
+/// Serialises a [`Geometry`] to canonical WKT.
+pub fn write_wkt(g: &Geometry) -> String {
+    let mut out = String::with_capacity(32);
+    match g {
+        Geometry::Point(p) => {
+            out.push_str("POINT (");
+            write_coord(&mut out, p.coord());
+            out.push(')');
+        }
+        Geometry::MultiPoint(ps) => {
+            if ps.is_empty() {
+                return "MULTIPOINT EMPTY".to_string();
+            }
+            out.push_str("MULTIPOINT (");
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('(');
+                write_coord(&mut out, p.coord());
+                out.push(')');
+            }
+            out.push(')');
+        }
+        Geometry::LineString(l) => {
+            out.push_str("LINESTRING ");
+            write_coord_seq(&mut out, l.coords());
+        }
+        Geometry::MultiLineString(ls) => {
+            if ls.is_empty() {
+                return "MULTILINESTRING EMPTY".to_string();
+            }
+            out.push_str("MULTILINESTRING (");
+            for (i, l) in ls.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_coord_seq(&mut out, l.coords());
+            }
+            out.push(')');
+        }
+        Geometry::Polygon(p) => {
+            out.push_str("POLYGON ");
+            write_polygon_body(&mut out, p);
+        }
+        Geometry::MultiPolygon(ps) => {
+            if ps.is_empty() {
+                return "MULTIPOLYGON EMPTY".to_string();
+            }
+            out.push_str("MULTIPOLYGON (");
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_polygon_body(&mut out, p);
+            }
+            out.push(')');
+        }
+    }
+    out
+}
+
+fn write_coord(out: &mut String, c: &Coord) {
+    out.push_str(&format_num(c.x));
+    out.push(' ');
+    out.push_str(&format_num(c.y));
+}
+
+fn format_num(v: f64) -> String {
+    // Render integral values without the trailing ".0" for compactness,
+    // mirroring common WKT emitters.
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_coord_seq(out: &mut String, coords: &[Coord]) {
+    out.push('(');
+    for (i, c) in coords.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_coord(out, c);
+    }
+    out.push(')');
+}
+
+fn write_polygon_body(out: &mut String, p: &Polygon) {
+    out.push('(');
+    for (i, ring) in p.rings().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_coord_seq(out, ring.coords_closed());
+    }
+    out.push(')');
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> GeoError {
+        GeoError::WktParse { message: msg.to_string(), position: self.pos }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), GeoError> {
+        self.skip_ws();
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", ch as char)))
+        }
+    }
+
+    fn try_consume(&mut self, ch: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read_word(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_uppercase()
+    }
+
+    /// Peeks the next keyword without consuming it.
+    fn peek_word(&mut self) -> String {
+        let save = self.pos;
+        let w = self.read_word();
+        self.pos = save;
+        w
+    }
+
+    fn read_number(&mut self) -> Result<f64, GeoError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit()
+                || b == b'-'
+                || b == b'+'
+                || b == b'.'
+                || b == b'e'
+                || b == b'E'
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected number"));
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map_err(|e| self.err(&format!("bad number: {e}")))
+    }
+
+    fn read_coord(&mut self) -> Result<Coord, GeoError> {
+        let x = self.read_number()?;
+        let y = self.read_number()?;
+        let c = Coord::new(x, y);
+        if !c.is_finite() {
+            return Err(self.err("non-finite coordinate"));
+        }
+        Ok(c)
+    }
+
+    fn read_coord_seq(&mut self) -> Result<Vec<Coord>, GeoError> {
+        self.expect(b'(')?;
+        let mut coords = vec![self.read_coord()?];
+        while self.try_consume(b',') {
+            coords.push(self.read_coord()?);
+        }
+        self.expect(b')')?;
+        Ok(coords)
+    }
+
+    fn is_empty_tag(&mut self) -> bool {
+        if self.peek_word() == "EMPTY" {
+            self.read_word();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, GeoError> {
+        let tag = self.read_word();
+        match tag.as_str() {
+            "POINT" => {
+                self.expect(b'(')?;
+                let c = self.read_coord()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(Point(c)))
+            }
+            "MULTIPOINT" => {
+                if self.is_empty_tag() {
+                    return Ok(Geometry::MultiPoint(Vec::new()));
+                }
+                self.expect(b'(')?;
+                let mut pts = Vec::new();
+                loop {
+                    // each member may be parenthesised or bare
+                    let c = if self.try_consume(b'(') {
+                        let c = self.read_coord()?;
+                        self.expect(b')')?;
+                        c
+                    } else {
+                        self.read_coord()?
+                    };
+                    pts.push(Point(c));
+                    if !self.try_consume(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPoint(pts))
+            }
+            "LINESTRING" => {
+                let coords = self.read_coord_seq()?;
+                let ls = LineString::new(coords)
+                    .map_err(|e| self.err(&e.to_string()))?;
+                Ok(Geometry::LineString(ls))
+            }
+            "MULTILINESTRING" => {
+                if self.is_empty_tag() {
+                    return Ok(Geometry::MultiLineString(Vec::new()));
+                }
+                self.expect(b'(')?;
+                let mut members = Vec::new();
+                loop {
+                    let coords = self.read_coord_seq()?;
+                    members.push(
+                        LineString::new(coords).map_err(|e| self.err(&e.to_string()))?,
+                    );
+                    if !self.try_consume(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiLineString(members))
+            }
+            "POLYGON" => Ok(Geometry::Polygon(self.parse_polygon_body()?)),
+            "MULTIPOLYGON" => {
+                if self.is_empty_tag() {
+                    return Ok(Geometry::MultiPolygon(Vec::new()));
+                }
+                self.expect(b'(')?;
+                let mut members = Vec::new();
+                loop {
+                    members.push(self.parse_polygon_body()?);
+                    if !self.try_consume(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPolygon(members))
+            }
+            "" => Err(self.err("expected geometry tag")),
+            other => Err(self.err(&format!("unknown geometry type '{other}'"))),
+        }
+    }
+
+    fn parse_polygon_body(&mut self) -> Result<Polygon, GeoError> {
+        self.expect(b'(')?;
+        let exterior =
+            Ring::new(self.read_coord_seq()?).map_err(|e| self.err(&e.to_string()))?;
+        let mut holes = Vec::new();
+        while self.try_consume(b',') {
+            holes.push(Ring::new(self.read_coord_seq()?).map_err(|e| self.err(&e.to_string()))?);
+        }
+        self.expect(b')')?;
+        Ok(Polygon::new(exterior, holes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point() {
+        let g = parse_wkt("POINT(1.5 -2)").unwrap();
+        assert_eq!(g, Geometry::point(1.5, -2.0));
+        // case-insensitive with padding
+        let g = parse_wkt("  point ( 1.5   -2 )  ").unwrap();
+        assert_eq!(g, Geometry::point(1.5, -2.0));
+    }
+
+    #[test]
+    fn parse_scientific_notation() {
+        let g = parse_wkt("POINT(1e3 -2.5E-2)").unwrap();
+        assert_eq!(g, Geometry::point(1000.0, -0.025));
+    }
+
+    #[test]
+    fn parse_linestring() {
+        let g = parse_wkt("LINESTRING(0 0, 1 1, 2 0)").unwrap();
+        match &g {
+            Geometry::LineString(l) => assert_eq!(l.num_coords(), 3),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let g = parse_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))")
+            .unwrap();
+        match &g {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.holes().len(), 1);
+                assert_eq!(p.area(), 100.0 - 4.0);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn parse_unclosed_ring_is_closed() {
+        let g = parse_wkt("POLYGON((0 0, 4 0, 4 4, 0 4))").unwrap();
+        match &g {
+            Geometry::Polygon(p) => assert_eq!(p.area(), 16.0),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn parse_multi_variants() {
+        assert!(matches!(
+            parse_wkt("MULTIPOINT((1 1), (2 2))").unwrap(),
+            Geometry::MultiPoint(ref v) if v.len() == 2
+        ));
+        assert!(matches!(
+            parse_wkt("MULTIPOINT(1 1, 2 2, 3 3)").unwrap(),
+            Geometry::MultiPoint(ref v) if v.len() == 3
+        ));
+        assert!(matches!(
+            parse_wkt("MULTILINESTRING((0 0, 1 1), (2 2, 3 3))").unwrap(),
+            Geometry::MultiLineString(ref v) if v.len() == 2
+        ));
+        assert!(matches!(
+            parse_wkt("MULTIPOLYGON(((0 0, 1 0, 1 1)), ((5 5, 6 5, 6 6)))").unwrap(),
+            Geometry::MultiPolygon(ref v) if v.len() == 2
+        ));
+        assert!(matches!(parse_wkt("MULTIPOINT EMPTY").unwrap(), Geometry::MultiPoint(ref v) if v.is_empty()));
+        assert!(
+            matches!(parse_wkt("MULTIPOLYGON EMPTY").unwrap(), Geometry::MultiPolygon(ref v) if v.is_empty())
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_wkt("").is_err());
+        assert!(parse_wkt("CIRCLE(0 0, 5)").is_err());
+        assert!(parse_wkt("POINT(1)").is_err());
+        assert!(parse_wkt("POINT(1 2").is_err());
+        assert!(parse_wkt("POINT(1 2) garbage").is_err());
+        assert!(parse_wkt("LINESTRING(0 0)").is_err());
+        assert!(parse_wkt("POLYGON((0 0, 1 1))").is_err());
+        assert!(parse_wkt("POINT(nan nan)").is_err());
+    }
+
+    #[test]
+    fn roundtrip_canonical() {
+        let cases = [
+            "POINT (1 2)",
+            "POINT (1.5 -2.25)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+            "MULTIPOINT ((1 1), (2 2))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+            "MULTIPOINT EMPTY",
+        ];
+        for case in cases {
+            let g = parse_wkt(case).unwrap();
+            assert_eq!(write_wkt(&g), case, "canonical form mismatch");
+            // parsing the emitted form yields the same geometry
+            assert_eq!(parse_wkt(&write_wkt(&g)).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn error_position_is_reported() {
+        match parse_wkt("POINT(1 x)") {
+            Err(GeoError::WktParse { position, .. }) => assert_eq!(position, 8),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

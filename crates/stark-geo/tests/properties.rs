@@ -1,0 +1,174 @@
+//! Property-based tests for the geometry kernel.
+
+use proptest::prelude::*;
+use stark_geo::{Coord, DistanceFn, Envelope, Geometry};
+
+fn coord_strategy() -> impl Strategy<Value = Coord> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+fn point_strategy() -> impl Strategy<Value = Geometry> {
+    coord_strategy().prop_map(|c| Geometry::point(c.x, c.y))
+}
+
+fn rect_strategy() -> impl Strategy<Value = Geometry> {
+    (coord_strategy(), 0.1f64..500.0, 0.1f64..500.0)
+        .prop_map(|(c, w, h)| Geometry::rect(c.x, c.y, c.x + w, c.y + h))
+}
+
+fn linestring_strategy() -> impl Strategy<Value = Geometry> {
+    proptest::collection::vec(coord_strategy(), 2..8).prop_filter_map(
+        "valid linestring",
+        |coords| {
+            stark_geo::LineString::new(coords).ok().map(Geometry::LineString)
+        },
+    )
+}
+
+fn geometry_strategy() -> impl Strategy<Value = Geometry> {
+    prop_oneof![point_strategy(), rect_strategy(), linestring_strategy()]
+}
+
+proptest! {
+    #[test]
+    fn wkt_roundtrip(g in geometry_strategy()) {
+        let wkt = g.to_wkt();
+        let parsed = Geometry::from_wkt(&wkt).unwrap();
+        // canonical text form must be a fixed point
+        prop_assert_eq!(parsed.to_wkt(), wkt);
+    }
+
+    #[test]
+    fn envelope_contains_centroid_of_convex(g in prop_oneof![point_strategy(), rect_strategy()]) {
+        let env = g.envelope();
+        let c = g.centroid();
+        prop_assert!(env.buffered(1e-9).contains_coord(&c));
+    }
+
+    #[test]
+    fn intersects_symmetric(a in geometry_strategy(), b in geometry_strategy()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn distance_symmetric_and_consistent(a in geometry_strategy(), b in geometry_strategy()) {
+        let dab = a.distance(&b);
+        let dba = b.distance(&a);
+        prop_assert!((dab - dba).abs() < 1e-9, "{dab} vs {dba}");
+        if a.intersects(&b) {
+            prop_assert!(dab < 1e-9, "intersecting but distance {dab}");
+        } else {
+            prop_assert!(dab >= 0.0);
+        }
+    }
+
+    #[test]
+    fn self_relations(g in geometry_strategy()) {
+        prop_assert!(g.intersects(&g));
+        prop_assert!(g.contains(&g));
+        prop_assert!(g.contained_by(&g));
+        prop_assert!(g.distance(&g) < 1e-9);
+    }
+
+    #[test]
+    fn contains_implies_intersects(a in rect_strategy(), b in geometry_strategy()) {
+        if a.contains(&b) {
+            prop_assert!(a.intersects(&b));
+            // containment also implies envelope containment
+            prop_assert!(a.envelope().contains_envelope(&b.envelope()));
+        }
+    }
+
+    #[test]
+    fn rect_contains_its_interior_points(
+        (min_x, min_y) in (-100.0f64..100.0, -100.0f64..100.0),
+        (w, h) in (1.0f64..50.0, 1.0f64..50.0),
+        (fx, fy) in (0.0f64..=1.0, 0.0f64..=1.0),
+    ) {
+        let r = Geometry::rect(min_x, min_y, min_x + w, min_y + h);
+        let p = Geometry::point(min_x + fx * w, min_y + fy * h);
+        prop_assert!(r.contains(&p));
+        prop_assert!(r.intersects(&p));
+        prop_assert!(p.contained_by(&r));
+    }
+
+    #[test]
+    fn rect_excludes_outside_points(
+        (min_x, min_y) in (-100.0f64..100.0, -100.0f64..100.0),
+        (w, h) in (1.0f64..50.0, 1.0f64..50.0),
+        off in 0.001f64..100.0,
+    ) {
+        let r = Geometry::rect(min_x, min_y, min_x + w, min_y + h);
+        let p = Geometry::point(min_x + w + off, min_y);
+        prop_assert!(!r.contains(&p));
+        prop_assert!(!r.intersects(&p));
+        // distance to the rect equals the horizontal offset
+        prop_assert!((r.distance(&p) - off).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_union_covers_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.envelope().union(&b.envelope());
+        prop_assert!(u.contains_envelope(&a.envelope()));
+        prop_assert!(u.contains_envelope(&b.envelope()));
+    }
+
+    #[test]
+    fn envelope_intersection_within_both(a in rect_strategy(), b in rect_strategy()) {
+        if let Some(i) = a.envelope().intersection(&b.envelope()) {
+            prop_assert!(a.envelope().contains_envelope(&i));
+            prop_assert!(b.envelope().contains_envelope(&i));
+        } else {
+            prop_assert!(!a.envelope().intersects(&b.envelope()));
+        }
+    }
+
+    #[test]
+    fn envelope_distance_lower_bounds_geometry_distance(
+        a in geometry_strategy(),
+        b in geometry_strategy(),
+    ) {
+        let env_d = a.envelope().distance(&b.envelope());
+        let d = a.distance(&b);
+        prop_assert!(env_d <= d + 1e-9, "env {env_d} > true {d}");
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean_for_points(a in point_strategy(), b in point_strategy()) {
+        let e = DistanceFn::Euclidean.distance(&a, &b);
+        let m = DistanceFn::Manhattan.distance(&a, &b);
+        prop_assert!(m + 1e-9 >= e);
+        prop_assert!(m <= e * 2f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        a in (-179.0f64..179.0, -89.0f64..89.0),
+        b in (-179.0f64..179.0, -89.0f64..89.0),
+        c in (-179.0f64..179.0, -89.0f64..89.0),
+    ) {
+        let pa = Coord::new(a.0, a.1);
+        let pb = Coord::new(b.0, b.1);
+        let pc = Coord::new(c.0, c.1);
+        let ab = stark_geo::haversine(&pa, &pb);
+        let bc = stark_geo::haversine(&pb, &pc);
+        let ac = stark_geo::haversine(&pa, &pc);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn envelope_buffer_monotone(r in rect_strategy(), m in 0.0f64..10.0) {
+        let e = r.envelope();
+        let buffered = e.buffered(m);
+        prop_assert!(buffered.contains_envelope(&e));
+        prop_assert!((buffered.width() - (e.width() + 2.0 * m)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn empty_envelope_edge_cases() {
+    let e = Envelope::empty();
+    assert!(e.is_empty());
+    assert_eq!(e.area(), 0.0);
+    assert!(!e.contains_envelope(&e));
+}

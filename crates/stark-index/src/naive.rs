@@ -1,0 +1,71 @@
+//! A linear-scan "index" used as the differential-testing oracle and as
+//! the *no indexing* execution mode (paper §2.2: "all items within a
+//! partition have to be evaluated with the respective predicate").
+
+use crate::strtree::Entry;
+use stark_geo::{Coord, Envelope};
+
+/// Stores entries in insertion order and answers every query by scanning.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveIndex<T> {
+    entries: Vec<Entry<T>>,
+}
+
+impl<T> NaiveIndex<T> {
+    pub fn new(entries: Vec<Entry<T>>) -> Self {
+        NaiveIndex { entries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries whose envelope intersects `query`.
+    pub fn query_vec(&self, query: &Envelope) -> Vec<&Entry<T>> {
+        self.entries.iter().filter(|e| e.envelope.intersects(query)).collect()
+    }
+
+    /// The `k` entries nearest to `target` by envelope distance, ascending.
+    pub fn nearest_k(&self, target: &Coord, k: usize) -> Vec<(f64, &Entry<T>)> {
+        let mut all: Vec<(f64, &Entry<T>)> = self
+            .entries
+            .iter()
+            .map(|e| (e.envelope.distance_to_coord(target), e))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_query() {
+        let idx = NaiveIndex::new(vec![
+            Entry::new(Envelope::from_point(Coord::new(0.0, 0.0)), 'a'),
+            Entry::new(Envelope::from_point(Coord::new(5.0, 5.0)), 'b'),
+        ]);
+        assert_eq!(idx.len(), 2);
+        let got = idx.query_vec(&Envelope::from_bounds(-1.0, -1.0, 1.0, 1.0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].item, 'a');
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let idx = NaiveIndex::new(vec![
+            Entry::new(Envelope::from_point(Coord::new(10.0, 0.0)), 1),
+            Entry::new(Envelope::from_point(Coord::new(1.0, 0.0)), 2),
+            Entry::new(Envelope::from_point(Coord::new(4.0, 0.0)), 3),
+        ]);
+        let nn = idx.nearest_k(&Coord::new(0.0, 0.0), 2);
+        assert_eq!(nn.iter().map(|(_, e)| e.item).collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Differential property tests: the STR-tree must agree with the naive
+//! linear-scan oracle on every query.
+
+use proptest::prelude::*;
+use stark_geo::{Coord, Envelope};
+use stark_index::{Entry, NaiveIndex, StrTree};
+
+fn entries_strategy() -> impl Strategy<Value = Vec<Entry<usize>>> {
+    proptest::collection::vec(
+        ((-100.0f64..100.0), (-100.0f64..100.0), (0.0f64..20.0), (0.0f64..20.0)),
+        0..300,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| {
+                Entry::new(Envelope::from_bounds(x, y, x + w, y + h), i)
+            })
+            .collect()
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Envelope> {
+    ((-120.0f64..120.0), (-120.0f64..120.0), (0.0f64..80.0), (0.0f64..80.0))
+        .prop_map(|(x, y, w, h)| Envelope::from_bounds(x, y, x + w, y + h))
+}
+
+proptest! {
+    #[test]
+    fn range_query_matches_naive(
+        entries in entries_strategy(),
+        query in query_strategy(),
+        order in 2usize..12,
+    ) {
+        let naive = NaiveIndex::new(entries.clone());
+        let tree = StrTree::build(order, entries);
+        prop_assert_eq!(tree.len(), naive.len());
+
+        let mut got: Vec<usize> = tree.query_vec(&query).into_iter().map(|e| e.item).collect();
+        let mut expect: Vec<usize> =
+            naive.query_vec(&query).into_iter().map(|e| e.item).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn knn_matches_naive_distances(
+        entries in entries_strategy(),
+        (tx, ty) in ((-120.0f64..120.0), (-120.0f64..120.0)),
+        k in 0usize..20,
+    ) {
+        let target = Coord::new(tx, ty);
+        let naive = NaiveIndex::new(entries.clone());
+        let tree = StrTree::build(5, entries);
+
+        let got = tree.nearest_k(&target, k);
+        let expect = naive.nearest_k(&target, k);
+        prop_assert_eq!(got.len(), expect.len());
+        // Items may differ on ties; the distance sequences must match.
+        for (g, e) in got.iter().zip(expect.iter()) {
+            prop_assert!((g.0 - e.0).abs() < 1e-9, "{} vs {}", g.0, e.0);
+        }
+        // ascending order
+        prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn bounds_cover_all_entries(entries in entries_strategy(), order in 2usize..12) {
+        let tree = StrTree::build(order, entries.clone());
+        let bounds = tree.bounds();
+        for e in &entries {
+            prop_assert!(bounds.contains_envelope(&e.envelope));
+        }
+        // querying the full bounds returns every entry
+        if !entries.is_empty() {
+            prop_assert_eq!(tree.query_vec(&bounds).len(), entries.len());
+        }
+    }
+
+    #[test]
+    fn iter_yields_every_entry(entries in entries_strategy(), order in 2usize..12) {
+        let tree = StrTree::build(order, entries.clone());
+        let mut seen: Vec<usize> = tree.iter().map(|e| e.item).collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..entries.len()).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn serde_preserves_query_results(
+        entries in entries_strategy(),
+        query in query_strategy(),
+    ) {
+        let tree = StrTree::build(5, entries);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: StrTree<usize> = serde_json::from_str(&json).unwrap();
+        let mut a: Vec<usize> = tree.query_vec(&query).into_iter().map(|e| e.item).collect();
+        let mut b: Vec<usize> = back.query_vec(&query).into_iter().map(|e| e.item).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,161 @@
+//! Abstract syntax of the Piglet dialect.
+//!
+//! Piglet \[4\] extends Pig Latin with spatio-temporal data types and
+//! operators; this AST covers the classic relational statements plus the
+//! STARK extensions (`SPATIAL_FILTER`, `SPATIAL_JOIN`, `PARTITION`,
+//! `INDEX`, `KNN`, `CLUSTER BY DBSCAN`).
+
+use stark_geo::DistanceFn;
+
+/// A scalar expression over tuple fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Field reference by name.
+    Field(String),
+    IntLit(i64),
+    DoubleLit(f64),
+    StrLit(String),
+    BoolLit(bool),
+    /// Unary operators.
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    /// Binary operators.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Built-in function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Binary operators in precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A spatio-temporal predicate in `SPATIAL_FILTER` / `SPATIAL_JOIN`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialPredicate {
+    Intersects,
+    Contains,
+    ContainedBy,
+    WithinDistance { max_dist: f64, dist_fn: DistanceFn },
+}
+
+/// A partitioner spec in `PARTITION ... USING`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionerSpec {
+    /// `GRID(dims)`
+    Grid { dims: usize },
+    /// `BSP(max_cost, side_length)`
+    Bsp { max_cost: usize, side_length: f64 },
+}
+
+/// One projected output column of `FOREACH ... GENERATE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    pub expr: Expr,
+    /// `AS name`; defaults to a positional name.
+    pub alias: Option<String>,
+}
+
+/// A Piglet statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `alias = LOAD 'path' AS (name:type, ...);`
+    Load { alias: String, path: String, schema: Vec<(String, String)> },
+    /// `alias = FILTER input BY expr;`
+    Filter { alias: String, input: String, expr: Expr },
+    /// `alias = FOREACH input GENERATE proj, ...;`
+    Foreach { alias: String, input: String, projections: Vec<Projection> },
+    /// `alias = SPATIAL_FILTER input BY PRED(field, expr);`
+    SpatialFilter { alias: String, input: String, pred: SpatialPredicate, field: String, query: Expr },
+    /// `alias = PARTITION input BY GRID(4) ON field;`
+    Partition { alias: String, input: String, spec: PartitionerSpec, field: String },
+    /// `alias = INDEX input ORDER n;` — live-index marker (order recorded)
+    Index { alias: String, input: String, order: usize },
+    /// `alias = SPATIAL_JOIN left BY lfield, right BY rfield USING PRED;`
+    SpatialJoin {
+        alias: String,
+        left: String,
+        left_field: String,
+        right: String,
+        right_field: String,
+        pred: SpatialPredicate,
+    },
+    /// `alias = KNN input BY field QUERY expr K n;`
+    Knn { alias: String, input: String, field: String, query: Expr, k: usize },
+    /// `alias = CLUSTER input BY DBSCAN(eps, minpts) ON field;`
+    Cluster { alias: String, input: String, eps: f64, min_pts: usize, field: String },
+    /// `alias = GROUP input BY field;` — grouped record counts
+    /// (simplified Pig `GROUP` + `COUNT` in one step).
+    GroupCount { alias: String, input: String, field: String },
+    /// `alias = COLOCATE input BY catfield ON geofield DISTANCE d MINPI p;`
+    Colocate {
+        alias: String,
+        input: String,
+        category_field: String,
+        geo_field: String,
+        distance: f64,
+        min_participation: f64,
+    },
+    /// `alias = LIMIT input n;`
+    Limit { alias: String, input: String, n: usize },
+    /// `alias = ORDER input BY field [DESC];`
+    OrderBy { alias: String, input: String, field: String, desc: bool },
+    /// `DUMP alias;`
+    Dump { input: String },
+    /// `DESCRIBE alias;`
+    Describe { input: String },
+    /// `EXPLAIN alias;` — physical form + engine lineage.
+    Explain { input: String },
+    /// `STORE alias INTO 'path';`
+    Store { input: String, path: String },
+}
+
+impl Statement {
+    /// The alias this statement defines, if any.
+    pub fn defines(&self) -> Option<&str> {
+        match self {
+            Statement::Load { alias, .. }
+            | Statement::Filter { alias, .. }
+            | Statement::Foreach { alias, .. }
+            | Statement::SpatialFilter { alias, .. }
+            | Statement::Partition { alias, .. }
+            | Statement::Index { alias, .. }
+            | Statement::SpatialJoin { alias, .. }
+            | Statement::Knn { alias, .. }
+            | Statement::Cluster { alias, .. }
+            | Statement::GroupCount { alias, .. }
+            | Statement::Colocate { alias, .. }
+            | Statement::Limit { alias, .. }
+            | Statement::OrderBy { alias, .. } => Some(alias),
+            Statement::Dump { .. }
+            | Statement::Describe { .. }
+            | Statement::Explain { .. }
+            | Statement::Store { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_reports_alias() {
+        let s = Statement::Limit { alias: "x".into(), input: "y".into(), n: 3 };
+        assert_eq!(s.defines(), Some("x"));
+        let d = Statement::Dump { input: "x".into() };
+        assert_eq!(d.defines(), None);
+    }
+}

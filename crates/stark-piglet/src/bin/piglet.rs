@@ -1,0 +1,83 @@
+//! Piglet REPL — the reproduction's stand-in for the paper's web front
+//! end: type Piglet statements, see results rendered in the terminal.
+//!
+//! Usage:
+//!   piglet                # interactive REPL
+//!   piglet script.pig     # run a script file
+//!
+//! Statements are buffered until a terminating `;`, so multi-line input
+//! works. `quit;` exits.
+
+use stark_engine::Context;
+use stark_piglet::{Executor, Output};
+use std::io::{self, BufRead, Write};
+
+fn print_outputs(outputs: &[Output]) {
+    for out in outputs {
+        match out {
+            Output::Dump { alias, lines } => {
+                println!("-- DUMP {alias} ({} tuples)", lines.len());
+                for line in lines.iter().take(50) {
+                    println!("{line}");
+                }
+                if lines.len() > 50 {
+                    println!("... ({} more)", lines.len() - 50);
+                }
+            }
+            Output::Describe { schema, .. } => println!("{schema}"),
+            Output::Explained { plan, .. } => println!("{plan}"),
+            Output::Stored { alias, path, records } => {
+                println!("-- stored {records} tuples of {alias} into {path}")
+            }
+        }
+    }
+}
+
+fn main() {
+    let ctx = Context::new();
+    let mut executor = Executor::new(ctx);
+    let args: Vec<String> = std::env::args().collect();
+
+    if args.len() > 1 {
+        let script = std::fs::read_to_string(&args[1]).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", args[1]);
+            std::process::exit(1);
+        });
+        match executor.run_script(&script) {
+            Ok(outputs) => print_outputs(&outputs),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("piglet — spatio-temporal Pig Latin (type 'quit;' to exit)");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("piglet> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if line.trim_end().ends_with(';') {
+            let stmt = std::mem::take(&mut buffer);
+            if stmt.trim().eq_ignore_ascii_case("quit;") {
+                break;
+            }
+            match executor.run_script(&stmt) {
+                Ok(outputs) => print_outputs(&outputs),
+                Err(e) => eprintln!("{e}"),
+            }
+            print!("piglet> ");
+        } else {
+            print!("      > ");
+        }
+        io::stdout().flush().ok();
+    }
+}

@@ -1,0 +1,282 @@
+//! Tokenizer for the Piglet dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    IntLit(i64),
+    DoubleLit(f64),
+    StrLit(String),
+    // punctuation
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Colon,
+    Eq,       // ==
+    Neq,      // !=
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Assign,   // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::IntLit(v) => write!(f, "{v}"),
+            Token::DoubleLit(v) => write!(f, "{v}"),
+            Token::StrLit(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Eq => write!(f, "=="),
+            Token::Neq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Lte => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Gte => write!(f, ">="),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A lexer error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`. Comments run from `--` to end of line.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Eq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '!='".into(), position: i });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Lte);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Gte);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { message: "unterminated string".into(), position: i });
+                }
+                tokens.push(Token::StrLit(input[start..j].to_string()));
+                i = j + 1;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut has_dot = false;
+                let mut has_exp = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !has_dot && !has_exp => {
+                            has_dot = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if !has_exp && i > start => {
+                            has_exp = true;
+                            i += 1;
+                            if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                if has_dot || has_exp {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        message: format!("bad number {text:?}: {e}"),
+                        position: start,
+                    })?;
+                    tokens.push(Token::DoubleLit(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        message: format!("bad number {text:?}: {e}"),
+                        position: start,
+                    })?;
+                    tokens.push(Token::IntLit(v));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {:?}", other as char),
+                    position: i,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("a = LOAD 'f.csv';").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Ident("LOAD".into()),
+                Token::StrLit("f.csv".into()),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = tokenize("x >= 1.5 AND y != -2e3").unwrap();
+        assert!(toks.contains(&Token::Gte));
+        assert!(toks.contains(&Token::DoubleLit(1.5)));
+        assert!(toks.contains(&Token::Neq));
+        assert!(toks.contains(&Token::Minus));
+        assert!(toks.contains(&Token::DoubleLit(2000.0)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("a -- comment ; with stuff\n= 1;").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn double_quoted_strings() {
+        let toks = tokenize(r#"ST("POLYGON((0 0, 1 1, 1 0))")"#).unwrap();
+        assert_eq!(toks.len(), 4);
+        assert!(matches!(&toks[2], Token::StrLit(s) if s.contains("POLYGON")));
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        assert_eq!(tokenize("== = < <= > >=").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("€").is_err());
+        let err = tokenize("  'x").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # stark-piglet — a Pig Latin dialect for spatio-temporal pipelines
+//!
+//! The paper pairs STARK with *Piglet* \[4\], a Pig Latin derivative whose
+//! extensions expose the spatio-temporal data types and operators in an
+//! easy-to-learn scripting language; the demo front end executes Piglet
+//! scripts and visualises results. This crate reproduces that layer: a
+//! lexer, parser and executor for the dialect, plus a REPL binary
+//! (`piglet`) standing in for the web front end.
+//!
+//! ```
+//! use stark_piglet::{Executor, Output, Value};
+//! use stark_engine::Context;
+//!
+//! let mut ex = Executor::new(Context::with_parallelism(2));
+//! ex.register(
+//!     "ev",
+//!     vec!["id".into(), "t".into(), "wkt".into()],
+//!     vec![
+//!         vec![Value::Int(1), Value::Int(10), Value::Str("POINT(1 1)".into())],
+//!         vec![Value::Int(2), Value::Int(20), Value::Str("POINT(9 9)".into())],
+//!     ],
+//! );
+//! let out = ex.run_script(r#"
+//!     g = FOREACH ev GENERATE id, ST(wkt, t) AS obj;
+//!     s = SPATIAL_FILTER g BY CONTAINEDBY(obj, ST('POLYGON((0 0, 5 0, 5 5, 0 5, 0 0))', 0, 100));
+//!     DUMP s;
+//! "#).unwrap();
+//! match &out[0] {
+//!     Output::Dump { lines, .. } => assert_eq!(lines.len(), 1),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use exec::{Executor, Output, PigletError};
+pub use parser::{parse_script, ParseError};
+pub use value::{format_tuple, Tuple, Value};

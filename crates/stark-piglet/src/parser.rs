@@ -1,0 +1,613 @@
+//! Recursive-descent parser for the Piglet dialect.
+
+use crate::ast::{BinOp, Expr, PartitionerSpec, Projection, SpatialPredicate, Statement};
+use crate::lexer::{tokenize, LexError, Token};
+use stark_geo::DistanceFn;
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+/// Parses a whole script into statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    while !p.at_end() {
+        statements.push(p.statement()?);
+    }
+    Ok(statements)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected {t}, got {got}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, got {other}"))),
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::StrLit(s) => Ok(s),
+            other => Err(ParseError::new(format!("expected string literal, got {other}"))),
+        }
+    }
+
+    fn usize_lit(&mut self) -> Result<usize, ParseError> {
+        match self.next()? {
+            Token::IntLit(v) if v >= 0 => Ok(v as usize),
+            other => Err(ParseError::new(format!("expected non-negative integer, got {other}"))),
+        }
+    }
+
+    fn f64_lit(&mut self) -> Result<f64, ParseError> {
+        match self.next()? {
+            Token::DoubleLit(v) => Ok(v),
+            Token::IntLit(v) => Ok(v as f64),
+            other => Err(ParseError::new(format!("expected number, got {other}"))),
+        }
+    }
+
+    /// Consumes the next token if it's the given case-insensitive keyword.
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.try_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected keyword {kw}, got {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.try_keyword("DUMP") {
+            let input = self.ident()?;
+            self.expect(&Token::Semicolon)?;
+            return Ok(Statement::Dump { input });
+        }
+        if self.try_keyword("DESCRIBE") {
+            let input = self.ident()?;
+            self.expect(&Token::Semicolon)?;
+            return Ok(Statement::Describe { input });
+        }
+        if self.try_keyword("EXPLAIN") {
+            let input = self.ident()?;
+            self.expect(&Token::Semicolon)?;
+            return Ok(Statement::Explain { input });
+        }
+        if self.try_keyword("STORE") {
+            let input = self.ident()?;
+            self.expect_keyword("INTO")?;
+            let path = self.string_lit()?;
+            self.expect(&Token::Semicolon)?;
+            return Ok(Statement::Store { input, path });
+        }
+
+        // assignment form: alias = OP ...
+        let alias = self.ident()?;
+        self.expect(&Token::Assign)?;
+        let op = self.ident()?;
+        let stmt = match op.to_ascii_uppercase().as_str() {
+            "LOAD" => self.load_body(alias)?,
+            "FILTER" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let expr = self.expr()?;
+                Statement::Filter { alias, input, expr }
+            }
+            "FOREACH" => {
+                let input = self.ident()?;
+                self.expect_keyword("GENERATE")?;
+                let mut projections = vec![self.projection()?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                    projections.push(self.projection()?);
+                }
+                Statement::Foreach { alias, input, projections }
+            }
+            "SPATIAL_FILTER" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let (pred, field, query) = self.spatial_filter_predicate()?;
+                Statement::SpatialFilter { alias, input, pred, field, query }
+            }
+            "PARTITION" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let spec = self.partitioner_spec()?;
+                self.expect_keyword("ON")?;
+                let field = self.ident()?;
+                Statement::Partition { alias, input, spec, field }
+            }
+            "INDEX" => {
+                let input = self.ident()?;
+                self.expect_keyword("ORDER")?;
+                let order = self.usize_lit()?;
+                Statement::Index { alias, input, order }
+            }
+            "SPATIAL_JOIN" => {
+                let left = self.ident()?;
+                self.expect_keyword("BY")?;
+                let left_field = self.ident()?;
+                self.expect(&Token::Comma)?;
+                let right = self.ident()?;
+                self.expect_keyword("BY")?;
+                let right_field = self.ident()?;
+                self.expect_keyword("USING")?;
+                let pred = self.join_predicate()?;
+                Statement::SpatialJoin { alias, left, left_field, right, right_field, pred }
+            }
+            "KNN" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let field = self.ident()?;
+                self.expect_keyword("QUERY")?;
+                let query = self.expr()?;
+                self.expect_keyword("K")?;
+                let k = self.usize_lit()?;
+                Statement::Knn { alias, input, field, query, k }
+            }
+            "CLUSTER" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                self.expect_keyword("DBSCAN")?;
+                self.expect(&Token::LParen)?;
+                let eps = self.f64_lit()?;
+                self.expect(&Token::Comma)?;
+                let min_pts = self.usize_lit()?;
+                self.expect(&Token::RParen)?;
+                self.expect_keyword("ON")?;
+                let field = self.ident()?;
+                Statement::Cluster { alias, input, eps, min_pts, field }
+            }
+            "COLOCATE" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let category_field = self.ident()?;
+                self.expect_keyword("ON")?;
+                let geo_field = self.ident()?;
+                self.expect_keyword("DISTANCE")?;
+                let distance = self.f64_lit()?;
+                self.expect_keyword("MINPI")?;
+                let min_participation = self.f64_lit()?;
+                Statement::Colocate {
+                    alias,
+                    input,
+                    category_field,
+                    geo_field,
+                    distance,
+                    min_participation,
+                }
+            }
+            "GROUP" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let field = self.ident()?;
+                Statement::GroupCount { alias, input, field }
+            }
+            "LIMIT" => {
+                let input = self.ident()?;
+                let n = self.usize_lit()?;
+                Statement::Limit { alias, input, n }
+            }
+            "ORDER" => {
+                let input = self.ident()?;
+                self.expect_keyword("BY")?;
+                let field = self.ident()?;
+                let desc = self.try_keyword("DESC");
+                if !desc {
+                    self.try_keyword("ASC");
+                }
+                Statement::OrderBy { alias, input, field, desc }
+            }
+            other => return Err(ParseError::new(format!("unknown operator {other}"))),
+        };
+        self.expect(&Token::Semicolon)?;
+        Ok(stmt)
+    }
+
+    fn load_body(&mut self, alias: String) -> Result<Statement, ParseError> {
+        let path = self.string_lit()?;
+        let mut schema = Vec::new();
+        if self.try_keyword("AS") {
+            self.expect(&Token::LParen)?;
+            loop {
+                let name = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.ident()?;
+                schema.push((name, ty.to_ascii_lowercase()));
+                match self.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => {
+                        return Err(ParseError::new(format!("expected , or ), got {other}")))
+                    }
+                }
+            }
+        }
+        Ok(Statement::Load { alias, path, schema })
+    }
+
+    fn projection(&mut self) -> Result<Projection, ParseError> {
+        let expr = self.expr()?;
+        let alias = if self.try_keyword("AS") { Some(self.ident()?) } else { None };
+        Ok(Projection { expr, alias })
+    }
+
+    fn spatial_predicate_name(&mut self) -> Result<Option<SpatialPredicate>, ParseError> {
+        if self.try_keyword("INTERSECTS") {
+            Ok(Some(SpatialPredicate::Intersects))
+        } else if self.try_keyword("CONTAINS") {
+            Ok(Some(SpatialPredicate::Contains))
+        } else if self.try_keyword("CONTAINEDBY") {
+            Ok(Some(SpatialPredicate::ContainedBy))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `PRED(field, query)` or `WITHINDISTANCE(field, query, d [, metric])`.
+    fn spatial_filter_predicate(
+        &mut self,
+    ) -> Result<(SpatialPredicate, String, Expr), ParseError> {
+        if let Some(pred) = self.spatial_predicate_name()? {
+            self.expect(&Token::LParen)?;
+            let field = self.ident()?;
+            self.expect(&Token::Comma)?;
+            let query = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok((pred, field, query));
+        }
+        self.expect_keyword("WITHINDISTANCE")?;
+        self.expect(&Token::LParen)?;
+        let field = self.ident()?;
+        self.expect(&Token::Comma)?;
+        let query = self.expr()?;
+        self.expect(&Token::Comma)?;
+        let max_dist = self.f64_lit()?;
+        let dist_fn = if self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            self.distance_fn()?
+        } else {
+            DistanceFn::Euclidean
+        };
+        self.expect(&Token::RParen)?;
+        Ok((SpatialPredicate::WithinDistance { max_dist, dist_fn }, field, query))
+    }
+
+    /// `INTERSECTS` etc., or `WITHINDISTANCE(d [, metric])`.
+    fn join_predicate(&mut self) -> Result<SpatialPredicate, ParseError> {
+        if let Some(pred) = self.spatial_predicate_name()? {
+            return Ok(pred);
+        }
+        self.expect_keyword("WITHINDISTANCE")?;
+        self.expect(&Token::LParen)?;
+        let max_dist = self.f64_lit()?;
+        let dist_fn = if self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            self.distance_fn()?
+        } else {
+            DistanceFn::Euclidean
+        };
+        self.expect(&Token::RParen)?;
+        Ok(SpatialPredicate::WithinDistance { max_dist, dist_fn })
+    }
+
+    fn distance_fn(&mut self) -> Result<DistanceFn, ParseError> {
+        let name = self.string_lit()?;
+        match name.to_ascii_lowercase().as_str() {
+            "euclidean" => Ok(DistanceFn::Euclidean),
+            "haversine" => Ok(DistanceFn::Haversine),
+            "manhattan" => Ok(DistanceFn::Manhattan),
+            other => Err(ParseError::new(format!("unknown distance function {other:?}"))),
+        }
+    }
+
+    fn partitioner_spec(&mut self) -> Result<PartitionerSpec, ParseError> {
+        if self.try_keyword("GRID") {
+            self.expect(&Token::LParen)?;
+            let dims = self.usize_lit()?;
+            self.expect(&Token::RParen)?;
+            return Ok(PartitionerSpec::Grid { dims });
+        }
+        self.expect_keyword("BSP")?;
+        self.expect(&Token::LParen)?;
+        let max_cost = self.usize_lit()?;
+        self.expect(&Token::Comma)?;
+        let side_length = self.f64_lit()?;
+        self.expect(&Token::RParen)?;
+        Ok(PartitionerSpec::Bsp { max_cost, side_length })
+    }
+
+    // -- expressions, precedence climbing ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.try_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.try_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.try_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Neq) => Some(BinOp::Neq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Lte) => Some(BinOp::Lte),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Gte) => Some(BinOp::Gte),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next()? {
+            Token::IntLit(v) => Ok(Expr::IntLit(v)),
+            Token::DoubleLit(v) => Ok(Expr::DoubleLit(v)),
+            Token::StrLit(s) => Ok(Expr::StrLit(s)),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::BoolLit(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::BoolLit(false));
+                }
+                if self.peek() == Some(&Token::LParen) {
+                    // function call
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        args.push(self.expr()?);
+                        while self.peek() == Some(&Token::Comma) {
+                            self.pos += 1;
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Call(name.to_ascii_uppercase(), args))
+                } else {
+                    Ok(Expr::Field(name))
+                }
+            }
+            other => Err(ParseError::new(format!("unexpected token {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_schema() {
+        let s = parse_script("ev = LOAD 'x.csv' AS (id:long, cat:chararray, t:long, wkt:chararray);")
+            .unwrap();
+        match &s[0] {
+            Statement::Load { alias, path, schema } => {
+                assert_eq!(alias, "ev");
+                assert_eq!(path, "x.csv");
+                assert_eq!(schema.len(), 4);
+                assert_eq!(schema[0], ("id".to_string(), "long".to_string()));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_expression_precedence() {
+        let s = parse_script("f = FILTER e BY a + 1 * 2 == 3 AND NOT b > 4 OR c == 'x';").unwrap();
+        match &s[0] {
+            Statement::Filter { expr, .. } => {
+                // top level must be OR
+                assert!(matches!(expr, Expr::Bin(BinOp::Or, _, _)));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreach_with_aliases() {
+        let s =
+            parse_script("g = FOREACH e GENERATE id, STOBJECT(wkt, t) AS obj, x * 2;").unwrap();
+        match &s[0] {
+            Statement::Foreach { projections, .. } => {
+                assert_eq!(projections.len(), 3);
+                assert_eq!(projections[1].alias.as_deref(), Some("obj"));
+                assert!(matches!(&projections[1].expr, Expr::Call(name, args)
+                    if name == "STOBJECT" && args.len() == 2));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_statements() {
+        let script = r#"
+            p = PARTITION e BY GRID(4) ON obj;
+            q = PARTITION e BY BSP(1000, 0.5) ON obj;
+            s = SPATIAL_FILTER p BY CONTAINEDBY(obj, ST('POLYGON((0 0, 1 0, 1 1, 0 1, 0 0))', 0, 100));
+            w = SPATIAL_FILTER p BY WITHINDISTANCE(obj, ST('POINT(1 2)'), 5.0, 'manhattan');
+            j = SPATIAL_JOIN a BY obja, b BY objb USING INTERSECTS;
+            d = SPATIAL_JOIN a BY obja, b BY objb USING WITHINDISTANCE(2.5);
+            k = KNN e BY obj QUERY ST('POINT(0 0)') K 10;
+            c = CLUSTER e BY DBSCAN(0.5, 4) ON obj;
+            i = INDEX p ORDER 5;
+            l = LIMIT e 10;
+            o = ORDER e BY id DESC;
+            DUMP l;
+            DESCRIBE o;
+            STORE o INTO 'out.csv';
+        "#;
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 14);
+        assert!(matches!(&stmts[1], Statement::Partition { spec: PartitionerSpec::Bsp { max_cost: 1000, .. }, .. }));
+        assert!(matches!(&stmts[3], Statement::SpatialFilter {
+            pred: SpatialPredicate::WithinDistance { dist_fn: DistanceFn::Manhattan, .. }, .. }));
+        assert!(matches!(&stmts[5], Statement::SpatialJoin {
+            pred: SpatialPredicate::WithinDistance { .. }, .. }));
+        assert!(matches!(&stmts[10], Statement::OrderBy { desc: true, .. }));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = parse_script("f = filter e by x == 1;\ndump f;").unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_script("f = FILTER e x == 1;").is_err());
+        assert!(parse_script("f = FROBNICATE e;").is_err());
+        assert!(parse_script("DUMP;").is_err());
+        assert!(parse_script("f = LIMIT e -1;").is_err());
+        assert!(parse_script("f = FILTER e BY (a == 1;").is_err());
+        assert!(parse_script("f = FILTER e BY a == 1").is_err(), "missing semicolon");
+    }
+
+    #[test]
+    fn nested_parens_and_negation() {
+        let s = parse_script("f = FILTER e BY -(a + 2) < -3;").unwrap();
+        assert!(matches!(&s[0], Statement::Filter { expr: Expr::Bin(BinOp::Lt, _, _), .. }));
+    }
+}

@@ -1,0 +1,147 @@
+//! The dynamic value model of Piglet relations.
+
+use stark::STObject;
+use std::fmt;
+
+/// A field value in a Piglet tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Geom(STObject),
+}
+
+impl Value {
+    /// Type name for error messages and `DESCRIBE`.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "long",
+            Value::Double(_) => "double",
+            Value::Str(_) => "chararray",
+            Value::Geom(_) => "stobject",
+        }
+    }
+
+    /// Truthiness for `FILTER BY` (only `Bool(true)` passes).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Numeric view, coercing ints to doubles.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Double(d) => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_geom(&self) -> Option<&STObject> {
+        match self {
+            Value::Geom(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Equality with numeric coercion (`1 == 1.0` holds).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+
+    /// Ordering with numeric coercion; strings compare lexically.
+    pub fn loose_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Geom(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+/// A row of a relation.
+pub type Tuple = Vec<Value>;
+
+/// Renders a tuple in Pig's `(a,b,c)` style.
+pub fn format_tuple(t: &Tuple) -> String {
+    let fields: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+    format!("({})", fields.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert!(Value::Int(1).loose_eq(&Value::Double(1.0)));
+        assert!(!Value::Int(1).loose_eq(&Value::Double(1.5)));
+        assert_eq!(
+            Value::Int(1).loose_cmp(&Value::Double(2.0)),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(
+            Value::Str("b".into()).loose_cmp(&Value::Str("a".into())),
+            Some(std::cmp::Ordering::Greater)
+        );
+        assert_eq!(Value::Str("a".into()).loose_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_and_format() {
+        let t = vec![Value::Int(1), Value::Str("x".into()), Value::Double(2.5)];
+        assert_eq!(format_tuple(&t), "(1,x,2.5)");
+        assert_eq!(Value::Geom(STObject::point(1.0, 2.0)).to_string(), "POINT (1 2)");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(1).type_name(), "long");
+        assert_eq!(Value::Geom(STObject::point(0.0, 0.0)).type_name(), "stobject");
+    }
+}

@@ -1,0 +1,105 @@
+//! Robustness properties of the Piglet front end: the lexer and parser
+//! must never panic, valid scripts round-trip through execution, and the
+//! executor rejects rather than crashes on bad input.
+
+use proptest::prelude::*;
+use stark_engine::Context;
+use stark_piglet::{parse_script, Executor, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary byte soup must lex/parse to Ok or Err — never panic.
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_script(&input);
+    }
+
+    /// Arbitrary ASCII with Piglet-ish characters, denser in the grammar.
+    #[test]
+    fn parser_never_panics_on_piglet_like_input(
+        input in "[a-zA-Z0-9_ =;,'()<>!+*/.-]{0,200}"
+    ) {
+        let _ = parse_script(&input);
+    }
+
+    /// FILTER with a random comparison threshold equals a driver-side
+    /// filter over the same rows.
+    #[test]
+    fn filter_matches_reference(threshold in -50i64..150) {
+        let mut ex = Executor::new(Context::with_parallelism(2));
+        let rows: Vec<Vec<Value>> =
+            (0..100).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect();
+        ex.register("t", vec!["a".into(), "b".into()], rows.clone());
+        ex.run_script(&format!("f = FILTER t BY a < {threshold};")).unwrap();
+        let got = ex.collect("f").unwrap().len();
+        let expect = rows.iter().filter(|r| matches!(r[0], Value::Int(v) if v < threshold)).count();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// LIMIT n yields min(n, len) rows.
+    #[test]
+    fn limit_bounds(n in 0usize..200) {
+        let mut ex = Executor::new(Context::with_parallelism(2));
+        let rows: Vec<Vec<Value>> = (0..57).map(|i| vec![Value::Int(i)]).collect();
+        ex.register("t", vec!["a".into()], rows);
+        ex.run_script(&format!("l = LIMIT t {n};")).unwrap();
+        prop_assert_eq!(ex.collect("l").unwrap().len(), n.min(57));
+    }
+
+    /// Arithmetic in FOREACH agrees with Rust arithmetic.
+    #[test]
+    fn foreach_arithmetic(a in -100i64..100, b in 1i64..50) {
+        let mut ex = Executor::new(Context::with_parallelism(2));
+        ex.register("t", vec!["x".into()], vec![vec![Value::Int(a)]]);
+        ex.run_script(&format!("g = FOREACH t GENERATE x * {b} + 1 AS y, x / {b} AS z;"))
+            .unwrap();
+        let rows = ex.collect("g").unwrap();
+        prop_assert_eq!(&rows[0][0], &Value::Int(a * b + 1));
+        prop_assert_eq!(&rows[0][1], &Value::Int(a / b));
+    }
+}
+
+/// Scripts exercising every statement kind parse successfully (a
+/// grammar-coverage regression test).
+#[test]
+fn full_grammar_coverage_parses() {
+    let script = r#"
+        raw = LOAD 'x.csv' AS (id:long, c:chararray, t:long, w:chararray);
+        ev = FOREACH raw GENERATE id, c, ST(w, t) AS obj;
+        f = FILTER ev BY NOT (id < 5) AND c != 'x' OR id == 99;
+        p1 = PARTITION ev BY GRID(3) ON obj;
+        p2 = PARTITION ev BY BSP(100, 0.5) ON obj;
+        ix = INDEX p1 ORDER 5;
+        s1 = SPATIAL_FILTER ix BY INTERSECTS(obj, ST('POINT(1 2)'));
+        s2 = SPATIAL_FILTER p2 BY WITHINDISTANCE(obj, ST('POINT(1 2)'), 3.5, 'haversine');
+        j = SPATIAL_JOIN p1 BY obj, p2 BY obj USING CONTAINS;
+        k = KNN ev BY obj QUERY ST('POINT(0 0)', 1, 2) K 7;
+        cl = CLUSTER ev BY DBSCAN(1.5, 3) ON obj;
+        gr = GROUP ev BY c;
+        o = ORDER gr BY count DESC;
+        l = LIMIT o 10;
+        DESCRIBE l;
+        DUMP l;
+        STORE l INTO 'out.csv';
+    "#;
+    let statements = parse_script(script).unwrap();
+    assert_eq!(statements.len(), 17);
+}
+
+/// The executor surfaces errors (instead of panicking) for semantic
+/// mistakes in otherwise well-formed scripts.
+#[test]
+fn semantic_errors_are_reported() {
+    let mut ex = Executor::new(Context::with_parallelism(2));
+    ex.register("t", vec!["a".into()], vec![vec![Value::Int(1)]]);
+    for script in [
+        "x = FILTER nope BY a == 1;",
+        "x = FOREACH t GENERATE missing;",
+        "x = KNN t BY a QUERY 42 K 3;", // non-geometry query
+        "x = SPATIAL_JOIN t BY a, t BY missing USING INTERSECTS;",
+        "x = LOAD '/no/such/file.csv' AS (a:long);",
+    ] {
+        assert!(ex.run_script(script).is_err(), "expected error for {script:?}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Event analytics on a skewed world dataset — the paper's demonstration
+//! scenario (§4): spatio-temporal selection, k-nearest-neighbour search,
+//! density-based clustering, and an ASCII world map standing in for the
+//! web front end's result visualisation.
+//!
+//! Run with: `cargo run --release --example event_analytics`
+
+use stark::cluster::{colocation_patterns, dbscan, ColocationParams, DbscanParams};
+use stark::{BspPartitioner, SpatialPartitioner, SpatialRddExt, STObject, STPredicate};
+use stark_engine::Context;
+use stark_eventsim::{EventGenerator, Gazetteer};
+use stark_geo::DistanceFn;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const MAP_W: usize = 72;
+const MAP_H: usize = 24;
+
+/// Renders points on a lon/lat ASCII map; `label` picks the glyph.
+fn render_map<'a>(points: impl Iterator<Item = (&'a STObject, char)>) -> String {
+    let mut grid = vec![vec!['.'; MAP_W]; MAP_H];
+    for (obj, glyph) in points {
+        let c = obj.centroid();
+        let x = (((c.x + 180.0) / 360.0) * (MAP_W as f64 - 1.0)).round() as usize;
+        let y = (((90.0 - c.y) / 180.0) * (MAP_H as f64 - 1.0)).round() as usize;
+        if y < MAP_H && x < MAP_W {
+            grid[y][x] = glyph;
+        }
+    }
+    grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
+}
+
+fn main() {
+    let ctx = Context::new();
+    println!("generating 20,000 world events (land only, population-skewed)...");
+    let events: Vec<(STObject, (u64, String))> = EventGenerator::new(2017)
+        .world_events(20_000)
+        .into_iter()
+        .map(|e| {
+            let (st, payload) = e.to_pair();
+            (st, payload)
+        })
+        .collect();
+    let rdd = ctx.parallelize(events, 8);
+
+    // --- spatial partitioning (cost-based BSP handles the skew) --------
+    let srdd = rdd.spatial();
+    let summary = srdd.summarize();
+    let bsp = Arc::new(BspPartitioner::build(800, 2.0, &summary));
+    println!("BSP produced {} partitions over the skewed data", bsp.num_partitions());
+    let partitioned = srdd.partition_by(bsp);
+
+    // --- spatio-temporal selection: events in Europe, first half -------
+    let europe = STObject::from_wkt_interval(
+        "POLYGON((-10 36, 30 36, 30 60, -10 60, -10 36))",
+        0,
+        500_000,
+    )
+    .unwrap();
+    let before = ctx.metrics();
+    let in_europe = partitioned.filter(&europe, STPredicate::ContainedBy);
+    let count = in_europe.count();
+    let delta = ctx.metrics().since(&before);
+    println!(
+        "events in Europe during [0, 500000): {count} (pruned {} of {} partitions)",
+        delta.partitions_pruned,
+        partitioned.num_partitions()
+    );
+
+    // --- kNN around Berlin ---------------------------------------------
+    let berlin = STObject::point(13.40, 52.52);
+    let nn = partitioned.knn(&berlin, 5, DistanceFn::Haversine);
+    println!("5 nearest events to Berlin (great-circle):");
+    for (d, (obj, (id, cat))) in &nn {
+        println!("  {:>8.1} km  event {id} ({cat}) at {obj}", d / 1000.0);
+    }
+
+    // --- DBSCAN clustering ----------------------------------------------
+    println!("clustering with DBSCAN(eps=2.0, minPts=40)...");
+    let clustered = dbscan(&partitioned, DbscanParams::new(2.0, 40)).collect();
+    let mut cluster_ids: Vec<u64> = clustered.iter().filter_map(|(_, _, c)| *c).collect();
+    cluster_ids.sort_unstable();
+    cluster_ids.dedup();
+    let noise = clustered.iter().filter(|(_, _, c)| c.is_none()).count();
+    println!("found {} clusters, {noise} noise points", cluster_ids.len());
+
+    // --- reverse geocoding: name each cluster by its nearest city -------
+    let gazetteer = Gazetteer::new();
+    let mut cluster_centroids: HashMap<u64, (f64, f64, usize)> = HashMap::new();
+    for (obj, _, c) in &clustered {
+        if let Some(id) = c {
+            let e = cluster_centroids.entry(*id).or_insert((0.0, 0.0, 0));
+            let p = obj.centroid();
+            e.0 += p.x;
+            e.1 += p.y;
+            e.2 += 1;
+        }
+    }
+    let mut named: Vec<(u64, usize, String, f64)> = cluster_centroids
+        .into_iter()
+        .map(|(id, (sx, sy, n))| {
+            let centre = stark_geo::Coord::new(sx / n as f64, sy / n as f64);
+            let (place, d) = gazetteer.reverse_geocode(&centre).expect("gazetteer");
+            (id, n, format!("{}, {}", place.name, place.country), d / 1000.0)
+        })
+        .collect();
+    named.sort_by_key(|(_, n, _, _)| std::cmp::Reverse(*n));
+    println!("largest clusters, reverse-geocoded:");
+    for (id, n, place, km) in named.iter().take(8) {
+        println!("  cluster {id}: {n} events near {place} ({km:.0} km from centre)");
+    }
+
+    // --- co-location: which categories occur together? ------------------
+    let patterns = colocation_patterns(
+        &partitioned,
+        |(_, cat): &(u64, String)| cat.clone(),
+        ColocationParams::new(0.5, 0.05),
+    );
+    println!("co-location patterns (distance 0.5°, PI >= 0.05): {}", patterns.len());
+    for p in patterns.iter().take(5) {
+        println!(
+            "  {} + {} (PI {:.2}, {} pairs)",
+            p.categories.0, p.categories.1, p.participation_index, p.pair_count
+        );
+    }
+
+    // --- "web front end": ASCII map of the clusters ---------------------
+    let glyphs = ['#', '@', '%', '&', '*', '+', 'o', 'x', '=', '~'];
+    let map = render_map(clustered.iter().map(|(obj, _, c)| {
+        let glyph = match c {
+            Some(id) => glyphs[(*id as usize) % glyphs.len()],
+            None => '.',
+        };
+        (obj, glyph)
+    }));
+    println!("{map}");
+
+    assert!(count > 0);
+    assert!(!nn.is_empty());
+    assert!(!cluster_ids.is_empty());
+    println!("event_analytics OK");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the paper's §2.3 running example, end to end.
+//!
+//! Raw `(id, category, time, wkt)` records are mapped to
+//! `(STObject, (id, category))` pairs, then filtered with `containedBy`
+//! against a spatio-temporal query window — once plain, once through a
+//! live index — exactly mirroring the Scala snippet in the paper.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stark::{SpatialRddExt, STObject};
+use stark_engine::Context;
+
+fn main() {
+    let ctx = Context::new();
+
+    // Pretend this came from HDFS: RDD[(Int, String, Long, String)]
+    let raw_input: Vec<(i32, String, i64, String)> = vec![
+        (1, "concert".into(), 120, "POINT(13.40 52.52)".into()), // Berlin
+        (2, "protest".into(), 150, "POINT(13.38 52.51)".into()), // Berlin
+        (3, "flood".into(), 800, "POINT(8.68 50.11)".into()),    // Frankfurt
+        (4, "concert".into(), 130, "POINT(2.35 48.85)".into()),  // Paris
+        (5, "earthquake".into(), 135, "POINT(139.69 35.68)".into()), // Tokyo
+    ];
+
+    // val events = rawInput.map { case (id, ctgry, time, wkt) =>
+    //   ( STObject(wkt, time), (id, ctgry) ) }
+    let events = ctx.parallelize(raw_input, 2).map(|(id, ctgry, time, wkt)| {
+        (
+            STObject::from_wkt_instant(&wkt, time).expect("valid WKT"),
+            (id, ctgry),
+        )
+    });
+
+    // val qry = STObject("POLYGON((...))", begin, end)
+    // a window around Berlin, during [100, 200)
+    let qry = STObject::from_wkt_interval(
+        "POLYGON((13.0 52.3, 13.8 52.3, 13.8 52.7, 13.0 52.7, 13.0 52.3))",
+        100,
+        200,
+    )
+    .expect("valid query");
+
+    // val contain = events.containedBy(qry)
+    let contain = events.contained_by(&qry);
+    println!("containedBy(qry):");
+    for (obj, (id, ctgry)) in contain.collect() {
+        println!("  event {id} ({ctgry}) at {obj}");
+    }
+
+    // val intersect = events.liveIndex(order = 5).intersect(qry)
+    let intersect = events.spatial().live_index(5).intersects(&qry);
+    println!("liveIndex(5).intersects(qry): {} matches", intersect.count());
+
+    assert_eq!(contain.count(), 2, "events 1 and 2 are in the window");
+    assert_eq!(intersect.count(), 2);
+    println!("quickstart OK");
+}

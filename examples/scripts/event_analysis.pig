@@ -1,0 +1,30 @@
+-- Demonstration pipeline for the piglet REPL / runner:
+--   cargo run -p stark-piglet --bin piglet -- examples/scripts/event_analysis.pig
+-- (generate the input first, e.g. with stark-eventsim's write_events_csv,
+--  or point LOAD at any CSV with the (id, category, time, wkt) schema)
+
+raw     = LOAD '/tmp/stark-demo-events.csv' AS (id:long, category:chararray, time:long, wkt:chararray);
+events  = FOREACH raw GENERATE id, category, ST(wkt, time) AS obj;
+
+-- spatially partition with the cost-based binary space partitioner
+parts   = PARTITION events BY BSP(500, 1.0) ON obj;
+indexed = INDEX parts ORDER 5;
+
+-- a window in space AND time
+window  = SPATIAL_FILTER indexed BY CONTAINEDBY(obj, ST('POLYGON((0 0, 60 0, 60 60, 0 60, 0 0))', 0, 500000));
+
+-- classic relational refinement
+concerts = FILTER window BY category == 'concert';
+top      = ORDER concerts BY id;
+first10  = LIMIT top 10;
+
+-- analytics: counts per category, clusters, co-located categories
+byCat    = GROUP window BY category;
+clusters = CLUSTER window BY DBSCAN(2.0, 10) ON obj;
+pairs    = COLOCATE window BY category ON obj DISTANCE 1.0 MINPI 0.1;
+
+DESCRIBE clusters;
+DUMP first10;
+DUMP byCat;
+DUMP pairs;
+STORE clusters INTO '/tmp/stark-demo-clusters.csv';

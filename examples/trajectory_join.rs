@@ -1,0 +1,85 @@
+//! Trajectory × region joins: which storm tracks crossed which monitored
+//! regions, and which events happened close to a track — exercising
+//! extended (non-point) geometries, withinDistance with a custom metric,
+//! spatial joins and persistent indexing.
+//!
+//! Run with: `cargo run --release --example trajectory_join`
+
+use stark::{
+    GridPartitioner, IndexedSpatialRdd, JoinConfig, STObject, STPredicate, SpatialRddExt,
+};
+use stark_engine::{Context, ObjectStore};
+use stark_eventsim::EventGenerator;
+use stark_geo::Envelope;
+use std::sync::Arc;
+
+fn main() {
+    let ctx = Context::new();
+    let space = Envelope::from_bounds(0.0, 0.0, 500.0, 500.0);
+    let mut generator = EventGenerator::new(7171);
+
+    // 300 storm tracks (linestrings) and 400 monitored regions (rects)
+    let tracks: Vec<(STObject, (u64, String))> = generator
+        .trajectories(300, 12, 8.0, &space)
+        .into_iter()
+        .map(|e| {
+            let (st, p) = e.to_pair();
+            (st, p)
+        })
+        .collect();
+    let regions: Vec<(STObject, (u64, String))> = generator
+        .rect_regions(400, 25.0, &space)
+        .into_iter()
+        .map(|e| {
+            let (st, p) = e.to_pair();
+            (st, p)
+        })
+        .collect();
+
+    let tracks = ctx.parallelize(tracks, 6).spatial();
+    let regions = ctx.parallelize(regions, 6).spatial();
+
+    // spatially partition the tracks; the join aligns the regions side
+    let part = Arc::new(GridPartitioner::build(5, &tracks.summarize()));
+    let tracks = tracks.partition_by(part);
+
+    // tracks intersecting regions (note: both sides carry instants, so
+    // the combined predicate also requires temporal intersection — use
+    // timeless copies to ask the purely spatial question)
+    let timeless_tracks = tracks
+        .rdd()
+        .map(|(o, v)| (STObject::new(o.geo().clone()), v))
+        .spatial();
+    let timeless_regions = regions
+        .rdd()
+        .map(|(o, v)| (STObject::new(o.geo().clone()), v))
+        .spatial();
+    let crossings =
+        timeless_tracks.join(&timeless_regions, STPredicate::Intersects, JoinConfig::default());
+    println!("track × region intersections: {}", crossings.count());
+
+    // tracks passing within distance 5 of a headquarters point
+    let hq = STObject::point(250.0, 250.0);
+    let near_hq = timeless_tracks.within_distance(&hq, 5.0, stark_geo::DistanceFn::Euclidean);
+    println!("tracks passing within 5 units of HQ: {}", near_hq.count());
+
+    // persist an index of the regions for later programs
+    let dir = std::env::temp_dir().join("stark-example-trajectory-index");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ObjectStore::open(&dir).expect("store");
+    let regions_idx = timeless_regions.live_index(5);
+    regions_idx.persist(&store, "regions").expect("persist");
+
+    // ... and reload it, as a second program would
+    let loaded: IndexedSpatialRdd<(u64, String)> =
+        IndexedSpatialRdd::load(&ctx, &store, "regions").expect("load");
+    let probe = STObject::from_wkt("POLYGON((200 200, 300 200, 300 300, 200 300, 200 200))")
+        .expect("wkt");
+    let hits = loaded.intersects(&probe).count();
+    println!("regions intersecting the probe window (via persisted index): {hits}");
+
+    let direct = timeless_regions.filter(&probe, STPredicate::Intersects).count();
+    assert_eq!(hits, direct, "persisted index must agree with a direct scan");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("trajectory_join OK");
+}

@@ -1,0 +1,291 @@
+//! Tests that walk through the paper's own narrative artifacts: the §2.3
+//! code example, the formal predicate definition (eqs. 1–3), the Figure 2
+//! workflow, and the §4 demonstration scenarios via Piglet.
+
+use stark::{SpatialRddExt, STObject, STPredicate, Temporal};
+use stark_engine::Context;
+use stark_piglet::{Executor, Output, Value};
+
+/// The exact §2.3 example: schema (id, category, time, wkt), mapping to
+/// (STObject, (id, category)), then containedBy and indexed intersects.
+#[test]
+fn section_2_3_example() {
+    let ctx = Context::with_parallelism(2);
+    let raw_input: Vec<(i32, String, i64, String)> = vec![
+        (1, "a".into(), 10, "POINT(1 1)".into()),
+        (2, "b".into(), 20, "POINT(2 2)".into()),
+        (3, "c".into(), 99, "POINT(3 3)".into()),
+        (4, "d".into(), 15, "POINT(9 9)".into()),
+    ];
+    let events = ctx.parallelize(raw_input, 2).map(|(id, ctgry, time, wkt)| {
+        (STObject::from_wkt_instant(&wkt, time).unwrap(), (id, ctgry))
+    });
+
+    let qry = STObject::from_wkt_interval(
+        "POLYGON((0 0, 5 0, 5 5, 0 5, 0 0))",
+        /* begin */ 5,
+        /* end */ 30,
+    )
+    .unwrap();
+
+    // val contain = events.containedBy(qry)
+    let contain = events.contained_by(&qry);
+    let mut ids: Vec<i32> = contain.collect().into_iter().map(|(_, (id, _))| id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2], "events 1,2 in space AND time; 3 wrong time; 4 wrong place");
+
+    // val intersect = events.liveIndex(order = 5).intersect(qry)
+    let intersect = events.spatial().live_index(5).intersects(&qry);
+    let mut ids: Vec<i32> = intersect.collect().into_iter().map(|(_, (id, _))| id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2]);
+}
+
+/// The formal definition (eqs. 1–3) spelled out case by case.
+#[test]
+fn formal_predicate_definition() {
+    let g = "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))";
+    let inside = "POINT(5 5)";
+    let outside = "POINT(50 50)";
+
+    // case (2): both temporal components undefined → spatial only
+    let o = STObject::from_wkt(inside).unwrap();
+    let p = STObject::from_wkt(g).unwrap();
+    assert!(o.contained_by(&p));
+    assert!(!STObject::from_wkt(outside).unwrap().contained_by(&p));
+
+    // case (3): both defined → both predicates must hold
+    let o = STObject::from_wkt_instant(inside, 50).unwrap();
+    let p = STObject::from_wkt_interval(g, 0, 100).unwrap();
+    assert!(o.contained_by(&p));
+    let o_late = STObject::from_wkt_instant(inside, 100).unwrap(); // end exclusive
+    assert!(!o_late.contained_by(&p));
+
+    // mixed definedness → false regardless of geometry
+    let timed = STObject::from_wkt_instant(inside, 50).unwrap();
+    let untimed = STObject::from_wkt(g).unwrap();
+    assert!(!timed.contained_by(&untimed));
+    assert!(!untimed.contains(&timed));
+    assert!(!timed.intersects(&untimed));
+
+    // temporal component is an interval on both sides
+    let iv_obj = STObject::with_time(
+        stark_geo::Geometry::point(5.0, 5.0),
+        Temporal::interval(10, 20),
+    );
+    let iv_qry = STObject::from_wkt_interval(g, 0, 15).unwrap();
+    assert!(iv_obj.intersects(&iv_qry), "overlapping intervals intersect");
+    assert!(!iv_obj.contained_by(&iv_qry), "[10,20) not contained in [0,15)");
+}
+
+/// §4 demonstration: a full Piglet analysis pipeline (the kind a visitor
+/// would compose in the web front end).
+#[test]
+fn demonstration_scenario_piglet() {
+    let mut ex = Executor::new(Context::with_parallelism(2));
+
+    // synthetic "extracted Wikipedia events"
+    let rows: Vec<Vec<Value>> = (0..400)
+        .map(|i| {
+            let (x, y) = if i % 2 == 0 {
+                (10.0 + (i % 20) as f64 * 0.05, 50.0 + (i % 10) as f64 * 0.05)
+            } else {
+                (-70.0 + (i % 20) as f64 * 0.05, 40.0 + (i % 10) as f64 * 0.05)
+            };
+            vec![
+                Value::Int(i),
+                Value::Str(if i % 3 == 0 { "concert" } else { "protest" }.into()),
+                Value::Int(i * 5),
+                Value::Str(format!("POINT({x} {y})")),
+            ]
+        })
+        .collect();
+    ex.register(
+        "raw",
+        vec!["id".into(), "category".into(), "time".into(), "wkt".into()],
+        rows,
+    );
+
+    let out = ex
+        .run_script(
+            r#"
+            events = FOREACH raw GENERATE id, category, ST(wkt, time) AS obj;
+            parts = PARTITION events BY GRID(4) ON obj;
+            europe = SPATIAL_FILTER parts BY CONTAINEDBY(obj, ST('POLYGON((0 45, 20 45, 20 55, 0 55, 0 45))', 0, 10000));
+            concerts = FILTER europe BY category == 'concert';
+            clusters = CLUSTER europe BY DBSCAN(0.5, 5) ON obj;
+            near = KNN events BY obj QUERY ST('POINT(10 50)') K 5;
+            DUMP concerts;
+            DESCRIBE clusters;
+            "#,
+        )
+        .unwrap();
+
+    // concerts: even ids (Europe) that are multiples of 3 → i % 6 == 0
+    match &out[0] {
+        Output::Dump { lines, .. } => {
+            assert_eq!(lines.len(), (0..400).filter(|i| i % 6 == 0).count());
+        }
+        other => panic!("{other:?}"),
+    }
+    match &out[1] {
+        Output::Describe { schema, .. } => assert!(schema.ends_with("cluster)")),
+        other => panic!("{other:?}"),
+    }
+
+    // the European events form one dense cluster
+    let clustered = ex.collect("clusters").unwrap();
+    assert_eq!(clustered.len(), 200);
+    let labelled = clustered
+        .iter()
+        .filter(|t| !matches!(t.last(), Some(Value::Null)))
+        .count();
+    assert!(labelled > 150, "dense grid should mostly cluster: {labelled}");
+
+    // kNN returned the 5 nearest with ascending distance column
+    let knn = ex.collect("near").unwrap();
+    assert_eq!(knn.len(), 5);
+    let dists: Vec<f64> = knn
+        .iter()
+        .map(|t| match t.last() {
+            Some(Value::Double(d)) => *d,
+            other => panic!("bad distance {other:?}"),
+        })
+        .collect();
+    assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// The paper's claim that operators compose with plain engine operations
+/// ("seamlessly integrated into the Spark API").
+#[test]
+fn seamless_composition_with_engine_ops() {
+    let ctx = Context::with_parallelism(4);
+    let events = ctx
+        .parallelize((0..1000).collect::<Vec<i64>>(), 8)
+        // plain engine map...
+        .map(|i| {
+            (
+                STObject::point_at((i % 100) as f64, (i / 100) as f64, i),
+                i,
+            )
+        })
+        // ...plain engine filter...
+        .filter(|(_, i)| i % 2 == 0)
+        // ...spatio-temporal operator via the extension trait...
+        .contained_by(
+            &STObject::from_wkt_interval("POLYGON((0 0, 50 0, 50 5, 0 5, 0 0))", 0, 100_000)
+                .unwrap(),
+        );
+    // ...and back to plain engine ops on the result
+    let sum: i64 = events
+        .rdd()
+        .map(|(_, i)| i)
+        .reduce(|a, b| a + b)
+        .unwrap_or(0);
+    let expect: i64 = (0..1000)
+        .filter(|i| i % 2 == 0 && i % 100 <= 50 && i / 100 <= 5)
+        .sum();
+    assert_eq!(sum, expect);
+}
+
+/// Filters under every combination of partitioning/indexing modes return
+/// identical results ("transparent to the subsequent query operators").
+#[test]
+fn transparency_of_partitioning_and_indexing() {
+    use stark::{BspPartitioner, GridPartitioner, SpatialPartitioner};
+    use std::sync::Arc;
+
+    let ctx = Context::with_parallelism(4);
+    let data: Vec<(STObject, u32)> = (0..2000)
+        .map(|i| {
+            (
+                STObject::point_at(((i * 7) % 97) as f64, ((i * 13) % 89) as f64, i as i64),
+                i,
+            )
+        })
+        .collect();
+    let rdd = ctx.parallelize(data, 7).spatial();
+    let q = STObject::from_wkt_interval("POLYGON((10 10, 40 10, 40 40, 10 40, 10 10))", 0, 10_000)
+        .unwrap();
+
+    let expected = rdd.filter(&q, STPredicate::Intersects).count();
+    assert!(expected > 0);
+
+    let summary = rdd.summarize();
+    let partitioners: Vec<Arc<dyn SpatialPartitioner>> = vec![
+        Arc::new(GridPartitioner::build(3, &summary)),
+        Arc::new(GridPartitioner::build(9, &summary)),
+        Arc::new(BspPartitioner::build(100, 5.0, &summary)),
+    ];
+    for p in partitioners {
+        let part = rdd.partition_by(p);
+        assert_eq!(part.filter(&q, STPredicate::Intersects).count(), expected);
+        for order in [2, 5, 20] {
+            assert_eq!(part.live_index(order).intersects(&q).count(), expected);
+        }
+    }
+}
+
+/// The §4 demo utilities beyond querying: validity screening on ingest,
+/// trajectory simplification, convex hulls, reverse geocoding and grid
+/// aggregation — chained into one pipeline.
+#[test]
+fn demo_utilities_pipeline() {
+    use stark_eventsim::{EventGenerator, Gazetteer};
+    use stark_geo::{convex_hull, is_valid, simplify, Envelope, Geometry};
+
+    let ctx = Context::with_parallelism(4);
+    let space = Envelope::from_bounds(-10.0, 40.0, 30.0, 60.0); // "Europe"
+    let mut generator = EventGenerator::new(4711);
+
+    // ingest: points + trajectories, screened for validity
+    let mut events = generator.uniform_points(500, &space);
+    events.extend(generator.trajectories(50, 20, 0.5, &space));
+    let records: Vec<(STObject, u64)> = events
+        .iter()
+        .filter(|e| is_valid(&e.geometry))
+        .map(|e| {
+            let (st, (id, _)) = e.to_pair();
+            (st, id)
+        })
+        .collect();
+    assert_eq!(records.len(), 550, "generated data must be valid");
+
+    // trajectory simplification shrinks vertex counts without breaking
+    // validity
+    for e in events.iter().filter(|e| matches!(e.geometry, Geometry::LineString(_))) {
+        if let Geometry::LineString(l) = &e.geometry {
+            let s = simplify(l, 0.3);
+            assert!(s.num_coords() <= l.num_coords());
+            assert!(is_valid(&Geometry::LineString(s)));
+        }
+    }
+
+    let rdd = ctx.parallelize(records, 6).spatial();
+
+    // grid aggregation: totals must match the input cardinality
+    let cells = rdd.aggregate_by_grid(8, &space);
+    let total: u64 = cells.iter().map(|c| c.count).sum();
+    assert_eq!(total, 550);
+
+    // the convex hull of all centroids covers every centroid
+    let centroids: Vec<stark_geo::Point> = rdd
+        .collect()
+        .iter()
+        .map(|(o, _)| stark_geo::Point(o.centroid()))
+        .collect();
+    let hull = convex_hull(&Geometry::MultiPoint(centroids.clone())).unwrap();
+    let hull_geom = Geometry::Polygon(hull);
+    for p in &centroids {
+        assert!(hull_geom.intersects(&Geometry::Point(*p)));
+    }
+
+    // reverse geocoding of the densest cell lands in Europe
+    let busiest = cells.iter().max_by_key(|c| c.count).unwrap();
+    let gaz = Gazetteer::new();
+    let (place, _) = gaz.reverse_geocode(&busiest.bounds.center()).unwrap();
+    assert!(
+        ["DE", "FR", "GB", "ES", "IT", "AT", "PL"].contains(&place.country),
+        "unexpected nearest place {place:?}"
+    );
+}
