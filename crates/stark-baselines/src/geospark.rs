@@ -57,18 +57,12 @@ pub fn geospark_join<V: Data, W: Data>(
     let s1 = scheme.clone();
     let left_rep = left.zip_with_index().flat_map(move |(id, (o, v))| {
         let env = o.envelope().buffered(buffer);
-        s1.targets(&env)
-            .into_iter()
-            .map(|t| (t, (id, o.clone(), v.clone())))
-            .collect::<Vec<_>>()
+        s1.targets(&env).into_iter().map(|t| (t, (id, o.clone(), v.clone()))).collect::<Vec<_>>()
     });
     let s2 = scheme.clone();
     let right_rep = right.zip_with_index().flat_map(move |(id, (o, w))| {
         let env = o.envelope();
-        s2.targets(&env)
-            .into_iter()
-            .map(|t| (t, (id, o.clone(), w.clone())))
-            .collect::<Vec<_>>()
+        s2.targets(&env).into_iter().map(|t| (t, (id, o.clone(), w.clone()))).collect::<Vec<_>>()
     });
 
     let left_placed = left_rep.partition_by(num, |(t, _)| *t).map(|(_, r)| r);
@@ -77,11 +71,8 @@ pub fn geospark_join<V: Data, W: Data>(
     // 2. Partition-aligned local join with a live index on the right.
     let order = cfg.index_order;
     let joined = left_placed.zip_partitions(&right_placed, move |_, ldata, rdata| {
-        let entries: Vec<Entry<usize>> = rdata
-            .iter()
-            .enumerate()
-            .map(|(i, (_, o, _))| Entry::new(o.envelope(), i))
-            .collect();
+        let entries: Vec<Entry<usize>> =
+            rdata.iter().enumerate().map(|(i, (_, o, _))| Entry::new(o.envelope(), i)).collect();
         let tree = StrTree::build(order, entries);
         let mut out = Vec::new();
         for l in &ldata {
@@ -101,17 +92,12 @@ pub fn geospark_join<V: Data, W: Data>(
     }
 
     // 3. Duplicate elimination: shuffle on the id pair, keep one copy.
-    joined
-        .map(|(l, r)| ((l.0, r.0), (l, r)))
-        .reduce_by_key(num, |a, _b| a)
-        .map(|(_, pair)| pair)
+    joined.map(|(l, r)| ((l.0, r.0), (l, r))).reduce_by_key(num, |a, _b| a).map(|(_, pair)| pair)
 }
 
 /// Result pairs projected to `(left_id, right_id)`, sorted — convenient
 /// for correctness comparisons.
-pub fn id_pairs<V: Data, W: Data>(
-    joined: &Rdd<GeoSparkPair<V, W>>,
-) -> Vec<(u64, u64)> {
+pub fn id_pairs<V: Data, W: Data>(joined: &Rdd<GeoSparkPair<V, W>>) -> Vec<(u64, u64)> {
     let mut out: Vec<(u64, u64)> =
         joined.collect().into_iter().map(|((a, _, _), (b, _, _))| (a, b)).collect();
     out.sort_unstable();
@@ -125,11 +111,8 @@ mod tests {
     use stark_geo::{Coord, Envelope};
 
     fn points(ctx: &Context, pts: &[(f64, f64)]) -> Rdd<(STObject, u32)> {
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         ctx.parallelize(data, 4)
     }
 
@@ -175,10 +158,8 @@ mod tests {
     fn without_dedup_duplicates_appear_for_spanning_objects() {
         let ctx = Context::with_parallelism(2);
         // a region spanning all four tiles joined with a point inside it
-        let regions: Vec<(STObject, u32)> = vec![(
-            STObject::from_wkt("POLYGON((2 2, 8 2, 8 8, 2 8, 2 2))").unwrap(),
-            0,
-        )];
+        let regions: Vec<(STObject, u32)> =
+            vec![(STObject::from_wkt("POLYGON((2 2, 8 2, 8 8, 2 8, 2 2))").unwrap(), 0)];
         let pts: Vec<(STObject, u32)> = vec![(STObject::point(5.0, 5.0), 0)];
         let left = ctx.parallelize(regions, 1);
         let right = ctx.parallelize(pts, 1);
@@ -195,8 +176,13 @@ mod tests {
         // overlaps all 4 → the pair is reported multiple times
         assert!(buggy.count() > 1, "expected duplicates, got {}", buggy.count());
 
-        let fixed =
-            geospark_join(&left, &right, &scheme, STPredicate::Intersects, GeoSparkConfig::default());
+        let fixed = geospark_join(
+            &left,
+            &right,
+            &scheme,
+            STPredicate::Intersects,
+            GeoSparkConfig::default(),
+        );
         assert_eq!(fixed.count(), 1);
     }
 

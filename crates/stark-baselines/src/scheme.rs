@@ -143,16 +143,13 @@ impl RegionScheme {
             }
             let w = (space.width() / *dims as f64).max(f64::MIN_POSITIVE);
             let h = (space.height() / *dims as f64).max(f64::MIN_POSITIVE);
-            let col = (((c.x - space.min_x()) / w).floor() as i64).clamp(0, *dims as i64 - 1)
-                as usize;
-            let row = (((c.y - space.min_y()) / h).floor() as i64).clamp(0, *dims as i64 - 1)
-                as usize;
+            let col =
+                (((c.x - space.min_x()) / w).floor() as i64).clamp(0, *dims as i64 - 1) as usize;
+            let row =
+                (((c.y - space.min_y()) / h).floor() as i64).clamp(0, *dims as i64 - 1) as usize;
             return row * dims + col;
         }
-        self.regions
-            .iter()
-            .position(|r| r.contains_coord(c))
-            .unwrap_or_else(|| self.overflow())
+        self.regions.iter().position(|r| r.contains_coord(c)).unwrap_or_else(|| self.overflow())
     }
 }
 
@@ -215,10 +212,7 @@ mod tests {
         assert_eq!(s.name, "voronoi");
         assert!(s.num_regions() <= 5);
         for p in &sample {
-            assert!(
-                !s.targets(&Envelope::from_point(*p)).is_empty(),
-                "point {p} not covered"
-            );
+            assert!(!s.targets(&Envelope::from_point(*p)).is_empty(), "point {p} not covered");
             // points from the sample never land in overflow
             assert_ne!(s.targets(&Envelope::from_point(*p)), vec![s.overflow()]);
         }
@@ -235,7 +229,8 @@ mod tests {
 
     #[test]
     fn voronoi_is_deterministic() {
-        let sample: Vec<Coord> = (0..50).map(|i| Coord::new(i as f64, (i * 3 % 7) as f64)).collect();
+        let sample: Vec<Coord> =
+            (0..50).map(|i| Coord::new(i as f64, (i * 3 % 7) as f64)).collect();
         let a = RegionScheme::voronoi(4, &sample, 9);
         let b = RegionScheme::voronoi(4, &sample, 9);
         assert_eq!(a.regions(), b.regions());

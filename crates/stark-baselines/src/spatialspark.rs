@@ -23,9 +23,7 @@ use std::sync::Arc;
 /// intersection of the two (probe-buffered) envelopes. Guaranteed to lie
 /// in at least one tile both sides were replicated to.
 fn reference_point(left_probe: &Envelope, right: &Envelope) -> Option<Coord> {
-    left_probe
-        .intersection(right)
-        .map(|i| Coord::new(i.min_x(), i.min_y()))
+    left_probe.intersection(right).map(|i| Coord::new(i.min_x(), i.min_y()))
 }
 
 /// Tile index of a coordinate within the scheme; points outside every
@@ -68,11 +66,8 @@ pub fn spatialspark_join<V: Data, W: Data>(
 
     let s3 = scheme.clone();
     left_placed.zip_partitions(&right_placed, move |part, ldata, rdata| {
-        let entries: Vec<Entry<usize>> = rdata
-            .iter()
-            .enumerate()
-            .map(|(i, (o, _))| Entry::new(o.envelope(), i))
-            .collect();
+        let entries: Vec<Entry<usize>> =
+            rdata.iter().enumerate().map(|(i, (o, _))| Entry::new(o.envelope(), i)).collect();
         let tree = StrTree::build(index_order, entries);
         let mut out = Vec::new();
         for l in &ldata {
@@ -129,17 +124,13 @@ mod tests {
     use stark_engine::Context;
 
     fn points(ctx: &Context, pts: &[(f64, f64)]) -> Rdd<(STObject, u32)> {
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         ctx.parallelize(data, 4)
     }
 
     fn ids(joined: Vec<((STObject, u32), (STObject, u32))>) -> Vec<(u32, u32)> {
-        let mut out: Vec<(u32, u32)> =
-            joined.into_iter().map(|((_, a), (_, b))| (a, b)).collect();
+        let mut out: Vec<(u32, u32)> = joined.into_iter().map(|((_, a), (_, b))| (a, b)).collect();
         out.sort_unstable();
         out
     }
@@ -171,10 +162,8 @@ mod tests {
     #[test]
     fn spanning_pairs_reported_exactly_once() {
         let ctx = Context::with_parallelism(2);
-        let regions: Vec<(STObject, u32)> = vec![(
-            STObject::from_wkt("POLYGON((2 2, 8 2, 8 8, 2 8, 2 2))").unwrap(),
-            0,
-        )];
+        let regions: Vec<(STObject, u32)> =
+            vec![(STObject::from_wkt("POLYGON((2 2, 8 2, 8 8, 2 8, 2 2))").unwrap(), 0)];
         let pts: Vec<(STObject, u32)> = vec![(STObject::point(5.0, 5.0), 0)];
         let left = ctx.parallelize(regions, 1);
         let right = ctx.parallelize(pts, 1);
@@ -189,8 +178,7 @@ mod tests {
         let a = points(&ctx, &[(4.9, 5.0), (0.0, 0.0)]);
         let b = points(&ctx, &[(5.1, 5.0), (9.0, 9.0)]);
         let scheme = RegionScheme::grid(2, &Envelope::from_bounds(0.0, 0.0, 10.0, 10.0));
-        let joined =
-            spatialspark_join(&a, &b, &scheme, STPredicate::within_distance(2.0), 5);
+        let joined = spatialspark_join(&a, &b, &scheme, STPredicate::within_distance(2.0), 5);
         assert_eq!(ids(joined.collect()), vec![(0, 0)]);
     }
 

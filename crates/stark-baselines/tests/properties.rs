@@ -23,11 +23,8 @@ fn geoms_strategy(max: usize) -> impl Strategy<Value = Vec<Geometry>> {
 }
 
 fn to_rdd(ctx: &Context, gs: &[Geometry]) -> Rdd<(STObject, u32)> {
-    let data: Vec<(STObject, u32)> = gs
-        .iter()
-        .enumerate()
-        .map(|(i, g)| (STObject::new(g.clone()), i as u32))
-        .collect();
+    let data: Vec<(STObject, u32)> =
+        gs.iter().enumerate().map(|(i, g)| (STObject::new(g.clone()), i as u32)).collect();
     ctx.parallelize(data, 4)
 }
 

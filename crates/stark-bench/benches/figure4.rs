@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stark::{BspPartitioner, JoinConfig, STPredicate, SpatialRddExt};
-use stark_baselines::{broadcast_join, geospark_join, spatialspark_join, GeoSparkConfig, RegionScheme};
+use stark_baselines::{
+    broadcast_join, geospark_join, spatialspark_join, GeoSparkConfig, RegionScheme,
+};
 use stark_bench::workloads;
 use stark_engine::Context;
 use stark_geo::Coord;

@@ -97,9 +97,8 @@ fn bench_pruning(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("a1_pruning");
     group.sample_size(20);
-    group.bench_function("on", |b| {
-        b.iter(|| part.filter(&query, STPredicate::ContainedBy).count())
-    });
+    group
+        .bench_function("on", |b| b.iter(|| part.filter(&query, STPredicate::ContainedBy).count()));
     let q2 = query.clone();
     group.bench_function("off", |b| {
         b.iter(|| {

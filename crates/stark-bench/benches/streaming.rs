@@ -1,0 +1,72 @@
+//! Criterion benchmark for the S6 streaming experiment: micro-batch
+//! throughput with continuous queries, incremental index vs linear scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stark::{GridPartitioner, STObject, STPredicate, SpatialPartitioner};
+use stark_bench::workloads;
+use stark_engine::Context;
+use stark_geo::{Coord, Envelope};
+use stark_stream::{
+    ContinuousQueryEngine, GeneratorSource, LatePolicy, StandingQuery, StreamConfig, StreamContext,
+    StreamJob, WindowSpec,
+};
+use std::sync::Arc;
+
+fn partitioner(space: &Envelope) -> Arc<dyn SpatialPartitioner> {
+    let summary = vec![
+        (
+            Envelope::from_point(Coord::new(space.min_x(), space.min_y())),
+            Coord::new(space.min_x(), space.min_y()),
+        ),
+        (
+            Envelope::from_point(Coord::new(space.max_x(), space.max_y())),
+            Coord::new(space.max_x(), space.max_y()),
+        ),
+    ];
+    Arc::new(GridPartitioner::build(6, &summary))
+}
+
+fn run_stream(ctx: &Context, batch_records: usize, indexed: bool) -> u64 {
+    let space = workloads::space();
+    let center = space.center();
+    let engine = if indexed {
+        ContinuousQueryEngine::indexed(partitioner(&space), 16)
+    } else {
+        ContinuousQueryEngine::unindexed()
+    }
+    .with_query(StandingQuery::filter(
+        "region",
+        workloads::query_polygon(0.1),
+        STPredicate::Intersects,
+    ))
+    .with_query(StandingQuery::knn("monitor", STObject::point(center.x, center.y), 10));
+    let sc = StreamContext::with_config(
+        ctx.clone(),
+        StreamConfig { batch_records, parallelism: ctx.parallelism().max(1), ..Default::default() },
+    );
+    let source = GeneratorSource::new(7, space, 6, 1_000, 200);
+    let job = StreamJob::new()
+        .with_windows(WindowSpec::tumbling(2_000), 100, LatePolicy::Drop)
+        .with_queries(engine);
+    sc.run(source, job).total_records()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let ctx = Context::new();
+    let mut group = c.benchmark_group("s6_streaming");
+    group.sample_size(10);
+    for batch_records in [500usize, 1_000, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::new("indexed", batch_records),
+            &batch_records,
+            |b, &n| b.iter(|| run_stream(&ctx, n, true)),
+        );
+        group.bench_with_input(BenchmarkId::new("scan", batch_records), &batch_records, |b, &n| {
+            b.iter(|| run_stream(&ctx, n, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Usage:
 //!   repro all `[n]`          # every experiment (default scale)
 //!   repro figure4 `[n]`      # the Figure 4 self-join comparison
-//!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes
+//!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
 //! `repro figure4 1000000` (takes a while on a small machine).
@@ -48,10 +48,7 @@ fn main() {
     if run("dbscan") {
         ran = true;
         let base = n.unwrap_or(30_000);
-        print!(
-            "{}",
-            experiments::dbscan_scaling(&ctx, &[base / 4, base / 2, base]).render()
-        );
+        print!("{}", experiments::dbscan_scaling(&ctx, &[base / 4, base / 2, base]).render());
         println!();
     }
     if run("pruning") {
@@ -67,10 +64,7 @@ fn main() {
     if run("scaling") {
         ran = true;
         let base = n.unwrap_or(200_000);
-        print!(
-            "{}",
-            experiments::scaling(&ctx, &[base / 4, base / 2, base]).render()
-        );
+        print!("{}", experiments::scaling(&ctx, &[base / 4, base / 2, base]).render());
         println!();
     }
     if run("temporal") {
@@ -83,17 +77,29 @@ fn main() {
         print!("{}", experiments::index_modes(&ctx, n.unwrap_or(100_000), 10).render());
         println!();
     }
+    if run("stream") {
+        ran = true;
+        let base = n.unwrap_or(4_000);
+        print!("{}", experiments::stream(&ctx, &[base / 4, base / 2, base], 8).render());
+        println!();
+    }
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream"
         );
         std::process::exit(2);
     }
 
     let m = ctx.metrics();
     eprintln!(
-        "[engine] jobs={} tasks={} records={} pruned_partitions={} shuffles={}",
-        m.jobs, m.tasks_launched, m.records_read, m.partitions_pruned, m.shuffles
+        "[engine] jobs={} tasks={} records={} pruned_partitions={} shuffles={} task_time={:.2}s job_time={:.2}s",
+        m.jobs,
+        m.tasks_launched,
+        m.records_read,
+        m.partitions_pruned,
+        m.shuffles,
+        m.task_nanos as f64 / 1e9,
+        m.job_nanos as f64 / 1e9
     );
 }

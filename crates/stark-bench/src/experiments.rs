@@ -33,9 +33,8 @@ pub fn figure4(ctx: &Context, n: usize) -> Table {
     // --- GeoSpark-like: requires spatial partitioning (N/A without) ----
     let sample: Vec<Coord> = data.collect().iter().map(|(o, _)| o.centroid()).collect();
     let voronoi = RegionScheme::voronoi(64, &sample, 11);
-    let (gs_count, gs_time) = timed(|| {
-        geospark_join(&data, &data, &voronoi, pred, GeoSparkConfig::default()).count()
-    });
+    let (gs_count, gs_time) =
+        timed(|| geospark_join(&data, &data, &voronoi, pred, GeoSparkConfig::default()).count());
     t.push(vec![
         "GeoSpark-like".into(),
         "N/A".into(),
@@ -75,8 +74,7 @@ pub fn figure4(ctx: &Context, n: usize) -> Table {
     let summary = srdd.summarize();
     let bsp = Arc::new(BspPartitioner::build((n / 64).max(16), 4.0, &summary));
     let partitioned = srdd.partition_by(bsp);
-    let (st_count, st_time) =
-        timed(|| partitioned.self_join(pred, JoinConfig::default()).count());
+    let (st_count, st_time) = timed(|| partitioned.self_join(pred, JoinConfig::default()).count());
     assert_eq!(st_plain_count, st_count, "STARK result mismatch");
     assert_eq!(gs_count, st_count, "GeoSpark-like vs STARK result mismatch");
     t.push(vec![
@@ -195,9 +193,8 @@ pub fn join(ctx: &Context, n: usize) -> Table {
     t.push(vec!["stark grid + live index".into(), secs(t2), c2.to_string()]);
 
     let scheme = RegionScheme::grid(8, &workloads::space());
-    let (c3, t3) = timed(|| {
-        geospark_join(&left, &right, &scheme, pred, GeoSparkConfig::default()).count()
-    });
+    let (c3, t3) =
+        timed(|| geospark_join(&left, &right, &scheme, pred, GeoSparkConfig::default()).count());
     t.push(vec!["geospark-like (replicate+dedup)".into(), secs(t3), c3.to_string()]);
 
     let (c4, t4) = timed(|| spatialspark_join(&left, &right, &scheme, pred, 5).count());
@@ -263,13 +260,7 @@ pub fn dbscan_scaling(ctx: &Context, sizes: &[usize]) -> Table {
         let ((), tl) = timed(|| {
             let _ = dbscan_local(&local_data, &params);
         });
-        t.push(vec![
-            n.to_string(),
-            secs(td),
-            secs(tl),
-            clusters.to_string(),
-            noise.to_string(),
-        ]);
+        t.push(vec![n.to_string(), secs(td), secs(tl), clusters.to_string(), noise.to_string()]);
     }
     t
 }
@@ -304,9 +295,7 @@ pub fn pruning(ctx: &Context, n: usize) -> Table {
         let q2 = query.clone();
         let before = ctx.metrics();
         let (count_off, time_off) = timed(|| {
-            part.rdd()
-                .filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &q2))
-                .count()
+            part.rdd().filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &q2)).count()
         });
         let d = ctx.metrics().since(&before);
         assert_eq!(count_on, count_off, "pruning changed the result");
@@ -408,9 +397,8 @@ pub fn index_modes(ctx: &Context, n: usize, queries: usize) -> Table {
     let _ = std::fs::remove_dir_all(&dir);
     let store = ObjectStore::open(&dir).expect("object store");
     indexed.persist(&store, "bench-index").expect("persist");
-    let (loaded, tl) = timed(|| {
-        IndexedSpatialRdd::<Payload>::load(ctx, &store, "bench-index").expect("load")
-    });
+    let (loaded, tl) =
+        timed(|| IndexedSpatialRdd::<Payload>::load(ctx, &store, "bench-index").expect("load"));
     let (_, tq) = timed(|| {
         for _ in 0..queries {
             loaded.filter(&query, pred).count();
@@ -445,13 +433,7 @@ pub fn scaling(ctx: &Context, sizes: &[usize]) -> Table {
         let (_, tf) = timed(|| partitioned.filter(&query, STPredicate::ContainedBy).count());
         let (join_results, tj) =
             timed(|| partitioned.self_join(STPredicate::Intersects, JoinConfig::default()).count());
-        t.push(vec![
-            n.to_string(),
-            secs(tp),
-            secs(tf),
-            secs(tj),
-            join_results.to_string(),
-        ]);
+        t.push(vec![n.to_string(), secs(tp), secs(tf), secs(tj), join_results.to_string()]);
     }
     t
 }
@@ -475,11 +457,16 @@ pub fn temporal(ctx: &Context, n: usize) -> Table {
     let query = stark::STObject::from_wkt_interval(
         &format!(
             "POLYGON(({} {}, {} {}, {} {}, {} {}, {} {}))",
-            s.min_x() - 1.0, s.min_y() - 1.0,
-            s.max_x() + 1.0, s.min_y() - 1.0,
-            s.max_x() + 1.0, s.max_y() + 1.0,
-            s.min_x() - 1.0, s.max_y() + 1.0,
-            s.min_x() - 1.0, s.min_y() - 1.0
+            s.min_x() - 1.0,
+            s.min_y() - 1.0,
+            s.max_x() + 1.0,
+            s.min_y() - 1.0,
+            s.max_x() + 1.0,
+            s.max_y() + 1.0,
+            s.min_x() - 1.0,
+            s.max_y() + 1.0,
+            s.min_x() - 1.0,
+            s.min_y() - 1.0
         ),
         0,
         50_000,
@@ -506,8 +493,7 @@ pub fn temporal(ctx: &Context, n: usize) -> Table {
     let temporal = srdd.partition_by(Arc::new(stark::TemporalPartitioner::build(64, &times)));
     temporal.count();
     let before = ctx.metrics();
-    let (count_t, time_t) =
-        timed(|| temporal.filter(&query, STPredicate::ContainedBy).count());
+    let (count_t, time_t) = timed(|| temporal.filter(&query, STPredicate::ContainedBy).count());
     let d = ctx.metrics().since(&before);
     assert_eq!(count_g, count_t, "partitioning changed the result");
     t.push(vec![
@@ -517,6 +503,99 @@ pub fn temporal(ctx: &Context, n: usize) -> Table {
         d.partitions_pruned.to_string(),
         count_t.to_string(),
     ]);
+    t
+}
+
+/// S6 — streaming throughput/latency: a micro-batch stream of regional
+/// event bursts (a hotspot drifting across the space) with event-time
+/// windows and three standing queries (range filter, withinDistance,
+/// kNN monitor), across batch sizes and with the continuous-query state
+/// either incrementally indexed or linear-scanned. The localised batches
+/// are where incremental maintenance pays: each batch rebuilds only the
+/// partition trees under the hotspot.
+pub fn stream(ctx: &Context, batch_sizes: &[usize], batches: usize) -> Table {
+    use stark_stream::{
+        ContinuousQueryEngine, GeneratorSource, LatePolicy, StandingQuery, StreamConfig,
+        StreamContext, StreamJob, WindowSpec,
+    };
+
+    let mut t = Table::new(
+        format!("S6: streaming, {batches} micro-batches per run, indexed vs scan"),
+        &[
+            "batch size",
+            "query state",
+            "records",
+            "mean batch [ms]",
+            "max batch [ms]",
+            "events/sec",
+            "rebuilt parts (total)",
+            "late dropped",
+        ],
+    );
+
+    let space = workloads::space();
+    let summary = vec![
+        (
+            stark_geo::Envelope::from_point(Coord::new(space.min_x(), space.min_y())),
+            Coord::new(space.min_x(), space.min_y()),
+        ),
+        (
+            stark_geo::Envelope::from_point(Coord::new(space.max_x(), space.max_y())),
+            Coord::new(space.max_x(), space.max_y()),
+        ),
+    ];
+    let partitioner: Arc<dyn SpatialPartitioner> = Arc::new(GridPartitioner::build(6, &summary));
+    let region = workloads::query_polygon(0.15);
+    let center = Coord::new(space.center().x, space.center().y);
+
+    let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+    for &batch_size in batch_sizes {
+        for indexed in [true, false] {
+            let engine = if indexed {
+                ContinuousQueryEngine::indexed(partitioner.clone(), 16)
+            } else {
+                ContinuousQueryEngine::unindexed()
+            }
+            .with_query(StandingQuery::filter("region", region.clone(), STPredicate::Intersects))
+            .with_query(StandingQuery::within_distance(
+                "near-center",
+                stark::STObject::point(center.x, center.y),
+                space.width() * 0.05,
+            ))
+            .with_query(StandingQuery::knn(
+                "monitor",
+                stark::STObject::point(center.x * 0.5, center.y * 0.5),
+                20,
+            ));
+            let sc = StreamContext::with_config(
+                ctx.clone(),
+                StreamConfig {
+                    batch_records: batch_size,
+                    channel_capacity: 4,
+                    parallelism: ctx.parallelism().max(1),
+                    ..Default::default()
+                },
+            );
+            let source =
+                GeneratorSource::new(42, space, batches, 1_000, 250).with_drifting_hotspot(0.25);
+            let job = StreamJob::new()
+                .with_windows(WindowSpec::tumbling(2_000), 100, LatePolicy::Drop)
+                .with_grid_aggregation(10, space)
+                .with_queries(engine);
+            let report = sc.run(source, job);
+            let rebuilt: usize = report.batches.iter().map(|b| b.partitions_rebuilt).sum();
+            t.push(vec![
+                batch_size.to_string(),
+                if indexed { "incremental index" } else { "linear scan" }.into(),
+                report.total_records().to_string(),
+                ms(report.mean_latency()),
+                ms(report.max_latency()),
+                format!("{:.0}", report.events_per_sec()),
+                rebuilt.to_string(),
+                report.late_dropped().to_string(),
+            ]);
+        }
+    }
     t
 }
 
@@ -558,8 +637,7 @@ mod tests {
         let t = figure4(&ctx(), 2000);
         assert_eq!(t.rows.len(), 3);
         // all three systems agree on the result count
-        let counts: std::collections::BTreeSet<&String> =
-            t.rows.iter().map(|r| &r[4]).collect();
+        let counts: std::collections::BTreeSet<&String> = t.rows.iter().map(|r| &r[4]).collect();
         assert_eq!(counts.len(), 1, "result counts differ: {t:?}");
         assert_eq!(t.rows[0][1], "N/A");
     }
@@ -575,8 +653,7 @@ mod tests {
     fn filter_experiment_consistency() {
         let t = filter(&ctx(), 3000);
         assert_eq!(t.rows.len(), 6);
-        let counts: std::collections::BTreeSet<&String> =
-            t.rows.iter().map(|r| &r[4]).collect();
+        let counts: std::collections::BTreeSet<&String> = t.rows.iter().map(|r| &r[4]).collect();
         assert_eq!(counts.len(), 1, "result counts differ across modes");
         // partitioned runs prune
         let pruned: u64 = t.rows[2][3].parse().unwrap();
@@ -628,5 +705,19 @@ mod tests {
     fn index_modes_runs() {
         let t = index_modes(&ctx(), 2000, 3);
         assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn stream_covers_sizes_and_both_modes() {
+        let t = stream(&ctx(), &[100, 200, 400], 3);
+        assert_eq!(t.rows.len(), 6); // 3 batch sizes × {indexed, scan}
+                                     // the indexed runs rebuild partitions; the scans never do
+        for pair in t.rows.chunks(2) {
+            assert_eq!(pair[0][1], "incremental index");
+            assert!(pair[0][6].parse::<usize>().unwrap() > 0);
+            assert_eq!(pair[1][6], "0");
+            // both modes process every record
+            assert_eq!(pair[0][2], pair[1][2]);
+        }
     }
 }

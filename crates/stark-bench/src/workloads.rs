@@ -1,6 +1,6 @@
 //! Benchmark datasets, produced with fixed seeds for reproducibility.
 
-use stark::{SpatialRddExt, STObject, SpatialRdd};
+use stark::{STObject, SpatialRdd, SpatialRddExt};
 use stark_engine::{Context, Rdd};
 use stark_eventsim::{world_bounds, EventGenerator};
 use stark_geo::Envelope;
@@ -15,7 +15,11 @@ pub fn space() -> Envelope {
 }
 
 /// Converts events into the paper's pair form.
-pub fn to_pairs(ctx: &Context, events: Vec<stark_eventsim::Event>, partitions: usize) -> Rdd<(STObject, Payload)> {
+pub fn to_pairs(
+    ctx: &Context,
+    events: Vec<stark_eventsim::Event>,
+    partitions: usize,
+) -> Rdd<(STObject, Payload)> {
     let pairs: Vec<(STObject, Payload)> = events
         .into_iter()
         .map(|e| {

@@ -40,10 +40,10 @@ impl<V: Data> SpatialRdd<V> {
                 let mut grid: Partial = vec![(0, None); dims * dims];
                 for (o, _) in &data {
                     let c = o.centroid();
-                    let col = (((c.x - sx) / cell_w).floor() as i64)
-                        .clamp(0, dims as i64 - 1) as usize;
-                    let row = (((c.y - sy) / cell_h).floor() as i64)
-                        .clamp(0, dims as i64 - 1) as usize;
+                    let col =
+                        (((c.x - sx) / cell_w).floor() as i64).clamp(0, dims as i64 - 1) as usize;
+                    let row =
+                        (((c.y - sy) / cell_h).floor() as i64).clamp(0, dims as i64 - 1) as usize;
                     let slot = &mut grid[row * dims + col];
                     slot.0 += 1;
                     if let Some(t) = o.time() {
@@ -153,10 +153,8 @@ mod tests {
     #[test]
     fn out_of_space_points_clamp() {
         let ctx = Context::with_parallelism(2);
-        let data = vec![
-            (STObject::point(-100.0, -100.0), 0u32),
-            (STObject::point(100.0, 100.0), 1),
-        ];
+        let data =
+            vec![(STObject::point(-100.0, -100.0), 0u32), (STObject::point(100.0, 100.0), 1)];
         let rdd = ctx.parallelize(data, 1).spatial();
         let cells = rdd.aggregate_by_grid(3, &Envelope::from_bounds(0.0, 0.0, 9.0, 9.0));
         let total: u64 = cells.iter().map(|c| c.count).sum();
@@ -178,10 +176,7 @@ mod tests {
         let ctx = Context::with_parallelism(2);
         let data: Vec<(STObject, String)> = (0..30)
             .map(|i| {
-                (
-                    STObject::point(i as f64, 0.0),
-                    if i % 3 == 0 { "a" } else { "b" }.to_string(),
-                )
+                (STObject::point(i as f64, 0.0), if i % 3 == 0 { "a" } else { "b" }.to_string())
             })
             .collect();
         let rdd = ctx.parallelize(data, 4).spatial();

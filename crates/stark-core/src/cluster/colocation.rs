@@ -30,15 +30,8 @@ pub struct ColocationParams {
 impl ColocationParams {
     pub fn new(distance: f64, min_participation: f64) -> Self {
         assert!(distance > 0.0, "distance must be positive");
-        assert!(
-            (0.0..=1.0).contains(&min_participation),
-            "participation index must be in [0, 1]"
-        );
-        ColocationParams {
-            distance,
-            dist_fn: DistanceFn::Euclidean,
-            min_participation,
-        }
+        assert!((0.0..=1.0).contains(&min_participation), "participation index must be in [0, 1]");
+        ColocationParams { distance, dist_fn: DistanceFn::Euclidean, min_participation }
     }
 }
 
@@ -71,11 +64,8 @@ pub fn colocation_patterns<V: Data>(
     params: ColocationParams,
 ) -> Vec<ColocationPattern> {
     // Tag instances with ids and categories once.
-    let tagged = input
-        .rdd()
-        .zip_with_index()
-        .map(move |(id, (o, v))| (o, (id, category(&v))))
-        .cache();
+    let tagged =
+        input.rdd().zip_with_index().map(move |(id, (o, v))| (o, (id, category(&v)))).cache();
 
     // Instances per category (for the ratio denominators).
     let mut category_sizes: HashMap<String, usize> = HashMap::new();
@@ -148,14 +138,9 @@ mod tests {
     use crate::stobject::STObject;
     use stark_engine::Context;
 
-    fn events(
-        ctx: &Context,
-        spec: &[(&str, f64, f64)],
-    ) -> SpatialRdd<String> {
-        let data: Vec<(STObject, String)> = spec
-            .iter()
-            .map(|&(cat, x, y)| (STObject::point(x, y), cat.to_string()))
-            .collect();
+    fn events(ctx: &Context, spec: &[(&str, f64, f64)]) -> SpatialRdd<String> {
+        let data: Vec<(STObject, String)> =
+            spec.iter().map(|&(cat, x, y)| (STObject::point(x, y), cat.to_string())).collect();
         ctx.parallelize(data, 3).spatial()
     }
 
@@ -207,16 +192,12 @@ mod tests {
     #[test]
     fn threshold_filters_weak_patterns() {
         let ctx = Context::with_parallelism(2);
-        let spec = [
-            ("a", 0.0, 0.0),
-            ("b", 0.5, 0.0),
-            ("a", 100.0, 0.0),
-            ("b", 200.0, 0.0),
-        ];
+        let spec = [("a", 0.0, 0.0), ("b", 0.5, 0.0), ("a", 100.0, 0.0), ("b", 200.0, 0.0)];
         let rdd = events(&ctx, &spec);
         // pattern PI = 0.5; threshold 0.6 filters it
-        assert!(colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.6))
-            .is_empty());
+        assert!(
+            colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.6)).is_empty()
+        );
         assert_eq!(
             colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.4)).len(),
             1
@@ -228,8 +209,9 @@ mod tests {
         let ctx = Context::with_parallelism(2);
         let spec = [("x", 0.0, 0.0), ("x", 0.1, 0.0), ("x", 0.2, 0.0)];
         let rdd = events(&ctx, &spec);
-        assert!(colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.0))
-            .is_empty());
+        assert!(
+            colocation_patterns(&rdd, |c| c.clone(), ColocationParams::new(1.0, 0.0)).is_empty()
+        );
     }
 
     #[test]

@@ -58,11 +58,8 @@ pub fn dbscan_local<V>(
         return (labels, core);
     }
 
-    let entries: Vec<Entry<usize>> = records
-        .iter()
-        .enumerate()
-        .map(|(i, (o, _))| Entry::new(o.envelope(), i))
-        .collect();
+    let entries: Vec<Entry<usize>> =
+        records.iter().enumerate().map(|(i, (o, _))| Entry::new(o.envelope(), i)).collect();
     let tree = StrTree::build(8, entries);
 
     let neighbors = |i: usize| -> Vec<usize> {
@@ -213,8 +210,7 @@ pub fn dbscan<V: Data>(
     // 4. Canonical → dense cluster ids.
     let mut home_labels: Vec<u64> = clustered
         .run_partitions(|_, rows| {
-            let mut ls: Vec<u64> =
-                rows.iter().filter(|r| r.3).filter_map(|r| r.5).collect();
+            let mut ls: Vec<u64> = rows.iter().filter(|r| r.3).filter_map(|r| r.5).collect();
             ls.sort_unstable();
             ls.dedup();
             ls
@@ -228,8 +224,7 @@ pub fn dbscan<V: Data>(
 
     let mut canon_to_dense: HashMap<u64, u64> = HashMap::new();
     let mut label_to_dense: HashMap<u64, u64> = HashMap::new();
-    let mut canonical: Vec<u64> =
-        home_labels.iter().map(|&l| uf.find(l)).collect();
+    let mut canonical: Vec<u64> = home_labels.iter().map(|&l| uf.find(l)).collect();
     canonical.sort_unstable();
     canonical.dedup();
     for (dense, c) in canonical.iter().enumerate() {
@@ -244,16 +239,14 @@ pub fn dbscan<V: Data>(
     // 5. Emit home rows with final labels.
     let label_map = Arc::new(label_to_dense);
     let override_map = Arc::new(overrides_dense);
-    clustered
-        .filter(|row| row.3)
-        .map(move |(id, o, v, _, replicated, label, _)| {
-            let fin = if replicated {
-                override_map.get(&id).copied()
-            } else {
-                label.and_then(|l| label_map.get(&l).copied())
-            };
-            (o, v, fin)
-        })
+    clustered.filter(|row| row.3).map(move |(id, o, v, _, replicated, label, _)| {
+        let fin = if replicated {
+            override_map.get(&id).copied()
+        } else {
+            label.and_then(|l| label_map.get(&l).copied())
+        };
+        (o, v, fin)
+    })
 }
 
 #[cfg(test)]
@@ -264,11 +257,8 @@ mod tests {
     use stark_engine::Context;
 
     fn to_rdd(ctx: &Context, pts: &[(f64, f64)], parts: usize) -> SpatialRdd<u32> {
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         ctx.parallelize(data, parts).spatial()
     }
 
@@ -311,9 +301,8 @@ mod tests {
 
     #[test]
     fn local_dbscan_all_noise_when_sparse() {
-        let data: Vec<(STObject, u32)> = (0..10)
-            .map(|i| (STObject::point(i as f64 * 100.0, 0.0), i))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            (0..10).map(|i| (STObject::point(i as f64 * 100.0, 0.0), i)).collect();
         let (labels, cores) = dbscan_local(&data, &DbscanParams::new(1.0, 3));
         assert!(labels.iter().all(|l| l.is_none()));
         assert!(cores.iter().all(|&c| !c));
@@ -343,23 +332,14 @@ mod tests {
     ) {
         let (data, params) = reference;
         let (ref_labels, _) = dbscan_local(data, params);
-        let ref_map: HashMap<u32, Option<usize>> = data
-            .iter()
-            .zip(ref_labels)
-            .map(|((_, v), l)| (*v, l))
-            .collect();
+        let ref_map: HashMap<u32, Option<usize>> =
+            data.iter().zip(ref_labels).map(|((_, v), l)| (*v, l)).collect();
 
         // noise sets must match exactly
-        let dist_noise: std::collections::BTreeSet<u32> = distributed
-            .iter()
-            .filter(|(_, _, l)| l.is_none())
-            .map(|(_, v, _)| *v)
-            .collect();
-        let ref_noise: std::collections::BTreeSet<u32> = ref_map
-            .iter()
-            .filter(|(_, l)| l.is_none())
-            .map(|(v, _)| *v)
-            .collect();
+        let dist_noise: std::collections::BTreeSet<u32> =
+            distributed.iter().filter(|(_, _, l)| l.is_none()).map(|(_, v, _)| *v).collect();
+        let ref_noise: std::collections::BTreeSet<u32> =
+            ref_map.iter().filter(|(_, l)| l.is_none()).map(|(v, _)| *v).collect();
         assert_eq!(dist_noise, ref_noise, "noise sets differ");
 
         // cluster groupings must be identical up to renaming
@@ -384,11 +364,8 @@ mod tests {
     fn distributed_matches_local_on_blobs() {
         let ctx = Context::with_parallelism(4);
         let pts = blobs();
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         let params = DbscanParams::new(0.5, 4);
         let rdd = to_rdd(&ctx, &pts, 5);
         let result = dbscan(&rdd, params).collect();
@@ -400,11 +377,8 @@ mod tests {
     fn distributed_matches_local_with_explicit_partitioning() {
         let ctx = Context::with_parallelism(4);
         let pts = blobs();
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         let params = DbscanParams::new(0.5, 4);
         let rdd = to_rdd(&ctx, &pts, 3);
         let grid = rdd.partition_by(Arc::new(GridPartitioner::build(3, &rdd.summarize())));
@@ -417,11 +391,8 @@ mod tests {
         let ctx = Context::with_parallelism(4);
         // one long chain crossing the whole space — any grid cut splits it
         let pts: Vec<(f64, f64)> = (0..60).map(|i| (i as f64 * 0.4, 0.0)).collect();
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         let params = DbscanParams::new(0.5, 2);
         let rdd = to_rdd(&ctx, &pts, 4);
         let grid = rdd.partition_by(Arc::new(GridPartitioner::build(4, &rdd.summarize())));
@@ -440,12 +411,7 @@ mod tests {
         // one spatial chain, but with times that scatter it across every
         // temporal bucket — a naive per-bucket clustering would shatter it
         let data: Vec<(STObject, u32)> = (0..40)
-            .map(|i| {
-                (
-                    STObject::point_at(i as f64 * 0.4, 0.0, (i % 7) as i64 * 1000),
-                    i,
-                )
-            })
+            .map(|i| (STObject::point_at(i as f64 * 0.4, 0.0, (i % 7) as i64 * 1000), i))
             .collect();
         let rdd = ctx.parallelize(data, 4).spatial();
         let times: Vec<Option<crate::temporal::Temporal>> =

@@ -1,0 +1,403 @@
+//! Incrementally maintained per-partition STR-tree index.
+//!
+//! The batch-oriented [`crate::indexed::IndexedSpatialRdd`] rebuilds every
+//! partition tree when the data changes. A micro-batch stream cannot
+//! afford that: each batch touches only the partitions its events fall
+//! into, so only those trees need rebuilding. [`IncrementalIndex`] keeps
+//! one record buffer + STR-tree per partitioner cell, tracks which
+//! partitions a batch dirtied, and rebuilds trees lazily on
+//! [`IncrementalIndex::refresh`] — the streaming layer calls it once per
+//! micro-batch.
+//!
+//! Queries are always exact regardless of refresh schedule: a clean
+//! partition is probed through its tree, a dirty one falls back to a
+//! linear scan of its buffer. Partition pruning reuses the same
+//! bounds/extent machinery as the batch path ([`STPredicate`'s
+//! `partition_may_match` tests), with extents fitted to the records
+//! actually inserted — sound even for records outside the partitioner's
+//! build sample.
+
+use crate::partitioner::SpatialPartitioner;
+use crate::predicate::STPredicate;
+use crate::stobject::STObject;
+use crate::temporal::TemporalExtent;
+use stark_engine::Data;
+use stark_geo::{DistanceFn, Envelope};
+use stark_index::{Entry, StrTree};
+use std::sync::Arc;
+
+/// Counters describing the work an [`IncrementalIndex`] has done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// Tree rebuilds performed over the index lifetime.
+    pub rebuilds: u64,
+    /// Tree rebuilds skipped because the partition was untouched.
+    pub rebuilds_skipped: u64,
+    /// Records currently indexed.
+    pub records: usize,
+}
+
+/// Cached tree for one partition; `None` until first refresh.
+type PartitionTree<V> = Option<Arc<StrTree<(STObject, V)>>>;
+
+/// Per-partition STR-trees with dirty tracking, for streaming updates.
+pub struct IncrementalIndex<V: Data> {
+    partitioner: Arc<dyn SpatialPartitioner>,
+    order: usize,
+    /// Record buffers, one per partitioner cell.
+    records: Vec<Vec<(STObject, V)>>,
+    /// Cached tree per partition; `None` until first refresh.
+    trees: Vec<PartitionTree<V>>,
+    /// Partitions whose buffer changed since their tree was built.
+    dirty: Vec<bool>,
+    /// Spatial extent fitted to the records actually inserted.
+    extents: Vec<Envelope>,
+    /// Temporal extent fitted to the records actually inserted.
+    time_extents: Vec<TemporalExtent>,
+    stats: RefreshStats,
+}
+
+impl<V: Data> IncrementalIndex<V> {
+    /// Creates an empty index over the partitioner's cells.
+    pub fn new(partitioner: Arc<dyn SpatialPartitioner>, order: usize) -> Self {
+        let n = partitioner.num_partitions().max(1);
+        IncrementalIndex {
+            partitioner,
+            order,
+            records: vec![Vec::new(); n],
+            trees: vec![None; n],
+            dirty: vec![false; n],
+            extents: vec![Envelope::empty(); n],
+            time_extents: vec![TemporalExtent::empty(); n],
+            stats: RefreshStats::default(),
+        }
+    }
+
+    /// Number of partitions (= partitioner cells).
+    pub fn num_partitions(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total records indexed.
+    pub fn len(&self) -> usize {
+        self.stats.records
+    }
+
+    /// Whether the index holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.stats.records == 0
+    }
+
+    /// The STR-tree order used for rebuilt partitions.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Lifetime work counters.
+    pub fn stats(&self) -> RefreshStats {
+        self.stats
+    }
+
+    /// Indices of partitions currently awaiting a rebuild.
+    pub fn dirty_partitions(&self) -> Vec<usize> {
+        (0..self.dirty.len()).filter(|&i| self.dirty[i]).collect()
+    }
+
+    /// Routes each record to its partition, marking touched partitions
+    /// dirty. Returns the number of distinct partitions touched.
+    pub fn insert_batch(&mut self, batch: impl IntoIterator<Item = (STObject, V)>) -> usize {
+        let mut touched = 0usize;
+        for (obj, value) in batch {
+            let p = self
+                .partitioner
+                .partition_for_centroid(&obj.centroid())
+                .min(self.records.len() - 1);
+            if !self.dirty[p] {
+                self.dirty[p] = true;
+                touched += 1;
+            }
+            self.extents[p].expand_to_include_envelope(&obj.envelope());
+            self.time_extents[p].expand(obj.time());
+            self.records[p].push((obj, value));
+            self.stats.records += 1;
+        }
+        touched
+    }
+
+    /// Rebuilds the STR-tree of every dirty partition (and only those).
+    /// Returns the number of trees rebuilt.
+    pub fn refresh(&mut self) -> usize {
+        let mut rebuilt = 0usize;
+        for p in 0..self.records.len() {
+            if !self.dirty[p] {
+                if self.trees[p].is_some() {
+                    self.stats.rebuilds_skipped += 1;
+                }
+                continue;
+            }
+            let entries: Vec<Entry<(STObject, V)>> = self.records[p]
+                .iter()
+                .map(|(o, v)| Entry::new(o.envelope(), (o.clone(), v.clone())))
+                .collect();
+            self.trees[p] = Some(Arc::new(StrTree::build(self.order, entries)));
+            self.dirty[p] = false;
+            rebuilt += 1;
+        }
+        self.stats.rebuilds += rebuilt as u64;
+        rebuilt
+    }
+
+    /// Partition mask for `pred(e, query)`: `true` = must be scanned.
+    fn mask_for(&self, pred: &STPredicate, query: &STObject) -> Vec<bool> {
+        (0..self.records.len())
+            .map(|p| {
+                pred.partition_may_match(&self.extents[p], query)
+                    && pred.partition_may_match_temporal(&self.time_extents[p], query)
+            })
+            .collect()
+    }
+
+    /// Exact filter: extent-pruned, tree-probed where clean, linear where
+    /// dirty. Returns matching records in partition order.
+    pub fn filter(&self, query: &STObject, pred: STPredicate) -> Vec<(STObject, V)> {
+        let mask = self.mask_for(&pred, query);
+        let probe = pred.index_probe(query);
+        let mut out = Vec::new();
+        for (p, keep) in mask.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            match (&self.trees[p], self.dirty[p]) {
+                (Some(tree), false) => {
+                    tree.for_each_candidate(&probe, &mut |entry| {
+                        let (o, v) = &entry.item;
+                        if pred.eval(o, query) {
+                            out.push((o.clone(), v.clone()));
+                        }
+                    });
+                }
+                // dirty (or never refreshed): exact linear scan
+                _ => {
+                    for (o, v) in &self.records[p] {
+                        if pred.eval(o, query) {
+                            out.push((o.clone(), v.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of partitions the filter for `query` would scan.
+    pub fn partitions_scanned(&self, query: &STObject, pred: &STPredicate) -> usize {
+        self.mask_for(pred, query).into_iter().filter(|m| *m).count()
+    }
+
+    /// Exact k-nearest-neighbour search. Clean partitions are probed
+    /// through the tree with an enlarging fetch (envelope distance lower
+    /// bounds Euclidean distance); dirty ones are scanned linearly.
+    pub fn knn(
+        &self,
+        query: &STObject,
+        k: usize,
+        dist_fn: DistanceFn,
+    ) -> Vec<(f64, (STObject, V))> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let target = query.centroid();
+        let sound_bound = matches!(dist_fn, DistanceFn::Euclidean);
+        let mut merged: Vec<(f64, (STObject, V))> = Vec::new();
+        for p in 0..self.records.len() {
+            match (&self.trees[p], self.dirty[p]) {
+                (Some(tree), false) if sound_bound => {
+                    let mut fetch = (k * 4).max(32).min(tree.len());
+                    loop {
+                        let candidates = tree.nearest_k(&target, fetch);
+                        let mut exact: Vec<(f64, &Entry<(STObject, V)>)> = candidates
+                            .iter()
+                            .map(|(_, e)| (e.item.0.distance(query, dist_fn), *e))
+                            .collect();
+                        exact.sort_by(|a, b| {
+                            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        exact.truncate(k);
+                        let kth = exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
+                        let frontier =
+                            candidates.last().map(|(lb, _)| *lb).unwrap_or(f64::INFINITY);
+                        if fetch >= tree.len() || (exact.len() == k && frontier >= kth) {
+                            merged.extend(exact.into_iter().map(|(d, e)| (d, e.item.clone())));
+                            break;
+                        }
+                        fetch = (fetch * 2).min(tree.len().max(1));
+                    }
+                }
+                _ => {
+                    for (o, v) in &self.records[p] {
+                        merged.push((o.distance(query, dist_fn), (o.clone(), v.clone())));
+                    }
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        merged.truncate(k);
+        merged
+    }
+
+    /// Convenience: filter with a `WithinDistance` predicate.
+    pub fn within_distance(
+        &self,
+        query: &STObject,
+        max_dist: f64,
+        dist_fn: DistanceFn,
+    ) -> Vec<(STObject, V)> {
+        self.filter(query, STPredicate::WithinDistance { max_dist, dist_fn })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::GridPartitioner;
+    use stark_geo::Coord;
+
+    fn grid_over_unit_square(dims: usize) -> Arc<dyn SpatialPartitioner> {
+        let corners = [(0.0, 0.0), (100.0, 100.0)];
+        let summary: Vec<(Envelope, Coord)> = corners
+            .iter()
+            .map(|&(x, y)| (Envelope::from_point(Coord::new(x, y)), Coord::new(x, y)))
+            .collect();
+        Arc::new(GridPartitioner::build(dims, &summary))
+    }
+
+    fn points(n: usize) -> Vec<(STObject, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64 * 10.0 + 1.0;
+                let y = (i / 10) as f64 + 1.0;
+                (STObject::point_at(x, y, i as i64), i)
+            })
+            .collect()
+    }
+
+    fn naive_filter(data: &[(STObject, usize)], query: &STObject, pred: STPredicate) -> Vec<usize> {
+        let mut ids: Vec<usize> =
+            data.iter().filter(|(o, _)| pred.eval(o, query)).map(|(_, i)| *i).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn query() -> STObject {
+        STObject::from_wkt_interval("POLYGON((5 0, 35 0, 35 8, 5 8, 5 0))", 0, 10_000).unwrap()
+    }
+
+    #[test]
+    fn filter_matches_naive_before_and_after_refresh() {
+        let data = points(100);
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        idx.insert_batch(data.clone());
+
+        let expect = naive_filter(&data, &query(), STPredicate::Intersects);
+        // dirty path (no refresh yet)
+        let mut got: Vec<usize> =
+            idx.filter(&query(), STPredicate::Intersects).into_iter().map(|(_, i)| i).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+
+        // clean path
+        idx.refresh();
+        let mut got: Vec<usize> =
+            idx.filter(&query(), STPredicate::Intersects).into_iter().map(|(_, i)| i).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(!expect.is_empty());
+    }
+
+    #[test]
+    fn refresh_rebuilds_only_touched_partitions() {
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        idx.insert_batch(points(100));
+        let first = idx.refresh();
+        assert!(first > 0);
+
+        // a batch confined to one corner touches few partitions
+        let corner: Vec<(STObject, usize)> =
+            (0..20).map(|i| (STObject::point_at(2.0, 2.0, i as i64), 1000 + i as usize)).collect();
+        let touched = idx.insert_batch(corner);
+        assert_eq!(touched, 1);
+        assert_eq!(idx.dirty_partitions().len(), 1);
+        let rebuilt = idx.refresh();
+        assert_eq!(rebuilt, 1);
+        assert!(idx.stats().rebuilds_skipped > 0);
+        assert_eq!(idx.len(), 120);
+    }
+
+    #[test]
+    fn extent_pruning_scans_few_partitions() {
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        idx.insert_batch(points(100));
+        idx.refresh();
+        let tiny = STObject::point(1.0, 1.0);
+        let scanned = idx.partitions_scanned(&tiny, &STPredicate::Intersects);
+        assert!(scanned < idx.num_partitions(), "{scanned} of {}", idx.num_partitions());
+    }
+
+    #[test]
+    fn records_outside_build_sample_are_still_found() {
+        // partitioner fitted to [0,100]^2 but records land outside it
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(3), 4);
+        let stray = STObject::point(250.0, -40.0);
+        idx.insert_batch(vec![(stray.clone(), 7usize)]);
+        idx.refresh();
+        let got = idx.filter(&stray, STPredicate::Intersects);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 7);
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let data = points(100);
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        idx.insert_batch(data.clone());
+        idx.refresh();
+        let q = STObject::point(23.0, 4.5);
+        let got = idx.knn(&q, 7, DistanceFn::Euclidean);
+        let mut expect: Vec<f64> =
+            data.iter().map(|(o, _)| o.distance(&q, DistanceFn::Euclidean)).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got.len(), 7);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g.0 - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn within_distance_convenience() {
+        let data = points(100);
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        idx.insert_batch(data.clone());
+        idx.refresh();
+        let q = STObject::point(50.0, 5.0);
+        let got = idx.within_distance(&q, 3.0, DistanceFn::Euclidean).len();
+        let expect =
+            data.iter().filter(|(o, _)| o.distance(&q, DistanceFn::Euclidean) <= 3.0).count();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn temporal_pruning_is_exercised() {
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(2), 4);
+        idx.insert_batch(points(50));
+        idx.refresh();
+        // query far in the future of every record timestamp
+        let future = STObject::from_wkt_interval(
+            "POLYGON((0 0, 100 0, 100 100, 0 100, 0 0))",
+            1_000_000,
+            2_000_000,
+        )
+        .unwrap();
+        assert_eq!(idx.partitions_scanned(&future, &STPredicate::Intersects), 0);
+        assert!(idx.filter(&future, STPredicate::Intersects).is_empty());
+    }
+}

@@ -49,10 +49,8 @@ impl<V: Data> SpatialRdd<V> {
         let trees = self
             .rdd()
             .map_partitions(move |data| {
-                let entries: Vec<Entry<(STObject, V)>> = data
-                    .into_iter()
-                    .map(|(o, v)| Entry::new(o.envelope(), (o, v)))
-                    .collect();
+                let entries: Vec<Entry<(STObject, V)>> =
+                    data.into_iter().map(|(o, v)| Entry::new(o.envelope(), (o, v))).collect();
                 vec![Arc::new(StrTree::build(order, entries))]
             })
             .cache();
@@ -93,7 +91,8 @@ impl<V: Data> IndexedSpatialRdd<V> {
 
     /// Total number of indexed records.
     pub fn count(&self) -> usize {
-        self.trees.run_partitions(|_, trees| trees.iter().map(|t| t.len()).sum::<usize>())
+        self.trees
+            .run_partitions(|_, trees| trees.iter().map(|t| t.len()).sum::<usize>())
             .into_iter()
             .sum()
     }
@@ -155,7 +154,12 @@ impl<V: Data> IndexedSpatialRdd<V> {
     /// envelope-distance order (a lower bound on the true distance) and
     /// the fetch is enlarged until the bound passes the provisional k-th
     /// exact distance, guaranteeing exactness for every geometry kind.
-    pub fn knn(&self, query: &STObject, k: usize, dist_fn: DistanceFn) -> Vec<(f64, (STObject, V))> {
+    pub fn knn(
+        &self,
+        query: &STObject,
+        k: usize,
+        dist_fn: DistanceFn,
+    ) -> Vec<(f64, (STObject, V))> {
         if k == 0 {
             return Vec::new();
         }
@@ -171,24 +175,18 @@ impl<V: Data> IndexedSpatialRdd<V> {
                         .iter()
                         .map(|(_, e)| (e.item.0.distance(&q, dist_fn), *e))
                         .collect();
-                    exact.sort_by(|a, b| {
-                        a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    exact
+                        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                     exact.truncate(k);
                     let kth = exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
-                    let frontier =
-                        candidates.last().map(|(lb, _)| *lb).unwrap_or(f64::INFINITY);
+                    let frontier = candidates.last().map(|(lb, _)| *lb).unwrap_or(f64::INFINITY);
                     // Done when we have everything, or the next unseen
                     // lower bound cannot beat our provisional k-th.
                     // (Envelope distance lower-bounds Euclidean distance;
                     // for other metrics fall back to full enumeration.)
                     let sound_bound = matches!(dist_fn, DistanceFn::Euclidean);
-                    if fetch >= tree.len()
-                        || (sound_bound && exact.len() == k && frontier >= kth)
-                    {
-                        local.extend(
-                            exact.into_iter().map(|(d, e)| (d, e.item.clone())),
-                        );
+                    if fetch >= tree.len() || (sound_bound && exact.len() == k && frontier >= kth) {
+                        local.extend(exact.into_iter().map(|(d, e)| (d, e.item.clone())));
                         break;
                     }
                     fetch = (fetch * 2).min(tree.len().max(1));
@@ -253,8 +251,7 @@ impl<V: Data + Serialize + DeserializeOwned> IndexedSpatialRdd<V> {
         name: &str,
     ) -> Result<IndexedSpatialRdd<V>, StarkError> {
         let meta: PersistedMeta = store.get_json(&format!("{name}/meta.json"))?;
-        let mut trees: Vec<Arc<StrTree<(STObject, V)>>> =
-            Vec::with_capacity(meta.num_partitions);
+        let mut trees: Vec<Arc<StrTree<(STObject, V)>>> = Vec::with_capacity(meta.num_partitions);
         for i in 0..meta.num_partitions {
             let blob = store.get_bytes(&format!("{name}/part-{i:05}.json"))?;
             let tree: StrTree<(STObject, V)> =
@@ -264,9 +261,9 @@ impl<V: Data + Serialize + DeserializeOwned> IndexedSpatialRdd<V> {
         let n = trees.len().max(1);
         let trees = ctx.parallelize(trees, n);
         let time_extents = meta.time_extents.unwrap_or_default();
-        let partitioning = meta.cells.map(|cells| {
-            Arc::new(PartitioningInfo { partitioner: None, cells, time_extents })
-        });
+        let partitioning = meta
+            .cells
+            .map(|cells| Arc::new(PartitioningInfo { partitioner: None, cells, time_extents }));
         Ok(IndexedSpatialRdd { trees, partitioning, order: meta.order })
     }
 }
@@ -352,8 +349,7 @@ mod tests {
     #[test]
     fn persist_and_load_roundtrip() {
         let ctx = Context::with_parallelism(4);
-        let dir = std::env::temp_dir()
-            .join(format!("stark-core-persist-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("stark-core-persist-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = ObjectStore::open(&dir).unwrap();
 
@@ -383,8 +379,7 @@ mod tests {
     #[test]
     fn load_missing_index_fails() {
         let ctx = Context::new();
-        let dir = std::env::temp_dir()
-            .join(format!("stark-core-missing-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("stark-core-missing-{}", std::process::id()));
         let store = ObjectStore::open(&dir).unwrap();
         let r: Result<IndexedSpatialRdd<u32>, _> =
             IndexedSpatialRdd::load(&ctx, &store, "no-such-index");

@@ -167,11 +167,8 @@ fn local_join<V: Data, W: Data>(
             }
         }
         JoinIndexMode::Live { order } => {
-            let entries: Vec<Entry<usize>> = rdata
-                .iter()
-                .enumerate()
-                .map(|(i, (o, _))| Entry::new(o.envelope(), i))
-                .collect();
+            let entries: Vec<Entry<usize>> =
+                rdata.iter().enumerate().map(|(i, (o, _))| Entry::new(o.envelope(), i)).collect();
             let tree = StrTree::build(order, entries);
             for l in &ldata {
                 let probe = pred.index_probe(&l.0);
@@ -196,11 +193,8 @@ mod tests {
     use std::sync::Arc;
 
     fn points(ctx: &Context, pts: &[(f64, f64)]) -> SpatialRdd<u32> {
-        let data: Vec<(STObject, u32)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
-            .collect();
+        let data: Vec<(STObject, u32)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (STObject::point(x, y), i as u32)).collect();
         ctx.parallelize(data, 4).spatial()
     }
 
@@ -223,8 +217,7 @@ mod tests {
     }
 
     fn ids(result: Vec<((STObject, u32), (STObject, u32))>) -> Vec<(u32, u32)> {
-        let mut out: Vec<(u32, u32)> =
-            result.into_iter().map(|((_, a), (_, b))| (a, b)).collect();
+        let mut out: Vec<(u32, u32)> = result.into_iter().map(|((_, a), (_, b))| (a, b)).collect();
         out.sort_unstable();
         out
     }
@@ -245,9 +238,8 @@ mod tests {
     #[test]
     fn partitioned_self_join_matches_unpartitioned() {
         let ctx = Context::with_parallelism(4);
-        let pts: Vec<(f64, f64)> = (0..200)
-            .map(|i| (((i * 7) % 50) as f64 / 5.0, ((i * 13) % 50) as f64 / 5.0))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (0..200).map(|i| (((i * 7) % 50) as f64 / 5.0, ((i * 13) % 50) as f64 / 5.0)).collect();
         let rdd = points(&ctx, &pts);
         let plain = ids(rdd.self_join(STPredicate::Intersects, JoinConfig::default()).collect());
 
@@ -256,10 +248,8 @@ mod tests {
             ids(grid.self_join(STPredicate::Intersects, JoinConfig::default()).collect());
         assert_eq!(got_grid, plain);
 
-        let bsp =
-            rdd.partition_by(Arc::new(BspPartitioner::build(20, 0.5, &rdd.summarize())));
-        let got_bsp =
-            ids(bsp.self_join(STPredicate::Intersects, JoinConfig::default()).collect());
+        let bsp = rdd.partition_by(Arc::new(BspPartitioner::build(20, 0.5, &rdd.summarize())));
+        let got_bsp = ids(bsp.self_join(STPredicate::Intersects, JoinConfig::default()).collect());
         assert_eq!(got_bsp, plain);
     }
 
@@ -268,8 +258,10 @@ mod tests {
         let ctx = Context::with_parallelism(4);
         let left_pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, i as f64)).collect();
         let right_pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, i as f64)).collect();
-        let left = points(&ctx, &left_pts)
-            .partition_by(Arc::new(GridPartitioner::build(3, &points(&ctx, &left_pts).summarize())));
+        let left = points(&ctx, &left_pts).partition_by(Arc::new(GridPartitioner::build(
+            3,
+            &points(&ctx, &left_pts).summarize(),
+        )));
         let right = points(&ctx, &right_pts);
         let got = ids(left.join(&right, STPredicate::Intersects, JoinConfig::default()).collect());
         // diagonal: each point matches exactly its twin
@@ -282,9 +274,8 @@ mod tests {
         let ctx = Context::with_parallelism(4);
         let a = points(&ctx, &[(0.0, 0.0), (10.0, 0.0)]);
         let b = points(&ctx, &[(0.5, 0.0), (20.0, 0.0)]);
-        let got = ids(a
-            .distance_join(&b, 1.0, DistanceFn::Euclidean, JoinConfig::default())
-            .collect());
+        let got =
+            ids(a.distance_join(&b, 1.0, DistanceFn::Euclidean, JoinConfig::default()).collect());
         assert_eq!(got, vec![(0, 0)]);
     }
 
@@ -295,23 +286,25 @@ mod tests {
             (STObject::from_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))").unwrap(), 0),
             (STObject::from_wkt("POLYGON((20 20, 30 20, 30 30, 20 30, 20 20))").unwrap(), 1),
         ];
-        let pts: Vec<(STObject, u32)> =
-            vec![(STObject::point(5.0, 5.0), 0), (STObject::point(25.0, 25.0), 1), (STObject::point(50.0, 50.0), 2)];
+        let pts: Vec<(STObject, u32)> = vec![
+            (STObject::point(5.0, 5.0), 0),
+            (STObject::point(25.0, 25.0), 1),
+            (STObject::point(50.0, 50.0), 2),
+        ];
         let regions = ctx.parallelize(regions, 2).spatial();
         let pts = ctx.parallelize(pts, 2).spatial();
         let got = ids(regions.join(&pts, STPredicate::Contains, JoinConfig::default()).collect());
         assert_eq!(got, vec![(0, 0), (1, 1)]);
-        let rev = ids(pts.join(&regions, STPredicate::ContainedBy, JoinConfig::default()).collect());
+        let rev =
+            ids(pts.join(&regions, STPredicate::ContainedBy, JoinConfig::default()).collect());
         assert_eq!(rev, vec![(0, 0), (1, 1)]);
     }
 
     #[test]
     fn temporal_join_respects_time_rule() {
         let ctx = Context::with_parallelism(2);
-        let a: Vec<(STObject, u32)> = vec![
-            (STObject::point_at(0.0, 0.0, 10), 0),
-            (STObject::point_at(0.0, 0.0, 99), 1),
-        ];
+        let a: Vec<(STObject, u32)> =
+            vec![(STObject::point_at(0.0, 0.0, 10), 0), (STObject::point_at(0.0, 0.0, 99), 1)];
         let b: Vec<(STObject, u32)> = vec![(STObject::point_at(0.0, 0.0, 10), 0)];
         let a = ctx.parallelize(a, 1).spatial();
         let b = ctx.parallelize(b, 1).spatial();

@@ -74,20 +74,16 @@ impl<V: Data> SpatialRdd<V> {
                                 let cands = tree.nearest_k(&target, fetch);
                                 let mut exact: Vec<(f64, usize)> = cands
                                     .iter()
-                                    .map(|(_, e)| {
-                                        (lo.distance(&rdata[e.item].0, dist_fn), e.item)
-                                    })
+                                    .map(|(_, e)| (lo.distance(&rdata[e.item].0, dist_fn), e.item))
                                     .collect();
                                 exact.sort_by(|a, b| {
                                     a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
                                 });
                                 exact.truncate(k);
-                                let kth =
-                                    exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
+                                let kth = exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
                                 let frontier =
                                     cands.last().map(|(lb, _)| *lb).unwrap_or(f64::INFINITY);
-                                if fetch >= rdata.len() || (exact.len() == k && frontier >= kth)
-                                {
+                                if fetch >= rdata.len() || (exact.len() == k && frontier >= kth) {
                                     break exact
                                         .into_iter()
                                         .map(|(d, i)| (d, rdata[i].clone()))
@@ -106,20 +102,16 @@ impl<V: Data> SpatialRdd<V> {
             });
 
         // Merge the per-pair candidate lists by left id.
-        partials
-            .group_by_key((ln).max(1))
-            .map(move |(_, groups)| {
-                let mut iter = groups.into_iter();
-                let (left_rec, mut merged) = iter.next().expect("at least one partial");
-                for (_, more) in iter {
-                    merged.extend(more);
-                }
-                merged.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                merged.truncate(k);
-                (left_rec, merged)
-            })
+        partials.group_by_key((ln).max(1)).map(move |(_, groups)| {
+            let mut iter = groups.into_iter();
+            let (left_rec, mut merged) = iter.next().expect("at least one partial");
+            for (_, more) in iter {
+                merged.extend(more);
+            }
+            merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            merged.truncate(k);
+            (left_rec, merged)
+        })
     }
 }
 
@@ -155,10 +147,8 @@ mod tests {
             assert_eq!(neighbors.len(), 3);
             assert!(neighbors.windows(2).all(|w| w[0].0 <= w[1].0));
             // compare distances against a scan
-            let mut expect: Vec<f64> = right_data
-                .iter()
-                .map(|(ro, _)| lo.distance(ro, DistanceFn::Euclidean))
-                .collect();
+            let mut expect: Vec<f64> =
+                right_data.iter().map(|(ro, _)| lo.distance(ro, DistanceFn::Euclidean)).collect();
             expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
             for (got, want) in neighbors.iter().zip(expect.iter()) {
                 assert!((got.0 - want).abs() < 1e-9, "{} vs {want}", got.0);

@@ -38,17 +38,19 @@
 pub mod aggregate;
 pub mod cluster;
 pub mod error;
+pub mod incremental;
+mod indexed;
 pub mod join;
 mod knn_join;
 pub mod partitioner;
 pub mod predicate;
-mod indexed;
 mod spatial_rdd;
 pub mod stobject;
 pub mod temporal;
 
 pub use aggregate::CellStats;
 pub use error::StarkError;
+pub use incremental::{IncrementalIndex, RefreshStats};
 pub use indexed::IndexedSpatialRdd;
 pub use join::{JoinConfig, JoinIndexMode};
 pub use knn_join::KnnJoinRow;

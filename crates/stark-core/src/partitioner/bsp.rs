@@ -152,7 +152,11 @@ fn grid_dims(space: &Envelope, side: f64) -> (usize, usize) {
 }
 
 fn positive(v: f64) -> f64 {
-    if v > 0.0 { v } else { 1.0 }
+    if v > 0.0 {
+        v
+    } else {
+        1.0
+    }
 }
 
 fn locate(
@@ -243,7 +247,8 @@ mod tests {
         use crate::partitioner::GridPartitioner;
         let data = skewed_data(5000);
         let bsp = BspPartitioner::build(500, 0.02, &data);
-        let grid = GridPartitioner::build((bsp.num_partitions() as f64).sqrt().ceil() as usize, &data);
+        let grid =
+            GridPartitioner::build((bsp.num_partitions() as f64).sqrt().ceil() as usize, &data);
 
         let count_for = |p: &dyn SpatialPartitioner| {
             let mut counts = vec![0usize; p.num_partitions()];
@@ -254,10 +259,7 @@ mod tests {
         };
         let bsp_max = count_for(&bsp).into_iter().max().unwrap();
         let grid_max = count_for(&grid).into_iter().max().unwrap();
-        assert!(
-            bsp_max < grid_max,
-            "bsp max partition {bsp_max} should beat grid max {grid_max}"
-        );
+        assert!(bsp_max < grid_max, "bsp max partition {bsp_max} should beat grid max {grid_max}");
         let s = balance_stats(&count_for(&bsp));
         assert!(s.non_empty >= 2);
     }

@@ -59,7 +59,11 @@ impl GridPartitioner {
 }
 
 fn positive(v: f64) -> f64 {
-    if v > 0.0 { v } else { 1.0 }
+    if v > 0.0 {
+        v
+    } else {
+        1.0
+    }
 }
 
 impl SpatialPartitioner for GridPartitioner {

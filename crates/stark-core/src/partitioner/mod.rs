@@ -94,7 +94,14 @@ pub struct BalanceStats {
 pub fn balance_stats(counts: &[usize]) -> BalanceStats {
     let n = counts.len();
     if n == 0 {
-        return BalanceStats { partitions: 0, non_empty: 0, min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+        return BalanceStats {
+            partitions: 0,
+            non_empty: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
     }
     let total: usize = counts.iter().sum();
     let mean = total as f64 / n as f64;

@@ -132,10 +132,7 @@ mod tests {
         let times = vec![Some(Temporal::instant(5)), None];
         let p = TemporalPartitioner::build(3, &times);
         assert_eq!(p.partition_of(&STObject::point(0.0, 0.0)), p.untimed_partition());
-        assert_ne!(
-            p.partition_of(&STObject::point_at(0.0, 0.0, 5)),
-            p.untimed_partition()
-        );
+        assert_ne!(p.partition_of(&STObject::point_at(0.0, 0.0, 5)), p.untimed_partition());
     }
 
     #[test]
@@ -164,12 +161,9 @@ mod tests {
         let part = rdd.partition_by(Arc::new(TemporalPartitioner::build(8, &times)));
 
         // a query window covering all space but a narrow time slice
-        let query = STObject::from_wkt_interval(
-            "POLYGON((-1 -1, 21 -1, 21 21, -1 21, -1 -1))",
-            0,
-            500,
-        )
-        .unwrap();
+        let query =
+            STObject::from_wkt_interval("POLYGON((-1 -1, 21 -1, 21 21, -1 21, -1 -1))", 0, 500)
+                .unwrap();
         let before = ctx.metrics();
         let hits = part.filter(&query, STPredicate::ContainedBy).count();
         let delta = ctx.metrics().since(&before);

@@ -156,10 +156,8 @@ mod tests {
         assert!(STPredicate::Contains.eval(&r, &p));
         assert!(!STPredicate::Contains.eval(&p, &r));
         assert!(STPredicate::ContainedBy.eval(&p, &r));
-        assert!(STPredicate::within_distance(1.0)
-            .eval(&STObject::point(11.0, 5.0), &r));
-        assert!(!STPredicate::within_distance(0.5)
-            .eval(&STObject::point(11.0, 5.0), &r));
+        assert!(STPredicate::within_distance(1.0).eval(&STObject::point(11.0, 5.0), &r));
+        assert!(!STPredicate::within_distance(0.5).eval(&STObject::point(11.0, 5.0), &r));
     }
 
     #[test]
@@ -203,10 +201,8 @@ mod tests {
 
     #[test]
     fn eval_respects_temporal_rule() {
-        let qry = STObject::with_time(
-            Geometry::rect(0.0, 0.0, 10.0, 10.0),
-            Temporal::interval(0, 100),
-        );
+        let qry =
+            STObject::with_time(Geometry::rect(0.0, 0.0, 10.0, 10.0), Temporal::interval(0, 100));
         let in_time = STObject::point_at(5.0, 5.0, 50);
         let out_of_time = STObject::point_at(5.0, 5.0, 200);
         assert!(STPredicate::ContainedBy.eval(&in_time, &qry));

@@ -132,9 +132,7 @@ impl<V: Data> SpatialRdd<V> {
     pub fn summarize(&self) -> crate::partitioner::DataSummary {
         self.rdd
             .run_partitions(|_, data| {
-                data.iter()
-                    .map(|(o, _)| (o.envelope(), o.centroid()))
-                    .collect::<Vec<_>>()
+                data.iter().map(|(o, _)| (o.envelope(), o.centroid())).collect::<Vec<_>>()
             })
             .into_iter()
             .flatten()
@@ -205,16 +203,19 @@ impl<V: Data> SpatialRdd<V> {
     /// k-nearest-neighbour search (paper §2.3): the `k` records closest
     /// to `query` under `dist_fn`, ascending by distance. Each partition
     /// computes a local top-k in parallel; the driver merges.
-    pub fn knn(&self, query: &STObject, k: usize, dist_fn: DistanceFn) -> Vec<(f64, (STObject, V))> {
+    pub fn knn(
+        &self,
+        query: &STObject,
+        k: usize,
+        dist_fn: DistanceFn,
+    ) -> Vec<(f64, (STObject, V))> {
         if k == 0 {
             return Vec::new();
         }
         let q = query.clone();
         let partials = self.rdd.run_partitions(move |_, data| {
-            let mut local: Vec<(f64, (STObject, V))> = data
-                .into_iter()
-                .map(|(o, v)| (o.distance(&q, dist_fn), (o, v)))
-                .collect();
+            let mut local: Vec<(f64, (STObject, V))> =
+                data.into_iter().map(|(o, v)| (o.distance(&q, dist_fn), (o, v))).collect();
             local.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             local.truncate(k);
             local
@@ -331,10 +332,7 @@ mod tests {
         let ctx = Context::with_parallelism(2);
         let rdd = events(&ctx).spatial();
         assert!(rdd.knn(&STObject::point(0.0, 0.0), 0, DistanceFn::Euclidean).is_empty());
-        assert_eq!(
-            rdd.knn(&STObject::point(0.0, 0.0), 1000, DistanceFn::Euclidean).len(),
-            100
-        );
+        assert_eq!(rdd.knn(&STObject::point(0.0, 0.0), 1000, DistanceFn::Euclidean).len(), 100);
     }
 
     #[test]
@@ -345,9 +343,8 @@ mod tests {
             STObject::from_wkt_interval("POLYGON((0 0, 9 0, 9 9, 0 9, 0 0))", 0, 1000).unwrap();
         let narrow =
             STObject::from_wkt_interval("POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))", 0, 50).unwrap();
-        let result = rdd
-            .filter(&wide, STPredicate::ContainedBy)
-            .filter(&narrow, STPredicate::ContainedBy);
+        let result =
+            rdd.filter(&wide, STPredicate::ContainedBy).filter(&narrow, STPredicate::ContainedBy);
         // lattice points in [0,2]^2 with t < 50: (x,y) with i = y*10+x <= 22
         let got = result.count();
         assert_eq!(got, 9);

@@ -160,12 +160,8 @@ mod tests {
 
     #[test]
     fn both_timed_require_both_predicates() {
-        let region = STObject::from_wkt_interval(
-            "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))",
-            0,
-            1000,
-        )
-        .unwrap();
+        let region =
+            STObject::from_wkt_interval("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))", 0, 1000).unwrap();
         let hit = STObject::point_at(5.0, 5.0, 500);
         let wrong_time = STObject::point_at(5.0, 5.0, 2000);
         let wrong_place = STObject::point_at(50.0, 50.0, 500);
@@ -179,12 +175,8 @@ mod tests {
     #[test]
     fn contained_by_matches_paper_example() {
         // paper: qry = polygon + [begin, end); events.containedBy(qry)
-        let qry = STObject::from_wkt_interval(
-            "POLYGON((0 0, 100 0, 100 100, 0 100, 0 0))",
-            10,
-            20,
-        )
-        .unwrap();
+        let qry = STObject::from_wkt_interval("POLYGON((0 0, 100 0, 100 100, 0 100, 0 0))", 10, 20)
+            .unwrap();
         let inside = STObject::point_at(50.0, 50.0, 15);
         let outside_time = STObject::point_at(50.0, 50.0, 25);
         assert!(inside.contained_by(&qry));

@@ -345,11 +345,8 @@ mod tests {
 
     #[test]
     fn extent_pruning_is_sound_for_members() {
-        let members = [
-            Temporal::instant(10),
-            Temporal::interval(50, 60),
-            Temporal::interval(5, 15),
-        ];
+        let members =
+            [Temporal::instant(10), Temporal::interval(50, 60), Temporal::interval(5, 15)];
         let e = TemporalExtent::of(members.iter().map(Some));
         let queries = [
             Temporal::instant(12),

@@ -15,16 +15,14 @@ fn temporal_strategy() -> impl Strategy<Value = Option<Temporal>> {
     prop_oneof![
         Just(None),
         (-1000i64..1000).prop_map(|t| Some(Temporal::instant(t))),
-        (-1000i64..1000, 0i64..500)
-            .prop_map(|(s, len)| Some(Temporal::interval(s, s + len))),
+        (-1000i64..1000, 0i64..500).prop_map(|(s, len)| Some(Temporal::interval(s, s + len))),
         (-1000i64..1000).prop_map(|s| Some(Temporal::from_instant_on(s))),
     ]
 }
 
 fn stobject_strategy() -> impl Strategy<Value = STObject> {
     let geom = prop_oneof![
-        ((-100.0f64..100.0), (-100.0f64..100.0))
-            .prop_map(|(x, y)| Geometry::point(x, y)),
+        ((-100.0f64..100.0), (-100.0f64..100.0)).prop_map(|(x, y)| Geometry::point(x, y)),
         ((-100.0f64..100.0), (-100.0f64..100.0), (0.1f64..40.0), (0.1f64..40.0))
             .prop_map(|(x, y, w, h)| Geometry::rect(x, y, x + w, y + h)),
     ];

@@ -71,11 +71,7 @@ impl Context {
 
     /// Distributes a local collection into `num_partitions` chunks,
     /// mirroring `SparkContext.parallelize`.
-    pub fn parallelize<T: crate::rdd::Data>(
-        &self,
-        data: Vec<T>,
-        num_partitions: usize,
-    ) -> Rdd<T> {
+    pub fn parallelize<T: crate::rdd::Data>(&self, data: Vec<T>, num_partitions: usize) -> Rdd<T> {
         Rdd::from_collection(self.clone(), data, num_partitions.max(1))
     }
 

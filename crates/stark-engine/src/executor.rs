@@ -3,62 +3,142 @@
 //! Tasks pull partition indices off a shared atomic counter, so skewed
 //! partitions naturally load-balance across the pool — the same dynamic
 //! that makes balanced spatial partitioning matter on a real cluster.
+//!
+//! A panicking task does not tear the process down with a bare thread
+//! panic: it is caught per-task and surfaced as a [`TaskError`] carrying
+//! the failing partition index and payload size, so callers (and the
+//! streaming layer, which must survive poison batches) can decide how to
+//! react.
 
 use crate::context::Context;
 use crate::rdd::{Data, RddImpl};
-use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A partition task failed (panicked) during a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Index of the partition whose task failed.
+    pub partition: usize,
+    /// Records materialised for the partition before the failure
+    /// (0 when the partition computation itself failed).
+    pub payload_records: usize,
+    /// Panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task for partition {} failed ({} records materialised): {}",
+            self.partition, self.payload_records, self.message
+        )
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one partition task under a panic guard, recording metrics.
+fn run_task<T: Data, R>(
+    ctx: &Context,
+    inner: &Arc<dyn RddImpl<T>>,
+    f: &(impl Fn(usize, Vec<T>) -> R + Send + Sync),
+    i: usize,
+) -> Result<R, TaskError> {
+    let metrics = ctx.raw_metrics();
+    metrics.inc_tasks(1);
+    let started = Instant::now();
+    let result =
+        std::panic::catch_unwind(AssertUnwindSafe(|| inner.compute(i)))
+            .map_err(|payload| TaskError {
+                partition: i,
+                payload_records: 0,
+                message: panic_message(payload),
+            })
+            .and_then(|data| {
+                metrics.inc_records(data.len() as u64);
+                let payload_records = data.len();
+                std::panic::catch_unwind(AssertUnwindSafe(|| f(i, data))).map_err(|payload| {
+                    TaskError { partition: i, payload_records, message: panic_message(payload) }
+                })
+            });
+    metrics.add_task_nanos(started.elapsed().as_nanos() as u64);
+    result
+}
 
 /// Computes every partition of `inner`, applies `f` to each, and returns
-/// the results in partition order.
+/// the results in partition order — or the first [`TaskError`] (lowest
+/// partition index wins) if any task panicked.
+pub(crate) fn try_run_partitions<T: Data, R: Send>(
+    ctx: &Context,
+    inner: &Arc<dyn RddImpl<T>>,
+    f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+) -> Result<Vec<R>, TaskError> {
+    let n = inner.num_partitions();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = ctx.parallelism().min(n);
+    let job_started = Instant::now();
+
+    let outcome = if workers <= 1 {
+        (0..n).map(|i| run_task(ctx, inner, &f, i)).collect::<Result<Vec<R>, TaskError>>()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<R, TaskError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = run_task(ctx, inner, &f, i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("partition task did not produce a result")
+            })
+            .collect()
+    };
+
+    ctx.raw_metrics().add_job_nanos(job_started.elapsed().as_nanos() as u64);
+    outcome
+}
+
+/// Infallible wrapper over [`try_run_partitions`]: propagates a task
+/// failure as a panic that names the failing partition and payload size.
 pub(crate) fn run_partitions<T: Data, R: Send>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
     f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
 ) -> Vec<R> {
-    let n = inner.num_partitions();
-    if n == 0 {
-        return Vec::new();
+    match try_run_partitions(ctx, inner, f) {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
     }
-    let workers = ctx.parallelism().min(n);
-    let metrics = ctx.raw_metrics();
-
-    if workers <= 1 {
-        return (0..n)
-            .map(|i| {
-                metrics.inc_tasks(1);
-                let data = inner.compute(i);
-                metrics.inc_records(data.len() as u64);
-                f(i, data)
-            })
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                metrics.inc_tasks(1);
-                let data = inner.compute(i);
-                metrics.inc_records(data.len() as u64);
-                let r = f(i, data);
-                *results[i].lock() = Some(r);
-            });
-        }
-    })
-    .expect("engine worker thread panicked");
-
-    results
-        .into_iter()
-        .map(|cell| cell.into_inner().expect("partition task did not produce a result"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -113,5 +193,50 @@ mod tests {
             .partition_by(4, |x| (*x % 4) as usize)
             .partition_by(2, |x| (*x % 2) as usize);
         assert_eq!(r.count(), 100);
+    }
+
+    #[test]
+    fn task_panic_reports_partition_and_payload() {
+        let ctx = Context::with_parallelism(4);
+        let r = ctx.parallelize((0..40).collect::<Vec<i32>>(), 8).map(|x| {
+            assert!(x != 17, "poison record");
+            x
+        });
+        let err = r.try_collect().unwrap_err();
+        // record 17 lives in partition 3 of 8 (5 records per partition)
+        assert_eq!(err.partition, 3);
+        assert_eq!(err.payload_records, 0); // map panics inside compute
+        assert!(err.message.contains("poison record"), "{}", err.message);
+    }
+
+    #[test]
+    fn earliest_failing_partition_wins() {
+        let ctx = Context::with_parallelism(4);
+        let r = ctx.parallelize((0..40).collect::<Vec<i32>>(), 8).map(|x| {
+            if x % 10 == 5 {
+                panic!("bad {x}")
+            } else {
+                x
+            }
+        });
+        let err = r.try_collect().unwrap_err();
+        assert_eq!(err.partition, 1); // record 5 is the first poison
+    }
+
+    #[test]
+    fn task_timing_accumulates() {
+        let ctx = Context::with_parallelism(2);
+        let before = ctx.metrics();
+        let r = ctx.parallelize((0..64).collect::<Vec<u64>>(), 8).map(|x| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            x
+        });
+        assert_eq!(r.count(), 64);
+        let delta = ctx.metrics().since(&before);
+        assert!(delta.task_nanos > 0, "task wall-clock not recorded");
+        assert!(delta.job_nanos > 0, "job wall-clock not recorded");
+        // 8 tasks at >=100µs each, run on 2 workers: cumulative task time
+        // must exceed any single job's wall time
+        assert!(delta.task_nanos >= 8 * 100_000);
     }
 }

@@ -12,8 +12,11 @@
 //!   cluster nodes (skewed partitions serialise on a worker, just as on
 //!   a real cluster);
 //! * task metrics ([`MetricsSnapshot`]) including a pruned-partition
-//!   counter driven by [`Rdd::with_partition_mask`];
-//! * a directory-backed [`ObjectStore`] standing in for HDFS.
+//!   counter driven by [`Rdd::with_partition_mask`] and wall-clock
+//!   task/job timing;
+//! * a directory-backed [`ObjectStore`] standing in for HDFS;
+//! * a bounded backpressure [`channel`] used by the streaming layer to
+//!   feed micro-batches into the engine without unbounded buffering.
 //!
 //! ```
 //! use stark_engine::Context;
@@ -26,6 +29,7 @@
 //! assert_eq!(sum, Some(2550));
 //! ```
 
+pub mod channel;
 pub mod context;
 mod executor;
 pub mod metrics;
@@ -34,5 +38,5 @@ pub mod storage;
 
 pub use context::{Context, EngineConfig};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use rdd::{Data, Lineage, Rdd};
+pub use rdd::{Data, Lineage, Rdd, TaskError};
 pub use storage::{ObjectStore, StorageError};

@@ -21,6 +21,12 @@ pub struct Metrics {
     pub shuffles: AtomicU64,
     /// Actions (jobs) started.
     pub jobs: AtomicU64,
+    /// Cumulative wall-clock time spent inside partition tasks, in
+    /// nanoseconds (summed across workers, so it can exceed elapsed time).
+    pub task_nanos: AtomicU64,
+    /// Cumulative wall-clock time of whole job runs (partition sweeps),
+    /// in nanoseconds.
+    pub job_nanos: AtomicU64,
 }
 
 impl Metrics {
@@ -39,6 +45,12 @@ impl Metrics {
     pub fn inc_jobs(&self) {
         self.jobs.fetch_add(1, Ordering::Relaxed);
     }
+    pub fn add_task_nanos(&self, n: u64) {
+        self.task_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_job_nanos(&self, n: u64) {
+        self.job_nanos.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -48,6 +60,8 @@ impl Metrics {
             partitions_pruned: self.partitions_pruned.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
             jobs: self.jobs.load(Ordering::Relaxed),
+            task_nanos: self.task_nanos.load(Ordering::Relaxed),
+            job_nanos: self.job_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -60,6 +74,10 @@ pub struct MetricsSnapshot {
     pub partitions_pruned: u64,
     pub shuffles: u64,
     pub jobs: u64,
+    /// Cumulative in-task wall-clock nanoseconds (see [`Metrics::task_nanos`]).
+    pub task_nanos: u64,
+    /// Cumulative per-job wall-clock nanoseconds (see [`Metrics::job_nanos`]).
+    pub job_nanos: u64,
 }
 
 impl MetricsSnapshot {
@@ -71,6 +89,8 @@ impl MetricsSnapshot {
             partitions_pruned: self.partitions_pruned - earlier.partitions_pruned,
             shuffles: self.shuffles - earlier.shuffles,
             jobs: self.jobs - earlier.jobs,
+            task_nanos: self.task_nanos - earlier.task_nanos,
+            job_nanos: self.job_nanos - earlier.job_nanos,
         }
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::context::Context;
 use crate::executor;
+pub use crate::executor::TaskError;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, OnceLock};
@@ -202,8 +203,7 @@ impl<T: Data> ShuffledRdd<T> {
                     }
                     buckets
                 });
-            let mut merged: Vec<Vec<T>> =
-                (0..self.num_partitions).map(|_| Vec::new()).collect();
+            let mut merged: Vec<Vec<T>> = (0..self.num_partitions).map(|_| Vec::new()).collect();
             for mut task_buckets in per_partition {
                 for (i, b) in task_buckets.drain(..).enumerate() {
                     merged[i].extend(b);
@@ -251,8 +251,9 @@ impl<T: Data> Rdd<T> {
         for _ in 0..num_partitions {
             partitions.push(iter.by_ref().take(chunk).collect());
         }
-        let lineage =
-            Lineage::leaf(format!("ParallelCollection[{total} records, {num_partitions} partitions]"));
+        let lineage = Lineage::leaf(format!(
+            "ParallelCollection[{total} records, {num_partitions} partitions]"
+        ));
         Rdd { ctx, inner: Arc::new(ParallelCollection { partitions }), lineage }
     }
 
@@ -306,9 +307,7 @@ impl<T: Data> Rdd<T> {
     where
         I: IntoIterator<Item = U>,
     {
-        self.named_map_partitions("FlatMap", move |_, data| {
-            data.into_iter().flat_map(&f).collect()
-        })
+        self.named_map_partitions("FlatMap", move |_, data| data.into_iter().flat_map(&f).collect())
     }
 
     /// Whole-partition transformation.
@@ -340,10 +339,7 @@ impl<T: Data> Rdd<T> {
         Rdd {
             ctx: self.ctx.clone(),
             inner: Arc::new(UnionRdd { parents: vec![self.inner.clone(), other.inner.clone()] }),
-            lineage: Lineage::derived(
-                "Union",
-                vec![self.lineage.clone(), other.lineage.clone()],
-            ),
+            lineage: Lineage::derived("Union", vec![self.lineage.clone(), other.lineage.clone()]),
         }
     }
 
@@ -352,11 +348,7 @@ impl<T: Data> Rdd<T> {
     /// engine counts each skip in
     /// [`MetricsSnapshot::partitions_pruned`](crate::metrics::MetricsSnapshot).
     pub fn with_partition_mask(&self, mask: Vec<bool>) -> Rdd<T> {
-        assert_eq!(
-            mask.len(),
-            self.num_partitions(),
-            "mask length must equal partition count"
-        );
+        assert_eq!(mask.len(), self.num_partitions(), "mask length must equal partition count");
         let skipped = mask.iter().filter(|m| !**m).count();
         self.derive(
             format!("PartitionMask[{skipped} of {} pruned]", mask.len()),
@@ -458,17 +450,31 @@ impl<T: Data> Rdd<T> {
 
     /// Runs `f` over every partition in parallel and returns the results
     /// in partition order. The building block for all other actions.
-    pub fn run_partitions<R: Send>(
-        &self,
-        f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
-    ) -> Vec<R> {
+    pub fn run_partitions<R: Send>(&self, f: impl Fn(usize, Vec<T>) -> R + Send + Sync) -> Vec<R> {
         self.ctx.raw_metrics().inc_jobs();
         executor::run_partitions(&self.ctx, &self.inner, f)
+    }
+
+    /// Fallible variant of [`Rdd::run_partitions`]: a panicking task is
+    /// caught and surfaced as a [`TaskError`] naming the failing
+    /// partition, instead of unwinding through the caller.
+    pub fn try_run_partitions<R: Send>(
+        &self,
+        f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+    ) -> Result<Vec<R>, TaskError> {
+        self.ctx.raw_metrics().inc_jobs();
+        executor::try_run_partitions(&self.ctx, &self.inner, f)
     }
 
     /// Materialises the whole dataset in partition order.
     pub fn collect(&self) -> Vec<T> {
         self.run_partitions(|_, data| data).into_iter().flatten().collect()
+    }
+
+    /// Fallible [`Rdd::collect`]: returns the first [`TaskError`] instead
+    /// of panicking when a partition task fails.
+    pub fn try_collect(&self) -> Result<Vec<T>, TaskError> {
+        Ok(self.try_run_partitions(|_, data| data)?.into_iter().flatten().collect())
     }
 
     /// Materialises the dataset keeping partition boundaries.
@@ -489,10 +495,7 @@ impl<T: Data> Rdd<T> {
     /// Combines all elements with an associative function; `None` when
     /// the dataset is empty.
     pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync) -> Option<T> {
-        self.run_partitions(|_, data| data.into_iter().reduce(&f))
-            .into_iter()
-            .flatten()
-            .reduce(&f)
+        self.run_partitions(|_, data| data.into_iter().reduce(&f)).into_iter().flatten().reduce(&f)
     }
 
     /// Folds each partition from `zero`, then folds the partials.
@@ -599,10 +602,7 @@ impl<T: Data> Rdd<T> {
         }
         self.map_partitions_with_index(move |i, data| {
             let base = offsets[i];
-            data.into_iter()
-                .enumerate()
-                .map(|(j, t)| (base + j as u64, t))
-                .collect()
+            data.into_iter().enumerate().map(|(j, t)| (base + j as u64, t)).collect()
         })
     }
 }
@@ -657,10 +657,7 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
     }
 
     /// Transforms values, keeping keys (and partitioning) intact.
-    pub fn map_values<U: Data>(
-        &self,
-        f: impl Fn(V) -> U + Send + Sync + 'static,
-    ) -> Rdd<(K, U)> {
+    pub fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Rdd<(K, U)> {
         self.map(move |(k, v)| (k, f(v)))
     }
 
@@ -816,9 +813,8 @@ mod tests {
         let c = ctx();
         let a = c.parallelize((0..10).collect(), 2);
         let b = c.parallelize((100..110).collect(), 2);
-        let z = a.zip_partitions(&b, |_, xs, ys| {
-            xs.into_iter().zip(ys).map(|(x, y)| x + y).collect()
-        });
+        let z =
+            a.zip_partitions(&b, |_, xs, ys| xs.into_iter().zip(ys).map(|(x, y)| x + y).collect());
         assert_eq!(z.collect(), (0..10).map(|i| 100 + 2 * i).collect::<Vec<_>>());
     }
 
@@ -966,9 +962,8 @@ mod tests {
     #[test]
     fn explain_reports_pruned_mask() {
         let c = ctx();
-        let r = c.parallelize((0..8).collect(), 4).with_partition_mask(vec![
-            true, false, false, true,
-        ]);
+        let r =
+            c.parallelize((0..8).collect(), 4).with_partition_mask(vec![true, false, false, true]);
         assert!(r.explain().starts_with("PartitionMask[2 of 4 pruned]"), "{}", r.explain());
     }
 

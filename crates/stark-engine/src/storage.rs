@@ -2,7 +2,6 @@
 //! HDFS (paper Figure 2: raw data and persisted indexes live in HDFS and
 //! are re-loaded by later programs).
 
-use bytes::Bytes;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fmt;
@@ -93,10 +92,10 @@ impl ObjectStore {
     }
 
     /// Reads the object stored under `key`.
-    pub fn get_bytes(&self, key: &str) -> Result<Bytes, StorageError> {
+    pub fn get_bytes(&self, key: &str) -> Result<Vec<u8>, StorageError> {
         let path = self.resolve(key)?;
         match fs::read(&path) {
-            Ok(data) => Ok(Bytes::from(data)),
+            Ok(data) => Ok(data),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StorageError::NotFound(key.to_string()))
             }
@@ -162,8 +161,8 @@ mod tests {
     use super::*;
 
     fn temp_store(tag: &str) -> ObjectStore {
-        let dir = std::env::temp_dir()
-            .join(format!("stark-store-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("stark-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         ObjectStore::open(dir).unwrap()
     }

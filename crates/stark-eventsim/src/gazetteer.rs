@@ -116,11 +116,7 @@ impl Gazetteer {
 
     /// All places inside a lon/lat window, via the spatial index.
     pub fn places_in_window(&self, window: &Envelope) -> Vec<&Place> {
-        self.index
-            .query_vec(window)
-            .into_iter()
-            .map(|e| &self.places[e.item])
-            .collect()
+        self.index.query_vec(window).into_iter().map(|e| &self.places[e.item]).collect()
     }
 
     /// All places within `radius_m` metres of the coordinate, nearest
@@ -194,8 +190,7 @@ mod tests {
         let g = Gazetteer::new();
         // central Europe window
         let window = Envelope::from_bounds(5.0, 45.0, 25.0, 55.0);
-        let names: Vec<&str> =
-            g.places_in_window(&window).into_iter().map(|p| p.name).collect();
+        let names: Vec<&str> = g.places_in_window(&window).into_iter().map(|p| p.name).collect();
         assert!(names.contains(&"Berlin"));
         assert!(names.contains(&"Vienna"));
         assert!(!names.contains(&"London"));

@@ -115,10 +115,10 @@ impl EventGenerator {
                 // cluster towards the continent centre for extra skew
                 let cx = land.center().x;
                 let cy = land.center().y;
-                let x = (cx + self.gaussian() * land.width() / 4.0)
-                    .clamp(land.min_x(), land.max_x());
-                let y = (cy + self.gaussian() * land.height() / 4.0)
-                    .clamp(land.min_y(), land.max_y());
+                let x =
+                    (cx + self.gaussian() * land.width() / 4.0).clamp(land.min_x(), land.max_x());
+                let y =
+                    (cy + self.gaussian() * land.height() / 4.0).clamp(land.min_y(), land.max_y());
                 self.next_event(Geometry::point(x, y))
             })
             .collect()
@@ -276,9 +276,7 @@ mod tests {
     #[test]
     fn time_range_is_respected() {
         let space = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
-        let events = EventGenerator::new(2)
-            .with_time_range(100..200)
-            .uniform_points(100, &space);
+        let events = EventGenerator::new(2).with_time_range(100..200).uniform_points(100, &space);
         assert!(events.iter().all(|e| (100..200).contains(&e.time)));
     }
 }

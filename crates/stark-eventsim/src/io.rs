@@ -91,11 +91,8 @@ mod tests {
     #[test]
     fn comments_and_blanks_skipped() {
         let path = temp_file("comments");
-        std::fs::write(
-            &path,
-            "# header comment\n\n1,concert,5,\"POINT (1 2)\"\n\n# trailing\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "# header comment\n\n1,concert,5,\"POINT (1 2)\"\n\n# trailing\n")
+            .unwrap();
         let events = read_events_csv(&path).unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].id, 1);
@@ -112,9 +109,6 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            read_events_csv("/definitely/not/here.csv"),
-            Err(IoError::Io(_))
-        ));
+        assert!(matches!(read_events_csv("/definitely/not/here.csv"), Err(IoError::Io(_))));
     }
 }

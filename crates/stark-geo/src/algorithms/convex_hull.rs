@@ -27,8 +27,7 @@ pub fn convex_hull_coords(coords: &[Coord]) -> Vec<Coord> {
 
     let mut lower: Vec<Coord> = Vec::with_capacity(n);
     for p in &pts {
-        while lower.len() >= 2
-            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        while lower.len() >= 2 && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
         {
             lower.pop();
         }
@@ -36,8 +35,7 @@ pub fn convex_hull_coords(coords: &[Coord]) -> Vec<Coord> {
     }
     let mut upper: Vec<Coord> = Vec::with_capacity(n);
     for p in pts.iter().rev() {
-        while upper.len() >= 2
-            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        while upper.len() >= 2 && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
         {
             upper.pop();
         }
@@ -126,17 +124,13 @@ mod tests {
 
     #[test]
     fn hull_contains_all_inputs() {
-        let pts: Vec<Coord> = (0..50)
-            .map(|i| c(((i * 17) % 23) as f64, ((i * 7) % 19) as f64))
-            .collect();
+        let pts: Vec<Coord> =
+            (0..50).map(|i| c(((i * 17) % 23) as f64, ((i * 7) % 19) as f64)).collect();
         let g = Geometry::MultiPoint(pts.iter().map(|&p| crate::point::Point(p)).collect());
         let hull = convex_hull(&g).unwrap();
         let hull_geom = Geometry::Polygon(hull);
         for p in &pts {
-            assert!(
-                hull_geom.intersects(&Geometry::point(p.x, p.y)),
-                "hull must cover {p}"
-            );
+            assert!(hull_geom.intersects(&Geometry::point(p.x, p.y)), "hull must cover {p}");
         }
     }
 

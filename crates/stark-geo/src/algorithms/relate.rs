@@ -68,8 +68,7 @@ fn polygons_intersect(p: &Polygon, q: &Polygon) -> bool {
     // Boundary touch or crossing?
     let boundary = p.rings().any(|rp| {
         q.rings().any(|rq| {
-            rp.segments()
-                .any(|(a, b)| rq.segments().any(|(c, d)| segments_intersect(a, b, c, d)))
+            rp.segments().any(|(a, b)| rq.segments().any(|(c, d)| segments_intersect(a, b, c, d)))
         })
     });
     if boundary {
@@ -142,9 +141,7 @@ fn polygon_covers_line(pg: &Polygon, m: &LineString) -> bool {
 fn polygon_covers_polygon(p: &Polygon, q: &Polygon) -> bool {
     // Every vertex of q covered, no proper boundary crossings, midpoints
     // covered (concavity guard), and no hole of p pokes into q's interior.
-    let vertices_ok = q
-        .rings()
-        .all(|r| r.coords_open().iter().all(|c| polygon_covers_coord(p, c)));
+    let vertices_ok = q.rings().all(|r| r.coords_open().iter().all(|c| polygon_covers_coord(p, c)));
     if !vertices_ok {
         return false;
     }
@@ -157,18 +154,14 @@ fn polygon_covers_polygon(p: &Polygon, q: &Polygon) -> bool {
     if !no_crossings {
         return false;
     }
-    let midpoints_ok = q
-        .exterior()
-        .segments()
-        .all(|(a, b)| polygon_covers_coord(p, &midpoint(a, b)));
+    let midpoints_ok =
+        q.exterior().segments().all(|(a, b)| polygon_covers_coord(p, &midpoint(a, b)));
     if !midpoints_ok {
         return false;
     }
     // A hole of p strictly inside q's region means part of q is not in p.
     p.holes().iter().all(|h| {
-        !h.coords_open()
-            .iter()
-            .any(|c| locate_in_polygon(c, q) == PointLocation::Interior)
+        !h.coords_open().iter().any(|c| locate_in_polygon(c, q) == PointLocation::Interior)
     })
 }
 
@@ -206,27 +199,23 @@ pub fn distance(a: &Geometry, b: &Geometry) -> f64 {
                     .flat_map(|rp| {
                         q.rings().flat_map(move |rq| {
                             rp.segments().flat_map(move |(a, b)| {
-                                rq.segments().map(move |(c, d)| {
-                                    segment_segment_distance(a, b, c, d)
-                                })
+                                rq.segments()
+                                    .map(move |(c, d)| segment_segment_distance(a, b, c, d))
                             })
                         })
                     })
                     .fold(f64::INFINITY, f64::min)
             }
         }
-        (MultiPoint(ps), other) | (other, MultiPoint(ps)) => ps
-            .iter()
-            .map(|p| distance(&Point(*p), other))
-            .fold(f64::INFINITY, f64::min),
-        (MultiLineString(ls), other) | (other, MultiLineString(ls)) => ls
-            .iter()
-            .map(|l| distance(&LineString(l.clone()), other))
-            .fold(f64::INFINITY, f64::min),
-        (MultiPolygon(ps), other) | (other, MultiPolygon(ps)) => ps
-            .iter()
-            .map(|p| distance(&Polygon(p.clone()), other))
-            .fold(f64::INFINITY, f64::min),
+        (MultiPoint(ps), other) | (other, MultiPoint(ps)) => {
+            ps.iter().map(|p| distance(&Point(*p), other)).fold(f64::INFINITY, f64::min)
+        }
+        (MultiLineString(ls), other) | (other, MultiLineString(ls)) => {
+            ls.iter().map(|l| distance(&LineString(l.clone()), other)).fold(f64::INFINITY, f64::min)
+        }
+        (MultiPolygon(ps), other) | (other, MultiPolygon(ps)) => {
+            ps.iter().map(|p| distance(&Polygon(p.clone()), other)).fold(f64::INFINITY, f64::min)
+        }
     }
 }
 
@@ -240,9 +229,7 @@ fn line_line_distance(l: &LineString, m: &LineString) -> f64 {
 }
 
 fn point_line_distance(p: &Point, l: &LineString) -> f64 {
-    l.segments()
-        .map(|(a, b)| point_segment_distance(p.coord(), a, b))
-        .fold(f64::INFINITY, f64::min)
+    l.segments().map(|(a, b)| point_segment_distance(p.coord(), a, b)).fold(f64::INFINITY, f64::min)
 }
 
 fn point_polygon_distance(p: &Point, pg: &Polygon) -> f64 {
@@ -310,8 +297,7 @@ mod tests {
 
     #[test]
     fn polygon_with_hole_does_not_cover_hole_filler() {
-        let holed =
-            wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+        let holed = wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
         let filler = Geometry::rect(4.0, 4.0, 6.0, 6.0);
         assert!(!covers(&holed, &filler));
         // but it does cover a rectangle avoiding the hole

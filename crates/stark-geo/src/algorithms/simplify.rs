@@ -35,12 +35,7 @@ pub fn simplify_coords(coords: &[Coord], tolerance: f64) -> Vec<Coord> {
             stack.push((max_i, hi));
         }
     }
-    coords
-        .iter()
-        .zip(&keep)
-        .filter(|(_, k)| **k)
-        .map(|(c, _)| *c)
-        .collect()
+    coords.iter().zip(&keep).filter(|(_, k)| **k).map(|(c, _)| *c).collect()
 }
 
 /// Simplifies a linestring; always yields a valid linestring (at least
@@ -86,9 +81,8 @@ mod tests {
     #[test]
     fn simplified_stays_within_tolerance() {
         // noisy sine-ish wiggle
-        let pts: Vec<(f64, f64)> = (0..100)
-            .map(|i| (i as f64 * 0.1, (i as f64 * 0.6).sin() * 0.5))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64 * 0.1, (i as f64 * 0.6).sin() * 0.5)).collect();
         let line = ls(&pts);
         let tol = 0.2;
         let s = simplify(&line, tol);

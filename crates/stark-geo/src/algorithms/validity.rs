@@ -103,9 +103,7 @@ pub fn validate(g: &Geometry) -> Vec<ValidityError> {
     match g {
         Geometry::Point(_) | Geometry::MultiPoint(_) => {}
         Geometry::LineString(l) => validate_linestring(l, &mut out),
-        Geometry::MultiLineString(ls) => {
-            ls.iter().for_each(|l| validate_linestring(l, &mut out))
-        }
+        Geometry::MultiLineString(ls) => ls.iter().for_each(|l| validate_linestring(l, &mut out)),
         Geometry::Polygon(p) => validate_polygon(p, &mut out),
         Geometry::MultiPolygon(ps) => ps.iter().for_each(|p| validate_polygon(p, &mut out)),
     }
@@ -150,9 +148,7 @@ mod tests {
     #[test]
     fn zero_area_ring_detected() {
         let g = wkt("POLYGON((0 0, 2 2, 4 4))"); // collinear
-        assert!(validate(&g)
-            .iter()
-            .any(|e| matches!(e, ValidityError::ZeroAreaRing { .. })));
+        assert!(validate(&g).iter().any(|e| matches!(e, ValidityError::ZeroAreaRing { .. })));
     }
 
     #[test]

@@ -93,13 +93,21 @@ impl Envelope {
     /// Width along the x axis; zero for empty envelopes.
     #[inline]
     pub fn width(&self) -> f64 {
-        if self.is_empty() { 0.0 } else { self.max_x - self.min_x }
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max_x - self.min_x
+        }
     }
 
     /// Height along the y axis; zero for empty envelopes.
     #[inline]
     pub fn height(&self) -> f64 {
-        if self.is_empty() { 0.0 } else { self.max_y - self.min_y }
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max_y - self.min_y
+        }
     }
 
     /// Area; zero for empty and degenerate envelopes.

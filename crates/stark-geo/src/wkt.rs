@@ -196,13 +196,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            if b.is_ascii_digit()
-                || b == b'-'
-                || b == b'+'
-                || b == b'.'
-                || b == b'e'
-                || b == b'E'
-            {
+            if b.is_ascii_digit() || b == b'-' || b == b'+' || b == b'.' || b == b'e' || b == b'E' {
                 self.pos += 1;
             } else {
                 break;
@@ -279,8 +273,7 @@ impl<'a> Parser<'a> {
             }
             "LINESTRING" => {
                 let coords = self.read_coord_seq()?;
-                let ls = LineString::new(coords)
-                    .map_err(|e| self.err(&e.to_string()))?;
+                let ls = LineString::new(coords).map_err(|e| self.err(&e.to_string()))?;
                 Ok(Geometry::LineString(ls))
             }
             "MULTILINESTRING" => {
@@ -291,9 +284,7 @@ impl<'a> Parser<'a> {
                 let mut members = Vec::new();
                 loop {
                     let coords = self.read_coord_seq()?;
-                    members.push(
-                        LineString::new(coords).map_err(|e| self.err(&e.to_string()))?,
-                    );
+                    members.push(LineString::new(coords).map_err(|e| self.err(&e.to_string()))?);
                     if !self.try_consume(b',') {
                         break;
                     }
@@ -324,8 +315,7 @@ impl<'a> Parser<'a> {
 
     fn parse_polygon_body(&mut self) -> Result<Polygon, GeoError> {
         self.expect(b'(')?;
-        let exterior =
-            Ring::new(self.read_coord_seq()?).map_err(|e| self.err(&e.to_string()))?;
+        let exterior = Ring::new(self.read_coord_seq()?).map_err(|e| self.err(&e.to_string()))?;
         let mut holes = Vec::new();
         while self.try_consume(b',') {
             holes.push(Ring::new(self.read_coord_seq()?).map_err(|e| self.err(&e.to_string()))?);
@@ -365,8 +355,8 @@ mod tests {
 
     #[test]
     fn parse_polygon_with_hole() {
-        let g = parse_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))")
-            .unwrap();
+        let g =
+            parse_wkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))").unwrap();
         match &g {
             Geometry::Polygon(p) => {
                 assert_eq!(p.holes().len(), 1);
@@ -403,7 +393,9 @@ mod tests {
             parse_wkt("MULTIPOLYGON(((0 0, 1 0, 1 1)), ((5 5, 6 5, 6 6)))").unwrap(),
             Geometry::MultiPolygon(ref v) if v.len() == 2
         ));
-        assert!(matches!(parse_wkt("MULTIPOINT EMPTY").unwrap(), Geometry::MultiPoint(ref v) if v.is_empty()));
+        assert!(
+            matches!(parse_wkt("MULTIPOINT EMPTY").unwrap(), Geometry::MultiPoint(ref v) if v.is_empty())
+        );
         assert!(
             matches!(parse_wkt("MULTIPOLYGON EMPTY").unwrap(), Geometry::MultiPolygon(ref v) if v.is_empty())
         );

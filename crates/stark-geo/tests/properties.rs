@@ -17,12 +17,10 @@ fn rect_strategy() -> impl Strategy<Value = Geometry> {
 }
 
 fn linestring_strategy() -> impl Strategy<Value = Geometry> {
-    proptest::collection::vec(coord_strategy(), 2..8).prop_filter_map(
-        "valid linestring",
-        |coords| {
+    proptest::collection::vec(coord_strategy(), 2..8)
+        .prop_filter_map("valid linestring", |coords| {
             stark_geo::LineString::new(coords).ok().map(Geometry::LineString)
-        },
-    )
+        })
 }
 
 fn geometry_strategy() -> impl Strategy<Value = Geometry> {

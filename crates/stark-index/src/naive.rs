@@ -31,11 +31,8 @@ impl<T> NaiveIndex<T> {
 
     /// The `k` entries nearest to `target` by envelope distance, ascending.
     pub fn nearest_k(&self, target: &Coord, k: usize) -> Vec<(f64, &Entry<T>)> {
-        let mut all: Vec<(f64, &Entry<T>)> = self
-            .entries
-            .iter()
-            .map(|e| (e.envelope.distance_to_coord(target), e))
-            .collect();
+        let mut all: Vec<(f64, &Entry<T>)> =
+            self.entries.iter().map(|e| (e.envelope.distance_to_coord(target), e)).collect();
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         all.truncate(k);
         all

@@ -363,8 +363,7 @@ mod tests {
 
     #[test]
     fn query_matches_linear_scan() {
-        let pts: Vec<(f64, f64)> =
-            (0..100).map(|i| ((i % 10) as f64, (i / 10) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| ((i % 10) as f64, (i / 10) as f64)).collect();
         let t = StrTree::build(4, point_entries(&pts));
         assert_eq!(t.len(), 100);
         let q = Envelope::from_bounds(2.5, 2.5, 6.5, 4.5);
@@ -400,8 +399,7 @@ mod tests {
 
     #[test]
     fn deep_tree_structure() {
-        let pts: Vec<(f64, f64)> =
-            (0..1000).map(|i| ((i % 33) as f64, (i / 33) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..1000).map(|i| ((i % 33) as f64, (i / 33) as f64)).collect();
         let t = StrTree::build(4, point_entries(&pts));
         assert!(t.depth() >= 4, "depth {}", t.depth());
         assert_eq!(t.entries().len(), 1000);
@@ -434,9 +432,8 @@ mod tests {
     #[test]
     fn all_identical_coordinates() {
         // mass of coincident points must not break packing or queries
-        let entries: Vec<Entry<usize>> = (0..500)
-            .map(|i| Entry::new(Envelope::from_point(Coord::new(3.0, 3.0)), i))
-            .collect();
+        let entries: Vec<Entry<usize>> =
+            (0..500).map(|i| Entry::new(Envelope::from_point(Coord::new(3.0, 3.0)), i)).collect();
         let t = StrTree::build(4, entries);
         assert_eq!(t.len(), 500);
         assert_eq!(t.query_vec(&Envelope::from_point(Coord::new(3.0, 3.0))).len(), 500);

@@ -13,9 +13,7 @@ fn entries_strategy() -> impl Strategy<Value = Vec<Entry<usize>>> {
     .prop_map(|raw| {
         raw.into_iter()
             .enumerate()
-            .map(|(i, (x, y, w, h))| {
-                Entry::new(Envelope::from_bounds(x, y, x + w, y + h), i)
-            })
+            .map(|(i, (x, y, w, h))| Entry::new(Envelope::from_bounds(x, y, x + w, y + h), i))
             .collect()
     })
 }

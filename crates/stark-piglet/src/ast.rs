@@ -78,7 +78,13 @@ pub enum Statement {
     /// `alias = FOREACH input GENERATE proj, ...;`
     Foreach { alias: String, input: String, projections: Vec<Projection> },
     /// `alias = SPATIAL_FILTER input BY PRED(field, expr);`
-    SpatialFilter { alias: String, input: String, pred: SpatialPredicate, field: String, query: Expr },
+    SpatialFilter {
+        alias: String,
+        input: String,
+        pred: SpatialPredicate,
+        field: String,
+        query: Expr,
+    },
     /// `alias = PARTITION input BY GRID(4) ON field;`
     Partition { alias: String, input: String, spec: PartitionerSpec, field: String },
     /// `alias = INDEX input ORDER n;` — live-index marker (order recorded)

@@ -60,9 +60,15 @@ pub enum Output {
 enum RelData {
     Plain(Rdd<Tuple>),
     /// Keyed by the STObject in column `field`; carries partitioning.
-    Spatial { srdd: SpatialRdd<Tuple>, field: usize },
+    Spatial {
+        srdd: SpatialRdd<Tuple>,
+        field: usize,
+    },
     /// Live-indexed form.
-    Indexed { idx: IndexedSpatialRdd<Tuple>, field: usize },
+    Indexed {
+        idx: IndexedSpatialRdd<Tuple>,
+        field: usize,
+    },
 }
 
 /// A named relation: schema + data.
@@ -77,14 +83,12 @@ impl Relation {
         match &self.data {
             RelData::Plain(rdd) => rdd.clone(),
             RelData::Spatial { srdd, .. } => srdd.rdd().map(|(_, t)| t),
-            RelData::Indexed { idx, .. } => idx
-                .trees()
-                .map_partitions(|trees| {
-                    trees
-                        .iter()
-                        .flat_map(|t| t.entries().into_iter().map(|e| e.item.1.clone()))
-                        .collect()
-                }),
+            RelData::Indexed { idx, .. } => idx.trees().map_partitions(|trees| {
+                trees
+                    .iter()
+                    .flat_map(|t| t.entries().into_iter().map(|e| e.item.1.clone()))
+                    .collect()
+            }),
         }
     }
 }
@@ -109,8 +113,10 @@ impl Executor {
     /// demo front end to inject generated datasets).
     pub fn register(&mut self, alias: &str, schema: Vec<String>, rows: Vec<Tuple>) {
         let rdd = self.ctx.parallelize_default(rows);
-        self.env
-            .insert(alias.to_string(), Relation { schema: Arc::new(schema), data: RelData::Plain(rdd) });
+        self.env.insert(
+            alias.to_string(),
+            Relation { schema: Arc::new(schema), data: RelData::Plain(rdd) },
+        );
     }
 
     /// Parses and runs a script, returning the observable outputs.
@@ -163,9 +169,7 @@ impl Executor {
                 validate_expr(&expr, &schema)?;
                 let compiled = Arc::new(expr);
                 let s2 = schema.clone();
-                let rdd = rel
-                    .tuples()
-                    .filter(move |t| eval(&compiled, &s2, t).is_truthy());
+                let rdd = rel.tuples().filter(move |t| eval(&compiled, &s2, t).is_truthy());
                 self.define(alias, Relation { schema, data: RelData::Plain(rdd) });
                 Ok(None)
             }
@@ -183,9 +187,9 @@ impl Executor {
                 }
                 let exprs: Arc<Vec<Projection>> = Arc::new(projections);
                 let s2 = in_schema.clone();
-                let rdd = rel.tuples().map(move |t| {
-                    exprs.iter().map(|p| eval(&p.expr, &s2, &t)).collect::<Tuple>()
-                });
+                let rdd = rel
+                    .tuples()
+                    .map(move |t| exprs.iter().map(|p| eval(&p.expr, &s2, &t)).collect::<Tuple>());
                 self.define(
                     alias,
                     Relation { schema: Arc::new(out_schema), data: RelData::Plain(rdd) },
@@ -226,7 +230,10 @@ impl Executor {
                     }
                 };
                 let srdd = keyed.partition_by(partitioner);
-                self.define(alias, Relation { schema, data: RelData::Spatial { srdd, field: fidx } });
+                self.define(
+                    alias,
+                    Relation { schema, data: RelData::Spatial { srdd, field: fidx } },
+                );
                 Ok(None)
             }
             Statement::Index { alias, input, order } => {
@@ -270,7 +277,10 @@ impl Executor {
                         schema.push(name.clone());
                     }
                 }
-                self.define(alias, Relation { schema: Arc::new(schema), data: RelData::Plain(rdd) });
+                self.define(
+                    alias,
+                    Relation { schema: Arc::new(schema), data: RelData::Plain(rdd) },
+                );
                 Ok(None)
             }
             Statement::Knn { alias, input, field, query, k } => {
@@ -295,7 +305,10 @@ impl Executor {
                 out_schema.push("distance".to_string());
                 let n = rows.len().max(1);
                 let rdd = self.ctx.parallelize(rows, n.min(self.ctx.default_partitions()));
-                self.define(alias, Relation { schema: Arc::new(out_schema), data: RelData::Plain(rdd) });
+                self.define(
+                    alias,
+                    Relation { schema: Arc::new(out_schema), data: RelData::Plain(rdd) },
+                );
                 Ok(None)
             }
             Statement::Cluster { alias, input, eps, min_pts, field } => {
@@ -319,7 +332,10 @@ impl Executor {
                 });
                 let mut out_schema = schema.as_ref().clone();
                 out_schema.push("cluster".to_string());
-                self.define(alias, Relation { schema: Arc::new(out_schema), data: RelData::Plain(rdd) });
+                self.define(
+                    alias,
+                    Relation { schema: Arc::new(out_schema), data: RelData::Plain(rdd) },
+                );
                 Ok(None)
             }
             Statement::Colocate {
@@ -359,8 +375,7 @@ impl Executor {
                     .collect();
                 let parts = rows.len().max(1).min(self.ctx.default_partitions());
                 let rdd = self.ctx.parallelize(rows, parts);
-                let out_schema =
-                    vec!["cat_a".into(), "cat_b".into(), "pi".into(), "pairs".into()];
+                let out_schema = vec!["cat_a".into(), "cat_b".into(), "pi".into(), "pairs".into()];
                 self.define(
                     alias,
                     Relation { schema: Arc::new(out_schema), data: RelData::Plain(rdd) },
@@ -512,9 +527,11 @@ impl Executor {
             }
             let mut tuple = Vec::with_capacity(fields.len());
             for ((name, ty), raw) in schema.iter().zip(fields) {
-                tuple.push(parse_field(&raw, ty).map_err(|e| {
-                    exec_err(format!("{path}:{}: field {name}: {e}", lineno + 1))
-                })?);
+                tuple.push(
+                    parse_field(&raw, ty).map_err(|e| {
+                        exec_err(format!("{path}:{}: field {name}: {e}", lineno + 1))
+                    })?,
+                );
             }
             rows.push(tuple);
         }
@@ -743,28 +760,22 @@ fn eval_call(name: &str, args: &[Value]) -> Value {
             Some(g) => Value::Geom(STObject::new(g)),
             None => Value::Null,
         },
-        "INTERSECTS" | "CONTAINS" | "CONTAINEDBY" => {
-            match (args[0].as_geom(), args[1].as_geom()) {
-                (Some(a), Some(b)) => Value::Bool(match name {
-                    "INTERSECTS" => a.intersects(b),
-                    "CONTAINS" => a.contains(b),
-                    _ => a.contained_by(b),
-                }),
-                _ => Value::Null,
-            }
-        }
+        "INTERSECTS" | "CONTAINS" | "CONTAINEDBY" => match (args[0].as_geom(), args[1].as_geom()) {
+            (Some(a), Some(b)) => Value::Bool(match name {
+                "INTERSECTS" => a.intersects(b),
+                "CONTAINS" => a.contains(b),
+                _ => a.contained_by(b),
+            }),
+            _ => Value::Null,
+        },
         "DISTANCE" => match (args[0].as_geom(), args[1].as_geom()) {
             (Some(a), Some(b)) => Value::Double(a.distance(b, DistanceFn::Euclidean)),
             _ => Value::Null,
         },
-        "WITHINDISTANCE" => {
-            match (args[0].as_geom(), args[1].as_geom(), args[2].as_f64()) {
-                (Some(a), Some(b), Some(d)) => {
-                    Value::Bool(a.distance(b, DistanceFn::Euclidean) <= d)
-                }
-                _ => Value::Null,
-            }
-        }
+        "WITHINDISTANCE" => match (args[0].as_geom(), args[1].as_geom(), args[2].as_f64()) {
+            (Some(a), Some(b), Some(d)) => Value::Bool(a.distance(b, DistanceFn::Euclidean) <= d),
+            _ => Value::Null,
+        },
         "X" => match args[0].as_geom() {
             Some(g) => Value::Double(g.centroid().x),
             None => Value::Null,
@@ -817,9 +828,7 @@ mod tests {
         let mut ex = executor();
         let (schema, rows) = event_rows();
         ex.register("ev", schema, rows);
-        let out = ex
-            .run_script("f = FILTER ev BY cat == 'concert' AND id < 10;\nDUMP f;")
-            .unwrap();
+        let out = ex.run_script("f = FILTER ev BY cat == 'concert' AND id < 10;\nDUMP f;").unwrap();
         match &out[0] {
             Output::Dump { lines, .. } => {
                 assert_eq!(lines.len(), 5);
@@ -951,18 +960,14 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..10 {
             let x = i as f64 * 10.0;
-            rows.push(vec![
-                Value::Str("cafe".into()),
-                Value::Geom(STObject::point(x, 0.0)),
-            ]);
+            rows.push(vec![Value::Str("cafe".into()), Value::Geom(STObject::point(x, 0.0))]);
             rows.push(vec![
                 Value::Str("bakery".into()),
                 Value::Geom(STObject::point(x + 0.5, 0.0)),
             ]);
         }
         ex.register("shops", vec!["cat".into(), "obj".into()], rows);
-        ex.run_script("p = COLOCATE shops BY cat ON obj DISTANCE 1.0 MINPI 0.5;\nDUMP p;")
-            .unwrap();
+        ex.run_script("p = COLOCATE shops BY cat ON obj DISTANCE 1.0 MINPI 0.5;\nDUMP p;").unwrap();
         let got = ex.collect("p").unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0][0], Value::Str("bakery".into()));
@@ -1046,12 +1051,11 @@ mod tests {
     #[test]
     fn load_and_store_roundtrip() {
         let mut ex = executor();
-        let path = std::env::temp_dir()
-            .join(format!("piglet-load-{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("piglet-load-{}.csv", std::process::id()));
         std::fs::write(&path, "1,concert,10,\"POINT (1 2)\"\n2,flood,20,\"POINT (3 4)\"\n")
             .unwrap();
-        let out_path = std::env::temp_dir()
-            .join(format!("piglet-store-{}.csv", std::process::id()));
+        let out_path =
+            std::env::temp_dir().join(format!("piglet-store-{}.csv", std::process::id()));
         let script = format!(
             "ev = LOAD '{}' AS (id:long, cat:chararray, t:long, obj:stobject);\nSTORE ev INTO '{}';",
             path.display(),
@@ -1076,8 +1080,6 @@ mod tests {
         assert!(ex.run_script("i = INDEX ev ORDER 5;").is_err(), "index needs partitioning");
         assert!(ex.run_script("c = CLUSTER ev BY DBSCAN(0.5, 0) ON wkt;").is_err());
         // spatial filter with a non-geometry query expression
-        assert!(ex
-            .run_script("s = SPATIAL_FILTER ev BY INTERSECTS(wkt, 1 + 2);")
-            .is_err());
+        assert!(ex.run_script("s = SPATIAL_FILTER ev BY INTERSECTS(wkt, 1 + 2);").is_err());
     }
 }

@@ -15,13 +15,13 @@ pub enum Token {
     Comma,
     Semicolon,
     Colon,
-    Eq,       // ==
-    Neq,      // !=
+    Eq,  // ==
+    Neq, // !=
     Lt,
     Lte,
     Gt,
     Gte,
-    Assign,   // =
+    Assign, // =
     Plus,
     Minus,
     Star,
@@ -206,9 +206,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Ident(input[start..i].to_string()));

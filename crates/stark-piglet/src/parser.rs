@@ -286,9 +286,7 @@ impl Parser {
                 match self.next()? {
                     Token::Comma => continue,
                     Token::RParen => break,
-                    other => {
-                        return Err(ParseError::new(format!("expected , or ), got {other}")))
-                    }
+                    other => return Err(ParseError::new(format!("expected , or ), got {other}"))),
                 }
             }
         }
@@ -314,9 +312,7 @@ impl Parser {
     }
 
     /// `PRED(field, query)` or `WITHINDISTANCE(field, query, d [, metric])`.
-    fn spatial_filter_predicate(
-        &mut self,
-    ) -> Result<(SpatialPredicate, String, Expr), ParseError> {
+    fn spatial_filter_predicate(&mut self) -> Result<(SpatialPredicate, String, Expr), ParseError> {
         if let Some(pred) = self.spatial_predicate_name()? {
             self.expect(&Token::LParen)?;
             let field = self.ident()?;
@@ -521,8 +517,9 @@ mod tests {
 
     #[test]
     fn load_with_schema() {
-        let s = parse_script("ev = LOAD 'x.csv' AS (id:long, cat:chararray, t:long, wkt:chararray);")
-            .unwrap();
+        let s =
+            parse_script("ev = LOAD 'x.csv' AS (id:long, cat:chararray, t:long, wkt:chararray);")
+                .unwrap();
         match &s[0] {
             Statement::Load { alias, path, schema } => {
                 assert_eq!(alias, "ev");
@@ -548,8 +545,7 @@ mod tests {
 
     #[test]
     fn foreach_with_aliases() {
-        let s =
-            parse_script("g = FOREACH e GENERATE id, STOBJECT(wkt, t) AS obj, x * 2;").unwrap();
+        let s = parse_script("g = FOREACH e GENERATE id, STOBJECT(wkt, t) AS obj, x * 2;").unwrap();
         match &s[0] {
             Statement::Foreach { projections, .. } => {
                 assert_eq!(projections.len(), 3);
@@ -581,11 +577,21 @@ mod tests {
         "#;
         let stmts = parse_script(script).unwrap();
         assert_eq!(stmts.len(), 14);
-        assert!(matches!(&stmts[1], Statement::Partition { spec: PartitionerSpec::Bsp { max_cost: 1000, .. }, .. }));
-        assert!(matches!(&stmts[3], Statement::SpatialFilter {
-            pred: SpatialPredicate::WithinDistance { dist_fn: DistanceFn::Manhattan, .. }, .. }));
-        assert!(matches!(&stmts[5], Statement::SpatialJoin {
-            pred: SpatialPredicate::WithinDistance { .. }, .. }));
+        assert!(matches!(
+            &stmts[1],
+            Statement::Partition { spec: PartitionerSpec::Bsp { max_cost: 1000, .. }, .. }
+        ));
+        assert!(matches!(
+            &stmts[3],
+            Statement::SpatialFilter {
+                pred: SpatialPredicate::WithinDistance { dist_fn: DistanceFn::Manhattan, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[5],
+            Statement::SpatialJoin { pred: SpatialPredicate::WithinDistance { .. }, .. }
+        ));
         assert!(matches!(&stmts[10], Statement::OrderBy { desc: true, .. }));
     }
 

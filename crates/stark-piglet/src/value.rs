@@ -121,10 +121,7 @@ mod tests {
     fn numeric_coercion() {
         assert!(Value::Int(1).loose_eq(&Value::Double(1.0)));
         assert!(!Value::Int(1).loose_eq(&Value::Double(1.5)));
-        assert_eq!(
-            Value::Int(1).loose_cmp(&Value::Double(2.0)),
-            Some(std::cmp::Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).loose_cmp(&Value::Double(2.0)), Some(std::cmp::Ordering::Less));
         assert_eq!(
             Value::Str("b".into()).loose_cmp(&Value::Str("a".into())),
             Some(std::cmp::Ordering::Greater)

@@ -1,0 +1,86 @@
+//! Micro-batch and per-batch metric types.
+
+use std::time::Duration;
+
+/// Monotone batch sequence number, assigned by the source pump.
+pub type BatchId = u64;
+
+/// One micro-batch pulled from a [`crate::Source`].
+#[derive(Debug, Clone)]
+pub struct MicroBatch<V> {
+    pub id: BatchId,
+    pub records: Vec<(stark::STObject, V)>,
+}
+
+/// Per-batch processing metrics, extending the engine's job counters
+/// with the stream-level numbers the paper's demonstration surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMetrics {
+    pub batch: BatchId,
+    /// Records in the batch.
+    pub records: u64,
+    /// Late records discarded this batch.
+    pub late_dropped: u64,
+    /// Wall-clock time to process the batch end to end.
+    pub latency: Duration,
+    /// Records per second for this batch (`records / latency`).
+    pub events_per_sec: f64,
+    /// Channel occupancy observed after pulling the batch (saturation).
+    pub queue_depth: usize,
+    /// Index partitions this batch's records landed in.
+    pub partitions_touched: usize,
+    /// Index partition trees rebuilt for this batch.
+    pub partitions_rebuilt: usize,
+    /// Window panes fired while processing this batch.
+    pub windows_fired: u64,
+}
+
+/// Whole-run roll-up returned by [`crate::StreamContext::run`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    pub batches: Vec<BatchMetrics>,
+    /// Wall-clock span of the run, including source wait time.
+    pub elapsed: Duration,
+}
+
+impl StreamReport {
+    pub fn total_records(&self) -> u64 {
+        self.batches.iter().map(|b| b.records).sum()
+    }
+
+    pub fn late_dropped(&self) -> u64 {
+        self.batches.iter().map(|b| b.late_dropped).sum()
+    }
+
+    pub fn windows_fired(&self) -> u64 {
+        self.batches.iter().map(|b| b.windows_fired).sum()
+    }
+
+    /// Total in-processing time (sum of per-batch latencies).
+    pub fn processing_time(&self) -> Duration {
+        self.batches.iter().map(|b| b.latency).sum()
+    }
+
+    /// Mean per-batch latency.
+    pub fn mean_latency(&self) -> Duration {
+        match self.batches.len() {
+            0 => Duration::ZERO,
+            n => self.processing_time() / n as u32,
+        }
+    }
+
+    /// Worst per-batch latency.
+    pub fn max_latency(&self) -> Duration {
+        self.batches.iter().map(|b| b.latency).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Sustained throughput over processing time (records/second).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.processing_time().as_secs_f64();
+        if secs > 0.0 {
+            self.total_records() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The stream driver: source pump, micro-batch loop, job wiring.
+//!
+//! Mirrors Spark Streaming's model on top of the reproduction's engine:
+//! a producer thread pulls batches from the [`Source`] and pushes them
+//! through a bounded [`stark_engine::channel`] (backpressure: a slow
+//! consumer stalls the pump), and the driver loop turns each batch into
+//! an engine [`Rdd`], feeds the window manager and the continuous-query
+//! engine, and emits per-batch metrics.
+
+use crate::batch::{BatchMetrics, MicroBatch, StreamReport};
+use crate::query::ContinuousQueryEngine;
+use crate::sink::{Sink, WindowAggregate};
+use crate::source::Source;
+use crate::window::{LatePolicy, WindowManager, WindowPane, WindowSpec};
+use stark::cluster::{dbscan, DbscanParams};
+use stark::SpatialRddExt;
+use stark_engine::channel::{self, RecvError};
+use stark_engine::{Context, Data};
+use stark_geo::Envelope;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a stream run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Max records the pump requests per batch.
+    pub batch_records: usize,
+    /// In-flight batches before the pump blocks (backpressure depth).
+    pub channel_capacity: usize,
+    /// Partitions for each per-batch [`stark_engine::Rdd`].
+    pub parallelism: usize,
+    /// How long the driver waits for a batch before re-polling.
+    pub poll: Duration,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            batch_records: 1024,
+            channel_capacity: 4,
+            parallelism: 4,
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Everything attached to a stream run: windows, window-level
+/// aggregations, continuous queries and sinks. Built once, consumed by
+/// [`StreamContext::run`].
+pub struct StreamJob<V: Data> {
+    windows: Option<WindowManager<V>>,
+    grid: Option<(usize, Envelope)>,
+    hotspots: Option<DbscanParams>,
+    queries: Option<ContinuousQueryEngine<V>>,
+    sinks: Vec<Box<dyn Sink<V>>>,
+}
+
+impl<V: Data> Default for StreamJob<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Data> StreamJob<V> {
+    pub fn new() -> Self {
+        StreamJob { windows: None, grid: None, hotspots: None, queries: None, sinks: Vec::new() }
+    }
+
+    /// Windows events by event time with the given lateness policy.
+    pub fn with_windows(
+        mut self,
+        spec: WindowSpec,
+        allowed_lateness: i64,
+        policy: LatePolicy,
+    ) -> Self {
+        self.windows = Some(WindowManager::new(spec, allowed_lateness, policy));
+        self
+    }
+
+    /// Computes per-cell counts over `space` for every fired window.
+    pub fn with_grid_aggregation(mut self, dims: usize, space: Envelope) -> Self {
+        self.grid = Some((dims, space));
+        self
+    }
+
+    /// Runs DBSCAN hotspot detection on every fired window.
+    pub fn with_hotspots(mut self, params: DbscanParams) -> Self {
+        self.hotspots = Some(params);
+        self
+    }
+
+    /// Attaches a continuous-query engine evaluated on every batch.
+    pub fn with_queries(mut self, engine: ContinuousQueryEngine<V>) -> Self {
+        self.queries = Some(engine);
+        self
+    }
+
+    /// Attaches an output sink (any number may be attached).
+    pub fn with_sink(mut self, sink: impl Sink<V> + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+}
+
+/// Drives micro-batch stream jobs over an engine [`Context`].
+pub struct StreamContext {
+    ctx: Context,
+    config: StreamConfig,
+}
+
+impl StreamContext {
+    pub fn new(ctx: Context) -> Self {
+        StreamContext { ctx, config: StreamConfig::default() }
+    }
+
+    pub fn with_config(ctx: Context, config: StreamConfig) -> Self {
+        assert!(config.batch_records > 0, "batch_records must be positive");
+        assert!(config.parallelism > 0, "parallelism must be positive");
+        StreamContext { ctx, config }
+    }
+
+    /// The underlying engine context.
+    pub fn engine(&self) -> &Context {
+        &self.ctx
+    }
+
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Runs `source` to exhaustion through `job`. Blocks until the
+    /// source ends and every pane has been flushed.
+    pub fn run<V, S>(&self, source: S, mut job: StreamJob<V>) -> StreamReport
+    where
+        V: Data,
+        S: Source<V> + 'static,
+    {
+        let (tx, rx) = channel::bounded::<MicroBatch<V>>(self.config.channel_capacity);
+        let batch_records = self.config.batch_records;
+        let pump = std::thread::spawn(move || {
+            let mut source = source;
+            let mut id = 0u64;
+            while let Some(records) = source.next_batch(batch_records) {
+                let batch = MicroBatch { id, records };
+                id += 1;
+                if tx.send(batch).is_err() {
+                    break; // driver went away
+                }
+            }
+        });
+
+        let run_start = Instant::now();
+        let mut report = StreamReport::default();
+        loop {
+            let batch = match rx.recv_timeout(self.config.poll) {
+                Ok(batch) => batch,
+                Err(RecvError::TimedOut) => continue,
+                Err(RecvError::Disconnected) => break,
+            };
+            let queue_depth = rx.len();
+            let metrics = self.process_batch(batch, queue_depth, &mut job);
+            for sink in &mut job.sinks {
+                sink.on_batch(&metrics);
+            }
+            report.batches.push(metrics);
+        }
+
+        // end of stream: fire every pane still open
+        if let Some(wm) = &mut job.windows {
+            let remaining = wm.flush();
+            for pane in remaining {
+                let agg = self.aggregate_pane(pane, &job.grid, &job.hotspots);
+                for sink in &mut job.sinks {
+                    sink.on_window(&agg);
+                }
+            }
+        }
+        pump.join().expect("source pump panicked");
+        report.elapsed = run_start.elapsed();
+        report
+    }
+
+    fn process_batch<V: Data>(
+        &self,
+        batch: MicroBatch<V>,
+        queue_depth: usize,
+        job: &mut StreamJob<V>,
+    ) -> BatchMetrics {
+        let started = Instant::now();
+        let records = batch.records.len() as u64;
+
+        let mut late_dropped = 0u64;
+        let mut windows_fired = 0u64;
+        if let Some(wm) = &mut job.windows {
+            let stats = wm.observe(batch.records.iter().cloned());
+            late_dropped = stats.dropped;
+            let side = wm.take_side_output();
+            if !side.is_empty() {
+                for sink in &mut job.sinks {
+                    sink.on_late(&side);
+                }
+            }
+            let fired = wm.fire_ready();
+            windows_fired = fired.len() as u64;
+            for pane in fired {
+                let agg = self.aggregate_pane(pane, &job.grid, &job.hotspots);
+                for sink in &mut job.sinks {
+                    sink.on_window(&agg);
+                }
+            }
+        }
+
+        let mut partitions_touched = 0;
+        let mut partitions_rebuilt = 0;
+        if let Some(engine) = &mut job.queries {
+            let eval = engine.on_batch(&batch.records);
+            partitions_touched = eval.partitions_touched;
+            partitions_rebuilt = eval.partitions_rebuilt;
+            for sink in &mut job.sinks {
+                sink.on_query_results(batch.id, &eval.results);
+            }
+        }
+
+        let latency = started.elapsed();
+        let events_per_sec =
+            if latency.as_secs_f64() > 0.0 { records as f64 / latency.as_secs_f64() } else { 0.0 };
+        BatchMetrics {
+            batch: batch.id,
+            records,
+            late_dropped,
+            latency,
+            events_per_sec,
+            queue_depth,
+            partitions_touched,
+            partitions_rebuilt,
+            windows_fired,
+        }
+    }
+
+    /// Computes the configured aggregates for one fired pane. The pane
+    /// becomes a per-batch engine Rdd so grid aggregation and DBSCAN run
+    /// through the same partitioned operators as the batch API.
+    fn aggregate_pane<V: Data>(
+        &self,
+        pane: WindowPane<V>,
+        grid: &Option<(usize, Envelope)>,
+        hotspots: &Option<DbscanParams>,
+    ) -> WindowAggregate {
+        let count = pane.records.len() as u64;
+        let mut agg = WindowAggregate {
+            start: pane.start,
+            end: pane.end,
+            count,
+            grid: Vec::new(),
+            hotspot_clusters: 0,
+        };
+        if pane.records.is_empty() || (grid.is_none() && hotspots.is_none()) {
+            return agg;
+        }
+        let parts = self.config.parallelism.min(pane.records.len()).max(1);
+        let spatial = self.ctx.parallelize(pane.records, parts).spatial();
+        if let Some((dims, space)) = grid {
+            agg.grid = spatial.aggregate_by_grid(*dims, space);
+        }
+        if let Some(params) = hotspots {
+            let mut clusters: Vec<u64> = dbscan(&spatial, *params)
+                .collect()
+                .into_iter()
+                .filter_map(|(_, _, label)| label)
+                .collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            agg.hotspot_clusters = clusters.len() as u64;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::StandingQuery;
+    use crate::sink::MemorySink;
+    use crate::source::GeneratorSource;
+    use stark::STPredicate;
+    use stark::{DataSummary, GridPartitioner, STObject, SpatialPartitioner};
+    use stark_geo::Coord;
+    use std::sync::Arc;
+
+    fn space() -> Envelope {
+        Envelope::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn partitioner() -> Arc<dyn SpatialPartitioner> {
+        let summary: DataSummary = [(0.0, 0.0), (100.0, 100.0)]
+            .iter()
+            .map(|&(x, y)| (Envelope::from_point(Coord::new(x, y)), Coord::new(x, y)))
+            .collect();
+        Arc::new(GridPartitioner::build(4, &summary))
+    }
+
+    #[test]
+    fn end_to_end_stream_run() {
+        let sc = StreamContext::with_config(
+            Context::with_parallelism(2),
+            StreamConfig {
+                batch_records: 200,
+                channel_capacity: 2,
+                parallelism: 2,
+                ..Default::default()
+            },
+        );
+        let source = GeneratorSource::new(11, space(), 5, 1000, 100);
+        let region =
+            STObject::from_wkt_interval("POLYGON((20 20, 80 20, 80 80, 20 80, 20 20))", 0, 1 << 40)
+                .unwrap();
+        let sink = MemorySink::new();
+        let job =
+            StreamJob::new()
+                .with_windows(WindowSpec::tumbling(500), 150, LatePolicy::Drop)
+                .with_grid_aggregation(5, space())
+                .with_queries(
+                    ContinuousQueryEngine::indexed(partitioner(), 8).with_query(
+                        StandingQuery::filter("region", region, STPredicate::Intersects),
+                    ),
+                )
+                .with_sink(sink.clone());
+
+        let report = sc.run(source, job);
+        assert_eq!(report.batches.len(), 5);
+        assert_eq!(report.total_records(), 1000);
+        assert!(report.events_per_sec() > 0.0);
+
+        let state = sink.state();
+        assert_eq!(state.batches.len(), 5);
+        // every accepted record shows up in exactly one tumbling pane
+        let windowed: u64 = state.windows.iter().map(|w| w.count).sum();
+        assert_eq!(windowed + report.late_dropped(), 1000);
+        // grid cell counts agree with pane counts
+        for w in &state.windows {
+            let grid_total: u64 = w.grid.iter().map(|c| c.count).sum();
+            assert_eq!(grid_total, w.count, "window [{}, {})", w.start, w.end);
+        }
+        // query results arrive for every batch and grow monotonically
+        assert_eq!(state.query_results.len(), 5);
+        let sizes: Vec<usize> =
+            state.query_results.iter().map(|(_, rs)| rs[0].output.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "standing result must grow: {sizes:?}");
+    }
+
+    #[test]
+    fn side_output_collects_late_records() {
+        let sc = StreamContext::with_config(
+            Context::with_parallelism(2),
+            StreamConfig { batch_records: 100, ..Default::default() },
+        );
+        // jitter 300 far beyond lateness 10: some records must be late
+        let source = GeneratorSource::new(3, space(), 4, 1000, 300);
+        let sink = MemorySink::new();
+        let job = StreamJob::new()
+            .with_windows(WindowSpec::tumbling(400), 10, LatePolicy::SideOutput)
+            .with_sink(sink.clone());
+        let report = sc.run(source, job);
+        let state = sink.state();
+        assert!(!state.late.is_empty(), "expected side-output records");
+        assert_eq!(report.late_dropped(), 0, "side-output must not count as dropped");
+        let windowed: u64 = state.windows.iter().map(|w| w.count).sum();
+        assert_eq!(windowed as usize + state.late.len(), 400);
+    }
+}

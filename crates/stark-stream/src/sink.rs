@@ -1,0 +1,100 @@
+//! Stream output sinks.
+
+use crate::batch::{BatchId, BatchMetrics};
+use crate::query::QueryResult;
+use stark::{CellStats, STObject};
+use stark_engine::Data;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Aggregates computed over one fired window pane.
+#[derive(Debug, Clone)]
+pub struct WindowAggregate {
+    pub start: i64,
+    pub end: i64,
+    /// Records in the pane.
+    pub count: u64,
+    /// Non-empty grid cells, when grid aggregation is configured.
+    pub grid: Vec<CellStats>,
+    /// DBSCAN clusters found, when hotspot detection is configured.
+    pub hotspot_clusters: u64,
+}
+
+/// Receives stream outputs as they are produced. All methods default to
+/// no-ops so a sink implements only what it consumes.
+pub trait Sink<V: Data> {
+    /// A window pane fired and its aggregates were computed.
+    fn on_window(&mut self, _window: &WindowAggregate) {}
+    /// Standing queries were evaluated for a batch.
+    fn on_query_results(&mut self, _batch: BatchId, _results: &[QueryResult<V>]) {}
+    /// Late records diverted by the side-output policy.
+    fn on_late(&mut self, _records: &[(STObject, V)]) {}
+    /// A batch finished processing.
+    fn on_batch(&mut self, _metrics: &BatchMetrics) {}
+}
+
+/// Everything a [`MemorySink`] collected.
+#[derive(Debug, Clone)]
+pub struct MemorySinkState<V> {
+    pub windows: Vec<WindowAggregate>,
+    pub query_results: Vec<(BatchId, Vec<QueryResult<V>>)>,
+    pub late: Vec<(STObject, V)>,
+    pub batches: Vec<BatchMetrics>,
+}
+
+impl<V> Default for MemorySinkState<V> {
+    fn default() -> Self {
+        MemorySinkState {
+            windows: Vec::new(),
+            query_results: Vec::new(),
+            late: Vec::new(),
+            batches: Vec::new(),
+        }
+    }
+}
+
+/// In-memory sink for tests and examples. Clones share state, so keep
+/// one clone outside the job to inspect results after the run.
+pub struct MemorySink<V> {
+    state: Arc<Mutex<MemorySinkState<V>>>,
+}
+
+impl<V> Clone for MemorySink<V> {
+    fn clone(&self) -> Self {
+        MemorySink { state: self.state.clone() }
+    }
+}
+
+impl<V> Default for MemorySink<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> MemorySink<V> {
+    pub fn new() -> Self {
+        MemorySink { state: Arc::new(Mutex::new(MemorySinkState::default())) }
+    }
+
+    /// Locks and exposes everything collected so far.
+    pub fn state(&self) -> MutexGuard<'_, MemorySinkState<V>> {
+        self.state.lock().expect("sink poisoned")
+    }
+}
+
+impl<V: Data> Sink<V> for MemorySink<V> {
+    fn on_window(&mut self, window: &WindowAggregate) {
+        self.state().windows.push(window.clone());
+    }
+
+    fn on_query_results(&mut self, batch: BatchId, results: &[QueryResult<V>]) {
+        self.state().query_results.push((batch, results.to_vec()));
+    }
+
+    fn on_late(&mut self, records: &[(STObject, V)]) {
+        self.state().late.extend(records.iter().cloned());
+    }
+
+    fn on_batch(&mut self, metrics: &BatchMetrics) {
+        self.state().batches.push(metrics.clone());
+    }
+}

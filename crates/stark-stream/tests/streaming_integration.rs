@@ -1,0 +1,209 @@
+//! End-to-end acceptance test: source → windows → continuous query →
+//! sink, with every windowed result checked *exactly* against an offline
+//! batch recomputation over the same events.
+
+use stark::{
+    DataSummary, GridPartitioner, STObject, STPredicate, SpatialPartitioner, SpatialRddExt,
+};
+use stark_engine::Context;
+use stark_geo::{Coord, Envelope};
+use stark_stream::{
+    event_time, ContinuousQueryEngine, GeneratorSource, LatePolicy, MemorySink, QueryOutput,
+    Source, StandingQuery, StreamConfig, StreamContext, StreamJob, WindowSpec,
+};
+use std::collections::BTreeMap;
+
+/// A streamed record as the built-in sources produce it.
+type Record = (STObject, (u64, String));
+
+const SEED: u64 = 2024;
+const BATCHES: usize = 6;
+const BATCH_RECORDS: usize = 250;
+const BATCH_SPAN: i64 = 1_000;
+const JITTER: i64 = 400;
+const WINDOW: i64 = 700;
+const LATENESS: i64 = 100;
+
+fn space() -> Envelope {
+    Envelope::from_bounds(0.0, 0.0, 100.0, 100.0)
+}
+
+fn source() -> GeneratorSource {
+    GeneratorSource::new(SEED, space(), BATCHES, BATCH_SPAN, JITTER)
+}
+
+fn partitioner() -> std::sync::Arc<dyn SpatialPartitioner> {
+    let summary: DataSummary = [(0.0, 0.0), (100.0, 100.0)]
+        .iter()
+        .map(|&(x, y)| (Envelope::from_point(Coord::new(x, y)), Coord::new(x, y)))
+        .collect();
+    std::sync::Arc::new(GridPartitioner::build(4, &summary))
+}
+
+fn region() -> STObject {
+    STObject::from_wkt_interval("POLYGON((25 25, 75 25, 75 75, 25 75, 25 25))", 0, i64::MAX / 2)
+        .unwrap()
+}
+
+#[test]
+fn stream_results_match_offline_batch_recomputation() {
+    // the same deterministic source, drained up front for the oracle
+    let mut offline = source();
+    let mut all: Vec<(STObject, (u64, String))> = Vec::new();
+    while let Some(batch) = offline.next_batch(BATCH_RECORDS) {
+        all.extend(batch);
+    }
+    assert_eq!(all.len(), BATCHES * BATCH_RECORDS);
+
+    let sink = MemorySink::new();
+    let sc = StreamContext::with_config(
+        Context::with_parallelism(4),
+        StreamConfig {
+            batch_records: BATCH_RECORDS,
+            channel_capacity: 2,
+            parallelism: 4,
+            ..Default::default()
+        },
+    );
+    let job = StreamJob::new()
+        .with_windows(WindowSpec::tumbling(WINDOW), LATENESS, LatePolicy::SideOutput)
+        .with_grid_aggregation(8, space())
+        .with_queries(
+            ContinuousQueryEngine::indexed(partitioner(), 8)
+                .with_query(StandingQuery::filter("region", region(), STPredicate::Intersects))
+                .with_query(StandingQuery::knn("nearest", STObject::point(50.0, 50.0), 10)),
+        )
+        .with_sink(sink.clone());
+    let report = sc.run(source(), job);
+    assert_eq!(report.total_records() as usize, all.len());
+
+    let state = sink.state();
+
+    // ---- windows: exact offline recomputation ----------------------
+    // accepted = everything the stream did not divert as late
+    let late_ids: std::collections::HashSet<u64> =
+        state.late.iter().map(|(_, (id, _))| *id).collect();
+    assert!(!late_ids.is_empty(), "jitter >> lateness must produce late records");
+    let accepted: Vec<&Record> = all.iter().filter(|(_, (id, _))| !late_ids.contains(id)).collect();
+
+    let spec = WindowSpec::tumbling(WINDOW);
+    let mut expect_counts: BTreeMap<i64, u64> = BTreeMap::new();
+    let mut expect_members: BTreeMap<i64, Vec<Record>> = BTreeMap::new();
+    for (o, v) in &accepted {
+        let t = event_time(o).expect("generator records are timed");
+        for start in spec.windows_for(t) {
+            *expect_counts.entry(start).or_default() += 1;
+            expect_members.entry(start).or_default().push((o.clone(), v.clone()));
+        }
+    }
+
+    let got_counts: BTreeMap<i64, u64> = state.windows.iter().map(|w| (w.start, w.count)).collect();
+    assert_eq!(got_counts, expect_counts, "windowed counts diverge from batch recomputation");
+
+    // grid aggregation per window must match the batch operator exactly
+    let ctx = Context::with_parallelism(4);
+    for w in &state.windows {
+        let members = expect_members.remove(&w.start).unwrap_or_default();
+        let parts = members.len().clamp(1, 4);
+        let expect_grid = ctx.parallelize(members, parts).spatial().aggregate_by_grid(8, &space());
+        assert_eq!(
+            w.grid.len(),
+            expect_grid.len(),
+            "window [{}, {}): non-empty cell sets differ",
+            w.start,
+            w.end
+        );
+        for (got, exp) in w.grid.iter().zip(&expect_grid) {
+            assert_eq!((got.col, got.row, got.count), (exp.col, exp.row, exp.count));
+            assert_eq!(got.time_range, exp.time_range);
+        }
+    }
+
+    // ---- continuous query: final state equals a full scan ----------
+    let (_, last_results) = state.query_results.last().expect("query results per batch");
+    let region = region();
+    let got_region: std::collections::HashSet<u64> = match &last_results[0].output {
+        QueryOutput::Matches(m) => m.iter().map(|(_, (id, _))| *id).collect(),
+        other => panic!("expected matches, got {} neighbours", other.len()),
+    };
+    // every record (late or not) enters the continuous-query state
+    let expect_region: std::collections::HashSet<u64> = all
+        .iter()
+        .filter(|(o, _)| STPredicate::Intersects.eval(o, &region))
+        .map(|(_, (id, _))| *id)
+        .collect();
+    assert_eq!(got_region, expect_region);
+
+    let focus = STObject::point(50.0, 50.0);
+    match &last_results[1].output {
+        QueryOutput::Neighbors(n) => {
+            assert_eq!(n.len(), 10);
+            let mut exact: Vec<f64> = all
+                .iter()
+                .map(|(o, _)| o.distance(&focus, stark_geo::DistanceFn::Euclidean))
+                .collect();
+            exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (got, exp) in n.iter().zip(exact.iter()) {
+                assert!((got.0 - exp).abs() < 1e-9, "knn distance {} vs {}", got.0, exp);
+            }
+        }
+        other => panic!("expected neighbours, got {} matches", other.len()),
+    }
+
+    // ---- accounting ------------------------------------------------
+    let per_batch = &state.batches;
+    assert_eq!(per_batch.len(), BATCHES);
+    assert!(per_batch.iter().all(|b| b.records == BATCH_RECORDS as u64));
+    assert!(per_batch.iter().all(|b| b.partitions_touched > 0));
+    assert!(per_batch.iter().all(|b| b.partitions_rebuilt > 0));
+}
+
+#[test]
+fn indexed_and_unindexed_streams_agree_end_to_end() {
+    let run = |engine: ContinuousQueryEngine<(u64, String)>| {
+        let sink = MemorySink::new();
+        let sc = StreamContext::with_config(
+            Context::with_parallelism(2),
+            StreamConfig { batch_records: 150, ..Default::default() },
+        );
+        let job = StreamJob::new()
+            .with_queries(
+                engine
+                    .with_query(StandingQuery::filter("region", region(), STPredicate::Intersects))
+                    .with_query(StandingQuery::within_distance(
+                        "near",
+                        STObject::point(30.0, 30.0),
+                        12.0,
+                    )),
+            )
+            .with_sink(sink.clone());
+        sc.run(GeneratorSource::new(7, space(), 4, 800, 200), job);
+        let state = sink.state();
+        state
+            .query_results
+            .iter()
+            .map(|(batch, rs)| {
+                (
+                    *batch,
+                    rs.iter()
+                        .map(|r| {
+                            let mut ids: Vec<u64> = match &r.output {
+                                QueryOutput::Matches(m) => {
+                                    m.iter().map(|(_, (id, _))| *id).collect()
+                                }
+                                QueryOutput::Neighbors(n) => {
+                                    n.iter().map(|(_, (_, (id, _)))| *id).collect()
+                                }
+                            };
+                            ids.sort_unstable();
+                            (r.name.clone(), ids)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let fast = run(ContinuousQueryEngine::indexed(partitioner(), 8));
+    let slow = run(ContinuousQueryEngine::unindexed());
+    assert_eq!(fast, slow);
+}

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example event_analytics`
 
 use stark::cluster::{colocation_patterns, dbscan, ColocationParams, DbscanParams};
-use stark::{BspPartitioner, SpatialPartitioner, SpatialRddExt, STObject, STPredicate};
+use stark::{BspPartitioner, STObject, STPredicate, SpatialPartitioner, SpatialRddExt};
 use stark_engine::Context;
 use stark_eventsim::{EventGenerator, Gazetteer};
 use stark_geo::DistanceFn;
@@ -51,12 +51,9 @@ fn main() {
     let partitioned = srdd.partition_by(bsp);
 
     // --- spatio-temporal selection: events in Europe, first half -------
-    let europe = STObject::from_wkt_interval(
-        "POLYGON((-10 36, 30 36, 30 60, -10 60, -10 36))",
-        0,
-        500_000,
-    )
-    .unwrap();
+    let europe =
+        STObject::from_wkt_interval("POLYGON((-10 36, 30 36, 30 60, -10 60, -10 36))", 0, 500_000)
+            .unwrap();
     let before = ctx.metrics();
     let in_europe = partitioned.filter(&europe, STPredicate::ContainedBy);
     let count = in_europe.count();

@@ -12,9 +12,8 @@ use stark_piglet::{Executor, Output};
 fn main() {
     // stage a CSV dataset on "HDFS" (the local filesystem)
     let space = Envelope::from_bounds(0.0, 0.0, 100.0, 100.0);
-    let events = EventGenerator::new(31)
-        .with_time_range(0..1000)
-        .clustered_points(2_000, 5, 1.5, &space);
+    let events =
+        EventGenerator::new(31).with_time_range(0..1000).clustered_points(2_000, 5, 1.5, &space);
     let path = std::env::temp_dir().join("stark-piglet-events.csv");
     write_events_csv(&path, &events).expect("write dataset");
 
@@ -65,10 +64,8 @@ fn main() {
 
     // sanity: the clustering found some structure
     let clustered = executor.collect("clusters").expect("clusters alias");
-    let labelled = clustered
-        .iter()
-        .filter(|t| !matches!(t.last(), Some(stark_piglet::Value::Null)))
-        .count();
+    let labelled =
+        clustered.iter().filter(|t| !matches!(t.last(), Some(stark_piglet::Value::Null))).count();
     println!("{labelled} of {} window events belong to clusters", clustered.len());
     assert!(labelled > 0);
     let _ = std::fs::remove_file(&path);

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use stark::{SpatialRddExt, STObject};
+use stark::{STObject, SpatialRddExt};
 use stark_engine::Context;
 
 fn main() {
@@ -25,10 +25,7 @@ fn main() {
     // val events = rawInput.map { case (id, ctgry, time, wkt) =>
     //   ( STObject(wkt, time), (id, ctgry) ) }
     let events = ctx.parallelize(raw_input, 2).map(|(id, ctgry, time, wkt)| {
-        (
-            STObject::from_wkt_instant(&wkt, time).expect("valid WKT"),
-            (id, ctgry),
-        )
+        (STObject::from_wkt_instant(&wkt, time).expect("valid WKT"), (id, ctgry))
     });
 
     // val qry = STObject("POLYGON((...))", begin, end)

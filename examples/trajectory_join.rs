@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example trajectory_join`
 
-use stark::{
-    GridPartitioner, IndexedSpatialRdd, JoinConfig, STObject, STPredicate, SpatialRddExt,
-};
+use stark::{GridPartitioner, IndexedSpatialRdd, JoinConfig, STObject, STPredicate, SpatialRddExt};
 use stark_engine::{Context, ObjectStore};
 use stark_eventsim::EventGenerator;
 use stark_geo::Envelope;
@@ -46,14 +44,9 @@ fn main() {
     // tracks intersecting regions (note: both sides carry instants, so
     // the combined predicate also requires temporal intersection — use
     // timeless copies to ask the purely spatial question)
-    let timeless_tracks = tracks
-        .rdd()
-        .map(|(o, v)| (STObject::new(o.geo().clone()), v))
-        .spatial();
-    let timeless_regions = regions
-        .rdd()
-        .map(|(o, v)| (STObject::new(o.geo().clone()), v))
-        .spatial();
+    let timeless_tracks = tracks.rdd().map(|(o, v)| (STObject::new(o.geo().clone()), v)).spatial();
+    let timeless_regions =
+        regions.rdd().map(|(o, v)| (STObject::new(o.geo().clone()), v)).spatial();
     let crossings =
         timeless_tracks.join(&timeless_regions, STPredicate::Intersects, JoinConfig::default());
     println!("track × region intersections: {}", crossings.count());
@@ -73,8 +66,8 @@ fn main() {
     // ... and reload it, as a second program would
     let loaded: IndexedSpatialRdd<(u64, String)> =
         IndexedSpatialRdd::load(&ctx, &store, "regions").expect("load");
-    let probe = STObject::from_wkt("POLYGON((200 200, 300 200, 300 300, 200 300, 200 200))")
-        .expect("wkt");
+    let probe =
+        STObject::from_wkt("POLYGON((200 200, 300 200, 300 300, 200 300, 200 200))").expect("wkt");
     let hits = loaded.intersects(&probe).count();
     println!("regions intersecting the probe window (via persisted index): {hits}");
 

@@ -32,12 +32,9 @@ fn dataset(n: usize, seed: u64) -> Vec<(STObject, (u64, String))> {
 fn filter_strategies_agree() {
     let ctx = ctx();
     let data = ctx.parallelize(dataset(3000, 1), 7);
-    let query = STObject::from_wkt_interval(
-        "POLYGON((20 20, 60 20, 60 60, 20 60, 20 20))",
-        0,
-        1_000_000,
-    )
-    .unwrap();
+    let query =
+        STObject::from_wkt_interval("POLYGON((20 20, 60 20, 60 60, 20 60, 20 20))", 0, 1_000_000)
+            .unwrap();
 
     let srdd = data.spatial();
     let baseline: BTreeSet<u64> = srdd
@@ -92,18 +89,25 @@ fn join_strategies_agree() {
     };
 
     let lspat = left.spatial();
-    let stark_plain = pair_ids(lspat.join(&right.spatial(), pred, JoinConfig::nested_loop()).collect());
+    let stark_plain =
+        pair_ids(lspat.join(&right.spatial(), pred, JoinConfig::nested_loop()).collect());
     assert!(!stark_plain.is_empty());
 
     let part = lspat.partition_by(Arc::new(GridPartitioner::build(4, &lspat.summarize())));
-    let stark_part = pair_ids(part.join(&right.spatial(), pred, JoinConfig::live_index(5)).collect());
+    let stark_part =
+        pair_ids(part.join(&right.spatial(), pred, JoinConfig::live_index(5)).collect());
     assert_eq!(stark_part, stark_plain);
 
     let scheme = RegionScheme::grid(4, &Envelope::from_bounds(0.0, 0.0, 100.0, 100.0));
-    let gs: Vec<(u64, u64)> =
-        stark_baselines::id_pairs(&geospark_join(&left, &right, &scheme, pred, GeoSparkConfig::default()))
-            .into_iter()
-            .collect();
+    let gs: Vec<(u64, u64)> = stark_baselines::id_pairs(&geospark_join(
+        &left,
+        &right,
+        &scheme,
+        pred,
+        GeoSparkConfig::default(),
+    ))
+    .into_iter()
+    .collect();
     // geospark ids are dataset indexes == our payload ids by construction
     assert_eq!(gs, stark_plain);
 
@@ -159,27 +163,17 @@ fn dbscan_end_to_end() {
         .filter(|(_, l)| l.is_none())
         .map(|((_, (id, _)), _)| *id)
         .collect();
-    let dist_noise: BTreeSet<u64> = distributed
-        .iter()
-        .filter(|(_, _, c)| c.is_none())
-        .map(|(_, (id, _), _)| *id)
-        .collect();
+    let dist_noise: BTreeSet<u64> =
+        distributed.iter().filter(|(_, _, c)| c.is_none()).map(|(_, (id, _), _)| *id).collect();
     assert_eq!(dist_noise, ref_noise);
 
-    let core_ids: BTreeSet<u64> = pairs
-        .iter()
-        .zip(&ref_cores)
-        .filter(|(_, c)| **c)
-        .map(|((_, (id, _)), _)| *id)
-        .collect();
+    let core_ids: BTreeSet<u64> =
+        pairs.iter().zip(&ref_cores).filter(|(_, c)| **c).map(|((_, (id, _)), _)| *id).collect();
     assert!(!core_ids.is_empty());
 
     // grouping agreement (up to relabelling) over core points
-    let ref_map: std::collections::HashMap<u64, usize> = pairs
-        .iter()
-        .zip(&ref_labels)
-        .filter_map(|((_, (id, _)), l)| l.map(|l| (*id, l)))
-        .collect();
+    let ref_map: std::collections::HashMap<u64, usize> =
+        pairs.iter().zip(&ref_labels).filter_map(|((_, (id, _)), l)| l.map(|l| (*id, l))).collect();
     let mut pairing: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     let mut reverse: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
     for (_, (id, _), label) in &distributed {
@@ -198,11 +192,7 @@ fn dbscan_end_to_end() {
     }
     // every labelled border point is labelled in the oracle too
     for (_, (id, _), label) in &distributed {
-        assert_eq!(
-            label.is_some(),
-            ref_map.contains_key(id),
-            "membership mismatch for id {id}"
-        );
+        assert_eq!(label.is_some(), ref_map.contains_key(id), "membership mismatch for id {id}");
     }
 }
 
@@ -216,8 +206,8 @@ fn figure2_workflow_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
 
     // store raw data to "HDFS"
-    let events = EventGenerator::new(6)
-        .uniform_points(800, &Envelope::from_bounds(0.0, 0.0, 50.0, 50.0));
+    let events =
+        EventGenerator::new(6).uniform_points(800, &Envelope::from_bounds(0.0, 0.0, 50.0, 50.0));
     let csv = dir.join("events.csv");
     write_events_csv(&csv, &events).unwrap();
 
@@ -232,8 +222,9 @@ fn figure2_workflow_roundtrip() {
     indexed.persist(&store, "events").unwrap();
 
     // query through the index in the same program
-    let q = STObject::from_wkt_interval("POLYGON((10 10, 30 10, 30 30, 10 30, 10 10))", 0, 1_000_000)
-        .unwrap();
+    let q =
+        STObject::from_wkt_interval("POLYGON((10 10, 30 10, 30 30, 10 30, 10 10))", 0, 1_000_000)
+            .unwrap();
     let here = indexed.contained_by(&q).count();
 
     // a "second program": fresh context, loaded index
@@ -256,8 +247,8 @@ fn pruning_reduces_work_measurably() {
     part.count();
 
     // tiny query window: most of the 36 partitions must be pruned
-    let q = STObject::from_wkt_interval("POLYGON((1 1, 6 1, 6 6, 1 6, 1 1))", 0, 1_000_000)
-        .unwrap();
+    let q =
+        STObject::from_wkt_interval("POLYGON((1 1, 6 1, 6 6, 1 6, 1 1))", 0, 1_000_000).unwrap();
     let before = ctx.metrics();
     part.filter(&q, STPredicate::ContainedBy).count();
     let delta = ctx.metrics().since(&before);
@@ -282,8 +273,9 @@ fn geospark_bug_reproduction() {
     let rdd = ctx.parallelize(regions, 4);
     let scheme = RegionScheme::grid(4, &Envelope::from_bounds(0.0, 0.0, 100.0, 100.0));
 
-    let correct = geospark_join(&rdd, &rdd, &scheme, STPredicate::Intersects, GeoSparkConfig::default())
-        .count();
+    let correct =
+        geospark_join(&rdd, &rdd, &scheme, STPredicate::Intersects, GeoSparkConfig::default())
+            .count();
     let buggy = geospark_join(
         &rdd,
         &rdd,
@@ -303,11 +295,8 @@ fn geospark_bug_reproduction() {
 #[test]
 fn haversine_knn_world() {
     let ctx = ctx();
-    let pairs: Vec<(STObject, (u64, String))> = EventGenerator::new(9)
-        .world_events(3000)
-        .into_iter()
-        .map(|e| e.to_pair())
-        .collect();
+    let pairs: Vec<(STObject, (u64, String))> =
+        EventGenerator::new(9).world_events(3000).into_iter().map(|e| e.to_pair()).collect();
     let rdd = ctx.parallelize(pairs, 8).spatial();
     let berlin = STObject::point(13.4, 52.5);
     let nn = rdd.knn(&berlin, 10, DistanceFn::Haversine);
@@ -327,11 +316,8 @@ fn haversine_knn_world() {
 #[test]
 fn bsp_balances_skew_better_than_grid() {
     let ctx = ctx();
-    let pairs: Vec<(STObject, (u64, String))> = EventGenerator::new(10)
-        .world_events(6000)
-        .into_iter()
-        .map(|e| e.to_pair())
-        .collect();
+    let pairs: Vec<(STObject, (u64, String))> =
+        EventGenerator::new(10).world_events(6000).into_iter().map(|e| e.to_pair()).collect();
     let rdd = ctx.parallelize(pairs, 8).spatial();
     let summary = rdd.summarize();
 
@@ -345,10 +331,7 @@ fn bsp_balances_skew_better_than_grid() {
     };
     let bsp_max = max_of(Arc::new(bsp));
     let grid_max = max_of(Arc::new(grid));
-    assert!(
-        bsp_max < grid_max,
-        "bsp max {bsp_max} should be under grid max {grid_max}"
-    );
+    assert!(bsp_max < grid_max, "bsp max {bsp_max} should be under grid max {grid_max}");
 }
 
 /// Voronoi scheme construction + join through the whole baseline stack.
@@ -358,7 +341,8 @@ fn voronoi_geospark_pipeline() {
     let data = ctx.parallelize(dataset(900, 11), 6);
     let sample: Vec<Coord> = data.collect().iter().map(|(o, _)| o.centroid()).collect();
     let scheme = RegionScheme::voronoi(8, &sample, 3);
-    let joined = geospark_join(&data, &data, &scheme, STPredicate::Intersects, GeoSparkConfig::default());
+    let joined =
+        geospark_join(&data, &data, &scheme, STPredicate::Intersects, GeoSparkConfig::default());
     let stark = data.spatial().self_join(STPredicate::Intersects, JoinConfig::default());
     assert_eq!(joined.count(), stark.count());
 }

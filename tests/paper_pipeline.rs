@@ -2,7 +2,7 @@
 //! code example, the formal predicate definition (eqs. 1–3), the Figure 2
 //! workflow, and the §4 demonstration scenarios via Piglet.
 
-use stark::{SpatialRddExt, STObject, STPredicate, Temporal};
+use stark::{STObject, STPredicate, SpatialRddExt, Temporal};
 use stark_engine::Context;
 use stark_piglet::{Executor, Output, Value};
 
@@ -69,10 +69,8 @@ fn formal_predicate_definition() {
     assert!(!timed.intersects(&untimed));
 
     // temporal component is an interval on both sides
-    let iv_obj = STObject::with_time(
-        stark_geo::Geometry::point(5.0, 5.0),
-        Temporal::interval(10, 20),
-    );
+    let iv_obj =
+        STObject::with_time(stark_geo::Geometry::point(5.0, 5.0), Temporal::interval(10, 20));
     let iv_qry = STObject::from_wkt_interval(g, 0, 15).unwrap();
     assert!(iv_obj.intersects(&iv_qry), "overlapping intervals intersect");
     assert!(!iv_obj.contained_by(&iv_qry), "[10,20) not contained in [0,15)");
@@ -100,11 +98,7 @@ fn demonstration_scenario_piglet() {
             ]
         })
         .collect();
-    ex.register(
-        "raw",
-        vec!["id".into(), "category".into(), "time".into(), "wkt".into()],
-        rows,
-    );
+    ex.register("raw", vec!["id".into(), "category".into(), "time".into(), "wkt".into()], rows);
 
     let out = ex
         .run_script(
@@ -136,10 +130,7 @@ fn demonstration_scenario_piglet() {
     // the European events form one dense cluster
     let clustered = ex.collect("clusters").unwrap();
     assert_eq!(clustered.len(), 200);
-    let labelled = clustered
-        .iter()
-        .filter(|t| !matches!(t.last(), Some(Value::Null)))
-        .count();
+    let labelled = clustered.iter().filter(|t| !matches!(t.last(), Some(Value::Null))).count();
     assert!(labelled > 150, "dense grid should mostly cluster: {labelled}");
 
     // kNN returned the 5 nearest with ascending distance column
@@ -163,12 +154,7 @@ fn seamless_composition_with_engine_ops() {
     let events = ctx
         .parallelize((0..1000).collect::<Vec<i64>>(), 8)
         // plain engine map...
-        .map(|i| {
-            (
-                STObject::point_at((i % 100) as f64, (i / 100) as f64, i),
-                i,
-            )
-        })
+        .map(|i| (STObject::point_at((i % 100) as f64, (i / 100) as f64, i), i))
         // ...plain engine filter...
         .filter(|(_, i)| i % 2 == 0)
         // ...spatio-temporal operator via the extension trait...
@@ -177,14 +163,8 @@ fn seamless_composition_with_engine_ops() {
                 .unwrap(),
         );
     // ...and back to plain engine ops on the result
-    let sum: i64 = events
-        .rdd()
-        .map(|(_, i)| i)
-        .reduce(|a, b| a + b)
-        .unwrap_or(0);
-    let expect: i64 = (0..1000)
-        .filter(|i| i % 2 == 0 && i % 100 <= 50 && i / 100 <= 5)
-        .sum();
+    let sum: i64 = events.rdd().map(|(_, i)| i).reduce(|a, b| a + b).unwrap_or(0);
+    let expect: i64 = (0..1000).filter(|i| i % 2 == 0 && i % 100 <= 50 && i / 100 <= 5).sum();
     assert_eq!(sum, expect);
 }
 
@@ -197,12 +177,7 @@ fn transparency_of_partitioning_and_indexing() {
 
     let ctx = Context::with_parallelism(4);
     let data: Vec<(STObject, u32)> = (0..2000)
-        .map(|i| {
-            (
-                STObject::point_at(((i * 7) % 97) as f64, ((i * 13) % 89) as f64, i as i64),
-                i,
-            )
-        })
+        .map(|i| (STObject::point_at(((i * 7) % 97) as f64, ((i * 13) % 89) as f64, i as i64), i))
         .collect();
     let rdd = ctx.parallelize(data, 7).spatial();
     let q = STObject::from_wkt_interval("POLYGON((10 10, 40 10, 40 40, 10 40, 10 10))", 0, 10_000)
@@ -269,11 +244,8 @@ fn demo_utilities_pipeline() {
     assert_eq!(total, 550);
 
     // the convex hull of all centroids covers every centroid
-    let centroids: Vec<stark_geo::Point> = rdd
-        .collect()
-        .iter()
-        .map(|(o, _)| stark_geo::Point(o.centroid()))
-        .collect();
+    let centroids: Vec<stark_geo::Point> =
+        rdd.collect().iter().map(|(o, _)| stark_geo::Point(o.centroid())).collect();
     let hull = convex_hull(&Geometry::MultiPoint(centroids.clone())).unwrap();
     let hull_geom = Geometry::Polygon(hull);
     for p in &centroids {

@@ -1,0 +1,67 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full range of `T` (see [`any`]).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`, as in `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite full-range-ish floats; non-finite values would poison
+        // most geometric comparisons
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        (mantissa - 0.5) * 2f64.powi(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_covers_negative_and_positive() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let s = any::<i32>();
+        let vals: Vec<i32> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v < 0));
+        assert!(vals.iter().any(|&v| v > 0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Strategy trait and combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// The RNG threaded through generation (deterministic per test).
+pub type TestRng = StdRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// No shrinking: `generate` produces one value per call.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retries generation until `f` accepts a value (upstream proptest
+    /// rejects-and-retries too; `reason` is used in the give-up message).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, f }
+    }
+
+    /// Combined map+filter: retries until `f` returns `Some`.
+    fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, reason, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { gen: Rc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// Type-erased strategy (what `prop_oneof!` arms are converted to).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+const MAX_REJECTS: usize = 1000;
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected {MAX_REJECTS} values in a row", self.reason);
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map({:?}) rejected {MAX_REJECTS} values in a row", self.reason);
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// -- ranges ---------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// -- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+// -- collections ----------------------------------------------------------
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// -- regex-subset string strategies ---------------------------------------
+
+/// `&str` literals act as regex strategies, supporting the subset the
+/// workspace uses: `".*"` (arbitrary printable-ish string) and
+/// `"[class]{m,n}"` with literal chars and `a-z` ranges in the class.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    if pattern == ".*" {
+        // arbitrary string: lean on printable ASCII plus some multibyte
+        // chars to exercise UTF-8 handling
+        let n = rng.gen_range(0..64usize);
+        return (0..n)
+            .map(|_| match rng.gen_range(0..10u32) {
+                0 => '\n',
+                1 => 'λ',
+                2 => '€',
+                _ => char::from_u32(rng.gen_range(0x20..0x7fu32)).unwrap(),
+            })
+            .collect();
+    }
+    let (alphabet, reps) =
+        parse_class_pattern(pattern).unwrap_or_else(|| {
+            panic!("unsupported regex pattern for string strategy: {pattern:?}")
+        });
+    let n = rng.gen_range(reps.0..=reps.1);
+    (0..n).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+}
+
+/// Parses `[chars]{m,n}` into (alphabet, (m, n)).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, (usize, usize))> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (dash not first/last)
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo <= hi {
+                for c in lo..=hi {
+                    alphabet.push(c);
+                }
+                i += 3;
+                continue;
+            }
+        }
+        alphabet.push(class[i]);
+        i += 1;
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let braces = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = braces.split_once(',')?;
+    Some((alphabet, (m.trim().parse().ok()?, n.trim().parse().ok()?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (alphabet, (m, n)) = parse_class_pattern("[a-c9_]{0,20}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '9', '_']);
+        assert_eq!((m, n), (0, 20));
+    }
+
+    #[test]
+    fn string_strategy_respects_class() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "[ab]{1,5}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 5);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = (0u32..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_draws_all_arms() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

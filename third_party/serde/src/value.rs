@@ -1,0 +1,361 @@
+//! Self-describing value tree — the intermediate representation between
+//! Rust types and the JSON text format.
+
+/// A dynamically typed (de)serialisation value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Field order is preserved (insertion order), like a JSON object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// JSON text encoding
+// --------------------------------------------------------------------------
+
+impl Value {
+    /// Renders as JSON text. Non-finite floats are written as the bare
+    /// tokens `Infinity` / `-Infinity` / `NaN` (accepted by the parser;
+    /// the workspace's envelopes use ±∞ for the empty envelope).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    out.push_str("NaN");
+                } else if f.is_infinite() {
+                    out.push_str(if *f > 0.0 { "Infinity" } else { "-Infinity" });
+                } else {
+                    // Rust's shortest round-trippable float formatting
+                    out.push_str(&f.to_string());
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text into a value tree.
+    pub fn parse_json(text: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u code point".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // copy one UTF-8 char
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            if self.eat_keyword("Infinity") {
+                return Ok(Value::Float(f64::NEG_INFINITY));
+            }
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8 in number".to_string())?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) });
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Int(-3)),
+            ("b".to_string(), Value::Array(vec![Value::Float(1.5), Value::Null])),
+            ("s".to_string(), Value::Str("he\"llo\n".to_string())),
+        ]);
+        let text = v.to_json();
+        let back = Value::parse_json(&text).unwrap();
+        // -3 parses back as Int, 1.5 as Float
+        assert_eq!(back.get_field("a"), Some(&Value::Int(-3)));
+        assert_eq!(back.get_field("s"), Some(&Value::Str("he\"llo\n".to_string())));
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        for f in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Value::Float(f).to_json();
+            match Value::parse_json(&text).unwrap() {
+                Value::Float(g) => assert_eq!(f, g),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+        let nan = Value::parse_json("NaN").unwrap();
+        assert!(matches!(nan, Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Value::parse_json("").is_err());
+        assert!(Value::parse_json("{").is_err());
+        assert!(Value::parse_json("[1,]").is_err());
+        assert!(Value::parse_json("1 2").is_err());
+    }
+}

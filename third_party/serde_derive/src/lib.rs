@@ -1,0 +1,456 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! shim. No `syn`/`quote` — the container has no crates.io access — so the
+//! input item is parsed directly from the token stream and the generated
+//! impls are assembled as source text.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! structs with named fields, tuple structs, and enums with unit, tuple,
+//! and struct variants; one optional generic type parameter list (bounds
+//! are added per parameter); the `#[serde(default)]` field attribute.
+//!
+//! Encoding follows serde_json conventions: named struct → object,
+//! newtype struct → inner value, tuple struct → array, unit variant →
+//! string, data-carrying variant → single-key object.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// --------------------------------------------------------------------------
+// item model + parser
+// --------------------------------------------------------------------------
+
+struct Field {
+    name: String, // field name, or tuple index as decimal text
+    default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let text = g.stream().to_string().replace(' ', "");
+                    if text.contains("serde(default)") {
+                        has_default = true;
+                    }
+                } else {
+                    panic!("expected attribute body after '#'");
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        // `pub(crate)` etc.
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+
+    // generic parameter list: only plain type parameters are supported
+    let mut generics = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match tokens.next().expect("unterminated generics") {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Ident(i) if depth == 1 => generics.push(i.to_string()),
+                _ => {}
+            }
+        }
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item { name, generics, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let default = skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        // skip the type: consume until a top-level comma. Generic angle
+        // brackets contain no top-level commas once depth > 0.
+        let mut depth = 0isize;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0isize;
+    let mut saw_token = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // optional discriminant `= expr` is not supported; consume comma
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+// --------------------------------------------------------------------------
+// code generation
+// --------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        (format!("<{}>", bounded.join(", ")), format!("{}<{}>", item.name, plain))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "Serialize");
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(fields)");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(fields) }");
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn field_extraction(fields: &[Field], source: &str, ctx: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::Error::custom(\"missing field `{}` in {}\"))",
+                f.name, ctx
+            )
+        };
+        s.push_str(&format!(
+            "{0}: match {source}.get_field(\"{0}\") {{\n\
+             Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+             None => {missing},\n}},\n",
+            f.name
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                 return Err(::serde::Error::custom(\"expected object for {name}\"));\n}}\n\
+                 Ok({name} {{\n{}\n}})",
+                field_extraction(fields, "v", name)
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({})),\n\
+                 _ => Err(::serde::Error::custom(\"expected {n}-element array for {name}\")),\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => return Ok(Self::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => return Ok(Self::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => return match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             Ok(Self::{vname}({})),\n\
+                             _ => Err(::serde::Error::custom(\"expected {n}-element array for {name}::{vname}\")),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => return Ok(Self::{vname} {{\n{}\n}}),\n",
+                            field_extraction(fields, "inner", &format!("{name}::{vname}"))
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => {{\n\
+                 match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\"unknown {name} variant {{s:?}}\")))\n\
+                 }}\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 #[allow(unused_variables)]\n\
+                 match tag.as_str() {{\n{data_arms}_ => {{}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\"unknown {name} variant {{tag:?}}\")))\n\
+                 }}\n\
+                 other => Err(::serde::Error::custom(format!(\"expected {name} value, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,70 @@
+//! Vendored minimal stand-in for the `serde_json` crate, backed by the
+//! vendored serde shim's [`serde::Value`] tree and its JSON codec.
+
+pub use serde::Value;
+
+/// JSON (de)serialisation error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // pretty-printing is cosmetic; the compact form is valid JSON
+    to_string(value)
+}
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: serde::de::DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let v = Value::parse_json(text).map_err(Error::new)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_via_text() {
+        let v: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let text = super::to_string(&v).unwrap();
+        let back: Vec<(u32, String)> = super::from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn bad_input_is_error() {
+        assert!(super::from_str::<u32>("not json").is_err());
+        assert!(super::from_str::<u32>("-1").is_err());
+    }
+}
