@@ -1,0 +1,47 @@
+//! Criterion micro-scale tracking of S7: the Figure-4 narrow
+//! transformation chain with operator fusion on vs off, plus cached
+//! re-reads under the zero-copy partition path. The table-scale run is
+//! `cargo run --release -p stark-bench --bin repro -- fusion 200000`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stark_bench::experiments::{s7_chain, s7_points};
+use stark_engine::{Context, EngineConfig};
+
+const N: usize = 20_000;
+
+fn context(fusion_enabled: bool) -> Context {
+    Context::with_config(EngineConfig {
+        parallelism: 4,
+        default_partitions: 4,
+        fusion_enabled,
+        ..EngineConfig::default()
+    })
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s7_fusion");
+    group.sample_size(10);
+
+    for fused in [false, true] {
+        let ctx = context(fused);
+        let data = s7_points(&ctx, N, 8).cache();
+        data.count();
+        let pipeline = s7_chain(&data);
+        let label = if fused { "fused" } else { "unfused" };
+        group.bench_function(BenchmarkId::new("narrow_chain", label), |b| {
+            b.iter(|| pipeline.count())
+        });
+    }
+
+    // cached re-reads: every access Arc-shares the partitions instead of
+    // deep-cloning them (count() never touches element storage)
+    let ctx = context(true);
+    let cached = s7_points(&ctx, N, 8).cache();
+    cached.count();
+    group.bench_function(BenchmarkId::new("cache_reread", "count"), |b| b.iter(|| cached.count()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

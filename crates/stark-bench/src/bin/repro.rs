@@ -3,6 +3,7 @@
 //! Usage:
 //!   repro all `[n]`          # every experiment (default scale)
 //!   repro figure4 `[n]`      # the Figure 4 self-join comparison
+//!   repro fusion `[n]`       # S7 fused-vs-unfused narrow chains (writes target/s7-fusion.json)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -83,10 +84,24 @@ fn main() {
         print!("{}", experiments::stream(&ctx, &[base / 4, base / 2, base], 8).render());
         println!();
     }
+    if run("fusion") {
+        ran = true;
+        let t = experiments::fusion(ctx.parallelism(), n.unwrap_or(200_000), 5);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S7 table");
+        let path = std::env::var("S7_JSON").unwrap_or_else(|_| "target/s7-fusion.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S7 json");
+        eprintln!("[s7] wrote {path}");
+    }
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion"
         );
         std::process::exit(2);
     }

@@ -13,7 +13,7 @@ use stark::{
 use stark_baselines::{
     broadcast_join, geospark_join, spatialspark_join, GeoSparkConfig, RegionScheme,
 };
-use stark_engine::{Context, ObjectStore};
+use stark_engine::{Context, EngineConfig, ObjectStore};
 use stark_geo::{Coord, DistanceFn};
 use std::sync::Arc;
 
@@ -599,6 +599,100 @@ pub fn stream(ctx: &Context, batch_sizes: &[usize], batches: usize) -> Table {
     t
 }
 
+/// The compact record S7's chain runs over: the Figure-4 points
+/// projected to `(x, y, id)`, so the measurement isolates per-operator
+/// `Vec` materialisation rather than payload deep-cloning (the `String`
+/// payload clones identically in both modes and would mask the effect).
+pub type S7Record = (f64, f64, u64);
+
+/// The narrow transformation chain S7 measures: the per-record
+/// normalise → filter → tag steps that precede the Figure-4 self-join,
+/// expressed as element-wise operators so the engine can fuse them.
+pub fn s7_chain(data: &stark_engine::Rdd<S7Record>) -> stark_engine::Rdd<S7Record> {
+    let space = workloads::space();
+    data.map(|(x, y, id)| (x, y, id.wrapping_mul(31)))
+        .filter(|(_, _, id)| id % 7 != 0)
+        .map(|(x, y, id)| (x, y, id ^ ((x.abs() as u64) << 8)))
+        .filter(move |&(x, y, _)| space.contains_coord(&Coord::new(x, y)))
+        .flat_map(|p| [p])
+        .map(|(x, y, id)| (x, y, id | 1))
+        .map(|(x, y, id)| (y, x, id.rotate_left(3)))
+        .filter(|&(_, _, id)| id != 0)
+}
+
+/// Projects the Figure-4 workload into [`S7Record`] form.
+pub fn s7_points(ctx: &Context, n: usize, partitions: usize) -> stark_engine::Rdd<S7Record> {
+    workloads::figure4_points(ctx, n, partitions).map(|(o, (id, _))| {
+        let c = o.centroid();
+        (c.x, c.y, id)
+    })
+}
+
+/// S7 — ablation: zero-copy partitions + narrow-operator fusion on the
+/// Figure-4 workload. The same six-operator narrow chain runs with
+/// fusion off (one materialised `Vec` per operator, the pre-fusion
+/// engine) and on (one fused per-partition pass), `repeats` passes over
+/// a cached dataset each. Also reports the engine's clone accounting:
+/// records deep-cloned out of shared storage and shallow bytes served
+/// by Arc-sharing instead of copying.
+pub fn fusion(parallelism: usize, n: usize, repeats: usize) -> Table {
+    let mut t = Table::new(
+        format!("S7: narrow-operator fusion, figure-4 workload, {n} points x {repeats} passes"),
+        &[
+            "fusion",
+            "lineage head",
+            "time [s]",
+            "records/s",
+            "records cloned",
+            "share bytes avoided",
+            "speedup",
+        ],
+    );
+    let mut measured: Vec<(std::time::Duration, usize)> = Vec::new();
+    for fused in [false, true] {
+        let ctx = Context::with_config(EngineConfig {
+            parallelism,
+            default_partitions: parallelism,
+            fusion_enabled: fused,
+            ..EngineConfig::default()
+        });
+        let parts = (parallelism * 2).max(8);
+        let data = s7_points(&ctx, n, parts).cache();
+        data.count(); // materialise the cache outside the timings
+        let chain = s7_chain(&data);
+        let head = chain.explain().lines().next().unwrap_or_default().trim().to_string();
+        chain.count(); // warm-up pass
+        let before = ctx.metrics();
+        let (total, time) = timed(|| {
+            let mut c = 0usize;
+            for _ in 0..repeats {
+                c += chain.count();
+            }
+            c
+        });
+        let d = ctx.metrics().since(&before);
+        let throughput = total as f64 / time.as_secs_f64().max(1e-9);
+        let speedup = match measured.first() {
+            None => "1.00x (baseline)".to_string(),
+            Some((base, base_total)) => {
+                assert_eq!(*base_total, total, "fusion changed the result count");
+                format!("{:.2}x", base.as_secs_f64() / time.as_secs_f64().max(1e-9))
+            }
+        };
+        measured.push((time, total));
+        t.push(vec![
+            if fused { "on" } else { "off" }.into(),
+            head,
+            secs(time),
+            format!("{throughput:.0}"),
+            d.records_cloned.to_string(),
+            d.clone_bytes_avoided.to_string(),
+            speedup,
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +799,24 @@ mod tests {
     fn index_modes_runs() {
         let t = index_modes(&ctx(), 2000, 3);
         assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn fusion_ablation_shape_and_agreement() {
+        let t = fusion(4, 20_000, 3);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "off");
+        assert_eq!(t.rows[1][0], "on");
+        // with fusion on, the whole chain collapses into one lineage node
+        assert!(t.rows[1][1].starts_with("Fused["), "{t:?}");
+        assert!(!t.rows[0][1].starts_with("Fused["), "{t:?}");
+        // every pass reads the cache via Arc-sharing in both modes
+        assert!(t.rows[0][5].parse::<u64>().unwrap() > 0);
+        assert!(t.rows[1][5].parse::<u64>().unwrap() > 0);
+        // fused must not be slower than unfused beyond noise
+        let off: f64 = t.rows[0][2].parse().unwrap();
+        let on: f64 = t.rows[1][2].parse().unwrap();
+        assert!(on <= off * 1.25, "fusion slower than unfused: on={on}s off={off}s");
     }
 
     #[test]

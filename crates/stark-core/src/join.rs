@@ -59,7 +59,8 @@ fn pair_may_match(pred: &STPredicate, left: &Envelope, right: &Envelope) -> bool
             left.intersects(right)
         }
         STPredicate::WithinDistance { max_dist, dist_fn } => {
-            dist_fn.lower_bound_from_planar(left.distance(right)) <= *max_dist
+            let (dx, dy) = left.axis_distances(right);
+            dist_fn.lower_bound_from_axis_gaps(dx, dy) <= *max_dist
         }
     }
 }
@@ -123,7 +124,7 @@ impl<V: Data> SpatialRdd<V> {
 
         let index_mode = cfg.index;
         left_rdd.join_partition_pairs(&right_rdd, pairs, move |ldata, rdata| {
-            local_join(&pred, index_mode, ldata, rdata)
+            local_join(&pred, index_mode, &ldata, &rdata)
         })
     }
 
@@ -152,14 +153,14 @@ impl<V: Data> SpatialRdd<V> {
 fn local_join<V: Data, W: Data>(
     pred: &STPredicate,
     index: JoinIndexMode,
-    ldata: Vec<(STObject, V)>,
-    rdata: Vec<(STObject, W)>,
+    ldata: &[(STObject, V)],
+    rdata: &[(STObject, W)],
 ) -> Vec<((STObject, V), (STObject, W))> {
     let mut out = Vec::new();
     match index {
         JoinIndexMode::NoIndex => {
-            for l in &ldata {
-                for r in &rdata {
+            for l in ldata {
+                for r in rdata {
                     if pred.eval(&l.0, &r.0) {
                         out.push((l.clone(), r.clone()));
                     }
@@ -170,7 +171,7 @@ fn local_join<V: Data, W: Data>(
             let entries: Vec<Entry<usize>> =
                 rdata.iter().enumerate().map(|(i, (o, _))| Entry::new(o.envelope(), i)).collect();
             let tree = StrTree::build(order, entries);
-            for l in &ldata {
+            for l in ldata {
                 let probe = pred.index_probe(&l.0);
                 tree.for_each_candidate(&probe, &mut |entry| {
                     let r = &rdata[entry.item];

@@ -58,10 +58,10 @@ impl STPredicate {
             // query MBR; the partition extent then also covers it
             STPredicate::Contains => extent.contains_envelope(&q),
             STPredicate::WithinDistance { max_dist, dist_fn } => {
-                // envelope separation lower-bounds the planar distance;
-                // convert it into a lower bound under dist_fn
-                let sep = extent.distance(&q);
-                dist_fn.lower_bound_from_planar(sep) <= *max_dist
+                // per-axis envelope gaps lower-bound the per-axis
+                // coordinate deltas; convert into a bound under dist_fn
+                let (dx, dy) = extent.axis_distances(&q);
+                dist_fn.lower_bound_from_axis_gaps(dx, dy) <= *max_dist
             }
         }
     }
@@ -103,16 +103,41 @@ impl STPredicate {
             STPredicate::WithinDistance { max_dist, dist_fn } => match dist_fn {
                 // planar metrics: buffering the MBR by max_dist is sound
                 DistanceFn::Euclidean | DistanceFn::Manhattan => q.buffered(*max_dist),
-                // Haversine: metres → degrees, using the smallest
-                // metres-per-degree (longitude at high latitude is
-                // smaller, so be generous: 1 degree >= 111 km only for
-                // latitude; buffer by max_dist / (111km * cos(lat_max)),
-                // conservatively capped to the whole space for high
-                // latitudes)
+                // Haversine: the spherical cap of angular radius
+                // σ = d/R around the query. Latitude pads exactly by σ
+                // (central angle ≥ |Δφ|). Longitude pads by the cap's
+                // widest meridian crossing, asin(sin σ / cos φ) at the
+                // query's most poleward latitude — and by the whole
+                // longitude range once the cap reaches a pole, where a
+                // nearby point may sit at any longitude.
                 DistanceFn::Haversine => {
-                    let lat = q.min_y().abs().max(q.max_y().abs()).min(89.0);
-                    let metres_per_deg = 111_320.0 * lat.to_radians().cos().max(0.02);
-                    q.buffered(max_dist / metres_per_deg)
+                    use stark_geo::EARTH_RADIUS_M;
+                    let sigma = max_dist / EARTH_RADIUS_M; // radians
+                    let lat_pad = sigma.to_degrees();
+                    let lat_hi = q.min_y().abs().max(q.max_y().abs()).to_radians();
+                    let mut lon_pad = if lat_hi + sigma >= std::f64::consts::FRAC_PI_2 {
+                        360.0 // cap touches a pole: every longitude qualifies
+                    } else {
+                        let s = sigma.sin() / lat_hi.cos();
+                        if s >= 1.0 {
+                            360.0
+                        } else {
+                            s.asin().to_degrees()
+                        }
+                    };
+                    // An envelope cannot represent an interval that wraps
+                    // the antimeridian: a match just across ±180° sits at
+                    // the far end of the planar axis. Cover all
+                    // longitudes whenever the padded range would cross.
+                    if q.min_x() - lon_pad < -180.0 || q.max_x() + lon_pad > 180.0 {
+                        lon_pad = 360.0;
+                    }
+                    Envelope::from_bounds(
+                        q.min_x() - lon_pad,
+                        q.min_y() - lat_pad,
+                        q.max_x() + lon_pad,
+                        q.max_y() + lat_pad,
+                    )
                 }
             },
         }
@@ -197,6 +222,30 @@ mod tests {
         assert_eq!(probe.max_y(), 3.0);
         let plain = STPredicate::Intersects.index_probe(&q);
         assert_eq!(plain.area(), 0.0);
+    }
+
+    #[test]
+    fn haversine_probe_covers_spherical_cap() {
+        use stark_geo::{haversine, Coord};
+        let pred =
+            STPredicate::WithinDistance { max_dist: 400_000.0, dist_fn: DistanceFn::Haversine };
+        // mid-latitude: the probe must contain every point within range
+        let q = STObject::point(10.0, 50.0);
+        let probe = pred.index_probe(&q);
+        for dlon in [-5.0, 0.0, 5.0] {
+            for dlat in [-3.0, 0.0, 3.0] {
+                let p = Coord::new(10.0 + dlon, 50.0 + dlat);
+                if haversine(&Coord::new(10.0, 50.0), &p) <= 400_000.0 {
+                    assert!(probe.contains_coord(&p), "probe missed in-range point {p:?}");
+                }
+            }
+        }
+        // near a pole the cap spans all longitudes
+        let poleward = pred.index_probe(&STObject::point(0.0, 88.0));
+        assert!(poleward.contains_coord(&Coord::new(179.0, 89.0)));
+        // near the antimeridian the probe must cover the wrapped side
+        let wrapped = pred.index_probe(&STObject::point(-178.0, 85.0));
+        assert!(wrapped.contains_coord(&Coord::new(179.0, 85.0)), "{wrapped:?}");
     }
 
     #[test]

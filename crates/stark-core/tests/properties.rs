@@ -36,6 +36,15 @@ fn points_strategy(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
     proptest::collection::vec(((-50.0f64..50.0), (-50.0f64..50.0)), 1..max)
 }
 
+/// Lon/lat points clustered in the polar caps (|lat| > 85°), where the
+/// old planar Haversine pruning bound over-estimated longitude gaps.
+fn polar_points_strategy(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        ((-180.0f64..180.0), prop_oneof![85.0f64..90.0, -90.0f64..-85.0]),
+        1..max,
+    )
+}
+
 /// The paper's formal definition, transcribed literally.
 fn formal_predicate(
     spatial: impl Fn(&Geometry, &Geometry) -> bool,
@@ -219,6 +228,62 @@ proptest! {
                 .collect();
             got.sort_unstable();
             prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn polar_queries_agree_with_pruning_on_and_off(
+        pts in polar_points_strategy(100),
+        dims in 2usize..6,
+        (qlon, qlat) in ((-180.0f64..180.0), 85.0f64..90.0),
+        radius_km in 10.0f64..2000.0,
+        k in 1usize..8,
+    ) {
+        // withinDistance and kNN at |lat| > 85° must return the same
+        // records whether partition pruning is active (spatially
+        // partitioned + masked, live-indexed) or not (plain filter).
+        // The old scalar planar bound turned polar longitude-degree
+        // gaps into metres and pruned partitions that still matched.
+        let ctx = Context::with_parallelism(3);
+        let data: Vec<(STObject, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(lon, lat))| (STObject::point(lon, lat), i))
+            .collect();
+        let rdd = ctx.parallelize(data, 4).spatial();
+        let q = STObject::point(qlon, qlat);
+        let max_dist = radius_km * 1000.0;
+
+        let ids = |r: stark::SpatialRdd<usize>| {
+            let mut v: Vec<usize> = r.collect().into_iter().map(|(_, i)| i).collect();
+            v.sort_unstable();
+            v
+        };
+        let unpruned = ids(rdd.within_distance(&q, max_dist, DistanceFn::Haversine));
+        let part = rdd.partition_by(Arc::new(GridPartitioner::build(dims, &rdd.summarize())));
+        let pruned = ids(part.within_distance(&q, max_dist, DistanceFn::Haversine));
+        prop_assert_eq!(&pruned, &unpruned, "mask pruning changed withinDistance results");
+
+        let mut indexed: Vec<usize> = part
+            .live_index(4)
+            .within_distance(&q, max_dist, DistanceFn::Haversine)
+            .collect()
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
+        indexed.sort_unstable();
+        prop_assert_eq!(&indexed, &unpruned, "live index changed withinDistance results");
+
+        let k = k.min(pts.len());
+        let plain_knn = rdd.knn(&q, k, DistanceFn::Haversine);
+        let part_knn = part.knn(&q, k, DistanceFn::Haversine);
+        let index_knn = part.live_index(4).knn(&q, k, DistanceFn::Haversine);
+        prop_assert_eq!(plain_knn.len(), k);
+        for (a, b) in plain_knn.iter().zip(&part_knn) {
+            prop_assert!((a.0 - b.0).abs() < 1e-6, "partitioned kNN distance diverged");
+        }
+        for (a, b) in plain_knn.iter().zip(&index_knn) {
+            prop_assert!((a.0 - b.0).abs() < 1e-6, "indexed kNN distance diverged");
         }
     }
 

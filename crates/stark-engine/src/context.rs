@@ -2,6 +2,7 @@
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::rdd::Rdd;
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -13,6 +14,11 @@ pub struct EngineConfig {
     pub default_partitions: usize,
     /// Human-readable application name, surfaced in panics and logs.
     pub app_name: String,
+    /// Whether chains of narrow transformations (`map`/`filter`/
+    /// `flat_map`/`map_partitions`) fuse into a single per-partition
+    /// pass. On by default; turning it off materialises one `Vec` per
+    /// operator — the unfused baseline the S7 experiment measures.
+    pub fusion_enabled: bool,
 }
 
 impl Default for EngineConfig {
@@ -22,6 +28,7 @@ impl Default for EngineConfig {
             parallelism: cores,
             default_partitions: cores,
             app_name: "stark".to_string(),
+            fusion_enabled: true,
         }
     }
 }
@@ -30,6 +37,11 @@ impl Default for EngineConfig {
 pub(crate) struct ContextInner {
     pub(crate) config: EngineConfig,
     pub(crate) metrics: Metrics,
+    /// Jobs currently executing on this context. The executor uses the
+    /// depth at job entry to attribute wall-clock time only to
+    /// top-level jobs (a nested shuffle job is already covered by the
+    /// enclosing job's interval).
+    pub(crate) active_jobs: AtomicUsize,
 }
 
 /// Handle to the engine; cheap to clone, shared by all datasets it creates.
@@ -41,7 +53,13 @@ pub struct Context {
 impl Context {
     /// Creates a context with the given configuration.
     pub fn with_config(config: EngineConfig) -> Self {
-        Context { inner: Arc::new(ContextInner { config, metrics: Metrics::default() }) }
+        Context {
+            inner: Arc::new(ContextInner {
+                config,
+                metrics: Metrics::default(),
+                active_jobs: AtomicUsize::new(0),
+            }),
+        }
     }
 
     /// Creates a context with default configuration (one worker per core).
@@ -67,6 +85,12 @@ impl Context {
     /// The configured default partition count.
     pub fn default_partitions(&self) -> usize {
         self.inner.config.default_partitions
+    }
+
+    /// Whether narrow-operator fusion is on (see
+    /// [`EngineConfig::fusion_enabled`]).
+    pub fn fusion_enabled(&self) -> bool {
+        self.inner.config.fusion_enabled
     }
 
     /// Distributes a local collection into `num_partitions` chunks,

@@ -11,6 +11,7 @@
 //! react.
 
 use crate::context::Context;
+use crate::partition::Partition;
 use crate::rdd::{Data, RddImpl};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,11 +52,39 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Tracks job nesting on a context so only top-level jobs accumulate
+/// `job_nanos`: a shuffle materialising *inside* a running job spawns a
+/// nested partition sweep whose wall-clock is already covered by the
+/// enclosing job's interval — adding both would double-count. (Top-level
+/// jobs started concurrently from independent user threads also nest
+/// under this scheme; wall-clock attribution is first-come.)
+struct JobDepthGuard<'a> {
+    ctx: &'a Context,
+    depth: usize,
+}
+
+impl<'a> JobDepthGuard<'a> {
+    fn enter(ctx: &'a Context) -> Self {
+        let depth = ctx.inner.active_jobs.fetch_add(1, Ordering::SeqCst);
+        JobDepthGuard { ctx, depth }
+    }
+
+    fn is_top_level(&self) -> bool {
+        self.depth == 0
+    }
+}
+
+impl Drop for JobDepthGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.inner.active_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Runs one partition task under a panic guard, recording metrics.
 fn run_task<T: Data, R>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
-    f: &(impl Fn(usize, Vec<T>) -> R + Send + Sync),
+    f: &(impl Fn(usize, Partition<T>) -> R + Send + Sync),
     i: usize,
 ) -> Result<R, TaskError> {
     let metrics = ctx.raw_metrics();
@@ -85,12 +114,13 @@ fn run_task<T: Data, R>(
 pub(crate) fn try_run_partitions<T: Data, R: Send>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
-    f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+    f: impl Fn(usize, Partition<T>) -> R + Send + Sync,
 ) -> Result<Vec<R>, TaskError> {
     let n = inner.num_partitions();
     if n == 0 {
         return Ok(Vec::new());
     }
+    let depth = JobDepthGuard::enter(ctx);
     let workers = ctx.parallelism().min(n);
     let job_started = Instant::now();
 
@@ -124,7 +154,9 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
             .collect()
     };
 
-    ctx.raw_metrics().add_job_nanos(job_started.elapsed().as_nanos() as u64);
+    if depth.is_top_level() {
+        ctx.raw_metrics().add_job_nanos(job_started.elapsed().as_nanos() as u64);
+    }
     outcome
 }
 
@@ -133,7 +165,7 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
 pub(crate) fn run_partitions<T: Data, R: Send>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
-    f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+    f: impl Fn(usize, Partition<T>) -> R + Send + Sync,
 ) -> Vec<R> {
     match try_run_partitions(ctx, inner, f) {
         Ok(results) => results,
@@ -238,5 +270,34 @@ mod tests {
         // 8 tasks at >=100µs each, run on 2 workers: cumulative task time
         // must exceed any single job's wall time
         assert!(delta.task_nanos >= 8 * 100_000);
+    }
+
+    #[test]
+    fn nested_shuffle_job_counts_wall_clock_once() {
+        let ctx = Context::with_parallelism(2);
+        let before = ctx.metrics();
+        let started = std::time::Instant::now();
+        let n = ctx
+            .parallelize((0..8).collect::<Vec<u64>>(), 4)
+            .map(|x| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                x
+            })
+            .partition_by(4, |x| (*x % 4) as usize)
+            .count();
+        let elapsed = started.elapsed().as_nanos() as u64;
+        assert_eq!(n, 8);
+        let delta = ctx.metrics().since(&before);
+        // The shuffle materialises via an inner partition sweep that runs
+        // *inside* the outer count job (it executes the sleeping maps).
+        // Before depth tracking, job_nanos summed both overlapping
+        // intervals and reported roughly twice the true wall-clock.
+        assert!(delta.job_nanos > 0, "job wall-clock not recorded");
+        assert!(
+            delta.job_nanos <= elapsed,
+            "job_nanos {} exceeds wall-clock {} — nested job double-counted",
+            delta.job_nanos,
+            elapsed
+        );
     }
 }

@@ -8,6 +8,10 @@
 //! * a lazy DAG of partitioned datasets ([`Rdd`]) with narrow
 //!   transformations, hash/custom shuffles ([`Rdd::partition_by`]),
 //!   caching and `zipPartitions`;
+//! * a zero-copy partition data path: tasks exchange shared
+//!   [`Partition`] handles instead of cloned `Vec`s, and chains of
+//!   narrow operators fuse into a single per-partition pass (rendered
+//!   as `Fused[Map→Filter]` by [`Rdd::explain`]);
 //! * a bounded thread-pool executor where worker threads stand in for
 //!   cluster nodes (skewed partitions serialise on a worker, just as on
 //!   a real cluster);
@@ -33,10 +37,12 @@ pub mod channel;
 pub mod context;
 mod executor;
 pub mod metrics;
+pub mod partition;
 pub mod rdd;
 pub mod storage;
 
 pub use context::{Context, EngineConfig};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use partition::{Partition, PartitionIntoIter};
 pub use rdd::{Data, Lineage, Rdd, TaskError};
 pub use storage::{ObjectStore, StorageError};

@@ -25,8 +25,18 @@ pub struct Metrics {
     /// nanoseconds (summed across workers, so it can exceed elapsed time).
     pub task_nanos: AtomicU64,
     /// Cumulative wall-clock time of whole job runs (partition sweeps),
-    /// in nanoseconds.
+    /// in nanoseconds. Only top-level jobs accumulate here: a shuffle
+    /// materialising inside a running job is covered by the enclosing
+    /// job's interval and would otherwise be double-counted.
     pub job_nanos: AtomicU64,
+    /// Records deep-cloned out of shared partition storage because a
+    /// consumer needed owned elements (the clone the zero-copy
+    /// [`Partition`](crate::Partition) data path could not avoid).
+    pub records_cloned: AtomicU64,
+    /// Shallow payload bytes served by Arc-sharing a partition handle
+    /// (caches, shuffle buckets, parallelized sources) instead of
+    /// deep-cloning the partition on access.
+    pub clone_bytes_avoided: AtomicU64,
 }
 
 impl Metrics {
@@ -51,6 +61,12 @@ impl Metrics {
     pub fn add_job_nanos(&self, n: u64) {
         self.job_nanos.fetch_add(n, Ordering::Relaxed);
     }
+    pub fn inc_records_cloned(&self, n: u64) {
+        self.records_cloned.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_clone_bytes_avoided(&self, n: u64) {
+        self.clone_bytes_avoided.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -62,6 +78,8 @@ impl Metrics {
             jobs: self.jobs.load(Ordering::Relaxed),
             task_nanos: self.task_nanos.load(Ordering::Relaxed),
             job_nanos: self.job_nanos.load(Ordering::Relaxed),
+            records_cloned: self.records_cloned.load(Ordering::Relaxed),
+            clone_bytes_avoided: self.clone_bytes_avoided.load(Ordering::Relaxed),
         }
     }
 }
@@ -78,6 +96,10 @@ pub struct MetricsSnapshot {
     pub task_nanos: u64,
     /// Cumulative per-job wall-clock nanoseconds (see [`Metrics::job_nanos`]).
     pub job_nanos: u64,
+    /// Records deep-cloned from shared partitions (see [`Metrics::records_cloned`]).
+    pub records_cloned: u64,
+    /// Shallow bytes served by partition sharing (see [`Metrics::clone_bytes_avoided`]).
+    pub clone_bytes_avoided: u64,
 }
 
 impl MetricsSnapshot {
@@ -91,6 +113,8 @@ impl MetricsSnapshot {
             jobs: self.jobs - earlier.jobs,
             task_nanos: self.task_nanos - earlier.task_nanos,
             job_nanos: self.job_nanos - earlier.job_nanos,
+            records_cloned: self.records_cloned - earlier.records_cloned,
+            clone_bytes_avoided: self.clone_bytes_avoided - earlier.clone_bytes_avoided,
         }
     }
 }
@@ -107,12 +131,16 @@ mod tests {
         m.inc_pruned(2);
         m.inc_shuffles();
         m.inc_jobs();
+        m.inc_records_cloned(17);
+        m.add_clone_bytes_avoided(4096);
         let s = m.snapshot();
         assert_eq!(s.tasks_launched, 3);
         assert_eq!(s.records_read, 100);
         assert_eq!(s.partitions_pruned, 2);
         assert_eq!(s.shuffles, 1);
         assert_eq!(s.jobs, 1);
+        assert_eq!(s.records_cloned, 17);
+        assert_eq!(s.clone_bytes_avoided, 4096);
     }
 
     #[test]

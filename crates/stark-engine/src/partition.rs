@@ -1,0 +1,277 @@
+//! Shared, immutable partition payloads.
+//!
+//! Every [`RddImpl::compute`](crate::rdd) returns a [`Partition<T>`]: an
+//! `Arc`-backed handle to an immutable `Vec<T>`. Sources that retain
+//! partition data across jobs (parallelized collections, caches, shuffle
+//! buckets) hand out cheap clones of the same allocation instead of
+//! deep-copying the payload on every access; consumers that need owned
+//! elements convert explicitly — zero-cost when the handle is unique,
+//! a counted per-element clone when it is shared.
+//!
+//! The handle dereferences to `&[T]`, so read-only consumers (`len`,
+//! `iter`, indexing, slice patterns) work unchanged, and it implements
+//! `IntoIterator` by value, cloning elements lazily only when the
+//! underlying allocation is still shared.
+
+use crate::metrics::Metrics;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, shareable partition payload. Cheap to clone: clones
+/// share the same allocation.
+pub struct Partition<T> {
+    data: Arc<Vec<T>>,
+}
+
+impl<T> Partition<T> {
+    /// Wraps freshly computed data; the returned handle is unique, so a
+    /// later [`Partition::into_vec`] is zero-cost.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Partition { data: Arc::new(data) }
+    }
+
+    /// An empty partition.
+    pub fn empty() -> Self {
+        Partition::from_vec(Vec::new())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrowed view of the payload.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Borrowing iterator over the payload.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Whether other handles to the same allocation exist right now —
+    /// i.e. whether converting to owned data would have to deep-clone.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+
+    /// Shallow payload size in bytes (`len · size_of::<T>()`): the copy
+    /// that sharing this handle avoids.
+    pub(crate) fn shallow_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+impl<T: Clone> Partition<T> {
+    /// Owned copy of the payload, always cloning.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.as_ref().clone()
+    }
+
+    /// Converts into an owned `Vec`, zero-cost when this is the only
+    /// handle to the allocation and a deep clone otherwise.
+    pub fn into_vec(self) -> Vec<T> {
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| shared.as_ref().clone())
+    }
+
+    /// [`Partition::into_vec`] that records a forced deep clone in
+    /// `metrics.records_cloned`.
+    pub(crate) fn into_vec_counted(self, metrics: &Metrics) -> Vec<T> {
+        match Arc::try_unwrap(self.data) {
+            Ok(owned) => owned,
+            Err(shared) => {
+                metrics.inc_records_cloned(shared.len() as u64);
+                shared.as_ref().clone()
+            }
+        }
+    }
+
+    /// By-value iterator that records in `metrics.records_cloned` when
+    /// shared storage forces the elements to be cloned out.
+    pub(crate) fn into_iter_counted(self, metrics: &Metrics) -> PartitionIntoIter<T> {
+        match Arc::try_unwrap(self.data) {
+            Ok(owned) => PartitionIntoIter::Owned(owned.into_iter()),
+            Err(shared) => {
+                metrics.inc_records_cloned(shared.len() as u64);
+                PartitionIntoIter::Shared { data: shared, next: 0 }
+            }
+        }
+    }
+}
+
+impl<T> Clone for Partition<T> {
+    fn clone(&self) -> Self {
+        Partition { data: self.data.clone() }
+    }
+}
+
+impl<T> Deref for Partition<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> From<Vec<T>> for Partition<T> {
+    fn from(data: Vec<T>) -> Self {
+        Partition::from_vec(data)
+    }
+}
+
+impl<T> Default for Partition<T> {
+    fn default() -> Self {
+        Partition::empty()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Partition<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.data.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Partition<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// By-value iterator over a [`Partition`]: moves elements out when the
+/// allocation is unique, clones them lazily when it is shared.
+pub enum PartitionIntoIter<T> {
+    Owned(std::vec::IntoIter<T>),
+    Shared { data: Arc<Vec<T>>, next: usize },
+}
+
+impl<T: Clone> Iterator for PartitionIntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            PartitionIntoIter::Owned(it) => it.next(),
+            PartitionIntoIter::Shared { data, next } => {
+                let item = data.get(*next).cloned()?;
+                *next += 1;
+                Some(item)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            PartitionIntoIter::Owned(it) => it.len(),
+            PartitionIntoIter::Shared { data, next } => data.len() - next,
+        };
+        (n, Some(n))
+    }
+}
+
+impl<T: Clone> ExactSizeIterator for PartitionIntoIter<T> {}
+
+impl<T: Clone> IntoIterator for Partition<T> {
+    type Item = T;
+    type IntoIter = PartitionIntoIter<T>;
+
+    fn into_iter(self) -> PartitionIntoIter<T> {
+        match Arc::try_unwrap(self.data) {
+            Ok(owned) => PartitionIntoIter::Owned(owned.into_iter()),
+            Err(shared) => PartitionIntoIter::Shared { data: shared, next: 0 },
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Partition<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> std::slice::Iter<'a, T> {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deref_and_iter() {
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[1], 2);
+        assert_eq!(p.iter().sum::<i32>(), 6);
+        assert_eq!(p.first(), Some(&1));
+        assert!(!Partition::from_vec(vec![0]).is_empty());
+        assert!(Partition::<i32>::empty().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        assert!(!p.is_shared());
+        let q = p.clone();
+        assert!(p.is_shared());
+        assert!(q.is_shared());
+        assert_eq!(p.as_slice().as_ptr(), q.as_slice().as_ptr());
+        drop(q);
+        assert!(!p.is_shared());
+    }
+
+    #[test]
+    fn into_vec_is_zero_cost_when_unique() {
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        let ptr = p.as_slice().as_ptr();
+        let v = p.into_vec();
+        assert_eq!(v.as_ptr(), ptr, "unique handle must not reallocate");
+    }
+
+    #[test]
+    fn into_vec_clones_when_shared() {
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        let q = p.clone();
+        let ptr = q.as_slice().as_ptr();
+        let v = p.into_vec();
+        assert_ne!(v.as_ptr(), ptr, "shared handle must deep-clone");
+        assert_eq!(v, q.to_vec());
+    }
+
+    #[test]
+    fn counted_conversions_track_forced_clones() {
+        let m = Metrics::default();
+        let unique = Partition::from_vec(vec![1, 2, 3]);
+        let _ = unique.into_vec_counted(&m);
+        assert_eq!(m.snapshot().records_cloned, 0);
+
+        let shared = Partition::from_vec(vec![1, 2, 3]);
+        let _keep = shared.clone();
+        let _ = shared.into_vec_counted(&m);
+        assert_eq!(m.snapshot().records_cloned, 3);
+
+        let shared = Partition::from_vec(vec![4, 5]);
+        let _keep = shared.clone();
+        let collected: Vec<i32> = shared.into_iter_counted(&m).collect();
+        assert_eq!(collected, vec![4, 5]);
+        assert_eq!(m.snapshot().records_cloned, 5);
+    }
+
+    #[test]
+    fn by_value_iteration_owned_and_shared() {
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        let owned: Vec<i32> = p.into_iter().collect();
+        assert_eq!(owned, vec![1, 2, 3]);
+
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        let _keep = p.clone();
+        let it = p.into_iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![1, 2, 3]);
+
+        let p = Partition::from_vec(vec![1, 2, 3]);
+        let borrowed: Vec<i32> = (&p).into_iter().copied().collect();
+        assert_eq!(borrowed, vec![1, 2, 3]);
+    }
+}

@@ -7,10 +7,26 @@
 //! `map`/`filter`/`flatMap`/`mapPartitions`, `partitionBy` (shuffle),
 //! `union`, `zipPartitions` for partition-aligned joins, caching, and a
 //! partition-mask operator used for spatial partition pruning.
+//!
+//! Two data-path properties keep the hot loop lean:
+//!
+//! * **Zero-copy partitions** — `compute` returns a shared
+//!   [`Partition<T>`] handle, so sources that retain partition data
+//!   across jobs (parallelized collections, caches, shuffle buckets)
+//!   serve the same allocation instead of deep-cloning it per access.
+//! * **Narrow-operator fusion** — consecutive `map`/`filter`/
+//!   `flat_map`/`map_partitions` calls compose into one per-partition
+//!   iterator pipeline, so a `load → map → filter → map` lineage makes
+//!   one pass with one output allocation instead of one `Vec` per
+//!   operator. Fused chains render as `Fused[Map→Filter]` in
+//!   [`Rdd::explain`]; set
+//!   [`EngineConfig::fusion_enabled`](crate::EngineConfig) to `false`
+//!   to fall back to the materialise-per-operator path.
 
 use crate::context::Context;
 use crate::executor;
 pub use crate::executor::TaskError;
+use crate::partition::Partition;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, OnceLock};
@@ -22,7 +38,36 @@ impl<T: Clone + Send + Sync + 'static> Data for T {}
 /// A node in the dataset DAG: how many partitions, and how to compute one.
 pub(crate) trait RddImpl<T: Data>: Send + Sync {
     fn num_partitions(&self) -> usize;
-    fn compute(&self, partition: usize) -> Vec<T>;
+    fn compute(&self, partition: usize) -> Partition<T>;
+}
+
+/// By-value iterator stage inside a fused narrow chain.
+type BoxIter<T> = Box<dyn Iterator<Item = T> + Send>;
+/// Produces the fused iterator pipeline for one partition.
+type IterFn<T> = Arc<dyn Fn(usize) -> BoxIter<T> + Send + Sync>;
+
+/// The fusable suffix of a lineage: a typed per-partition iterator
+/// pipeline rooted at the last non-narrow ancestor. Kept alongside the
+/// type-erased `inner` node so the next narrow operator can extend the
+/// pipeline instead of stacking another materialising node on top.
+pub(crate) struct FusedChain<T: Data> {
+    num_partitions: usize,
+    /// Operator names in application order, e.g. `["Map", "Filter"]`.
+    ops: Vec<String>,
+    iter_fn: IterFn<T>,
+    /// Lineage of the chain's base (the node below the fused suffix).
+    base_lineage: Arc<Lineage>,
+}
+
+impl<T: Data> Clone for FusedChain<T> {
+    fn clone(&self) -> Self {
+        FusedChain {
+            num_partitions: self.num_partitions,
+            ops: self.ops.clone(),
+            iter_fn: self.iter_fn.clone(),
+            base_lineage: self.base_lineage.clone(),
+        }
+    }
 }
 
 /// A lazy partitioned dataset. Cheap to clone (clones share the DAG).
@@ -31,6 +76,9 @@ pub struct Rdd<T: Data> {
     pub(crate) ctx: Context,
     pub(crate) inner: Arc<dyn RddImpl<T>>,
     lineage: Arc<Lineage>,
+    /// Present when this node is a chain of fused narrow operators;
+    /// `inner` is then the corresponding `FusedRdd`.
+    fused: Option<FusedChain<T>>,
 }
 
 /// Lineage node describing how a dataset was derived — the engine's
@@ -68,16 +116,19 @@ impl Lineage {
 // sources
 // ---------------------------------------------------------------------------
 
-struct ParallelCollection<T> {
-    partitions: Vec<Vec<T>>,
+struct ParallelCollection<T: Data> {
+    ctx: Context,
+    partitions: Vec<Partition<T>>,
 }
 
 impl<T: Data> RddImpl<T> for ParallelCollection<T> {
     fn num_partitions(&self) -> usize {
         self.partitions.len()
     }
-    fn compute(&self, partition: usize) -> Vec<T> {
-        self.partitions[partition].clone()
+    fn compute(&self, partition: usize) -> Partition<T> {
+        let p = self.partitions[partition].clone();
+        self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
+        p
     }
 }
 
@@ -85,17 +136,35 @@ impl<T: Data> RddImpl<T> for ParallelCollection<T> {
 // narrow transformations
 // ---------------------------------------------------------------------------
 
+/// A fused chain of narrow operators: one per-partition pass, one
+/// output allocation, regardless of how many operators are in the chain.
+struct FusedRdd<T: Data> {
+    num_partitions: usize,
+    iter_fn: IterFn<T>,
+}
+
+impl<T: Data> RddImpl<T> for FusedRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+    fn compute(&self, partition: usize) -> Partition<T> {
+        Partition::from_vec((self.iter_fn)(partition).collect())
+    }
+}
+
+/// Unfused narrow node (one materialised `Vec` per operator), used when
+/// fusion is disabled.
 struct MapPartitionsRdd<T: Data, U: Data> {
     parent: Arc<dyn RddImpl<T>>,
     #[allow(clippy::type_complexity)]
-    f: Arc<dyn Fn(usize, Vec<T>) -> Vec<U> + Send + Sync>,
+    f: Arc<dyn Fn(usize, Partition<T>) -> Partition<U> + Send + Sync>,
 }
 
 impl<T: Data, U: Data> RddImpl<U> for MapPartitionsRdd<T, U> {
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn compute(&self, partition: usize) -> Vec<U> {
+    fn compute(&self, partition: usize) -> Partition<U> {
         (self.f)(partition, self.parent.compute(partition))
     }
 }
@@ -108,7 +177,7 @@ impl<T: Data> RddImpl<T> for UnionRdd<T> {
     fn num_partitions(&self) -> usize {
         self.parents.iter().map(|p| p.num_partitions()).sum()
     }
-    fn compute(&self, partition: usize) -> Vec<T> {
+    fn compute(&self, partition: usize) -> Partition<T> {
         let mut idx = partition;
         for p in &self.parents {
             if idx < p.num_partitions() {
@@ -132,12 +201,12 @@ impl<T: Data> RddImpl<T> for MaskRdd<T> {
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn compute(&self, partition: usize) -> Vec<T> {
+    fn compute(&self, partition: usize) -> Partition<T> {
         if self.mask[partition] {
             self.parent.compute(partition)
         } else {
             self.ctx.raw_metrics().inc_pruned(1);
-            Vec::new()
+            Partition::empty()
         }
     }
 }
@@ -146,15 +215,19 @@ struct ZipPartitionsRdd<A: Data, B: Data, R: Data> {
     left: Arc<dyn RddImpl<A>>,
     right: Arc<dyn RddImpl<B>>,
     #[allow(clippy::type_complexity)]
-    f: Arc<dyn Fn(usize, Vec<A>, Vec<B>) -> Vec<R> + Send + Sync>,
+    f: Arc<dyn Fn(usize, Partition<A>, Partition<B>) -> Vec<R> + Send + Sync>,
 }
 
 impl<A: Data, B: Data, R: Data> RddImpl<R> for ZipPartitionsRdd<A, B, R> {
     fn num_partitions(&self) -> usize {
         self.left.num_partitions()
     }
-    fn compute(&self, partition: usize) -> Vec<R> {
-        (self.f)(partition, self.left.compute(partition), self.right.compute(partition))
+    fn compute(&self, partition: usize) -> Partition<R> {
+        Partition::from_vec((self.f)(
+            partition,
+            self.left.compute(partition),
+            self.right.compute(partition),
+        ))
     }
 }
 
@@ -163,16 +236,16 @@ struct PartitionPairJoinRdd<A: Data, B: Data, R: Data> {
     right: Arc<dyn RddImpl<B>>,
     pairs: Vec<(usize, usize)>,
     #[allow(clippy::type_complexity)]
-    f: Arc<dyn Fn(Vec<A>, Vec<B>) -> Vec<R> + Send + Sync>,
+    f: Arc<dyn Fn(Partition<A>, Partition<B>) -> Vec<R> + Send + Sync>,
 }
 
 impl<A: Data, B: Data, R: Data> RddImpl<R> for PartitionPairJoinRdd<A, B, R> {
     fn num_partitions(&self) -> usize {
         self.pairs.len()
     }
-    fn compute(&self, partition: usize) -> Vec<R> {
+    fn compute(&self, partition: usize) -> Partition<R> {
         let (i, j) = self.pairs[partition];
-        (self.f)(self.left.compute(i), self.right.compute(j))
+        Partition::from_vec((self.f)(self.left.compute(i), self.right.compute(j)))
     }
 }
 
@@ -186,18 +259,18 @@ struct ShuffledRdd<T: Data> {
     #[allow(clippy::type_complexity)]
     partition_fn: Arc<dyn Fn(&T) -> usize + Send + Sync>,
     num_partitions: usize,
-    buckets: OnceLock<Vec<Vec<T>>>,
+    buckets: OnceLock<Vec<Partition<T>>>,
 }
 
 impl<T: Data> ShuffledRdd<T> {
-    fn materialize(&self) -> &Vec<Vec<T>> {
+    fn materialize(&self) -> &Vec<Partition<T>> {
         self.buckets.get_or_init(|| {
             self.ctx.raw_metrics().inc_shuffles();
             let per_partition: Vec<Vec<Vec<T>>> =
-                executor::run_partitions(&self.ctx, &self.parent, |_, data| {
+                executor::run_partitions(&self.ctx, &self.parent, |_, data: Partition<T>| {
                     let mut buckets: Vec<Vec<T>> =
                         (0..self.num_partitions).map(|_| Vec::new()).collect();
-                    for item in data {
+                    for item in data.into_iter_counted(self.ctx.raw_metrics()) {
                         let b = (self.partition_fn)(&item) % self.num_partitions;
                         buckets[b].push(item);
                     }
@@ -209,7 +282,7 @@ impl<T: Data> ShuffledRdd<T> {
                     merged[i].extend(b);
                 }
             }
-            merged
+            merged.into_iter().map(Partition::from_vec).collect()
         })
     }
 }
@@ -218,22 +291,27 @@ impl<T: Data> RddImpl<T> for ShuffledRdd<T> {
     fn num_partitions(&self) -> usize {
         self.num_partitions
     }
-    fn compute(&self, partition: usize) -> Vec<T> {
-        self.materialize()[partition].clone()
+    fn compute(&self, partition: usize) -> Partition<T> {
+        let p = self.materialize()[partition].clone();
+        self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
+        p
     }
 }
 
 struct CachedRdd<T: Data> {
+    ctx: Context,
     parent: Arc<dyn RddImpl<T>>,
-    cells: Vec<OnceLock<Vec<T>>>,
+    cells: Vec<OnceLock<Partition<T>>>,
 }
 
 impl<T: Data> RddImpl<T> for CachedRdd<T> {
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn compute(&self, partition: usize) -> Vec<T> {
-        self.cells[partition].get_or_init(|| self.parent.compute(partition)).clone()
+    fn compute(&self, partition: usize) -> Partition<T> {
+        let p = self.cells[partition].get_or_init(|| self.parent.compute(partition)).clone();
+        self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
+        p
     }
 }
 
@@ -246,15 +324,20 @@ impl<T: Data> Rdd<T> {
         let total = data.len();
         let num_partitions = num_partitions.max(1);
         let chunk = total.div_ceil(num_partitions).max(1);
-        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(num_partitions);
+        let mut partitions: Vec<Partition<T>> = Vec::with_capacity(num_partitions);
         let mut iter = data.into_iter();
         for _ in 0..num_partitions {
-            partitions.push(iter.by_ref().take(chunk).collect());
+            partitions.push(Partition::from_vec(iter.by_ref().take(chunk).collect()));
         }
         let lineage = Lineage::leaf(format!(
             "ParallelCollection[{total} records, {num_partitions} partitions]"
         ));
-        Rdd { ctx, inner: Arc::new(ParallelCollection { partitions }), lineage }
+        Rdd {
+            ctx: ctx.clone(),
+            inner: Arc::new(ParallelCollection { ctx, partitions }),
+            lineage,
+            fused: None,
+        }
     }
 
     fn derive<U: Data>(&self, op: impl Into<String>, inner: Arc<dyn RddImpl<U>>) -> Rdd<U> {
@@ -262,6 +345,76 @@ impl<T: Data> Rdd<T> {
             ctx: self.ctx.clone(),
             inner,
             lineage: Lineage::derived(op, vec![self.lineage.clone()]),
+            fused: None,
+        }
+    }
+
+    /// Appends a narrow per-partition iterator stage. With fusion on,
+    /// the stage composes into the current [`FusedChain`] (or starts
+    /// one), producing a single `FusedRdd` node that makes one pass per
+    /// partition; with fusion off, the stage becomes its own
+    /// materialising `MapPartitionsRdd` node.
+    fn fuse_stage<U: Data>(
+        &self,
+        op: &str,
+        stage: impl Fn(usize, BoxIter<T>) -> BoxIter<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        if !self.ctx.fusion_enabled() {
+            let ctx = self.ctx.clone();
+            return self.derive(
+                op.to_string(),
+                Arc::new(MapPartitionsRdd {
+                    parent: self.inner.clone(),
+                    f: Arc::new(move |i, data: Partition<T>| {
+                        let it = Box::new(data.into_iter_counted(ctx.raw_metrics()));
+                        Partition::from_vec(stage(i, it).collect())
+                    }),
+                }),
+            );
+        }
+        let stage = Arc::new(stage);
+        let chain = match &self.fused {
+            // extend the existing pipeline — no intermediate Vec
+            Some(prev) => {
+                let prev_fn = prev.iter_fn.clone();
+                let s = stage.clone();
+                let mut ops = prev.ops.clone();
+                ops.push(op.to_string());
+                FusedChain {
+                    num_partitions: prev.num_partitions,
+                    ops,
+                    iter_fn: Arc::new(move |i| s(i, prev_fn(i))),
+                    base_lineage: prev.base_lineage.clone(),
+                }
+            }
+            // start a pipeline rooted at the current node
+            None => {
+                let base = self.inner.clone();
+                let ctx = self.ctx.clone();
+                let s = stage.clone();
+                FusedChain {
+                    num_partitions: base.num_partitions(),
+                    ops: vec![op.to_string()],
+                    iter_fn: Arc::new(move |i| {
+                        s(i, Box::new(base.compute(i).into_iter_counted(ctx.raw_metrics())))
+                    }),
+                    base_lineage: self.lineage.clone(),
+                }
+            }
+        };
+        let label = if chain.ops.len() == 1 {
+            chain.ops[0].clone()
+        } else {
+            format!("Fused[{}]", chain.ops.join("→"))
+        };
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner: Arc::new(FusedRdd {
+                num_partitions: chain.num_partitions,
+                iter_fn: chain.iter_fn.clone(),
+            }),
+            lineage: Lineage::derived(label, vec![chain.base_lineage.clone()]),
+            fused: Some(chain),
         }
     }
 
@@ -292,30 +445,45 @@ impl<T: Data> Rdd<T> {
 
     /// Element-wise transformation.
     pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
-        self.named_map_partitions("Map", move |_, data| data.into_iter().map(&f).collect())
+        let f = Arc::new(f);
+        self.fuse_stage("Map", move |_, it| {
+            let f = f.clone();
+            Box::new(it.map(move |t| f(t))) as BoxIter<U>
+        })
     }
 
     /// Keeps elements satisfying the predicate.
     pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
-        self.named_map_partitions("Filter", move |_, data| {
-            data.into_iter().filter(|t| f(t)).collect()
+        let f = Arc::new(f);
+        self.fuse_stage("Filter", move |_, it| {
+            let f = f.clone();
+            Box::new(it.filter(move |t| f(t))) as BoxIter<T>
         })
     }
 
     /// Element-wise one-to-many transformation.
     pub fn flat_map<U: Data, I>(&self, f: impl Fn(T) -> I + Send + Sync + 'static) -> Rdd<U>
     where
-        I: IntoIterator<Item = U>,
+        I: IntoIterator<Item = U> + 'static,
+        I::IntoIter: Send,
     {
-        self.named_map_partitions("FlatMap", move |_, data| data.into_iter().flat_map(&f).collect())
+        let f = Arc::new(f);
+        self.fuse_stage("FlatMap", move |_, it| {
+            let f = f.clone();
+            Box::new(it.flat_map(move |t| f(t))) as BoxIter<U>
+        })
     }
 
-    /// Whole-partition transformation.
+    /// Whole-partition transformation. Unlike the element-wise
+    /// operators this materialises its input, so it acts as a pipeline
+    /// barrier inside a fused chain (the chain itself stays one node).
     pub fn map_partitions<U: Data>(
         &self,
         f: impl Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
     ) -> Rdd<U> {
-        self.named_map_partitions("MapPartitions", move |_, data| f(data))
+        self.fuse_stage("MapPartitions", move |_, it| {
+            Box::new(f(it.collect()).into_iter()) as BoxIter<U>
+        })
     }
 
     /// Whole-partition transformation that also receives the partition id.
@@ -323,15 +491,9 @@ impl<T: Data> Rdd<T> {
         &self,
         f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
     ) -> Rdd<U> {
-        self.named_map_partitions("MapPartitions", f)
-    }
-
-    fn named_map_partitions<U: Data>(
-        &self,
-        op: &str,
-        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
-        self.derive(op, Arc::new(MapPartitionsRdd { parent: self.inner.clone(), f: Arc::new(f) }))
+        self.fuse_stage("MapPartitions", move |i, it| {
+            Box::new(f(i, it.collect()).into_iter()) as BoxIter<U>
+        })
     }
 
     /// Concatenation of the two datasets' partition lists.
@@ -340,6 +502,7 @@ impl<T: Data> Rdd<T> {
             ctx: self.ctx.clone(),
             inner: Arc::new(UnionRdd { parents: vec![self.inner.clone(), other.inner.clone()] }),
             lineage: Lineage::derived("Union", vec![self.lineage.clone(), other.lineage.clone()]),
+            fused: None,
         }
     }
 
@@ -357,11 +520,13 @@ impl<T: Data> Rdd<T> {
     }
 
     /// Pairs up equal-numbered partitions of two datasets. Panics at
-    /// action time if the partition counts differ.
+    /// action time if the partition counts differ. The closure receives
+    /// shared [`Partition`] handles; borrow (`&data`, `data.iter()`) to
+    /// stay zero-copy, or iterate by value to take owned elements.
     pub fn zip_partitions<B: Data, R: Data>(
         &self,
         other: &Rdd<B>,
-        f: impl Fn(usize, Vec<T>, Vec<B>) -> Vec<R> + Send + Sync + 'static,
+        f: impl Fn(usize, Partition<T>, Partition<B>) -> Vec<R> + Send + Sync + 'static,
     ) -> Rdd<R> {
         assert_eq!(
             self.num_partitions(),
@@ -379,6 +544,7 @@ impl<T: Data> Rdd<T> {
                 "ZipPartitions",
                 vec![self.lineage.clone(), other.lineage.clone()],
             ),
+            fused: None,
         }
     }
 
@@ -394,7 +560,7 @@ impl<T: Data> Rdd<T> {
         &self,
         other: &Rdd<B>,
         pairs: Vec<(usize, usize)>,
-        f: impl Fn(Vec<T>, Vec<B>) -> Vec<R> + Send + Sync + 'static,
+        f: impl Fn(Partition<T>, Partition<B>) -> Vec<R> + Send + Sync + 'static,
     ) -> Rdd<R> {
         let ln = self.num_partitions();
         let rn = other.num_partitions();
@@ -414,6 +580,7 @@ impl<T: Data> Rdd<T> {
                 format!("PartitionPairJoin[{n_pairs} pairs of {ln}x{rn}]"),
                 vec![self.lineage.clone(), other.lineage.clone()],
             ),
+            fused: None,
         }
     }
 
@@ -440,17 +607,29 @@ impl<T: Data> Rdd<T> {
         )
     }
 
-    /// Memoises each partition after its first computation.
+    /// Memoises each partition after its first computation. Later
+    /// accesses share the cached allocation (an `Arc` bump counted in
+    /// [`MetricsSnapshot::clone_bytes_avoided`](crate::MetricsSnapshot))
+    /// instead of deep-cloning the partition.
     pub fn cache(&self) -> Rdd<T> {
         let cells = (0..self.num_partitions()).map(|_| OnceLock::new()).collect();
-        self.derive("Cache", Arc::new(CachedRdd { parent: self.inner.clone(), cells }))
+        self.derive(
+            "Cache",
+            Arc::new(CachedRdd { ctx: self.ctx.clone(), parent: self.inner.clone(), cells }),
+        )
     }
 
     // -- actions ------------------------------------------------------------
 
     /// Runs `f` over every partition in parallel and returns the results
     /// in partition order. The building block for all other actions.
-    pub fn run_partitions<R: Send>(&self, f: impl Fn(usize, Vec<T>) -> R + Send + Sync) -> Vec<R> {
+    /// `f` receives a shared [`Partition`] handle: borrow it to stay
+    /// zero-copy, or convert with [`Partition::into_vec`] / by-value
+    /// iteration when owned elements are needed.
+    pub fn run_partitions<R: Send>(
+        &self,
+        f: impl Fn(usize, Partition<T>) -> R + Send + Sync,
+    ) -> Vec<R> {
         self.ctx.raw_metrics().inc_jobs();
         executor::run_partitions(&self.ctx, &self.inner, f)
     }
@@ -460,7 +639,7 @@ impl<T: Data> Rdd<T> {
     /// partition, instead of unwinding through the caller.
     pub fn try_run_partitions<R: Send>(
         &self,
-        f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+        f: impl Fn(usize, Partition<T>) -> R + Send + Sync,
     ) -> Result<Vec<R>, TaskError> {
         self.ctx.raw_metrics().inc_jobs();
         executor::try_run_partitions(&self.ctx, &self.inner, f)
@@ -468,17 +647,31 @@ impl<T: Data> Rdd<T> {
 
     /// Materialises the whole dataset in partition order.
     pub fn collect(&self) -> Vec<T> {
-        self.run_partitions(|_, data| data).into_iter().flatten().collect()
+        self.flatten_partitions(self.run_partitions(|_, data| data))
     }
 
     /// Fallible [`Rdd::collect`]: returns the first [`TaskError`] instead
     /// of panicking when a partition task fails.
     pub fn try_collect(&self) -> Result<Vec<T>, TaskError> {
-        Ok(self.try_run_partitions(|_, data| data)?.into_iter().flatten().collect())
+        Ok(self.flatten_partitions(self.try_run_partitions(|_, data| data)?))
     }
 
-    /// Materialises the dataset keeping partition boundaries.
-    pub fn glom(&self) -> Vec<Vec<T>> {
+    fn flatten_partitions(&self, mut parts: Vec<Partition<T>>) -> Vec<T> {
+        if parts.len() == 1 {
+            // single partition: steal the vec outright when unshared
+            return parts.pop().expect("len checked").into_vec_counted(self.ctx.raw_metrics());
+        }
+        let total = parts.iter().map(|p| p.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend(p.into_iter_counted(self.ctx.raw_metrics()));
+        }
+        out
+    }
+
+    /// Materialises the dataset keeping partition boundaries, returning
+    /// shared [`Partition`] handles (no per-partition copy).
+    pub fn glom(&self) -> Vec<Partition<T>> {
         self.run_partitions(|_, data| data)
     }
 
@@ -705,10 +898,19 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
 
 #[cfg(test)]
 mod tests {
-    use crate::context::Context;
+    use crate::context::{Context, EngineConfig};
 
     fn ctx() -> Context {
         Context::with_parallelism(4)
+    }
+
+    fn unfused_ctx() -> Context {
+        Context::with_config(EngineConfig {
+            parallelism: 4,
+            default_partitions: 4,
+            fusion_enabled: false,
+            ..EngineConfig::default()
+        })
     }
 
     #[test]
@@ -940,9 +1142,98 @@ mod tests {
         let lines: Vec<&str> = plan.lines().collect();
         assert_eq!(lines[0], "Cache");
         assert!(lines[1].trim_start().starts_with("Shuffle[3"));
-        assert_eq!(lines[2].trim_start(), "Map");
-        assert_eq!(lines[3].trim_start(), "Filter");
-        assert!(lines[4].trim_start().starts_with("ParallelCollection[100"));
+        assert_eq!(lines[2].trim_start(), "Fused[Filter→Map]");
+        assert!(lines[3].trim_start().starts_with("ParallelCollection[100"));
+    }
+
+    #[test]
+    fn fused_chain_renders_single_node() {
+        let c = ctx();
+        // a single narrow op keeps its plain name
+        let single = c.parallelize((0..10).collect(), 2).map(|x| x + 1);
+        assert!(single.explain().starts_with("Map\n"), "{}", single.explain());
+        // two or more fuse into one node
+        let fused = single.filter(|x| x % 2 == 0).flat_map(|x| vec![x]);
+        assert!(fused.explain().starts_with("Fused[Map→Filter→FlatMap]\n"), "{}", fused.explain());
+        assert_eq!(fused.collect(), vec![2, 4, 6, 8, 10]);
+        // a shuffle breaks the chain; later narrow ops start a new one
+        let after = fused.partition_by(2, |x| *x as usize).map(|x| x).filter(|_| true);
+        assert!(after.explain().starts_with("Fused[Map→Filter]\n"), "{}", after.explain());
+    }
+
+    #[test]
+    fn fused_chain_with_partition_barrier() {
+        let c = ctx();
+        let r = c
+            .parallelize((0..100).collect(), 5)
+            .map(|x| x + 1)
+            .map_partitions(|mut v| {
+                v.sort_unstable();
+                v
+            })
+            .filter(|x| x % 2 == 0);
+        assert!(r.explain().starts_with("Fused[Map→MapPartitions→Filter]"), "{}", r.explain());
+        assert_eq!(r.count(), 50);
+    }
+
+    #[test]
+    fn fusion_on_and_off_agree() {
+        let expect: Vec<i32> =
+            (0..500).map(|x| x + 1).filter(|x| x % 3 == 0).flat_map(|x| [x, -x]).collect();
+        for c in [ctx(), unfused_ctx()] {
+            let r = c
+                .parallelize((0..500).collect(), 7)
+                .map(|x| x + 1)
+                .filter(|x| x % 3 == 0)
+                .flat_map(|x| [x, -x]);
+            assert_eq!(r.collect(), expect, "fusion_enabled={}", c.fusion_enabled());
+            assert_eq!(r.num_partitions(), 7);
+        }
+    }
+
+    #[test]
+    fn fusion_disabled_materialises_each_operator() {
+        let c = unfused_ctx();
+        let r = c.parallelize((0..100).collect(), 4).filter(|x| x % 2 == 0).map(|x| x * 3);
+        let plan = r.explain();
+        let lines: Vec<&str> = plan.lines().collect();
+        assert_eq!(lines[0], "Map");
+        assert_eq!(lines[1].trim_start(), "Filter");
+        assert!(lines[2].trim_start().starts_with("ParallelCollection[100"));
+        let expect: Vec<i32> = (0..100).filter(|x| x % 2 == 0).map(|x| x * 3).collect();
+        assert_eq!(r.collect(), expect);
+    }
+
+    #[test]
+    fn cache_rereads_share_instead_of_cloning() {
+        let c = ctx();
+        let r = c.parallelize((0..1000).collect::<Vec<i64>>(), 4).map(|x| x * 2).cache();
+        assert_eq!(r.count(), 1000); // populate the cache
+        let before = c.metrics();
+        assert_eq!(r.count(), 1000);
+        assert_eq!(r.count(), 1000);
+        let delta = c.metrics().since(&before);
+        assert_eq!(delta.records_cloned, 0, "cache re-reads must not deep-clone");
+        let shallow = 1000 * std::mem::size_of::<i64>() as u64;
+        assert!(
+            delta.clone_bytes_avoided >= 2 * shallow,
+            "two re-reads should share ≥ {} bytes, shared {}",
+            2 * shallow,
+            delta.clone_bytes_avoided
+        );
+    }
+
+    #[test]
+    fn collect_counts_forced_clones_from_shared_storage() {
+        let c = ctx();
+        let r = c.parallelize((0..100).collect::<Vec<i32>>(), 4).cache();
+        r.count(); // populate
+        let before = c.metrics();
+        assert_eq!(r.collect().len(), 100);
+        let delta = c.metrics().since(&before);
+        // collect must hand out owned elements while the cache retains
+        // the partitions, so the deep clone is real — and counted.
+        assert_eq!(delta.records_cloned, 100);
     }
 
     #[test]
@@ -955,7 +1246,7 @@ mod tests {
         assert!(plan.starts_with("Union"));
         assert_eq!(plan.matches("ParallelCollection").count(), 2);
 
-        let j = a.join_partition_pairs(&b, vec![(0, 0)], |x, _y: Vec<i32>| x);
+        let j = a.join_partition_pairs(&b, vec![(0, 0)], |x, _y: crate::Partition<i32>| x.to_vec());
         assert!(j.explain().starts_with("PartitionPairJoin[1 pairs"));
     }
 
@@ -1023,7 +1314,7 @@ mod tests {
         let c = ctx();
         let left = c.parallelize(vec![1], 1);
         let right = c.parallelize(vec![2], 1);
-        left.join_partition_pairs(&right, vec![(0, 5)], |a, _b: Vec<i32>| a);
+        left.join_partition_pairs(&right, vec![(0, 5)], |a, _b: crate::Partition<i32>| a.to_vec());
     }
 
     #[test]

@@ -9,8 +9,8 @@ use crate::coord::Coord;
 use crate::geometry::Geometry;
 use serde::{Deserialize, Serialize};
 
-/// Mean Earth radius in metres, used by [`DistanceFn::Haversine`].
-pub const EARTH_RADIUS_M: f64 = 6_371_000.8;
+/// IUGG mean Earth radius in metres, used by [`DistanceFn::Haversine`].
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 
 /// A distance measure between two geometries.
 ///
@@ -44,20 +44,27 @@ impl DistanceFn {
         }
     }
 
-    /// A cheap lower bound on `distance` given only envelope separation
-    /// (planar units). Used for partition pruning and index descent:
-    /// pruning is only valid when the bound never exceeds the true value.
-    pub fn lower_bound_from_planar(&self, planar_separation: f64) -> f64 {
+    /// A cheap lower bound on `distance` given the per-axis envelope
+    /// gaps `(dx, dy)` in planar units (degrees for Haversine). Used for
+    /// partition pruning and index descent: pruning is only valid when
+    /// the bound never exceeds the true distance between any pair of
+    /// points separated by at least these gaps.
+    ///
+    /// For Haversine only the latitude gap is credited: a degree of
+    /// latitude is a constant arc everywhere, while a degree of
+    /// longitude shrinks to zero toward the poles, so any conversion of
+    /// a longitudinal gap into metres would overshoot near the poles
+    /// and prune partitions that still hold matches.
+    pub fn lower_bound_from_axis_gaps(&self, dx: f64, dy: f64) -> f64 {
+        let dx = dx.max(0.0);
+        let dy = dy.max(0.0);
         match self {
-            DistanceFn::Euclidean => planar_separation,
-            // One degree is at least ~111 km nowhere less; use a very
-            // conservative metre conversion so pruning stays sound even
-            // near the poles where longitudinal degrees shrink (shrinking
-            // degrees mean *smaller* true distance, so the bound must use
-            // the equatorial scale only for latitude; we conservatively
-            // return 0 separation unless the planar gap is large).
-            DistanceFn::Haversine => 0.0_f64.max(planar_separation - 1.0) * 110_574.0,
-            DistanceFn::Manhattan => planar_separation,
+            DistanceFn::Euclidean => dx.hypot(dy),
+            // Great-circle distance is R times the central angle, and
+            // the central angle is at least the latitude difference, so
+            // R * |Δlat| in radians never exceeds the true distance.
+            DistanceFn::Haversine => dy.to_radians() * EARTH_RADIUS_M,
+            DistanceFn::Manhattan => dx + dy,
         }
     }
 }
@@ -69,7 +76,10 @@ pub fn haversine(a: &Coord, b: &Coord) -> f64 {
     let dlat = (b.y - a.y).to_radians();
     let dlon = (b.x - a.x).to_radians();
     let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
-    2.0 * EARTH_RADIUS_M * h.sqrt().asin()
+    // Float error can push h a hair outside [0, 1] for (near-)antipodal
+    // points, where sqrt/asin would return NaN; clamp so those pairs
+    // report ~πR instead.
+    2.0 * EARTH_RADIUS_M * h.clamp(0.0, 1.0).sqrt().asin()
 }
 
 #[cfg(test)]
@@ -92,20 +102,45 @@ mod tests {
 
     #[test]
     fn haversine_known_distances() {
-        // Berlin (13.405, 52.52) to Munich (11.582, 48.135): ~504 km
+        // Berlin (13.405, 52.52) to Munich (11.582, 48.135): ~504.4 km
         let berlin = Coord::new(13.405, 52.52);
         let munich = Coord::new(11.582, 48.135);
         let d = haversine(&berlin, &munich);
-        assert!((d - 504_000.0).abs() < 5_000.0, "got {d}");
+        assert!((d - 504_400.0).abs() < 1_500.0, "got {d}");
         // zero distance
         assert_eq!(haversine(&berlin, &berlin), 0.0);
     }
 
     #[test]
     fn haversine_equator_degree() {
-        // one degree of longitude on the equator ≈ 111.19 km
+        // one degree of longitude on the equator: πR/180 ≈ 111.195 km
         let d = haversine(&Coord::new(0.0, 0.0), &Coord::new(1.0, 0.0));
-        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+        let expected = std::f64::consts::PI * EARTH_RADIUS_M / 180.0;
+        assert!((d - expected).abs() < 1e-6, "got {d}, want {expected}");
+    }
+
+    #[test]
+    fn haversine_antipodal_is_half_circumference() {
+        let d = haversine(&Coord::new(0.0, 0.0), &Coord::new(180.0, 0.0));
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1.0, "got {d}, want {half}");
+    }
+
+    #[test]
+    fn haversine_near_antipodal_is_finite() {
+        // Without clamping, float error pushes h a hair above 1 for
+        // pairs like these and sqrt().asin() returns NaN.
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        let pairs = [
+            (Coord::new(12.3456789, 45.0000001), Coord::new(12.3456789 - 180.0, -45.0)),
+            (Coord::new(-77.0371, 38.8895), Coord::new(102.9629, -38.8895)),
+            (Coord::new(0.0, 89.9999999), Coord::new(179.9999999, -89.9999999)),
+        ];
+        for (a, b) in pairs {
+            let d = haversine(&a, &b);
+            assert!(d.is_finite(), "near-antipodal {a:?}/{b:?} gave {d}");
+            assert!(d <= half + 1e-6 && d > half - 100.0, "got {d}, want ~{half}");
+        }
     }
 
     #[test]
@@ -117,18 +152,54 @@ mod tests {
 
     #[test]
     fn lower_bound_is_sound_for_euclidean() {
-        // For Euclidean the envelope separation is itself the bound.
-        assert_eq!(DistanceFn::Euclidean.lower_bound_from_planar(2.5), 2.5);
+        // For Euclidean the bound is the norm of the axis gaps.
+        assert_eq!(DistanceFn::Euclidean.lower_bound_from_axis_gaps(3.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn lower_bound_manhattan_sums_axes() {
+        assert_eq!(DistanceFn::Manhattan.lower_bound_from_axis_gaps(3.0, 4.0), 7.0);
     }
 
     #[test]
     fn lower_bound_haversine_never_exceeds_true_distance() {
-        // 2 planar degrees apart on the equator: bound must be <= true.
+        // 2 degrees of longitude apart on the equator.
         let a = Coord::new(0.0, 0.0);
         let b = Coord::new(2.0, 0.0);
         let true_d = haversine(&a, &b);
-        let bound = DistanceFn::Haversine.lower_bound_from_planar(2.0);
+        let bound = DistanceFn::Haversine.lower_bound_from_axis_gaps(2.0, 0.0);
         assert!(bound <= true_d, "bound {bound} > true {true_d}");
+    }
+
+    #[test]
+    fn lower_bound_haversine_ignores_longitude_near_poles() {
+        // 10 degrees of longitude at 87°N is only ~58 km. The old
+        // equatorial-scale conversion claimed ~995 km and unsoundly
+        // pruned partitions that still held matches.
+        let a = Coord::new(0.0, 87.0);
+        let b = Coord::new(10.0, 87.0);
+        let true_d = haversine(&a, &b);
+        let bound = DistanceFn::Haversine.lower_bound_from_axis_gaps(10.0, 0.0);
+        assert_eq!(bound, 0.0);
+        assert!(true_d < 70_000.0, "sanity: high-latitude arc is short, got {true_d}");
+    }
+
+    #[test]
+    fn lower_bound_haversine_credits_latitude_tightly() {
+        // Same longitude: great-circle distance is exactly R·Δlat, so
+        // the latitude-only bound should be tight there.
+        let a = Coord::new(5.0, 10.0);
+        let b = Coord::new(5.0, 12.0);
+        let true_d = haversine(&a, &b);
+        let bound = DistanceFn::Haversine.lower_bound_from_axis_gaps(0.0, 2.0);
+        assert!(bound <= true_d + 1e-6, "bound {bound} > true {true_d}");
+        assert!(bound > 0.999 * true_d, "bound {bound} not tight vs {true_d}");
+    }
+
+    #[test]
+    fn lower_bound_clamps_negative_gaps() {
+        assert_eq!(DistanceFn::Euclidean.lower_bound_from_axis_gaps(-1.0, -2.0), 0.0);
+        assert_eq!(DistanceFn::Haversine.lower_bound_from_axis_gaps(-1.0, -2.0), 0.0);
     }
 
     #[test]

@@ -205,27 +205,27 @@ impl Envelope {
             && other.max_y <= self.max_y
     }
 
-    /// Minimum Euclidean distance between the two closed rectangles;
-    /// zero when they intersect.
-    pub fn distance(&self, other: &Envelope) -> f64 {
-        if self.intersects(other) {
-            return 0.0;
+    /// Per-axis separations `(dx, dy)` between the two closed
+    /// rectangles. An axis whose projections overlap contributes zero;
+    /// both components are zero when the rectangles intersect, and both
+    /// are infinite when either rectangle is empty. [`Envelope::distance`]
+    /// is the Euclidean norm of this pair; distance functions whose axes
+    /// are not interchangeable (e.g. Haversine on lon/lat degrees) need
+    /// the per-axis form to build a sound lower bound.
+    pub fn axis_distances(&self, other: &Envelope) -> (f64, f64) {
+        if self.is_empty() || other.is_empty() {
+            return (f64::INFINITY, f64::INFINITY);
         }
-        let dx = if other.max_x < self.min_x {
-            self.min_x - other.max_x
-        } else if self.max_x < other.min_x {
-            other.min_x - self.max_x
-        } else {
-            0.0
-        };
-        let dy = if other.max_y < self.min_y {
-            self.min_y - other.max_y
-        } else if self.max_y < other.min_y {
-            other.min_y - self.max_y
-        } else {
-            0.0
-        };
-        (dx * dx + dy * dy).sqrt()
+        let dx = (self.min_x - other.max_x).max(other.min_x - self.max_x).max(0.0);
+        let dy = (self.min_y - other.max_y).max(other.min_y - self.max_y).max(0.0);
+        (dx, dy)
+    }
+
+    /// Minimum Euclidean distance between the two closed rectangles;
+    /// zero when they intersect, infinite when either is empty.
+    pub fn distance(&self, other: &Envelope) -> f64 {
+        let (dx, dy) = self.axis_distances(other);
+        dx.hypot(dy)
     }
 
     /// Minimum Euclidean distance from the rectangle to a coordinate;
@@ -340,6 +340,22 @@ mod tests {
         assert_eq!(a.distance(&a), 0.0);
         assert_eq!(a.distance_to_coord(&Coord::new(0.5, 0.5)), 0.0);
         assert_eq!(a.distance_to_coord(&Coord::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn axis_distances_per_axis() {
+        let a = env(0.0, 0.0, 1.0, 1.0);
+        let b = env(4.0, 5.0, 6.0, 7.0);
+        assert_eq!(a.axis_distances(&b), (3.0, 4.0));
+        assert_eq!(b.axis_distances(&a), (3.0, 4.0));
+        // overlap on x only
+        let c = env(0.5, 3.0, 2.0, 4.0);
+        assert_eq!(a.axis_distances(&c), (0.0, 2.0));
+        // full overlap
+        assert_eq!(a.axis_distances(&a), (0.0, 0.0));
+        // empty envelopes are infinitely far on both axes
+        assert_eq!(a.axis_distances(&Envelope::empty()), (f64::INFINITY, f64::INFINITY));
+        assert!(a.distance(&Envelope::empty()).is_infinite());
     }
 
     #[test]

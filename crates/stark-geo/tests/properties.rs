@@ -27,6 +27,17 @@ fn geometry_strategy() -> impl Strategy<Value = Geometry> {
     prop_oneof![point_strategy(), rect_strategy(), linestring_strategy()]
 }
 
+/// (lon, lat) pairs over the whole globe, oversampling the polar caps
+/// (|lat| > 85°) where the old equatorial-scale pruning bound was unsound.
+fn lonlat_strategy() -> impl Strategy<Value = Coord> {
+    prop_oneof![
+        (-180.0f64..=180.0, -90.0f64..=90.0),
+        (-180.0f64..=180.0, 85.0f64..=90.0),
+        (-180.0f64..=180.0, -90.0f64..=-85.0),
+    ]
+    .prop_map(|(lon, lat)| Coord::new(lon, lat))
+}
+
 proptest! {
     #[test]
     fn wkt_roundtrip(g in geometry_strategy()) {
@@ -152,6 +163,35 @@ proptest! {
         let bc = stark_geo::haversine(&pb, &pc);
         let ac = stark_geo::haversine(&pa, &pc);
         prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn haversine_axis_gap_bound_is_sound(a in lonlat_strategy(), b in lonlat_strategy()) {
+        let true_d = stark_geo::haversine(&a, &b);
+        prop_assert!(true_d.is_finite(), "haversine returned {true_d}");
+        let dx = (a.x - b.x).abs();
+        let dy = (a.y - b.y).abs();
+        let bound = DistanceFn::Haversine.lower_bound_from_axis_gaps(dx, dy);
+        prop_assert!(bound <= true_d + 1e-6, "bound {bound} > true {true_d} for {a:?}/{b:?}");
+    }
+
+    #[test]
+    fn envelope_axis_gaps_lower_bound_haversine(
+        a in lonlat_strategy(),
+        b in lonlat_strategy(),
+        (w, h) in (0.0f64..5.0, 0.0f64..2.0),
+    ) {
+        // A point inside an envelope is never closer to a query point
+        // than the per-axis-gap bound claims.
+        let env = Envelope::from_bounds(
+            a.x, a.y,
+            (a.x + w).min(180.0), (a.y + h).min(90.0),
+        );
+        let q = Envelope::from_point(b);
+        let (dx, dy) = env.axis_distances(&q);
+        let bound = DistanceFn::Haversine.lower_bound_from_axis_gaps(dx, dy);
+        let true_d = stark_geo::haversine(&a, &b);
+        prop_assert!(bound <= true_d + 1e-6, "bound {bound} > true {true_d}");
     }
 
     #[test]

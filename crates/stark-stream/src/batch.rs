@@ -6,10 +6,14 @@ use std::time::Duration;
 pub type BatchId = u64;
 
 /// One micro-batch pulled from a [`crate::Source`].
+///
+/// Records ride in a shared [`stark_engine::Partition`], so handing the
+/// batch from the pump thread to the driver — and from the driver into
+/// the window manager and query engine — never deep-copies the payload.
 #[derive(Debug, Clone)]
 pub struct MicroBatch<V> {
     pub id: BatchId,
-    pub records: Vec<(stark::STObject, V)>,
+    pub records: stark_engine::Partition<(stark::STObject, V)>,
 }
 
 /// Per-batch processing metrics, extending the engine's job counters

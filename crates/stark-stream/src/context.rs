@@ -140,7 +140,7 @@ impl StreamContext {
             let mut source = source;
             let mut id = 0u64;
             while let Some(records) = source.next_batch(batch_records) {
-                let batch = MicroBatch { id, records };
+                let batch = MicroBatch { id, records: stark_engine::Partition::from_vec(records) };
                 id += 1;
                 if tx.send(batch).is_err() {
                     break; // driver went away
