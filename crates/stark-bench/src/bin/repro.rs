@@ -4,6 +4,8 @@
 //!   repro all `[n]`          # every experiment (default scale)
 //!   repro figure4 `[n]`      # the Figure 4 self-join comparison
 //!   repro fusion `[n]`       # S7 fused-vs-unfused narrow chains (writes target/s7-fusion.json)
+//!   repro chaos `[n]`        # S8 fault-tolerance ablation (writes target/s8-chaos.json;
+//!                            # seed via STARK_CHAOS_SEED)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -98,10 +100,28 @@ fn main() {
         std::fs::write(&path, json).expect("write S7 json");
         eprintln!("[s7] wrote {path}");
     }
+    if run("chaos") {
+        ran = true;
+        let seed: u64 = std::env::var("STARK_CHAOS_SEED")
+            .ok()
+            .map(|s| s.trim().parse().expect("STARK_CHAOS_SEED must be a u64"))
+            .unwrap_or(0xC4A05);
+        let t = experiments::chaos(ctx.parallelism(), n.unwrap_or(100_000), seed);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S8 table");
+        let path = std::env::var("S8_JSON").unwrap_or_else(|_| "target/s8-chaos.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S8 json");
+        eprintln!("[s8] wrote {path}");
+    }
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, chaos"
         );
         std::process::exit(2);
     }

@@ -13,7 +13,7 @@ use stark::{
 use stark_baselines::{
     broadcast_join, geospark_join, spatialspark_join, GeoSparkConfig, RegionScheme,
 };
-use stark_engine::{Context, EngineConfig, ObjectStore};
+use stark_engine::{Context, EngineConfig, FaultInjector, ObjectStore};
 use stark_geo::{Coord, DistanceFn};
 use std::sync::Arc;
 
@@ -693,12 +693,150 @@ pub fn fusion(parallelism: usize, n: usize, repeats: usize) -> Table {
     t
 }
 
+/// S8 — chaos ablation: the A1 pruning pipeline (grid(8) partitioning +
+/// containedBy filter) under a seeded 10% transient task-fault rate,
+/// with fault tolerance progressively enabled — clean baseline, faults
+/// with retry disabled, lineage-based retry, and retry plus a
+/// mid-pipeline checkpoint. Reports injected-fault and retry counts and
+/// wall-clock overhead against the clean baseline.
+pub fn chaos(parallelism: usize, n: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!("S8: chaos ablation, {n} points, grid(8), 10% transient faults (seed {seed})"),
+        &[
+            "config",
+            "completed",
+            "results",
+            "time [s]",
+            "injected",
+            "retried",
+            "failed perm",
+            "recomputed",
+            "ckpt bytes",
+            "overhead",
+        ],
+    );
+    let store_dir = std::env::temp_dir().join(format!("stark-s8-{}", std::process::id()));
+    let store = ObjectStore::open(store_dir.join("store")).expect("open S8 object store");
+
+    // The whole pipeline runs under catch_unwind so the retry-off
+    // configuration reports its permanent failure as a table row instead
+    // of crashing the harness.
+    let run_pipeline = |ctx: &Context, ck: Option<&ObjectStore>| -> Result<usize, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let parts = (ctx.parallelism() * 2).max(8);
+            let data = workloads::uniform_points(ctx, n, parts);
+            let srdd = data.spatial();
+            let part = srdd.partition_by(Arc::new(GridPartitioner::build(8, &srdd.summarize())));
+            let query = workloads::query_polygon(0.25);
+            let base = match ck {
+                Some(store) => part.rdd().checkpoint(store, "s8-mid").expect("S8 checkpoint"),
+                None => part.rdd().clone(),
+            };
+            base.filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &query))
+                .try_collect()
+                .map(|v| v.len())
+                .map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "pipeline panicked".into());
+            Err(msg)
+        })
+    };
+
+    struct Config {
+        name: &'static str,
+        faults: bool,
+        retries: u32,
+        checkpoint: bool,
+    }
+    let configs = [
+        Config { name: "clean baseline", faults: false, retries: 3, checkpoint: false },
+        Config { name: "faults, retry off", faults: true, retries: 0, checkpoint: false },
+        Config { name: "faults, retry", faults: true, retries: 3, checkpoint: false },
+        Config { name: "faults, retry + checkpoint", faults: true, retries: 3, checkpoint: true },
+    ];
+    // Warm-up pass outside the timings so the clean baseline doesn't
+    // absorb allocator/page-fault costs the later rows skip.
+    let warmup = Context::with_config(EngineConfig { parallelism, ..EngineConfig::default() });
+    run_pipeline(&warmup, None).expect("warm-up run must succeed");
+
+    // The retry-off configuration fails by design; keep its expected
+    // panic from spraying a backtrace across the table.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut baseline: Option<std::time::Duration> = None;
+    for c in configs {
+        let injector = c.faults.then(|| Arc::new(FaultInjector::transient(seed, 0.10)));
+        let ctx = Context::with_config(EngineConfig {
+            parallelism,
+            max_task_retries: c.retries,
+            fault_injector: injector.clone(),
+            ..EngineConfig::default()
+        });
+        let (outcome, time) = timed(|| run_pipeline(&ctx, c.checkpoint.then_some(&store)));
+        let m = ctx.metrics();
+        let completed = outcome.is_ok();
+        if completed && baseline.is_none() {
+            baseline = Some(time);
+        }
+        let overhead = match (&baseline, completed) {
+            (Some(base), true) => {
+                format!("{:.2}x", time.as_secs_f64() / base.as_secs_f64().max(1e-9))
+            }
+            _ => "-".into(),
+        };
+        t.push(vec![
+            c.name.into(),
+            if completed { "yes" } else { "NO" }.into(),
+            outcome.map(|r| r.to_string()).unwrap_or_else(|_| "-".into()),
+            secs(time),
+            injector.map(|i| i.injected()).unwrap_or(0).to_string(),
+            m.tasks_retried.to_string(),
+            m.tasks_failed_permanently.to_string(),
+            m.partitions_recomputed.to_string(),
+            m.checkpoint_bytes.to_string(),
+            overhead,
+        ]);
+    }
+    std::panic::set_hook(default_hook);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ctx() -> Context {
         Context::with_parallelism(4)
+    }
+
+    #[test]
+    fn chaos_ablation_rows_tell_the_recovery_story() {
+        let t = chaos(4, 4000, 0xC4A05);
+        assert_eq!(t.rows.len(), 4);
+        // clean baseline completes without any injections or retries
+        assert_eq!(t.rows[0][1], "yes");
+        assert_eq!(t.rows[0][4], "0");
+        assert_eq!(t.rows[0][5], "0");
+        // both retry configurations absorb every injected fault
+        for row in [&t.rows[2], &t.rows[3]] {
+            assert_eq!(row[1], "yes", "retry row must complete: {row:?}");
+            assert_eq!(row[2], t.rows[0][2], "results must match the clean run");
+            assert_eq!(row[6], "0", "nothing may fail permanently with retries on");
+            let injected: u64 = row[4].parse().unwrap();
+            let retried: u64 = row[5].parse().unwrap();
+            assert!(injected > 0, "seeded 10% rate must inject at this scale");
+            assert_eq!(retried, injected);
+        }
+        // the checkpoint row actually wrote blobs
+        let ck_bytes: u64 = t.rows[3][8].parse().unwrap();
+        assert!(ck_bytes > 0);
+        assert_eq!(t.rows[2][8], "0");
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The engine entry point, analogous to Spark's `SparkContext`.
 
+use crate::fault::FaultInjector;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::rdd::Rdd;
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -19,6 +21,19 @@ pub struct EngineConfig {
     /// pass. On by default; turning it off materialises one `Vec` per
     /// operator — the unfused baseline the S7 experiment measures.
     pub fusion_enabled: bool,
+    /// Retries a failed partition task gets before its error becomes
+    /// permanent — Spark's `spark.task.maxFailures - 1`. Each retry
+    /// recomputes the partition from lineage (evicting any poisoned
+    /// cache entry first); `0` restores fail-fast behaviour.
+    pub max_task_retries: u32,
+    /// Base delay between task retry attempts, doubled per attempt
+    /// (exponential backoff). Zero (the default) retries immediately —
+    /// in-process recomputation has no cluster to wait out.
+    pub retry_backoff: Duration,
+    /// Chaos-testing hook: a seeded [`FaultInjector`] the executor
+    /// consults at the start of every task attempt. `None` (the
+    /// default) injects nothing.
+    pub fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl Default for EngineConfig {
@@ -29,6 +44,9 @@ impl Default for EngineConfig {
             default_partitions: cores,
             app_name: "stark".to_string(),
             fusion_enabled: true,
+            max_task_retries: 3,
+            retry_backoff: Duration::ZERO,
+            fault_injector: None,
         }
     }
 }
@@ -42,6 +60,10 @@ pub(crate) struct ContextInner {
     /// top-level jobs (a nested shuffle job is already covered by the
     /// enclosing job's interval).
     pub(crate) active_jobs: AtomicUsize,
+    /// Stage ordinal source: each partition sweep on this context draws
+    /// a fresh ordinal, so fault injection targeted by stage (or drawn
+    /// per `(stage, partition)`) strikes re-runs independently.
+    pub(crate) next_stage: AtomicU64,
 }
 
 /// Handle to the engine; cheap to clone, shared by all datasets it creates.
@@ -58,6 +80,7 @@ impl Context {
                 config,
                 metrics: Metrics::default(),
                 active_jobs: AtomicUsize::new(0),
+                next_stage: AtomicU64::new(0),
             }),
         }
     }
@@ -91,6 +114,21 @@ impl Context {
     /// [`EngineConfig::fusion_enabled`]).
     pub fn fusion_enabled(&self) -> bool {
         self.inner.config.fusion_enabled
+    }
+
+    /// The per-task retry budget (see [`EngineConfig::max_task_retries`]).
+    pub fn max_task_retries(&self) -> u32 {
+        self.inner.config.max_task_retries
+    }
+
+    /// The installed chaos injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.inner.config.fault_injector.as_ref()
+    }
+
+    /// Draws the next stage ordinal for a partition sweep.
+    pub(crate) fn next_stage_id(&self) -> u64 {
+        self.inner.next_stage.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Distributes a local collection into `num_partitions` chunks,

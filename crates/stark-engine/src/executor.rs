@@ -9,14 +9,40 @@
 //! the failing partition index and payload size, so callers (and the
 //! streaming layer, which must survive poison batches) can decide how to
 //! react.
+//!
+//! Failed tasks are retried up to
+//! [`EngineConfig::max_task_retries`](crate::EngineConfig) times before
+//! the error becomes permanent. Each retry recomputes the partition from
+//! RDD lineage — the engine first *evicts* the partition from every
+//! cache along the lineage ([`RddImpl::evict`]) so a poisoned cached
+//! value cannot be served back, exactly Spark's lost-partition recovery
+//! path. Structural errors ([`TaskErrorKind::PartitionOutOfRange`]) are
+//! deterministic and never retried.
 
 use crate::context::Context;
+use crate::fault::InjectedFault;
 use crate::partition::Partition;
 use crate::rdd::{Data, RddImpl};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Why a partition task failed — drives the retry decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskErrorKind {
+    /// A genuine panic in user code or the engine. Retryable: Spark
+    /// retries every lost task, transient or not, and gives up only
+    /// after the attempt budget.
+    Panic,
+    /// A fault raised by the configured
+    /// [`FaultInjector`](crate::FaultInjector). Retryable.
+    Injected,
+    /// The task asked for a partition index the dataset does not have —
+    /// a deterministic structural error; retrying cannot help, so it
+    /// fails fast without consuming the retry budget.
+    PartitionOutOfRange,
+}
 
 /// A partition task failed (panicked) during a job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,28 +54,58 @@ pub struct TaskError {
     pub payload_records: usize,
     /// Panic payload rendered as text.
     pub message: String,
+    /// Failure classification (see [`TaskErrorKind`]).
+    pub kind: TaskErrorKind,
+    /// Attempts made before the error became permanent (≥ 1).
+    pub attempts: u32,
+    /// Stage ordinal of the partition sweep the task belonged to.
+    pub stage: u64,
 }
 
 impl std::fmt::Display for TaskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "task for partition {} failed ({} records materialised): {}",
-            self.partition, self.payload_records, self.message
+            "task for partition {} failed permanently after {} attempt{} (stage {}, {} records materialised): {}",
+            self.partition,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.stage,
+            self.payload_records,
+            self.message
         )
     }
 }
 
 impl std::error::Error for TaskError {}
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
+/// Typed panic payload for engine-internal task aborts (e.g. the union
+/// out-of-range guard): carries a [`TaskErrorKind`] so the executor can
+/// classify the failure without string matching.
+pub(crate) struct TaskAbort {
+    pub(crate) kind: TaskErrorKind,
+    pub(crate) message: String,
+}
+
+/// Classifies a caught panic payload into a [`TaskError`].
+fn classify(
+    payload: Box<dyn std::any::Any + Send>,
+    partition: usize,
+    stage: u64,
+    attempts: u32,
+) -> TaskError {
+    let (kind, message) = if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        (TaskErrorKind::Injected, f.to_string())
+    } else if let Some(a) = payload.downcast_ref::<TaskAbort>() {
+        (a.kind, a.message.clone())
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (TaskErrorKind::Panic, (*s).to_string())
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        (TaskErrorKind::Panic, s.clone())
     } else {
-        "non-string panic payload".to_string()
-    }
+        (TaskErrorKind::Panic, "non-string panic payload".to_string())
+    };
+    TaskError { partition, payload_records: 0, message, kind, attempts, stage }
 }
 
 /// Tracks job nesting on a context so only top-level jobs accumulate
@@ -80,32 +136,75 @@ impl Drop for JobDepthGuard<'_> {
     }
 }
 
-/// Runs one partition task under a panic guard, recording metrics.
+/// Runs one partition task attempt under a panic guard, recording
+/// metrics. The configured [`FaultInjector`](crate::FaultInjector) is
+/// consulted *inside* the guard, so injected faults take the same path
+/// as genuine task panics.
+fn run_attempt<T: Data, R>(
+    ctx: &Context,
+    inner: &Arc<dyn RddImpl<T>>,
+    f: &(impl Fn(usize, Partition<T>) -> R + Send + Sync),
+    i: usize,
+    stage: u64,
+    attempt: u32,
+) -> Result<R, TaskError> {
+    let metrics = ctx.raw_metrics();
+    metrics.inc_tasks(1);
+    let started = Instant::now();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(injector) = ctx.fault_injector() {
+            injector.on_attempt(stage, i, attempt);
+        }
+        inner.compute(i)
+    }))
+    .map_err(|payload| classify(payload, i, stage, attempt + 1))
+    .and_then(|data| {
+        metrics.inc_records(data.len() as u64);
+        let payload_records = data.len();
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, data))).map_err(|payload| TaskError {
+            payload_records,
+            ..classify(payload, i, stage, attempt + 1)
+        })
+    });
+    metrics.add_task_nanos(started.elapsed().as_nanos() as u64);
+    result
+}
+
+/// Runs one partition task to completion: attempts, and on retryable
+/// failure evicts the partition from lineage caches and recomputes, up
+/// to the context's retry budget.
 fn run_task<T: Data, R>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
     f: &(impl Fn(usize, Partition<T>) -> R + Send + Sync),
     i: usize,
+    stage: u64,
 ) -> Result<R, TaskError> {
     let metrics = ctx.raw_metrics();
-    metrics.inc_tasks(1);
-    let started = Instant::now();
-    let result =
-        std::panic::catch_unwind(AssertUnwindSafe(|| inner.compute(i)))
-            .map_err(|payload| TaskError {
-                partition: i,
-                payload_records: 0,
-                message: panic_message(payload),
-            })
-            .and_then(|data| {
-                metrics.inc_records(data.len() as u64);
-                let payload_records = data.len();
-                std::panic::catch_unwind(AssertUnwindSafe(|| f(i, data))).map_err(|payload| {
-                    TaskError { partition: i, payload_records, message: panic_message(payload) }
-                })
-            });
-    metrics.add_task_nanos(started.elapsed().as_nanos() as u64);
-    result
+    let budget = ctx.max_task_retries();
+    let backoff = ctx.inner.config.retry_backoff;
+    let mut attempt = 0u32;
+    loop {
+        match run_attempt(ctx, inner, f, i, stage, attempt) {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                let retryable = e.kind != TaskErrorKind::PartitionOutOfRange;
+                if !retryable || attempt >= budget {
+                    metrics.inc_tasks_failed_permanently(1);
+                    return Err(e);
+                }
+                // Lineage-based recovery: drop any cached value for this
+                // partition so the retry recomputes it from scratch.
+                metrics.inc_tasks_retried(1);
+                metrics.inc_partitions_recomputed(1);
+                inner.evict(i);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff * (1u32 << attempt.min(6)));
+                }
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Computes every partition of `inner`, applies `f` to each, and returns
@@ -122,10 +221,11 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
     }
     let depth = JobDepthGuard::enter(ctx);
     let workers = ctx.parallelism().min(n);
+    let stage = ctx.next_stage_id();
     let job_started = Instant::now();
 
     let outcome = if workers <= 1 {
-        (0..n).map(|i| run_task(ctx, inner, &f, i)).collect::<Result<Vec<R>, TaskError>>()
+        (0..n).map(|i| run_task(ctx, inner, &f, i, stage)).collect::<Result<Vec<R>, TaskError>>()
     } else {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<R, TaskError>>>> =
@@ -138,7 +238,7 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
                     if i >= n {
                         break;
                     }
-                    let r = run_task(ctx, inner, &f, i);
+                    let r = run_task(ctx, inner, &f, i, stage);
                     *slots[i].lock().expect("result slot poisoned") = Some(r);
                 });
             }
@@ -175,10 +275,28 @@ pub(crate) fn run_partitions<T: Data, R: Send>(
 
 #[cfg(test)]
 mod tests {
-    use crate::context::Context;
+    use crate::context::{Context, EngineConfig};
+    use crate::executor::TaskErrorKind;
+    use crate::fault::{FaultInjector, FaultPolicy, FaultScope};
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    fn chaos_ctx(
+        parallelism: usize,
+        retries: u32,
+        injector: FaultInjector,
+    ) -> (Context, Arc<FaultInjector>) {
+        let injector = Arc::new(injector);
+        let ctx = Context::with_config(EngineConfig {
+            parallelism,
+            default_partitions: parallelism,
+            max_task_retries: retries,
+            fault_injector: Some(injector.clone()),
+            ..EngineConfig::default()
+        });
+        (ctx, injector)
+    }
 
     #[test]
     fn all_partitions_run_exactly_once() {
@@ -270,6 +388,93 @@ mod tests {
         // 8 tasks at >=100µs each, run on 2 workers: cumulative task time
         // must exceed any single job's wall time
         assert!(delta.task_nanos >= 8 * 100_000);
+    }
+
+    #[test]
+    fn transient_injected_fault_is_absorbed_by_retry() {
+        let inj = FaultInjector::new(7, FaultScope::Partition(2), FaultPolicy::Transient);
+        let (ctx, chaos) = chaos_ctx(4, 3, inj);
+        let r = ctx.parallelize((0..40).collect::<Vec<i32>>(), 8);
+        assert_eq!(r.collect(), (0..40).collect::<Vec<_>>());
+        let m = ctx.metrics();
+        assert_eq!(m.tasks_retried, 1);
+        assert_eq!(m.partitions_recomputed, 1);
+        assert_eq!(m.tasks_failed_permanently, 0);
+        assert_eq!(chaos.injected(), 1);
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retry_budget() {
+        let inj = FaultInjector::new(7, FaultScope::Partition(1), FaultPolicy::Panic);
+        let (ctx, chaos) = chaos_ctx(2, 2, inj);
+        let err = ctx.parallelize((0..8).collect::<Vec<i32>>(), 4).try_collect().unwrap_err();
+        assert_eq!(err.partition, 1);
+        assert_eq!(err.kind, TaskErrorKind::Injected);
+        assert_eq!(err.attempts, 3, "1 initial + 2 retries");
+        assert!(err.message.contains("injected"), "{}", err.message);
+        let m = ctx.metrics();
+        assert_eq!(m.tasks_retried, 2);
+        assert_eq!(m.tasks_failed_permanently, 1);
+        assert_eq!(chaos.injected(), 3);
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_fast() {
+        let ctx = Context::with_config(EngineConfig {
+            parallelism: 2,
+            max_task_retries: 0,
+            ..EngineConfig::default()
+        });
+        let r = ctx.parallelize((0..8).collect::<Vec<i32>>(), 4).map(|x| {
+            assert!(x != 2, "poison");
+            x
+        });
+        let err = r.try_collect().unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::Panic);
+        assert_eq!(err.attempts, 1);
+        assert_eq!(ctx.metrics().tasks_retried, 0);
+    }
+
+    #[test]
+    fn delay_policy_stalls_but_preserves_results() {
+        let inj = FaultInjector::new(
+            11,
+            FaultScope::Probability(1.0),
+            FaultPolicy::Delay(std::time::Duration::from_micros(200)),
+        );
+        let (ctx, chaos) = chaos_ctx(4, 3, inj);
+        let r = ctx.parallelize((0..32).collect::<Vec<i32>>(), 8);
+        assert_eq!(r.collect(), (0..32).collect::<Vec<_>>());
+        let m = ctx.metrics();
+        assert_eq!(m.tasks_retried, 0, "delays are not failures");
+        assert_eq!(chaos.injected(), 8, "every task was stalled once");
+    }
+
+    #[test]
+    fn transient_user_panic_recovers_via_retry() {
+        let ctx = Context::with_parallelism(2);
+        let fails = Arc::new(AtomicUsize::new(0));
+        let fails2 = fails.clone();
+        let r = ctx.parallelize((0..8).collect::<Vec<i32>>(), 4).map(move |x| {
+            if x == 5 && fails2.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky record");
+            }
+            x
+        });
+        assert_eq!(r.collect(), (0..8).collect::<Vec<_>>());
+        assert_eq!(ctx.metrics().tasks_retried, 1);
+        assert_eq!(ctx.metrics().tasks_failed_permanently, 0);
+    }
+
+    #[test]
+    fn stage_ordinals_give_reruns_fresh_fault_draws() {
+        // a Stage-scoped fault strikes only its stage ordinal; the same
+        // dataset re-run (a new sweep, hence a new stage) is untouched
+        let inj = FaultInjector::new(5, FaultScope::Stage(0), FaultPolicy::Panic);
+        let (ctx, _chaos) = chaos_ctx(2, 0, inj);
+        let r = ctx.parallelize((0..8).collect::<Vec<i32>>(), 4);
+        assert!(r.try_collect().is_err(), "stage 0 is poisoned");
+        assert_eq!(r.try_collect().unwrap(), (0..8).collect::<Vec<_>>(), "stage 1 is clean");
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! Spark's resilience story — lost tasks are retried and their
+//! partitions recomputed from lineage — is untestable by inspection, so
+//! the engine carries its own chaos harness: a seeded [`FaultInjector`]
+//! installed via [`EngineConfig::fault_injector`](crate::EngineConfig)
+//! that the executor consults at the start of every task attempt.
+//! Whether a given `(stage, partition)` is struck is a pure function of
+//! the seed, so a failing chaos run reproduces exactly from its seed
+//! (CI exports it; locally `STARK_CHAOS_SEED=<n>` re-runs the same
+//! schedule).
+//!
+//! Three policies model the failure modes a cluster actually shows:
+//!
+//! * [`FaultPolicy::Transient`] — the attempt panics, but a retry of the
+//!   same task succeeds (a lost executor, a flaky fetch). Task retry
+//!   must fully absorb these: results are identical to a fault-free run.
+//! * [`FaultPolicy::Panic`] — every attempt panics (a poison record, a
+//!   deterministic bug). The retry budget exhausts and the job surfaces
+//!   a permanent [`TaskError`](crate::TaskError) naming the partition.
+//! * [`FaultPolicy::Delay`] — the attempt is stalled before computing (a
+//!   straggler); the task still succeeds and results must not change.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What an injected fault does to the task attempt it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Panic on attempts below the injector's `fail_attempts` threshold;
+    /// later attempts of the same task succeed. Recoverable by retry.
+    Transient,
+    /// Panic on every attempt; the task can never succeed.
+    Panic,
+    /// Sleep for the given duration before computing, then proceed.
+    Delay(Duration),
+}
+
+/// Which task attempts a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultScope {
+    /// Seeded Bernoulli draw per `(stage, partition)` with this
+    /// probability — the "p% of tasks fail" chaos configuration.
+    Probability(f64),
+    /// Every task computing this partition index, in every stage.
+    Partition(usize),
+    /// Every task of this stage ordinal (stages number job sweeps on a
+    /// context, starting at 0).
+    Stage(u64),
+}
+
+/// Typed panic payload raised by an injected fault, so the executor can
+/// distinguish chaos from genuine task panics.
+#[derive(Debug, Clone)]
+pub(crate) struct InjectedFault {
+    pub stage: u64,
+    pub partition: usize,
+    pub attempt: u32,
+    pub transient: bool,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected {} fault (stage {}, partition {}, attempt {})",
+            if self.transient { "transient" } else { "permanent" },
+            self.stage,
+            self.partition,
+            self.attempt
+        )
+    }
+}
+
+/// Seeded, deterministic fault injector consulted on every task attempt.
+///
+/// ```
+/// use stark_engine::{Context, EngineConfig, FaultInjector};
+/// use std::sync::Arc;
+///
+/// let chaos = Arc::new(FaultInjector::transient(0xC4A05, 0.10));
+/// let ctx = Context::with_config(EngineConfig {
+///     parallelism: 4,
+///     max_task_retries: 3,
+///     fault_injector: Some(chaos.clone()),
+///     ..EngineConfig::default()
+/// });
+/// // ~10% of tasks panic once and are retried; the result is identical
+/// // to a fault-free run.
+/// let sum = ctx.parallelize((1..=100).collect(), 16).reduce(|a, b| a + b);
+/// assert_eq!(sum, Some(5050));
+/// assert_eq!(ctx.metrics().tasks_retried, chaos.injected());
+/// ```
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    scope: FaultScope,
+    policy: FaultPolicy,
+    /// Attempts that fail before a [`FaultPolicy::Transient`] task
+    /// succeeds (default 1: the first attempt fails, the retry passes).
+    fail_attempts: u32,
+    /// Faults actually raised (panics and delays).
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Injector with an explicit scope and policy.
+    pub fn new(seed: u64, scope: FaultScope, policy: FaultPolicy) -> Self {
+        if let FaultScope::Probability(p) = scope {
+            assert!((0.0..=1.0).contains(&p), "fault probability must be in [0, 1]");
+        }
+        FaultInjector { seed, scope, policy, fail_attempts: 1, injected: AtomicU64::new(0) }
+    }
+
+    /// Transient faults striking each `(stage, partition)` independently
+    /// with probability `rate` — the standard chaos configuration.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        Self::new(seed, FaultScope::Probability(rate), FaultPolicy::Transient)
+    }
+
+    /// Number of attempts that fail before a transiently faulted task
+    /// succeeds. A value of `n` requires a retry budget of at least `n`
+    /// for the job to recover.
+    pub fn with_fail_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1, "fail_attempts must be at least 1");
+        self.fail_attempts = n;
+        self
+    }
+
+    /// The seed this injector's schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Faults raised so far (panics and delays, over all attempts).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Whether the deterministic schedule targets this task at all
+    /// (independent of attempt number).
+    fn targets(&self, stage: u64, partition: usize) -> bool {
+        match self.scope {
+            FaultScope::Partition(p) => partition == p,
+            FaultScope::Stage(s) => stage == s,
+            FaultScope::Probability(p) => {
+                let h = splitmix64(
+                    self.seed
+                        ^ stage.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (partition as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+                );
+                // uniform draw in [0, 1)
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                u < p
+            }
+        }
+    }
+
+    /// Consulted by the executor at the start of every task attempt,
+    /// inside the task's panic guard. May sleep ([`FaultPolicy::Delay`])
+    /// or panic with a typed [`InjectedFault`] payload.
+    pub(crate) fn on_attempt(&self, stage: u64, partition: usize, attempt: u32) {
+        if !self.targets(stage, partition) {
+            return;
+        }
+        match self.policy {
+            FaultPolicy::Delay(d) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+            }
+            FaultPolicy::Panic => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::panic::panic_any(InjectedFault {
+                    stage,
+                    partition,
+                    attempt,
+                    transient: false,
+                });
+            }
+            FaultPolicy::Transient => {
+                if attempt < self.fail_attempts {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    std::panic::panic_any(InjectedFault {
+                        stage,
+                        partition,
+                        attempt,
+                        transient: true,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// splitmix64 finaliser — decorrelates the fault draw from raw indices.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_draws_are_deterministic_and_proportional() {
+        let a = FaultInjector::transient(42, 0.25);
+        let b = FaultInjector::transient(42, 0.25);
+        let hits: usize = (0..40u64)
+            .flat_map(|s| (0..100usize).map(move |p| (s, p)))
+            .filter(|&(s, p)| a.targets(s, p))
+            .count();
+        for s in 0..40u64 {
+            for p in 0..100usize {
+                assert_eq!(a.targets(s, p), b.targets(s, p), "same seed must draw identically");
+            }
+        }
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "got hit rate {rate}, expected ~0.25");
+        // a different seed produces a different schedule
+        let c = FaultInjector::transient(43, 0.25);
+        let differs = (0..40u64)
+            .flat_map(|s| (0..100usize).map(move |p| (s, p)))
+            .any(|(s, p)| a.targets(s, p) != c.targets(s, p));
+        assert!(differs, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn scope_targets_partition_and_stage() {
+        let p = FaultInjector::new(1, FaultScope::Partition(3), FaultPolicy::Transient);
+        assert!(p.targets(0, 3) && p.targets(9, 3));
+        assert!(!p.targets(0, 2));
+        let s = FaultInjector::new(1, FaultScope::Stage(2), FaultPolicy::Transient);
+        assert!(s.targets(2, 0) && s.targets(2, 7));
+        assert!(!s.targets(3, 0));
+    }
+
+    #[test]
+    fn transient_faults_stop_after_fail_attempts() {
+        let inj = FaultInjector::new(7, FaultScope::Partition(0), FaultPolicy::Transient)
+            .with_fail_attempts(2);
+        for attempt in 0..2 {
+            let err = std::panic::catch_unwind(|| inj.on_attempt(0, 0, attempt));
+            assert!(err.is_err(), "attempt {attempt} must fail");
+        }
+        let ok = std::panic::catch_unwind(|| inj.on_attempt(0, 0, 2));
+        assert!(ok.is_ok(), "attempt past the threshold must pass");
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn rate_bounds_validated() {
+        let r = std::panic::catch_unwind(|| FaultInjector::transient(0, 1.5));
+        assert!(r.is_err());
+    }
+}

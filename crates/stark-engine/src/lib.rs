@@ -18,6 +18,10 @@
 //! * task metrics ([`MetricsSnapshot`]) including a pruned-partition
 //!   counter driven by [`Rdd::with_partition_mask`] and wall-clock
 //!   task/job timing;
+//! * lineage-based fault tolerance: failed tasks retry with cache
+//!   eviction up to [`EngineConfig::max_task_retries`], a seeded
+//!   [`FaultInjector`] makes chaos runs deterministic, and
+//!   [`Rdd::checkpoint`] truncates lineage to the object store;
 //! * a directory-backed [`ObjectStore`] standing in for HDFS;
 //! * a bounded backpressure [`channel`] used by the streaming layer to
 //!   feed micro-batches into the engine without unbounded buffering.
@@ -36,13 +40,15 @@
 pub mod channel;
 pub mod context;
 mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod partition;
 pub mod rdd;
 pub mod storage;
 
 pub use context::{Context, EngineConfig};
+pub use fault::{FaultInjector, FaultPolicy, FaultScope};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partition::{Partition, PartitionIntoIter};
-pub use rdd::{Data, Lineage, Rdd, TaskError};
+pub use rdd::{Data, Lineage, Rdd, TaskError, TaskErrorKind};
 pub use storage::{ObjectStore, StorageError};

@@ -37,6 +37,17 @@ pub struct Metrics {
     /// (caches, shuffle buckets, parallelized sources) instead of
     /// deep-cloning the partition on access.
     pub clone_bytes_avoided: AtomicU64,
+    /// Task attempts that failed and were retried (each retry of each
+    /// task counts once).
+    pub tasks_retried: AtomicU64,
+    /// Tasks that exhausted their retry budget (or hit a non-retryable
+    /// error) and surfaced a permanent [`TaskError`](crate::TaskError).
+    pub tasks_failed_permanently: AtomicU64,
+    /// Partitions recomputed from lineage (or re-read from a
+    /// checkpoint) on a post-failure attempt.
+    pub partitions_recomputed: AtomicU64,
+    /// Serialised bytes written by [`Rdd::checkpoint`](crate::Rdd).
+    pub checkpoint_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -67,6 +78,18 @@ impl Metrics {
     pub fn add_clone_bytes_avoided(&self, n: u64) {
         self.clone_bytes_avoided.fetch_add(n, Ordering::Relaxed);
     }
+    pub fn inc_tasks_retried(&self, n: u64) {
+        self.tasks_retried.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_tasks_failed_permanently(&self, n: u64) {
+        self.tasks_failed_permanently.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_partitions_recomputed(&self, n: u64) {
+        self.partitions_recomputed.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_checkpoint_bytes(&self, n: u64) {
+        self.checkpoint_bytes.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -80,6 +103,10 @@ impl Metrics {
             job_nanos: self.job_nanos.load(Ordering::Relaxed),
             records_cloned: self.records_cloned.load(Ordering::Relaxed),
             clone_bytes_avoided: self.clone_bytes_avoided.load(Ordering::Relaxed),
+            tasks_retried: self.tasks_retried.load(Ordering::Relaxed),
+            tasks_failed_permanently: self.tasks_failed_permanently.load(Ordering::Relaxed),
+            partitions_recomputed: self.partitions_recomputed.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -100,6 +127,14 @@ pub struct MetricsSnapshot {
     pub records_cloned: u64,
     /// Shallow bytes served by partition sharing (see [`Metrics::clone_bytes_avoided`]).
     pub clone_bytes_avoided: u64,
+    /// Failed task attempts that were retried (see [`Metrics::tasks_retried`]).
+    pub tasks_retried: u64,
+    /// Tasks failed past their retry budget (see [`Metrics::tasks_failed_permanently`]).
+    pub tasks_failed_permanently: u64,
+    /// Partitions recomputed after a failure (see [`Metrics::partitions_recomputed`]).
+    pub partitions_recomputed: u64,
+    /// Bytes persisted by checkpoints (see [`Metrics::checkpoint_bytes`]).
+    pub checkpoint_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -115,6 +150,11 @@ impl MetricsSnapshot {
             job_nanos: self.job_nanos - earlier.job_nanos,
             records_cloned: self.records_cloned - earlier.records_cloned,
             clone_bytes_avoided: self.clone_bytes_avoided - earlier.clone_bytes_avoided,
+            tasks_retried: self.tasks_retried - earlier.tasks_retried,
+            tasks_failed_permanently: self.tasks_failed_permanently
+                - earlier.tasks_failed_permanently,
+            partitions_recomputed: self.partitions_recomputed - earlier.partitions_recomputed,
+            checkpoint_bytes: self.checkpoint_bytes - earlier.checkpoint_bytes,
         }
     }
 }

@@ -141,6 +141,21 @@ impl<T: PartialEq> PartialEq for Partition<T> {
     }
 }
 
+/// Serialises as a plain JSON array — the on-store format used by
+/// [`Rdd::checkpoint`](crate::Rdd), so a checkpointed partition blob is
+/// interchangeable with a serialised `Vec<T>`.
+impl<T: serde::Serialize> serde::Serialize for Partition<T> {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: serde::Deserialize> serde::Deserialize for Partition<T> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Partition::from_vec(Vec::<T>::from_value(v)?))
+    }
+}
+
 /// By-value iterator over a [`Partition`]: moves elements out when the
 /// allocation is unique, clones them lazily when it is shared.
 pub enum PartitionIntoIter<T> {

@@ -25,11 +25,15 @@
 
 use crate::context::Context;
 use crate::executor;
-pub use crate::executor::TaskError;
+use crate::executor::TaskAbort;
+pub use crate::executor::{TaskError, TaskErrorKind};
 use crate::partition::Partition;
+use crate::storage::{ObjectStore, StorageError};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Bound alias for everything that can live in a dataset.
 pub trait Data: Clone + Send + Sync + 'static {}
@@ -39,6 +43,13 @@ impl<T: Clone + Send + Sync + 'static> Data for T {}
 pub(crate) trait RddImpl<T: Data>: Send + Sync {
     fn num_partitions(&self) -> usize;
     fn compute(&self, partition: usize) -> Partition<T>;
+    /// Drops any memoised value for `partition` along the lineage, so
+    /// the next [`RddImpl::compute`] recomputes it from scratch. The
+    /// executor calls this before retrying a failed task — Spark's
+    /// lost-partition recovery, where a poisoned cache entry must not be
+    /// served back. Nodes without storage propagate to their parents;
+    /// the default is a no-op for true sources.
+    fn evict(&self, _partition: usize) {}
 }
 
 /// By-value iterator stage inside a fused narrow chain.
@@ -55,9 +66,15 @@ pub(crate) struct FusedChain<T: Data> {
     /// Operator names in application order, e.g. `["Map", "Filter"]`.
     ops: Vec<String>,
     iter_fn: IterFn<T>,
+    /// Forwards cache eviction to the (type-erased) base node so a
+    /// retried task recomputes through the whole chain.
+    evict_fn: EvictFn,
     /// Lineage of the chain's base (the node below the fused suffix).
     base_lineage: Arc<Lineage>,
 }
+
+/// Type-erased eviction hook capturing a fused chain's base node.
+type EvictFn = Arc<dyn Fn(usize) + Send + Sync>;
 
 impl<T: Data> Clone for FusedChain<T> {
     fn clone(&self) -> Self {
@@ -65,6 +82,7 @@ impl<T: Data> Clone for FusedChain<T> {
             num_partitions: self.num_partitions,
             ops: self.ops.clone(),
             iter_fn: self.iter_fn.clone(),
+            evict_fn: self.evict_fn.clone(),
             base_lineage: self.base_lineage.clone(),
         }
     }
@@ -141,6 +159,7 @@ impl<T: Data> RddImpl<T> for ParallelCollection<T> {
 struct FusedRdd<T: Data> {
     num_partitions: usize,
     iter_fn: IterFn<T>,
+    evict_fn: EvictFn,
 }
 
 impl<T: Data> RddImpl<T> for FusedRdd<T> {
@@ -149,6 +168,9 @@ impl<T: Data> RddImpl<T> for FusedRdd<T> {
     }
     fn compute(&self, partition: usize) -> Partition<T> {
         Partition::from_vec((self.iter_fn)(partition).collect())
+    }
+    fn evict(&self, partition: usize) {
+        (self.evict_fn)(partition)
     }
 }
 
@@ -167,10 +189,27 @@ impl<T: Data, U: Data> RddImpl<U> for MapPartitionsRdd<T, U> {
     fn compute(&self, partition: usize) -> Partition<U> {
         (self.f)(partition, self.parent.compute(partition))
     }
+    fn evict(&self, partition: usize) {
+        self.parent.evict(partition)
+    }
 }
 
 struct UnionRdd<T: Data> {
     parents: Vec<Arc<dyn RddImpl<T>>>,
+}
+
+impl<T: Data> UnionRdd<T> {
+    /// Resolves a union partition index to `(parent, local index)`.
+    fn resolve(&self, partition: usize) -> Option<(&Arc<dyn RddImpl<T>>, usize)> {
+        let mut idx = partition;
+        for p in &self.parents {
+            if idx < p.num_partitions() {
+                return Some((p, idx));
+            }
+            idx -= p.num_partitions();
+        }
+        None
+    }
 }
 
 impl<T: Data> RddImpl<T> for UnionRdd<T> {
@@ -178,14 +217,24 @@ impl<T: Data> RddImpl<T> for UnionRdd<T> {
         self.parents.iter().map(|p| p.num_partitions()).sum()
     }
     fn compute(&self, partition: usize) -> Partition<T> {
-        let mut idx = partition;
-        for p in &self.parents {
-            if idx < p.num_partitions() {
-                return p.compute(idx);
-            }
-            idx -= p.num_partitions();
+        match self.resolve(partition) {
+            Some((p, idx)) => p.compute(idx),
+            // Typed abort instead of a bare panic: surfaced by
+            // `try_run_partitions` as a structural (non-retryable)
+            // TaskError rather than unwinding through the caller.
+            None => std::panic::panic_any(TaskAbort {
+                kind: TaskErrorKind::PartitionOutOfRange,
+                message: format!(
+                    "partition {partition} out of range for union of {}",
+                    self.num_partitions()
+                ),
+            }),
         }
-        panic!("partition {partition} out of range for union");
+    }
+    fn evict(&self, partition: usize) {
+        if let Some((p, idx)) = self.resolve(partition) {
+            p.evict(idx);
+        }
     }
 }
 
@@ -209,6 +258,9 @@ impl<T: Data> RddImpl<T> for MaskRdd<T> {
             Partition::empty()
         }
     }
+    fn evict(&self, partition: usize) {
+        self.parent.evict(partition)
+    }
 }
 
 struct ZipPartitionsRdd<A: Data, B: Data, R: Data> {
@@ -229,6 +281,10 @@ impl<A: Data, B: Data, R: Data> RddImpl<R> for ZipPartitionsRdd<A, B, R> {
             self.right.compute(partition),
         ))
     }
+    fn evict(&self, partition: usize) {
+        self.left.evict(partition);
+        self.right.evict(partition);
+    }
 }
 
 struct PartitionPairJoinRdd<A: Data, B: Data, R: Data> {
@@ -246,6 +302,11 @@ impl<A: Data, B: Data, R: Data> RddImpl<R> for PartitionPairJoinRdd<A, B, R> {
     fn compute(&self, partition: usize) -> Partition<R> {
         let (i, j) = self.pairs[partition];
         Partition::from_vec((self.f)(self.left.compute(i), self.right.compute(j)))
+    }
+    fn evict(&self, partition: usize) {
+        let (i, j) = self.pairs[partition];
+        self.left.evict(i);
+        self.right.evict(j);
     }
 }
 
@@ -296,12 +357,30 @@ impl<T: Data> RddImpl<T> for ShuffledRdd<T> {
         self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
         p
     }
+    // evict: intentionally a no-op. Shuffle buckets materialise as a
+    // whole stage: the OnceLock either holds a fully successful shuffle
+    // output or stays empty (a panicking materialisation leaves it
+    // uninitialised), so a poisoned per-partition bucket cannot exist.
+}
+
+/// Locks a memo cell, recovering from mutex poisoning: a panic while
+/// the lock was held (a failing parent compute) leaves the plain
+/// `Option` state consistent — either still empty or holding a fully
+/// constructed partition — and the retry path evicts/overwrites it.
+fn lock_cell<T>(
+    cell: &Mutex<Option<Partition<T>>>,
+) -> std::sync::MutexGuard<'_, Option<Partition<T>>> {
+    cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 struct CachedRdd<T: Data> {
     ctx: Context,
     parent: Arc<dyn RddImpl<T>>,
-    cells: Vec<OnceLock<Partition<T>>>,
+    /// `Mutex<Option<…>>` rather than `OnceLock` so the executor can
+    /// *evict* a partition when a task computing above it fails: the
+    /// retry then recomputes from the parent instead of replaying a
+    /// possibly poisoned cached value.
+    cells: Vec<Mutex<Option<Partition<T>>>>,
 }
 
 impl<T: Data> RddImpl<T> for CachedRdd<T> {
@@ -309,9 +388,70 @@ impl<T: Data> RddImpl<T> for CachedRdd<T> {
         self.parent.num_partitions()
     }
     fn compute(&self, partition: usize) -> Partition<T> {
-        let p = self.cells[partition].get_or_init(|| self.parent.compute(partition)).clone();
+        let mut cell = lock_cell(&self.cells[partition]);
+        let p = match cell.as_ref() {
+            Some(p) => p.clone(),
+            None => {
+                let p = self.parent.compute(partition);
+                *cell = Some(p.clone());
+                p
+            }
+        };
         self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
         p
+    }
+    fn evict(&self, partition: usize) {
+        *lock_cell(&self.cells[partition]) = None;
+        self.parent.evict(partition);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checkpointing
+// ---------------------------------------------------------------------------
+
+/// Object-store key of one checkpointed partition blob.
+fn checkpoint_blob_key(key: &str, partition: usize) -> String {
+    format!("{key}/part-{partition:05}")
+}
+
+/// A dataset whose partitions were persisted to the object store by
+/// [`Rdd::checkpoint`]. Serves partitions from memory; after an eviction
+/// (task failure) the partition is *re-read from the store* — lineage
+/// was truncated, so recovery goes to stable storage, exactly Spark's
+/// `RDD.checkpoint` semantics.
+struct CheckpointRdd<T: Data> {
+    ctx: Context,
+    store: ObjectStore,
+    key: String,
+    cells: Vec<Mutex<Option<Partition<T>>>>,
+}
+
+impl<T: Data + Serialize + DeserializeOwned> RddImpl<T> for CheckpointRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.cells.len()
+    }
+    fn compute(&self, partition: usize) -> Partition<T> {
+        let mut cell = lock_cell(&self.cells[partition]);
+        if let Some(p) = cell.as_ref() {
+            let p = p.clone();
+            self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
+            return p;
+        }
+        // recovery path: the in-memory copy was evicted after a task
+        // failure, so read the persisted blob back
+        let blob = checkpoint_blob_key(&self.key, partition);
+        match self.store.get_json::<Vec<T>>(&blob) {
+            Ok(data) => {
+                let p = Partition::from_vec(data);
+                *cell = Some(p.clone());
+                p
+            }
+            Err(e) => panic!("checkpoint partition {blob:?} unreadable: {e}"),
+        }
+    }
+    fn evict(&self, partition: usize) {
+        *lock_cell(&self.cells[partition]) = None;
     }
 }
 
@@ -384,12 +524,14 @@ impl<T: Data> Rdd<T> {
                     num_partitions: prev.num_partitions,
                     ops,
                     iter_fn: Arc::new(move |i| s(i, prev_fn(i))),
+                    evict_fn: prev.evict_fn.clone(),
                     base_lineage: prev.base_lineage.clone(),
                 }
             }
             // start a pipeline rooted at the current node
             None => {
                 let base = self.inner.clone();
+                let evict_base = self.inner.clone();
                 let ctx = self.ctx.clone();
                 let s = stage.clone();
                 FusedChain {
@@ -398,6 +540,7 @@ impl<T: Data> Rdd<T> {
                     iter_fn: Arc::new(move |i| {
                         s(i, Box::new(base.compute(i).into_iter_counted(ctx.raw_metrics())))
                     }),
+                    evict_fn: Arc::new(move |i| evict_base.evict(i)),
                     base_lineage: self.lineage.clone(),
                 }
             }
@@ -412,6 +555,7 @@ impl<T: Data> Rdd<T> {
             inner: Arc::new(FusedRdd {
                 num_partitions: chain.num_partitions,
                 iter_fn: chain.iter_fn.clone(),
+                evict_fn: chain.evict_fn.clone(),
             }),
             lineage: Lineage::derived(label, vec![chain.base_lineage.clone()]),
             fused: Some(chain),
@@ -612,7 +756,7 @@ impl<T: Data> Rdd<T> {
     /// [`MetricsSnapshot::clone_bytes_avoided`](crate::MetricsSnapshot))
     /// instead of deep-cloning the partition.
     pub fn cache(&self) -> Rdd<T> {
-        let cells = (0..self.num_partitions()).map(|_| OnceLock::new()).collect();
+        let cells = (0..self.num_partitions()).map(|_| Mutex::new(None)).collect();
         self.derive(
             "Cache",
             Arc::new(CachedRdd { ctx: self.ctx.clone(), parent: self.inner.clone(), cells }),
@@ -620,6 +764,48 @@ impl<T: Data> Rdd<T> {
     }
 
     // -- actions ------------------------------------------------------------
+
+    /// Eagerly computes this dataset and persists every partition to the
+    /// object store under `key` (one JSON blob per partition plus a
+    /// `manifest`), returning a dataset whose lineage is *truncated* to
+    /// the checkpoint. Reads serve from memory; if a later task failure
+    /// evicts a partition, recovery re-reads the blob from the store
+    /// instead of recomputing the (discarded) upstream lineage —
+    /// Spark's `RDD.checkpoint`.
+    ///
+    /// The serialised volume is recorded in
+    /// [`MetricsSnapshot::checkpoint_bytes`](crate::MetricsSnapshot).
+    /// Panics if a partition task fails permanently (like
+    /// [`Rdd::collect`]); returns `Err` on storage or serialisation
+    /// failures.
+    pub fn checkpoint(&self, store: &ObjectStore, key: &str) -> Result<Rdd<T>, StorageError>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        let parts = self.run_partitions(|_, data| data);
+        let mut total_bytes = 0u64;
+        for (i, p) in parts.iter().enumerate() {
+            total_bytes += store.put_json_sized(&checkpoint_blob_key(key, i), p.as_slice())?;
+        }
+        store.put_json(&format!("{key}/manifest"), &(parts.len() as u64))?;
+        self.ctx.raw_metrics().add_checkpoint_bytes(total_bytes);
+        let cells = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let lineage = Lineage::leaf(format!(
+            "Checkpoint[{key:?}, {} partitions, {total_bytes} bytes]",
+            self.num_partitions()
+        ));
+        Ok(Rdd {
+            ctx: self.ctx.clone(),
+            inner: Arc::new(CheckpointRdd {
+                ctx: self.ctx.clone(),
+                store: store.clone(),
+                key: key.to_string(),
+                cells,
+            }),
+            lineage,
+            fused: None,
+        })
+    }
 
     /// Runs `f` over every partition in parallel and returns the results
     /// in partition order. The building block for all other actions.
@@ -1327,5 +1513,135 @@ mod tests {
         assert_eq!(delta.tasks_launched, 4);
         assert_eq!(delta.records_read, 100);
         assert_eq!(delta.jobs, 1);
+    }
+
+    // -- fault tolerance ---------------------------------------------------
+
+    use super::{Data, Partition, Rdd, RddImpl, TaskErrorKind};
+    use crate::storage::ObjectStore;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn temp_store(tag: &str) -> ObjectStore {
+        let dir = std::env::temp_dir().join(format!("stark-rdd-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ObjectStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn union_out_of_range_is_typed_task_error() {
+        let c = ctx();
+        let a = c.parallelize(vec![1, 2], 2);
+        let b = c.parallelize(vec![3], 1);
+        let u = a.union(&b);
+
+        // A wrapper that over-reports the partition count drives the
+        // union's compute past its range — before the fix this was a
+        // bare `panic!` with no classification.
+        struct Oversized<T: Data>(Arc<dyn RddImpl<T>>);
+        impl<T: Data> RddImpl<T> for Oversized<T> {
+            fn num_partitions(&self) -> usize {
+                self.0.num_partitions() + 1
+            }
+            fn compute(&self, partition: usize) -> Partition<T> {
+                self.0.compute(partition)
+            }
+        }
+        let bad = Rdd {
+            ctx: c.clone(),
+            inner: Arc::new(Oversized(u.inner.clone())),
+            lineage: u.lineage().clone(),
+            fused: None,
+        };
+        let before = c.metrics();
+        let err = bad.try_run_partitions(|_, d| d.len()).unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::PartitionOutOfRange);
+        assert_eq!(err.partition, 3);
+        assert_eq!(err.attempts, 1, "structural errors must not be retried");
+        assert!(err.message.contains("out of range"), "{}", err.message);
+        let delta = c.metrics().since(&before);
+        assert_eq!(delta.tasks_retried, 0);
+        assert_eq!(delta.tasks_failed_permanently, 1);
+    }
+
+    #[test]
+    fn retry_evicts_cache_and_recomputes_from_lineage() {
+        let c = ctx();
+        let parent_runs = Arc::new(AtomicUsize::new(0));
+        let pr = parent_runs.clone();
+        let cached = c
+            .parallelize((0..8).collect::<Vec<i32>>(), 4)
+            .map(move |x| {
+                pr.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .cache();
+        assert_eq!(cached.count(), 8);
+        assert_eq!(parent_runs.load(Ordering::SeqCst), 8);
+
+        // a downstream task fails once; its retry must not replay the
+        // cached value but recompute partition 0 (2 records) upstream
+        let fails = Arc::new(AtomicUsize::new(0));
+        let f2 = fails.clone();
+        let downstream = cached.map(move |x| {
+            if x == 0 && f2.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient poison");
+            }
+            x
+        });
+        let before = c.metrics();
+        assert_eq!(downstream.collect(), (0..8).collect::<Vec<_>>());
+        assert_eq!(parent_runs.load(Ordering::SeqCst), 10, "cache cell 0 was evicted");
+        let delta = c.metrics().since(&before);
+        assert_eq!(delta.tasks_retried, 1);
+        assert_eq!(delta.partitions_recomputed, 1);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_truncates_lineage() {
+        let c = ctx();
+        let store = temp_store("roundtrip");
+        let r = c.parallelize((0..100).collect::<Vec<i64>>(), 4).map(|x| x * 2);
+        let cp = r.checkpoint(&store, "ck/double").unwrap();
+        assert_eq!(cp.num_partitions(), 4);
+        assert_eq!(cp.collect(), r.collect());
+        // lineage is truncated to the checkpoint leaf
+        let plan = cp.explain();
+        assert!(plan.starts_with("Checkpoint["), "{plan}");
+        assert_eq!(plan.lines().count(), 1, "{plan}");
+        // partitions persisted as addressable blobs
+        assert!(store.exists("ck/double/part-00000"));
+        assert!(store.exists("ck/double/part-00003"));
+        assert!(store.exists("ck/double/manifest"));
+        assert!(c.metrics().checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn checkpoint_recovery_rereads_blob_after_failure() {
+        use crate::fault::{FaultInjector, FaultPolicy, FaultScope};
+        let chaos =
+            Arc::new(FaultInjector::new(3, FaultScope::Partition(1), FaultPolicy::Transient));
+        let c = Context::with_config(EngineConfig {
+            parallelism: 2,
+            default_partitions: 2,
+            fault_injector: Some(chaos.clone()),
+            ..EngineConfig::default()
+        });
+        let store = temp_store("recover");
+        // the checkpoint job itself absorbs a fault on partition 1
+        let cp =
+            c.parallelize((0..40).collect::<Vec<i32>>(), 4).checkpoint(&store, "ck/rec").unwrap();
+        // every later sweep faults partition 1 again: the failed attempt
+        // evicts the in-memory cell, so the retry re-reads the blob
+        assert_eq!(cp.collect(), (0..40).collect::<Vec<_>>());
+        assert!(chaos.injected() >= 2);
+
+        // proof the recovery path really goes to the store: destroy the
+        // blob and the post-failure attempt becomes a permanent error
+        store.delete("ck/rec/part-00001").unwrap();
+        cp.inner.evict(1);
+        let err = cp.try_run_partitions(|_, d| d.len()).unwrap_err();
+        assert_eq!(err.partition, 1);
+        assert!(err.message.contains("unreadable"), "{}", err.message);
     }
 }

@@ -109,6 +109,19 @@ impl ObjectStore {
         self.put_bytes(key, &data)
     }
 
+    /// [`ObjectStore::put_json`] that also reports the serialised size
+    /// in bytes — used by checkpointing to account persisted volume.
+    /// Accepts unsized values (e.g. a `[T]` partition slice).
+    pub fn put_json_sized<T: Serialize + ?Sized>(
+        &self,
+        key: &str,
+        value: &T,
+    ) -> Result<u64, StorageError> {
+        let data = serde_json::to_vec(value)?;
+        self.put_bytes(key, &data)?;
+        Ok(data.len() as u64)
+    }
+
     /// Deserialises the JSON object stored under `key`.
     pub fn get_json<T: DeserializeOwned>(&self, key: &str) -> Result<T, StorageError> {
         let data = self.get_bytes(key)?;

@@ -37,6 +37,13 @@ pub struct BatchMetrics {
     pub partitions_rebuilt: usize,
     /// Window panes fired while processing this batch.
     pub windows_fired: u64,
+    /// Extra pane-aggregation attempts consumed by batch-level retry
+    /// (0 = clean batch). On top of the engine's own per-task retries.
+    pub aggregation_retries: u32,
+    /// Whether processing failed permanently (retry budget spent); the
+    /// batch's window observations still stand, only the failed pane
+    /// aggregation output is missing.
+    pub failed: bool,
 }
 
 /// Whole-run roll-up returned by [`crate::StreamContext::run`].
@@ -45,6 +52,14 @@ pub struct StreamReport {
     pub batches: Vec<BatchMetrics>,
     /// Wall-clock span of the run, including source wait time.
     pub elapsed: Duration,
+    /// The source panicked mid-pump; the stream ended early but cleanly.
+    pub source_disconnected: bool,
+    /// The driver stopped on a permanently failed batch
+    /// ([`crate::BatchFailurePolicy::Abort`]).
+    pub aborted: bool,
+    /// Event-time watermark when the stream ended. A pure function of
+    /// the observed events — batch retries must not move it.
+    pub final_watermark: Option<i64>,
 }
 
 impl StreamReport {
@@ -54,6 +69,16 @@ impl StreamReport {
 
     pub fn late_dropped(&self) -> u64 {
         self.batches.iter().map(|b| b.late_dropped).sum()
+    }
+
+    /// Extra pane-aggregation attempts spent by batch-level retry.
+    pub fn aggregation_retries(&self) -> u64 {
+        self.batches.iter().map(|b| b.aggregation_retries as u64).sum()
+    }
+
+    /// Batches whose processing failed permanently.
+    pub fn batches_failed(&self) -> u64 {
+        self.batches.iter().filter(|b| b.failed).count() as u64
     }
 
     pub fn windows_fired(&self) -> u64 {

@@ -17,7 +17,33 @@ use stark::SpatialRddExt;
 use stark_engine::channel::{self, RecvError};
 use stark_engine::{Context, Data};
 use stark_geo::Envelope;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Best-effort rendering of a panic payload for error reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What the driver does with a batch whose pane aggregation still fails
+/// after the batch-level retry budget is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchFailurePolicy {
+    /// Record the failure in [`BatchMetrics::failed`] and keep pumping —
+    /// a poisoned batch must not stall the stream.
+    #[default]
+    Skip,
+    /// Stop the driver loop; remaining queued batches are discarded.
+    Abort,
+}
 
 /// Tuning knobs for a stream run.
 #[derive(Debug, Clone)]
@@ -30,6 +56,14 @@ pub struct StreamConfig {
     pub parallelism: usize,
     /// How long the driver waits for a batch before re-polling.
     pub poll: Duration,
+    /// Retries a batch's pane aggregation gets after a permanent engine
+    /// failure, on top of the engine's own per-task retries. Each retry
+    /// re-runs the aggregation as fresh engine jobs (fresh stage
+    /// ordinals), so a transiently poisoned batch recovers instead of
+    /// stalling the pump.
+    pub max_batch_retries: u32,
+    /// What to do when the batch retry budget is exhausted.
+    pub failure_policy: BatchFailurePolicy,
 }
 
 impl Default for StreamConfig {
@@ -39,6 +73,8 @@ impl Default for StreamConfig {
             channel_capacity: 4,
             parallelism: 4,
             poll: Duration::from_millis(100),
+            max_batch_retries: 2,
+            failure_policy: BatchFailurePolicy::Skip,
         }
     }
 }
@@ -136,10 +172,24 @@ impl StreamContext {
     {
         let (tx, rx) = channel::bounded::<MicroBatch<V>>(self.config.channel_capacity);
         let batch_records = self.config.batch_records;
+        let source_panicked = Arc::new(AtomicBool::new(false));
+        let pump_flag = Arc::clone(&source_panicked);
         let pump = std::thread::spawn(move || {
             let mut source = source;
             let mut id = 0u64;
-            while let Some(records) = source.next_batch(batch_records) {
+            loop {
+                // A panicking source must not take the driver down with
+                // it: catch it here, flag it, and let the dropped sender
+                // end the stream cleanly.
+                let records =
+                    match catch_unwind(AssertUnwindSafe(|| source.next_batch(batch_records))) {
+                        Ok(Some(records)) => records,
+                        Ok(None) => break, // source drained
+                        Err(_) => {
+                            pump_flag.store(true, Ordering::Release);
+                            break;
+                        }
+                    };
                 let batch = MicroBatch { id, records: stark_engine::Partition::from_vec(records) };
                 id += 1;
                 if tx.send(batch).is_err() {
@@ -158,23 +208,39 @@ impl StreamContext {
             };
             let queue_depth = rx.len();
             let metrics = self.process_batch(batch, queue_depth, &mut job);
+            let failed = metrics.failed;
             for sink in &mut job.sinks {
                 sink.on_batch(&metrics);
             }
             report.batches.push(metrics);
+            if failed && self.config.failure_policy == BatchFailurePolicy::Abort {
+                report.aborted = true;
+                break;
+            }
         }
+        // Unblock a pump stalled on a full channel (Abort path) before
+        // joining it, or the join below would deadlock.
+        drop(rx);
 
-        // end of stream: fire every pane still open
+        // end of stream: fire every pane still open. The watermark is
+        // captured first — it reflects observed events only, so batch
+        // retries and the flush itself cannot move it.
         if let Some(wm) = &mut job.windows {
+            report.final_watermark = wm.watermark();
             let remaining = wm.flush();
             for pane in remaining {
-                let agg = self.aggregate_pane(pane, &job.grid, &job.hotspots);
-                for sink in &mut job.sinks {
-                    sink.on_window(&agg);
+                let mut retries = 0u32;
+                if let Ok(agg) =
+                    self.aggregate_pane_with_retry(pane, &job.grid, &job.hotspots, &mut retries)
+                {
+                    for sink in &mut job.sinks {
+                        sink.on_window(&agg);
+                    }
                 }
             }
         }
-        pump.join().expect("source pump panicked");
+        let _ = pump.join(); // panic already recorded via the flag
+        report.source_disconnected = source_panicked.load(Ordering::Acquire);
         report.elapsed = run_start.elapsed();
         report
     }
@@ -190,7 +256,13 @@ impl StreamContext {
 
         let mut late_dropped = 0u64;
         let mut windows_fired = 0u64;
+        let mut aggregation_retries = 0u32;
+        let mut failed = false;
         if let Some(wm) = &mut job.windows {
+            // Observe/side/fire run exactly once per batch — they are
+            // driver-local and infallible, so the watermark is a pure
+            // function of the observed events no matter how often the
+            // pane aggregation below retries.
             let stats = wm.observe(batch.records.iter().cloned());
             late_dropped = stats.dropped;
             let side = wm.take_side_output();
@@ -202,9 +274,18 @@ impl StreamContext {
             let fired = wm.fire_ready();
             windows_fired = fired.len() as u64;
             for pane in fired {
-                let agg = self.aggregate_pane(pane, &job.grid, &job.hotspots);
-                for sink in &mut job.sinks {
-                    sink.on_window(&agg);
+                match self.aggregate_pane_with_retry(
+                    pane,
+                    &job.grid,
+                    &job.hotspots,
+                    &mut aggregation_retries,
+                ) {
+                    Ok(agg) => {
+                        for sink in &mut job.sinks {
+                            sink.on_window(&agg);
+                        }
+                    }
+                    Err(_) => failed = true,
                 }
             }
         }
@@ -212,11 +293,18 @@ impl StreamContext {
         let mut partitions_touched = 0;
         let mut partitions_rebuilt = 0;
         if let Some(engine) = &mut job.queries {
-            let eval = engine.on_batch(&batch.records);
-            partitions_touched = eval.partitions_touched;
-            partitions_rebuilt = eval.partitions_rebuilt;
-            for sink in &mut job.sinks {
-                sink.on_query_results(batch.id, &eval.results);
+            // Query evaluation mutates the incremental index, so it is
+            // caught but not retried: it runs no engine jobs (chaos
+            // cannot strike it) and a replay could double-apply inserts.
+            match catch_unwind(AssertUnwindSafe(|| engine.on_batch(&batch.records))) {
+                Ok(eval) => {
+                    partitions_touched = eval.partitions_touched;
+                    partitions_rebuilt = eval.partitions_rebuilt;
+                    for sink in &mut job.sinks {
+                        sink.on_query_results(batch.id, &eval.results);
+                    }
+                }
+                Err(_) => failed = true,
             }
         }
 
@@ -233,6 +321,39 @@ impl StreamContext {
             partitions_touched,
             partitions_rebuilt,
             windows_fired,
+            aggregation_retries,
+            failed,
+        }
+    }
+
+    /// Runs [`Self::aggregate_pane`] with the batch-level retry budget.
+    /// Each attempt gets a cloned pane and fresh engine jobs (fresh
+    /// stage ordinals), so a failure scoped to one stage or poisoned by
+    /// a transient fault recovers on replay. `retries` accumulates the
+    /// extra attempts spent.
+    fn aggregate_pane_with_retry<V: Data>(
+        &self,
+        pane: WindowPane<V>,
+        grid: &Option<(usize, Envelope)>,
+        hotspots: &Option<DbscanParams>,
+        retries: &mut u32,
+    ) -> Result<WindowAggregate, String> {
+        let budget = self.config.max_batch_retries;
+        let mut attempt = 0u32;
+        loop {
+            let attempt_pane = pane.clone();
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.aggregate_pane(attempt_pane, grid, hotspots)
+            })) {
+                Ok(agg) => return Ok(agg),
+                Err(payload) => {
+                    if attempt >= budget {
+                        return Err(panic_message(payload));
+                    }
+                    attempt += 1;
+                    *retries += 1;
+                }
+            }
         }
     }
 

@@ -22,7 +22,12 @@
 //!   per-partition STR-tree index ([`stark::IncrementalIndex`]) that
 //!   only rebuilds the partitions each batch touches;
 //! * per-batch [`BatchMetrics`] (latency, events/sec, late drops, queue
-//!   depth, index rebuilds) rolled up into a [`StreamReport`].
+//!   depth, index rebuilds) rolled up into a [`StreamReport`];
+//! * batch-level **fault tolerance**: pane aggregations retry as fresh
+//!   engine jobs up to [`StreamConfig::max_batch_retries`] so a poisoned
+//!   batch no longer stalls the pump, a panicking source ends the stream
+//!   cleanly ([`StreamReport::source_disconnected`]), and
+//!   [`BatchFailurePolicy`] picks skip-vs-abort on permanent failure.
 //!
 //! ```
 //! use stark_engine::Context;
@@ -50,7 +55,7 @@ pub mod source;
 pub mod window;
 
 pub use batch::{BatchId, BatchMetrics, MicroBatch, StreamReport};
-pub use context::{StreamConfig, StreamContext, StreamJob};
+pub use context::{BatchFailurePolicy, StreamConfig, StreamContext, StreamJob};
 pub use query::{BatchEvaluation, ContinuousQueryEngine, QueryOutput, QueryResult, StandingQuery};
 pub use sink::{MemorySink, MemorySinkState, Sink, WindowAggregate};
 pub use source::{EventPayload, GeneratorSource, ReplaySource, Source, VecSource};
