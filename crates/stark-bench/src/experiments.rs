@@ -13,7 +13,9 @@ use stark::{
 use stark_baselines::{
     broadcast_join, geospark_join, spatialspark_join, GeoSparkConfig, RegionScheme,
 };
-use stark_engine::{Context, EngineConfig, FaultInjector, ObjectStore};
+use stark_engine::{
+    Context, EngineConfig, FaultInjector, FaultPolicy, FaultScope, ObjectStore, TaskError,
+};
 use stark_geo::{Coord, DistanceFn};
 use std::sync::Arc;
 
@@ -807,6 +809,156 @@ pub fn chaos(parallelism: usize, n: usize, seed: u64) -> Table {
     t
 }
 
+/// S9 — straggler ablation: the A1 pruning pipeline (grid(8)
+/// partitioning + containedBy filter) under a seeded 15% *delay* fault
+/// rate — first task attempts stall, modelling a slow node rather than
+/// a crashed one — with the straggler defences toggled: clean baseline,
+/// stalls waited out, speculative duplicates racing the stragglers, and
+/// a job-deadline sweep (one deadline tighter than the stall, one
+/// generous). Reports speculation/cancellation counters and wall-clock
+/// against the defenceless run.
+pub fn stragglers(parallelism: usize, n: usize, seed: u64) -> Table {
+    // Speculation needs idle workers to scout for stragglers (the
+    // single-worker sweep never races duplicates), so the ablation runs
+    // at 4 workers minimum even on small machines — the stalls are
+    // sleeps, not compute, so oversubscription doesn't distort the rows.
+    let parallelism = parallelism.max(4);
+    let stall = std::time::Duration::from_millis(120);
+    let mut t = Table::new(
+        format!(
+            "S9: straggler ablation, {n} points, grid(8), 15% delay faults x120ms (seed {seed})"
+        ),
+        &[
+            "config",
+            "completed",
+            "results",
+            "time [s]",
+            "injected",
+            "speculated",
+            "spec wins",
+            "cancelled",
+            "deadline jobs",
+            "vs no-defence",
+        ],
+    );
+
+    // Under catch_unwind so the too-tight-deadline configuration reports
+    // its typed failure as a table row instead of crashing the harness.
+    // Infallible actions surface cancellation as a `TaskError` panic
+    // payload, so that downcast comes first.
+    let run_pipeline = |ctx: &Context| -> Result<usize, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let parts = (ctx.parallelism() * 4).max(16);
+            let data = workloads::uniform_points(ctx, n, parts);
+            let srdd = data.spatial();
+            let part = srdd.partition_by(Arc::new(GridPartitioner::build(8, &srdd.summarize())));
+            let query = workloads::query_polygon(0.25);
+            part.rdd()
+                .filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &query))
+                .try_collect()
+                .map(|v| v.len())
+                .map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<TaskError>()
+                .map(|e| e.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "pipeline panicked".into());
+            Err(msg)
+        })
+    };
+
+    struct Config {
+        name: &'static str,
+        faults: bool,
+        speculation: bool,
+        deadline: Option<std::time::Duration>,
+    }
+    let configs = [
+        Config { name: "clean baseline", faults: false, speculation: false, deadline: None },
+        Config {
+            name: "delay faults, no defence",
+            faults: true,
+            speculation: false,
+            deadline: None,
+        },
+        Config {
+            name: "delay faults, speculation",
+            faults: true,
+            speculation: true,
+            deadline: None,
+        },
+        Config {
+            name: "delay faults, 30ms deadline",
+            faults: true,
+            speculation: false,
+            deadline: Some(std::time::Duration::from_millis(30)),
+        },
+        Config {
+            name: "delay faults, 10s deadline",
+            faults: true,
+            speculation: false,
+            deadline: Some(std::time::Duration::from_secs(10)),
+        },
+    ];
+    // Warm-up pass outside the timings so the clean baseline doesn't
+    // absorb allocator/page-fault costs the later rows skip.
+    let warmup = Context::with_config(EngineConfig { parallelism, ..EngineConfig::default() });
+    run_pipeline(&warmup).expect("warm-up run must succeed");
+
+    // The tight-deadline configuration fails by design; keep its
+    // expected panic from spraying a backtrace across the table.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut no_defence: Option<std::time::Duration> = None;
+    for c in configs {
+        let injector = c.faults.then(|| {
+            Arc::new(FaultInjector::new(
+                seed,
+                FaultScope::Probability(0.15),
+                FaultPolicy::Delay(stall),
+            ))
+        });
+        let ctx = Context::with_config(EngineConfig {
+            parallelism,
+            fault_injector: injector.clone(),
+            speculation: c.speculation,
+            speculation_quantile: 0.5,
+            speculation_multiplier: 1.5,
+            job_deadline: c.deadline,
+            ..EngineConfig::default()
+        });
+        let (outcome, time) = timed(|| run_pipeline(&ctx));
+        let m = ctx.metrics();
+        let completed = outcome.is_ok();
+        if completed && c.faults && !c.speculation && c.deadline.is_none() && no_defence.is_none() {
+            no_defence = Some(time);
+        }
+        let vs = match (&no_defence, completed && c.faults) {
+            (Some(base), true) => {
+                format!("{:.2}x", time.as_secs_f64() / base.as_secs_f64().max(1e-9))
+            }
+            _ => "-".into(),
+        };
+        t.push(vec![
+            c.name.into(),
+            if completed { "yes" } else { "NO" }.into(),
+            outcome.map(|r| r.to_string()).unwrap_or_else(|_| "-".into()),
+            secs(time),
+            injector.map(|i| i.injected()).unwrap_or(0).to_string(),
+            m.tasks_speculated.to_string(),
+            m.speculative_wins.to_string(),
+            m.tasks_cancelled.to_string(),
+            m.deadline_exceeded_jobs.to_string(),
+            vs,
+        ]);
+    }
+    std::panic::set_hook(default_hook);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +989,37 @@ mod tests {
         let ck_bytes: u64 = t.rows[3][8].parse().unwrap();
         assert!(ck_bytes > 0);
         assert_eq!(t.rows[2][8], "0");
+    }
+
+    #[test]
+    fn straggler_ablation_speculation_beats_the_stall() {
+        let t = stragglers(4, 4000, 0xC4A05);
+        assert_eq!(t.rows.len(), 5);
+        // clean baseline: no injections, no speculation, no cancellations
+        assert_eq!(t.rows[0][1], "yes");
+        assert_eq!(t.rows[0][4], "0");
+        assert_eq!(t.rows[0][5], "0");
+        // stalls strike and are waited out without defences
+        assert_eq!(t.rows[1][1], "yes");
+        let injected: u64 = t.rows[1][4].parse().unwrap();
+        assert!(injected > 0, "seeded 15% delay rate must inject at this scale");
+        assert_eq!(t.rows[1][2], t.rows[0][2], "stalls must not change results");
+        // speculation completes strictly faster, with identical results
+        assert_eq!(t.rows[2][1], "yes");
+        assert_eq!(t.rows[2][2], t.rows[0][2], "speculation must not change results");
+        assert!(t.rows[2][5].parse::<u64>().unwrap() >= 1, "duplicates must launch: {t:?}");
+        assert!(t.rows[2][6].parse::<u64>().unwrap() >= 1, "a duplicate must win: {t:?}");
+        let off: f64 = t.rows[1][3].parse().unwrap();
+        let on: f64 = t.rows[2][3].parse().unwrap();
+        assert!(on < off, "speculation must beat waiting out the stall: on={on}s off={off}s");
+        // a deadline tighter than the stall fails typed (recorded in the
+        // engine metric), never hangs...
+        assert_eq!(t.rows[3][1], "NO");
+        assert!(t.rows[3][8].parse::<u64>().unwrap() >= 1, "deadline job must be counted: {t:?}");
+        // ...and a generous deadline completes the very same pipeline
+        assert_eq!(t.rows[4][1], "yes");
+        assert_eq!(t.rows[4][2], t.rows[0][2], "deadline must not change results");
+        assert_eq!(t.rows[4][8], "0");
     }
 
     #[test]

@@ -141,6 +141,27 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Enqueues `value` without ever blocking: if the queue already
+    /// holds `max_queued` or more values, the *oldest* queued values are
+    /// displaced to make room and returned to the caller — the
+    /// `DropOldest` load-shedding primitive (freshest data survives,
+    /// and the producer keeps pace with real time instead of stalling).
+    /// `max_queued` is clamped to `1..=capacity`.
+    pub fn send_or_displace(&self, value: T, max_queued: usize) -> Result<Vec<T>, SendError<T>> {
+        let bound = max_queued.clamp(1, self.shared.capacity);
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        if !state.receiver_alive {
+            return Err(SendError::Disconnected(value));
+        }
+        let mut displaced = Vec::new();
+        while state.items.len() >= bound {
+            displaced.push(state.items.pop_front().expect("len >= bound >= 1"));
+        }
+        state.items.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(displaced)
+    }
+
     /// Values currently queued (racy; for saturation reporting only).
     pub fn len(&self) -> usize {
         self.shared.queue.lock().expect("channel poisoned").items.len()
@@ -324,6 +345,103 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got.len(), 200, "duplicate or lost items");
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_sender_drop() {
+        let (tx, rx) = bounded::<u32>(4);
+        let handle = std::thread::spawn(move || rx.recv());
+        // the receiver is parked in a blocking recv on an empty queue;
+        // dropping the last sender must wake it with Disconnected, not
+        // leave it blocked forever
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn occupancy_stays_bounded_under_contention() {
+        let (tx, rx) = bounded(3);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64u64 {
+                        assert!(tx.len() <= tx.capacity(), "occupancy above capacity");
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut received = 0usize;
+        while rx.recv().is_ok() {
+            received += 1;
+            assert!(rx.len() <= 3, "queue depth exceeded capacity");
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        assert_eq!(received, 256);
+    }
+
+    #[test]
+    fn multi_producer_stress_no_loss_no_duplicates() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..8u64)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        tx.send(p * 10_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut got = consumer.join().unwrap();
+        assert_eq!(got.len(), 4000);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 4000, "duplicate or lost items under stress");
+    }
+
+    #[test]
+    fn send_or_displace_evicts_oldest_first() {
+        let (tx, rx) = bounded(8);
+        for i in 0..3 {
+            assert_eq!(tx.send_or_displace(i, 3).unwrap(), vec![]);
+        }
+        // queue full at the shed bound: the oldest value makes room
+        assert_eq!(tx.send_or_displace(3, 3).unwrap(), vec![0]);
+        assert_eq!(tx.send_or_displace(4, 3).unwrap(), vec![1]);
+        // tightening the bound displaces enough to get under it
+        assert_eq!(tx.send_or_displace(5, 1).unwrap(), vec![2, 3, 4]);
+        assert_eq!(rx.drain(), vec![5]);
+    }
+
+    #[test]
+    fn send_or_displace_never_blocks_and_reports_disconnect() {
+        let (tx, rx) = bounded(2);
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        // a plain send would block here; displace returns immediately
+        assert_eq!(tx.send_or_displace(3, 2).unwrap(), vec![1]);
+        drop(rx);
+        match tx.send_or_displace(4, 2) {
+            Err(SendError::Disconnected(4)) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The engine entry point, analogous to Spark's `SparkContext`.
 
+use crate::cancel::{self, CancelScope, CancellationToken};
 use crate::fault::FaultInjector;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::rdd::Rdd;
@@ -34,6 +35,27 @@ pub struct EngineConfig {
     /// consults at the start of every task attempt. `None` (the
     /// default) injects nothing.
     pub fault_injector: Option<Arc<FaultInjector>>,
+    /// Wall-clock budget applied to every top-level job started on the
+    /// context. A job past its deadline fails with a non-retryable
+    /// [`TaskErrorKind::DeadlineExceeded`](crate::TaskErrorKind) task
+    /// error — observed cooperatively, so no thread is killed and no
+    /// cache entry is left poisoned. `None` (the default) never expires.
+    /// Per-action variants ([`Rdd::collect_with_deadline`](crate::Rdd))
+    /// override this by installing a tighter ambient deadline.
+    pub job_deadline: Option<Duration>,
+    /// Straggler defence: once [`EngineConfig::speculation_quantile`] of
+    /// a stage's tasks have finished, any task running longer than
+    /// [`EngineConfig::speculation_multiplier`] × the stage's median
+    /// task time is relaunched as a duplicate attempt on an idle worker.
+    /// First result wins; the loser is cancelled via its token. Off by
+    /// default (Spark's `spark.speculation`).
+    pub speculation: bool,
+    /// Fraction of a stage's tasks that must finish before stragglers
+    /// are speculated (Spark's `spark.speculation.quantile`).
+    pub speculation_quantile: f64,
+    /// How many multiples of the stage's median task duration a task may
+    /// run before it is speculated (Spark's `spark.speculation.multiplier`).
+    pub speculation_multiplier: f64,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +69,10 @@ impl Default for EngineConfig {
             max_task_retries: 3,
             retry_backoff: Duration::ZERO,
             fault_injector: None,
+            job_deadline: None,
+            speculation: false,
+            speculation_quantile: 0.75,
+            speculation_multiplier: 1.5,
         }
     }
 }
@@ -64,6 +90,10 @@ pub(crate) struct ContextInner {
     /// a fresh ordinal, so fault injection targeted by stage (or drawn
     /// per `(stage, partition)`) strikes re-runs independently.
     pub(crate) next_stage: AtomicU64,
+    /// Root of the context's cancellation-token chain: every job token
+    /// descends from it (directly, or through an ambient deadline
+    /// scope), so [`Context::cancel`] reaches all running jobs.
+    pub(crate) cancel: Arc<CancellationToken>,
 }
 
 /// Handle to the engine; cheap to clone, shared by all datasets it creates.
@@ -75,12 +105,18 @@ pub struct Context {
 impl Context {
     /// Creates a context with the given configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        assert!(
+            config.speculation_quantile > 0.0 && config.speculation_quantile <= 1.0,
+            "speculation_quantile must be in (0, 1]"
+        );
+        assert!(config.speculation_multiplier >= 1.0, "speculation_multiplier must be >= 1");
         Context {
             inner: Arc::new(ContextInner {
                 config,
                 metrics: Metrics::default(),
                 active_jobs: AtomicUsize::new(0),
                 next_stage: AtomicU64::new(0),
+                cancel: CancellationToken::new(),
             }),
         }
     }
@@ -124,6 +160,36 @@ impl Context {
     /// The installed chaos injector, if any.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.inner.config.fault_injector.as_ref()
+    }
+
+    /// The root [`CancellationToken`] every job on this context chains
+    /// under.
+    pub fn cancel_token(&self) -> &Arc<CancellationToken> {
+        &self.inner.cancel
+    }
+
+    /// Cancels every running and future job on this context: tasks abort
+    /// cooperatively with a [`TaskErrorKind::Cancelled`](crate::TaskErrorKind)
+    /// error. Sticky until [`Context::reset_cancellation`].
+    pub fn cancel(&self) {
+        self.inner.cancel.cancel();
+    }
+
+    /// Clears a previous [`Context::cancel`], re-arming the context for
+    /// new jobs.
+    pub fn reset_cancellation(&self) {
+        self.inner.cancel.reset();
+    }
+
+    /// Installs an ambient deadline on the calling thread until the
+    /// returned guard drops: every job started on this thread while the
+    /// guard lives (and every nested shuffle job those spawn) fails with
+    /// [`TaskErrorKind::DeadlineExceeded`](crate::TaskErrorKind) once
+    /// `deadline` elapses. The scope chains under the thread's current
+    /// token (or the context root), so [`Context::cancel`] still applies.
+    pub fn deadline_scope(&self, deadline: Duration) -> CancelScope {
+        let parent = cancel::current().unwrap_or_else(|| Arc::clone(&self.inner.cancel));
+        cancel::scope(parent.child_with_deadline(Some(deadline)))
     }
 
     /// Draws the next stage ordinal for a partition sweep.

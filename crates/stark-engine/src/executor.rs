@@ -17,8 +17,20 @@
 //! cache along the lineage ([`RddImpl::evict`]) so a poisoned cached
 //! value cannot be served back, exactly Spark's lost-partition recovery
 //! path. Structural errors ([`TaskErrorKind::PartitionOutOfRange`]) are
-//! deterministic and never retried.
+//! deterministic and never retried; neither are cooperative aborts
+//! ([`TaskErrorKind::Cancelled`] / [`TaskErrorKind::DeadlineExceeded`]),
+//! which would only fail again.
+//!
+//! With [`EngineConfig::speculation`](crate::EngineConfig) on, workers
+//! that drain the main partition queue turn into speculation scouts:
+//! once the configured quantile of a stage's tasks has finished, any
+//! task running longer than `speculation_multiplier ×` the stage's
+//! median task time is relaunched as a duplicate attempt. The first
+//! attempt to finish publishes the partition's result and cancels the
+//! other via its token; the loser's outcome is discarded, so job output
+//! is byte-identical to a non-speculative run.
 
+use crate::cancel::{self, CancelReason, CancellationToken};
 use crate::context::Context;
 use crate::fault::InjectedFault;
 use crate::partition::Partition;
@@ -26,7 +38,7 @@ use crate::rdd::{Data, RddImpl};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Why a partition task failed — drives the retry decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +54,24 @@ pub enum TaskErrorKind {
     /// a deterministic structural error; retrying cannot help, so it
     /// fails fast without consuming the retry budget.
     PartitionOutOfRange,
+    /// The task observed its [`CancellationToken`](crate::CancellationToken)
+    /// tripped (an explicit [`Context::cancel`](crate::Context::cancel),
+    /// or a lost speculation race) and aborted cooperatively. Never
+    /// retried — the token stays tripped — and never poisons a cache:
+    /// the abort unwinds before any partition value is published.
+    Cancelled,
+    /// A job or per-action deadline passed while the task was running
+    /// (or before it started). Non-retryable for the same reasons as
+    /// [`TaskErrorKind::Cancelled`]; a later run without the deadline
+    /// recomputes cleanly.
+    DeadlineExceeded,
+}
+
+impl TaskErrorKind {
+    /// Whether this kind is a cooperative cancellation outcome.
+    pub fn is_cancellation(self) -> bool {
+        matches!(self, TaskErrorKind::Cancelled | TaskErrorKind::DeadlineExceeded)
+    }
 }
 
 /// A partition task failed (panicked) during a job.
@@ -98,6 +128,10 @@ fn classify(
         (TaskErrorKind::Injected, f.to_string())
     } else if let Some(a) = payload.downcast_ref::<TaskAbort>() {
         (a.kind, a.message.clone())
+    } else if let Some(e) = payload.downcast_ref::<TaskError>() {
+        // a nested job (shuffle materialisation) cancelled or timed out:
+        // keep the typed kind so the outer task is not pointlessly retried
+        (e.kind, e.to_string())
     } else if let Some(s) = payload.downcast_ref::<&str>() {
         (TaskErrorKind::Panic, (*s).to_string())
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -136,10 +170,26 @@ impl Drop for JobDepthGuard<'_> {
     }
 }
 
+/// Builds the typed error for an attempt that observed cancellation
+/// before doing any work.
+fn cancel_error(reason: CancelReason, partition: usize, stage: u64, attempts: u32) -> TaskError {
+    let (kind, message) = match reason {
+        CancelReason::Cancelled => (TaskErrorKind::Cancelled, "task cancelled cooperatively"),
+        CancelReason::DeadlineExceeded => {
+            (TaskErrorKind::DeadlineExceeded, "job deadline exceeded")
+        }
+    };
+    TaskError { partition, payload_records: 0, message: message.to_string(), kind, attempts, stage }
+}
+
 /// Runs one partition task attempt under a panic guard, recording
-/// metrics. The configured [`FaultInjector`](crate::FaultInjector) is
-/// consulted *inside* the guard, so injected faults take the same path
-/// as genuine task panics.
+/// metrics. The attempt's [`CancellationToken`] is checked up front (the
+/// partition-boundary observation point) and installed as the thread's
+/// governing token for the attempt's duration, so fused record chunks,
+/// cooperative sleeps and nested shuffle jobs all observe it. The
+/// configured [`FaultInjector`](crate::FaultInjector) is consulted
+/// *inside* the guard, so injected faults take the same path as genuine
+/// task panics.
 fn run_attempt<T: Data, R>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
@@ -147,9 +197,14 @@ fn run_attempt<T: Data, R>(
     i: usize,
     stage: u64,
     attempt: u32,
+    token: &Arc<CancellationToken>,
 ) -> Result<R, TaskError> {
+    if let Some(reason) = token.cancel_reason() {
+        return Err(cancel_error(reason, i, stage, attempt + 1));
+    }
     let metrics = ctx.raw_metrics();
     metrics.inc_tasks(1);
+    let _governing = cancel::scope(Arc::clone(token));
     let started = Instant::now();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if let Some(injector) = ctx.fault_injector() {
@@ -172,22 +227,35 @@ fn run_attempt<T: Data, R>(
 
 /// Runs one partition task to completion: attempts, and on retryable
 /// failure evicts the partition from lineage caches and recomputes, up
-/// to the context's retry budget.
+/// to the context's retry budget. `attempt_offset` shifts the attempt
+/// numbers the fault injector sees: a speculative duplicate runs with
+/// numbers past any original attempt, modelling relaunch on a healthy
+/// node (a `(stage, partition)`-targeted stall or transient fault does
+/// not strike the duplicate again).
 fn run_task<T: Data, R>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
     f: &(impl Fn(usize, Partition<T>) -> R + Send + Sync),
     i: usize,
     stage: u64,
+    token: &Arc<CancellationToken>,
+    attempt_offset: u32,
 ) -> Result<R, TaskError> {
     let metrics = ctx.raw_metrics();
     let budget = ctx.max_task_retries();
     let backoff = ctx.inner.config.retry_backoff;
     let mut attempt = 0u32;
     loop {
-        match run_attempt(ctx, inner, f, i, stage, attempt) {
+        match run_attempt(ctx, inner, f, i, stage, attempt_offset + attempt, token) {
             Ok(r) => return Ok(r),
             Err(e) => {
+                if e.kind.is_cancellation() {
+                    // Cooperative abort: the token stays tripped, so a
+                    // retry would fail identically. Not a permanent
+                    // *failure* either — the work was abandoned, not lost.
+                    metrics.inc_tasks_cancelled(1);
+                    return Err(e);
+                }
                 let retryable = e.kind != TaskErrorKind::PartitionOutOfRange;
                 if !retryable || attempt >= budget {
                     metrics.inc_tasks_failed_permanently(1);
@@ -207,6 +275,25 @@ fn run_task<T: Data, R>(
     }
 }
 
+/// Per-partition execution state shared between the main sweep and
+/// speculation scouts. One mutex-guarded `Slot` per partition arbitrates
+/// the first-result-wins race: whoever publishes `result` first cancels
+/// every other in-flight attempt's token, and late finishers discard
+/// their outcome — results and metrics stay deduplicated.
+struct Slot<R> {
+    result: Option<Result<R, TaskError>>,
+    /// Tokens of in-flight attempts for this partition.
+    running: Vec<Arc<CancellationToken>>,
+    /// When the original attempt started (straggler age).
+    started: Option<Instant>,
+    /// Whether a speculative duplicate has been launched.
+    speculated: bool,
+}
+
+/// How often an idle worker re-scans for stragglers once the main
+/// partition queue is drained.
+const SPECULATION_POLL: Duration = Duration::from_micros(200);
+
 /// Computes every partition of `inner`, applies `f` to each, and returns
 /// the results in partition order — or the first [`TaskError`] (lowest
 /// partition index wins) if any task panicked.
@@ -223,23 +310,134 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
     let workers = ctx.parallelism().min(n);
     let stage = ctx.next_stage_id();
     let job_started = Instant::now();
+    // Every job chains under the thread's governing token when one is
+    // installed (a task of an enclosing job, or an ambient deadline
+    // scope) and under the context root otherwise — so Context::cancel,
+    // job deadlines and per-action deadlines all reach nested shuffles.
+    let parent = cancel::current().unwrap_or_else(|| Arc::clone(ctx.cancel_token()));
+    let job_token = parent.child_with_deadline(ctx.inner.config.job_deadline);
 
     let outcome = if workers <= 1 {
-        (0..n).map(|i| run_task(ctx, inner, &f, i, stage)).collect::<Result<Vec<R>, TaskError>>()
+        (0..n)
+            .map(|i| run_task(ctx, inner, &f, i, stage, &job_token, 0))
+            .collect::<Result<Vec<R>, TaskError>>()
     } else {
+        let metrics = ctx.raw_metrics();
+        let speculation = ctx.inner.config.speculation;
+        let quantile = ctx.inner.config.speculation_quantile;
+        let multiplier = ctx.inner.config.speculation_multiplier;
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<R, TaskError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let completed = AtomicUsize::new(0);
+        // Durations of successful attempts, feeding the median that
+        // defines "straggler" for this stage.
+        let durations: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let slots: Vec<Mutex<Slot<R>>> = (0..n)
+            .map(|_| {
+                Mutex::new(Slot {
+                    result: None,
+                    running: Vec::new(),
+                    started: None,
+                    speculated: false,
+                })
+            })
+            .collect();
+
+        // Runs one attempt (original or speculative duplicate) for
+        // partition `i` and arbitrates its outcome against the slot.
+        let run_one = |i: usize, speculative: bool| {
+            let attempt_token = job_token.child();
+            {
+                let mut s = slots[i].lock().expect("result slot poisoned");
+                if s.result.is_some() {
+                    return; // resolved while this attempt was being launched
+                }
+                s.running.push(Arc::clone(&attempt_token));
+                if !speculative {
+                    s.started = Some(Instant::now());
+                }
+            }
+            // Duplicates take attempt numbers past any original attempt:
+            // the relaunch lands on a "healthy node", out of reach of
+            // `(stage, partition)`-targeted stalls and transient faults.
+            let offset = if speculative { ctx.max_task_retries() + 1 } else { 0 };
+            let attempt_started = Instant::now();
+            let r = run_task(ctx, inner, &f, i, stage, &attempt_token, offset);
+            let elapsed = attempt_started.elapsed().as_nanos() as u64;
+            let mut s = slots[i].lock().expect("result slot poisoned");
+            s.running.retain(|t| !Arc::ptr_eq(t, &attempt_token));
+            if s.result.is_some() {
+                return; // lost the race: outcome discarded (dedup)
+            }
+            if speculative && r.is_err() {
+                // A failed duplicate never outranks the still-running
+                // original — only a duplicate *success* may publish.
+                return;
+            }
+            if r.is_ok() {
+                if speculative {
+                    metrics.inc_speculative_wins(1);
+                }
+                durations.lock().expect("durations poisoned").push(elapsed);
+            }
+            s.result = Some(r);
+            // First result wins: retire every other in-flight attempt.
+            for t in &s.running {
+                t.cancel();
+            }
+            completed.fetch_add(1, Ordering::Release);
+        };
+
+        // Picks the next straggler to duplicate, if the stage has
+        // reached its speculation quantile and someone is running past
+        // `multiplier ×` the median successful-attempt duration.
+        let next_straggler = || -> Option<usize> {
+            let done = completed.load(Ordering::Acquire);
+            let min_done = ((quantile * n as f64).ceil() as usize).clamp(1, n);
+            if done < min_done {
+                return None;
+            }
+            let threshold_nanos = {
+                let d = durations.lock().expect("durations poisoned");
+                if d.is_empty() {
+                    return None;
+                }
+                let mut sorted = d.clone();
+                sorted.sort_unstable();
+                (sorted[sorted.len() / 2] as f64 * multiplier) as u128
+            };
+            for (i, slot) in slots.iter().enumerate() {
+                let mut s = slot.lock().expect("result slot poisoned");
+                if s.result.is_none()
+                    && !s.speculated
+                    && s.started.is_some_and(|st| st.elapsed().as_nanos() > threshold_nanos)
+                {
+                    s.speculated = true;
+                    return Some(i);
+                }
+            }
+            None
+        };
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    if i < n {
+                        run_one(i, false);
+                        continue;
+                    }
+                    // Main queue drained: idle workers become
+                    // speculation scouts until every slot resolves.
+                    if !speculation || completed.load(Ordering::Acquire) >= n {
                         break;
                     }
-                    let r = run_task(ctx, inner, &f, i, stage);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    match next_straggler() {
+                        Some(straggler) => {
+                            metrics.inc_tasks_speculated(1);
+                            run_one(straggler, true);
+                        }
+                        None => std::thread::sleep(SPECULATION_POLL),
+                    }
                 });
             }
         });
@@ -249,11 +447,17 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
             .map(|cell| {
                 cell.into_inner()
                     .expect("result slot poisoned")
+                    .result
                     .expect("partition task did not produce a result")
             })
             .collect()
     };
 
+    if let Err(e) = &outcome {
+        if e.kind == TaskErrorKind::DeadlineExceeded && depth.is_top_level() {
+            ctx.raw_metrics().inc_deadline_exceeded_jobs(1);
+        }
+    }
     if depth.is_top_level() {
         ctx.raw_metrics().add_job_nanos(job_started.elapsed().as_nanos() as u64);
     }
@@ -262,6 +466,9 @@ pub(crate) fn try_run_partitions<T: Data, R: Send>(
 
 /// Infallible wrapper over [`try_run_partitions`]: propagates a task
 /// failure as a panic that names the failing partition and payload size.
+/// Cancellation outcomes panic with the [`TaskError`] itself as payload,
+/// so an enclosing task (a shuffle materialising inside a job) keeps the
+/// typed non-retryable kind instead of degrading it to a string panic.
 pub(crate) fn run_partitions<T: Data, R: Send>(
     ctx: &Context,
     inner: &Arc<dyn RddImpl<T>>,
@@ -269,6 +476,7 @@ pub(crate) fn run_partitions<T: Data, R: Send>(
 ) -> Vec<R> {
     match try_run_partitions(ctx, inner, f) {
         Ok(results) => results,
+        Err(e) if e.kind.is_cancellation() => std::panic::panic_any(e),
         Err(e) => panic!("{e}"),
     }
 }
@@ -475,6 +683,131 @@ mod tests {
         let r = ctx.parallelize((0..8).collect::<Vec<i32>>(), 4);
         assert!(r.try_collect().is_err(), "stage 0 is poisoned");
         assert_eq!(r.try_collect().unwrap(), (0..8).collect::<Vec<_>>(), "stage 1 is clean");
+    }
+
+    #[test]
+    fn job_deadline_returns_typed_error_and_fast_jobs_still_pass() {
+        let ctx = Context::with_config(EngineConfig {
+            parallelism: 2,
+            max_task_retries: 3,
+            job_deadline: Some(std::time::Duration::from_millis(30)),
+            ..EngineConfig::default()
+        });
+        let slow = ctx.parallelize((0..512).collect::<Vec<i32>>(), 4).map(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        let err = slow.try_collect().unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::DeadlineExceeded);
+        let m = ctx.metrics();
+        assert_eq!(m.deadline_exceeded_jobs, 1);
+        assert_eq!(m.tasks_retried, 0, "cancellation must not burn the retry budget");
+        assert_eq!(m.tasks_failed_permanently, 0, "a deadline is not a task failure");
+        // the deadline is per job, not cumulative on the context
+        let fast = ctx.parallelize((0..8).collect::<Vec<i32>>(), 4);
+        assert_eq!(fast.try_collect().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_with_deadline_leaves_no_poisoned_cache() {
+        let ctx = Context::with_parallelism(2);
+        let slow = ctx
+            .parallelize((0..512).collect::<Vec<i32>>(), 4)
+            .map(|x| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+            .cache();
+        let err = slow.collect_with_deadline(std::time::Duration::from_millis(30)).unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::DeadlineExceeded);
+        assert!(ctx.metrics().tasks_cancelled > 0, "tasks must observe the deadline");
+        // the deadline lived only for the scoped action: the same lineage
+        // (including its cache) computes cleanly afterwards
+        assert_eq!(slow.collect(), (0..512).collect::<Vec<_>>());
+        assert_eq!(
+            slow.count_with_deadline(std::time::Duration::from_secs(60)).unwrap(),
+            512,
+            "cached partitions satisfy a later generous deadline"
+        );
+    }
+
+    #[test]
+    fn context_cancel_aborts_job_and_reset_rearms() {
+        let ctx = Context::with_parallelism(2);
+        let canceller = {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                ctx.cancel();
+            })
+        };
+        let slow = ctx.parallelize((0..2048).collect::<Vec<i32>>(), 4).map(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        let err = slow.try_collect().unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::Cancelled);
+        canceller.join().unwrap();
+        // sticky until reset: new jobs abort immediately
+        let again = ctx.parallelize((0..4).collect::<Vec<i32>>(), 2).try_collect().unwrap_err();
+        assert_eq!(again.kind, TaskErrorKind::Cancelled);
+        ctx.reset_cancellation();
+        assert_eq!(
+            ctx.parallelize((0..4).collect::<Vec<i32>>(), 2).try_collect().unwrap(),
+            (0..4).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn speculation_beats_delay_straggler_with_identical_results() {
+        let stall = std::time::Duration::from_millis(400);
+        let inj = FaultInjector::new(11, FaultScope::Partition(0), FaultPolicy::Delay(stall));
+        let injector = Arc::new(inj);
+        let ctx = Context::with_config(EngineConfig {
+            parallelism: 4,
+            default_partitions: 8,
+            max_task_retries: 3,
+            fault_injector: Some(injector.clone()),
+            speculation: true,
+            speculation_quantile: 0.5,
+            speculation_multiplier: 1.5,
+            ..EngineConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let out = ctx
+            .parallelize((0..64).collect::<Vec<i32>>(), 8)
+            .map(|x| {
+                std::thread::sleep(std::time::Duration::from_micros(500));
+                x * 2
+            })
+            .collect();
+        let elapsed = started.elapsed();
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>(), "dedup must keep output exact");
+        assert!(
+            elapsed < stall * 3 / 4,
+            "speculation should beat the {stall:?} straggler, took {elapsed:?}"
+        );
+        let m = ctx.metrics();
+        assert!(m.tasks_speculated >= 1, "the stalled task must be speculated");
+        assert!(m.speculative_wins >= 1, "the duplicate must win");
+        assert!(m.tasks_cancelled >= 1, "the stalled original must be retired");
+        assert_eq!(m.tasks_retried, 0, "delays are not failures, even speculated ones");
+        assert_eq!(injector.injected(), 1, "only the original first attempt is stalled");
+    }
+
+    #[test]
+    fn speculation_off_sleeps_out_the_straggler() {
+        let stall = std::time::Duration::from_millis(80);
+        let inj = FaultInjector::new(11, FaultScope::Partition(0), FaultPolicy::Delay(stall));
+        let (ctx, _chaos) = chaos_ctx(4, 3, inj);
+        let started = std::time::Instant::now();
+        let out = ctx.parallelize((0..64).collect::<Vec<i32>>(), 8).collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert!(
+            started.elapsed() >= stall,
+            "without speculation the stall is on the critical path"
+        );
+        assert_eq!(ctx.metrics().tasks_speculated, 0);
     }
 
     #[test]

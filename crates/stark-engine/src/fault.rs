@@ -32,7 +32,12 @@ pub enum FaultPolicy {
     Transient,
     /// Panic on every attempt; the task can never succeed.
     Panic,
-    /// Sleep for the given duration before computing, then proceed.
+    /// Sleep for the given duration before computing (cooperatively —
+    /// the stall aborts early if the attempt is cancelled), then
+    /// proceed. Like [`FaultPolicy::Transient`], only attempts below the
+    /// injector's `fail_attempts` threshold are stalled, so a
+    /// speculative duplicate running with fresh attempt numbers escapes
+    /// the straggler.
     Delay(Duration),
 }
 
@@ -165,8 +170,17 @@ impl FaultInjector {
         }
         match self.policy {
             FaultPolicy::Delay(d) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(d);
+                // Like Transient, only early attempts are stalled: a
+                // speculative duplicate (running with attempt numbers
+                // past the retry budget) models a relaunch on a healthy
+                // node and is not stalled again. The sleep is
+                // cooperative, so a stalled attempt that loses the
+                // speculation race (or hits a deadline) releases its
+                // worker promptly instead of sleeping out the stall.
+                if attempt < self.fail_attempts {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    crate::cancel::sleep_cooperative(d);
+                }
             }
             FaultPolicy::Panic => {
                 self.injected.fetch_add(1, Ordering::Relaxed);

@@ -22,6 +22,12 @@
 //!   eviction up to [`EngineConfig::max_task_retries`], a seeded
 //!   [`FaultInjector`] makes chaos runs deterministic, and
 //!   [`Rdd::checkpoint`] truncates lineage to the object store;
+//! * straggler defence: cooperative cancellation via a
+//!   [`CancellationToken`] chain, job deadlines
+//!   ([`EngineConfig::job_deadline`], [`Rdd::collect_with_deadline`])
+//!   surfacing typed [`TaskErrorKind::DeadlineExceeded`] errors, and
+//!   optional speculative execution ([`EngineConfig::speculation`])
+//!   that relaunches straggling tasks and lets the first result win;
 //! * a directory-backed [`ObjectStore`] standing in for HDFS;
 //! * a bounded backpressure [`channel`] used by the streaming layer to
 //!   feed micro-batches into the engine without unbounded buffering.
@@ -37,6 +43,7 @@
 //! assert_eq!(sum, Some(2550));
 //! ```
 
+pub mod cancel;
 pub mod channel;
 pub mod context;
 mod executor;
@@ -46,6 +53,7 @@ pub mod partition;
 pub mod rdd;
 pub mod storage;
 
+pub use cancel::{CancelReason, CancelScope, CancellationToken};
 pub use context::{Context, EngineConfig};
 pub use fault::{FaultInjector, FaultPolicy, FaultScope};
 pub use metrics::{Metrics, MetricsSnapshot};

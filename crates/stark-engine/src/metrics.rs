@@ -48,6 +48,17 @@ pub struct Metrics {
     pub partitions_recomputed: AtomicU64,
     /// Serialised bytes written by [`Rdd::checkpoint`](crate::Rdd).
     pub checkpoint_bytes: AtomicU64,
+    /// Speculative duplicate attempts launched for straggling tasks.
+    pub tasks_speculated: AtomicU64,
+    /// Speculative duplicates that finished before the original attempt
+    /// and supplied the partition's result.
+    pub speculative_wins: AtomicU64,
+    /// Task attempts that observed cooperative cancellation (explicit
+    /// cancel, lost speculation race, or a passed deadline) and aborted.
+    pub tasks_cancelled: AtomicU64,
+    /// Top-level jobs that failed with
+    /// [`TaskErrorKind::DeadlineExceeded`](crate::TaskErrorKind).
+    pub deadline_exceeded_jobs: AtomicU64,
 }
 
 impl Metrics {
@@ -90,6 +101,18 @@ impl Metrics {
     pub fn add_checkpoint_bytes(&self, n: u64) {
         self.checkpoint_bytes.fetch_add(n, Ordering::Relaxed);
     }
+    pub fn inc_tasks_speculated(&self, n: u64) {
+        self.tasks_speculated.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_speculative_wins(&self, n: u64) {
+        self.speculative_wins.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_tasks_cancelled(&self, n: u64) {
+        self.tasks_cancelled.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_deadline_exceeded_jobs(&self, n: u64) {
+        self.deadline_exceeded_jobs.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -107,6 +130,10 @@ impl Metrics {
             tasks_failed_permanently: self.tasks_failed_permanently.load(Ordering::Relaxed),
             partitions_recomputed: self.partitions_recomputed.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            tasks_speculated: self.tasks_speculated.load(Ordering::Relaxed),
+            speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
+            deadline_exceeded_jobs: self.deadline_exceeded_jobs.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +162,14 @@ pub struct MetricsSnapshot {
     pub partitions_recomputed: u64,
     /// Bytes persisted by checkpoints (see [`Metrics::checkpoint_bytes`]).
     pub checkpoint_bytes: u64,
+    /// Speculative duplicate attempts launched (see [`Metrics::tasks_speculated`]).
+    pub tasks_speculated: u64,
+    /// Duplicates that beat the original (see [`Metrics::speculative_wins`]).
+    pub speculative_wins: u64,
+    /// Attempts aborted by cancellation (see [`Metrics::tasks_cancelled`]).
+    pub tasks_cancelled: u64,
+    /// Jobs failed on a deadline (see [`Metrics::deadline_exceeded_jobs`]).
+    pub deadline_exceeded_jobs: u64,
 }
 
 impl MetricsSnapshot {
@@ -155,6 +190,10 @@ impl MetricsSnapshot {
                 - earlier.tasks_failed_permanently,
             partitions_recomputed: self.partitions_recomputed - earlier.partitions_recomputed,
             checkpoint_bytes: self.checkpoint_bytes - earlier.checkpoint_bytes,
+            tasks_speculated: self.tasks_speculated - earlier.tasks_speculated,
+            speculative_wins: self.speculative_wins - earlier.speculative_wins,
+            tasks_cancelled: self.tasks_cancelled - earlier.tasks_cancelled,
+            deadline_exceeded_jobs: self.deadline_exceeded_jobs - earlier.deadline_exceeded_jobs,
         }
     }
 }

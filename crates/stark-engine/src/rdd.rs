@@ -34,6 +34,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Bound alias for everything that can live in a dataset.
 pub trait Data: Clone + Send + Sync + 'static {}
@@ -506,7 +507,9 @@ impl<T: Data> Rdd<T> {
                 Arc::new(MapPartitionsRdd {
                     parent: self.inner.clone(),
                     f: Arc::new(move |i, data: Partition<T>| {
-                        let it = Box::new(data.into_iter_counted(ctx.raw_metrics()));
+                        let it = Box::new(crate::cancel::checked(
+                            data.into_iter_counted(ctx.raw_metrics()),
+                        ));
                         Partition::from_vec(stage(i, it).collect())
                     }),
                 }),
@@ -538,7 +541,12 @@ impl<T: Data> Rdd<T> {
                     num_partitions: base.num_partitions(),
                     ops: vec![op.to_string()],
                     iter_fn: Arc::new(move |i| {
-                        s(i, Box::new(base.compute(i).into_iter_counted(ctx.raw_metrics())))
+                        s(
+                            i,
+                            Box::new(crate::cancel::checked(
+                                base.compute(i).into_iter_counted(ctx.raw_metrics()),
+                            )),
+                        )
                     }),
                     evict_fn: Arc::new(move |i| evict_base.evict(i)),
                     base_lineage: self.lineage.clone(),
@@ -840,6 +848,24 @@ impl<T: Data> Rdd<T> {
     /// of panicking when a partition task fails.
     pub fn try_collect(&self) -> Result<Vec<T>, TaskError> {
         Ok(self.flatten_partitions(self.try_run_partitions(|_, data| data)?))
+    }
+
+    /// [`Rdd::try_collect`] under an ambient deadline: the job (and any
+    /// nested shuffle jobs it spawns) fails with a typed
+    /// [`TaskErrorKind::DeadlineExceeded`] error once `deadline` elapses,
+    /// observed cooperatively at partition boundaries and between fused
+    /// record chunks. No cache entry is poisoned — a later run without a
+    /// deadline recomputes whatever the aborted run did not finish.
+    pub fn collect_with_deadline(&self, deadline: Duration) -> Result<Vec<T>, TaskError> {
+        let _scope = self.ctx.deadline_scope(deadline);
+        self.try_collect()
+    }
+
+    /// Fallible [`Rdd::count`] under an ambient deadline; see
+    /// [`Rdd::collect_with_deadline`].
+    pub fn count_with_deadline(&self, deadline: Duration) -> Result<usize, TaskError> {
+        let _scope = self.ctx.deadline_scope(deadline);
+        Ok(self.try_run_partitions(|_, data| data.len())?.into_iter().sum())
     }
 
     fn flatten_partitions(&self, mut parts: Vec<Partition<T>>) -> Vec<T> {

@@ -1,6 +1,13 @@
 //! A directory-backed object store — the reproduction's stand-in for
 //! HDFS (paper Figure 2: raw data and persisted indexes live in HDFS and
 //! are re-loaded by later programs).
+//!
+//! Objects are framed with a small header carrying a CRC32 of the
+//! payload, verified on every read: a bit-flipped checkpoint or
+//! persisted index surfaces as a typed [`StorageError::Corrupt`] instead
+//! of serde garbage. Writes stage into a per-write unique temp file and
+//! rename into place, so concurrent writers (and keys sharing a stem)
+//! never trample each other's staging file.
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -8,6 +15,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors from object-store operations.
 #[derive(Debug)]
@@ -16,6 +24,9 @@ pub enum StorageError {
     Serde(serde_json::Error),
     InvalidKey(String),
     NotFound(String),
+    /// The object's stored checksum (or frame header) does not match its
+    /// payload — the bytes rotted on disk or were truncated mid-write.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -25,6 +36,9 @@ impl fmt::Display for StorageError {
             StorageError::Serde(e) => write!(f, "storage (de)serialisation error: {e}"),
             StorageError::InvalidKey(k) => write!(f, "invalid object key: {k:?}"),
             StorageError::NotFound(k) => write!(f, "object not found: {k:?}"),
+            StorageError::Corrupt(k) => {
+                write!(f, "object {k:?} is corrupt (checksum mismatch or bad frame)")
+            }
         }
     }
 }
@@ -75,32 +89,55 @@ impl ObjectStore {
         Ok(self.root.join(key))
     }
 
-    /// Writes `data` under `key`, replacing any previous object.
+    /// Writes `data` under `key`, replacing any previous object. The
+    /// payload is framed with a [`FRAME_MAGIC`] + CRC32 header and staged
+    /// through a unique temp file (key-preserving name, suffixed with
+    /// pid and a process-wide counter — `path.with_extension` would make
+    /// `part.bin` and `part.json` race on the same staging file).
     pub fn put_bytes(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
         let path = self.resolve(key)?;
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        let tmp = path.with_extension("tmp-write");
+        let name = path.file_name().expect("resolved key has a file name").to_string_lossy();
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_file_name(format!("{name}.tmp-{}-{seq}", std::process::id()));
         {
             let mut f = fs::File::create(&tmp)?;
+            f.write_all(FRAME_MAGIC)?;
+            f.write_all(&crc32(data).to_le_bytes())?;
             f.write_all(data)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, &path)?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(())
     }
 
-    /// Reads the object stored under `key`.
+    /// Reads the object stored under `key`, verifying its checksum.
     pub fn get_bytes(&self, key: &str) -> Result<Vec<u8>, StorageError> {
         let path = self.resolve(key)?;
-        match fs::read(&path) {
-            Ok(data) => Ok(data),
+        let framed = match fs::read(&path) {
+            Ok(data) => data,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StorageError::NotFound(key.to_string()))
+                return Err(StorageError::NotFound(key.to_string()))
             }
-            Err(e) => Err(e.into()),
+            Err(e) => return Err(e.into()),
+        };
+        let Some((header, payload)) = framed.split_at_checked(FRAME_HEADER_LEN) else {
+            return Err(StorageError::Corrupt(key.to_string()));
+        };
+        let (magic, crc_bytes) = header.split_at(FRAME_MAGIC.len());
+        if magic != FRAME_MAGIC {
+            return Err(StorageError::Corrupt(key.to_string()));
         }
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc field"));
+        if crc32(payload) != stored {
+            return Err(StorageError::Corrupt(key.to_string()));
+        }
+        Ok(payload.to_vec())
     }
 
     /// Serialises `value` as JSON under `key`.
@@ -156,6 +193,38 @@ impl ObjectStore {
     }
 }
 
+/// Magic prefix identifying a framed store object.
+const FRAME_MAGIC: &[u8; 4] = b"STK1";
+/// Frame header: magic + little-endian CRC32 of the payload.
+const FRAME_HEADER_LEN: usize = FRAME_MAGIC.len() + 4;
+
+/// Process-wide staging-file counter: combined with the pid it makes
+/// every [`ObjectStore::put_bytes`] staging name unique.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `data` — the checksum
+/// gzip/zip use, implemented locally over a lazily built table to avoid
+/// a dependency.
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
 fn collect_keys(root: &Path, dir: &Path, keys: &mut Vec<String>) -> Result<(), StorageError> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -163,7 +232,11 @@ fn collect_keys(root: &Path, dir: &Path, keys: &mut Vec<String>) -> Result<(), S
         if path.is_dir() {
             collect_keys(root, &path, keys)?;
         } else if let Ok(rel) = path.strip_prefix(root) {
-            keys.push(rel.to_string_lossy().replace('\\', "/"));
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            // an orphaned staging file (crashed writer) is not an object
+            if !rel.contains(".tmp-") {
+                keys.push(rel);
+            }
         }
     }
     Ok(())
@@ -233,6 +306,81 @@ mod tests {
         s.delete("k").unwrap();
         s.delete("k").unwrap();
         assert!(!s.exists("k"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // reference values from the IEEE 802.3 / zlib crc32
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn keys_sharing_a_stem_do_not_collide_on_staging() {
+        // regression: `path.with_extension("tmp-write")` staged both
+        // `part.bin` and `part.json` at `part.tmp-write`, so concurrent
+        // writers could rename each other's half-written payloads
+        let s = temp_store("stem");
+        let bin = vec![0xABu8; 4096];
+        let json = vec![0xCDu8; 4096];
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| s.put_bytes("part.bin", &bin).unwrap());
+                scope.spawn(|| s.put_bytes("part.json", &json).unwrap());
+            }
+        });
+        assert_eq!(s.get_bytes("part.bin").unwrap(), bin);
+        assert_eq!(s.get_bytes("part.json").unwrap(), json);
+        assert_eq!(s.list("").unwrap(), vec!["part.bin", "part.json"], "no staging leftovers");
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_key_leave_a_complete_object() {
+        let s = temp_store("race");
+        std::thread::scope(|scope| {
+            for w in 0u8..8 {
+                let s = &s;
+                scope.spawn(move || {
+                    let payload = vec![w; 8192];
+                    for _ in 0..8 {
+                        s.put_bytes("shared", &payload).unwrap();
+                    }
+                });
+            }
+        });
+        // whoever renamed last wins, but the object must be one writer's
+        // intact payload — never interleaved bytes
+        let data = s.get_bytes("shared").unwrap();
+        assert_eq!(data.len(), 8192);
+        assert!(data.windows(2).all(|w| w[0] == w[1]), "payload mixed from two writers");
+    }
+
+    #[test]
+    fn bit_flip_surfaces_typed_corruption() {
+        let s = temp_store("bitflip");
+        let value: Vec<u64> = (0..256).collect();
+        s.put_json("checkpoint/part-0", &value).unwrap();
+        let path = s.root().join("checkpoint/part-0");
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40; // flip one payload bit
+        fs::write(&path, &raw).unwrap();
+        match s.get_json::<Vec<u64>>("checkpoint/part-0") {
+            Err(StorageError::Corrupt(k)) => assert_eq!(k, "checkpoint/part-0"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_foreign_files_are_corrupt() {
+        let s = temp_store("truncated");
+        s.put_bytes("k", b"payload").unwrap();
+        fs::write(s.root().join("k"), b"STK").unwrap(); // shorter than a header
+        assert!(matches!(s.get_bytes("k"), Err(StorageError::Corrupt(_))));
+        // a pre-framing (or foreign) file has no magic
+        fs::write(s.root().join("legacy"), b"raw bytes from an old store").unwrap();
+        assert!(matches!(s.get_bytes("legacy"), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub struct BatchMetrics {
     /// Extra pane-aggregation attempts consumed by batch-level retry
     /// (0 = clean batch). On top of the engine's own per-task retries.
     pub aggregation_retries: u32,
+    /// Event-time watermark after observing this batch (`None` when the
+    /// job has no windows). Monotone across batches: load shedding drops
+    /// whole batches or thins records *before* they are observed, so it
+    /// can hold the watermark still but never move it backward.
+    pub watermark: Option<i64>,
     /// Whether processing failed permanently (retry budget spent); the
     /// batch's window observations still stand, only the failed pane
     /// aggregation output is missing.
@@ -60,6 +65,13 @@ pub struct StreamReport {
     /// Event-time watermark when the stream ended. A pure function of
     /// the observed events — batch retries must not move it.
     pub final_watermark: Option<i64>,
+    /// Records dropped by the configured [`crate::ShedPolicy`] before
+    /// reaching the driver (whole displaced batches plus sampled-out
+    /// records). `records sent - records_shed = records processed`.
+    pub records_shed: u64,
+    /// Whole batches displaced unprocessed by
+    /// [`crate::ShedPolicy::DropOldest`].
+    pub batches_shed: u64,
 }
 
 impl StreamReport {

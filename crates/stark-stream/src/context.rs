@@ -18,7 +18,7 @@ use stark_engine::channel::{self, RecvError};
 use stark_engine::{Context, Data};
 use stark_geo::Envelope;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,9 +28,38 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(e) = payload.downcast_ref::<stark_engine::TaskError>() {
+        // a cancelled or deadline-exceeded engine job propagates its
+        // typed TaskError as the panic payload
+        e.to_string()
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// How the source pump degrades when the driver cannot keep up —
+/// i.e. when the bounded batch channel saturates (or consumer lag
+/// crosses [`StreamConfig::shed_lag_threshold`]). Shedding happens
+/// *before* a record is observed by the window manager, so it can hold
+/// the watermark still but never moves it backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Backpressure: the pump blocks until the driver drains a batch.
+    /// Nothing is lost; the source is stalled (the pre-existing
+    /// behaviour).
+    #[default]
+    Block,
+    /// Displace the *oldest* queued batch to make room for the newest —
+    /// freshest data wins, displaced batches are counted in
+    /// [`StreamReport::batches_shed`] / `records_shed`.
+    DropOldest,
+    /// Thin saturated batches by keeping every n-th record (the first
+    /// record of each batch always survives); sampled-out records count
+    /// toward [`StreamReport::records_shed`].
+    Sample {
+        /// Keep 1 record in `n` while saturated (`n >= 1`; 1 sheds nothing).
+        keep_1_in_n: u32,
+    },
 }
 
 /// What the driver does with a batch whose pane aggregation still fails
@@ -64,6 +93,20 @@ pub struct StreamConfig {
     pub max_batch_retries: u32,
     /// What to do when the batch retry budget is exhausted.
     pub failure_policy: BatchFailurePolicy,
+    /// How the pump degrades when the driver lags (see [`ShedPolicy`]).
+    pub shed_policy: ShedPolicy,
+    /// Queued-batch count at which the pump starts shedding. `None`
+    /// sheds only when the channel is completely full
+    /// (`channel_capacity`); irrelevant under [`ShedPolicy::Block`].
+    pub shed_lag_threshold: Option<usize>,
+    /// Wall-clock budget for each batch's pane aggregations, installed
+    /// as an ambient engine deadline around batch processing
+    /// ([`stark_engine::Context::deadline_scope`]). A batch past its
+    /// deadline fails with a typed `DeadlineExceeded` engine error and
+    /// is handled by [`StreamConfig::failure_policy`] like any other
+    /// failed batch — its window *observations* still stand, so the
+    /// watermark is unaffected. `None` (the default) never expires.
+    pub batch_deadline: Option<Duration>,
 }
 
 impl Default for StreamConfig {
@@ -75,6 +118,9 @@ impl Default for StreamConfig {
             poll: Duration::from_millis(100),
             max_batch_retries: 2,
             failure_policy: BatchFailurePolicy::Skip,
+            shed_policy: ShedPolicy::Block,
+            shed_lag_threshold: None,
+            batch_deadline: None,
         }
     }
 }
@@ -151,6 +197,9 @@ impl StreamContext {
     pub fn with_config(ctx: Context, config: StreamConfig) -> Self {
         assert!(config.batch_records > 0, "batch_records must be positive");
         assert!(config.parallelism > 0, "parallelism must be positive");
+        if let ShedPolicy::Sample { keep_1_in_n } = config.shed_policy {
+            assert!(keep_1_in_n >= 1, "keep_1_in_n must be at least 1");
+        }
         StreamContext { ctx, config }
     }
 
@@ -172,8 +221,15 @@ impl StreamContext {
     {
         let (tx, rx) = channel::bounded::<MicroBatch<V>>(self.config.channel_capacity);
         let batch_records = self.config.batch_records;
+        let shed_policy = self.config.shed_policy;
+        let shed_bound =
+            self.config.shed_lag_threshold.unwrap_or(self.config.channel_capacity).max(1);
         let source_panicked = Arc::new(AtomicBool::new(false));
         let pump_flag = Arc::clone(&source_panicked);
+        let records_shed = Arc::new(AtomicU64::new(0));
+        let batches_shed = Arc::new(AtomicU64::new(0));
+        let pump_records_shed = Arc::clone(&records_shed);
+        let pump_batches_shed = Arc::clone(&batches_shed);
         let pump = std::thread::spawn(move || {
             let mut source = source;
             let mut id = 0u64;
@@ -190,10 +246,45 @@ impl StreamContext {
                             break;
                         }
                     };
-                let batch = MicroBatch { id, records: stark_engine::Partition::from_vec(records) };
+                let mut batch =
+                    MicroBatch { id, records: stark_engine::Partition::from_vec(records) };
                 id += 1;
-                if tx.send(batch).is_err() {
-                    break; // driver went away
+                // Saturation handling: shedding drops data *here*, before
+                // the window manager ever observes it, so the watermark
+                // can stall but never regress.
+                match shed_policy {
+                    ShedPolicy::Block => {
+                        if tx.send(batch).is_err() {
+                            break; // driver went away
+                        }
+                    }
+                    ShedPolicy::DropOldest => match tx.send_or_displace(batch, shed_bound) {
+                        Ok(displaced) => {
+                            for old in displaced {
+                                pump_batches_shed.fetch_add(1, Ordering::Relaxed);
+                                pump_records_shed
+                                    .fetch_add(old.records.len() as u64, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => break,
+                    },
+                    ShedPolicy::Sample { keep_1_in_n } => {
+                        if keep_1_in_n > 1 && tx.len() >= shed_bound {
+                            let full = batch.records.len();
+                            let kept: Vec<_> = batch
+                                .records
+                                .iter()
+                                .step_by(keep_1_in_n as usize)
+                                .cloned()
+                                .collect();
+                            pump_records_shed
+                                .fetch_add((full - kept.len()) as u64, Ordering::Relaxed);
+                            batch.records = stark_engine::Partition::from_vec(kept);
+                        }
+                        if tx.send(batch).is_err() {
+                            break;
+                        }
+                    }
                 }
             }
         });
@@ -241,6 +332,8 @@ impl StreamContext {
         }
         let _ = pump.join(); // panic already recorded via the flag
         report.source_disconnected = source_panicked.load(Ordering::Acquire);
+        report.records_shed = records_shed.load(Ordering::Relaxed);
+        report.batches_shed = batches_shed.load(Ordering::Relaxed);
         report.elapsed = run_start.elapsed();
         report
     }
@@ -253,11 +346,17 @@ impl StreamContext {
     ) -> BatchMetrics {
         let started = Instant::now();
         let records = batch.records.len() as u64;
+        // Per-batch latency bound: pane aggregations (engine jobs) run
+        // under an ambient deadline for the rest of this batch. The
+        // window bookkeeping below is driver-local and unaffected, so a
+        // timed-out batch still advances the watermark correctly.
+        let _deadline = self.config.batch_deadline.map(|d| self.ctx.deadline_scope(d));
 
         let mut late_dropped = 0u64;
         let mut windows_fired = 0u64;
         let mut aggregation_retries = 0u32;
         let mut failed = false;
+        let mut watermark = None;
         if let Some(wm) = &mut job.windows {
             // Observe/side/fire run exactly once per batch — they are
             // driver-local and infallible, so the watermark is a pure
@@ -265,6 +364,7 @@ impl StreamContext {
             // pane aggregation below retries.
             let stats = wm.observe(batch.records.iter().cloned());
             late_dropped = stats.dropped;
+            watermark = wm.watermark();
             let side = wm.take_side_output();
             if !side.is_empty() {
                 for sink in &mut job.sinks {
@@ -322,6 +422,7 @@ impl StreamContext {
             partitions_rebuilt,
             windows_fired,
             aggregation_retries,
+            watermark,
             failed,
         }
     }

@@ -27,7 +27,14 @@
 //!   engine jobs up to [`StreamConfig::max_batch_retries`] so a poisoned
 //!   batch no longer stalls the pump, a panicking source ends the stream
 //!   cleanly ([`StreamReport::source_disconnected`]), and
-//!   [`BatchFailurePolicy`] picks skip-vs-abort on permanent failure.
+//!   [`BatchFailurePolicy`] picks skip-vs-abort on permanent failure;
+//! * **graceful degradation** under overload: a [`ShedPolicy`]
+//!   (`Block` backpressure by default, `DropOldest`, or
+//!   `Sample{keep_1_in_n}`) sheds load when the batch channel saturates
+//!   — fully accounted in [`StreamReport::records_shed`] and never
+//!   moving the watermark backward — plus optional per-batch deadlines
+//!   ([`StreamConfig::batch_deadline`]) riding the engine's
+//!   cancellation tokens.
 //!
 //! ```
 //! use stark_engine::Context;
@@ -55,7 +62,7 @@ pub mod source;
 pub mod window;
 
 pub use batch::{BatchId, BatchMetrics, MicroBatch, StreamReport};
-pub use context::{BatchFailurePolicy, StreamConfig, StreamContext, StreamJob};
+pub use context::{BatchFailurePolicy, ShedPolicy, StreamConfig, StreamContext, StreamJob};
 pub use query::{BatchEvaluation, ContinuousQueryEngine, QueryOutput, QueryResult, StandingQuery};
 pub use sink::{MemorySink, MemorySinkState, Sink, WindowAggregate};
 pub use source::{EventPayload, GeneratorSource, ReplaySource, Source, VecSource};

@@ -2,11 +2,13 @@
 //! return fault-free results while a seeded [`FaultInjector`] kills,
 //! delays or transiently fails tasks underneath it.
 //!
-//! The property tests draw injector seeds, fault rates and policies from
-//! proptest; the end-to-end test runs the A1 pruning pipeline under a
-//! fixed 10% transient fault rate. Set `STARK_CHAOS_SEED=<u64>` to
-//! replay the end-to-end test with a different injector seed (CI pins
-//! one, so failures reproduce locally with a single env var).
+//! The property tests draw injector seeds, fault rates, policies *and
+//! whether speculative execution races duplicates* from proptest; the
+//! end-to-end tests run the A1 pruning pipeline under a fixed 10%
+//! transient fault rate, and under a delay-heavy straggler rate with
+//! speculation enabled. Set `STARK_CHAOS_SEED=<u64>` to replay the
+//! end-to-end tests with a different injector seed (CI pins one, so
+//! failures reproduce locally with a single env var).
 
 use proptest::prelude::*;
 use stark::{GridPartitioner, JoinConfig, STObject, STPredicate, SpatialRdd, SpatialRddExt};
@@ -29,10 +31,19 @@ fn chaos_seed() -> (u64, bool) {
 }
 
 fn chaos_ctx(injector: Option<Arc<FaultInjector>>) -> Context {
+    chaos_ctx_spec(injector, false)
+}
+
+/// Like [`chaos_ctx`], with speculative execution optionally enabled —
+/// the retry and result invariants must hold either way.
+fn chaos_ctx_spec(injector: Option<Arc<FaultInjector>>, speculate: bool) -> Context {
     Context::with_config(EngineConfig {
         parallelism: 4,
         max_task_retries: 3,
         fault_injector: injector,
+        speculation: speculate,
+        speculation_quantile: 0.5,
+        speculation_multiplier: 1.5,
         ..Default::default()
     })
 }
@@ -109,11 +120,12 @@ proptest! {
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.5,
         policy_sel in 0u8..3,
+        speculate in any::<bool>(),
         data in proptest::collection::vec(any::<i32>(), 1..400),
         parts in 1usize..9,
     ) {
         let (chaos, retries_expected) = drawn_injector(fault_seed, rate, policy_sel);
-        let ctx = chaos_ctx(Some(Arc::clone(&chaos)));
+        let ctx = chaos_ctx_spec(Some(Arc::clone(&chaos)), speculate);
         let got = ctx.parallelize(data.clone(), parts).map(|x| x as i64 * 7 - 3).collect();
         let expect: Vec<i64> = data.iter().map(|&x| x as i64 * 7 - 3).collect();
         prop_assert_eq!(got, expect);
@@ -126,11 +138,12 @@ proptest! {
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.5,
         policy_sel in 0u8..3,
+        speculate in any::<bool>(),
         data in proptest::collection::vec(any::<i32>(), 1..300),
         dst_parts in 1usize..9,
     ) {
         let (chaos, retries_expected) = drawn_injector(fault_seed, rate, policy_sel);
-        let ctx = chaos_ctx(Some(Arc::clone(&chaos)));
+        let ctx = chaos_ctx_spec(Some(Arc::clone(&chaos)), speculate);
         let r = ctx
             .parallelize(data.clone(), 4)
             .partition_by(dst_parts, |x| x.unsigned_abs() as usize);
@@ -148,6 +161,7 @@ proptest! {
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.4,
         policy_sel in 0u8..3,
+        speculate in any::<bool>(),
         data_seed in 0u64..1000,
     ) {
         let pair_ids = |ctx: &Context| {
@@ -164,7 +178,7 @@ proptest! {
         };
         let expect = pair_ids(&chaos_ctx(None));
         let (chaos, retries_expected) = drawn_injector(fault_seed, rate, policy_sel);
-        let ctx = chaos_ctx(Some(Arc::clone(&chaos)));
+        let ctx = chaos_ctx_spec(Some(Arc::clone(&chaos)), speculate);
         prop_assert_eq!(pair_ids(&ctx), expect);
         assert_retry_invariants(&ctx, &chaos, retries_expected);
     }
@@ -176,6 +190,7 @@ proptest! {
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.4,
         policy_sel in 0u8..3,
+        speculate in any::<bool>(),
         data_seed in 0u64..1000,
     ) {
         let neighbours = |ctx: &Context| {
@@ -187,7 +202,7 @@ proptest! {
         };
         let expect = neighbours(&chaos_ctx(None));
         let (chaos, retries_expected) = drawn_injector(fault_seed, rate, policy_sel);
-        let ctx = chaos_ctx(Some(Arc::clone(&chaos)));
+        let ctx = chaos_ctx_spec(Some(Arc::clone(&chaos)), speculate);
         prop_assert_eq!(neighbours(&ctx), expect);
         assert_retry_invariants(&ctx, &chaos, retries_expected);
     }
@@ -245,4 +260,34 @@ fn a1_pipeline_chaos_run_is_byte_identical() {
     assert_eq!(clean, faulty_ck, "checkpointed chaos run diverged (seed {seed})");
     assert_retry_invariants(&ctx_ck, &chaos_ck, true);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end straggler run: the A1 pipeline under a delay-heavy fault
+/// rate (20% of first attempts stall 40ms) with speculative execution
+/// racing duplicates against the stragglers. Speculation must not
+/// change a byte of the output, must not masquerade as retries, and —
+/// under the default seed — must actually fire and win.
+#[test]
+fn a1_pipeline_with_speculation_stays_byte_identical() {
+    let (seed, _) = chaos_seed();
+    let clean = a1_result_bytes(&chaos_ctx(None), None);
+
+    let chaos = Arc::new(FaultInjector::new(
+        seed,
+        FaultScope::Probability(0.20),
+        FaultPolicy::Delay(Duration::from_millis(40)),
+    ));
+    let ctx = chaos_ctx_spec(Some(Arc::clone(&chaos)), true);
+    let speculative = a1_result_bytes(&ctx, None);
+    assert_eq!(clean, speculative, "speculative chaos run diverged (seed {seed})");
+
+    let m = ctx.metrics();
+    assert_retry_invariants(&ctx, &chaos, false);
+    assert_eq!(m.deadline_exceeded_jobs, 0);
+    if seed == DEFAULT_CHAOS_SEED {
+        assert!(chaos.injected() > 0, "default seed must actually stall tasks");
+        assert!(m.tasks_speculated >= 1, "a 40ms stall must look straggly: {m:?}");
+        assert!(m.speculative_wins >= 1, "an unstalled duplicate must win: {m:?}");
+        assert!(m.tasks_cancelled >= 1, "the losing original must be cancelled: {m:?}");
+    }
 }
