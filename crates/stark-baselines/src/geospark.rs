@@ -11,7 +11,7 @@
 
 use crate::scheme::RegionScheme;
 use stark::{STObject, STPredicate};
-use stark_engine::{Data, Rdd};
+use stark_engine::{Rdd, StoreData};
 use stark_index::{Entry, StrTree};
 use std::sync::Arc;
 
@@ -37,7 +37,7 @@ pub type GeoSparkPair<V, W> = ((u64, STObject, V), (u64, STObject, W));
 
 /// GeoSpark-style join: returns matched record pairs tagged with their
 /// dataset-wide ids.
-pub fn geospark_join<V: Data, W: Data>(
+pub fn geospark_join<V: StoreData, W: StoreData>(
     left: &Rdd<(STObject, V)>,
     right: &Rdd<(STObject, W)>,
     scheme: &RegionScheme,
@@ -97,7 +97,7 @@ pub fn geospark_join<V: Data, W: Data>(
 
 /// Result pairs projected to `(left_id, right_id)`, sorted — convenient
 /// for correctness comparisons.
-pub fn id_pairs<V: Data, W: Data>(joined: &Rdd<GeoSparkPair<V, W>>) -> Vec<(u64, u64)> {
+pub fn id_pairs<V: StoreData, W: StoreData>(joined: &Rdd<GeoSparkPair<V, W>>) -> Vec<(u64, u64)> {
     let mut out: Vec<(u64, u64)> =
         joined.collect().into_iter().map(|((a, _, _), (b, _, _))| (a, b)).collect();
     out.sort_unstable();

@@ -14,7 +14,7 @@
 
 use crate::scheme::RegionScheme;
 use stark::{STObject, STPredicate};
-use stark_engine::{Data, Rdd};
+use stark_engine::{Rdd, StoreData};
 use stark_geo::{Coord, Envelope};
 use stark_index::{Entry, StrTree};
 use std::sync::Arc;
@@ -33,7 +33,7 @@ fn tile_of(scheme: &RegionScheme, c: &Coord) -> usize {
 }
 
 /// SpatialSpark-style tile join with reference-point duplicate avoidance.
-pub fn spatialspark_join<V: Data, W: Data>(
+pub fn spatialspark_join<V: StoreData, W: StoreData>(
     left: &Rdd<(STObject, V)>,
     right: &Rdd<(STObject, W)>,
     scheme: &RegionScheme,
@@ -90,7 +90,7 @@ pub fn spatialspark_join<V: Data, W: Data>(
 
 /// Broadcast/no-partitioning join: all partition pairs, nested loops, no
 /// pruning — the baseline a plain engine user would write.
-pub fn broadcast_join<V: Data, W: Data>(
+pub fn broadcast_join<V: StoreData, W: StoreData>(
     left: &Rdd<(STObject, V)>,
     right: &Rdd<(STObject, W)>,
     pred: STPredicate,

@@ -8,6 +8,8 @@
 //!                            # seed via STARK_CHAOS_SEED)
 //!   repro stragglers `[n]`   # S9 straggler ablation (writes target/s9-stragglers.json;
 //!                            # seed via STARK_CHAOS_SEED)
+//!   repro memory `[n]`       # S10 memory-governance ablation (writes target/s10-memory.json;
+//!                            # seed via STARK_CHAOS_SEED)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -138,10 +140,28 @@ fn main() {
         std::fs::write(&path, json).expect("write S9 json");
         eprintln!("[s9] wrote {path}");
     }
+    if run("memory") {
+        ran = true;
+        let seed: u64 = std::env::var("STARK_CHAOS_SEED")
+            .ok()
+            .map(|s| s.trim().parse().expect("STARK_CHAOS_SEED must be a u64"))
+            .unwrap_or(0xC4A05);
+        let t = experiments::memory(ctx.parallelism(), n.unwrap_or(100_000), seed);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S10 table");
+        let path = std::env::var("S10_JSON").unwrap_or_else(|_| "target/s10-memory.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S10 json");
+        eprintln!("[s10] wrote {path}");
+    }
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, chaos, stragglers"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, chaos, stragglers, memory"
         );
         std::process::exit(2);
     }

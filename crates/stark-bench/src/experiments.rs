@@ -959,6 +959,98 @@ pub fn stragglers(parallelism: usize, n: usize, seed: u64) -> Table {
     t
 }
 
+/// S10 — memory-governance ablation: a shuffle-and-cache pipeline
+/// (grid(8) partitioning, cached layout, two pruning queries) run
+/// unbounded to measure its reserved-bytes peak, then re-run under a
+/// budget of a quarter of that peak — shuffle buckets spill to the
+/// object store and cached partitions evict LRU-first — and finally
+/// under [`FaultPolicy::MemoryPressure`] chaos strikes that shrink the
+/// effective budget mid-job. Output must be identical in every row.
+pub fn memory(parallelism: usize, n: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!("S10: memory ablation, {n} points, grid(8), budget = peak/4 (seed {seed})"),
+        &[
+            "config",
+            "results",
+            "checksum",
+            "time [s]",
+            "peak bytes",
+            "spilled bytes",
+            "spill blobs",
+            "evicted",
+            "injected",
+        ],
+    );
+
+    // Shuffle (spill pressure) feeding a cache reused by two queries
+    // (eviction pressure); the checksum folds ids in collect order, so
+    // "identical" below means order-identical, not just same multiset.
+    let run_pipeline = |ctx: &Context| -> (usize, u64) {
+        let parts = (ctx.parallelism() * 2).max(8);
+        let data = workloads::uniform_points(ctx, n, parts);
+        let srdd = data.spatial();
+        let part = srdd.partition_by(Arc::new(GridPartitioner::build(8, &srdd.summarize())));
+        let cached = part.rdd().cache();
+        let inner = workloads::query_polygon(0.25);
+        let outer = workloads::query_polygon(0.60);
+        let r1 = cached.filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &inner)).collect();
+        let r2 = cached.filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &outer)).collect();
+        let checksum = r1
+            .iter()
+            .chain(r2.iter())
+            .map(|(_, (id, _))| *id)
+            .fold(0u64, |acc, id| acc.wrapping_mul(0x100_0000_01b3).wrapping_add(id));
+        (r1.len() + r2.len(), checksum)
+    };
+
+    // Warm-up pass outside the timings so the unbounded baseline doesn't
+    // absorb allocator/page-fault costs the later rows skip.
+    let warmup = Context::with_config(EngineConfig { parallelism, ..EngineConfig::default() });
+    run_pipeline(&warmup);
+
+    struct Config {
+        name: &'static str,
+        budget: Option<u64>,
+        pressure: bool,
+    }
+    // The unbounded row must run first: it measures the peak the
+    // budgeted rows are derived from.
+    let configs = [
+        Config { name: "unbounded", budget: None, pressure: false },
+        Config { name: "budget = peak/4 (spill)", budget: Some(0), pressure: false },
+        Config { name: "memory-pressure chaos", budget: None, pressure: true },
+    ];
+    let mut peak: u64 = 0;
+    for c in configs {
+        let budget = c.budget.map(|_| (peak / 4).max(1));
+        let injector =
+            c.pressure.then(|| Arc::new(FaultInjector::memory_pressure(seed, 0.10, peak / 4)));
+        let ctx = Context::with_config(EngineConfig {
+            parallelism,
+            fault_injector: injector.clone(),
+            memory_budget: budget,
+            ..EngineConfig::default()
+        });
+        let ((results, checksum), time) = timed(|| run_pipeline(&ctx));
+        let m = ctx.metrics();
+        if peak == 0 {
+            peak = m.bytes_reserved_peak;
+        }
+        t.push(vec![
+            c.name.into(),
+            results.to_string(),
+            format!("{checksum:016x}"),
+            secs(time),
+            m.bytes_reserved_peak.to_string(),
+            m.bytes_spilled.to_string(),
+            m.spill_blobs_written.to_string(),
+            m.partitions_evicted_for_pressure.to_string(),
+            injector.map(|i| i.injected()).unwrap_or(0).to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1020,6 +1112,31 @@ mod tests {
         assert_eq!(t.rows[4][1], "yes");
         assert_eq!(t.rows[4][2], t.rows[0][2], "deadline must not change results");
         assert_eq!(t.rows[4][8], "0");
+    }
+
+    #[test]
+    fn memory_ablation_spills_evicts_and_stays_identical() {
+        let t = memory(4, 4000, 0xC4A05);
+        assert_eq!(t.rows.len(), 3);
+        // output is identical — count and order-sensitive checksum —
+        // across unbounded, spilling, and pressure-chaos rows
+        for row in &t.rows[1..] {
+            assert_eq!(row[1], t.rows[0][1], "result count diverged: {row:?}");
+            assert_eq!(row[2], t.rows[0][2], "checksum diverged: {row:?}");
+        }
+        // the unbounded row accounts its peak but never spills or evicts
+        assert!(t.rows[0][4].parse::<u64>().unwrap() > 0);
+        assert_eq!(t.rows[0][5], "0");
+        assert_eq!(t.rows[0][7], "0");
+        // a quarter of the peak forces the shuffle to spill (the pinned
+        // shuffle output leaves no headroom for the cache, so the cache
+        // degrades to recompute rather than evicting)
+        assert!(t.rows[1][5].parse::<u64>().unwrap() > 0, "tight budget must spill: {t:?}");
+        assert!(t.rows[1][6].parse::<u64>().unwrap() > 0);
+        // the chaos row actually strikes, and its mid-job budget shrink
+        // claws back already-cached partitions
+        assert!(t.rows[2][8].parse::<u64>().unwrap() > 0, "pressure chaos must inject: {t:?}");
+        assert!(t.rows[2][7].parse::<u64>().unwrap() > 0, "pressure strikes must evict: {t:?}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::cluster::union_find::UnionFind;
 use crate::partitioner::{BspPartitioner, SpatialPartitioner};
 use crate::spatial_rdd::SpatialRdd;
 use crate::stobject::STObject;
-use stark_engine::{Data, Rdd};
+use stark_engine::{Rdd, StoreData};
 use stark_index::{Entry, StrTree};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -118,7 +118,7 @@ type Labeled<V> = (u64, STObject, V, bool, bool, Option<u64> /*label*/, bool /*c
 /// Uses the input's spatial partitioning when present; otherwise builds a
 /// cost-based BSP partitioning sized for the data (the paper's default
 /// pairing of DBSCAN with spatial partitioning).
-pub fn dbscan<V: Data>(
+pub fn dbscan<V: StoreData>(
     input: &SpatialRdd<V>,
     params: DbscanParams,
 ) -> Rdd<(STObject, V, Option<u64>)> {

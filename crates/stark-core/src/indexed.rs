@@ -17,7 +17,7 @@ use crate::spatial_rdd::{PartitioningInfo, SpatialRdd};
 use crate::stobject::STObject;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use stark_engine::{Context, Data, ObjectStore, Rdd};
+use stark_engine::{Context, Data, ObjectStore, Rdd, StoreData};
 use stark_geo::DistanceFn;
 use stark_index::{Entry, StrTree};
 use std::sync::Arc;
@@ -63,7 +63,10 @@ impl<V: Data> SpatialRdd<V> {
         &self,
         order: usize,
         partitioner: Arc<dyn SpatialPartitioner>,
-    ) -> IndexedSpatialRdd<V> {
+    ) -> IndexedSpatialRdd<V>
+    where
+        V: StoreData,
+    {
         self.partition_by(partitioner).live_index(order)
     }
 }

@@ -10,7 +10,7 @@
 use crate::predicate::STPredicate;
 use crate::spatial_rdd::SpatialRdd;
 use crate::stobject::STObject;
-use stark_engine::{Data, Rdd};
+use stark_engine::{Data, Rdd, StoreData};
 use stark_geo::{DistanceFn, Envelope};
 use stark_index::{Entry, StrTree};
 
@@ -86,7 +86,7 @@ impl<V: Data> SpatialRdd<V> {
     /// the join degenerates to (pruned) all-pairs partition tasks —
     /// correct, just slower, exactly as in the paper's "No Partitioning"
     /// measurements.
-    pub fn join<W: Data>(
+    pub fn join<W: StoreData>(
         &self,
         other: &SpatialRdd<W>,
         pred: STPredicate,
@@ -134,12 +134,15 @@ impl<V: Data> SpatialRdd<V> {
         &self,
         pred: STPredicate,
         cfg: JoinConfig,
-    ) -> Rdd<((STObject, V), (STObject, V))> {
+    ) -> Rdd<((STObject, V), (STObject, V))>
+    where
+        V: StoreData,
+    {
         self.join(self, pred, cfg)
     }
 
     /// Distance join sugar: pairs within `max_dist` under `dist_fn`.
-    pub fn distance_join<W: Data>(
+    pub fn distance_join<W: StoreData>(
         &self,
         other: &SpatialRdd<W>,
         max_dist: f64,

@@ -4,7 +4,7 @@
 
 use crate::spatial_rdd::SpatialRdd;
 use crate::stobject::STObject;
-use stark_engine::{Data, Rdd};
+use stark_engine::{Data, Rdd, StoreData};
 use stark_geo::DistanceFn;
 use stark_index::{Entry, StrTree};
 
@@ -22,12 +22,15 @@ impl<V: Data> SpatialRdd<V> {
     /// then per-left-record candidate lists are merged with a shuffle on
     /// the left record id. Exact for Euclidean distances; other metrics
     /// fall back to exhaustive local scans.
-    pub fn knn_join<W: Data>(
+    pub fn knn_join<W: StoreData>(
         &self,
         other: &SpatialRdd<W>,
         k: usize,
         dist_fn: DistanceFn,
-    ) -> Rdd<KnnJoinRow<V, W>> {
+    ) -> Rdd<KnnJoinRow<V, W>>
+    where
+        V: StoreData,
+    {
         let left = self.rdd().zip_with_index().map(|(id, r)| (id, r)).cache();
         let right = other.rdd().cache();
         if k == 0 {

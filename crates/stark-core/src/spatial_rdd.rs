@@ -10,7 +10,7 @@ use crate::partitioner::{PartitionCell, SpatialPartitioner};
 use crate::predicate::STPredicate;
 use crate::stobject::STObject;
 use crate::temporal::TemporalExtent;
-use stark_engine::{Data, Rdd};
+use stark_engine::{Data, Rdd, StoreData};
 use stark_geo::{DistanceFn, Envelope};
 use std::sync::Arc;
 
@@ -142,7 +142,10 @@ impl<V: Data> SpatialRdd<V> {
     /// Spatially re-partitions the dataset with `partitioner` (a shuffle,
     /// mirroring `RDD.partitionBy(new SpatialPartitioner(...))`), then
     /// fits each partition's extent from its actual contents.
-    pub fn partition_by(&self, partitioner: Arc<dyn SpatialPartitioner>) -> SpatialRdd<V> {
+    pub fn partition_by(&self, partitioner: Arc<dyn SpatialPartitioner>) -> SpatialRdd<V>
+    where
+        V: StoreData,
+    {
         let p = partitioner.clone();
         let shuffled = self
             .rdd

@@ -2,10 +2,13 @@
 
 use crate::cancel::{self, CancelScope, CancellationToken};
 use crate::fault::FaultInjector;
+use crate::memory::MemoryManager;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::rdd::Rdd;
+use crate::storage::ObjectStore;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Engine configuration.
@@ -56,6 +59,21 @@ pub struct EngineConfig {
     /// How many multiples of the stage's median task duration a task may
     /// run before it is speculated (Spark's `spark.speculation.multiplier`).
     pub speculation_multiplier: f64,
+    /// Context-wide budget for accounted partition bytes (Spark's
+    /// unified executor memory). When a shuffle task's buckets or a
+    /// cache/checkpoint populate would exceed it, the engine degrades
+    /// gracefully — spilling shuffle buckets to the spill store,
+    /// evicting least-recently-used cache/checkpoint cells, or declining
+    /// to cache — instead of failing the job. `None` (the default) is
+    /// unbounded: accounting still runs (two relaxed atomics per
+    /// partition) so the peak is measurable, but nothing spills or is
+    /// evicted for pressure.
+    pub memory_budget: Option<u64>,
+    /// Directory under which the context creates its private spill
+    /// store (shuffle buckets that did not fit [`EngineConfig::memory_budget`]).
+    /// `None` (the default) uses the system temp directory. The
+    /// context-owned subdirectory is removed when the context drops.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +91,8 @@ impl Default for EngineConfig {
             speculation: false,
             speculation_quantile: 0.75,
             speculation_multiplier: 1.5,
+            memory_budget: None,
+            spill_dir: None,
         }
     }
 }
@@ -80,7 +100,13 @@ impl Default for EngineConfig {
 #[derive(Debug)]
 pub(crate) struct ContextInner {
     pub(crate) config: EngineConfig,
-    pub(crate) metrics: Metrics,
+    pub(crate) metrics: Arc<Metrics>,
+    /// Context-wide byte accountant (see [`EngineConfig::memory_budget`]).
+    pub(crate) memory: Arc<MemoryManager>,
+    /// Lazily created private store for spilled shuffle buckets. Rooted
+    /// in a context-owned subdirectory (removed on drop) so concurrent
+    /// contexts never collide and spill blobs never outlive the context.
+    pub(crate) spill: OnceLock<ObjectStore>,
     /// Jobs currently executing on this context. The executor uses the
     /// depth at job entry to attribute wall-clock time only to
     /// top-level jobs (a nested shuffle job is already covered by the
@@ -110,10 +136,14 @@ impl Context {
             "speculation_quantile must be in (0, 1]"
         );
         assert!(config.speculation_multiplier >= 1.0, "speculation_multiplier must be >= 1");
+        let metrics = Arc::new(Metrics::default());
+        let memory = MemoryManager::new(config.memory_budget, Arc::clone(&metrics));
         Context {
             inner: Arc::new(ContextInner {
                 config,
-                metrics: Metrics::default(),
+                metrics,
+                memory,
+                spill: OnceLock::new(),
                 active_jobs: AtomicUsize::new(0),
                 next_stage: AtomicU64::new(0),
                 cancel: CancellationToken::new(),
@@ -216,6 +246,38 @@ impl Context {
 
     pub(crate) fn raw_metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// The context's [`MemoryManager`] (see [`EngineConfig::memory_budget`]).
+    pub fn memory(&self) -> &Arc<MemoryManager> {
+        &self.inner.memory
+    }
+
+    /// The lazily created spill store for shuffle buckets that did not
+    /// fit the memory budget. The backing directory is private to this
+    /// context and removed when the context drops.
+    pub(crate) fn spill_store(&self) -> &ObjectStore {
+        self.inner.spill.get_or_init(|| {
+            static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+            let base = self.inner.config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            let dir = base.join(format!(
+                "stark-spill-{}-{}",
+                std::process::id(),
+                SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            ObjectStore::open(&dir).expect("spill store directory could not be created")
+        })
+    }
+}
+
+impl Drop for ContextInner {
+    fn drop(&mut self) {
+        // Best-effort removal of the context-private spill directory;
+        // blobs are already deleted as they are merged back, so in the
+        // common case this removes an empty tree.
+        if let Some(store) = self.spill.get() {
+            let _ = std::fs::remove_dir_all(store.root());
+        }
     }
 }
 

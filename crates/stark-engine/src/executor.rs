@@ -65,6 +65,12 @@ pub enum TaskErrorKind {
     /// [`TaskErrorKind::Cancelled`]; a later run without the deadline
     /// recomputes cleanly.
     DeadlineExceeded,
+    /// A checkpoint blob this task depends on is unreadable or corrupt
+    /// (failed its STK1 CRC). The lineage was truncated at the
+    /// checkpoint, so recomputation is impossible and retrying would
+    /// re-read the same bad bytes — the error is permanent and
+    /// deterministic, like [`TaskErrorKind::PartitionOutOfRange`].
+    CheckpointLost,
 }
 
 impl TaskErrorKind {
@@ -208,7 +214,7 @@ fn run_attempt<T: Data, R>(
     let started = Instant::now();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if let Some(injector) = ctx.fault_injector() {
-            injector.on_attempt(stage, i, attempt);
+            injector.on_attempt(stage, i, attempt, ctx.memory());
         }
         inner.compute(i)
     }))
@@ -256,7 +262,10 @@ fn run_task<T: Data, R>(
                     metrics.inc_tasks_cancelled(1);
                     return Err(e);
                 }
-                let retryable = e.kind != TaskErrorKind::PartitionOutOfRange;
+                let retryable = !matches!(
+                    e.kind,
+                    TaskErrorKind::PartitionOutOfRange | TaskErrorKind::CheckpointLost
+                );
                 if !retryable || attempt >= budget {
                     metrics.inc_tasks_failed_permanently(1);
                     return Err(e);

@@ -20,7 +20,12 @@
 //!   a permanent [`TaskError`](crate::TaskError) naming the partition.
 //! * [`FaultPolicy::Delay`] — the attempt is stalled before computing (a
 //!   straggler); the task still succeeds and results must not change.
+//! * [`FaultPolicy::MemoryPressure`] — the struck attempt shrinks the
+//!   context's effective memory budget (an OOM-killer neighbour, a
+//!   ballooning co-tenant); nothing panics, but downstream reservations
+//!   start spilling and evicting. Results must not change.
 
+use crate::memory::MemoryManager;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -39,6 +44,13 @@ pub enum FaultPolicy {
     /// speculative duplicate running with fresh attempt numbers escapes
     /// the straggler.
     Delay(Duration),
+    /// Shrink the context's effective memory budget to at most this many
+    /// bytes (sticky until [`MemoryManager::lift_restriction`], and never
+    /// above the configured budget). The struck attempt itself proceeds
+    /// normally — the fault's blast radius is every *later* reservation,
+    /// which now spills or evicts. Like [`FaultPolicy::Delay`], only
+    /// attempts below the injector's `fail_attempts` threshold strike.
+    MemoryPressure(u64),
 }
 
 /// Which task attempts a fault targets.
@@ -123,6 +135,13 @@ impl FaultInjector {
         Self::new(seed, FaultScope::Probability(rate), FaultPolicy::Transient)
     }
 
+    /// Memory-pressure faults striking each `(stage, partition)`
+    /// independently with probability `rate`: a struck attempt shrinks
+    /// the context's effective budget to `budget` bytes mid-job.
+    pub fn memory_pressure(seed: u64, rate: f64, budget: u64) -> Self {
+        Self::new(seed, FaultScope::Probability(rate), FaultPolicy::MemoryPressure(budget))
+    }
+
     /// Number of attempts that fail before a transiently faulted task
     /// succeeds. A value of `n` requires a retry budget of at least `n`
     /// for the job to recover.
@@ -162,13 +181,29 @@ impl FaultInjector {
     }
 
     /// Consulted by the executor at the start of every task attempt,
-    /// inside the task's panic guard. May sleep ([`FaultPolicy::Delay`])
-    /// or panic with a typed [`InjectedFault`] payload.
-    pub(crate) fn on_attempt(&self, stage: u64, partition: usize, attempt: u32) {
+    /// inside the task's panic guard. May sleep ([`FaultPolicy::Delay`]),
+    /// panic with a typed [`InjectedFault`] payload, or restrict the
+    /// context's memory budget ([`FaultPolicy::MemoryPressure`]).
+    pub(crate) fn on_attempt(
+        &self,
+        stage: u64,
+        partition: usize,
+        attempt: u32,
+        memory: &MemoryManager,
+    ) {
         if !self.targets(stage, partition) {
             return;
         }
         match self.policy {
+            FaultPolicy::MemoryPressure(budget) => {
+                // Gated like Delay: the schedule's early attempts apply
+                // the squeeze, retries and speculative duplicates run
+                // under whatever budget is already in force.
+                if attempt < self.fail_attempts {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    memory.restrict(budget);
+                }
+            }
             FaultPolicy::Delay(d) => {
                 // Like Transient, only early attempts are stalled: a
                 // speculative duplicate (running with attempt numbers
@@ -254,15 +289,34 @@ mod tests {
 
     #[test]
     fn transient_faults_stop_after_fail_attempts() {
+        let mm = MemoryManager::new(None, std::sync::Arc::new(crate::metrics::Metrics::default()));
         let inj = FaultInjector::new(7, FaultScope::Partition(0), FaultPolicy::Transient)
             .with_fail_attempts(2);
         for attempt in 0..2 {
-            let err = std::panic::catch_unwind(|| inj.on_attempt(0, 0, attempt));
+            let err = std::panic::catch_unwind(|| inj.on_attempt(0, 0, attempt, &mm));
             assert!(err.is_err(), "attempt {attempt} must fail");
         }
-        let ok = std::panic::catch_unwind(|| inj.on_attempt(0, 0, 2));
+        let ok = std::panic::catch_unwind(|| inj.on_attempt(0, 0, 2, &mm));
         assert!(ok.is_ok(), "attempt past the threshold must pass");
         assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn memory_pressure_restricts_without_panicking() {
+        let mm = MemoryManager::new(
+            Some(1_000_000),
+            std::sync::Arc::new(crate::metrics::Metrics::default()),
+        );
+        let inj = FaultInjector::new(9, FaultScope::Partition(1), FaultPolicy::MemoryPressure(64));
+        inj.on_attempt(0, 1, 0, &mm); // strikes: no panic, budget shrinks
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(mm.budget(), Some(64));
+        inj.on_attempt(0, 1, 1, &mm); // past fail_attempts: no-op
+        assert_eq!(inj.injected(), 1);
+        inj.on_attempt(0, 0, 0, &mm); // untargeted partition: no-op
+        assert_eq!(inj.injected(), 1);
+        mm.lift_restriction();
+        assert_eq!(mm.budget(), Some(1_000_000));
     }
 
     #[test]

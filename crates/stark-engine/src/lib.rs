@@ -28,6 +28,11 @@
 //!   surfacing typed [`TaskErrorKind::DeadlineExceeded`] errors, and
 //!   optional speculative execution ([`EngineConfig::speculation`])
 //!   that relaunches straggling tasks and lets the first result win;
+//! * memory governance: an optional context-wide byte budget
+//!   ([`EngineConfig::memory_budget`]) tracked by a [`MemoryManager`];
+//!   under pressure, shuffles spill buckets to the object store, cache
+//!   and checkpoint cells evict LRU-first (recomputing from lineage or
+//!   re-reading their blob), and output stays byte-identical;
 //! * a directory-backed [`ObjectStore`] standing in for HDFS;
 //! * a bounded backpressure [`channel`] used by the streaming layer to
 //!   feed micro-batches into the engine without unbounded buffering.
@@ -48,6 +53,7 @@ pub mod channel;
 pub mod context;
 mod executor;
 pub mod fault;
+pub mod memory;
 pub mod metrics;
 pub mod partition;
 pub mod rdd;
@@ -56,7 +62,8 @@ pub mod storage;
 pub use cancel::{CancelReason, CancelScope, CancellationToken};
 pub use context::{Context, EngineConfig};
 pub use fault::{FaultInjector, FaultPolicy, FaultScope};
+pub use memory::{MemoryManager, MemoryReservation};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partition::{Partition, PartitionIntoIter};
-pub use rdd::{Data, Lineage, Rdd, TaskError, TaskErrorKind};
+pub use rdd::{Data, Lineage, Rdd, StoreData, TaskError, TaskErrorKind};
 pub use storage::{ObjectStore, StorageError};

@@ -59,6 +59,18 @@ pub struct Metrics {
     /// Top-level jobs that failed with
     /// [`TaskErrorKind::DeadlineExceeded`](crate::TaskErrorKind).
     pub deadline_exceeded_jobs: AtomicU64,
+    /// High-water mark of accounted bytes reserved from the context's
+    /// [`MemoryManager`](crate::MemoryManager) — a peak gauge, not a
+    /// monotone counter.
+    pub bytes_reserved_peak: AtomicU64,
+    /// Serialised bytes written to the spill store by shuffle tasks
+    /// whose reservation did not fit the memory budget.
+    pub bytes_spilled: AtomicU64,
+    /// Spill blobs (one per non-empty shuffle bucket) written.
+    pub spill_blobs_written: AtomicU64,
+    /// Cache/checkpoint cells evicted by memory pressure (budget
+    /// eviction, not task-failure eviction).
+    pub partitions_evicted_for_pressure: AtomicU64,
 }
 
 impl Metrics {
@@ -113,6 +125,19 @@ impl Metrics {
     pub fn inc_deadline_exceeded_jobs(&self, n: u64) {
         self.deadline_exceeded_jobs.fetch_add(n, Ordering::Relaxed);
     }
+    /// Raises the reserved-bytes high-water mark to at least `n`.
+    pub fn record_bytes_reserved_peak(&self, n: u64) {
+        self.bytes_reserved_peak.fetch_max(n, Ordering::Relaxed);
+    }
+    pub fn add_bytes_spilled(&self, n: u64) {
+        self.bytes_spilled.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_spill_blobs_written(&self, n: u64) {
+        self.spill_blobs_written.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_partitions_evicted_for_pressure(&self, n: u64) {
+        self.partitions_evicted_for_pressure.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -134,6 +159,12 @@ impl Metrics {
             speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
             tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
             deadline_exceeded_jobs: self.deadline_exceeded_jobs.load(Ordering::Relaxed),
+            bytes_reserved_peak: self.bytes_reserved_peak.load(Ordering::Relaxed),
+            bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed),
+            spill_blobs_written: self.spill_blobs_written.load(Ordering::Relaxed),
+            partitions_evicted_for_pressure: self
+                .partitions_evicted_for_pressure
+                .load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +201,15 @@ pub struct MetricsSnapshot {
     pub tasks_cancelled: u64,
     /// Jobs failed on a deadline (see [`Metrics::deadline_exceeded_jobs`]).
     pub deadline_exceeded_jobs: u64,
+    /// Peak accounted bytes reserved (see [`Metrics::bytes_reserved_peak`]).
+    pub bytes_reserved_peak: u64,
+    /// Serialised bytes spilled by shuffles (see [`Metrics::bytes_spilled`]).
+    pub bytes_spilled: u64,
+    /// Spill blobs written (see [`Metrics::spill_blobs_written`]).
+    pub spill_blobs_written: u64,
+    /// Cells evicted under memory pressure (see
+    /// [`Metrics::partitions_evicted_for_pressure`]).
+    pub partitions_evicted_for_pressure: u64,
 }
 
 impl MetricsSnapshot {
@@ -194,6 +234,12 @@ impl MetricsSnapshot {
             speculative_wins: self.speculative_wins - earlier.speculative_wins,
             tasks_cancelled: self.tasks_cancelled - earlier.tasks_cancelled,
             deadline_exceeded_jobs: self.deadline_exceeded_jobs - earlier.deadline_exceeded_jobs,
+            // a high-water mark has no meaningful delta: carry the later value
+            bytes_reserved_peak: self.bytes_reserved_peak,
+            bytes_spilled: self.bytes_spilled - earlier.bytes_spilled,
+            spill_blobs_written: self.spill_blobs_written - earlier.spill_blobs_written,
+            partitions_evicted_for_pressure: self.partitions_evicted_for_pressure
+                - earlier.partitions_evicted_for_pressure,
         }
     }
 }
@@ -230,5 +276,25 @@ mod tests {
         m.inc_tasks(7);
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.tasks_launched, 7);
+    }
+
+    #[test]
+    fn memory_counters_accumulate_and_peak_is_a_high_water_mark() {
+        let m = Metrics::default();
+        m.record_bytes_reserved_peak(100);
+        m.record_bytes_reserved_peak(40); // lower value must not regress the peak
+        m.add_bytes_spilled(2048);
+        m.inc_spill_blobs_written(3);
+        m.inc_partitions_evicted_for_pressure(2);
+        let before = m.snapshot();
+        assert_eq!(before.bytes_reserved_peak, 100);
+        assert_eq!(before.bytes_spilled, 2048);
+        assert_eq!(before.spill_blobs_written, 3);
+        assert_eq!(before.partitions_evicted_for_pressure, 2);
+        m.record_bytes_reserved_peak(500);
+        m.add_bytes_spilled(1000);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.bytes_spilled, 1000, "spill volume diffs like a counter");
+        assert_eq!(delta.bytes_reserved_peak, 500, "the peak carries the later high-water mark");
     }
 }

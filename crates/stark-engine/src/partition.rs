@@ -61,8 +61,10 @@ impl<T> Partition<T> {
     }
 
     /// Shallow payload size in bytes (`len · size_of::<T>()`): the copy
-    /// that sharing this handle avoids.
-    pub(crate) fn shallow_bytes(&self) -> u64 {
+    /// that sharing this handle avoids, and the unit of account the
+    /// [`MemoryManager`](crate::MemoryManager) reserves against the
+    /// context's memory budget.
+    pub fn shallow_bytes(&self) -> u64 {
         (self.data.len() * std::mem::size_of::<T>()) as u64
     }
 }

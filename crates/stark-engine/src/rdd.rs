@@ -27,18 +27,26 @@ use crate::context::Context;
 use crate::executor;
 use crate::executor::TaskAbort;
 pub use crate::executor::{TaskError, TaskErrorKind};
+use crate::memory::{MemoryReservation, VictimState};
 use crate::partition::Partition;
 use crate::storage::{ObjectStore, StorageError};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Bound alias for everything that can live in a dataset.
 pub trait Data: Clone + Send + Sync + 'static {}
 impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// Bound alias for dataset elements that can also round-trip through the
+/// [`ObjectStore`]: shuffled data (which may spill under memory
+/// pressure) and checkpointed data. Blanket-implemented, like [`Data`].
+pub trait StoreData: Data + Serialize + DeserializeOwned {}
+impl<T: Data + Serialize + DeserializeOwned> StoreData for T {}
 
 /// A node in the dataset DAG: how many partitions, and how to compute one.
 pub(crate) trait RddImpl<T: Data>: Send + Sync {
@@ -315,41 +323,129 @@ impl<A: Data, B: Data, R: Data> RddImpl<R> for PartitionPairJoinRdd<A, B, R> {
 // shuffle and cache
 // ---------------------------------------------------------------------------
 
+/// Distinguishes concurrent shuffle materialisations in one process so
+/// their spill blobs never collide in the context's spill store.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Spill-store key of one map task's bucket blob.
+fn spill_bucket_key(shuffle: u64, task: usize, bucket: usize) -> String {
+    format!("spill/shuffle-{shuffle}/task-{task:05}/bucket-{bucket:05}")
+}
+
+/// One map task's shuffle output: its buckets, either held in memory
+/// under a granted budget reservation or spilled to the spill store.
+enum TaskBuckets<T> {
+    Mem {
+        buckets: Vec<Vec<T>>,
+        /// Accounts the buckets until the merge consumes them.
+        _reservation: MemoryReservation,
+    },
+    /// The reservation was refused: the buckets live in the spill store
+    /// under [`spill_bucket_key`]`(shuffle, task, b)` for each listed
+    /// non-empty bucket index, and are streamed back at merge time.
+    Spilled { task: usize, written: Vec<usize> },
+}
+
 struct ShuffledRdd<T: Data> {
     ctx: Context,
     parent: Arc<dyn RddImpl<T>>,
     #[allow(clippy::type_complexity)]
     partition_fn: Arc<dyn Fn(&T) -> usize + Send + Sync>,
     num_partitions: usize,
-    buckets: OnceLock<Vec<Partition<T>>>,
+    /// Materialised shuffle output, plus the budget reservation
+    /// accounting for it (held for the dataset's lifetime — shuffle
+    /// output is served from memory, so under pressure it is the cache
+    /// victims that give their bytes back, not the shuffle).
+    buckets: OnceLock<(Vec<Partition<T>>, MemoryReservation)>,
 }
 
-impl<T: Data> ShuffledRdd<T> {
+impl<T: StoreData> ShuffledRdd<T> {
     fn materialize(&self) -> &Vec<Partition<T>> {
-        self.buckets.get_or_init(|| {
-            self.ctx.raw_metrics().inc_shuffles();
-            let per_partition: Vec<Vec<Vec<T>>> =
-                executor::run_partitions(&self.ctx, &self.parent, |_, data: Partition<T>| {
-                    let mut buckets: Vec<Vec<T>> =
-                        (0..self.num_partitions).map(|_| Vec::new()).collect();
-                    for item in data.into_iter_counted(self.ctx.raw_metrics()) {
-                        let b = (self.partition_fn)(&item) % self.num_partitions;
-                        buckets[b].push(item);
+        &self
+            .buckets
+            .get_or_init(|| {
+                self.ctx.raw_metrics().inc_shuffles();
+                let shuffle = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+                let memory = Arc::clone(self.ctx.memory());
+                let per_task: Vec<TaskBuckets<T>> = executor::run_partitions(
+                    &self.ctx,
+                    &self.parent,
+                    |task, data: Partition<T>| {
+                        // The buckets hold exactly the input's elements,
+                        // so the input's shallow size is their size.
+                        let bytes = data.shallow_bytes();
+                        let mut buckets: Vec<Vec<T>> =
+                            (0..self.num_partitions).map(|_| Vec::new()).collect();
+                        for item in data.into_iter_counted(self.ctx.raw_metrics()) {
+                            let b = (self.partition_fn)(&item) % self.num_partitions;
+                            buckets[b].push(item);
+                        }
+                        match memory.try_reserve(bytes) {
+                            Some(r) => TaskBuckets::Mem { buckets, _reservation: r },
+                            None => self.spill_task(shuffle, task, buckets),
+                        }
+                    },
+                );
+                let mut merged: Vec<Vec<T>> =
+                    (0..self.num_partitions).map(|_| Vec::new()).collect();
+                // Merging in task order, bucket order — whether a task's
+                // buckets come from memory or the spill store — keeps the
+                // output byte-identical to an unbounded run.
+                for task_buckets in per_task {
+                    match task_buckets {
+                        TaskBuckets::Mem { mut buckets, _reservation } => {
+                            for (i, b) in buckets.drain(..).enumerate() {
+                                merged[i].extend(b);
+                            }
+                        }
+                        TaskBuckets::Spilled { task, written } => {
+                            let store = self.ctx.spill_store();
+                            for b in written {
+                                let key = spill_bucket_key(shuffle, task, b);
+                                let data: Vec<T> = store.get_json(&key).unwrap_or_else(|e| {
+                                    panic!("spilled shuffle bucket {key:?} unreadable: {e}")
+                                });
+                                merged[b].extend(data);
+                                let _ = store.delete(&key);
+                            }
+                        }
                     }
-                    buckets
-                });
-            let mut merged: Vec<Vec<T>> = (0..self.num_partitions).map(|_| Vec::new()).collect();
-            for mut task_buckets in per_partition {
-                for (i, b) in task_buckets.drain(..).enumerate() {
-                    merged[i].extend(b);
                 }
+                let out: Vec<Partition<T>> = merged.into_iter().map(Partition::from_vec).collect();
+                let out_bytes = out.iter().map(Partition::shallow_bytes).sum();
+                // Forced: reduce-side output must reside in memory, so
+                // under pressure the eviction sweep inside reserve()
+                // reclaims cache/checkpoint bytes to make room instead.
+                let reservation = memory.reserve(out_bytes);
+                (out, reservation)
+            })
+            .0
+    }
+
+    /// Spills one map task's non-empty buckets to the spill store as
+    /// STK1-framed blobs, recording the spilled volume.
+    fn spill_task(&self, shuffle: u64, task: usize, buckets: Vec<Vec<T>>) -> TaskBuckets<T> {
+        let store = self.ctx.spill_store();
+        let metrics = self.ctx.raw_metrics();
+        let mut written = Vec::new();
+        let mut spilled = 0u64;
+        for (b, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
             }
-            merged.into_iter().map(Partition::from_vec).collect()
-        })
+            let key = spill_bucket_key(shuffle, task, b);
+            spilled += store
+                .put_json_sized(&key, bucket.as_slice())
+                .unwrap_or_else(|e| panic!("spilling shuffle bucket {key:?} failed: {e}"));
+            written.push(b);
+        }
+        metrics.add_bytes_spilled(spilled);
+        metrics.inc_spill_blobs_written(written.len() as u64);
+        TaskBuckets::Spilled { task, written }
     }
 }
 
-impl<T: Data> RddImpl<T> for ShuffledRdd<T> {
+impl<T: StoreData> RddImpl<T> for ShuffledRdd<T> {
     fn num_partitions(&self) -> usize {
         self.num_partitions
     }
@@ -367,21 +463,54 @@ impl<T: Data> RddImpl<T> for ShuffledRdd<T> {
 /// Locks a memo cell, recovering from mutex poisoning: a panic while
 /// the lock was held (a failing parent compute) leaves the plain
 /// `Option` state consistent — either still empty or holding a fully
-/// constructed partition — and the retry path evicts/overwrites it.
-fn lock_cell<T>(
-    cell: &Mutex<Option<Partition<T>>>,
-) -> std::sync::MutexGuard<'_, Option<Partition<T>>> {
+/// constructed value — and the retry path evicts/overwrites it.
+fn lock_cell<V>(cell: &Mutex<Option<V>>) -> std::sync::MutexGuard<'_, Option<V>> {
     cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One cache/checkpoint storage cell: the memoised partition together
+/// with the budget reservation accounting for it, so *every* path that
+/// drops the value — failure eviction, pressure eviction, or the owner
+/// being dropped — gives the bytes back exactly once. `Arc` so the
+/// memory manager's victim registration can hold a `Weak` reference that
+/// outlives nothing.
+type StoreCell<T> = Arc<Mutex<Option<(Partition<T>, MemoryReservation)>>>;
+
+/// Registers every cell of a cache/checkpoint dataset as a pressure-
+/// eviction victim, returning the shared LRU touch handles. Called once
+/// at dataset construction; the hooks use `try_lock`, so a cell whose
+/// lock is held by a running task is skipped rather than waited on.
+fn register_store_cells<T: Data>(ctx: &Context, cells: &[StoreCell<T>]) -> Vec<Arc<AtomicU64>> {
+    cells
+        .iter()
+        .map(|cell| {
+            let weak = Arc::downgrade(cell);
+            ctx.memory().register_victim(Box::new(move || {
+                let Some(cell) = weak.upgrade() else { return VictimState::Gone };
+                let Ok(mut slot) = cell.try_lock() else { return VictimState::Empty };
+                match slot.as_ref() {
+                    Some((_, r)) if r.bytes() > 0 => {
+                        let (_, r) = slot.take().expect("checked Some");
+                        VictimState::Evicted(r.bytes()) // dropping `r` releases
+                    }
+                    _ => VictimState::Empty, // empty, or nothing to reclaim
+                }
+            }))
+        })
+        .collect()
 }
 
 struct CachedRdd<T: Data> {
     ctx: Context,
     parent: Arc<dyn RddImpl<T>>,
-    /// `Mutex<Option<…>>` rather than `OnceLock` so the executor can
-    /// *evict* a partition when a task computing above it fails: the
-    /// retry then recomputes from the parent instead of replaying a
-    /// possibly poisoned cached value.
-    cells: Vec<Mutex<Option<Partition<T>>>>,
+    /// `Mutex<Option<…>>` rather than `OnceLock` so a partition can be
+    /// *evicted* — by the executor when a task computing above it fails,
+    /// or by the memory manager under pressure: the next access then
+    /// recomputes from the parent instead of replaying a possibly
+    /// poisoned (or reclaimed) cached value.
+    cells: Vec<StoreCell<T>>,
+    /// LRU touch handles, one per cell (see [`register_store_cells`]).
+    touches: Vec<Arc<AtomicU64>>,
 }
 
 impl<T: Data> RddImpl<T> for CachedRdd<T> {
@@ -391,13 +520,21 @@ impl<T: Data> RddImpl<T> for CachedRdd<T> {
     fn compute(&self, partition: usize) -> Partition<T> {
         let mut cell = lock_cell(&self.cells[partition]);
         let p = match cell.as_ref() {
-            Some(p) => p.clone(),
+            Some((p, _)) => p.clone(),
             None => {
                 let p = self.parent.compute(partition);
-                *cell = Some(p.clone());
+                // Cache only under a granted reservation: when the
+                // budget cannot absorb the partition even after LRU
+                // eviction, serve it uncached — later accesses
+                // recompute from the parent, trading time for memory.
+                if let Some(r) = self.ctx.memory().try_reserve(p.shallow_bytes()) {
+                    *cell = Some((p.clone(), r));
+                }
                 p
             }
         };
+        drop(cell);
+        self.ctx.memory().touch(&self.touches[partition]);
         self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
         p
     }
@@ -425,30 +562,48 @@ struct CheckpointRdd<T: Data> {
     ctx: Context,
     store: ObjectStore,
     key: String,
-    cells: Vec<Mutex<Option<Partition<T>>>>,
+    cells: Vec<StoreCell<T>>,
+    /// LRU touch handles, one per cell (see [`register_store_cells`]).
+    touches: Vec<Arc<AtomicU64>>,
 }
 
-impl<T: Data + Serialize + DeserializeOwned> RddImpl<T> for CheckpointRdd<T> {
+impl<T: StoreData> RddImpl<T> for CheckpointRdd<T> {
     fn num_partitions(&self) -> usize {
         self.cells.len()
     }
     fn compute(&self, partition: usize) -> Partition<T> {
         let mut cell = lock_cell(&self.cells[partition]);
-        if let Some(p) = cell.as_ref() {
+        if let Some((p, _)) = cell.as_ref() {
             let p = p.clone();
+            drop(cell);
+            self.ctx.memory().touch(&self.touches[partition]);
             self.ctx.raw_metrics().add_clone_bytes_avoided(p.shallow_bytes());
             return p;
         }
-        // recovery path: the in-memory copy was evicted after a task
-        // failure, so read the persisted blob back
+        // Recovery path: the in-memory copy was evicted (task failure,
+        // or memory pressure), so read the persisted blob back.
         let blob = checkpoint_blob_key(&self.key, partition);
         match self.store.get_json::<Vec<T>>(&blob) {
             Ok(data) => {
                 let p = Partition::from_vec(data);
-                *cell = Some(p.clone());
+                // Re-admit to memory only if the budget allows; an
+                // unadmitted partition is simply re-read next time.
+                if let Some(r) = self.ctx.memory().try_reserve(p.shallow_bytes()) {
+                    *cell = Some((p.clone(), r));
+                }
+                drop(cell);
+                self.ctx.memory().touch(&self.touches[partition]);
                 p
             }
-            Err(e) => panic!("checkpoint partition {blob:?} unreadable: {e}"),
+            // The lineage was truncated at this checkpoint: with the
+            // blob unreadable (deleted, or corrupt per its STK1 CRC)
+            // there is nothing to recompute from and a retry would
+            // re-read the same bad bytes. Abort with a typed,
+            // non-retryable kind instead of a bare panic.
+            Err(e) => std::panic::panic_any(TaskAbort {
+                kind: TaskErrorKind::CheckpointLost,
+                message: format!("checkpoint partition {blob:?} unreadable: {e}"),
+            }),
         }
     }
     fn evict(&self, partition: usize) {
@@ -741,11 +896,19 @@ impl<T: Data> Rdd<T> {
     /// Re-distributes every element to the partition chosen by `f`
     /// (modulo `num_partitions`). This is the engine's shuffle; STARK's
     /// spatial partitioners plug in here, mirroring `RDD.partitionBy`.
+    ///
+    /// Requires [`StoreData`] (serialisable elements) because shuffle
+    /// buckets spill to the spill store when the context's
+    /// [`EngineConfig::memory_budget`](crate::EngineConfig) cannot hold
+    /// them — the same reason Spark shuffle data must be serialisable.
     pub fn partition_by(
         &self,
         num_partitions: usize,
         f: impl Fn(&T) -> usize + Send + Sync + 'static,
-    ) -> Rdd<T> {
+    ) -> Rdd<T>
+    where
+        T: StoreData,
+    {
         let num_partitions = num_partitions.max(1);
         self.derive(
             format!("Shuffle[{num_partitions} partitions]"),
@@ -763,11 +926,26 @@ impl<T: Data> Rdd<T> {
     /// accesses share the cached allocation (an `Arc` bump counted in
     /// [`MetricsSnapshot::clone_bytes_avoided`](crate::MetricsSnapshot))
     /// instead of deep-cloning the partition.
+    ///
+    /// Under a configured
+    /// [`EngineConfig::memory_budget`](crate::EngineConfig), each cached
+    /// partition is admitted only if its bytes fit the budget (evicting
+    /// least-recently-used cache/checkpoint cells first); a partition
+    /// that does not fit is served uncached and recomputed on later
+    /// accesses. Pressure evictions are counted in
+    /// [`MetricsSnapshot::partitions_evicted_for_pressure`](crate::MetricsSnapshot).
     pub fn cache(&self) -> Rdd<T> {
-        let cells = (0..self.num_partitions()).map(|_| Mutex::new(None)).collect();
+        let cells: Vec<StoreCell<T>> =
+            (0..self.num_partitions()).map(|_| Arc::new(Mutex::new(None))).collect();
+        let touches = register_store_cells(&self.ctx, &cells);
         self.derive(
             "Cache",
-            Arc::new(CachedRdd { ctx: self.ctx.clone(), parent: self.inner.clone(), cells }),
+            Arc::new(CachedRdd {
+                ctx: self.ctx.clone(),
+                parent: self.inner.clone(),
+                cells,
+                touches,
+            }),
         )
     }
 
@@ -788,7 +966,7 @@ impl<T: Data> Rdd<T> {
     /// failures.
     pub fn checkpoint(&self, store: &ObjectStore, key: &str) -> Result<Rdd<T>, StorageError>
     where
-        T: Serialize + DeserializeOwned,
+        T: StoreData,
     {
         let parts = self.run_partitions(|_, data| data);
         let mut total_bytes = 0u64;
@@ -797,7 +975,18 @@ impl<T: Data> Rdd<T> {
         }
         store.put_json(&format!("{key}/manifest"), &(parts.len() as u64))?;
         self.ctx.raw_metrics().add_checkpoint_bytes(total_bytes);
-        let cells = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        // Keep each partition in memory only under a granted budget
+        // reservation; a declined cell starts empty and is re-read from
+        // its (just written) blob on first access — byte-identical.
+        let memory = self.ctx.memory();
+        let cells: Vec<StoreCell<T>> = parts
+            .into_iter()
+            .map(|p| {
+                let admitted = memory.try_reserve(p.shallow_bytes()).map(|r| (p, r));
+                Arc::new(Mutex::new(admitted))
+            })
+            .collect();
+        let touches = register_store_cells(&self.ctx, &cells);
         let lineage = Lineage::leaf(format!(
             "Checkpoint[{key:?}, {} partitions, {total_bytes} bytes]",
             self.num_partitions()
@@ -809,6 +998,7 @@ impl<T: Data> Rdd<T> {
                 store: store.clone(),
                 key: key.to_string(),
                 cells,
+                touches,
             }),
             lineage,
             fused: None,
@@ -942,7 +1132,10 @@ impl<T: Data> Rdd<T> {
         &self,
         num_partitions: usize,
         key: impl Fn(&T) -> K + Send + Sync + 'static,
-    ) -> Rdd<T> {
+    ) -> Rdd<T>
+    where
+        T: StoreData,
+    {
         let num_partitions = num_partitions.max(1);
         let key = Arc::new(key);
 
@@ -1021,7 +1214,7 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-impl<T: Data + Hash + Eq> Rdd<T> {
+impl<T: StoreData + Hash + Eq> Rdd<T> {
     /// Removes duplicates via a hash shuffle into `num_partitions` buckets.
     pub fn distinct(&self, num_partitions: usize) -> Rdd<T> {
         self.partition_by(num_partitions, |t| {
@@ -1046,12 +1239,20 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
     }
 
     /// Hash-partitions by key, mirroring Spark's `HashPartitioner`.
-    pub fn partition_by_key(&self, num_partitions: usize) -> Rdd<(K, V)> {
+    pub fn partition_by_key(&self, num_partitions: usize) -> Rdd<(K, V)>
+    where
+        K: StoreData,
+        V: StoreData,
+    {
         self.partition_by(num_partitions, |(k, _)| Self::hash_of(k))
     }
 
     /// Groups values by key after a hash shuffle.
-    pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)> {
+    pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)>
+    where
+        K: StoreData,
+        V: StoreData,
+    {
         self.partition_by_key(num_partitions).map_partitions(|data| {
             let mut groups: HashMap<K, Vec<V>> = HashMap::new();
             for (k, v) in data {
@@ -1077,7 +1278,10 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
     }
 
     /// Number of records per key, gathered on the driver.
-    pub fn count_by_key(&self) -> HashMap<K, u64> {
+    pub fn count_by_key(&self) -> HashMap<K, u64>
+    where
+        K: StoreData,
+    {
         self.map_values(|_| 1u64)
             .reduce_by_key(self.num_partitions().max(1), |a, b| a + b)
             .collect()
@@ -1090,7 +1294,11 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
         &self,
         num_partitions: usize,
         f: impl Fn(V, V) -> V + Send + Sync + 'static,
-    ) -> Rdd<(K, V)> {
+    ) -> Rdd<(K, V)>
+    where
+        K: StoreData,
+        V: StoreData,
+    {
         self.partition_by_key(num_partitions).map_partitions(move |data| {
             let mut acc: HashMap<K, V> = HashMap::new();
             for (k, v) in data {
@@ -1663,11 +1871,137 @@ mod tests {
         assert!(chaos.injected() >= 2);
 
         // proof the recovery path really goes to the store: destroy the
-        // blob and the post-failure attempt becomes a permanent error
+        // blob and the post-failure attempt becomes a permanent, typed,
+        // non-retryable CheckpointLost error
         store.delete("ck/rec/part-00001").unwrap();
         cp.inner.evict(1);
         let err = cp.try_run_partitions(|_, d| d.len()).unwrap_err();
         assert_eq!(err.partition, 1);
+        assert_eq!(err.kind, TaskErrorKind::CheckpointLost);
+        // the transient injector burns one attempt first; the lost
+        // checkpoint itself must not be retried past that
+        assert!(err.attempts <= 2, "CheckpointLost retried: {} attempts", err.attempts);
         assert!(err.message.contains("unreadable"), "{}", err.message);
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_fails_typed_and_siblings_complete() {
+        let c = ctx();
+        let store = temp_store("bitflip");
+        let cp =
+            c.parallelize((0..40).collect::<Vec<i64>>(), 4).checkpoint(&store, "ck/flip").unwrap();
+
+        // flip one payload bit of partition 2's blob on disk
+        let path = store.root().join("ck/flip/part-00002");
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        std::fs::write(&path, &raw).unwrap();
+
+        // force the recovery path: the in-memory cell is gone, so the
+        // next access re-reads the (now corrupt) blob
+        cp.inner.evict(2);
+        let err = cp.try_collect().unwrap_err();
+        assert_eq!(err.partition, 2);
+        assert_eq!(err.kind, TaskErrorKind::CheckpointLost);
+        assert_eq!(err.attempts, 1, "corruption is deterministic; retrying is pointless");
+        assert_eq!(c.metrics().tasks_retried, 0);
+
+        // sibling partitions are unaffected: masking out the lost one
+        // completes and returns exactly their records
+        let healthy = cp.with_partition_mask(vec![true, true, false, true]).collect();
+        let expected: Vec<i64> = (0..40).filter(|x| !(20..30).contains(x)).collect();
+        assert_eq!(healthy, expected);
+    }
+
+    #[test]
+    fn tight_budget_spills_shuffle_and_output_is_identical() {
+        let data: Vec<u64> = (0..4096).collect();
+        let unbounded = ctx();
+        let baseline =
+            unbounded.parallelize(data.clone(), 8).partition_by(8, |x| (*x % 8) as usize);
+        let expected = baseline.collect();
+        let peak = unbounded.metrics().bytes_reserved_peak;
+        assert!(peak > 0, "unbounded runs still account the peak");
+
+        // ~25% of the unbounded peak: map tasks cannot all hold their
+        // buckets in memory, so some spill to the store and stream back
+        let tight = Context::with_config(EngineConfig {
+            parallelism: 4,
+            default_partitions: 8,
+            memory_budget: Some((peak / 4).max(1)),
+            ..EngineConfig::default()
+        });
+        let shuffled = tight.parallelize(data, 8).partition_by(8, |x| (*x % 8) as usize);
+        assert_eq!(shuffled.collect(), expected, "spilling must not change the output");
+        let m = tight.metrics();
+        assert!(m.bytes_spilled > 0, "tight budget must spill: {m:?}");
+        assert!(m.spill_blobs_written > 0);
+        // blobs are deleted as they are merged back
+        assert_eq!(tight.spill_store().list("spill").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn budget_pressure_evicts_lru_cache_and_recomputes_identically() {
+        let data: Vec<u64> = (0..2048).collect();
+        let expected: Vec<u64> = data.iter().map(|x| x * 3).collect();
+
+        // budget holds only a fraction of the cached dataset: populating
+        // later cells evicts earlier (least-recently-touched) ones
+        let c = Context::with_config(EngineConfig {
+            parallelism: 2,
+            default_partitions: 8,
+            memory_budget: Some(2048 * 8 / 4),
+            ..EngineConfig::default()
+        });
+        let cached = c.parallelize(data, 8).map(|x| x * 3).cache();
+        assert_eq!(cached.collect(), expected);
+        let m = c.metrics();
+        assert!(
+            m.partitions_evicted_for_pressure > 0,
+            "cache cannot fit the budget without evictions: {m:?}"
+        );
+        // evicted partitions recompute from lineage, byte-identical
+        assert_eq!(cached.collect(), expected);
+        assert_eq!(cached.collect(), expected);
+    }
+
+    #[test]
+    fn checkpoint_cells_evicted_for_pressure_reread_their_blob() {
+        let store = temp_store("pressure");
+        let c = Context::with_config(EngineConfig {
+            parallelism: 2,
+            default_partitions: 4,
+            // holds about one of the four checkpointed partitions
+            memory_budget: Some(1024 * 8 / 3),
+            ..EngineConfig::default()
+        });
+        let data: Vec<u64> = (0..1024).collect();
+        let cp = c.parallelize(data.clone(), 4).checkpoint(&store, "ck/tight").unwrap();
+        // most cells were declined or evicted at populate time; every
+        // access still serves the full dataset from the store
+        assert_eq!(cp.collect(), data);
+        assert_eq!(cp.collect(), data);
+        let reserved = c.memory().reserved();
+        assert!(
+            reserved <= 1024 * 8 / 3,
+            "admitted checkpoint bytes must fit the budget, got {reserved}"
+        );
+    }
+
+    #[test]
+    fn unbounded_context_never_spills_or_evicts() {
+        let c = ctx();
+        let r = c
+            .parallelize((0..1024).collect::<Vec<u64>>(), 8)
+            .map(|x| x + 1)
+            .cache()
+            .partition_by(4, |x| (*x % 4) as usize);
+        assert_eq!(r.count(), 1024);
+        let m = c.metrics();
+        assert_eq!(m.bytes_spilled, 0);
+        assert_eq!(m.spill_blobs_written, 0);
+        assert_eq!(m.partitions_evicted_for_pressure, 0);
+        assert!(m.bytes_reserved_peak > 0, "accounting still runs unbounded");
     }
 }

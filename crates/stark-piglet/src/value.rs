@@ -1,10 +1,11 @@
 //! The dynamic value model of Piglet relations.
 
+use serde::{Deserialize, Serialize};
 use stark::STObject;
 use std::fmt;
 
 /// A field value in a Piglet tuple.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     Null,
     Bool(bool),

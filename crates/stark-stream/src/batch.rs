@@ -72,6 +72,12 @@ pub struct StreamReport {
     /// Whole batches displaced unprocessed by
     /// [`crate::ShedPolicy::DropOldest`].
     pub batches_shed: u64,
+    /// Malformed inputs the source diverted to its dead-letter
+    /// quarantine instead of panicking the pump (unparseable WKT lines,
+    /// corrupt recorded batches). Quarantined records never reach the
+    /// driver, so they count toward neither `total_records` nor the
+    /// watermark.
+    pub records_quarantined: u64,
 }
 
 impl StreamReport {

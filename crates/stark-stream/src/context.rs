@@ -15,7 +15,7 @@ use crate::window::{LatePolicy, WindowManager, WindowPane, WindowSpec};
 use stark::cluster::{dbscan, DbscanParams};
 use stark::SpatialRddExt;
 use stark_engine::channel::{self, RecvError};
-use stark_engine::{Context, Data};
+use stark_engine::{Context, StoreData};
 use stark_geo::Envelope;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -128,7 +128,7 @@ impl Default for StreamConfig {
 /// Everything attached to a stream run: windows, window-level
 /// aggregations, continuous queries and sinks. Built once, consumed by
 /// [`StreamContext::run`].
-pub struct StreamJob<V: Data> {
+pub struct StreamJob<V: StoreData> {
     windows: Option<WindowManager<V>>,
     grid: Option<(usize, Envelope)>,
     hotspots: Option<DbscanParams>,
@@ -136,13 +136,13 @@ pub struct StreamJob<V: Data> {
     sinks: Vec<Box<dyn Sink<V>>>,
 }
 
-impl<V: Data> Default for StreamJob<V> {
+impl<V: StoreData> Default for StreamJob<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<V: Data> StreamJob<V> {
+impl<V: StoreData> StreamJob<V> {
     pub fn new() -> Self {
         StreamJob { windows: None, grid: None, hotspots: None, queries: None, sinks: Vec::new() }
     }
@@ -216,7 +216,7 @@ impl StreamContext {
     /// source ends and every pane has been flushed.
     pub fn run<V, S>(&self, source: S, mut job: StreamJob<V>) -> StreamReport
     where
-        V: Data,
+        V: StoreData,
         S: Source<V> + 'static,
     {
         let (tx, rx) = channel::bounded::<MicroBatch<V>>(self.config.channel_capacity);
@@ -228,8 +228,10 @@ impl StreamContext {
         let pump_flag = Arc::clone(&source_panicked);
         let records_shed = Arc::new(AtomicU64::new(0));
         let batches_shed = Arc::new(AtomicU64::new(0));
+        let records_quarantined = Arc::new(AtomicU64::new(0));
         let pump_records_shed = Arc::clone(&records_shed);
         let pump_batches_shed = Arc::clone(&batches_shed);
+        let pump_quarantined = Arc::clone(&records_quarantined);
         let pump = std::thread::spawn(move || {
             let mut source = source;
             let mut id = 0u64;
@@ -287,6 +289,9 @@ impl StreamContext {
                     }
                 }
             }
+            // Quarantine is owned by the source; publish the final count
+            // once the pump winds down (normal end, panic, or abort).
+            pump_quarantined.store(source.records_quarantined(), Ordering::Release);
         });
 
         let run_start = Instant::now();
@@ -334,11 +339,12 @@ impl StreamContext {
         report.source_disconnected = source_panicked.load(Ordering::Acquire);
         report.records_shed = records_shed.load(Ordering::Relaxed);
         report.batches_shed = batches_shed.load(Ordering::Relaxed);
+        report.records_quarantined = records_quarantined.load(Ordering::Acquire);
         report.elapsed = run_start.elapsed();
         report
     }
 
-    fn process_batch<V: Data>(
+    fn process_batch<V: StoreData>(
         &self,
         batch: MicroBatch<V>,
         queue_depth: usize,
@@ -346,6 +352,11 @@ impl StreamContext {
     ) -> BatchMetrics {
         let started = Instant::now();
         let records = batch.records.len() as u64;
+        // Streaming batches draw on the same context-wide memory budget
+        // as engine jobs: a forced reservation held for the batch's
+        // lifetime, so under pressure cached/checkpointed partitions are
+        // evicted rather than the live batch being refused.
+        let _memory = self.ctx.memory().reserve(batch.records.shallow_bytes());
         // Per-batch latency bound: pane aggregations (engine jobs) run
         // under an ambient deadline for the rest of this batch. The
         // window bookkeeping below is driver-local and unaffected, so a
@@ -432,7 +443,7 @@ impl StreamContext {
     /// stage ordinals), so a failure scoped to one stage or poisoned by
     /// a transient fault recovers on replay. `retries` accumulates the
     /// extra attempts spent.
-    fn aggregate_pane_with_retry<V: Data>(
+    fn aggregate_pane_with_retry<V: StoreData>(
         &self,
         pane: WindowPane<V>,
         grid: &Option<(usize, Envelope)>,
@@ -461,7 +472,7 @@ impl StreamContext {
     /// Computes the configured aggregates for one fired pane. The pane
     /// becomes a per-batch engine Rdd so grid aggregation and DBSCAN run
     /// through the same partitioned operators as the batch API.
-    fn aggregate_pane<V: Data>(
+    fn aggregate_pane<V: StoreData>(
         &self,
         pane: WindowPane<V>,
         grid: &Option<(usize, Envelope)>,

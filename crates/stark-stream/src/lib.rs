@@ -65,5 +65,8 @@ pub use batch::{BatchId, BatchMetrics, MicroBatch, StreamReport};
 pub use context::{BatchFailurePolicy, ShedPolicy, StreamConfig, StreamContext, StreamJob};
 pub use query::{BatchEvaluation, ContinuousQueryEngine, QueryOutput, QueryResult, StandingQuery};
 pub use sink::{MemorySink, MemorySinkState, Sink, WindowAggregate};
-pub use source::{EventPayload, GeneratorSource, ReplaySource, Source, VecSource};
+pub use source::{
+    EventPayload, GeneratorSource, Quarantine, ReplaySource, Source, VecSource, WktSource,
+    QUARANTINE_CAP,
+};
 pub use window::{event_time, LatePolicy, ObserveStats, WindowManager, WindowPane, WindowSpec};

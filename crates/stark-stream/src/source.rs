@@ -21,6 +21,50 @@ pub trait Source<V>: Send {
     /// Pulls the next batch of up to `max_records` records.
     /// `None` ends the stream.
     fn next_batch(&mut self, max_records: usize) -> Option<Vec<(STObject, V)>>;
+
+    /// Malformed inputs this source has diverted to its dead-letter
+    /// quarantine instead of panicking the pump. Reported once at end of
+    /// stream as [`crate::StreamReport::records_quarantined`]. Sources
+    /// without a quarantine (the built-in generator, [`VecSource`])
+    /// report 0.
+    fn records_quarantined(&self) -> u64 {
+        0
+    }
+}
+
+/// Upper bound on retained quarantined inputs: the counter keeps
+/// growing past it, but only the first `QUARANTINE_CAP` offending lines
+/// or keys are kept for inspection, so a poisoned feed cannot grow the
+/// buffer without bound.
+pub const QUARANTINE_CAP: usize = 1024;
+
+/// Bounded dead-letter buffer: counts every quarantined input, retains
+/// at most [`QUARANTINE_CAP`] of them (with a note about the failure)
+/// for post-run inspection.
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    kept: Vec<(String, String)>,
+    total: u64,
+}
+
+impl Quarantine {
+    /// Records one malformed input and why it failed.
+    fn push(&mut self, input: &str, reason: impl std::fmt::Display) {
+        self.total += 1;
+        if self.kept.len() < QUARANTINE_CAP {
+            self.kept.push((input.to_string(), reason.to_string()));
+        }
+    }
+
+    /// Total quarantined inputs, including any past the retention cap.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained `(input, reason)` pairs, oldest first.
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.kept
+    }
 }
 
 /// Seeded synthetic event stream over a bounded space.
@@ -148,12 +192,73 @@ impl<V: Send> Source<V> for VecSource<V> {
     }
 }
 
+/// Parses a raw text feed of tab-separated `id \t category \t time \t
+/// WKT` lines into event records — the ingestion shape of the paper's
+/// textfile-to-`STObject` mapping. Malformed lines (wrong field count,
+/// unparseable numbers, invalid WKT) are diverted to a bounded
+/// dead-letter [`Quarantine`] instead of panicking the pump, so one
+/// poison record cannot take down the stream.
+pub struct WktSource {
+    lines: std::collections::VecDeque<String>,
+    quarantine: Quarantine,
+}
+
+impl WktSource {
+    pub fn new(lines: impl IntoIterator<Item = String>) -> Self {
+        WktSource { lines: lines.into_iter().collect(), quarantine: Quarantine::default() }
+    }
+
+    /// The dead-letter buffer accumulated so far.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Parses one feed line; `Err` carries the reason for quarantining.
+    fn parse_line(line: &str) -> Result<(STObject, EventPayload), String> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [id, category, time, wkt] = fields.as_slice() else {
+            return Err(format!("expected 4 tab-separated fields, got {}", fields.len()));
+        };
+        let id: u64 = id.trim().parse().map_err(|e| format!("bad id: {e}"))?;
+        let time: i64 = time.trim().parse().map_err(|e| format!("bad timestamp: {e}"))?;
+        let geometry = stark_geo::wkt::parse_wkt(wkt).map_err(|e| format!("bad WKT: {e}"))?;
+        Ok((
+            STObject::with_time(geometry, Temporal::instant(time)),
+            (id, category.trim().to_string()),
+        ))
+    }
+}
+
+impl Source<EventPayload> for WktSource {
+    fn next_batch(&mut self, max_records: usize) -> Option<Vec<(STObject, EventPayload)>> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        let mut out = Vec::new();
+        while out.len() < max_records.max(1) {
+            let Some(line) = self.lines.pop_front() else { break };
+            match Self::parse_line(&line) {
+                Ok(record) => out.push(record),
+                Err(reason) => self.quarantine.push(&line, reason),
+            }
+        }
+        // A batch whose lines all quarantined still advances the stream:
+        // an empty batch is valid, `None` is reserved for exhaustion.
+        Some(out)
+    }
+
+    fn records_quarantined(&self) -> u64 {
+        self.quarantine.total()
+    }
+}
+
 /// Replays batches previously recorded into an [`ObjectStore`] — the
 /// reproduction's stand-in for re-reading a stream out of HDFS.
 pub struct ReplaySource {
     store: ObjectStore,
     keys: Vec<String>,
     next: usize,
+    quarantine: Quarantine,
 }
 
 impl ReplaySource {
@@ -161,7 +266,14 @@ impl ReplaySource {
     pub fn open(store: ObjectStore, prefix: &str) -> Result<Self, StorageError> {
         let mut keys = store.list(prefix)?;
         keys.sort();
-        Ok(ReplaySource { store, keys, next: 0 })
+        Ok(ReplaySource { store, keys, next: 0, quarantine: Quarantine::default() })
+    }
+
+    /// Recorded batches that could not be read back (missing blob,
+    /// framing/CRC corruption, undecodable payload), skipped and kept in
+    /// the dead-letter buffer by key.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
     }
 
     /// Number of recorded batches remaining.
@@ -184,16 +296,23 @@ impl ReplaySource {
 }
 
 impl Source<EventPayload> for ReplaySource {
-    /// Replays the next recorded batch verbatim (`max_records` does not
-    /// re-chunk recorded batches).
+    /// Replays the next readable recorded batch verbatim (`max_records`
+    /// does not re-chunk recorded batches). A blob that fails to read —
+    /// deleted, CRC-corrupt, or undecodable — is quarantined by key and
+    /// skipped, so one damaged recording cannot panic the pump.
     fn next_batch(&mut self, _max_records: usize) -> Option<Vec<(STObject, EventPayload)>> {
-        let key = self.keys.get(self.next)?;
-        self.next += 1;
-        let events: Vec<Event> = self
-            .store
-            .get_json(key)
-            .unwrap_or_else(|e| panic!("recorded batch {key} unreadable: {e}"));
-        Some(events.iter().map(Event::to_pair).collect())
+        loop {
+            let key = self.keys.get(self.next)?;
+            self.next += 1;
+            match self.store.get_json::<Vec<Event>>(key) {
+                Ok(events) => return Some(events.iter().map(Event::to_pair).collect()),
+                Err(e) => self.quarantine.push(key, format!("recorded batch unreadable: {e}")),
+            }
+        }
+    }
+
+    fn records_quarantined(&self) -> u64 {
+        self.quarantine.total()
     }
 }
 
@@ -255,6 +374,90 @@ mod tests {
                 || !batch_boxes[1].intersects(&batch_boxes[2])
                 || batch_boxes[0].center() != batch_boxes[1].center()
         );
+    }
+
+    #[test]
+    fn wkt_source_parses_lines_and_quarantines_malformed_ones() {
+        let lines = vec![
+            "1\tconcert\t100\tPOINT(1 2)".to_string(),
+            "not a record at all".to_string(),
+            "2\tfair\t200\tPOINT(3 4)".to_string(),
+            "x\tfair\t300\tPOINT(5 6)".to_string(),   // bad id
+            "3\tfair\tlater\tPOINT(5 6)".to_string(), // bad timestamp
+            "4\tfair\t400\tPOINT(oops)".to_string(),  // bad WKT
+            "5\tparade\t500\tPOINT(7 8)".to_string(),
+        ];
+        let mut src = WktSource::new(lines);
+        let mut parsed = Vec::new();
+        while let Some(batch) = src.next_batch(2) {
+            parsed.extend(batch);
+        }
+        assert_eq!(
+            parsed.iter().map(|(_, (id, _))| *id).collect::<Vec<_>>(),
+            vec![1, 2, 5],
+            "only well-formed lines reach the stream"
+        );
+        assert_eq!(
+            parsed.iter().filter_map(|(o, _)| event_time(o)).collect::<Vec<_>>(),
+            vec![100, 200, 500]
+        );
+        assert_eq!(src.records_quarantined(), 4);
+        let reasons: Vec<&str> =
+            src.quarantine().entries().iter().map(|(_, r)| r.as_str()).collect();
+        assert!(reasons[0].contains("4 tab-separated fields"), "{reasons:?}");
+        assert!(reasons[1].contains("bad id"), "{reasons:?}");
+        assert!(reasons[2].contains("bad timestamp"), "{reasons:?}");
+        assert!(reasons[3].contains("bad WKT"), "{reasons:?}");
+    }
+
+    #[test]
+    fn quarantine_retention_is_bounded_but_count_is_not() {
+        let lines: Vec<String> = (0..QUARANTINE_CAP + 10).map(|i| format!("junk-{i}")).collect();
+        let mut src = WktSource::new(lines);
+        while src.next_batch(64).is_some() {}
+        assert_eq!(src.records_quarantined(), (QUARANTINE_CAP + 10) as u64);
+        assert_eq!(src.quarantine().entries().len(), QUARANTINE_CAP);
+    }
+
+    #[test]
+    fn replay_quarantines_corrupt_blob_and_keeps_going() {
+        let dir = std::env::temp_dir().join(format!("stark-replay-bad-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ObjectStore::open(&dir).unwrap();
+        let batches: Vec<Vec<Event>> = (0..3)
+            .map(|b| {
+                (0..4)
+                    .map(|i| {
+                        Event::new(
+                            b * 4 + i,
+                            "concert",
+                            (b * 4 + i) as i64,
+                            stark_geo::Geometry::point(i as f64, b as f64),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        ReplaySource::record(&store, "streams/bad", &batches).unwrap();
+
+        // flip one payload bit of the middle recording
+        let path = store.root().join("streams/bad/batch-000001");
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        let mut src = ReplaySource::open(store, "streams/bad").unwrap();
+        let mut ids = Vec::new();
+        while let Some(batch) = src.next_batch(usize::MAX) {
+            ids.extend(batch.iter().map(|(_, (id, _))| *id));
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3, 8, 9, 10, 11], "healthy recordings still replay");
+        assert_eq!(src.records_quarantined(), 1);
+        let (key, reason) = &src.quarantine().entries()[0];
+        assert_eq!(key, "streams/bad/batch-000001");
+        assert!(reason.contains("unreadable"), "{reason}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

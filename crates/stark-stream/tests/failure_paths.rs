@@ -7,7 +7,7 @@ use stark_engine::{Context, EngineConfig, FaultInjector, FaultPolicy, FaultScope
 use stark_geo::Envelope;
 use stark_stream::{
     BatchFailurePolicy, GeneratorSource, LatePolicy, MemorySink, Source, StreamConfig,
-    StreamContext, StreamJob, StreamReport, WindowSpec,
+    StreamContext, StreamJob, StreamReport, WindowSpec, WktSource,
 };
 use std::sync::Arc;
 
@@ -67,6 +67,45 @@ fn source_disconnect_mid_pump_ends_stream_cleanly() {
     // the clean-shutdown path still flushes every open pane
     let windowed: u64 = sink.state().windows.iter().map(|w| w.count).sum();
     assert_eq!(windowed + report.late_dropped(), report.total_records());
+}
+
+#[test]
+fn poison_records_quarantine_instead_of_killing_the_stream() {
+    // 60 good records over 0..1200, with malformed lines of every shape
+    // salted through the feed — a poisoned upstream export.
+    let mut lines = Vec::new();
+    for i in 0..60u64 {
+        let t = i * 20;
+        lines.push(format!("{i}\tconcert\t{t}\tPOINT({} {})", i % 10, i / 10));
+        if i % 10 == 3 {
+            lines.push(format!("{i}\tconcert\t{t}\tPOINT(not numbers)"));
+        }
+        if i % 10 == 7 {
+            lines.push("truncated line".to_string());
+        }
+    }
+    let source = WktSource::new(lines);
+    let sc = StreamContext::with_config(
+        Context::with_parallelism(2),
+        StreamConfig { batch_records: 16, parallelism: 2, ..Default::default() },
+    );
+    let sink = MemorySink::new();
+    let job = StreamJob::new()
+        .with_windows(WindowSpec::tumbling(400), 100, LatePolicy::Drop)
+        .with_grid_aggregation(4, space())
+        .with_sink(sink.clone());
+    let report = sc.run(source, job);
+
+    assert!(!report.source_disconnected, "quarantine must replace the pump panic");
+    assert!(!report.aborted);
+    assert_eq!(report.records_quarantined, 12, "6 bad-WKT + 6 truncated lines");
+    assert_eq!(report.total_records(), 60, "every well-formed record is processed");
+    // the healthy records still produce full window output
+    let windowed: u64 = sink.state().windows.iter().map(|w| w.count).sum();
+    assert_eq!(windowed + report.late_dropped(), 60);
+    assert!(report.windows_fired() + sink.state().windows.len() as u64 > 0);
+    // watermark = max observed event time (59·20) − allowed lateness
+    assert_eq!(report.final_watermark, Some(59 * 20 - 100));
 }
 
 /// Shared fixture for the exhaustion tests: every engine task panics

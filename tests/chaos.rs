@@ -35,8 +35,14 @@ fn chaos_ctx(injector: Option<Arc<FaultInjector>>) -> Context {
 }
 
 /// Like [`chaos_ctx`], with speculative execution optionally enabled —
-/// the retry and result invariants must hold either way.
+/// the retry and result invariants must hold either way. Set
+/// `STARK_MEMORY_BUDGET=<bytes>` to cap the context's memory budget
+/// (the CI memory-chaos job pins a tight one), so every invariant in
+/// this file is additionally exercised under spill-and-evict pressure.
 fn chaos_ctx_spec(injector: Option<Arc<FaultInjector>>, speculate: bool) -> Context {
+    let memory_budget = std::env::var("STARK_MEMORY_BUDGET")
+        .ok()
+        .map(|s| s.trim().parse().expect("STARK_MEMORY_BUDGET must be a u64"));
     Context::with_config(EngineConfig {
         parallelism: 4,
         max_task_retries: 3,
@@ -44,13 +50,15 @@ fn chaos_ctx_spec(injector: Option<Arc<FaultInjector>>, speculate: bool) -> Cont
         speculation: speculate,
         speculation_quantile: 0.5,
         speculation_multiplier: 1.5,
+        memory_budget,
         ..Default::default()
     })
 }
 
 /// A recoverable injector drawn from proptest inputs. Returns the
 /// injector and whether its policy triggers retries (Delay injects
-/// latency, not failures).
+/// latency and MemoryPressure shrinks the effective budget; neither
+/// fails the task).
 fn drawn_injector(seed: u64, rate: f64, policy_sel: u8) -> (Arc<FaultInjector>, bool) {
     let scope = FaultScope::Probability(rate);
     match policy_sel {
@@ -58,6 +66,12 @@ fn drawn_injector(seed: u64, rate: f64, policy_sel: u8) -> (Arc<FaultInjector>, 
         1 => (
             Arc::new(FaultInjector::new(seed, scope, FaultPolicy::Transient).with_fail_attempts(2)),
             true,
+        ),
+        2 => (
+            // shrink the effective budget to ~16 KiB mid-job: shuffles
+            // spill and caches evict, but no task may fail
+            Arc::new(FaultInjector::memory_pressure(seed, rate, 16 * 1024)),
+            false,
         ),
         _ => (
             Arc::new(FaultInjector::new(
@@ -119,7 +133,7 @@ proptest! {
     fn collect_is_fault_oblivious(
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.5,
-        policy_sel in 0u8..3,
+        policy_sel in 0u8..4,
         speculate in any::<bool>(),
         data in proptest::collection::vec(any::<i32>(), 1..400),
         parts in 1usize..9,
@@ -137,7 +151,7 @@ proptest! {
     fn shuffle_is_fault_oblivious(
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.5,
-        policy_sel in 0u8..3,
+        policy_sel in 0u8..4,
         speculate in any::<bool>(),
         data in proptest::collection::vec(any::<i32>(), 1..300),
         dst_parts in 1usize..9,
@@ -155,12 +169,51 @@ proptest! {
         assert_retry_invariants(&ctx, &chaos, retries_expected);
     }
 
+    /// A budget far smaller than a cached dataset forces pressure
+    /// eviction mid-job while a transient injector retries tasks
+    /// underneath: the output must stay identical to the unbounded
+    /// fault-free run, every eviction must be accounted, and evicted
+    /// partitions must recompute from lineage on later reads.
+    #[test]
+    fn cache_eviction_under_pressure_is_output_invariant(
+        fault_seed in any::<u64>(),
+        rate in 0.02f64..0.3,
+        data in proptest::collection::vec(any::<i32>(), 64..400),
+    ) {
+        let expect: Vec<i64> = data.iter().map(|&x| x as i64 * 11 + 5).collect();
+        // a third of the cached dataset (8 bytes per mapped element)
+        let budget = ((data.len() * 8) as u64 / 3).max(64);
+        let chaos = Arc::new(FaultInjector::new(
+            fault_seed,
+            FaultScope::Probability(rate),
+            FaultPolicy::Transient,
+        ));
+        let ctx = Context::with_config(EngineConfig {
+            parallelism: 4,
+            max_task_retries: 3,
+            fault_injector: Some(Arc::clone(&chaos)),
+            memory_budget: Some(budget),
+            ..Default::default()
+        });
+        let cached = ctx.parallelize(data, 8).map(|x| x as i64 * 11 + 5).cache();
+        prop_assert_eq!(cached.collect(), expect.clone());
+        prop_assert_eq!(cached.collect(), expect, "evicted partitions must recompute identically");
+        let m = ctx.metrics();
+        prop_assert!(
+            m.partitions_evicted_for_pressure > 0,
+            "a third of the dataset cannot cache without evictions: {:?}", m
+        );
+        prop_assert!(m.bytes_reserved_peak <= budget + (400 * 8),
+            "pressure may overshoot by at most one partition: {:?}", m);
+        assert_retry_invariants(&ctx, &chaos, true);
+    }
+
     /// The partitioned spatial join returns the fault-free pair set.
     #[test]
     fn spatial_join_is_fault_oblivious(
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.4,
-        policy_sel in 0u8..3,
+        policy_sel in 0u8..4,
         speculate in any::<bool>(),
         data_seed in 0u64..1000,
     ) {
@@ -189,7 +242,7 @@ proptest! {
     fn knn_is_fault_oblivious(
         fault_seed in any::<u64>(),
         rate in 0.02f64..0.4,
-        policy_sel in 0u8..3,
+        policy_sel in 0u8..4,
         speculate in any::<bool>(),
         data_seed in 0u64..1000,
     ) {
