@@ -10,6 +10,8 @@
 //!                            # seed via STARK_CHAOS_SEED)
 //!   repro memory `[n]`       # S10 memory-governance ablation (writes target/s10-memory.json;
 //!                            # seed via STARK_CHAOS_SEED)
+//!   repro service `[n]`      # S11 query-service load + fairness (writes target/s11-service.json;
+//!                            # seed via STARK_CHAOS_SEED, session cap via S11_MAX_SESSIONS)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -159,9 +161,33 @@ fn main() {
         eprintln!("[s10] wrote {path}");
     }
 
+    if run("service") {
+        ran = true;
+        let seed: u64 = std::env::var("STARK_CHAOS_SEED")
+            .ok()
+            .map(|s| s.trim().parse().expect("STARK_CHAOS_SEED must be a u64"))
+            .unwrap_or(0xC4A05);
+        let max_sessions: usize = std::env::var("S11_MAX_SESSIONS")
+            .ok()
+            .map(|s| s.trim().parse().expect("S11_MAX_SESSIONS must be a usize"))
+            .unwrap_or(1024);
+        let rows = n.unwrap_or(20_000) as i64;
+        let t = stark_bench::service::service(ctx.parallelism(), rows, seed, max_sessions);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S11 table");
+        let path = std::env::var("S11_JSON").unwrap_or_else(|_| "target/s11-service.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S11 json");
+        eprintln!("[s11] wrote {path}");
+    }
+
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, chaos, stragglers, memory"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, chaos, stragglers, memory, service"
         );
         std::process::exit(2);
     }

@@ -146,7 +146,7 @@ pub fn filter(ctx: &Context, n: usize) -> Table {
         // no index
         let before = ctx.metrics();
         let (count, time) = timed(|| base.filter(&query, pred).count());
-        let pruned = ctx.metrics().since(&before).partitions_pruned;
+        let pruned = ctx.metrics().diff(&before).partitions_pruned;
         t.push(vec![
             pname.into(),
             "none".into(),
@@ -157,7 +157,7 @@ pub fn filter(ctx: &Context, n: usize) -> Table {
         // live index (build + query, as live indexing does)
         let before = ctx.metrics();
         let (count_idx, time_idx) = timed(|| base.live_index(5).filter(&query, pred).count());
-        let pruned_idx = ctx.metrics().since(&before).partitions_pruned;
+        let pruned_idx = ctx.metrics().diff(&before).partitions_pruned;
         assert_eq!(count, count_idx, "index changed the result");
         t.push(vec![
             pname.into(),
@@ -284,7 +284,7 @@ pub fn pruning(ctx: &Context, n: usize) -> Table {
         // pruning ON: the STARK filter path
         let before = ctx.metrics();
         let (count_on, time_on) = timed(|| part.filter(&query, STPredicate::ContainedBy).count());
-        let d = ctx.metrics().since(&before);
+        let d = ctx.metrics().diff(&before);
         t.push(vec![
             format!("{:.0}%", fraction * 100.0),
             "on".into(),
@@ -299,7 +299,7 @@ pub fn pruning(ctx: &Context, n: usize) -> Table {
         let (count_off, time_off) = timed(|| {
             part.rdd().filter(move |(o, _)| STPredicate::ContainedBy.eval(o, &q2)).count()
         });
-        let d = ctx.metrics().since(&before);
+        let d = ctx.metrics().diff(&before);
         assert_eq!(count_on, count_off, "pruning changed the result");
         t.push(vec![
             format!("{:.0}%", fraction * 100.0),
@@ -480,7 +480,7 @@ pub fn temporal(ctx: &Context, n: usize) -> Table {
     grid.count();
     let before = ctx.metrics();
     let (count_g, time_g) = timed(|| grid.filter(&query, STPredicate::ContainedBy).count());
-    let d = ctx.metrics().since(&before);
+    let d = ctx.metrics().diff(&before);
     t.push(vec![
         "grid(8) (spatial only)".into(),
         secs(time_g),
@@ -496,7 +496,7 @@ pub fn temporal(ctx: &Context, n: usize) -> Table {
     temporal.count();
     let before = ctx.metrics();
     let (count_t, time_t) = timed(|| temporal.filter(&query, STPredicate::ContainedBy).count());
-    let d = ctx.metrics().since(&before);
+    let d = ctx.metrics().diff(&before);
     assert_eq!(count_g, count_t, "partitioning changed the result");
     t.push(vec![
         "temporal(64)".into(),
@@ -672,7 +672,7 @@ pub fn fusion(parallelism: usize, n: usize, repeats: usize) -> Table {
             }
             c
         });
-        let d = ctx.metrics().since(&before);
+        let d = ctx.metrics().diff(&before);
         let throughput = total as f64 / time.as_secs_f64().max(1e-9);
         let speedup = match measured.first() {
             None => "1.00x (baseline)".to_string(),

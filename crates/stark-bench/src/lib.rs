@@ -8,6 +8,7 @@
 //! operations at micro scale.
 
 pub mod experiments;
+pub mod service;
 pub mod table;
 pub mod workloads;
 

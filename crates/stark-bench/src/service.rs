@@ -1,0 +1,298 @@
+//! S11 — query-service load experiment.
+//!
+//! A closed-loop load generator drives the multi-tenant query service
+//! over real TCP sessions and reports, per concurrency level:
+//! sustained throughput, p50/p99 latency, shed rate and plan-cache hit
+//! rate. A second scenario checks *fairness*: a light tenant's tail
+//! latency while a heavy tenant saturates the service must stay within
+//! a small factor of its latency on an otherwise idle server — the
+//! weighted round-robin scheduler, not luck, provides that bound.
+
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stark_engine::{Context, EngineConfig};
+use stark_piglet::Value;
+use stark_server::{Client, QueryServer, Response, ServerConfig, ServerHandle, TenantConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of one closed-loop run.
+#[derive(Debug, Default, Clone)]
+struct LoadResult {
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    other_errors: u64,
+    /// Latencies of successful requests, microseconds.
+    latencies_us: Vec<u64>,
+    elapsed: Duration,
+}
+
+impl LoadResult {
+    fn merge(&mut self, other: LoadResult) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.other_errors += other.other_errors;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    fn percentile_ms(&mut self, p: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return f64::NAN;
+        }
+        self.latencies_us.sort_unstable();
+        let rank = ((self.latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies_us[rank] as f64 / 1000.0
+    }
+
+    fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn start_service(parallelism: usize, rows: i64, tenants: Vec<TenantConfig>) -> ServerHandle {
+    let ctx = Context::with_config(EngineConfig {
+        parallelism,
+        default_partitions: parallelism.max(2),
+        ..EngineConfig::default()
+    });
+    let tuples: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 1000),
+                Value::Str(format!("POINT({} {})", i % 100, (i * 13) % 100)),
+            ]
+        })
+        .collect();
+    let schema = Arc::new(vec!["id".to_string(), "t".to_string(), "wkt".to_string()]);
+    let dataset = ("ev".to_string(), schema, ctx.parallelize(tuples, parallelism.max(2)));
+    let config = ServerConfig {
+        workers: parallelism.max(2),
+        max_queue_depth: 32,
+        default_deadline_ms: 30_000,
+        tenants,
+        ..ServerConfig::default()
+    };
+    QueryServer::start(ctx, vec![dataset], config).expect("service starts")
+}
+
+/// A light request: filter + dump over a handful of rows. The literal
+/// varies per request, so the run also exercises plan-cache re-binding.
+fn light_script(rng: &mut StdRng) -> String {
+    let lo = rng.gen_range(0..900u32);
+    format!("f = FILTER ev BY t == {lo};\nx = LIMIT f 5;\nDUMP x;")
+}
+
+/// A heavy-tenant request: pricier than a light one (filter + sort)
+/// but moderate per query — the heavy tenant's weight is its *rate*
+/// (many sessions flooding the queue), which is the pressure weighted
+/// round-robin defends against. A tenant whose individual queries
+/// monopolize the CPU is bounded by deadlines and budgets instead;
+/// non-preemptive scheduling cannot shorten a job already running.
+fn heavy_script(rng: &mut StdRng) -> String {
+    let hi = rng.gen_range(40..80u32);
+    let k = rng.gen_range(1..10u32);
+    format!("h = FILTER ev BY t < {hi};\no = ORDER h BY t DESC;\nl = LIMIT o {k};\nDUMP l;")
+}
+
+/// Runs `sessions` closed-loop clients, each issuing `per_session`
+/// requests of `make_script` as `tenant`, and aggregates the results.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    sessions: usize,
+    per_session: usize,
+    seed: u64,
+    make_script: fn(&mut StdRng) -> String,
+) -> LoadResult {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            let tenant = tenant.to_string();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E37_79B9));
+                let mut local = LoadResult::default();
+                let Ok(mut client) = Client::connect(addr) else {
+                    local.other_errors = per_session as u64;
+                    local.requests = per_session as u64;
+                    return local;
+                };
+                for _ in 0..per_session {
+                    let script = make_script(&mut rng);
+                    let t0 = Instant::now();
+                    local.requests += 1;
+                    match client.query(&tenant, &script, None) {
+                        Ok(Response::Ok { .. }) => {
+                            local.ok += 1;
+                            local.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Ok(Response::Overloaded { .. }) => local.shed += 1,
+                        Ok(_) | Err(_) => local.other_errors += 1,
+                    }
+                }
+                local
+            })
+        })
+        .collect();
+    let mut total = LoadResult::default();
+    for h in handles {
+        if let Ok(local) = h.join() {
+            total.merge(local);
+        }
+    }
+    total.elapsed = start.elapsed();
+    total
+}
+
+/// The S11 experiment. `max_sessions` caps the concurrency sweep (CI
+/// runs a reduced ladder); `seed` pins the request mix.
+pub fn service(parallelism: usize, rows: i64, seed: u64, max_sessions: usize) -> Table {
+    let mut table = Table::new(
+        format!("S11: query service under closed-loop load ({rows} rows, seed {seed})"),
+        &[
+            "scenario",
+            "sessions",
+            "requests",
+            "ok",
+            "shed",
+            "shed%",
+            "thrpt(q/s)",
+            "p50(ms)",
+            "p99(ms)",
+            "cache-hit%",
+        ],
+    );
+
+    // --- throughput ladder -------------------------------------------------
+    for &sessions in &[64usize, 256, 1024] {
+        if sessions > max_sessions {
+            eprintln!("[s11] skipping {sessions}-session level (cap {max_sessions})");
+            continue;
+        }
+        let server = start_service(parallelism, rows, vec![TenantConfig::new("default").weight(1)]);
+        let per_session = 8;
+        let mut r =
+            closed_loop(server.addr(), "default", sessions, per_session, seed, light_script);
+        let (hits, misses) = server.cache_stats();
+        let hit_rate = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+        table.push(vec![
+            "closed-loop".into(),
+            sessions.to_string(),
+            r.requests.to_string(),
+            r.ok.to_string(),
+            r.shed.to_string(),
+            format!("{:.1}", 100.0 * r.shed as f64 / r.requests.max(1) as f64),
+            format!("{:.0}", r.throughput()),
+            format!("{:.2}", r.percentile_ms(0.50)),
+            format!("{:.2}", r.percentile_ms(0.99)),
+            format!("{hit_rate:.1}"),
+        ]);
+    }
+
+    // --- fairness: light tenant vs rate-heavy tenant -----------------------
+    let light_sessions = 4.min(max_sessions.max(1));
+    let heavy_sessions = 12.min(max_sessions.max(1));
+    let per_session = 12;
+    let heavy_per_session = 3 * per_session; // keep the flood going while light is measured
+    let tenants =
+        || vec![TenantConfig::new("light").weight(8), TenantConfig::new("heavy").weight(1)];
+
+    // isolated baseline: light tenant alone on an idle server
+    let server = start_service(parallelism, rows, tenants());
+    let mut isolated =
+        closed_loop(server.addr(), "light", light_sessions, per_session, seed, light_script);
+    let isolated_p99 = isolated.percentile_ms(0.99);
+    table.push(vec![
+        "light-isolated".into(),
+        light_sessions.to_string(),
+        isolated.requests.to_string(),
+        isolated.ok.to_string(),
+        isolated.shed.to_string(),
+        format!("{:.1}", 100.0 * isolated.shed as f64 / isolated.requests.max(1) as f64),
+        format!("{:.0}", isolated.throughput()),
+        format!("{:.2}", isolated.percentile_ms(0.50)),
+        format!("{isolated_p99:.2}"),
+        "-".into(),
+    ]);
+    drop(server);
+
+    // mixed: the heavy tenant saturates while the light tenant keeps going
+    let server = start_service(parallelism, rows, tenants());
+    let addr = server.addr();
+    let heavy_handle = std::thread::spawn(move || {
+        closed_loop(addr, "heavy", heavy_sessions, heavy_per_session, seed ^ 0xDEAD, heavy_script)
+    });
+    // let the heavy load build up before measuring the light tenant
+    std::thread::sleep(Duration::from_millis(200));
+    let mut light_mixed =
+        closed_loop(addr, "light", light_sessions, per_session, seed, light_script);
+    let mut heavy_mixed = heavy_handle.join().unwrap_or_default();
+    let light_p99 = light_mixed.percentile_ms(0.99);
+    for (name, sessions, r) in [
+        ("light-mixed", light_sessions, &mut light_mixed),
+        ("heavy-mixed", heavy_sessions, &mut heavy_mixed),
+    ] {
+        let (p50, p99) = (r.percentile_ms(0.50), r.percentile_ms(0.99));
+        table.push(vec![
+            name.into(),
+            sessions.to_string(),
+            r.requests.to_string(),
+            r.ok.to_string(),
+            r.shed.to_string(),
+            format!("{:.1}", 100.0 * r.shed as f64 / r.requests.max(1) as f64),
+            format!("{:.0}", r.throughput()),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+            "-".into(),
+        ]);
+    }
+    let slowdown = light_p99 / isolated_p99.max(0.001);
+    table.push(vec![
+        "light-p99-ratio".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{slowdown:.2}x"),
+        "-".into(),
+    ]);
+    eprintln!(
+        "[s11] light tenant p99 {light_p99:.2}ms mixed vs {isolated_p99:.2}ms isolated ({slowdown:.2}x)"
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_sane() {
+        let mut r = LoadResult {
+            latencies_us: (1..=100).map(|v| v * 1000).collect(),
+            ..LoadResult::default()
+        };
+        assert!((r.percentile_ms(0.50) - 50.0).abs() <= 1.0);
+        assert!((r.percentile_ms(0.99) - 99.0).abs() <= 1.0);
+    }
+
+    /// A miniature end-to-end run: one level, few sessions, real TCP.
+    #[test]
+    fn small_closed_loop_run_completes() {
+        let server = start_service(2, 500, vec![TenantConfig::new("default")]);
+        let r = closed_loop(server.addr(), "default", 4, 3, 7, light_script);
+        assert_eq!(r.requests, 12);
+        assert_eq!(r.ok + r.shed + r.other_errors, 12);
+        assert!(r.ok > 0, "some requests must succeed: {r:?}");
+        assert_eq!(r.other_errors, 0, "no untyped failures: {r:?}");
+    }
+}

@@ -166,7 +166,7 @@ mod tests {
                 .unwrap();
         let before = ctx.metrics();
         let hits = part.filter(&query, STPredicate::ContainedBy).count();
-        let delta = ctx.metrics().since(&before);
+        let delta = ctx.metrics().diff(&before);
         assert_eq!(hits, 50, "events with t in [0, 500)");
         assert!(
             delta.partitions_pruned >= 6,
@@ -189,7 +189,7 @@ mod tests {
         let query = STObject::from_wkt("POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap();
         let before = ctx.metrics();
         let hits = part.filter(&query, STPredicate::ContainedBy).count();
-        let delta = ctx.metrics().since(&before);
+        let delta = ctx.metrics().diff(&before);
         assert_eq!(hits, 1, "only the untimed record matches an untimed query");
         assert!(delta.partitions_pruned >= 4, "all timed buckets pruned");
     }

@@ -277,7 +277,7 @@ mod tests {
         let before = ctx.metrics();
         let hits = part.filter(&qry_timed, STPredicate::ContainedBy);
         assert_eq!(hits.count(), 9);
-        let delta = ctx.metrics().since(&before);
+        let delta = ctx.metrics().diff(&before);
         assert!(delta.partitions_pruned > 0, "expected pruning, got {delta:?}");
     }
 

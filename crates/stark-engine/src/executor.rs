@@ -599,7 +599,7 @@ mod tests {
             x
         });
         assert_eq!(r.count(), 64);
-        let delta = ctx.metrics().since(&before);
+        let delta = ctx.metrics().diff(&before);
         assert!(delta.task_nanos > 0, "task wall-clock not recorded");
         assert!(delta.job_nanos > 0, "job wall-clock not recorded");
         // 8 tasks at >=100µs each, run on 2 workers: cumulative task time
@@ -834,7 +834,7 @@ mod tests {
             .count();
         let elapsed = started.elapsed().as_nanos() as u64;
         assert_eq!(n, 8);
-        let delta = ctx.metrics().since(&before);
+        let delta = ctx.metrics().diff(&before);
         // The shuffle materialises via an inner partition sweep that runs
         // *inside* the outer count job (it executes the sleeping maps).
         // Before depth tracking, job_nanos summed both overlapping

@@ -62,7 +62,7 @@ pub mod storage;
 pub use cancel::{CancelReason, CancelScope, CancellationToken};
 pub use context::{Context, EngineConfig};
 pub use fault::{FaultInjector, FaultPolicy, FaultScope};
-pub use memory::{MemoryManager, MemoryReservation};
+pub use memory::{ChildBudget, ChildReservation, MemoryManager, MemoryReservation};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partition::{Partition, PartitionIntoIter};
 pub use rdd::{Data, Lineage, Rdd, StoreData, TaskError, TaskErrorKind};

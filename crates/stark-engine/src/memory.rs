@@ -253,6 +253,121 @@ impl MemoryManager {
     pub(crate) fn victim_count(&self) -> usize {
         self.victims.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
+
+    /// Creates a child budget capped at `cap` bytes (`None` = bounded
+    /// only by this manager). Child reservations count against both the
+    /// child's cap and this context-wide ledger, so a multi-tenant
+    /// service can give each tenant a slice of the context budget while
+    /// the sum still respects [`EngineConfig::memory_budget`](crate::EngineConfig).
+    pub fn child(self: &Arc<Self>, cap: Option<u64>) -> Arc<ChildBudget> {
+        Arc::new(ChildBudget {
+            parent: Arc::clone(self),
+            cap: cap.unwrap_or(u64::MAX),
+            reserved: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A hierarchical slice of a [`MemoryManager`] budget: reservations must
+/// fit the child's own cap *and* are accounted against the parent (which
+/// may evict LRU victims to make room). Tenants of a shared context each
+/// get one, so one tenant exhausting its slice cannot starve the others.
+pub struct ChildBudget {
+    parent: Arc<MemoryManager>,
+    /// `u64::MAX` means no child-local cap.
+    cap: u64,
+    reserved: AtomicU64,
+}
+
+impl std::fmt::Debug for ChildBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChildBudget")
+            .field("cap", &self.cap())
+            .field("reserved", &self.reserved())
+            .finish()
+    }
+}
+
+impl ChildBudget {
+    /// The child-local cap; `None` when only the parent bounds it.
+    pub fn cap(&self) -> Option<u64> {
+        match self.cap {
+            u64::MAX => None,
+            c => Some(c),
+        }
+    }
+
+    /// Bytes currently reserved through this child.
+    pub fn reserved(&self) -> u64 {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// The parent manager this child draws from.
+    pub fn parent(&self) -> &Arc<MemoryManager> {
+        &self.parent
+    }
+
+    /// Reserves `bytes` if they fit the child cap and the parent grants
+    /// them (evicting parent-level LRU victims as needed). `None` means
+    /// this child is out of budget — the caller degrades or reports a
+    /// typed error; other children of the same parent are unaffected.
+    pub fn try_reserve(self: &Arc<Self>, bytes: u64) -> Option<ChildReservation> {
+        // Claim against the child cap first with a CAS loop, so two
+        // concurrent requests cannot jointly overshoot it.
+        let mut held = self.reserved.load(Ordering::Relaxed);
+        loop {
+            if held.saturating_add(bytes) > self.cap {
+                return None;
+            }
+            match self.reserved.compare_exchange_weak(
+                held,
+                held + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => held = now,
+            }
+        }
+        match self.parent.try_reserve(bytes) {
+            Some(parent) => {
+                Some(ChildReservation { child: Arc::clone(self), bytes, _parent: parent })
+            }
+            None => {
+                // Roll the child claim back: the context-wide budget, not
+                // this child's cap, refused the bytes.
+                self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+/// RAII grant from a [`ChildBudget`]; releases the child claim and the
+/// nested parent reservation on drop.
+pub struct ChildReservation {
+    child: Arc<ChildBudget>,
+    bytes: u64,
+    _parent: MemoryReservation,
+}
+
+impl ChildReservation {
+    /// Accounted bytes held by this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for ChildReservation {
+    fn drop(&mut self) {
+        self.child.reserved.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ChildReservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChildReservation({} bytes)", self.bytes)
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +478,48 @@ mod tests {
         assert!(m.try_reserve(100).is_none());
         m.lift_restriction();
         assert_eq!(m.budget(), None);
+    }
+
+    #[test]
+    fn child_budget_enforces_its_own_cap() {
+        let m = manager(None);
+        let child = m.child(Some(100));
+        let r = child.try_reserve(60).expect("fits the child cap");
+        assert_eq!(child.reserved(), 60);
+        assert_eq!(m.reserved(), 60, "child bytes count against the parent ledger");
+        assert!(child.try_reserve(60).is_none(), "would exceed the child cap");
+        drop(r);
+        assert_eq!(child.reserved(), 0);
+        assert_eq!(m.reserved(), 0);
+        assert!(child.try_reserve(60).is_some(), "fits after release");
+    }
+
+    #[test]
+    fn child_budget_rolls_back_when_parent_refuses() {
+        let m = manager(Some(50));
+        let child = m.child(Some(1000));
+        assert!(child.try_reserve(80).is_none(), "parent budget refuses");
+        assert_eq!(child.reserved(), 0, "failed claim must roll back");
+        assert_eq!(m.reserved(), 0);
+    }
+
+    #[test]
+    fn sibling_budgets_are_isolated() {
+        let m = manager(None);
+        let a = m.child(Some(100));
+        let b = m.child(Some(100));
+        let _hog = a.try_reserve(100).expect("a takes its whole slice");
+        assert!(a.try_reserve(1).is_none(), "a is exhausted");
+        assert!(b.try_reserve(100).is_some(), "b is unaffected by a's exhaustion");
+    }
+
+    #[test]
+    fn uncapped_child_is_bounded_only_by_parent() {
+        let m = manager(Some(100));
+        let child = m.child(None);
+        assert_eq!(child.cap(), None);
+        let _held = child.try_reserve(80).expect("fits the parent budget");
+        assert!(child.try_reserve(80).is_none(), "parent budget still applies");
     }
 
     #[test]

@@ -169,8 +169,9 @@ impl Metrics {
     }
 }
 
-/// Plain-data view of [`Metrics`], cheap to copy and diff.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Plain-data view of [`Metrics`], cheap to copy and diff. Serializable
+/// so services can put per-request counter deltas on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     pub tasks_launched: u64,
     pub records_read: u64,
@@ -213,8 +214,9 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Counter deltas since `earlier`.
-    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+    /// Counter deltas since `earlier` — the per-request metrics a
+    /// service reports alongside each response.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             tasks_launched: self.tasks_launched - earlier.tasks_launched,
             records_read: self.records_read - earlier.records_read,
@@ -274,7 +276,7 @@ mod tests {
         m.inc_tasks(5);
         let before = m.snapshot();
         m.inc_tasks(7);
-        let delta = m.snapshot().since(&before);
+        let delta = m.snapshot().diff(&before);
         assert_eq!(delta.tasks_launched, 7);
     }
 
@@ -293,7 +295,7 @@ mod tests {
         assert_eq!(before.partitions_evicted_for_pressure, 2);
         m.record_bytes_reserved_peak(500);
         m.add_bytes_spilled(1000);
-        let delta = m.snapshot().since(&before);
+        let delta = m.snapshot().diff(&before);
         assert_eq!(delta.bytes_spilled, 1000, "spill volume diffs like a counter");
         assert_eq!(delta.bytes_reserved_peak, 500, "the peak carries the later high-water mark");
     }

@@ -1419,7 +1419,7 @@ mod tests {
         let before = c.metrics();
         let n = masked.count();
         assert_eq!(n, 50);
-        let delta = c.metrics().since(&before);
+        let delta = c.metrics().diff(&before);
         assert_eq!(delta.partitions_pruned, 2);
     }
 
@@ -1632,7 +1632,7 @@ mod tests {
         let before = c.metrics();
         assert_eq!(r.count(), 1000);
         assert_eq!(r.count(), 1000);
-        let delta = c.metrics().since(&before);
+        let delta = c.metrics().diff(&before);
         assert_eq!(delta.records_cloned, 0, "cache re-reads must not deep-clone");
         let shallow = 1000 * std::mem::size_of::<i64>() as u64;
         assert!(
@@ -1650,7 +1650,7 @@ mod tests {
         r.count(); // populate
         let before = c.metrics();
         assert_eq!(r.collect().len(), 100);
-        let delta = c.metrics().since(&before);
+        let delta = c.metrics().diff(&before);
         // collect must hand out owned elements while the cache retains
         // the partitions, so the deep clone is real — and counted.
         assert_eq!(delta.records_cloned, 100);
@@ -1743,7 +1743,7 @@ mod tests {
         let before = c.metrics();
         let r = c.parallelize((0..100).collect(), 4);
         r.count();
-        let delta = c.metrics().since(&before);
+        let delta = c.metrics().diff(&before);
         assert_eq!(delta.tasks_launched, 4);
         assert_eq!(delta.records_read, 100);
         assert_eq!(delta.jobs, 1);
@@ -1793,7 +1793,7 @@ mod tests {
         assert_eq!(err.partition, 3);
         assert_eq!(err.attempts, 1, "structural errors must not be retried");
         assert!(err.message.contains("out of range"), "{}", err.message);
-        let delta = c.metrics().since(&before);
+        let delta = c.metrics().diff(&before);
         assert_eq!(delta.tasks_retried, 0);
         assert_eq!(delta.tasks_failed_permanently, 1);
     }
@@ -1826,7 +1826,7 @@ mod tests {
         let before = c.metrics();
         assert_eq!(downstream.collect(), (0..8).collect::<Vec<_>>());
         assert_eq!(parent_runs.load(Ordering::SeqCst), 10, "cache cell 0 was evicted");
-        let delta = c.metrics().since(&before);
+        let delta = c.metrics().diff(&before);
         assert_eq!(delta.tasks_retried, 1);
         assert_eq!(delta.partitions_recomputed, 1);
     }

@@ -193,10 +193,12 @@ impl ObjectStore {
     }
 }
 
-/// Magic prefix identifying a framed store object.
-const FRAME_MAGIC: &[u8; 4] = b"STK1";
+/// Magic prefix identifying a framed store object. Shared with the
+/// query-service wire protocol, which frames request/response payloads
+/// the same way.
+pub const FRAME_MAGIC: &[u8; 4] = b"STK1";
 /// Frame header: magic + little-endian CRC32 of the payload.
-const FRAME_HEADER_LEN: usize = FRAME_MAGIC.len() + 4;
+pub const FRAME_HEADER_LEN: usize = FRAME_MAGIC.len() + 4;
 
 /// Process-wide staging-file counter: combined with the pid it makes
 /// every [`ObjectStore::put_bytes`] staging name unique.
@@ -204,8 +206,9 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// CRC32 (IEEE 802.3 polynomial, reflected) of `data` — the checksum
 /// gzip/zip use, implemented locally over a lazily built table to avoid
-/// a dependency.
-fn crc32(data: &[u8]) -> u32 {
+/// a dependency. Public so the query-service wire protocol checksums
+/// frames identically to the object store.
+pub fn crc32(data: &[u8]) -> u32 {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];

@@ -16,6 +16,11 @@ pub enum Expr {
     DoubleLit(f64),
     StrLit(String),
     BoolLit(bool),
+    /// Placeholder for an extracted literal in a normalized plan
+    /// template (see [`crate::normalize`]); never produced by the
+    /// parser, and must be re-bound via
+    /// [`crate::normalize::instantiate`] before execution.
+    Param(usize),
     /// Unary operators.
     Not(Box<Expr>),
     Neg(Box<Expr>),

@@ -43,8 +43,9 @@ fn exec_err(msg: impl Into<String>) -> PigletError {
     PigletError::Exec(msg.into())
 }
 
-/// Observable output of a script run.
-#[derive(Debug, Clone, PartialEq)]
+/// Observable output of a script run. Serializable so the query service
+/// can put it on the wire.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Output {
     /// `DUMP alias;` — the rendered tuples.
     Dump { alias: String, lines: Vec<String> },
@@ -113,15 +114,28 @@ impl Executor {
     /// demo front end to inject generated datasets).
     pub fn register(&mut self, alias: &str, schema: Vec<String>, rows: Vec<Tuple>) {
         let rdd = self.ctx.parallelize_default(rows);
-        self.env.insert(
-            alias.to_string(),
-            Relation { schema: Arc::new(schema), data: RelData::Plain(rdd) },
-        );
+        self.register_shared(alias, Arc::new(schema), rdd);
+    }
+
+    /// Registers a pre-built dataset without re-parallelizing it. A
+    /// long-running service parallelizes each shared dataset once and
+    /// hands every per-request executor a cheap handle clone.
+    pub fn register_shared(&mut self, alias: &str, schema: Arc<Vec<String>>, rdd: Rdd<Tuple>) {
+        self.env.insert(alias.to_string(), Relation { schema, data: RelData::Plain(rdd) });
     }
 
     /// Parses and runs a script, returning the observable outputs.
     pub fn run_script(&mut self, script: &str) -> Result<Vec<Output>, PigletError> {
-        let statements = parse_script(script)?;
+        self.run_statements(parse_script(script)?)
+    }
+
+    /// Runs pre-parsed statements — the execute stage of a staged
+    /// parse → normalize → plan → execute pipeline, where the caller
+    /// already holds a (possibly cached and re-instantiated) plan.
+    pub fn run_statements(
+        &mut self,
+        statements: Vec<Statement>,
+    ) -> Result<Vec<Output>, PigletError> {
         let mut outputs = Vec::new();
         for stmt in statements {
             if let Some(out) = self.execute(stmt)? {
@@ -624,6 +638,9 @@ fn validate_expr(expr: &Expr, schema: &[String]) -> Result<(), PigletError> {
             Ok(())
         }
         Expr::IntLit(_) | Expr::DoubleLit(_) | Expr::StrLit(_) | Expr::BoolLit(_) => Ok(()),
+        Expr::Param(i) => Err(exec_err(format!(
+            "unbound plan parameter ?{i}: normalized templates must be instantiated before execution"
+        ))),
         Expr::Not(e) | Expr::Neg(e) => validate_expr(e, schema),
         Expr::Bin(_, a, b) => {
             validate_expr(a, schema)?;
@@ -662,6 +679,9 @@ fn eval(expr: &Expr, schema: &[String], tuple: &Tuple) -> Value {
         Expr::DoubleLit(v) => Value::Double(*v),
         Expr::StrLit(s) => Value::Str(s.clone()),
         Expr::BoolLit(b) => Value::Bool(*b),
+        // unbound parameters are rejected by validate_expr; evaluation
+        // treats a stray one like any other type error
+        Expr::Param(_) => Value::Null,
         Expr::Not(e) => match eval(e, schema, tuple) {
             Value::Bool(b) => Value::Bool(!b),
             _ => Value::Null,

@@ -55,16 +55,39 @@ impl fmt::Display for Token {
     }
 }
 
+/// 1-based line/column of a token or error in the source script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Pos {
+    /// Position of the start of input.
+    pub fn start() -> Pos {
+        Pos { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
 /// A lexer error with position information.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     pub message: String,
+    /// Byte offset into the input.
     pub position: usize,
+    /// 1-based line/column of `position`.
+    pub pos: Pos,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at byte {}: {}", self.position, self.message)
+        write!(f, "lex error at {}: {}", self.pos, self.message)
     }
 }
 
@@ -72,11 +95,51 @@ impl std::error::Error for LexError {}
 
 /// Tokenizes `input`. Comments run from `--` to end of line.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(tokenize_spanned(input)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenizes `input`, pairing every token with its 1-based line/column.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<(Token, Pos)>, LexError> {
+    let spanned = tokenize_offsets(input).map_err(|(message, position)| LexError {
+        message,
+        position,
+        pos: pos_of_offsets(input, &[position])[0],
+    })?;
+    let offsets: Vec<usize> = spanned.iter().map(|&(_, o)| o).collect();
+    let positions = pos_of_offsets(input, &offsets);
+    Ok(spanned.into_iter().zip(positions).map(|((t, _), p)| (t, p)).collect())
+}
+
+/// Converts sorted byte offsets to line/column in one pass over `input`.
+fn pos_of_offsets(input: &str, offsets: &[usize]) -> Vec<Pos> {
+    let mut out = Vec::with_capacity(offsets.len());
+    let mut pos = Pos::start();
+    let mut next = 0usize; // byte cursor matching `pos`
+    for &target in offsets {
+        for b in input.as_bytes()[next..target.min(input.len())].iter() {
+            if *b == b'\n' {
+                pos.line += 1;
+                pos.column = 1;
+            } else {
+                pos.column += 1;
+            }
+        }
+        next = target.min(input.len());
+        out.push(pos);
+    }
+    out
+}
+
+/// The scanning loop: tokens paired with their start byte offset.
+/// Errors are `(message, offset)` pairs resolved to [`Pos`] by the caller.
+#[allow(clippy::type_complexity)]
+fn tokenize_offsets(input: &str) -> Result<Vec<(Token, usize)>, (String, usize)> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         let b = bytes[i];
+        let start = i;
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => i += 1,
             b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
@@ -85,91 +148,90 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             b'(' => {
-                tokens.push(Token::LParen);
+                tokens.push((Token::LParen, start));
                 i += 1;
             }
             b')' => {
-                tokens.push(Token::RParen);
+                tokens.push((Token::RParen, start));
                 i += 1;
             }
             b',' => {
-                tokens.push(Token::Comma);
+                tokens.push((Token::Comma, start));
                 i += 1;
             }
             b';' => {
-                tokens.push(Token::Semicolon);
+                tokens.push((Token::Semicolon, start));
                 i += 1;
             }
             b':' => {
-                tokens.push(Token::Colon);
+                tokens.push((Token::Colon, start));
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token::Plus);
+                tokens.push((Token::Plus, start));
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token::Minus);
+                tokens.push((Token::Minus, start));
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token::Star);
+                tokens.push((Token::Star, start));
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token::Slash);
+                tokens.push((Token::Slash, start));
                 i += 1;
             }
             b'=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Eq);
+                    tokens.push((Token::Eq, start));
                     i += 2;
                 } else {
-                    tokens.push(Token::Assign);
+                    tokens.push((Token::Assign, start));
                     i += 1;
                 }
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Neq);
+                    tokens.push((Token::Neq, start));
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected '!='".into(), position: i });
+                    return Err(("expected '!='".into(), i));
                 }
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Lte);
+                    tokens.push((Token::Lte, start));
                     i += 2;
                 } else {
-                    tokens.push(Token::Lt);
+                    tokens.push((Token::Lt, start));
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Gte);
+                    tokens.push((Token::Gte, start));
                     i += 2;
                 } else {
-                    tokens.push(Token::Gt);
+                    tokens.push((Token::Gt, start));
                     i += 1;
                 }
             }
             b'\'' | b'"' => {
                 let quote = b;
-                let start = i + 1;
-                let mut j = start;
+                let lit_start = i + 1;
+                let mut j = lit_start;
                 while j < bytes.len() && bytes[j] != quote {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LexError { message: "unterminated string".into(), position: i });
+                    return Err(("unterminated string".into(), i));
                 }
-                tokens.push(Token::StrLit(input[start..j].to_string()));
+                tokens.push((Token::StrLit(input[lit_start..j].to_string()), start));
                 i = j + 1;
             }
             b'0'..=b'9' | b'.' => {
-                let start = i;
                 let mut has_dot = false;
                 let mut has_exp = false;
                 while i < bytes.len() {
@@ -191,31 +253,25 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text = &input[start..i];
                 if has_dot || has_exp {
-                    let v = text.parse::<f64>().map_err(|e| LexError {
-                        message: format!("bad number {text:?}: {e}"),
-                        position: start,
-                    })?;
-                    tokens.push(Token::DoubleLit(v));
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| (format!("bad number {text:?}: {e}"), start))?;
+                    tokens.push((Token::DoubleLit(v), start));
                 } else {
-                    let v = text.parse::<i64>().map_err(|e| LexError {
-                        message: format!("bad number {text:?}: {e}"),
-                        position: start,
-                    })?;
-                    tokens.push(Token::IntLit(v));
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| (format!("bad number {text:?}: {e}"), start))?;
+                    tokens.push((Token::IntLit(v), start));
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
-                let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                tokens.push(Token::Ident(input[start..i].to_string()));
+                tokens.push((Token::Ident(input[start..i].to_string()), start));
             }
             other => {
-                return Err(LexError {
-                    message: format!("unexpected character {:?}", other as char),
-                    position: i,
-                });
+                return Err((format!("unexpected character {:?}", other as char), i));
             }
         }
     }
@@ -276,5 +332,23 @@ mod tests {
         assert!(tokenize("€").is_err());
         let err = tokenize("  'x").unwrap_err();
         assert_eq!(err.position, 2);
+        assert_eq!(err.pos, Pos { line: 1, column: 3 });
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = tokenize_spanned("a = 1;\n  b = 2;").unwrap();
+        assert_eq!(toks[0].1, Pos { line: 1, column: 1 });
+        assert_eq!(toks[1].1, Pos { line: 1, column: 3 });
+        assert_eq!(toks[4].1, Pos { line: 2, column: 3 }, "indented token on line 2");
+        let (tok, pos) = &toks[5];
+        assert_eq!(tok, &Token::Assign);
+        assert_eq!(*pos, Pos { line: 2, column: 5 });
+    }
+
+    #[test]
+    fn multiline_error_position() {
+        let err = tokenize("a = 1;\nb = !;").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 2, column: 5 });
     }
 }

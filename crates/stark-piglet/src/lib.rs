@@ -34,9 +34,11 @@
 pub mod ast;
 pub mod exec;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 pub mod value;
 
 pub use exec::{Executor, Output, PigletError};
+pub use normalize::{instantiate, normalize_script, NormalizedScript, ParamValue};
 pub use parser::{parse_script, ParseError};
 pub use value::{format_tuple, Tuple, Value};

@@ -1,0 +1,411 @@
+//! Script normalization for plan caching.
+//!
+//! A query service re-planning every request wastes work when thousands
+//! of clients send the same script shapes with different constants (the
+//! SPARQL-on-Spark observation: reuse plans across statements instead of
+//! re-planning per request). This module turns a parsed script into a
+//! canonical *template* plus the extracted constants:
+//!
+//! * **aliases defined by the script** are renamed to positional
+//!   `_r0, _r1, ...` in definition order — `f = FILTER ev BY ...` and
+//!   `g = FILTER ev BY ...` normalize identically. References to names
+//!   the script does *not* define (registered datasets like `ev`) are
+//!   semantic and stay verbatim;
+//! * **expression literals** (ints, doubles, strings inside `FILTER`,
+//!   `FOREACH`, `SPATIAL_FILTER`/`KNN` query expressions) are
+//!   parameterized out into [`Expr::Param`] placeholders and returned as
+//!   [`ParamValue`]s;
+//! * **structural constants** stay in the key: `GRID(4)` vs `GRID(8)`,
+//!   `K 5` vs `K 10`, `LIMIT 3`, DBSCAN/COLOCATE parameters, `LOAD`
+//!   paths and schemas all produce *different* plans, so they must
+//!   produce different cache entries.
+//!
+//! Whitespace, comments and keyword case never reach the AST, so they
+//! normalize away for free. The cache key is the canonical debug
+//! rendering of the template — structurally different scripts cannot
+//! collide because the rendering is injective on the AST.
+
+use crate::ast::{Expr, Projection, Statement};
+use crate::parser::{parse_script, ParseError};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A literal extracted from a script during normalization, re-bound at
+/// execution time like a prepared-statement parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl ParamValue {
+    fn to_expr(&self) -> Expr {
+        match self {
+            ParamValue::Int(v) => Expr::IntLit(*v),
+            ParamValue::Double(v) => Expr::DoubleLit(*v),
+            ParamValue::Str(s) => Expr::StrLit(s.clone()),
+            ParamValue::Bool(b) => Expr::BoolLit(*b),
+        }
+    }
+
+    /// The runtime value this parameter binds to.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ParamValue::Int(v) => Value::Int(*v),
+            ParamValue::Double(v) => Value::Double(*v),
+            ParamValue::Str(s) => Value::Str(s.clone()),
+            ParamValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+/// A normalized script: cache key, parameterized template, and the
+/// constants extracted from this particular request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedScript {
+    /// Canonical rendering of the template — the plan-cache key.
+    pub key: String,
+    /// Statements with canonical aliases and [`Expr::Param`]
+    /// placeholders where this request's literals were.
+    pub template: Vec<Statement>,
+    /// The extracted literals, in placeholder order.
+    pub params: Vec<ParamValue>,
+}
+
+/// Parses and normalizes a script (the parse + normalize stages of the
+/// service pipeline).
+pub fn normalize_script(script: &str) -> Result<NormalizedScript, ParseError> {
+    let statements = parse_script(script)?;
+    Ok(normalize_statements(statements))
+}
+
+/// Normalizes pre-parsed statements.
+pub fn normalize_statements(statements: Vec<Statement>) -> NormalizedScript {
+    let mut n = Normalizer::default();
+    let template: Vec<Statement> = statements.into_iter().map(|s| n.statement(s)).collect();
+    let key = format!("{template:?}");
+    NormalizedScript { key, template, params: n.params }
+}
+
+/// Re-binds extracted literals into a template, yielding executable
+/// statements. Fails when the parameter list does not match the
+/// template's placeholders (a cache-corruption guard, not a user error).
+pub fn instantiate(
+    template: &[Statement],
+    params: &[ParamValue],
+) -> Result<Vec<Statement>, String> {
+    let mut out = Vec::with_capacity(template.len());
+    for stmt in template {
+        out.push(map_statement_exprs(stmt.clone(), &mut |e| bind_expr(e, params))?);
+    }
+    Ok(out)
+}
+
+fn bind_expr(expr: Expr, params: &[ParamValue]) -> Result<Expr, String> {
+    map_expr(expr, &mut |e| match e {
+        Expr::Param(i) => match params.get(i) {
+            Some(p) => Ok(p.to_expr()),
+            None => Err(format!(
+                "template references parameter ?{i} but only {} were extracted",
+                params.len()
+            )),
+        },
+        other => Ok(other),
+    })
+}
+
+#[derive(Default)]
+struct Normalizer {
+    /// Current canonical name of every alias the script has defined.
+    aliases: HashMap<String, String>,
+    /// Count of aliases defined so far (`_rN` source).
+    defined: usize,
+    params: Vec<ParamValue>,
+}
+
+impl Normalizer {
+    /// Canonical form of a relation *reference*: script-defined aliases
+    /// map to their positional name; external dataset names stay.
+    fn reference(&self, name: String) -> String {
+        self.aliases.get(&name).cloned().unwrap_or(name)
+    }
+
+    /// Canonical name for a fresh alias *definition* (redefinitions get
+    /// a fresh positional name, shadowing the earlier mapping).
+    fn define(&mut self, name: String) -> String {
+        let canonical = format!("_r{}", self.defined);
+        self.defined += 1;
+        self.aliases.insert(name, canonical.clone());
+        canonical
+    }
+
+    /// Extracts literals from an expression into the parameter list.
+    /// Unary minus on a numeric literal folds into the extracted value
+    /// first, so `id < -5` and `id < 5` share a template (differing
+    /// only in the bound parameter).
+    fn expr(&mut self, expr: Expr) -> Expr {
+        // infallible: the mappers below never error
+        let folded = map_expr(expr, &mut |e| {
+            Ok(match e {
+                Expr::Neg(inner) => match *inner {
+                    Expr::IntLit(v) => Expr::IntLit(-v),
+                    Expr::DoubleLit(v) => Expr::DoubleLit(-v),
+                    other => Expr::Neg(Box::new(other)),
+                },
+                other => other,
+            })
+        })
+        .expect("negation folding is infallible");
+        map_expr(folded, &mut |e| {
+            Ok(match e {
+                Expr::IntLit(v) => self.param(ParamValue::Int(v)),
+                Expr::DoubleLit(v) => self.param(ParamValue::Double(v)),
+                Expr::StrLit(s) => self.param(ParamValue::Str(s)),
+                Expr::BoolLit(b) => self.param(ParamValue::Bool(b)),
+                other => other,
+            })
+        })
+        .expect("literal extraction is infallible")
+    }
+
+    fn param(&mut self, value: ParamValue) -> Expr {
+        self.params.push(value);
+        Expr::Param(self.params.len() - 1)
+    }
+
+    /// Normalizes one statement: inputs are rewritten with the *current*
+    /// alias map, then the defined alias (if any) gets its canonical
+    /// name — so `x = FILTER x BY ...` reads the old `x` and defines a
+    /// new one, exactly like execution does.
+    fn statement(&mut self, stmt: Statement) -> Statement {
+        match stmt {
+            Statement::Load { alias, path, schema } => {
+                let alias = self.define(alias);
+                Statement::Load { alias, path, schema }
+            }
+            Statement::Filter { alias, input, expr } => {
+                let input = self.reference(input);
+                let expr = self.expr(expr);
+                let alias = self.define(alias);
+                Statement::Filter { alias, input, expr }
+            }
+            Statement::Foreach { alias, input, projections } => {
+                let input = self.reference(input);
+                let projections = projections
+                    .into_iter()
+                    .map(|p| Projection { expr: self.expr(p.expr), alias: p.alias })
+                    .collect();
+                let alias = self.define(alias);
+                Statement::Foreach { alias, input, projections }
+            }
+            Statement::SpatialFilter { alias, input, pred, field, query } => {
+                let input = self.reference(input);
+                let query = self.expr(query);
+                let alias = self.define(alias);
+                Statement::SpatialFilter { alias, input, pred, field, query }
+            }
+            Statement::Partition { alias, input, spec, field } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::Partition { alias, input, spec, field }
+            }
+            Statement::Index { alias, input, order } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::Index { alias, input, order }
+            }
+            Statement::SpatialJoin { alias, left, left_field, right, right_field, pred } => {
+                let left = self.reference(left);
+                let right = self.reference(right);
+                let alias = self.define(alias);
+                Statement::SpatialJoin { alias, left, left_field, right, right_field, pred }
+            }
+            Statement::Knn { alias, input, field, query, k } => {
+                let input = self.reference(input);
+                let query = self.expr(query);
+                let alias = self.define(alias);
+                Statement::Knn { alias, input, field, query, k }
+            }
+            Statement::Cluster { alias, input, eps, min_pts, field } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::Cluster { alias, input, eps, min_pts, field }
+            }
+            Statement::GroupCount { alias, input, field } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::GroupCount { alias, input, field }
+            }
+            Statement::Colocate {
+                alias,
+                input,
+                category_field,
+                geo_field,
+                distance,
+                min_participation,
+            } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::Colocate {
+                    alias,
+                    input,
+                    category_field,
+                    geo_field,
+                    distance,
+                    min_participation,
+                }
+            }
+            Statement::Limit { alias, input, n } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::Limit { alias, input, n }
+            }
+            Statement::OrderBy { alias, input, field, desc } => {
+                let input = self.reference(input);
+                let alias = self.define(alias);
+                Statement::OrderBy { alias, input, field, desc }
+            }
+            Statement::Dump { input } => Statement::Dump { input: self.reference(input) },
+            Statement::Describe { input } => Statement::Describe { input: self.reference(input) },
+            Statement::Explain { input } => Statement::Explain { input: self.reference(input) },
+            Statement::Store { input, path } => {
+                Statement::Store { input: self.reference(input), path }
+            }
+        }
+    }
+}
+
+/// Applies `f` bottom-up over every node of an expression tree.
+fn map_expr(expr: Expr, f: &mut impl FnMut(Expr) -> Result<Expr, String>) -> Result<Expr, String> {
+    let expr = match expr {
+        Expr::Not(e) => Expr::Not(Box::new(map_expr(*e, f)?)),
+        Expr::Neg(e) => Expr::Neg(Box::new(map_expr(*e, f)?)),
+        Expr::Bin(op, a, b) => {
+            Expr::Bin(op, Box::new(map_expr(*a, f)?), Box::new(map_expr(*b, f)?))
+        }
+        Expr::Call(name, args) => {
+            let args = args.into_iter().map(|a| map_expr(a, f)).collect::<Result<_, _>>()?;
+            Expr::Call(name, args)
+        }
+        leaf => leaf,
+    };
+    f(expr)
+}
+
+/// Applies `f` to every expression embedded in a statement.
+fn map_statement_exprs(
+    stmt: Statement,
+    f: &mut impl FnMut(Expr) -> Result<Expr, String>,
+) -> Result<Statement, String> {
+    Ok(match stmt {
+        Statement::Filter { alias, input, expr } => {
+            Statement::Filter { alias, input, expr: f(expr)? }
+        }
+        Statement::Foreach { alias, input, projections } => {
+            let projections = projections
+                .into_iter()
+                .map(|p| Ok(Projection { expr: f(p.expr)?, alias: p.alias }))
+                .collect::<Result<_, String>>()?;
+            Statement::Foreach { alias, input, projections }
+        }
+        Statement::SpatialFilter { alias, input, pred, field, query } => {
+            Statement::SpatialFilter { alias, input, pred, field, query: f(query)? }
+        }
+        Statement::Knn { alias, input, field, query, k } => {
+            Statement::Knn { alias, input, field, query: f(query)?, k }
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(script: &str) -> String {
+        normalize_script(script).unwrap().key
+    }
+
+    #[test]
+    fn negative_literals_share_the_positive_template() {
+        let a = normalize_script("f = FILTER ev BY id < -5;").unwrap();
+        let b = normalize_script("f = FILTER ev BY id < 5;").unwrap();
+        assert_eq!(a.key, b.key, "unary minus folds into the extracted value");
+        assert_eq!(a.params, vec![ParamValue::Int(-5)]);
+        assert_eq!(b.params, vec![ParamValue::Int(5)]);
+    }
+
+    #[test]
+    fn literals_parameterize_out() {
+        let a = normalize_script("f = FILTER ev BY id < 10 AND cat == 'x';\nDUMP f;").unwrap();
+        let b = normalize_script("f = FILTER ev BY id < 99 AND cat == 'y';\nDUMP f;").unwrap();
+        assert_eq!(a.key, b.key, "literal values must not affect the key");
+        assert_eq!(a.params, vec![ParamValue::Int(10), ParamValue::Str("x".into())]);
+        assert_eq!(b.params, vec![ParamValue::Int(99), ParamValue::Str("y".into())]);
+    }
+
+    #[test]
+    fn aliases_and_whitespace_normalize_away() {
+        assert_eq!(
+            key("f = FILTER ev BY id < 10;\nDUMP f;"),
+            key("  result   =   filter ev BY id < 10 ; -- comment\n DUMP result ;"),
+        );
+    }
+
+    #[test]
+    fn external_dataset_names_are_semantic() {
+        assert_ne!(
+            key("f = FILTER ev BY id < 10;"),
+            key("f = FILTER other BY id < 10;"),
+            "different registered datasets must not share a plan"
+        );
+    }
+
+    #[test]
+    fn structural_constants_stay_in_the_key() {
+        assert_ne!(
+            key("p = PARTITION ev BY GRID(4) ON obj;"),
+            key("p = PARTITION ev BY GRID(8) ON obj;")
+        );
+        assert_ne!(key("l = LIMIT ev 3;"), key("l = LIMIT ev 5;"));
+        assert_ne!(
+            key("k = KNN ev BY obj QUERY ST('POINT(0 0)') K 5;"),
+            key("k = KNN ev BY obj QUERY ST('POINT(0 0)') K 9;"),
+            "K is structural; the query point is parameterized"
+        );
+    }
+
+    #[test]
+    fn knn_query_point_is_parameterized() {
+        assert_eq!(
+            key("k = KNN ev BY obj QUERY ST('POINT(0 0)') K 5;"),
+            key("k = KNN ev BY obj QUERY ST('POINT(7 3)') K 5;"),
+        );
+    }
+
+    #[test]
+    fn redefinition_shadows_like_execution() {
+        let a = key("x = FILTER ev BY id < 1;\nx = FILTER x BY id < 2;\nDUMP x;");
+        let b = key("y = FILTER ev BY id < 9;\nz = FILTER y BY id < 8;\nDUMP z;");
+        assert_eq!(a, b, "self-redefinition reads the old alias, defines a new one");
+    }
+
+    #[test]
+    fn instantiate_round_trips() {
+        let script = "f = FILTER ev BY id < 42 AND cat == 'concert';\nDUMP f;";
+        let n = normalize_script(script).unwrap();
+        let bound = instantiate(&n.template, &n.params).unwrap();
+        // the bound statements equal the parse of the canonical script
+        let direct =
+            parse_script("_r0 = FILTER ev BY id < 42 AND cat == 'concert';\nDUMP _r0;").unwrap();
+        assert_eq!(bound, direct);
+    }
+
+    #[test]
+    fn instantiate_rejects_mismatched_params() {
+        let n = normalize_script("f = FILTER ev BY id < 42;").unwrap();
+        assert!(instantiate(&n.template, &[]).is_err());
+    }
+}

@@ -1,25 +1,38 @@
 //! Recursive-descent parser for the Piglet dialect.
 
 use crate::ast::{BinOp, Expr, PartitionerSpec, Projection, SpatialPredicate, Statement};
-use crate::lexer::{tokenize, LexError, Token};
+use crate::lexer::{tokenize_spanned, LexError, Pos, Token};
 use stark_geo::DistanceFn;
 use std::fmt;
 
-/// A parse error.
+/// A parse error carrying the 1-based source position and the rendered
+/// offending token, so front ends (REPL, query service) can report
+/// exactly where a script went wrong.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub message: String,
+    /// 1-based source line of the offending token.
+    pub line: u32,
+    /// 1-based source column of the offending token.
+    pub column: u32,
+    /// Rendered offending token; `"end of input"` when the script ended
+    /// too early.
+    pub token: String,
 }
 
 impl ParseError {
-    fn new(msg: impl Into<String>) -> Self {
-        ParseError { message: msg.into() }
+    fn at(pos: Pos, token: impl Into<String>, msg: impl Into<String>) -> Self {
+        ParseError { message: msg.into(), line: pos.line, column: pos.column, token: token.into() }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error: {}", self.message)
+        write!(
+            f,
+            "parse error at line {}, column {} (near {}): {}",
+            self.line, self.column, self.token, self.message
+        )
     }
 }
 
@@ -27,13 +40,13 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError::new(e.to_string())
+        ParseError::at(e.pos, "", e.message)
     }
 }
 
 /// Parses a whole script into statements.
 pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
-    let tokens = tokenize(input)?;
+    let tokens = tokenize_spanned(input)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut statements = Vec::new();
     while !p.at_end() {
@@ -43,7 +56,7 @@ pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, Pos)>,
     pos: usize,
 }
 
@@ -53,15 +66,39 @@ impl Parser {
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Position and rendering of the token at `idx` (clamped to the end
+    /// of input, where the position is just past the last token).
+    fn describe(&self, idx: usize) -> (Pos, String) {
+        match self.tokens.get(idx) {
+            Some((t, p)) => (*p, format!("'{t}'")),
+            None => {
+                let pos = self.tokens.last().map(|&(_, p)| p).unwrap_or_else(Pos::start);
+                (pos, "end of input".to_string())
+            }
+        }
+    }
+
+    /// Error blaming the token at the current (unconsumed) position.
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let (pos, token) = self.describe(self.pos);
+        ParseError::at(pos, token, msg)
+    }
+
+    /// Error blaming the token just consumed.
+    fn err_prev(&self, msg: impl Into<String>) -> ParseError {
+        let (pos, token) = self.describe(self.pos.saturating_sub(1));
+        ParseError::at(pos, token, msg)
     }
 
     fn next(&mut self) -> Result<Token, ParseError> {
         let t = self
             .tokens
             .get(self.pos)
-            .cloned()
-            .ok_or_else(|| ParseError::new("unexpected end of input"))?;
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err_here("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -71,28 +108,28 @@ impl Parser {
         if &got == t {
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected {t}, got {got}")))
+            Err(self.err_prev(format!("expected {t}, got {got}")))
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(ParseError::new(format!("expected identifier, got {other}"))),
+            other => Err(self.err_prev(format!("expected identifier, got {other}"))),
         }
     }
 
     fn string_lit(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Token::StrLit(s) => Ok(s),
-            other => Err(ParseError::new(format!("expected string literal, got {other}"))),
+            other => Err(self.err_prev(format!("expected string literal, got {other}"))),
         }
     }
 
     fn usize_lit(&mut self) -> Result<usize, ParseError> {
         match self.next()? {
             Token::IntLit(v) if v >= 0 => Ok(v as usize),
-            other => Err(ParseError::new(format!("expected non-negative integer, got {other}"))),
+            other => Err(self.err_prev(format!("expected non-negative integer, got {other}"))),
         }
     }
 
@@ -100,7 +137,7 @@ impl Parser {
         match self.next()? {
             Token::DoubleLit(v) => Ok(v),
             Token::IntLit(v) => Ok(v as f64),
-            other => Err(ParseError::new(format!("expected number, got {other}"))),
+            other => Err(self.err_prev(format!("expected number, got {other}"))),
         }
     }
 
@@ -119,7 +156,7 @@ impl Parser {
         if self.try_keyword(kw) {
             Ok(())
         } else {
-            Err(ParseError::new(format!(
+            Err(self.err_here(format!(
                 "expected keyword {kw}, got {}",
                 self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
             )))
@@ -267,7 +304,7 @@ impl Parser {
                 }
                 Statement::OrderBy { alias, input, field, desc }
             }
-            other => return Err(ParseError::new(format!("unknown operator {other}"))),
+            other => return Err(self.err_prev(format!("unknown operator {other}"))),
         };
         self.expect(&Token::Semicolon)?;
         Ok(stmt)
@@ -286,7 +323,7 @@ impl Parser {
                 match self.next()? {
                     Token::Comma => continue,
                     Token::RParen => break,
-                    other => return Err(ParseError::new(format!("expected , or ), got {other}"))),
+                    other => return Err(self.err_prev(format!("expected , or ), got {other}"))),
                 }
             }
         }
@@ -362,7 +399,7 @@ impl Parser {
             "euclidean" => Ok(DistanceFn::Euclidean),
             "haversine" => Ok(DistanceFn::Haversine),
             "manhattan" => Ok(DistanceFn::Manhattan),
-            other => Err(ParseError::new(format!("unknown distance function {other:?}"))),
+            other => Err(self.err_prev(format!("unknown distance function {other:?}"))),
         }
     }
 
@@ -506,7 +543,7 @@ impl Parser {
                     Ok(Expr::Field(name))
                 }
             }
-            other => Err(ParseError::new(format!("unexpected token {other}"))),
+            other => Err(self.err_prev(format!("unexpected token {other}"))),
         }
     }
 }

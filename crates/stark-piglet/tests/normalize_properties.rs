@@ -1,0 +1,124 @@
+//! Property tests for the plan-cache key: requests that differ only in
+//! literals, whitespace, comments or alias names must share one cache
+//! entry, and semantically different scripts must never collide.
+
+use proptest::prelude::*;
+use stark_piglet::{instantiate, normalize_script, parse_script};
+
+fn key(script: &str) -> String {
+    normalize_script(script).unwrap().key
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Literal values never reach the key: any two thresholds and any
+    /// two string constants produce the same cache entry.
+    #[test]
+    fn literal_values_share_a_key(a in -1000i64..1000, b in -1000i64..1000,
+                                  sa in "[a-z]{1,8}", sb in "[a-z]{1,8}") {
+        let ka = key(&format!("f = FILTER ev BY id < {a} AND cat == '{sa}';\nDUMP f;"));
+        let kb = key(&format!("f = FILTER ev BY id < {b} AND cat == '{sb}';\nDUMP f;"));
+        prop_assert_eq!(ka, kb);
+    }
+
+    /// Alias renaming (consistent, avoiding keywords) and whitespace
+    /// padding never change the key.
+    #[test]
+    fn alias_names_and_whitespace_share_a_key(
+        suffix in "[a-z0-9_]{0,10}",
+        pad in "[ \t]{0,6}",
+        threshold in -100i64..100,
+    ) {
+        // prefix keeps the alias from ever being a keyword
+        let alias = format!("x{suffix}");
+        let canonical = key("q = FILTER ev BY id < 5;\nz = LIMIT q 3;\nDUMP z;");
+        let variant = key(&format!(
+            "{pad}{alias} = FILTER ev{pad} BY id < {threshold};{pad}\n\
+             {pad}out2 = LIMIT {alias} 3; -- trailing comment\nDUMP out2;{pad}"
+        ));
+        prop_assert_eq!(variant, canonical);
+    }
+
+    /// Structural constants ARE the plan: different LIMIT counts must
+    /// not collide (they change the operator, not a binding).
+    #[test]
+    fn limit_counts_never_collide(a in 0usize..50, b in 51usize..100) {
+        prop_assert_ne!(
+            key(&format!("l = LIMIT ev {a};")),
+            key(&format!("l = LIMIT ev {b};"))
+        );
+    }
+
+    /// Different field names are semantic: `FILTER BY id` and
+    /// `FILTER BY other` never share a plan.
+    #[test]
+    fn field_names_never_collide(s1 in "[a-z]{1,6}", s2 in "[a-z]{1,6}") {
+        // distinct prefixes keep the names distinct and non-keyword
+        let (f1, f2) = (format!("fa{s1}"), format!("fz{s2}"));
+        prop_assert_ne!(
+            key(&format!("f = FILTER ev BY {f1} < 5;")),
+            key(&format!("f = FILTER ev BY {f2} < 5;"))
+        );
+    }
+
+    /// Normalize → instantiate round-trips to the same statements as
+    /// parsing the canonically renamed script directly. (Non-negative
+    /// literals only: normalization folds `Neg(IntLit)` into the bound
+    /// value, so a negative literal instantiates to `IntLit(-n)` where
+    /// a direct parse yields the equivalent `Neg(IntLit(n))`.)
+    #[test]
+    fn instantiate_round_trips(threshold in 0i64..100, s in "[a-z]{1,8}") {
+        let script = format!("f = FILTER ev BY id < {threshold} AND cat == '{s}';\nDUMP f;");
+        let n = normalize_script(&script).unwrap();
+        let bound = instantiate(&n.template, &n.params).unwrap();
+        let direct = parse_script(
+            &format!("_r0 = FILTER ev BY id < {threshold} AND cat == '{s}';\nDUMP _r0;")
+        ).unwrap();
+        prop_assert_eq!(bound, direct);
+    }
+
+    /// Normalization never panics on arbitrary parseable-or-not input.
+    #[test]
+    fn normalize_never_panics(input in "[a-zA-Z0-9_ =;,'()<>!+*/.-]{0,200}") {
+        let _ = normalize_script(&input);
+    }
+}
+
+/// Statement kinds pairwise never collide: one exemplar per operator,
+/// all over the same input — every key must be distinct.
+#[test]
+fn operator_kinds_never_collide() {
+    let scripts = [
+        "x = FILTER ev BY id < 5;",
+        "x = FOREACH ev GENERATE id;",
+        "x = LIMIT ev 5;",
+        "x = ORDER ev BY id;",
+        "x = ORDER ev BY id DESC;",
+        "x = GROUP ev BY id;",
+        "x = PARTITION ev BY GRID(4) ON obj;",
+        "x = INDEX ev ORDER 5;",
+        "x = KNN ev BY obj QUERY ST('POINT(0 0)') K 5;",
+        "x = CLUSTER ev BY DBSCAN(1.5, 3) ON obj;",
+        "DUMP ev;",
+        "DESCRIBE ev;",
+    ];
+    let keys: Vec<String> = scripts.iter().map(|s| key(s)).collect();
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            assert_ne!(keys[i], keys[j], "{:?} vs {:?}", scripts[i], scripts[j]);
+        }
+    }
+}
+
+/// Spatial predicates are structural: INTERSECTS vs CONTAINS plans
+/// differ even with identical geometry literals.
+#[test]
+fn spatial_predicates_never_collide() {
+    let a = key("s = SPATIAL_FILTER ev BY INTERSECTS(obj, ST('POINT(1 2)'));");
+    let b = key("s = SPATIAL_FILTER ev BY CONTAINS(obj, ST('POINT(1 2)'));");
+    assert_ne!(a, b);
+    // ...but the geometry literal itself is a binding
+    let c = key("s = SPATIAL_FILTER ev BY INTERSECTS(obj, ST('POINT(9 9)'));");
+    assert_eq!(a, c);
+}

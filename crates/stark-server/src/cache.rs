@@ -1,0 +1,146 @@
+//! Plan cache keyed on normalized scripts.
+//!
+//! The service's parse → normalize → plan pipeline only pays for the
+//! plan stage on a cache miss: scripts that differ in literals,
+//! whitespace, comments or alias names share one entry (see
+//! [`stark_piglet::normalize`]). Entries are evicted least-recently-used
+//! once the cache exceeds its capacity — plan templates are small, so
+//! capacity is a count, not bytes.
+
+use stark_piglet::ast::Statement;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached plan template, shared by all requests that hit it.
+type Template = Arc<Vec<Statement>>;
+
+struct Entry {
+    template: Template,
+    /// Logical clock of the last hit — the LRU eviction key.
+    last_use: u64,
+}
+
+/// A bounded, thread-safe LRU cache of normalized plan templates.
+pub struct PlanCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, returning the shared template on a hit.
+    pub fn get(&self, key: &str) -> Option<Template> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get_mut(key) {
+            Some(e) => {
+                e.last_use = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.template))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly planned template, evicting the LRU entry when
+    /// over capacity. Returns the shared handle (an existing entry wins
+    /// a race — both requests then share one template).
+    pub fn insert(&self, key: String, template: Vec<Statement>) -> Template {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.get_mut(&key) {
+            e.last_use = now;
+            return Arc::clone(&e.template);
+        }
+        if entries.len() >= self.capacity {
+            if let Some(victim) =
+                entries.iter().min_by_key(|(_, e)| e.last_use).map(|(k, _)| k.clone())
+            {
+                entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let template: Template = Arc::new(template);
+        entries.insert(key, Entry { template: Arc::clone(&template), last_use: now });
+        template
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(input: &str) -> Vec<Statement> {
+        vec![Statement::Dump { input: input.into() }]
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = PlanCache::new(4);
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), stmt("a"));
+        let got = cache.get("k").expect("hit");
+        assert_eq!(*got, stmt("a"));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), stmt("a"));
+        cache.insert("b".into(), stmt("b"));
+        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), stmt("c"));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("b").is_none(), "b was LRU and must be gone");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn racing_insert_shares_one_template() {
+        let cache = PlanCache::new(4);
+        let first = cache.insert("k".into(), stmt("a"));
+        let second = cache.insert("k".into(), stmt("ignored"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+}

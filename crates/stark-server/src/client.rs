@@ -1,0 +1,54 @@
+//! A blocking client for the query service, used by the load generator
+//! and integration tests (and small enough to crib for real callers).
+
+use crate::protocol::{recv, send, Request, Response, ServiceStats};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One session: a TCP connection multiplexing sequential requests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream) })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        send(&mut self.writer, req)?;
+        self.writer.flush()?;
+        recv(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Runs `script` as `tenant`; `deadline_ms: None` uses the server
+    /// default.
+    pub fn query(
+        &mut self,
+        tenant: &str,
+        script: &str,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Response> {
+        self.round_trip(&Request::Query {
+            tenant: tenant.into(),
+            script: script.into(),
+            deadline_ms,
+        })
+    }
+
+    /// Fetches service-level counters.
+    pub fn stats(&mut self) -> io::Result<ServiceStats> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("unexpected {other:?}")))
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # stark-server — a multi-tenant query service for STARK
+//!
+//! The paper's demo pairs STARK with a web front end that submits
+//! Piglet scripts for execution; this crate grows that idea into a
+//! long-running service: one engine [`Context`](stark_engine::Context)
+//! shared by thousands of TCP sessions, with the isolation machinery a
+//! shared deployment needs:
+//!
+//! * a **plan cache** ([`cache::PlanCache`]) keyed on normalized
+//!   scripts, so re-submitted query shapes skip re-planning;
+//! * **weighted fair scheduling** ([`scheduler::FairScheduler`]) across
+//!   tenants with bounded queues and typed admission shedding;
+//! * **hierarchical memory budgets** — each tenant gets a
+//!   [`ChildBudget`](stark_engine::ChildBudget) carved out of the
+//!   engine budget, so one tenant's oversized results fail alone;
+//! * **per-request deadlines** riding the engine's cooperative
+//!   cancellation, covering queue wait as well as execution.
+//!
+//! The wire protocol ([`protocol`]) is length-prefixed JSON in the
+//! engine's STK1 integrity envelope. See `README.md` for a quickstart
+//! and `DESIGN.md` for the architecture notes.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::PlanCache;
+pub use client::Client;
+pub use protocol::{Request, Response, ServiceStats};
+pub use scheduler::{FairScheduler, SubmitError};
+pub use server::{QueryServer, ServerConfig, ServerHandle, SharedDataset, TenantConfig};

@@ -1,0 +1,217 @@
+//! Wire protocol for the query service.
+//!
+//! Messages are length-prefixed binary frames reusing the engine's STK1
+//! framing (magic + CRC32, the same integrity envelope the shuffle and
+//! checkpoint files use):
+//!
+//! ```text
+//! u32 LE payload length | b"STK1" | u32 LE crc32(payload) | payload
+//! ```
+//!
+//! The payload is a JSON-encoded [`Request`] or [`Response`]. JSON keeps
+//! the protocol debuggable with a line of netcat while the frame header
+//! catches truncation and corruption before serde sees the bytes.
+
+use stark_engine::storage::{crc32, FRAME_HEADER_LEN, FRAME_MAGIC};
+use stark_engine::MetricsSnapshot;
+use stark_piglet::Output;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload; a corrupt length prefix must
+/// not make the server allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Request {
+    /// Execute a Piglet script on behalf of `tenant`.
+    Query {
+        tenant: String,
+        script: String,
+        /// Per-request deadline; `None` means the server default.
+        deadline_ms: Option<u64>,
+    },
+    /// Fetch service-level counters.
+    Stats,
+}
+
+/// A server response. Every failure mode a client can trigger has a
+/// typed variant so callers can branch without parsing prose.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Response {
+    /// Successful query execution.
+    Ok {
+        outputs: Vec<Output>,
+        /// Whether the plan came from the cache.
+        cache_hit: bool,
+        /// Engine counter deltas attributable to this request.
+        engine: MetricsSnapshot,
+        /// Wall-clock service time in microseconds.
+        micros: u64,
+    },
+    /// The script failed to parse; positions are 1-based.
+    ParseError { line: u32, column: u32, token: String, message: String },
+    /// Admission control shed the request (tenant queue full). Back off
+    /// and retry.
+    Overloaded { message: String },
+    /// The request exceeded its deadline.
+    DeadlineExceeded { message: String },
+    /// The tenant's memory budget could not fit the result.
+    BudgetExceeded { message: String },
+    /// The script parsed but failed during execution.
+    ExecError { message: String },
+    /// Unknown tenant name.
+    UnknownTenant { tenant: String },
+    /// Service-level counters (for `Request::Stats`).
+    Stats(ServiceStats),
+}
+
+/// Service-level counters reported by `Request::Stats`.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    pub queries_ok: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub parse_errors: u64,
+    pub shed_overload: u64,
+    pub deadline_exceeded: u64,
+    pub budget_exceeded: u64,
+    pub exec_errors: u64,
+    /// Per-tenant bytes currently reserved against each child budget,
+    /// as `(tenant, bytes)` pairs.
+    pub tenant_reserved: Vec<(String, u64)>,
+}
+
+/// Writes one frame: length prefix, STK1 header, payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds max {}", payload.len(), MAX_FRAME_LEN),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(FRAME_MAGIC);
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Reads one frame, verifying magic and checksum. Returns `Ok(None)` on
+/// a clean EOF at a frame boundary (client hung up).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds max {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if &header[..4] != FRAME_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame magic"));
+    }
+    let expect_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got_crc = crc32(&payload);
+    if got_crc != expect_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch: expected {expect_crc:08x}, got {got_crc:08x}"),
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Serializes and writes a message as one frame.
+pub fn send<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let payload = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e}")))?;
+    write_frame(w, &payload)
+}
+
+/// Reads and deserializes one message; `Ok(None)` on clean EOF.
+pub fn recv<T: serde::de::DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let msg = serde_json::from_slice(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decode: {e}")))?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_request() {
+        let req = Request::Query {
+            tenant: "acme".into(),
+            script: "DUMP ev;".into(),
+            deadline_ms: Some(250),
+        };
+        let mut buf = Vec::new();
+        send(&mut buf, &req).unwrap();
+        let got: Request = recv(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn round_trips_responses() {
+        for resp in [
+            Response::Overloaded { message: "queue full".into() },
+            Response::ParseError { line: 2, column: 7, token: "'BYE'".into(), message: "x".into() },
+            Response::Stats(ServiceStats { queries_ok: 3, ..Default::default() }),
+        ] {
+            let mut buf = Vec::new();
+            send(&mut buf, &resp).unwrap();
+            let got: Response = recv(&mut Cursor::new(&buf)).unwrap().unwrap();
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let got: Option<Request> = recv(&mut Cursor::new(&[])).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Stats).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let err = recv::<Request>(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(FRAME_MAGIC);
+        buf.extend_from_slice(&[0u8; 4]);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("exceeds max"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Stats).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(recv::<Request>(&mut Cursor::new(&buf)).is_err());
+    }
+}

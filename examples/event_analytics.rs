@@ -57,7 +57,7 @@ fn main() {
     let before = ctx.metrics();
     let in_europe = partitioned.filter(&europe, STPredicate::ContainedBy);
     let count = in_europe.count();
-    let delta = ctx.metrics().since(&before);
+    let delta = ctx.metrics().diff(&before);
     println!(
         "events in Europe during [0, 500000): {count} (pruned {} of {} partitions)",
         delta.partitions_pruned,

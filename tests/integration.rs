@@ -251,7 +251,7 @@ fn pruning_reduces_work_measurably() {
         STObject::from_wkt_interval("POLYGON((1 1, 6 1, 6 6, 1 6, 1 1))", 0, 1_000_000).unwrap();
     let before = ctx.metrics();
     part.filter(&q, STPredicate::ContainedBy).count();
-    let delta = ctx.metrics().since(&before);
+    let delta = ctx.metrics().diff(&before);
     assert!(
         delta.partitions_pruned >= 20,
         "expected most partitions pruned, got {}",
