@@ -12,6 +12,7 @@
 //!                            # seed via STARK_CHAOS_SEED)
 //!   repro service `[n]`      # S11 query-service load + fairness (writes target/s11-service.json;
 //!                            # seed via STARK_CHAOS_SEED, session cap via S11_MAX_SESSIONS)
+//!   repro columnar `[n]`     # S12 columnar-vs-row filter ablation (writes target/s12-columnar.json)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -106,6 +107,20 @@ fn main() {
         std::fs::write(&path, json).expect("write S7 json");
         eprintln!("[s7] wrote {path}");
     }
+    if run("columnar") {
+        ran = true;
+        let t = experiments::columnar(ctx.parallelism(), n.unwrap_or(200_000), 5);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S12 table");
+        let path = std::env::var("S12_JSON").unwrap_or_else(|_| "target/s12-columnar.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S12 json");
+        eprintln!("[s12] wrote {path}");
+    }
     if run("chaos") {
         ran = true;
         let seed: u64 = std::env::var("STARK_CHAOS_SEED")
@@ -187,7 +202,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, chaos, stragglers, memory, service"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, chaos, stragglers, memory, service"
         );
         std::process::exit(2);
     }

@@ -695,6 +695,114 @@ pub fn fusion(parallelism: usize, n: usize, repeats: usize) -> Table {
     t
 }
 
+/// S12 — ablation: columnar partition batches + selection-bitmap filter
+/// kernels on the hot filter shapes of the evaluation — S1 (spatial
+/// range filter, containedBy on an exact-rectangle query), S2 (temporal
+/// window over the whole space) and S5 (Haversine withinDistance on
+/// lon/lat points). Each workload runs `repeats` timed passes over a
+/// cached dataset with the columnar path off (row-at-a-time predicate
+/// evaluation) and on (shared [`ColumnarBatch`](stark::ColumnarBatch)
+/// per partition, bitmap kernels, row fallback only for undecided
+/// lanes); results must be byte-identical. The columnar metrics
+/// (batches built, rows scanned columnar) cover the warm-up pass too,
+/// which is where each partition's batch is built once and cached.
+pub fn columnar(parallelism: usize, n: usize, repeats: usize) -> Table {
+    let mut t = Table::new(
+        format!("S12: columnar filter kernels, {n} points x {repeats} passes"),
+        &[
+            "workload",
+            "columnar",
+            "time [s]",
+            "records/s",
+            "batches built",
+            "rows scanned columnar",
+            "results",
+            "speedup",
+        ],
+    );
+    let s = workloads::space();
+    let s2_query = stark::STObject::from_wkt_interval(
+        &format!(
+            "POLYGON(({} {}, {} {}, {} {}, {} {}, {} {}))",
+            s.min_x() - 1.0,
+            s.min_y() - 1.0,
+            s.max_x() + 1.0,
+            s.min_y() - 1.0,
+            s.max_x() + 1.0,
+            s.max_y() + 1.0,
+            s.min_x() - 1.0,
+            s.max_y() + 1.0,
+            s.min_x() - 1.0,
+            s.min_y() - 1.0
+        ),
+        0,
+        50_000,
+    )
+    .expect("S2 query");
+    let cases: Vec<(&str, bool, stark::STObject, STPredicate)> = vec![
+        ("S1 containedBy", false, workloads::query_polygon(0.05), STPredicate::ContainedBy),
+        ("S2 temporal window", false, s2_query, STPredicate::ContainedBy),
+        (
+            "S5 withinDistance (haversine)",
+            true,
+            stark::STObject::point(10.0, 50.0),
+            STPredicate::WithinDistance { max_dist: 500_000.0, dist_fn: DistanceFn::Haversine },
+        ),
+    ];
+
+    for (name, world, query, pred) in cases {
+        let mut baseline: Option<(std::time::Duration, usize)> = None;
+        for enabled in [false, true] {
+            let ctx = Context::with_config(EngineConfig {
+                parallelism,
+                default_partitions: parallelism,
+                columnar_enabled: enabled,
+                ..EngineConfig::default()
+            });
+            let parts = (parallelism * 2).max(8);
+            let data = if world {
+                workloads::world_points(&ctx, n, parts).cache()
+            } else {
+                workloads::uniform_points(&ctx, n, parts).cache()
+            };
+            data.count(); // materialise the cache outside the timings
+            let srdd = data.spatial();
+            let before = ctx.metrics();
+            srdd.filter(&query, pred).count(); // warm-up: builds + caches the batches
+            let (count, time) = timed(|| {
+                let mut c = 0usize;
+                for _ in 0..repeats {
+                    c += srdd.filter(&query, pred).count();
+                }
+                c
+            });
+            let d = ctx.metrics().diff(&before);
+            let throughput = (n * repeats) as f64 / time.as_secs_f64().max(1e-9);
+            let speedup = match baseline {
+                None => "1.00x (baseline)".to_string(),
+                Some((base, base_count)) => {
+                    assert_eq!(base_count, count, "columnar path changed the result on {name}");
+                    format!("{:.2}x", base.as_secs_f64() / time.as_secs_f64().max(1e-9))
+                }
+            };
+            if baseline.is_none() {
+                baseline = Some((time, count));
+            }
+            t.push(vec![
+                name.into(),
+                if enabled { "on" } else { "off" }.into(),
+                secs(time),
+                format!("{throughput:.0}"),
+                d.columnar_batches_built.to_string(),
+                d.rows_scanned_columnar.to_string(),
+                (count / repeats).to_string(),
+                speedup,
+            ]);
+        }
+    }
+    t
+}
+
 /// S8 — chaos ablation: the A1 pruning pipeline (grid(8) partitioning +
 /// containedBy filter) under a seeded 10% transient task-fault rate,
 /// with fault tolerance progressively enabled — clean baseline, faults

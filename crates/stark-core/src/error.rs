@@ -13,6 +13,11 @@ pub enum StarkError {
     Storage(StorageError),
     /// An operator was invoked with an unusable configuration.
     InvalidConfig(String),
+    /// A record's centroid is NaN or infinite and cannot be assigned to
+    /// any spatial partition. Silently routing such records (NaN used to
+    /// land in partition 0) corrupts extents and pruning, so spatial
+    /// partitioning rejects them with this typed error.
+    NonFiniteCentroid { x: f64, y: f64 },
 }
 
 impl fmt::Display for StarkError {
@@ -21,6 +26,9 @@ impl fmt::Display for StarkError {
             StarkError::Geo(e) => write!(f, "geometry error: {e}"),
             StarkError::Storage(e) => write!(f, "storage error: {e}"),
             StarkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StarkError::NonFiniteCentroid { x, y } => {
+                write!(f, "non-finite centroid ({x}, {y}) cannot be spatially partitioned")
+            }
         }
     }
 }
@@ -31,6 +39,7 @@ impl std::error::Error for StarkError {
             StarkError::Geo(e) => Some(e),
             StarkError::Storage(e) => Some(e),
             StarkError::InvalidConfig(_) => None,
+            StarkError::NonFiniteCentroid { .. } => None,
         }
     }
 }

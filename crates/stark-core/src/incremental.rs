@@ -219,9 +219,7 @@ impl<V: Data> IncrementalIndex<V> {
                             .iter()
                             .map(|(_, e)| (e.item.0.distance(query, dist_fn), *e))
                             .collect();
-                        exact.sort_by(|a, b| {
-                            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        exact.sort_by(|a, b| a.0.total_cmp(&b.0));
                         exact.truncate(k);
                         let kth = exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
                         let frontier =
@@ -240,7 +238,7 @@ impl<V: Data> IncrementalIndex<V> {
                 }
             }
         }
-        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0));
         merged.truncate(k);
         merged
     }

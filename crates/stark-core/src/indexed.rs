@@ -178,8 +178,7 @@ impl<V: Data> IndexedSpatialRdd<V> {
                         .iter()
                         .map(|(_, e)| (e.item.0.distance(&q, dist_fn), *e))
                         .collect();
-                    exact
-                        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                    exact.sort_by(|a, b| a.0.total_cmp(&b.0));
                     exact.truncate(k);
                     let kth = exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
                     let frontier = candidates.last().map(|(lb, _)| *lb).unwrap_or(f64::INFINITY);
@@ -198,12 +197,12 @@ impl<V: Data> IndexedSpatialRdd<V> {
                     }
                 }
             }
-            local.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            local.sort_by(|a, b| a.0.total_cmp(&b.0));
             local.truncate(k);
             local
         });
         let mut merged: Vec<(f64, (STObject, V))> = partials.into_iter().flatten().collect();
-        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0));
         merged.truncate(k);
         merged
     }

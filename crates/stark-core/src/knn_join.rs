@@ -79,9 +79,7 @@ impl<V: Data> SpatialRdd<V> {
                                     .iter()
                                     .map(|(_, e)| (lo.distance(&rdata[e.item].0, dist_fn), e.item))
                                     .collect();
-                                exact.sort_by(|a, b| {
-                                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-                                });
+                                exact.sort_by(|a, b| a.0.total_cmp(&b.0));
                                 exact.truncate(k);
                                 let kth = exact.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY);
                                 let frontier =
@@ -95,9 +93,7 @@ impl<V: Data> SpatialRdd<V> {
                                 fetch = (fetch * 2).min(rdata.len());
                             }
                         };
-                        best.sort_by(|a, b| {
-                            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        best.sort_by(|a, b| a.0.total_cmp(&b.0));
                         best.truncate(k);
                         (id, ((lo, lv), best))
                     })
@@ -111,7 +107,7 @@ impl<V: Data> SpatialRdd<V> {
             for (_, more) in iter {
                 merged.extend(more);
             }
-            merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            merged.sort_by(|a, b| a.0.total_cmp(&b.0));
             merged.truncate(k);
             (left_rec, merged)
         })

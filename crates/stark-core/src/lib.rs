@@ -37,6 +37,7 @@
 
 pub mod aggregate;
 pub mod cluster;
+pub mod columnar;
 pub mod error;
 pub mod incremental;
 mod indexed;
@@ -49,6 +50,7 @@ pub mod stobject;
 pub mod temporal;
 
 pub use aggregate::CellStats;
+pub use columnar::ColumnarBatch;
 pub use error::StarkError;
 pub use incremental::{IncrementalIndex, RefreshStats};
 pub use indexed::IndexedSpatialRdd;

@@ -124,12 +124,22 @@ impl BspPartitioner {
         let mut cells = Vec::with_capacity(leaves.len());
         let mut lookup = vec![0u32; nx * ny];
         for (id, &(x0, y0, x1, y1)) in leaves.iter().enumerate() {
-            let bounds = Envelope::from_bounds(
-                space.min_x() + x0 as f64 * cell_w,
-                space.min_y() + y0 as f64 * cell_h,
-                space.min_x() + x1 as f64 * cell_w,
-                space.min_y() + y1 as f64 * cell_h,
-            );
+            let min_x = space.min_x() + x0 as f64 * cell_w;
+            let min_y = space.min_y() + y0 as f64 * cell_h;
+            // leaves touching the space's max edge must end exactly on it:
+            // `min + i*cell` accumulates rounding error and can leave the
+            // space's max corner outside every leaf's stated bounds
+            let max_x = if x1 == nx {
+                space.max_x().max(min_x)
+            } else {
+                space.min_x() + x1 as f64 * cell_w
+            };
+            let max_y = if y1 == ny {
+                space.max_y().max(min_y)
+            } else {
+                space.min_y() + y1 as f64 * cell_h
+            };
+            let bounds = Envelope::from_bounds(min_x, min_y, max_x, max_y);
             cells.push(PartitionCell::new(id, bounds));
             for y in y0..y1 {
                 for x in x0..x1 {
@@ -285,6 +295,26 @@ mod tests {
             (total_area - space_area).abs() < space_area * 1e-6,
             "leaves {total_area} vs space {space_area}"
         );
+    }
+
+    #[test]
+    fn max_corner_is_inside_a_leaf_bounds() {
+        // an irrational-ish span makes `min + n*cell` land short of max
+        let data = summary(&[(0.0, 0.0), (1.0, 1.0), (0.3, 0.7), (0.6, 0.2)]);
+        let bsp = BspPartitioner::build(1, 0.3, &data);
+        let corner = Coord::new(1.0, 1.0);
+        let id = bsp.partition_for_centroid(&corner);
+        assert!(
+            bsp.cells()[id].bounds.contains_coord(&corner),
+            "max corner {:?} outside leaf bounds {:?}",
+            corner,
+            bsp.cells()[id].bounds
+        );
+        // no leaf may overhang the space
+        for c in bsp.cells() {
+            assert!(c.bounds.max_x() <= bsp.space.max_x());
+            assert!(c.bounds.max_y() <= bsp.space.max_y());
+        }
     }
 
     #[test]

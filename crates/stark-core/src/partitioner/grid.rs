@@ -29,7 +29,12 @@ impl GridPartitioner {
             for col in 0..dims {
                 let min_x = space.min_x() + col as f64 * cell_w;
                 let min_y = space.min_y() + row as f64 * cell_h;
-                let bounds = Envelope::from_bounds(min_x, min_y, min_x + cell_w, min_y + cell_h);
+                // the last row/column must end exactly at the space's max
+                // edge: accumulating `min + i*cell` rounds and can leave
+                // `max_x/max_y` outside every cell's stated bounds
+                let max_x = if col + 1 == dims { space.max_x().max(min_x) } else { min_x + cell_w };
+                let max_y = if row + 1 == dims { space.max_y().max(min_y) } else { min_y + cell_h };
+                let bounds = Envelope::from_bounds(min_x, min_y, max_x, max_y);
                 cells.push(PartitionCell::new(row * dims + col, bounds));
             }
         }
@@ -158,6 +163,29 @@ mod tests {
         let id = g.partition_for_centroid(&Coord::new(5.0, 5.0));
         assert!(id < g.num_partitions());
         assert!(!g.cells()[id].extent.is_empty());
+    }
+
+    #[test]
+    fn max_corner_is_inside_the_last_cell_bounds() {
+        // 1/3 is inexact: 0 + 3*(1/3) = 0.9999999999999998 < 1.0, so the
+        // accumulated last-column bound used to exclude the space's max
+        // corner from every cell
+        let g = GridPartitioner::with_space(3, Envelope::from_bounds(0.0, 0.0, 1.0, 1.0));
+        let corner = Coord::new(1.0, 1.0);
+        let id = g.partition_for_centroid(&corner);
+        assert_eq!(id, g.num_partitions() - 1);
+        assert!(
+            g.cells()[id].bounds.contains_coord(&corner),
+            "max corner {:?} outside its cell bounds {:?}",
+            corner,
+            g.cells()[id].bounds
+        );
+        // every last-row/column cell ends exactly on the space edge
+        for c in g.cells() {
+            assert!(c.bounds.max_x() <= 1.0 && c.bounds.max_y() <= 1.0);
+        }
+        assert_eq!(g.cells().last().unwrap().bounds.max_x(), 1.0);
+        assert_eq!(g.cells().last().unwrap().bounds.max_y(), 1.0);
     }
 
     #[test]

@@ -57,6 +57,24 @@ pub trait SpatialPartitioner: Send + Sync {
     fn partition_of(&self, obj: &STObject) -> usize {
         self.partition_for_centroid(&obj.centroid())
     }
+
+    /// Fallible assignment: rejects NaN/infinite centroids with a typed
+    /// error instead of silently routing them (a NaN coordinate fails
+    /// every cell comparison and used to fall through to partition 0,
+    /// corrupting that partition's extent). Finite out-of-space centroids
+    /// still clamp to the nearest cell, as before.
+    fn try_partition_for_centroid(&self, c: &Coord) -> Result<usize, crate::error::StarkError> {
+        if !c.is_finite() {
+            return Err(crate::error::StarkError::NonFiniteCentroid { x: c.x, y: c.y });
+        }
+        Ok(self.partition_for_centroid(c))
+    }
+
+    /// Fallible record assignment; see [`try_partition_for_centroid`]
+    /// (SpatialPartitioner::try_partition_for_centroid).
+    fn try_partition_of(&self, obj: &STObject) -> Result<usize, crate::error::StarkError> {
+        self.try_partition_for_centroid(&obj.centroid())
+    }
 }
 
 /// Summary statistics a partitioner is built from: one `(mbr, centroid)`

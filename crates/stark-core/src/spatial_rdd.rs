@@ -6,13 +6,15 @@
 //! that role — `use stark::SpatialRddExt` and every `Rdd<(STObject, V)>`
 //! gains `.intersects(..)`, `.contained_by(..)`, `.knn(..)` and friends.
 
+use crate::columnar::ColumnarBatch;
 use crate::partitioner::{PartitionCell, SpatialPartitioner};
 use crate::predicate::STPredicate;
 use crate::stobject::STObject;
 use crate::temporal::TemporalExtent;
-use stark_engine::{Data, Rdd, StoreData};
+use stark_engine::{Data, Partition, Rdd, StoreData};
+use stark_geo::kernels::SelectionBitmap;
 use stark_geo::{DistanceFn, Envelope};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Partitioning metadata carried alongside a spatially partitioned
 /// dataset: the partitioner (when available) plus the *fitted* cells —
@@ -52,14 +54,37 @@ impl PartitioningInfo {
 }
 
 /// A dataset of `(STObject, V)` pairs with optional spatial partitioning.
+///
+/// When the engine's columnar path is enabled
+/// ([`EngineConfig::columnar_enabled`](stark_engine::EngineConfig)),
+/// [`filter`](SpatialRdd::filter) does not lower to a row-at-a-time
+/// `Rdd::filter` immediately: predicates queue in `pending` and the whole
+/// chain lowers lazily into **one** `ColumnarFilter[..]` operator that
+/// builds (or reuses) the partition's [`ColumnarBatch`] and narrows a
+/// single [`SelectionBitmap`] across all predicates — filter→filter
+/// chains evaluate without re-materialising rows in between. With the
+/// flag off, filters take the original row path and produce
+/// byte-identical results.
 pub struct SpatialRdd<V: Data> {
-    rdd: Rdd<(STObject, V)>,
+    base: Rdd<(STObject, V)>,
     partitioning: Option<Arc<PartitioningInfo>>,
+    /// Filter predicates queued for fused columnar evaluation.
+    pending: Vec<(STPredicate, STObject)>,
+    /// AND of the partition-pruning masks of all pending filters.
+    pending_mask: Option<Vec<bool>>,
+    /// Lazily lowered dataset (`base` + pending chain), built at most once.
+    resolved: OnceLock<Rdd<(STObject, V)>>,
 }
 
 impl<V: Data> Clone for SpatialRdd<V> {
     fn clone(&self) -> Self {
-        SpatialRdd { rdd: self.rdd.clone(), partitioning: self.partitioning.clone() }
+        SpatialRdd {
+            base: self.base.clone(),
+            partitioning: self.partitioning.clone(),
+            pending: self.pending.clone(),
+            pending_mask: self.pending_mask.clone(),
+            resolved: self.resolved.clone(),
+        }
     }
 }
 
@@ -79,7 +104,7 @@ pub trait SpatialRddExt<V: Data> {
 
 impl<V: Data> SpatialRddExt<V> for Rdd<(STObject, V)> {
     fn spatial(&self) -> SpatialRdd<V> {
-        SpatialRdd { rdd: self.clone(), partitioning: None }
+        SpatialRdd::with_info(self.clone(), None)
     }
     fn intersects(&self, query: &STObject) -> SpatialRdd<V> {
         self.spatial().filter(query, STPredicate::Intersects)
@@ -99,12 +124,58 @@ impl<V: Data> SpatialRdd<V> {
         rdd: Rdd<(STObject, V)>,
         partitioning: Option<Arc<PartitioningInfo>>,
     ) -> Self {
-        SpatialRdd { rdd, partitioning }
+        SpatialRdd {
+            base: rdd,
+            partitioning,
+            pending: Vec::new(),
+            pending_mask: None,
+            resolved: OnceLock::new(),
+        }
     }
 
-    /// The underlying engine dataset.
+    /// The underlying engine dataset. Lowers any pending columnar filter
+    /// chain first (lazily, at most once per handle).
     pub fn rdd(&self) -> &Rdd<(STObject, V)> {
-        &self.rdd
+        self.resolved.get_or_init(|| self.lower())
+    }
+
+    /// Lowers `base` + the pending predicate chain into an engine
+    /// dataset: one partition-mask stage (pruning metric included) and
+    /// one `ColumnarFilter[..]` operator evaluating the whole chain over
+    /// the partition's cached [`ColumnarBatch`].
+    fn lower(&self) -> Rdd<(STObject, V)> {
+        if self.pending.is_empty() {
+            return self.base.clone();
+        }
+        let masked = match &self.pending_mask {
+            Some(mask) => self.base.with_partition_mask(mask.clone()),
+            None => self.base.clone(),
+        };
+        let ctx = self.base.context().clone();
+        let chain = self.pending.clone();
+        let label = format!(
+            "ColumnarFilter[{}]",
+            chain.iter().map(|(p, _)| p.to_string()).collect::<Vec<_>>().join("→")
+        );
+        masked.map_partition_handles(label, move |_, part: Partition<(STObject, V)>| {
+            let rows = part.as_slice();
+            let batch = part.to_columns(|rows| {
+                ctx.note_columnar_batch_built();
+                ColumnarBatch::build(rows)
+            });
+            let mut sel = SelectionBitmap::all_set(batch.len());
+            for (pred, query) in &chain {
+                let live = sel.count();
+                if live == 0 {
+                    break;
+                }
+                ctx.note_rows_scanned_columnar(live as u64);
+                batch.apply_filter(pred, query, &mut sel, |i| pred.eval(&rows[i].0, query));
+            }
+            let mut out = Vec::with_capacity(sel.count());
+            sel.for_each_set(|lane| out.push(rows[batch.payload_index(lane)].clone()));
+            Partition::from_vec(out)
+        })
     }
 
     /// Partitioning metadata, when spatially partitioned.
@@ -114,23 +185,23 @@ impl<V: Data> SpatialRdd<V> {
 
     /// Number of engine partitions.
     pub fn num_partitions(&self) -> usize {
-        self.rdd.num_partitions()
+        self.rdd().num_partitions()
     }
 
     /// Materialises all `(STObject, V)` pairs.
     pub fn collect(&self) -> Vec<(STObject, V)> {
-        self.rdd.collect()
+        self.rdd().collect()
     }
 
     /// Number of records.
     pub fn count(&self) -> usize {
-        self.rdd.count()
+        self.rdd().count()
     }
 
     /// Gathers the `(mbr, centroid)` summary a partitioner is built from
     /// (a single narrow pass, computed in parallel).
     pub fn summarize(&self) -> crate::partitioner::DataSummary {
-        self.rdd
+        self.rdd()
             .run_partitions(|_, data| {
                 data.iter().map(|(o, _)| (o.envelope(), o.centroid())).collect::<Vec<_>>()
             })
@@ -148,8 +219,15 @@ impl<V: Data> SpatialRdd<V> {
     {
         let p = partitioner.clone();
         let shuffled = self
-            .rdd
-            .partition_by(partitioner.num_partitions(), move |(o, _)| p.partition_of(o))
+            .rdd()
+            .partition_by(partitioner.num_partitions(), move |(o, _)| {
+                match p.try_partition_of(o) {
+                    Ok(idx) => idx,
+                    // typed, non-retryable task failure: a NaN/infinite
+                    // centroid is deterministic malformed input
+                    Err(e) => stark_engine::abort_invalid_record(e.to_string()),
+                }
+            })
             .cache();
 
         // Fit spatial and temporal extents from what actually landed in
@@ -170,26 +248,48 @@ impl<V: Data> SpatialRdd<V> {
             time_extents.push(te);
         }
 
-        SpatialRdd {
-            rdd: shuffled,
-            partitioning: Some(Arc::new(PartitioningInfo {
+        SpatialRdd::with_info(
+            shuffled,
+            Some(Arc::new(PartitioningInfo {
                 partitioner: Some(partitioner),
                 cells,
                 time_extents,
             })),
-        }
+        )
     }
 
     /// Filters to elements `e` with `pred(e, query) == true`, pruning
     /// partitions whose extent cannot contain a match (paper §2.1).
+    ///
+    /// With the engine's columnar path enabled the predicate only queues:
+    /// consecutive filters fuse into one columnar chain that is lowered
+    /// lazily (see [`SpatialRdd`] docs). Results are byte-identical to
+    /// the row path either way.
     pub fn filter(&self, query: &STObject, pred: STPredicate) -> SpatialRdd<V> {
-        let masked = match &self.partitioning {
-            Some(info) => self.rdd.with_partition_mask(info.mask_for(&pred, query)),
-            None => self.rdd.clone(),
+        let mask = self.partitioning.as_ref().map(|info| info.mask_for(&pred, query));
+        if self.base.context().columnar_enabled() {
+            let pending_mask = match (&self.pending_mask, mask) {
+                (Some(prev), Some(m)) => Some(prev.iter().zip(&m).map(|(a, b)| *a && *b).collect()),
+                (Some(prev), None) => Some(prev.clone()),
+                (None, m) => m,
+            };
+            let mut pending = self.pending.clone();
+            pending.push((pred, query.clone()));
+            return SpatialRdd {
+                base: self.base.clone(),
+                partitioning: self.partitioning.clone(),
+                pending,
+                pending_mask,
+                resolved: OnceLock::new(),
+            };
+        }
+        let masked = match mask {
+            Some(m) => self.rdd().with_partition_mask(m),
+            None => self.rdd().clone(),
         };
         let q = query.clone();
         let filtered = masked.filter(move |(o, _)| pred.eval(o, &q));
-        SpatialRdd { rdd: filtered, partitioning: self.partitioning.clone() }
+        SpatialRdd::with_info(filtered, self.partitioning.clone())
     }
 
     /// `withinDistance`: all elements within `max_dist` of `query` under
@@ -216,15 +316,17 @@ impl<V: Data> SpatialRdd<V> {
             return Vec::new();
         }
         let q = query.clone();
-        let partials = self.rdd.run_partitions(move |_, data| {
+        let partials = self.rdd().run_partitions(move |_, data| {
             let mut local: Vec<(f64, (STObject, V))> =
                 data.into_iter().map(|(o, v)| (o.distance(&q, dist_fn), (o, v))).collect();
-            local.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            // total_cmp: NaN distances sort last deterministically instead
+            // of destabilising the comparator
+            local.sort_by(|a, b| a.0.total_cmp(&b.0));
             local.truncate(k);
             local
         });
         let mut merged: Vec<(f64, (STObject, V))> = partials.into_iter().flatten().collect();
-        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0));
         merged.truncate(k);
         merged
     }

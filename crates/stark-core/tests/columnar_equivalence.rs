@@ -1,0 +1,288 @@
+//! Columnar-vs-row equivalence and the NaN hardening regressions.
+//!
+//! The columnar filter path ([`EngineConfig::columnar_enabled`]) must be
+//! **byte-identical** to the row path on every pipeline shape the S12
+//! ablation measures (S1 spatial filter, S2 temporal filter, S5
+//! withinDistance) — including chained filters, spatially partitioned
+//! inputs, and runs under the seeded fault injector. These tests compare
+//! the two paths on randomised datasets.
+
+use proptest::prelude::*;
+use stark::{
+    GridPartitioner, STObject, STPredicate, SpatialPartitioner, SpatialRddExt, StarkError, Temporal,
+};
+use stark_engine::{Context, EngineConfig, FaultInjector, TaskErrorKind};
+use stark_geo::{Coord, DistanceFn, Geometry};
+use std::sync::Arc;
+
+type Row = (STObject, u32);
+
+fn make_ctx(columnar: bool, injector: Option<Arc<FaultInjector>>) -> Context {
+    Context::with_config(EngineConfig {
+        parallelism: 4,
+        default_partitions: 4,
+        columnar_enabled: columnar,
+        max_task_retries: 3,
+        fault_injector: injector,
+        ..EngineConfig::default()
+    })
+}
+
+/// Runs `chain` as successive `filter` calls on one engine configuration
+/// and materialises the result.
+fn run_chain(
+    columnar: bool,
+    injector: Option<Arc<FaultInjector>>,
+    data: &[Row],
+    chain: &[(STPredicate, STObject)],
+    partitioned: bool,
+) -> Vec<Row> {
+    let ctx = make_ctx(columnar, injector);
+    let mut s = ctx.parallelize(data.to_vec(), 4).spatial();
+    if partitioned {
+        s = s.partition_by(Arc::new(GridPartitioner::build(3, &s.summarize())));
+    }
+    for (pred, q) in chain {
+        s = s.filter(q, *pred);
+    }
+    s.collect()
+}
+
+fn assert_paths_agree(data: &[Row], chain: &[(STPredicate, STObject)], partitioned: bool) {
+    let row = run_chain(false, None, data, chain, partitioned);
+    let col = run_chain(true, None, data, chain, partitioned);
+    assert_eq!(col, row, "columnar and row paths diverged (partitioned={partitioned})");
+    // and under injected transient faults (PR 3 chaos harness): retries
+    // must reproduce the same bytes on both paths
+    let chaos = || Some(Arc::new(FaultInjector::transient(0xC0_1A12, 0.15)));
+    let row_chaos = run_chain(false, chaos(), data, chain, partitioned);
+    let col_chaos = run_chain(true, chaos(), data, chain, partitioned);
+    assert_eq!(row_chaos, row, "row path not fault-transparent");
+    assert_eq!(col_chaos, row, "columnar path not fault-transparent");
+}
+
+fn temporal_strategy() -> impl Strategy<Value = Option<Temporal>> {
+    prop_oneof![
+        Just(None),
+        (-500i64..500).prop_map(|t| Some(Temporal::instant(t))),
+        (-500i64..500, 0i64..300).prop_map(|(s, l)| Some(Temporal::interval(s, s + l))),
+        (-500i64..500).prop_map(|s| Some(Temporal::from_instant_on(s))),
+    ]
+}
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    let geom = prop_oneof![
+        ((-60.0f64..60.0), (-60.0f64..60.0)).prop_map(|(x, y)| Geometry::point(x, y)),
+        ((-60.0f64..60.0), (-60.0f64..60.0)).prop_map(|(x, y)| Geometry::point(x, y)),
+        ((-60.0f64..60.0), (-60.0f64..60.0)).prop_map(|(x, y)| Geometry::point(x, y)),
+        ((-60.0f64..60.0), (-60.0f64..60.0), (0.1f64..25.0), (0.1f64..25.0))
+            .prop_map(|(x, y, w, h)| Geometry::rect(x, y, x + w, y + h)),
+    ];
+    let row = (geom, temporal_strategy()).prop_map(|(g, t)| match t {
+        Some(t) => STObject::with_time(g, t),
+        None => STObject::new(g),
+    });
+    proptest::collection::vec(row, 1..max)
+        .prop_map(|os| os.into_iter().enumerate().map(|(i, o)| (o, i as u32)).collect())
+}
+
+/// An S1/S2-shaped rectangle query (optionally timed) plus an off-grid
+/// triangle so non-envelope-decidable queries are exercised too.
+fn query_strategy() -> impl Strategy<Value = STObject> {
+    let rect = ((-50.0f64..20.0), (-50.0f64..20.0), (5.0f64..60.0), (5.0f64..60.0))
+        .prop_map(|(x, y, w, h)| Geometry::rect(x, y, x + w, y + h));
+    let tri = ((-50.0f64..20.0), (-50.0f64..20.0), (5.0f64..60.0)).prop_map(|(x, y, s)| {
+        Geometry::from_wkt(&format!("POLYGON(({x} {y}, {} {y}, {x} {}, {x} {y}))", x + s, y + s))
+            .unwrap()
+    });
+    let geom = prop_oneof![rect, tri];
+    (geom, temporal_strategy()).prop_map(|(g, t)| match t {
+        Some(t) => STObject::with_time(g, t),
+        None => STObject::new(g),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// S1/S2 shape: one topological filter, unpartitioned and
+    /// grid-partitioned, plain and under chaos.
+    #[test]
+    fn single_filter_equivalence(
+        data in rows_strategy(60),
+        q in query_strategy(),
+        pred_idx in 0usize..3,
+    ) {
+        let pred = [STPredicate::Intersects, STPredicate::Contains, STPredicate::ContainedBy]
+            [pred_idx];
+        let chain = vec![(pred, q)];
+        assert_paths_agree(&data, &chain, false);
+        assert_paths_agree(&data, &chain, true);
+    }
+
+    /// S5 shape: withinDistance under each metric.
+    #[test]
+    fn within_distance_equivalence(
+        data in rows_strategy(60),
+        qx in -60.0f64..60.0,
+        qy in -60.0f64..60.0,
+        d in 0.0f64..80.0,
+        dist_idx in 0usize..3,
+    ) {
+        let dist_fn = [DistanceFn::Euclidean, DistanceFn::Haversine, DistanceFn::Manhattan]
+            [dist_idx];
+        // Haversine distances are metres; scale the cutoff up so some rows match
+        let max_dist = if matches!(dist_fn, DistanceFn::Haversine) { d * 100_000.0 } else { d };
+        let chain = vec![(
+            STPredicate::WithinDistance { max_dist, dist_fn },
+            STObject::point(qx, qy),
+        )];
+        assert_paths_agree(&data, &chain, false);
+    }
+
+    /// Fused chains: filter→filter→withinDistance narrowing one bitmap.
+    #[test]
+    fn chained_filter_equivalence(
+        data in rows_strategy(60),
+        wide in query_strategy(),
+        narrow in query_strategy(),
+        d in 1.0f64..60.0,
+    ) {
+        let chain = vec![
+            (STPredicate::ContainedBy, wide),
+            (STPredicate::Intersects, narrow),
+            (
+                STPredicate::WithinDistance { max_dist: d, dist_fn: DistanceFn::Euclidean },
+                STObject::point(0.0, 0.0),
+            ),
+        ];
+        assert_paths_agree(&data, &chain, false);
+        assert_paths_agree(&data, &chain, true);
+    }
+
+    /// knn sorts must be deterministic with NaN distances in play
+    /// (`total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`).
+    #[test]
+    fn knn_is_deterministic_with_nan_distances(
+        pts in proptest::collection::vec(((-20.0f64..20.0), (-20.0f64..20.0)), 5..40),
+        n_nan in 1usize..5,
+        k in 1usize..10,
+    ) {
+        let mut data: Vec<Row> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (STObject::point(x, y), i as u32))
+            .collect();
+        for i in 0..n_nan {
+            data.push((STObject::point(f64::NAN, i as f64), 1000 + i as u32));
+        }
+        let ctx = make_ctx(true, None);
+        let s = ctx.parallelize(data, 4).spatial();
+        let q = STObject::point(1.0, 1.0);
+        let a = s.knn(&q, k, DistanceFn::Euclidean);
+        let b = s.knn(&q, k, DistanceFn::Euclidean);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x.0.total_cmp(&y.0).is_eq() && x.1 .1 == y.1 .1,
+                "knn with NaN distances is not deterministic");
+        }
+        // finite neighbours sort ascending and ahead of any NaN
+        let finite: Vec<f64> = a.iter().map(|e| e.0).take_while(|d| d.is_finite()).collect();
+        prop_assert!(finite.windows(2).all(|w| w[0] <= w[1]));
+        let n_finite_expected = k.min(pts.len());
+        prop_assert!(finite.len() >= n_finite_expected.min(a.len()),
+            "NaN distances displaced finite neighbours: {:?}", a.iter().map(|e| e.0).collect::<Vec<_>>());
+    }
+}
+
+/// Rows whose centroid or envelope is non-finite must flow through the
+/// columnar path's refinement lane byte-identically (unpartitioned — the
+/// partitioners now reject them, see below).
+#[test]
+fn non_finite_rows_agree_on_both_paths() {
+    let mut data: Vec<Row> =
+        (0..20).map(|i| (STObject::point((i % 5) as f64, (i / 5) as f64), i as u32)).collect();
+    data.push((STObject::point(f64::NAN, 2.0), 100));
+    data.push((STObject::point(1.0, f64::INFINITY), 101));
+    let q = STObject::new(Geometry::rect(0.5, -0.5, 3.5, 2.5));
+    for pred in [STPredicate::Intersects, STPredicate::Contains, STPredicate::ContainedBy] {
+        assert_paths_agree(&data, &[(pred, q.clone())], false);
+    }
+    for dist_fn in [DistanceFn::Euclidean, DistanceFn::Haversine, DistanceFn::Manhattan] {
+        let pred = STPredicate::WithinDistance { max_dist: 2.0, dist_fn };
+        assert_paths_agree(&data, &[(pred, STObject::point(1.0, 1.0))], false);
+    }
+}
+
+/// The columnar metrics move only when the columnar path runs.
+#[test]
+fn columnar_metrics_report_batches_and_rows() {
+    let data: Vec<Row> =
+        (0..80).map(|i| (STObject::point((i % 10) as f64, (i / 10) as f64), i as u32)).collect();
+    let q = STObject::new(Geometry::rect(1.0, 1.0, 6.0, 6.0));
+
+    let ctx = make_ctx(true, None);
+    let before = ctx.metrics();
+    let n = ctx.parallelize(data.clone(), 4).spatial().filter(&q, STPredicate::ContainedBy).count();
+    let delta = ctx.metrics().diff(&before);
+    assert!(n > 0);
+    assert!(delta.columnar_batches_built > 0, "no batches built: {delta:?}");
+    assert_eq!(delta.rows_scanned_columnar, 80, "every row scanned columnar once");
+
+    let ctx = make_ctx(false, None);
+    let before = ctx.metrics();
+    let m = ctx.parallelize(data, 4).spatial().filter(&q, STPredicate::ContainedBy).count();
+    let delta = ctx.metrics().diff(&before);
+    assert_eq!(m, n);
+    assert_eq!(delta.columnar_batches_built, 0);
+    assert_eq!(delta.rows_scanned_columnar, 0);
+}
+
+/// Satellite regression: NaN / infinite centroids are rejected with a
+/// typed error at partition time instead of silently landing in
+/// partition 0 and corrupting its extent.
+#[test]
+fn nan_centroid_is_rejected_by_partitioners() {
+    let finite: Vec<Row> =
+        (0..20).map(|i| (STObject::point(i as f64, i as f64), i as u32)).collect();
+    let grid = Arc::new(GridPartitioner::build(
+        3,
+        &finite.iter().map(|(o, _)| (o.envelope(), o.centroid())).collect(),
+    ));
+
+    // the trait-level fallible assignment is typed
+    let nan_obj = STObject::point(f64::NAN, 1.0);
+    match grid.try_partition_of(&nan_obj) {
+        Err(StarkError::NonFiniteCentroid { x, .. }) => assert!(x.is_nan()),
+        other => panic!("expected NonFiniteCentroid, got {other:?}"),
+    }
+    assert!(grid.try_partition_for_centroid(&Coord::new(1.0, f64::INFINITY)).is_err());
+    // finite out-of-space centroids still clamp (unchanged behaviour)
+    assert_eq!(
+        grid.try_partition_for_centroid(&Coord::new(1e9, 1e9)).unwrap(),
+        grid.partition_for_centroid(&Coord::new(1e9, 1e9))
+    );
+
+    // the engine surfaces it as a non-retryable InvalidRecord task error
+    let ctx = make_ctx(true, None);
+    let mut poisoned = finite.clone();
+    poisoned.push((nan_obj, 999));
+    let g = grid.clone();
+    let shuffled =
+        ctx.parallelize(poisoned.clone(), 2).partition_by(grid.num_partitions(), move |(o, _)| {
+            match g.try_partition_of(o) {
+                Ok(idx) => idx,
+                Err(e) => stark_engine::abort_invalid_record(e.to_string()),
+            }
+        });
+    let err = shuffled.try_collect().unwrap_err();
+    assert_eq!(err.kind, TaskErrorKind::InvalidRecord);
+    assert_eq!(err.attempts, 1, "malformed input must not burn the retry budget");
+    assert!(err.message.contains("non-finite centroid"), "{}", err.message);
+
+    // and the user-facing partition_by propagates the failure (panics)
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctx.parallelize(poisoned, 2).spatial().partition_by(grid)
+    }));
+    assert!(result.is_err(), "partition_by must reject NaN centroids");
+}

@@ -25,6 +25,13 @@ pub struct EngineConfig {
     /// pass. On by default; turning it off materialises one `Vec` per
     /// operator — the unfused baseline the S7 experiment measures.
     pub fusion_enabled: bool,
+    /// Whether consumers that support it (STARK's spatial filter chain)
+    /// may evaluate predicates over a per-partition columnar sidecar
+    /// ([`Partition::to_columns`](crate::Partition)) instead of
+    /// row-at-a-time. On by default; results are byte-identical either
+    /// way — turning it off restores the pure row path the S12
+    /// experiment measures against.
+    pub columnar_enabled: bool,
     /// Retries a failed partition task gets before its error becomes
     /// permanent — Spark's `spark.task.maxFailures - 1`. Each retry
     /// recomputes the partition from lineage (evicting any poisoned
@@ -84,6 +91,7 @@ impl Default for EngineConfig {
             default_partitions: cores,
             app_name: "stark".to_string(),
             fusion_enabled: true,
+            columnar_enabled: true,
             max_task_retries: 3,
             retry_backoff: Duration::ZERO,
             fault_injector: None,
@@ -180,6 +188,26 @@ impl Context {
     /// [`EngineConfig::fusion_enabled`]).
     pub fn fusion_enabled(&self) -> bool {
         self.inner.config.fusion_enabled
+    }
+
+    /// Whether the columnar filter path is on (see
+    /// [`EngineConfig::columnar_enabled`]).
+    pub fn columnar_enabled(&self) -> bool {
+        self.inner.config.columnar_enabled
+    }
+
+    /// Records a columnar sidecar build in
+    /// [`MetricsSnapshot::columnar_batches_built`](crate::MetricsSnapshot).
+    /// Called by consumers (the spatial filter chain) when a
+    /// [`Partition::to_columns`](crate::Partition) builder actually runs.
+    pub fn note_columnar_batch_built(&self) {
+        self.inner.metrics.inc_columnar_batches_built(1);
+    }
+
+    /// Records `n` rows scanned by a columnar kernel in
+    /// [`MetricsSnapshot::rows_scanned_columnar`](crate::MetricsSnapshot).
+    pub fn note_rows_scanned_columnar(&self, n: u64) {
+        self.inner.metrics.inc_rows_scanned_columnar(n);
     }
 
     /// The per-task retry budget (see [`EngineConfig::max_task_retries`]).

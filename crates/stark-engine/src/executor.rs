@@ -71,12 +71,31 @@ pub enum TaskErrorKind {
     /// re-read the same bad bytes — the error is permanent and
     /// deterministic, like [`TaskErrorKind::PartitionOutOfRange`].
     CheckpointLost,
+    /// The task rejected a malformed input record (e.g. a non-finite
+    /// centroid handed to a spatial partitioner). Deterministic — the
+    /// same record fails every attempt — so it fails fast without
+    /// consuming the retry budget, like
+    /// [`TaskErrorKind::PartitionOutOfRange`].
+    InvalidRecord,
 }
 
 impl TaskErrorKind {
     /// Whether this kind is a cooperative cancellation outcome.
     pub fn is_cancellation(self) -> bool {
         matches!(self, TaskErrorKind::Cancelled | TaskErrorKind::DeadlineExceeded)
+    }
+
+    /// Whether retrying an attempt that failed with this kind can
+    /// succeed. Structural errors and malformed-input rejections are
+    /// deterministic — the same attempt fails the same way every time —
+    /// so they fail fast without consuming the retry budget.
+    pub fn is_retryable(self) -> bool {
+        !matches!(
+            self,
+            TaskErrorKind::PartitionOutOfRange
+                | TaskErrorKind::CheckpointLost
+                | TaskErrorKind::InvalidRecord
+        )
     }
 }
 
@@ -262,11 +281,7 @@ fn run_task<T: Data, R>(
                     metrics.inc_tasks_cancelled(1);
                     return Err(e);
                 }
-                let retryable = !matches!(
-                    e.kind,
-                    TaskErrorKind::PartitionOutOfRange | TaskErrorKind::CheckpointLost
-                );
-                if !retryable || attempt >= budget {
+                if !e.kind.is_retryable() || attempt >= budget {
                     metrics.inc_tasks_failed_permanently(1);
                     return Err(e);
                 }
@@ -485,7 +500,12 @@ pub(crate) fn run_partitions<T: Data, R: Send>(
 ) -> Vec<R> {
     match try_run_partitions(ctx, inner, f) {
         Ok(results) => results,
-        Err(e) if e.kind.is_cancellation() => std::panic::panic_any(e),
+        // Deterministic kinds (cancellation, structural, malformed input)
+        // keep their typed payload: an enclosing task's `classify` then
+        // preserves the kind instead of degrading it to a string panic —
+        // and does not burn its retry budget re-running a nested job that
+        // fails the same way every time.
+        Err(e) if e.kind.is_cancellation() || !e.kind.is_retryable() => std::panic::panic_any(e),
         Err(e) => panic!("{e}"),
     }
 }

@@ -65,5 +65,5 @@ pub use fault::{FaultInjector, FaultPolicy, FaultScope};
 pub use memory::{ChildBudget, ChildReservation, MemoryManager, MemoryReservation};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partition::{Partition, PartitionIntoIter};
-pub use rdd::{Data, Lineage, Rdd, StoreData, TaskError, TaskErrorKind};
+pub use rdd::{abort_invalid_record, Data, Lineage, Rdd, StoreData, TaskError, TaskErrorKind};
 pub use storage::{ObjectStore, StorageError};

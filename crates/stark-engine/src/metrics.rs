@@ -71,6 +71,14 @@ pub struct Metrics {
     /// Cache/checkpoint cells evicted by memory pressure (budget
     /// eviction, not task-failure eviction).
     pub partitions_evicted_for_pressure: AtomicU64,
+    /// Columnar sidecars built from row partitions (one per
+    /// [`Partition::to_columns`](crate::Partition) builder run — cache
+    /// hits on an already-built sidecar do not count).
+    pub columnar_batches_built: AtomicU64,
+    /// Rows evaluated by columnar predicate kernels (each surviving row
+    /// counts once per kernel pass, mirroring `records_read` for the
+    /// row path).
+    pub rows_scanned_columnar: AtomicU64,
 }
 
 impl Metrics {
@@ -138,6 +146,12 @@ impl Metrics {
     pub fn inc_partitions_evicted_for_pressure(&self, n: u64) {
         self.partitions_evicted_for_pressure.fetch_add(n, Ordering::Relaxed);
     }
+    pub fn inc_columnar_batches_built(&self, n: u64) {
+        self.columnar_batches_built.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_rows_scanned_columnar(&self, n: u64) {
+        self.rows_scanned_columnar.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -165,6 +179,8 @@ impl Metrics {
             partitions_evicted_for_pressure: self
                 .partitions_evicted_for_pressure
                 .load(Ordering::Relaxed),
+            columnar_batches_built: self.columnar_batches_built.load(Ordering::Relaxed),
+            rows_scanned_columnar: self.rows_scanned_columnar.load(Ordering::Relaxed),
         }
     }
 }
@@ -211,6 +227,10 @@ pub struct MetricsSnapshot {
     /// Cells evicted under memory pressure (see
     /// [`Metrics::partitions_evicted_for_pressure`]).
     pub partitions_evicted_for_pressure: u64,
+    /// Columnar sidecars built (see [`Metrics::columnar_batches_built`]).
+    pub columnar_batches_built: u64,
+    /// Rows scanned by columnar kernels (see [`Metrics::rows_scanned_columnar`]).
+    pub rows_scanned_columnar: u64,
 }
 
 impl MetricsSnapshot {
@@ -242,6 +262,8 @@ impl MetricsSnapshot {
             spill_blobs_written: self.spill_blobs_written - earlier.spill_blobs_written,
             partitions_evicted_for_pressure: self.partitions_evicted_for_pressure
                 - earlier.partitions_evicted_for_pressure,
+            columnar_batches_built: self.columnar_batches_built - earlier.columnar_batches_built,
+            rows_scanned_columnar: self.rows_scanned_columnar - earlier.rows_scanned_columnar,
         }
     }
 }

@@ -12,22 +12,43 @@
 //! `iter`, indexing, slice patterns) work unchanged, and it implements
 //! `IntoIterator` by value, cloning elements lazily only when the
 //! underlying allocation is still shared.
+//!
+//! Alongside the rows, each partition carries a lazily built, shared
+//! columnar sidecar: [`Partition::to_columns`] runs a caller-supplied
+//! builder once per allocation and caches the result, so every handle
+//! to a cached partition sees the same column arrays without rebuilding
+//! them per job.
 
 use crate::metrics::Metrics;
+use std::any::Any;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The shared backing of a [`Partition`]: the row payload plus the
+/// lazily built columnar sidecar. Private — all access goes through
+/// `Partition`.
+struct PartitionRepr<T> {
+    data: Vec<T>,
+    columns: OnceLock<Arc<dyn Any + Send + Sync>>,
+}
+
+impl<T> PartitionRepr<T> {
+    fn new(data: Vec<T>) -> Self {
+        PartitionRepr { data, columns: OnceLock::new() }
+    }
+}
 
 /// An immutable, shareable partition payload. Cheap to clone: clones
 /// share the same allocation.
 pub struct Partition<T> {
-    data: Arc<Vec<T>>,
+    repr: Arc<PartitionRepr<T>>,
 }
 
 impl<T> Partition<T> {
     /// Wraps freshly computed data; the returned handle is unique, so a
     /// later [`Partition::into_vec`] is zero-cost.
     pub fn from_vec(data: Vec<T>) -> Self {
-        Partition { data: Arc::new(data) }
+        Partition { repr: Arc::new(PartitionRepr::new(data)) }
     }
 
     /// An empty partition.
@@ -37,27 +58,27 @@ impl<T> Partition<T> {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.repr.data.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.repr.data.is_empty()
     }
 
     /// Borrowed view of the payload.
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        &self.repr.data
     }
 
     /// Borrowing iterator over the payload.
     pub fn iter(&self) -> std::slice::Iter<'_, T> {
-        self.data.iter()
+        self.repr.data.iter()
     }
 
     /// Whether other handles to the same allocation exist right now —
     /// i.e. whether converting to owned data would have to deep-clone.
     pub fn is_shared(&self) -> bool {
-        Arc::strong_count(&self.data) > 1
+        Arc::strong_count(&self.repr) > 1
     }
 
     /// Shallow payload size in bytes (`len · size_of::<T>()`): the copy
@@ -65,30 +86,56 @@ impl<T> Partition<T> {
     /// [`MemoryManager`](crate::MemoryManager) reserves against the
     /// context's memory budget.
     pub fn shallow_bytes(&self) -> u64 {
-        (self.data.len() * std::mem::size_of::<T>()) as u64
+        (self.repr.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// The columnar sidecar of this partition, built on first use and
+    /// cached on the shared allocation: every clone of this handle (and
+    /// every later job reading a cached partition) gets the same
+    /// `Arc<C>` back without re-running `build`.
+    ///
+    /// The cache holds one sidecar type per allocation. A second call
+    /// with a *different* `C` falls back to building an uncached value
+    /// rather than evicting the first — in practice each dataset has
+    /// one column layout, so this path only exists for safety.
+    pub fn to_columns<C: Send + Sync + 'static>(&self, build: impl FnOnce(&[T]) -> C) -> Arc<C> {
+        if let Some(cached) = self.repr.columns.get() {
+            if let Ok(cols) = cached.clone().downcast::<C>() {
+                return cols;
+            }
+            return Arc::new(build(&self.repr.data));
+        }
+        let built = Arc::new(build(&self.repr.data));
+        // A concurrent builder may have won the race; both values are
+        // built from the same immutable rows, so ours stays valid.
+        let _ = self.repr.columns.set(built.clone() as Arc<dyn Any + Send + Sync>);
+        built
     }
 }
 
 impl<T: Clone> Partition<T> {
     /// Owned copy of the payload, always cloning.
     pub fn to_vec(&self) -> Vec<T> {
-        self.data.as_ref().clone()
+        self.repr.data.clone()
     }
 
     /// Converts into an owned `Vec`, zero-cost when this is the only
     /// handle to the allocation and a deep clone otherwise.
     pub fn into_vec(self) -> Vec<T> {
-        Arc::try_unwrap(self.data).unwrap_or_else(|shared| shared.as_ref().clone())
+        match Arc::try_unwrap(self.repr) {
+            Ok(repr) => repr.data,
+            Err(shared) => shared.data.clone(),
+        }
     }
 
     /// [`Partition::into_vec`] that records a forced deep clone in
     /// `metrics.records_cloned`.
     pub(crate) fn into_vec_counted(self, metrics: &Metrics) -> Vec<T> {
-        match Arc::try_unwrap(self.data) {
-            Ok(owned) => owned,
+        match Arc::try_unwrap(self.repr) {
+            Ok(repr) => repr.data,
             Err(shared) => {
-                metrics.inc_records_cloned(shared.len() as u64);
-                shared.as_ref().clone()
+                metrics.inc_records_cloned(shared.data.len() as u64);
+                shared.data.clone()
             }
         }
     }
@@ -96,11 +143,11 @@ impl<T: Clone> Partition<T> {
     /// By-value iterator that records in `metrics.records_cloned` when
     /// shared storage forces the elements to be cloned out.
     pub(crate) fn into_iter_counted(self, metrics: &Metrics) -> PartitionIntoIter<T> {
-        match Arc::try_unwrap(self.data) {
-            Ok(owned) => PartitionIntoIter::Owned(owned.into_iter()),
+        match Arc::try_unwrap(self.repr) {
+            Ok(repr) => PartitionIntoIter::Owned(repr.data.into_iter()),
             Err(shared) => {
-                metrics.inc_records_cloned(shared.len() as u64);
-                PartitionIntoIter::Shared { data: shared, next: 0 }
+                metrics.inc_records_cloned(shared.data.len() as u64);
+                PartitionIntoIter::Shared { data: Partition { repr: shared }, next: 0 }
             }
         }
     }
@@ -108,14 +155,14 @@ impl<T: Clone> Partition<T> {
 
 impl<T> Clone for Partition<T> {
     fn clone(&self) -> Self {
-        Partition { data: self.data.clone() }
+        Partition { repr: self.repr.clone() }
     }
 }
 
 impl<T> Deref for Partition<T> {
     type Target = [T];
     fn deref(&self) -> &[T] {
-        &self.data
+        &self.repr.data
     }
 }
 
@@ -133,7 +180,7 @@ impl<T> Default for Partition<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Partition<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_list().entries(self.data.iter()).finish()
+        f.debug_list().entries(self.repr.data.iter()).finish()
     }
 }
 
@@ -145,7 +192,8 @@ impl<T: PartialEq> PartialEq for Partition<T> {
 
 /// Serialises as a plain JSON array — the on-store format used by
 /// [`Rdd::checkpoint`](crate::Rdd), so a checkpointed partition blob is
-/// interchangeable with a serialised `Vec<T>`.
+/// interchangeable with a serialised `Vec<T>`. The columnar sidecar is
+/// never persisted; a deserialised partition rebuilds it on first use.
 impl<T: serde::Serialize> serde::Serialize for Partition<T> {
     fn to_value(&self) -> serde::Value {
         self.as_slice().to_value()
@@ -162,7 +210,7 @@ impl<T: serde::Deserialize> serde::Deserialize for Partition<T> {
 /// allocation is unique, clones them lazily when it is shared.
 pub enum PartitionIntoIter<T> {
     Owned(std::vec::IntoIter<T>),
-    Shared { data: Arc<Vec<T>>, next: usize },
+    Shared { data: Partition<T>, next: usize },
 }
 
 impl<T: Clone> Iterator for PartitionIntoIter<T> {
@@ -172,7 +220,7 @@ impl<T: Clone> Iterator for PartitionIntoIter<T> {
         match self {
             PartitionIntoIter::Owned(it) => it.next(),
             PartitionIntoIter::Shared { data, next } => {
-                let item = data.get(*next).cloned()?;
+                let item = data.as_slice().get(*next).cloned()?;
                 *next += 1;
                 Some(item)
             }
@@ -182,7 +230,7 @@ impl<T: Clone> Iterator for PartitionIntoIter<T> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = match self {
             PartitionIntoIter::Owned(it) => it.len(),
-            PartitionIntoIter::Shared { data, next } => data.len() - next,
+            PartitionIntoIter::Shared { data, next } => data.len() - *next,
         };
         (n, Some(n))
     }
@@ -195,9 +243,9 @@ impl<T: Clone> IntoIterator for Partition<T> {
     type IntoIter = PartitionIntoIter<T>;
 
     fn into_iter(self) -> PartitionIntoIter<T> {
-        match Arc::try_unwrap(self.data) {
-            Ok(owned) => PartitionIntoIter::Owned(owned.into_iter()),
-            Err(shared) => PartitionIntoIter::Shared { data: shared, next: 0 },
+        match Arc::try_unwrap(self.repr) {
+            Ok(repr) => PartitionIntoIter::Owned(repr.data.into_iter()),
+            Err(shared) => PartitionIntoIter::Shared { data: Partition { repr: shared }, next: 0 },
         }
     }
 }
@@ -207,7 +255,7 @@ impl<'a, T> IntoIterator for &'a Partition<T> {
     type IntoIter = std::slice::Iter<'a, T>;
 
     fn into_iter(self) -> std::slice::Iter<'a, T> {
-        self.data.iter()
+        self.repr.data.iter()
     }
 }
 
@@ -290,5 +338,47 @@ mod tests {
         let p = Partition::from_vec(vec![1, 2, 3]);
         let borrowed: Vec<i32> = (&p).into_iter().copied().collect();
         assert_eq!(borrowed, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn to_columns_builds_once_and_shares_across_handles() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let p = Partition::from_vec(vec![1i64, 2, 3]);
+        let q = p.clone();
+
+        let build = |rows: &[i64]| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            rows.iter().map(|v| *v as f64).collect::<Vec<f64>>()
+        };
+        let a = p.to_columns(build);
+        let b = q.to_columns(build);
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "sidecar must be built once");
+        assert!(Arc::ptr_eq(&a, &b), "handles must share the cached sidecar");
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn to_columns_type_mismatch_builds_uncached() {
+        let p = Partition::from_vec(vec![1i64, 2, 3]);
+        let floats = p.to_columns(|rows| rows.iter().map(|v| *v as f64).collect::<Vec<f64>>());
+        assert_eq!(floats.len(), 3);
+        // a second sidecar type does not evict the first, it just builds fresh
+        let sums = p.to_columns(|rows| rows.iter().sum::<i64>());
+        assert_eq!(*sums, 6);
+        let again = p.to_columns(|rows| rows.iter().map(|v| *v as f64).collect::<Vec<f64>>());
+        assert!(Arc::ptr_eq(&floats, &again), "original sidecar stays cached");
+    }
+
+    #[test]
+    fn to_columns_survives_serde_roundtrip_rebuild() {
+        use serde::{Deserialize, Serialize};
+        let p = Partition::from_vec(vec![1i64, 2, 3]);
+        let _ = p.to_columns(|rows| rows.len());
+        let v = p.to_value();
+        let back = Partition::<i64>::from_value(&v).expect("roundtrip");
+        assert_eq!(back, p);
+        let n = back.to_columns(|rows| rows.len());
+        assert_eq!(*n, 3);
     }
 }

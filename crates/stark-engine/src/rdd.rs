@@ -183,6 +183,17 @@ impl<T: Data> RddImpl<T> for FusedRdd<T> {
     }
 }
 
+/// Aborts the current task with a typed, non-retryable
+/// [`TaskErrorKind::InvalidRecord`] error: the record is deterministic
+/// bad input (e.g. a non-finite centroid reaching a spatial
+/// partitioner), so retrying the task would fail identically. The abort
+/// unwinds like a panic but is classified by the executor without
+/// string matching, and [`Rdd::try_collect`] surfaces it as a typed
+/// [`TaskError`].
+pub fn abort_invalid_record(message: impl Into<String>) -> ! {
+    std::panic::panic_any(TaskAbort { kind: TaskErrorKind::InvalidRecord, message: message.into() })
+}
+
 /// Unfused narrow node (one materialised `Vec` per operator), used when
 /// fusion is disabled.
 struct MapPartitionsRdd<T: Data, U: Data> {
@@ -801,6 +812,24 @@ impl<T: Data> Rdd<T> {
         self.fuse_stage("MapPartitions", move |i, it| {
             Box::new(f(i, it.collect()).into_iter()) as BoxIter<U>
         })
+    }
+
+    /// Whole-partition transformation over shared [`Partition`] handles.
+    ///
+    /// Unlike [`Rdd::map_partitions`], the closure receives the parent's
+    /// `Partition<T>` handle directly — including any columnar sidecar
+    /// already cached on it via [`Partition::to_columns`] — and returns
+    /// a new handle, so zero-copy consumers (borrow, bitmap-select,
+    /// gather) never materialise an intermediate `Vec`. Like
+    /// `map_partitions` it acts as a pipeline barrier: it forms its own
+    /// node rather than joining a fused chain. `op` becomes the lineage
+    /// label.
+    pub fn map_partition_handles<U: Data>(
+        &self,
+        op: impl Into<String>,
+        f: impl Fn(usize, Partition<T>) -> Partition<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.derive(op, Arc::new(MapPartitionsRdd { parent: self.inner.clone(), f: Arc::new(f) }))
     }
 
     /// Concatenation of the two datasets' partition lists.

@@ -9,7 +9,10 @@
 //! * WKT parsing and writing ([`Geometry::from_wkt`] / [`Geometry::to_wkt`]);
 //! * binary predicates `intersects`, `contains` (covers semantics),
 //!   `containedBy` and Euclidean `distance`;
-//! * pluggable distance functions ([`DistanceFn`]) including Haversine.
+//! * pluggable distance functions ([`DistanceFn`]) including Haversine;
+//! * columnar predicate kernels over struct-of-arrays coordinate
+//!   columns ([`kernels`], [`SelectionBitmap`]) backing the engine's
+//!   columnar filter path.
 //!
 //! ```
 //! use stark_geo::Geometry;
@@ -27,6 +30,7 @@ pub mod distance;
 pub mod envelope;
 pub mod error;
 pub mod geometry;
+pub mod kernels;
 pub mod linestring;
 pub mod point;
 pub mod polygon;
@@ -40,6 +44,7 @@ pub use distance::{haversine, DistanceFn, EARTH_RADIUS_M};
 pub use envelope::Envelope;
 pub use error::GeoError;
 pub use geometry::Geometry;
+pub use kernels::SelectionBitmap;
 pub use linestring::LineString;
 pub use point::Point;
 pub use polygon::{Polygon, Ring};

@@ -30,7 +30,8 @@ fn main() {
         indexed = INDEX parts ORDER 5;
 
         -- spatio-temporal selection: a window in space AND time
-        window = SPATIAL_FILTER indexed BY CONTAINEDBY(obj, ST('POLYGON((0 0, 60 0, 60 60, 0 60, 0 0))', 0, 500));
+        -- (the box must cover some of seed 31's cluster hotspots)
+        window = SPATIAL_FILTER indexed BY CONTAINEDBY(obj, ST('POLYGON((20 50, 70 50, 70 95, 20 95, 20 50))', 0, 500));
 
         -- non-spatial refinement and ordering
         concerts = FILTER window BY category == 'concert';
