@@ -13,6 +13,8 @@
 //!   repro service `[n]`      # S11 query-service load + fairness (writes target/s11-service.json;
 //!                            # seed via STARK_CHAOS_SEED, session cap via S11_MAX_SESSIONS)
 //!   repro columnar `[n]`     # S12 columnar-vs-row filter ablation (writes target/s12-columnar.json)
+//!   repro ivm `[n]`          # S13 incremental-view-maintenance ablation: standing join at
+//!                            # 10x the S6 rate, recompute vs delta (writes target/s13-ivm.json)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -121,6 +123,22 @@ fn main() {
         std::fs::write(&path, json).expect("write S12 json");
         eprintln!("[s12] wrote {path}");
     }
+    if run("ivm") {
+        ran = true;
+        // S6 streams 1 000 events per generator batch; S13 holds the
+        // standing join at ten times that rate
+        let t = experiments::ivm(&ctx, 8, n.unwrap_or(10_000));
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S13 table");
+        let path = std::env::var("S13_JSON").unwrap_or_else(|_| "target/s13-ivm.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S13 json");
+        eprintln!("[s13] wrote {path}");
+    }
     if run("chaos") {
         ran = true;
         let seed: u64 = std::env::var("STARK_CHAOS_SEED")
@@ -202,7 +220,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, chaos, stragglers, memory, service"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, ivm, chaos, stragglers, memory, service"
         );
         std::process::exit(2);
     }

@@ -1159,6 +1159,141 @@ pub fn memory(parallelism: usize, n: usize, seed: u64) -> Table {
     t
 }
 
+/// S13 — IVM ablation: a standing withinDistance join over the S6
+/// drifting-hotspot stream at 10× the S6 event rate, run once with the
+/// recompute pipeline (every batch rebuilds the probe index and re-joins
+/// the full accumulated sides) and once with delta-based incremental
+/// view maintenance (only the batch delta probes the opposite side's
+/// maintained per-partition STR-trees). Both runs consume the identical
+/// seeded stream; the accumulated standing join result must be
+/// identical, and the interesting number is the tail: p99 per-batch
+/// latency, which for recompute grows with the accumulated state while
+/// the incremental path stays O(batch).
+pub fn ivm(ctx: &Context, batches: usize, batch_records: usize) -> Table {
+    use stark_stream::{
+        EventPayload, GeneratorSource, JoinEmission, JoinSpec, MemorySink, PipelineMode,
+        StreamConfig, StreamContext, StreamJob, StreamReport,
+    };
+
+    let mut t = Table::new(
+        format!("S13: standing withinDistance join, {batches} batches x {batch_records} events"),
+        &[
+            "mode",
+            "records",
+            "mean batch [ms]",
+            "p99 batch [ms]",
+            "max batch [ms]",
+            "standing pairs",
+            "retractions",
+            "p99 speedup",
+        ],
+    );
+
+    let space = workloads::space();
+    let summary = vec![
+        (
+            stark_geo::Envelope::from_point(Coord::new(space.min_x(), space.min_y())),
+            Coord::new(space.min_x(), space.min_y()),
+        ),
+        (
+            stark_geo::Envelope::from_point(Coord::new(space.max_x(), space.max_y())),
+            Coord::new(space.max_x(), space.max_y()),
+        ),
+    ];
+    let partitioner: Arc<dyn SpatialPartitioner> = Arc::new(GridPartitioner::build(6, &summary));
+    let dist = space.width() * 0.001;
+
+    let percentile = |report: &StreamReport, q: f64| -> f64 {
+        let mut ms: Vec<f64> =
+            report.batches.iter().map(|b| b.latency.as_secs_f64() * 1e3).collect();
+        if ms.is_empty() {
+            return 0.0;
+        }
+        ms.sort_by(f64::total_cmp);
+        ms[(((ms.len() as f64) * q).ceil() as usize).clamp(1, ms.len()) - 1]
+    };
+
+    let mut base_p99: Option<f64> = None;
+    let mut base_pairs: Option<Vec<(u64, u64)>> = None;
+    for mode in [PipelineMode::Recompute, PipelineMode::Incremental] {
+        let sc = StreamContext::with_config(
+            ctx.clone(),
+            StreamConfig {
+                batch_records,
+                channel_capacity: 4,
+                parallelism: ctx.parallelism().max(1),
+                ..Default::default()
+            },
+        );
+        let source =
+            GeneratorSource::new(42, space, batches, 1_000, 250).with_drifting_hotspot(0.25);
+        let sink = MemorySink::new();
+        let join = JoinSpec::new(
+            "s13-near",
+            Arc::new(|_: &stark::STObject, v: &EventPayload| v.0.is_multiple_of(2)),
+            Arc::new(|_: &stark::STObject, v: &EventPayload| !v.0.is_multiple_of(2)),
+            STPredicate::within_distance(dist),
+            partitioner.clone(),
+            16,
+        );
+        let job = StreamJob::new().with_mode(mode).with_join(join).with_sink(sink.clone());
+        let report = sc.run(source, job);
+
+        // accumulate the standing result from whatever the mode emitted:
+        // full re-emissions replace it, deltas apply to it
+        let mut standing: Vec<(u64, u64)> = Vec::new();
+        for (_, emission) in &sink.state().joins {
+            match emission {
+                JoinEmission::Full(pairs) => {
+                    standing = pairs.iter().map(|((_, l), (_, r))| (l.0, r.0)).collect();
+                }
+                JoinEmission::Delta { inserts, retracts } => {
+                    for ((_, l), (_, r)) in retracts {
+                        let key = (l.0, r.0);
+                        let i = standing
+                            .iter()
+                            .position(|k| *k == key)
+                            .expect("S13: retraction of a pair that was never asserted");
+                        standing.swap_remove(i);
+                    }
+                    standing.extend(inserts.iter().map(|((_, l), (_, r))| (l.0, r.0)));
+                }
+            }
+        }
+        standing.sort_unstable();
+        match &base_pairs {
+            None => base_pairs = Some(standing.clone()),
+            Some(base) => {
+                assert_eq!(base, &standing, "S13: incremental join diverged from recompute")
+            }
+        }
+
+        let p99 = percentile(&report, 0.99);
+        let speedup = match base_p99 {
+            None => {
+                base_p99 = Some(p99);
+                "1.00x (baseline)".to_string()
+            }
+            Some(base) => format!("{:.2}x", base / p99.max(1e-9)),
+        };
+        let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+        t.push(vec![
+            match mode {
+                PipelineMode::Recompute => "recompute".into(),
+                PipelineMode::Incremental => "incremental".into(),
+            },
+            report.total_records().to_string(),
+            ms(report.mean_latency()),
+            format!("{p99:.2}"),
+            ms(report.max_latency()),
+            standing.len().to_string(),
+            report.retractions_emitted().to_string(),
+            speedup,
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1363,6 +1498,29 @@ mod tests {
         let off: f64 = t.rows[0][2].parse().unwrap();
         let on: f64 = t.rows[1][2].parse().unwrap();
         assert!(on <= off * 1.25, "fusion slower than unfused: on={on}s off={off}s");
+    }
+
+    #[test]
+    fn ivm_ablation_joins_agree_and_incremental_is_not_slower() {
+        // standing-pair equality across modes is asserted inside ivm()
+        let t = ivm(&ctx(), 6, 1_500);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "recompute");
+        assert_eq!(t.rows[1][0], "incremental");
+        // the identical seeded stream reaches both modes whole
+        assert_eq!(t.rows[0][1], t.rows[1][1]);
+        assert!(t.rows[0][5].parse::<usize>().unwrap() > 0, "the join must produce pairs: {t:?}");
+        // an insert-only stream never emits retractions in either mode
+        assert_eq!(t.rows[0][6], "0");
+        assert_eq!(t.rows[1][6], "0");
+        // the tail must not be worse incrementally even at test scale
+        // (the ≥3x headroom is measured at repro scale in EXPERIMENTS.md)
+        let rec_p99: f64 = t.rows[0][3].parse().unwrap();
+        let inc_p99: f64 = t.rows[1][3].parse().unwrap();
+        assert!(
+            inc_p99 <= rec_p99 * 1.10,
+            "incremental p99 ({inc_p99}ms) worse than recompute ({rec_p99}ms)"
+        );
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! `partition_may_match` tests), with extents fitted to the records
 //! actually inserted — sound even for records outside the partitioner's
 //! build sample.
+//!
+//! The index also supports **removal** ([`IncrementalIndex::remove_batch`])
+//! so the streaming IVM layer can retract records when a window expires
+//! or an upstream correction arrives: a remove takes out one record
+//! equal to the requested `(object, value)` pair, re-fits the touched
+//! partition's extents, and marks it dirty like an insert. Removing a
+//! record that was never inserted (or was already removed) is a counted
+//! no-op, so retractions of shed or quarantined records are safe.
 
 use crate::partitioner::SpatialPartitioner;
 use crate::predicate::STPredicate;
@@ -35,6 +43,18 @@ pub struct RefreshStats {
     pub rebuilds_skipped: u64,
     /// Records currently indexed.
     pub records: usize,
+}
+
+/// Outcome of an [`IncrementalIndex::remove_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoveOutcome {
+    /// Records actually taken out of the index.
+    pub removed: usize,
+    /// Requested removals with no matching record (already removed,
+    /// never inserted, or shed upstream) — no-ops.
+    pub missing: usize,
+    /// Distinct partitions whose buffer changed.
+    pub partitions_touched: usize,
 }
 
 /// Cached tree for one partition; `None` until first refresh.
@@ -122,6 +142,61 @@ impl<V: Data> IncrementalIndex<V> {
             self.stats.records += 1;
         }
         touched
+    }
+
+    /// Removes one record equal to each requested `(object, value)` pair,
+    /// routing by centroid exactly like [`Self::insert_batch`] so a
+    /// record is always removed from the partition it was inserted into.
+    /// Touched partitions are marked dirty (their tree rebuilds on the
+    /// next [`Self::refresh`]) and their extents are re-fitted to the
+    /// surviving records, so pruning stays tight after retraction. A
+    /// request with no matching record — a duplicate remove, or a
+    /// retraction of a record that was shed before insertion — is a
+    /// counted no-op.
+    pub fn remove_batch(&mut self, batch: impl IntoIterator<Item = (STObject, V)>) -> RemoveOutcome
+    where
+        V: PartialEq,
+    {
+        let mut outcome = RemoveOutcome::default();
+        let mut touched = vec![false; self.records.len()];
+        for (obj, value) in batch {
+            let p = self
+                .partitioner
+                .partition_for_centroid(&obj.centroid())
+                .min(self.records.len() - 1);
+            match self.records[p].iter().position(|(o, v)| *o == obj && *v == value) {
+                Some(i) => {
+                    self.records[p].remove(i);
+                    self.stats.records -= 1;
+                    outcome.removed += 1;
+                    if !touched[p] {
+                        touched[p] = true;
+                        outcome.partitions_touched += 1;
+                    }
+                    self.dirty[p] = true;
+                }
+                None => outcome.missing += 1,
+            }
+        }
+        for (p, t) in touched.into_iter().enumerate() {
+            if t {
+                self.refit_extents(p);
+            }
+        }
+        outcome
+    }
+
+    /// Re-fits partition `p`'s spatial and temporal extents to the
+    /// records it still holds (removal can only shrink them).
+    fn refit_extents(&mut self, p: usize) {
+        let mut extent = Envelope::empty();
+        let mut time_extent = TemporalExtent::empty();
+        for (o, _) in &self.records[p] {
+            extent.expand_to_include_envelope(&o.envelope());
+            time_extent.expand(o.time());
+        }
+        self.extents[p] = extent;
+        self.time_extents[p] = time_extent;
     }
 
     /// Rebuilds the STR-tree of every dirty partition (and only those).
@@ -381,6 +456,155 @@ mod tests {
         let expect =
             data.iter().filter(|(o, _)| o.distance(&q, DistanceFn::Euclidean) <= 3.0).count();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn remove_round_trip_leaves_index_equivalent_to_fresh_build() {
+        let data = points(100);
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        idx.insert_batch(data.clone());
+        idx.refresh();
+
+        // remove a scattered subset, including one duplicate and one
+        // record that was never inserted
+        let removed_ids: Vec<usize> = (0..100).filter(|i| i % 3 == 0).collect();
+        let mut to_remove: Vec<(STObject, usize)> =
+            data.iter().filter(|(_, i)| removed_ids.contains(i)).cloned().collect();
+        to_remove.push(data[0].clone()); // duplicate remove: no-op
+        to_remove.push((STObject::point_at(999.0, 999.0, 7), 4242)); // never inserted
+        let dup_and_missing = 2;
+        let outcome = idx.remove_batch(to_remove);
+        assert_eq!(outcome.removed, removed_ids.len());
+        assert_eq!(outcome.missing, dup_and_missing);
+        assert!(outcome.partitions_touched > 0);
+        idx.refresh();
+
+        // fresh index over the surviving records only
+        let survivors: Vec<(STObject, usize)> =
+            data.iter().filter(|(_, i)| !removed_ids.contains(i)).cloned().collect();
+        let mut fresh = IncrementalIndex::new(grid_over_unit_square(4), 5);
+        fresh.insert_batch(survivors.clone());
+        fresh.refresh();
+
+        assert_eq!(idx.len(), fresh.len());
+        // query equivalence: filter and knn agree with the fresh build
+        let collect_ids = |got: Vec<(STObject, usize)>| {
+            let mut v: Vec<usize> = got.into_iter().map(|(_, i)| i).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            collect_ids(idx.filter(&query(), STPredicate::Intersects)),
+            collect_ids(fresh.filter(&query(), STPredicate::Intersects)),
+        );
+        let q = STObject::point(23.0, 4.5);
+        let got = idx.knn(&q, 9, DistanceFn::Euclidean);
+        let want = fresh.knn(&q, 9, DistanceFn::Euclidean);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.0 - w.0).abs() < 1e-12);
+        }
+        // pruning stays sound and tight: the same partitions scan
+        assert_eq!(
+            idx.partitions_scanned(&query(), &STPredicate::Intersects),
+            fresh.partitions_scanned(&query(), &STPredicate::Intersects),
+        );
+    }
+
+    #[test]
+    fn remove_everything_empties_the_index_and_its_extents() {
+        let data = points(40);
+        let mut idx = IncrementalIndex::new(grid_over_unit_square(3), 4);
+        idx.insert_batch(data.clone());
+        idx.refresh();
+        let outcome = idx.remove_batch(data);
+        assert_eq!(outcome.removed, 40);
+        assert_eq!(outcome.missing, 0);
+        assert!(idx.is_empty());
+        idx.refresh();
+        // re-fitted extents prune every partition for any query
+        let anywhere =
+            STObject::from_wkt_interval("POLYGON((0 0, 100 0, 100 100, 0 100, 0 0))", 0, 1 << 40)
+                .unwrap();
+        assert_eq!(idx.partitions_scanned(&anywhere, &STPredicate::Intersects), 0);
+        assert!(idx.filter(&anywhere, STPredicate::Intersects).is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Random insert/remove interleavings (with duplicate and
+        /// missing-key removes drawn in) leave the index
+        /// query-equivalent to a fresh build over the survivors, on
+        /// both the dirty (pre-refresh) and clean (refreshed) paths.
+        #[test]
+        fn random_insert_remove_round_trips_match_fresh_build(
+            coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0i64..5_000), 1..120),
+            remove_mask in proptest::collection::vec(proptest::prelude::any::<bool>(), 120..121),
+            double_remove in proptest::prelude::any::<bool>(),
+            refresh_between in proptest::prelude::any::<bool>(),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let data: Vec<(STObject, usize)> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, (x, y, t))| (STObject::point_at(*x, *y, *t), i))
+                .collect();
+            let mut idx = IncrementalIndex::new(grid_over_unit_square(4), 4);
+            idx.insert_batch(data.clone());
+            if refresh_between {
+                idx.refresh();
+            }
+            let removals: Vec<(STObject, usize)> = data
+                .iter()
+                .zip(&remove_mask)
+                .filter(|(_, m)| **m)
+                .map(|(r, _)| r.clone())
+                .collect();
+            let mut requests = removals.clone();
+            if double_remove && !removals.is_empty() {
+                requests.push(removals[0].clone()); // duplicate: no-op
+            }
+            requests.push((STObject::point_at(-7.0, 212.0, 99), usize::MAX)); // missing key
+            let outcome = idx.remove_batch(requests);
+            prop_assert_eq!(outcome.removed, removals.len());
+            prop_assert_eq!(
+                outcome.missing,
+                1 + usize::from(double_remove && !removals.is_empty())
+            );
+
+            let survivors: Vec<(STObject, usize)> = data
+                .iter()
+                .zip(&remove_mask)
+                .filter(|(_, m)| !**m)
+                .map(|(r, _)| r.clone())
+                .collect();
+            let mut fresh = IncrementalIndex::new(grid_over_unit_square(4), 4);
+            fresh.insert_batch(survivors);
+            fresh.refresh();
+
+            let ids = |got: Vec<(STObject, usize)>| {
+                let mut v: Vec<usize> = got.into_iter().map(|(_, i)| i).collect();
+                v.sort_unstable();
+                v
+            };
+            let probe = query();
+            // dirty path first, then the clean path after refresh
+            prop_assert_eq!(
+                ids(idx.filter(&probe, STPredicate::Intersects)),
+                ids(fresh.filter(&probe, STPredicate::Intersects))
+            );
+            idx.refresh();
+            prop_assert_eq!(idx.len(), fresh.len());
+            prop_assert_eq!(
+                ids(idx.filter(&probe, STPredicate::Intersects)),
+                ids(fresh.filter(&probe, STPredicate::Intersects))
+            );
+            prop_assert_eq!(
+                ids(idx.within_distance(&STObject::point(50.0, 5.0), 12.0, DistanceFn::Euclidean)),
+                ids(fresh.within_distance(&STObject::point(50.0, 5.0), 12.0, DistanceFn::Euclidean))
+            );
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod temporal;
 pub use aggregate::CellStats;
 pub use columnar::ColumnarBatch;
 pub use error::StarkError;
-pub use incremental::{IncrementalIndex, RefreshStats};
+pub use incremental::{IncrementalIndex, RefreshStats, RemoveOutcome};
 pub use indexed::IndexedSpatialRdd;
 pub use join::{JoinConfig, JoinIndexMode};
 pub use knn_join::KnnJoinRow;

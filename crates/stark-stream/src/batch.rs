@@ -14,6 +14,9 @@ pub type BatchId = u64;
 pub struct MicroBatch<V> {
     pub id: BatchId,
     pub records: stark_engine::Partition<(stark::STObject, V)>,
+    /// Records the source retracts this batch (upstream corrections).
+    /// Empty for plain insert-only sources.
+    pub retracts: stark_engine::Partition<(stark::STObject, V)>,
 }
 
 /// Per-batch processing metrics, extending the engine's job counters
@@ -37,6 +40,16 @@ pub struct BatchMetrics {
     pub partitions_rebuilt: usize,
     /// Window panes fired while processing this batch.
     pub windows_fired: u64,
+    /// Upstream retraction records applied this batch (timely ones,
+    /// routed to open panes / standing state; membership-checked no-ops
+    /// included). 0 for insert-only streams.
+    pub records_retracted: u64,
+    /// Retraction events emitted downstream this batch: one per window
+    /// the watermark expired on the incremental path, plus every
+    /// retracted pair in a standing join's delta emission. 0 on the
+    /// pure recompute path — it re-emits full results instead of
+    /// correcting them, so any nonzero value there is double-emission.
+    pub retractions_emitted: u64,
     /// Extra pane-aggregation attempts consumed by batch-level retry
     /// (0 = clean batch). On top of the engine's own per-task retries.
     pub aggregation_retries: u32,
@@ -87,6 +100,16 @@ impl StreamReport {
 
     pub fn late_dropped(&self) -> u64 {
         self.batches.iter().map(|b| b.late_dropped).sum()
+    }
+
+    /// Upstream retraction records applied across the run.
+    pub fn records_retracted(&self) -> u64 {
+        self.batches.iter().map(|b| b.records_retracted).sum()
+    }
+
+    /// Retraction events emitted downstream across the run.
+    pub fn retractions_emitted(&self) -> u64 {
+        self.batches.iter().map(|b| b.retractions_emitted).sum()
     }
 
     /// Extra pane-aggregation attempts spent by batch-level retry.

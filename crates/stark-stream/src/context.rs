@@ -8,6 +8,8 @@
 //! engine, and emits per-batch metrics.
 
 use crate::batch::{BatchMetrics, MicroBatch, StreamReport};
+use crate::delta::{apply_ops, Delta, StatelessOp};
+use crate::graph::{DeltaJoin, JoinSpec, PipelineMode, WindowAggregator};
 use crate::query::ContinuousQueryEngine;
 use crate::sink::{Sink, WindowAggregate};
 use crate::source::Source;
@@ -129,9 +131,12 @@ impl Default for StreamConfig {
 /// aggregations, continuous queries and sinks. Built once, consumed by
 /// [`StreamContext::run`].
 pub struct StreamJob<V: StoreData> {
+    mode: PipelineMode,
+    ops: Vec<StatelessOp<V>>,
     windows: Option<WindowManager<V>>,
     grid: Option<(usize, Envelope)>,
     hotspots: Option<DbscanParams>,
+    join: Option<JoinSpec<V>>,
     queries: Option<ContinuousQueryEngine<V>>,
     sinks: Vec<Box<dyn Sink<V>>>,
 }
@@ -144,7 +149,45 @@ impl<V: StoreData> Default for StreamJob<V> {
 
 impl<V: StoreData> StreamJob<V> {
     pub fn new() -> Self {
-        StreamJob { windows: None, grid: None, hotspots: None, queries: None, sinks: Vec::new() }
+        StreamJob {
+            mode: PipelineMode::Recompute,
+            ops: Vec::new(),
+            windows: None,
+            grid: None,
+            hotspots: None,
+            join: None,
+            queries: None,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Selects how state-bearing operators execute (default:
+    /// [`PipelineMode::Recompute`]).
+    pub fn with_mode(mut self, mode: PipelineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`Self::with_mode`]`(PipelineMode::Incremental)`.
+    pub fn incremental(self) -> Self {
+        self.with_mode(PipelineMode::Incremental)
+    }
+
+    /// Appends a stateless filter/map operator; the chain applies to
+    /// every batch's delta, in order, before any stateful operator —
+    /// identically on both execution paths.
+    pub fn with_op(mut self, op: StatelessOp<V>) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Attaches a standing stream-stream join, executed per the job's
+    /// [`PipelineMode`]: full re-probe each batch under recompute,
+    /// delta-probes against per-side incremental indexes under
+    /// incremental.
+    pub fn with_join(mut self, spec: JoinSpec<V>) -> Self {
+        self.join = Some(spec);
+        self
     }
 
     /// Windows events by event time with the given lateness policy.
@@ -216,9 +259,27 @@ impl StreamContext {
     /// source ends and every pane has been flushed.
     pub fn run<V, S>(&self, source: S, mut job: StreamJob<V>) -> StreamReport
     where
-        V: StoreData,
+        V: StoreData + PartialEq,
         S: Source<V> + 'static,
     {
+        assert!(
+            job.mode == PipelineMode::Recompute || job.hotspots.is_none(),
+            "hotspot detection (DBSCAN) is a holistic aggregate and cannot be \
+             maintained incrementally; use PipelineMode::Recompute"
+        );
+        // Incremental mode trades the window manager's fire-time pane
+        // recompute for a delta-maintained aggregator, and instantiates
+        // the standing join against per-side incremental indexes.
+        let mut aggregator: Option<WindowAggregator<V>> = if job.mode == PipelineMode::Incremental {
+            job.windows.take().map(|wm| {
+                WindowAggregator::new(wm.spec(), wm.allowed_lateness(), wm.policy(), job.grid)
+            })
+        } else {
+            None
+        };
+        let mut join: Option<DeltaJoin<V>> =
+            job.join.take().map(|spec| DeltaJoin::new(spec, job.mode));
+
         let (tx, rx) = channel::bounded::<MicroBatch<V>>(self.config.channel_capacity);
         let batch_records = self.config.batch_records;
         let shed_policy = self.config.shed_policy;
@@ -239,17 +300,20 @@ impl StreamContext {
                 // A panicking source must not take the driver down with
                 // it: catch it here, flag it, and let the dropped sender
                 // end the stream cleanly.
-                let records =
-                    match catch_unwind(AssertUnwindSafe(|| source.next_batch(batch_records))) {
-                        Ok(Some(records)) => records,
+                let delta =
+                    match catch_unwind(AssertUnwindSafe(|| source.next_delta(batch_records))) {
+                        Ok(Some(delta)) => delta,
                         Ok(None) => break, // source drained
                         Err(_) => {
                             pump_flag.store(true, Ordering::Release);
                             break;
                         }
                     };
-                let mut batch =
-                    MicroBatch { id, records: stark_engine::Partition::from_vec(records) };
+                let mut batch = MicroBatch {
+                    id,
+                    records: stark_engine::Partition::from_vec(delta.inserts),
+                    retracts: stark_engine::Partition::from_vec(delta.retracts),
+                };
                 id += 1;
                 // Saturation handling: shedding drops data *here*, before
                 // the window manager ever observes it, so the watermark
@@ -264,8 +328,10 @@ impl StreamContext {
                         Ok(displaced) => {
                             for old in displaced {
                                 pump_batches_shed.fetch_add(1, Ordering::Relaxed);
-                                pump_records_shed
-                                    .fetch_add(old.records.len() as u64, Ordering::Relaxed);
+                                pump_records_shed.fetch_add(
+                                    (old.records.len() + old.retracts.len()) as u64,
+                                    Ordering::Relaxed,
+                                );
                             }
                         }
                         Err(_) => break,
@@ -303,7 +369,8 @@ impl StreamContext {
                 Err(RecvError::Disconnected) => break,
             };
             let queue_depth = rx.len();
-            let metrics = self.process_batch(batch, queue_depth, &mut job);
+            let metrics =
+                self.process_batch(batch, queue_depth, &mut job, &mut aggregator, &mut join);
             let failed = metrics.failed;
             for sink in &mut job.sinks {
                 sink.on_batch(&metrics);
@@ -334,6 +401,15 @@ impl StreamContext {
                     }
                 }
             }
+        } else if let Some(agg) = &mut aggregator {
+            // Incremental flush emits the maintained aggregates directly
+            // — no engine jobs, nothing to retry.
+            report.final_watermark = agg.watermark();
+            for window in agg.flush() {
+                for sink in &mut job.sinks {
+                    sink.on_window(&window);
+                }
+            }
         }
         let _ = pump.join(); // panic already recorded via the flag
         report.source_disconnected = source_panicked.load(Ordering::Acquire);
@@ -344,11 +420,13 @@ impl StreamContext {
         report
     }
 
-    fn process_batch<V: StoreData>(
+    fn process_batch<V: StoreData + PartialEq>(
         &self,
         batch: MicroBatch<V>,
         queue_depth: usize,
         job: &mut StreamJob<V>,
+        aggregator: &mut Option<WindowAggregator<V>>,
+        join: &mut Option<DeltaJoin<V>>,
     ) -> BatchMetrics {
         let started = Instant::now();
         let records = batch.records.len() as u64;
@@ -356,7 +434,10 @@ impl StreamContext {
         // as engine jobs: a forced reservation held for the batch's
         // lifetime, so under pressure cached/checkpointed partitions are
         // evicted rather than the live batch being refused.
-        let _memory = self.ctx.memory().reserve(batch.records.shallow_bytes());
+        let _memory = self
+            .ctx
+            .memory()
+            .reserve(batch.records.shallow_bytes() + batch.retracts.shallow_bytes());
         // Per-batch latency bound: pane aggregations (engine jobs) run
         // under an ambient deadline for the rest of this batch. The
         // window bookkeeping below is driver-local and unaffected, so a
@@ -365,16 +446,63 @@ impl StreamContext {
 
         let mut late_dropped = 0u64;
         let mut windows_fired = 0u64;
+        let mut records_retracted = 0u64;
+        let mut retractions_emitted = 0u64;
         let mut aggregation_retries = 0u32;
         let mut failed = false;
         let mut watermark = None;
+
+        // The batch flows through the graph as a delta; the stateless
+        // operator chain transforms it identically on both paths. A
+        // panicking operator skips the batch whole — nothing was
+        // observed, no state changed, the watermark simply holds still.
+        let mut delta = Delta::new(
+            batch.records.iter().cloned().collect(),
+            batch.retracts.iter().cloned().collect(),
+        );
+        if !job.ops.is_empty() {
+            let ops = &job.ops;
+            match catch_unwind(AssertUnwindSafe(move || {
+                let mut d = delta;
+                apply_ops(ops, &mut d);
+                d
+            })) {
+                Ok(d) => delta = d,
+                Err(_) => {
+                    let watermark = job
+                        .windows
+                        .as_ref()
+                        .and_then(|wm| wm.watermark())
+                        .or_else(|| aggregator.as_ref().and_then(|a| a.watermark()));
+                    let latency = started.elapsed();
+                    return BatchMetrics {
+                        batch: batch.id,
+                        records,
+                        late_dropped: 0,
+                        latency,
+                        events_per_sec: 0.0,
+                        queue_depth,
+                        partitions_touched: 0,
+                        partitions_rebuilt: 0,
+                        windows_fired: 0,
+                        records_retracted: 0,
+                        retractions_emitted: 0,
+                        aggregation_retries: 0,
+                        watermark,
+                        failed: true,
+                    };
+                }
+            }
+        }
+
         if let Some(wm) = &mut job.windows {
             // Observe/side/fire run exactly once per batch — they are
             // driver-local and infallible, so the watermark is a pure
             // function of the observed events no matter how often the
             // pane aggregation below retries.
-            let stats = wm.observe(batch.records.iter().cloned());
+            let stats = wm.observe_delta(&delta);
             late_dropped = stats.dropped;
+            records_retracted = stats.retracted;
             watermark = wm.watermark();
             let side = wm.take_side_output();
             if !side.is_empty() {
@@ -399,6 +527,43 @@ impl StreamContext {
                     Err(_) => failed = true,
                 }
             }
+        } else if let Some(agg) = aggregator.as_mut() {
+            // Incremental path: the delta updates running aggregates in
+            // O(Δ); expiry emits maintained state without re-scanning,
+            // plus exactly one retraction per expired window.
+            let stats = agg.observe_delta(&delta);
+            late_dropped = stats.dropped;
+            records_retracted = stats.retracted;
+            watermark = agg.watermark();
+            let side = agg.take_side_output();
+            if !side.is_empty() {
+                for sink in &mut job.sinks {
+                    sink.on_late(&side);
+                }
+            }
+            let expired = agg.expire();
+            windows_fired = expired.len() as u64;
+            retractions_emitted += expired.len() as u64;
+            for (window, retraction) in &expired {
+                for sink in &mut job.sinks {
+                    sink.on_window(window);
+                    sink.on_retraction(retraction);
+                }
+            }
+        }
+
+        if let Some(dj) = join.as_mut() {
+            // Like query evaluation below: caught but not retried, since
+            // a replay would double-apply the delta to join state.
+            match catch_unwind(AssertUnwindSafe(|| dj.on_delta(&delta))) {
+                Ok(emission) => {
+                    retractions_emitted += emission.retracted() as u64;
+                    for sink in &mut job.sinks {
+                        sink.on_join(batch.id, &emission);
+                    }
+                }
+                Err(_) => failed = true,
+            }
         }
 
         let mut partitions_touched = 0;
@@ -407,7 +572,7 @@ impl StreamContext {
             // Query evaluation mutates the incremental index, so it is
             // caught but not retried: it runs no engine jobs (chaos
             // cannot strike it) and a replay could double-apply inserts.
-            match catch_unwind(AssertUnwindSafe(|| engine.on_batch(&batch.records))) {
+            match catch_unwind(AssertUnwindSafe(|| engine.on_delta(&delta))) {
                 Ok(eval) => {
                     partitions_touched = eval.partitions_touched;
                     partitions_rebuilt = eval.partitions_rebuilt;
@@ -432,6 +597,8 @@ impl StreamContext {
             partitions_touched,
             partitions_rebuilt,
             windows_fired,
+            records_retracted,
+            retractions_emitted,
             aggregation_retries,
             watermark,
             failed,

@@ -1,0 +1,117 @@
+//! Delta record sets: the unit of flow in the incremental operator
+//! graph.
+//!
+//! A [`Delta`] carries one micro-batch's worth of change — records
+//! entering the stream (`inserts`) and corrections retracting records
+//! delivered earlier (`retracts`). Stateless operators
+//! ([`StatelessOp`]) pass a delta through in O(batch): a filter applies
+//! the same predicate to inserts and retracts (a retraction of a
+//! filtered-out record is itself filtered out), and a map transforms
+//! both sides with the same function so a retraction still matches the
+//! transformed insert it corrects.
+
+use stark::{STObject, STPredicate};
+use std::sync::Arc;
+
+/// One micro-batch of change: records entering the stream and
+/// retractions of records delivered earlier. An insert-only delta is
+/// the common case; retractions arrive when an upstream source corrects
+/// itself mid-stream.
+#[derive(Debug, Clone)]
+pub struct Delta<V> {
+    /// Records entering the stream this batch.
+    pub inserts: Vec<(STObject, V)>,
+    /// Records retracted this batch; each retraction names the exact
+    /// `(object, value)` pair it corrects. Retracting a record that
+    /// never arrived (it was shed, quarantined, or already retracted)
+    /// is a no-op everywhere downstream.
+    pub retracts: Vec<(STObject, V)>,
+}
+
+impl<V> Default for Delta<V> {
+    fn default() -> Self {
+        Delta { inserts: Vec::new(), retracts: Vec::new() }
+    }
+}
+
+impl<V> Delta<V> {
+    /// An insert-only delta (what a plain [`crate::Source`] produces).
+    pub fn from_inserts(inserts: Vec<(STObject, V)>) -> Self {
+        Delta { inserts, retracts: Vec::new() }
+    }
+
+    /// A delta with explicit inserts and retractions.
+    pub fn new(inserts: Vec<(STObject, V)>, retracts: Vec<(STObject, V)>) -> Self {
+        Delta { inserts, retracts }
+    }
+
+    /// Total records carried (inserts + retracts).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// A stateless operator in the incremental graph. Applying one to a
+/// delta costs O(batch) and needs no standing state, so the same
+/// operator chain runs identically on the incremental and the
+/// recompute path — both see the same transformed stream.
+#[derive(Clone)]
+pub enum StatelessOp<V> {
+    /// Keeps records where `pred.eval(record, query)` holds. Applied to
+    /// inserts and retracts alike, so a retraction of a filtered-out
+    /// record never reaches stateful operators.
+    Filter { query: STObject, pred: STPredicate },
+    /// Transforms each record with a (deterministic) function; inserts
+    /// and retracts map through the same function, so a retraction
+    /// still matches the transformed record it corrects.
+    Map(Arc<dyn Fn(STObject, V) -> (STObject, V) + Send + Sync>),
+}
+
+impl<V> std::fmt::Debug for StatelessOp<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatelessOp::Filter { pred, .. } => write!(f, "Filter({pred:?})"),
+            StatelessOp::Map(_) => write!(f, "Map(..)"),
+        }
+    }
+}
+
+impl<V> StatelessOp<V> {
+    /// Filter shorthand.
+    pub fn filter(query: STObject, pred: STPredicate) -> Self {
+        StatelessOp::Filter { query, pred }
+    }
+
+    /// Map shorthand.
+    pub fn map(f: impl Fn(STObject, V) -> (STObject, V) + Send + Sync + 'static) -> Self {
+        StatelessOp::Map(Arc::new(f))
+    }
+
+    /// Applies the operator to one side of a delta, in place.
+    fn apply_side(&self, side: &mut Vec<(STObject, V)>) {
+        match self {
+            StatelessOp::Filter { query, pred } => side.retain(|(o, _)| pred.eval(o, query)),
+            StatelessOp::Map(f) => {
+                let mapped: Vec<(STObject, V)> = side.drain(..).map(|(o, v)| f(o, v)).collect();
+                *side = mapped;
+            }
+        }
+    }
+
+    /// Applies the operator to a delta: O(batch), no state.
+    pub fn apply(&self, delta: &mut Delta<V>) {
+        self.apply_side(&mut delta.inserts);
+        self.apply_side(&mut delta.retracts);
+    }
+}
+
+/// Applies a stateless operator chain to a delta, in order.
+pub fn apply_ops<V>(ops: &[StatelessOp<V>], delta: &mut Delta<V>) {
+    for op in ops {
+        op.apply(delta);
+    }
+}

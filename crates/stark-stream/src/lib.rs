@@ -56,6 +56,8 @@
 
 pub mod batch;
 pub mod context;
+pub mod delta;
+pub mod graph;
 pub mod query;
 pub mod sink;
 pub mod source;
@@ -63,10 +65,16 @@ pub mod window;
 
 pub use batch::{BatchId, BatchMetrics, MicroBatch, StreamReport};
 pub use context::{BatchFailurePolicy, ShedPolicy, StreamConfig, StreamContext, StreamJob};
-pub use query::{BatchEvaluation, ContinuousQueryEngine, QueryOutput, QueryResult, StandingQuery};
-pub use sink::{MemorySink, MemorySinkState, Sink, WindowAggregate};
-pub use source::{
-    EventPayload, GeneratorSource, Quarantine, ReplaySource, Source, VecSource, WktSource,
-    QUARANTINE_CAP,
+pub use delta::{apply_ops, Delta, StatelessOp};
+pub use graph::{
+    DeltaJoin, JoinEmission, JoinPair, JoinSide, JoinSpec, PipelineMode, WindowAggregator,
 };
-pub use window::{event_time, LatePolicy, ObserveStats, WindowManager, WindowPane, WindowSpec};
+pub use query::{BatchEvaluation, ContinuousQueryEngine, QueryOutput, QueryResult, StandingQuery};
+pub use sink::{MemorySink, MemorySinkState, Sink, WindowAggregate, WindowRetraction};
+pub use source::{
+    DeltaVecSource, EventPayload, GeneratorSource, Quarantine, ReplaySource, Source, VecSource,
+    WktSource, QUARANTINE_CAP,
+};
+pub use window::{
+    event_time, LatePolicy, ObserveStats, Watermark, WindowManager, WindowPane, WindowSpec,
+};

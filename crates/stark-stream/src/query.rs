@@ -9,6 +9,7 @@
 //! unindexed engine keeps a flat record list and linear-scans it per
 //! query — the baseline the S6 experiment compares against.
 
+use crate::delta::Delta;
 use stark::{IncrementalIndex, STObject, STPredicate, SpatialPartitioner};
 use stark_engine::Data;
 use stark_geo::DistanceFn;
@@ -156,6 +157,40 @@ impl<V: Data> ContinuousQueryEngine<V> {
                 (0, 0)
             }
         };
+        self.evaluation(touched, rebuilt)
+    }
+
+    /// Absorbs a full delta: retractions take their record back out of
+    /// the accumulated stream (a membership-checked no-op if it never
+    /// arrived — shed or quarantined upstream), then inserts land as in
+    /// [`Self::on_batch`]. Every query re-evaluates against the
+    /// corrected stream, so a standing result reflects retractions the
+    /// batch they arrive.
+    pub fn on_delta(&mut self, delta: &Delta<V>) -> BatchEvaluation<V>
+    where
+        V: PartialEq,
+    {
+        let (touched, rebuilt) = match &mut self.state {
+            QueryState::Indexed(idx) => {
+                let removed = idx.remove_batch(delta.retracts.iter().cloned());
+                let touched = idx.insert_batch(delta.inserts.iter().cloned());
+                let rebuilt = idx.refresh();
+                (touched.max(removed.partitions_touched), rebuilt)
+            }
+            QueryState::Unindexed(all) => {
+                for (obj, value) in &delta.retracts {
+                    if let Some(i) = all.iter().position(|(o, v)| o == obj && v == value) {
+                        all.remove(i);
+                    }
+                }
+                all.extend(delta.inserts.iter().cloned());
+                (0, 0)
+            }
+        };
+        self.evaluation(touched, rebuilt)
+    }
+
+    fn evaluation(&self, touched: usize, rebuilt: usize) -> BatchEvaluation<V> {
         let results = self
             .queries
             .iter()

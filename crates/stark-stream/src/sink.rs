@@ -1,6 +1,7 @@
 //! Stream output sinks.
 
 use crate::batch::{BatchId, BatchMetrics};
+use crate::graph::JoinEmission;
 use crate::query::QueryResult;
 use stark::{CellStats, STObject};
 use stark_engine::Data;
@@ -19,11 +20,27 @@ pub struct WindowAggregate {
     pub hotspot_clusters: u64,
 }
 
+/// Emitted by the incremental path when the watermark expires a window:
+/// downstream state holding the window's contribution should evict it.
+/// Exactly one retraction is emitted per expired window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRetraction {
+    pub start: i64,
+    pub end: i64,
+    /// Records the expired window held when it was finalized.
+    pub count: u64,
+}
+
 /// Receives stream outputs as they are produced. All methods default to
 /// no-ops so a sink implements only what it consumes.
 pub trait Sink<V: Data> {
     /// A window pane fired and its aggregates were computed.
     fn on_window(&mut self, _window: &WindowAggregate) {}
+    /// The watermark expired a window on the incremental path.
+    fn on_retraction(&mut self, _retraction: &WindowRetraction) {}
+    /// A standing join produced output for a batch (the full result on
+    /// the recompute path, the exact change on the incremental path).
+    fn on_join(&mut self, _batch: BatchId, _emission: &JoinEmission<V>) {}
     /// Standing queries were evaluated for a batch.
     fn on_query_results(&mut self, _batch: BatchId, _results: &[QueryResult<V>]) {}
     /// Late records diverted by the side-output policy.
@@ -36,6 +53,8 @@ pub trait Sink<V: Data> {
 #[derive(Debug, Clone)]
 pub struct MemorySinkState<V> {
     pub windows: Vec<WindowAggregate>,
+    pub retractions: Vec<WindowRetraction>,
+    pub joins: Vec<(BatchId, JoinEmission<V>)>,
     pub query_results: Vec<(BatchId, Vec<QueryResult<V>>)>,
     pub late: Vec<(STObject, V)>,
     pub batches: Vec<BatchMetrics>,
@@ -45,6 +64,8 @@ impl<V> Default for MemorySinkState<V> {
     fn default() -> Self {
         MemorySinkState {
             windows: Vec::new(),
+            retractions: Vec::new(),
+            joins: Vec::new(),
             query_results: Vec::new(),
             late: Vec::new(),
             batches: Vec::new(),
@@ -84,6 +105,14 @@ impl<V> MemorySink<V> {
 impl<V: Data> Sink<V> for MemorySink<V> {
     fn on_window(&mut self, window: &WindowAggregate) {
         self.state().windows.push(window.clone());
+    }
+
+    fn on_retraction(&mut self, retraction: &WindowRetraction) {
+        self.state().retractions.push(*retraction);
+    }
+
+    fn on_join(&mut self, batch: BatchId, emission: &JoinEmission<V>) {
+        self.state().joins.push((batch, emission.clone()));
     }
 
     fn on_query_results(&mut self, batch: BatchId, results: &[QueryResult<V>]) {

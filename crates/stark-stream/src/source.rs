@@ -7,6 +7,7 @@
 //! recorded batches back out of the engine's object store
 //! ([`ReplaySource`]).
 
+use crate::delta::Delta;
 use stark::{STObject, Temporal};
 use stark_engine::{ObjectStore, StorageError};
 use stark_eventsim::{Event, EventGenerator};
@@ -21,6 +22,15 @@ pub trait Source<V>: Send {
     /// Pulls the next batch of up to `max_records` records.
     /// `None` ends the stream.
     fn next_batch(&mut self, max_records: usize) -> Option<Vec<(STObject, V)>>;
+
+    /// Pulls the next batch as a [`Delta`]. The stream pump calls this;
+    /// insert-only sources get it for free from
+    /// [`Source::next_batch`]. Sources that issue mid-stream
+    /// corrections ([`DeltaVecSource`]) override it to carry
+    /// retractions alongside inserts.
+    fn next_delta(&mut self, max_records: usize) -> Option<Delta<V>> {
+        self.next_batch(max_records).map(Delta::from_inserts)
+    }
 
     /// Malformed inputs this source has diverted to its dead-letter
     /// quarantine instead of panicking the pump. Reported once at end of
@@ -189,6 +199,32 @@ impl<V: Send> Source<V> for VecSource<V> {
     /// re-chunk).
     fn next_batch(&mut self, _max_records: usize) -> Option<Vec<(STObject, V)>> {
         self.batches.pop_front()
+    }
+}
+
+/// Serves pre-built [`Delta`]s — batches that can carry retractions —
+/// from memory; the test-harness source for exercising mid-stream
+/// corrections deterministically.
+pub struct DeltaVecSource<V> {
+    deltas: std::collections::VecDeque<Delta<V>>,
+}
+
+impl<V: Send> DeltaVecSource<V> {
+    pub fn new(deltas: Vec<Delta<V>>) -> Self {
+        DeltaVecSource { deltas: deltas.into() }
+    }
+}
+
+impl<V: Send> Source<V> for DeltaVecSource<V> {
+    /// Serves the next delta's inserts, silently dropping its
+    /// retractions — only meaningful for insert-only scripts. The pump
+    /// uses [`Source::next_delta`], which serves the delta whole.
+    fn next_batch(&mut self, _max_records: usize) -> Option<Vec<(STObject, V)>> {
+        self.deltas.pop_front().map(|d| d.inserts)
+    }
+
+    fn next_delta(&mut self, _max_records: usize) -> Option<Delta<V>> {
+        self.deltas.pop_front()
     }
 }
 

@@ -7,6 +7,7 @@
 //! and records arriving behind the watermark are late — dropped or
 //! diverted to a side output according to [`LatePolicy`].
 
+use crate::delta::Delta;
 use stark::STObject;
 use stark_engine::Data;
 use std::collections::BTreeMap;
@@ -14,6 +15,44 @@ use std::collections::BTreeMap;
 /// Extracts a record's event time (start of its temporal component).
 pub fn event_time(o: &STObject) -> Option<i64> {
     o.time().map(|t| t.start())
+}
+
+/// A monotone event-time watermark: the maximum observed event time
+/// minus the allowed lateness. Monotone *by construction* — the only
+/// mutation is [`Watermark::observe`], which takes a max — so every
+/// consumer (the pane-recompute [`WindowManager`] and the incremental
+/// [`crate::WindowAggregator`]) inherits the cannot-regress guarantee,
+/// no matter how batches are retried, skipped, or shed around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermark {
+    allowed_lateness: i64,
+    max_event_time: Option<i64>,
+}
+
+impl Watermark {
+    pub fn new(allowed_lateness: i64) -> Self {
+        assert!(allowed_lateness >= 0, "allowed lateness must be non-negative");
+        Watermark { allowed_lateness, max_event_time: None }
+    }
+
+    /// Raises the maximum observed event time (never lowers it).
+    pub fn observe(&mut self, t: i64) {
+        self.max_event_time = Some(self.max_event_time.map_or(t, |m| m.max(t)));
+    }
+
+    /// Current watermark; `None` until the first timed record arrives.
+    pub fn current(&self) -> Option<i64> {
+        self.max_event_time.map(|t| t - self.allowed_lateness)
+    }
+
+    pub fn allowed_lateness(&self) -> i64 {
+        self.allowed_lateness
+    }
+
+    /// Whether an event at `t` is behind the watermark (late).
+    pub fn is_late(&self, t: i64) -> bool {
+        self.current().is_some_and(|w| t < w)
+    }
 }
 
 /// Tumbling or sliding event-time window geometry.
@@ -76,7 +115,8 @@ pub struct WindowPane<V> {
     pub records: Vec<(STObject, V)>,
 }
 
-/// Per-batch accounting from [`WindowManager::observe`].
+/// Per-batch accounting from [`WindowManager::observe`] /
+/// [`WindowManager::observe_delta`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ObserveStats {
     /// Records assigned to at least one open pane.
@@ -87,15 +127,19 @@ pub struct ObserveStats {
     pub side_output: u64,
     /// Records without a temporal component (never windowed).
     pub untimed: u64,
+    /// Retractions applied to open panes (timely, membership-checked).
+    pub retracted: u64,
+    /// Retractions arriving behind the watermark. Always discarded —
+    /// the pane they would correct has already fired — regardless of
+    /// [`LatePolicy`], so both execution paths agree byte-for-byte.
+    pub late_retracts: u64,
 }
 
 /// Accumulates events into panes and fires them as the watermark passes.
 pub struct WindowManager<V> {
     spec: WindowSpec,
-    allowed_lateness: i64,
     policy: LatePolicy,
-    /// Greatest event time observed so far.
-    max_event_time: Option<i64>,
+    watermark: Watermark,
     /// Open panes keyed by window start.
     panes: BTreeMap<i64, Vec<(STObject, V)>>,
     side: Vec<(STObject, V)>,
@@ -104,12 +148,10 @@ pub struct WindowManager<V> {
 
 impl<V: Data> WindowManager<V> {
     pub fn new(spec: WindowSpec, allowed_lateness: i64, policy: LatePolicy) -> Self {
-        assert!(allowed_lateness >= 0, "allowed lateness must be non-negative");
         WindowManager {
             spec,
-            allowed_lateness,
             policy,
-            max_event_time: None,
+            watermark: Watermark::new(allowed_lateness),
             panes: BTreeMap::new(),
             side: Vec::new(),
             dropped_total: 0,
@@ -120,10 +162,18 @@ impl<V: Data> WindowManager<V> {
         self.spec
     }
 
+    pub fn allowed_lateness(&self) -> i64 {
+        self.watermark.allowed_lateness()
+    }
+
+    pub fn policy(&self) -> LatePolicy {
+        self.policy
+    }
+
     /// Current watermark: max event time minus allowed lateness.
     /// `None` until the first timed record arrives.
     pub fn watermark(&self) -> Option<i64> {
-        self.max_event_time.map(|t| t - self.allowed_lateness)
+        self.watermark.current()
     }
 
     /// Late records discarded over the manager's lifetime.
@@ -136,40 +186,92 @@ impl<V: Data> WindowManager<V> {
         std::mem::take(&mut self.side)
     }
 
+    fn route_insert(
+        &mut self,
+        obj: STObject,
+        value: V,
+        pre: Option<i64>,
+        stats: &mut ObserveStats,
+    ) {
+        let t = match event_time(&obj) {
+            Some(t) => t,
+            None => {
+                stats.untimed += 1;
+                return;
+            }
+        };
+        if let Some(w) = pre {
+            if t < w {
+                match self.policy {
+                    LatePolicy::Drop => {
+                        self.dropped_total += 1;
+                        stats.dropped += 1;
+                    }
+                    LatePolicy::SideOutput => {
+                        self.side.push((obj, value));
+                        stats.side_output += 1;
+                    }
+                }
+                return;
+            }
+        }
+        self.watermark.observe(t);
+        stats.accepted += 1;
+        for start in self.spec.windows_for(t) {
+            self.panes.entry(start).or_default().push((obj.clone(), value.clone()));
+        }
+    }
+
     /// Routes a batch of records into panes. Records behind the
     /// watermark *as of the previous batch* are late; the watermark then
     /// advances to cover this batch. Untimed records are not windowed.
     pub fn observe(&mut self, records: impl IntoIterator<Item = (STObject, V)>) -> ObserveStats {
         let mut stats = ObserveStats::default();
-        let watermark = self.watermark();
+        let pre = self.watermark();
         for (obj, value) in records {
-            let t = match event_time(&obj) {
+            self.route_insert(obj, value, pre, &mut stats);
+        }
+        stats
+    }
+
+    /// Routes a full delta: retracts first, then inserts exactly as
+    /// [`WindowManager::observe`] — a delta corrects *earlier* batches,
+    /// so it can never retract its own inserts. A timely retraction
+    /// removes one matching `(object, value)` occurrence from every pane
+    /// its event time maps to; retracting a record no pane holds (it was
+    /// shed, filtered, or already retracted) is a counted no-op.
+    /// Retractions never advance the watermark — only genuinely new
+    /// events testify to stream progress — and late retractions are
+    /// always discarded.
+    pub fn observe_delta(&mut self, delta: &Delta<V>) -> ObserveStats
+    where
+        V: PartialEq,
+    {
+        let mut stats = ObserveStats::default();
+        let pre = self.watermark();
+        for (obj, value) in &delta.retracts {
+            let t = match event_time(obj) {
                 Some(t) => t,
                 None => {
                     stats.untimed += 1;
                     continue;
                 }
             };
-            if let Some(w) = watermark {
-                if t < w {
-                    match self.policy {
-                        LatePolicy::Drop => {
-                            self.dropped_total += 1;
-                            stats.dropped += 1;
-                        }
-                        LatePolicy::SideOutput => {
-                            self.side.push((obj, value));
-                            stats.side_output += 1;
-                        }
+            if pre.is_some_and(|w| t < w) {
+                stats.late_retracts += 1;
+                continue;
+            }
+            stats.retracted += 1;
+            for start in self.spec.windows_for(t) {
+                if let Some(pane) = self.panes.get_mut(&start) {
+                    if let Some(i) = pane.iter().position(|(o, v)| o == obj && v == value) {
+                        pane.remove(i);
                     }
-                    continue;
                 }
             }
-            self.max_event_time = Some(self.max_event_time.map_or(t, |m| m.max(t)));
-            stats.accepted += 1;
-            for start in self.spec.windows_for(t) {
-                self.panes.entry(start).or_default().push((obj.clone(), value.clone()));
-            }
+        }
+        for (obj, value) in &delta.inserts {
+            self.route_insert(obj.clone(), value.clone(), pre, &mut stats);
         }
         stats
     }

@@ -67,6 +67,9 @@ fn source_disconnect_mid_pump_ends_stream_cleanly() {
     // the clean-shutdown path still flushes every open pane
     let windowed: u64 = sink.state().windows.iter().map(|w| w.count).sum();
     assert_eq!(windowed + report.late_dropped(), report.total_records());
+    // an insert-only stream carries no retraction traffic, disconnect or not
+    assert_eq!(report.records_retracted(), 0);
+    assert_eq!(report.retractions_emitted(), 0);
 }
 
 #[test]
@@ -106,6 +109,10 @@ fn poison_records_quarantine_instead_of_killing_the_stream() {
     assert!(report.windows_fired() + sink.state().windows.len() as u64 > 0);
     // watermark = max observed event time (59·20) − allowed lateness
     assert_eq!(report.final_watermark, Some(59 * 20 - 100));
+    // quarantined records vanish before the operators: they are never
+    // retracted, and the recompute path never emits corrections
+    assert_eq!(report.records_retracted(), 0);
+    assert_eq!(report.retractions_emitted(), 0);
 }
 
 /// Shared fixture for the exhaustion tests: every engine task panics
@@ -143,6 +150,9 @@ fn retry_exhaustion_skip_keeps_pumping() {
         report.aggregation_retries() >= report.batches_failed(),
         "every failed pane spent its retry budget first"
     );
+    // failed and retried batches still never fabricate retraction traffic
+    assert_eq!(report.records_retracted(), 0);
+    assert_eq!(report.retractions_emitted(), 0);
 }
 
 #[test]
@@ -203,4 +213,8 @@ fn watermark_stable_across_retried_batch() {
     assert!(faulty.final_watermark.is_some());
     assert_eq!(faulty.total_records(), clean.total_records());
     assert_eq!(clean_panes, faulty_panes, "retried pane output must match the clean run");
+    // a retried pane re-aggregates; it must never be "corrected" via
+    // retraction traffic on the recompute path
+    assert_eq!(faulty.records_retracted(), 0);
+    assert_eq!(faulty.retractions_emitted(), 0);
 }

@@ -75,6 +75,14 @@ fn assert_watermark_monotone(report: &StreamReport) {
     }
 }
 
+/// Shedding an insert-only stream must never surface as retraction
+/// traffic: shed records are dropped before the operators, not
+/// retracted after them.
+fn assert_no_retraction_accounting(report: &StreamReport) {
+    assert_eq!(report.records_retracted(), 0, "insert-only stream: nothing to retract");
+    assert_eq!(report.retractions_emitted(), 0, "recompute path must never emit corrections");
+}
+
 #[test]
 fn block_policy_sheds_nothing() {
     let (report, windowed) = run_saturated(1, ShedPolicy::Block, None);
@@ -84,6 +92,7 @@ fn block_policy_sheds_nothing() {
     assert_eq!(report.late_dropped(), 0);
     assert_eq!(windowed, SENT);
     assert_watermark_monotone(&report);
+    assert_no_retraction_accounting(&report);
 }
 
 #[test]
@@ -109,6 +118,7 @@ fn drop_oldest_sheds_are_fully_accounted() {
             "seed {seed}: records_shed must equal records sent minus records windowed"
         );
         assert_watermark_monotone(&report);
+        assert_no_retraction_accounting(&report);
     }
 }
 
@@ -120,6 +130,7 @@ fn sampling_thins_saturated_batches_and_accounts_every_record() {
     assert_eq!(report.total_records(), SENT - report.records_shed);
     assert_eq!(windowed, SENT - report.records_shed);
     assert_watermark_monotone(&report);
+    assert_no_retraction_accounting(&report);
 }
 
 #[test]
@@ -166,6 +177,7 @@ fn batch_deadline_fails_typed_without_stalling_the_stream() {
     // watermark bookkeeping is driver-local and survives the timeouts
     assert!(report.final_watermark.is_some());
     assert_watermark_monotone(&report);
+    assert_no_retraction_accounting(&report);
     // the end-of-stream flush runs without the per-batch deadline, so
     // the stalled panes eventually aggregate (delays, not failures)
     assert!(sink.state().windows.iter().map(|w| w.count).sum::<u64>() > 0);

@@ -8,10 +8,11 @@ use stark::{STObject, SpatialRddExt};
 use stark_engine::Context;
 use stark_geo::Envelope;
 use stark_stream::{
-    event_time, LatePolicy, MemorySink, StreamConfig, StreamContext, StreamJob, VecSource,
-    WindowSpec,
+    event_time, Delta, DeltaVecSource, LatePolicy, MemorySink, StatelessOp, StreamConfig,
+    StreamContext, StreamJob, VecSource, WindowSpec,
 };
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 const LATENESS: i64 = 50;
 
@@ -101,4 +102,120 @@ proptest! {
             }
         }
     }
+
+    /// Incremental path: watermark expiry emits exactly one retraction
+    /// per expired window — no more, no less. A window counts as
+    /// expired iff its end fell behind the final watermark while the
+    /// stream was still running; flush-emitted windows get none.
+    #[test]
+    fn watermark_expiry_retracts_each_window_exactly_once(
+        raw in events_strategy(),
+        window in 20i64..120,
+        batch_size in 1usize..40,
+        sliding in any::<bool>(),
+    ) {
+        let deltas: Vec<Delta<u64>> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y, jit))| {
+                (STObject::point_at(*x, *y, i as i64 * 25 - *jit as i64), i as u64)
+            })
+            .collect::<Vec<_>>()
+            .chunks(batch_size)
+            .map(|c| Delta::from_inserts(c.to_vec()))
+            .collect();
+
+        let spec = if sliding {
+            WindowSpec::sliding(window, (window / 2).max(1))
+        } else {
+            WindowSpec::tumbling(window)
+        };
+        let sink = MemorySink::new();
+        let sc = StreamContext::with_config(
+            Context::with_parallelism(2),
+            StreamConfig { batch_records: batch_size, channel_capacity: 2, parallelism: 2, ..Default::default() },
+        );
+        let job = StreamJob::new()
+            .incremental()
+            .with_windows(spec, LATENESS, LatePolicy::Drop)
+            .with_grid_aggregation(4, space())
+            .with_sink(sink.clone());
+        let report = sc.run(DeltaVecSource::new(deltas), job);
+
+        let state = sink.state();
+        let wm = report.final_watermark.expect("stream carried timed records");
+        let expired: BTreeSet<i64> =
+            state.windows.iter().filter(|w| w.end <= wm).map(|w| w.start).collect();
+        let retracted: BTreeSet<i64> = state.retractions.iter().map(|r| r.start).collect();
+        prop_assert_eq!(
+            state.retractions.len(),
+            retracted.len(),
+            "a window was retracted more than once"
+        );
+        prop_assert_eq!(&retracted, &expired);
+        prop_assert_eq!(report.retractions_emitted(), state.retractions.len() as u64);
+        for r in &state.retractions {
+            let w = state
+                .windows
+                .iter()
+                .find(|w| w.start == r.start && w.end == r.end)
+                .expect("retraction without matching aggregate");
+            prop_assert_eq!(w.count, r.count);
+        }
+    }
+}
+
+/// Incremental path: a batch skipped whole (its stateless op panics)
+/// must hold the watermark still — never regress it — and the rest of
+/// the stream must come out exactly as if the poisoned batch had been
+/// empty.
+#[test]
+fn watermark_never_regresses_across_skipped_incremental_batch() {
+    let mk = |t: i64, v: u64| (STObject::point_at(20.0, 20.0, t), v);
+    let batch = |b: i64| {
+        Delta::from_inserts((0..3).map(|i| mk(b * 100 + i * 30, (b * 10 + i) as u64)).collect())
+    };
+    let mut poisoned: Vec<Delta<u64>> = (0..6).map(batch).collect();
+    poisoned[3].inserts.push(mk(333, 666)); // sentinel the op panics on
+    let mut clean: Vec<Delta<u64>> = (0..6).map(batch).collect();
+    clean[3] = Delta::from_inserts(Vec::new()); // skipped ≡ empty
+
+    let run = |script: Vec<Delta<u64>>| {
+        let sink = MemorySink::new();
+        let sc = StreamContext::with_config(
+            Context::with_parallelism(2),
+            StreamConfig { channel_capacity: 2, parallelism: 2, ..Default::default() },
+        );
+        let job = StreamJob::new()
+            .incremental()
+            .with_op(StatelessOp::map(|o, v: u64| {
+                assert_ne!(v, 666, "poisoned record reached the op chain");
+                (o, v)
+            }))
+            .with_windows(WindowSpec::tumbling(100), 50, LatePolicy::Drop)
+            .with_sink(sink.clone());
+        let report = sc.run(DeltaVecSource::new(script), job);
+        let state = sink.state().clone();
+        (report, state)
+    };
+
+    let (poisoned_report, poisoned_state) = run(poisoned);
+    let (clean_report, clean_state) = run(clean);
+
+    assert_eq!(poisoned_report.batches_failed(), 1);
+    assert!(poisoned_report.batches[3].failed, "batch 3 carries the poison");
+    let marks: Vec<i64> = poisoned_report.batches.iter().filter_map(|b| b.watermark).collect();
+    assert!(marks.windows(2).all(|w| w[0] <= w[1]), "watermark regressed: {marks:?}");
+    assert_eq!(
+        poisoned_report.batches[3].watermark, poisoned_report.batches[2].watermark,
+        "a skipped batch must hold the watermark still"
+    );
+
+    assert_eq!(clean_report.batches_failed(), 0);
+    assert_eq!(poisoned_report.final_watermark, clean_report.final_watermark);
+    let windows = |s: &stark_stream::MemorySinkState<u64>| {
+        s.windows.iter().map(|w| (w.start, w.end, w.count)).collect::<Vec<_>>()
+    };
+    assert_eq!(windows(&poisoned_state), windows(&clean_state));
+    assert_eq!(poisoned_state.retractions, clean_state.retractions);
 }
