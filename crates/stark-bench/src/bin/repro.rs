@@ -15,6 +15,9 @@
 //!   repro columnar `[n]`     # S12 columnar-vs-row filter ablation (writes target/s12-columnar.json)
 //!   repro ivm `[n]`          # S13 incremental-view-maintenance ablation: standing join at
 //!                            # 10x the S6 rate, recompute vs delta (writes target/s13-ivm.json)
+//!   repro distributed `[n]`  # S14 supervised multi-process ablation: A1/F4/A2 on forked
+//!                            # workers over TCP, with a mid-shuffle worker kill
+//!                            # (writes target/s14-distributed.json)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -139,6 +142,25 @@ fn main() {
         std::fs::write(&path, json).expect("write S13 json");
         eprintln!("[s13] wrote {path}");
     }
+    if run("distributed") {
+        ran = true;
+        let workers: usize = std::env::var("S14_WORKERS")
+            .ok()
+            .map(|s| s.trim().parse().expect("S14_WORKERS must be a usize"))
+            .unwrap_or(4);
+        let t = experiments::distributed(n.unwrap_or(20_000), workers);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S14 table");
+        let path =
+            std::env::var("S14_JSON").unwrap_or_else(|_| "target/s14-distributed.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S14 json");
+        eprintln!("[s14] wrote {path}");
+    }
     if run("chaos") {
         ran = true;
         let seed: u64 = std::env::var("STARK_CHAOS_SEED")
@@ -220,7 +242,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, ivm, chaos, stragglers, memory, service"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, ivm, distributed, chaos, stragglers, memory, service"
         );
         std::process::exit(2);
     }

@@ -1294,6 +1294,284 @@ pub fn ivm(ctx: &Context, batches: usize, batch_records: usize) -> Table {
     t
 }
 
+/// S14 — supervised multi-process ablation: the A1 pruning filter, the
+/// F4 self-join, and the A2 partitioner comparison executed by a
+/// [`WorkerPool`] of real forked `stark-worker` processes over TCP
+/// (grid/BSP shuffle stage, then a per-partition filter or self-join
+/// stage reading the shuffled buckets), against the same plans run
+/// in-process. Each distributed pipeline is then repeated with a
+/// one-shot `KillWorker` transport fault: the table pins that the
+/// recovered run's results stay byte-identical and that exactly one
+/// reassignment pays for the injected loss.
+pub fn distributed(n: usize, workers: usize) -> Table {
+    use stark::distributed::{to_arg, EventRow, SelfJoinArg, StFilterArg};
+    use stark_engine::plan::{
+        decode_rows, encode_rows, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput,
+    };
+    use stark_engine::supervisor::{bucket_keys_for_partition, find_worker_bin, DistTask};
+    use stark_engine::{TransportChaos, TransportPolicy, WorkerPool, WorkerPoolConfig};
+
+    let mut t = Table::new(
+        format!("S14: multi-process execution, {n} points, {workers} workers, grid(4) shuffle"),
+        &["pipeline", "mode", "results", "time [s]", "injected", "reassigned", "lost", "identical"],
+    );
+    let worker_bin = find_worker_bin("stark-worker")
+        .expect("stark-worker binary not found; build the workspace or set STARK_WORKER_BIN");
+
+    // The F4 dataset, materialised driver-side: plan fragments ship rows.
+    let gen = Context::with_parallelism(workers.max(1));
+    let data: Vec<EventRow> = workloads::figure4_points(&gen, n, workers.max(1)).collect();
+    let summary: stark::DataSummary =
+        data.iter().map(|(o, _)| (o.envelope(), o.centroid())).collect();
+    let grid = GridPartitioner::build(4, &summary);
+    let parts = grid.num_partitions();
+    let chunk = n.div_ceil((workers * 2).max(1)).max(1);
+    let chunks: Vec<&[EventRow]> = data.chunks(chunk).collect();
+
+    let query = workloads::query_polygon(0.25);
+    let filter_op = PlanOp::Filter {
+        op: "st_filter".into(),
+        arg: to_arg(&StFilterArg { query: query.clone(), predicate: STPredicate::ContainedBy }),
+    };
+    // F4 on point events: exact intersection of instants almost never
+    // fires, so the self-join uses the paper's withinDistance predicate.
+    let join_pred = STPredicate::within_distance(5.0);
+    let join_sink = PlanSink::CollectWith {
+        op: "self_join_pairs".into(),
+        arg: to_arg(&SelfJoinArg { predicate: join_pred }),
+    };
+
+    // Local references, computed once with plain iterators.
+    let (local_ids, filter_time) = timed(|| {
+        let mut ids: Vec<u64> = data
+            .iter()
+            .filter(|(o, _)| STPredicate::ContainedBy.eval(o, &query))
+            .map(|(_, (id, _))| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    });
+    let (local_pairs, join_time) = timed(|| {
+        let mut by_part: Vec<Vec<EventRow>> = vec![Vec::new(); parts];
+        for row in &data {
+            by_part[grid.partition_of(&row.0)].push(row.clone());
+        }
+        let mut pairs: Vec<(u64, u64)> = by_part
+            .iter()
+            .flat_map(|rows| stark::distributed::self_join_pairs(rows, join_pred))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    });
+
+    // One distributed pipeline run: shuffle stage (grid routing inside
+    // the workers), then a per-partition stage over the written buckets.
+    let run =
+        |ops: Vec<PlanOp>,
+         sink: PlanSink,
+         chaos: Option<Arc<TransportChaos>>|
+         -> (Vec<stark_engine::TaskResult>, std::time::Duration, stark_engine::PoolStats) {
+            let mut cfg = WorkerPoolConfig::new(&worker_bin);
+            cfg.workers = workers;
+            cfg.chaos = chaos;
+            let mut pool = WorkerPool::spawn(cfg).expect("spawn S14 worker pool");
+            let (results, time) = timed(|| {
+                let map_tasks: Vec<DistTask> = chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(task, rows)| {
+                        DistTask::with_rows(
+                            PlanFragment {
+                                schema: "event".into(),
+                                input: PlanInput::Inline,
+                                ops: Vec::new(),
+                                sink: PlanSink::ShuffleWrite {
+                                    partitioner: "grid".into(),
+                                    arg: to_arg(&grid),
+                                    num_partitions: parts,
+                                    prefix: "s14/s0".into(),
+                                    task,
+                                },
+                            },
+                            encode_rows(rows).expect("encode S14 chunk"),
+                        )
+                    })
+                    .collect();
+                let counts: Vec<Vec<u64>> = pool
+                    .execute(&map_tasks)
+                    .expect("S14 shuffle stage")
+                    .iter()
+                    .map(|r| match &r.output {
+                        TaskOutput::BucketCounts(c) => c.clone(),
+                        other => panic!("S14: expected bucket counts, got {other:?}"),
+                    })
+                    .collect();
+                let reduce_tasks: Vec<DistTask> = (0..parts)
+                    .map(|p| {
+                        DistTask::new(PlanFragment {
+                            schema: "event".into(),
+                            input: PlanInput::Store {
+                                keys: bucket_keys_for_partition("s14/s0", &counts, p),
+                            },
+                            ops: ops.clone(),
+                            sink: sink.clone(),
+                        })
+                    })
+                    .collect();
+                pool.execute(&reduce_tasks).expect("S14 reduce stage")
+            });
+            let stats = pool.stats();
+            pool.shutdown();
+            (results, time, stats)
+        };
+
+    let collected_ids = |results: &[stark_engine::TaskResult]| -> Vec<u64> {
+        let mut ids: Vec<u64> = results
+            .iter()
+            .flat_map(|r| {
+                decode_rows::<EventRow>(r.payload.as_deref().expect("collect payload"))
+                    .expect("decode S14 rows")
+            })
+            .map(|(_, (id, _))| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    let collected_pairs = |results: &[stark_engine::TaskResult]| -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = results
+            .iter()
+            .flat_map(|r| match &r.output {
+                TaskOutput::Json(v) => {
+                    let pairs: Vec<(u64, u64)> =
+                        serde::Deserialize::from_value(v).expect("decode S14 pairs");
+                    pairs
+                }
+                other => panic!("S14: expected JSON pairs, got {other:?}"),
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    };
+
+    let mut push = |pipeline: &str,
+                    mode: &str,
+                    results: String,
+                    time: std::time::Duration,
+                    stats: Option<stark_engine::PoolStats>,
+                    injected: u64,
+                    identical: &str| {
+        let (reassigned, lost) = stats.map_or((0, 0), |s| (s.tasks_reassigned, s.workers_lost));
+        t.push(vec![
+            pipeline.into(),
+            mode.into(),
+            results,
+            secs(time),
+            injected.to_string(),
+            reassigned.to_string(),
+            lost.to_string(),
+            identical.into(),
+        ]);
+    };
+
+    // A1: containedBy filter.
+    push("A1 filter", "local", local_ids.len().to_string(), filter_time, None, 0, "-");
+    let (res, time, stats) = run(vec![filter_op.clone()], PlanSink::Collect, None);
+    let clean = collected_ids(&res);
+    assert_eq!(clean, local_ids, "S14: distributed A1 diverged from local");
+    push("A1 filter", "distributed", clean.len().to_string(), time, Some(stats), 0, "yes");
+    let chaos = Arc::new(TransportChaos::once(TransportPolicy::KillWorker));
+    let (res, time, stats) = run(vec![filter_op], PlanSink::Collect, Some(chaos.clone()));
+    let killed = collected_ids(&res);
+    assert_eq!(killed, local_ids, "S14: A1 after worker kill diverged");
+    assert_eq!(stats.tasks_reassigned, chaos.injected(), "S14: A1 reassignment count");
+    push(
+        "A1 filter",
+        "distributed + kill",
+        killed.len().to_string(),
+        time,
+        Some(stats),
+        chaos.injected(),
+        "yes",
+    );
+
+    // F4: per-partition self-join.
+    push("F4 self-join", "local", local_pairs.len().to_string(), join_time, None, 0, "-");
+    let (res, time, stats) = run(Vec::new(), join_sink.clone(), None);
+    let clean = collected_pairs(&res);
+    assert_eq!(clean, local_pairs, "S14: distributed F4 diverged from local");
+    push("F4 self-join", "distributed", clean.len().to_string(), time, Some(stats), 0, "yes");
+    let chaos = Arc::new(TransportChaos::once(TransportPolicy::KillWorker));
+    let (res, time, stats) = run(Vec::new(), join_sink, Some(chaos.clone()));
+    let killed = collected_pairs(&res);
+    assert_eq!(killed, local_pairs, "S14: F4 after worker kill diverged");
+    assert_eq!(stats.tasks_reassigned, chaos.injected(), "S14: F4 reassignment count");
+    push(
+        "F4 self-join",
+        "distributed + kill",
+        killed.len().to_string(),
+        time,
+        Some(stats),
+        chaos.injected(),
+        "yes",
+    );
+
+    // A2: shuffle balance, grid vs BSP, routed inside the workers.
+    let bsp = BspPartitioner::build((n / 64).max(16), 4.0, &summary);
+    for (name, arg, num) in
+        [("grid", to_arg(&grid), parts), ("bsp", to_arg(&bsp), bsp.num_partitions())]
+    {
+        let mut cfg = WorkerPoolConfig::new(&worker_bin);
+        cfg.workers = workers;
+        let mut pool = WorkerPool::spawn(cfg).expect("spawn S14 A2 pool");
+        let (totals, time) = timed(|| {
+            let tasks: Vec<DistTask> = chunks
+                .iter()
+                .enumerate()
+                .map(|(task, rows)| {
+                    DistTask::with_rows(
+                        PlanFragment {
+                            schema: "event".into(),
+                            input: PlanInput::Inline,
+                            ops: Vec::new(),
+                            sink: PlanSink::ShuffleWrite {
+                                partitioner: name.into(),
+                                arg: arg.clone(),
+                                num_partitions: num,
+                                prefix: format!("s14/a2-{name}"),
+                                task,
+                            },
+                        },
+                        encode_rows(rows).expect("encode S14 chunk"),
+                    )
+                })
+                .collect();
+            let mut totals = vec![0u64; num];
+            for r in pool.execute(&tasks).expect("S14 A2 shuffle") {
+                if let TaskOutput::BucketCounts(c) = r.output {
+                    for (b, count) in c.iter().enumerate() {
+                        totals[b] += count;
+                    }
+                }
+            }
+            totals
+        });
+        let stats = pool.stats();
+        pool.shutdown();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let mean = totals.iter().sum::<u64>() as f64 / totals.len().max(1) as f64;
+        push(
+            "A2 shuffle balance",
+            &format!("distributed {name}({num})"),
+            format!("imbalance {:.2}x", max as f64 / mean.max(1e-9)),
+            time,
+            Some(stats),
+            0,
+            "-",
+        );
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

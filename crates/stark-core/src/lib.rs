@@ -38,6 +38,7 @@
 pub mod aggregate;
 pub mod cluster;
 pub mod columnar;
+pub mod distributed;
 pub mod error;
 pub mod incremental;
 mod indexed;
@@ -51,6 +52,7 @@ pub mod temporal;
 
 pub use aggregate::CellStats;
 pub use columnar::ColumnarBatch;
+pub use distributed::{event_registry, EventRow, SelfJoinArg, StFilterArg, EVENT_SCHEMA};
 pub use error::StarkError;
 pub use incremental::{IncrementalIndex, RefreshStats, RemoveOutcome};
 pub use indexed::IndexedSpatialRdd;

@@ -8,6 +8,7 @@
 //! covered by few large ones, fixing the skew problem of the fixed grid.
 
 use super::{fit_extents, DataSummary, PartitionCell, SpatialPartitioner};
+use serde::{Deserialize, Serialize};
 use stark_geo::{Coord, Envelope};
 
 /// Hard cap on histogram cells so adversarial side-length choices cannot
@@ -15,7 +16,11 @@ use stark_geo::{Coord, Envelope};
 const MAX_HISTOGRAM_CELLS: usize = 1 << 20;
 
 /// Cost-based binary space partitioner.
-#[derive(Debug, Clone)]
+///
+/// Serializable: once built, the partitioner is plain data (histogram
+/// lookup table + cell geometry), so it can ship whole to worker
+/// processes inside a plan fragment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BspPartitioner {
     space: Envelope,
     nx: usize,

@@ -1,12 +1,17 @@
 //! Fixed-grid spatial partitioner (paper §2.1, "Grid Partitioner").
 
 use super::{fit_extents, DataSummary, PartitionCell, SpatialPartitioner};
+use serde::{Deserialize, Serialize};
 use stark_geo::{Coord, Envelope};
 
 /// Divides the data space into `dims × dims` rectangular cells of equal
 /// size. Cell bounds are computed up-front; a single pass assigns each
 /// record by locating its centroid's cell.
-#[derive(Debug, Clone)]
+///
+/// Serializable: a built grid is plain data (space + cell geometry), so
+/// a driver can ship the whole partitioner to worker processes inside a
+/// plan fragment and every worker routes records identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GridPartitioner {
     dims: usize,
     space: Envelope,

@@ -1,0 +1,17 @@
+//! Minimal worker binary serving the engine's built-in `i64` schema.
+//!
+//! Exists so the engine's own distributed tests can fork real worker
+//! processes without depending on downstream crates; the full-featured
+//! worker (spatial event schemas) is the `stark-worker` crate.
+
+use stark_engine::plan::int_registry;
+use stark_engine::worker::{run_from_args, WorkerRuntime};
+
+fn main() {
+    let mut rt = WorkerRuntime::new();
+    rt.register(Box::new(int_registry()));
+    if let Err(e) = run_from_args(&rt, std::env::args().skip(1)) {
+        eprintln!("stark-engine-worker: {e}");
+        std::process::exit(1);
+    }
+}

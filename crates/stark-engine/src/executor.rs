@@ -291,7 +291,19 @@ fn run_task<T: Data, R>(
                 metrics.inc_partitions_recomputed(1);
                 inner.evict(i);
                 if !backoff.is_zero() {
-                    std::thread::sleep(backoff * (1u32 << attempt.min(6)));
+                    // Jittered exponential backoff: scale by a seeded
+                    // draw in [0.5, 1.5) keyed on (stage, partition,
+                    // attempt) so tasks that failed together (e.g. one
+                    // poisoned input feeding many partitions) don't
+                    // hammer back in lockstep.
+                    let scaled = backoff * (1u32 << attempt.min(6));
+                    let draw = crate::fault::splitmix64(
+                        stage
+                            ^ (i as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                            ^ u64::from(attempt_offset + attempt),
+                    );
+                    let factor = 0.5 + (draw >> 11) as f64 / (1u64 << 53) as f64;
+                    std::thread::sleep(scaled.mul_f64(factor));
                 }
                 attempt += 1;
             }

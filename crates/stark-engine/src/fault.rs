@@ -242,12 +242,146 @@ impl FaultInjector {
 }
 
 /// splitmix64 finaliser — decorrelates the fault draw from raw indices.
-fn splitmix64(mut x: u64) -> u64 {
+/// Crate-visible: the executor's retry-backoff jitter and the worker
+/// pool's respawn jitter reuse it for deterministic draws.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Transport chaos
+// ---------------------------------------------------------------------------
+
+/// What an injected transport fault does to a task dispatch. These
+/// extend the task-level [`FaultPolicy`] set to the process boundary:
+/// instead of a task attempt panicking in-process, the *transport or the
+/// worker itself* fails, and recovery must come from the supervisor's
+/// worker-loss path (reassignment + respawn), not from the in-task retry
+/// loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportPolicy {
+    /// SIGKILL the worker process right after the task frame is sent —
+    /// a fail-stop crash mid-task. Detected by connection EOF.
+    KillWorker,
+    /// Drop the task frame on the floor: the worker never sees it and
+    /// idles, heartbeating healthily. Only the driver's per-task
+    /// deadline catches this.
+    DropFrame,
+    /// Send a torn frame (correct length prefix, half the payload) and
+    /// hang up nothing: the worker blocks mid-read, wedged but alive.
+    /// Like `DropFrame`, caught by the task deadline.
+    TruncateFrame,
+    /// Flip a payload byte after the checksum is computed: the worker's
+    /// frame decoder rejects it and the worker fail-stops (exit 1),
+    /// surfacing as a connection loss.
+    CorruptFrame,
+    /// Stall the dispatch this long before sending (slow network). The
+    /// task still completes; results must not change.
+    DelayFrame(Duration),
+}
+
+/// Seeded, deterministic transport-fault injector consulted by the
+/// worker pool on every task dispatch. The draw is a pure function of
+/// `(seed, job, task, attempt)`, so a chaos run reproduces exactly from
+/// its seed, and reassigned attempts (attempt ≥ `fail_attempts`) are
+/// never struck again — the invariant that lets tests pin
+/// `reassigned == injected`.
+#[derive(Debug)]
+pub struct TransportChaos {
+    seed: u64,
+    rate: f64,
+    policy: TransportPolicy,
+    /// Attempts below this threshold are eligible (default 1: only the
+    /// first dispatch of a task can be struck).
+    fail_attempts: u32,
+    /// When set, strike at most this many dispatches in total.
+    max_strikes: Option<u64>,
+    injected: AtomicU64,
+}
+
+impl TransportChaos {
+    /// Injector striking each `(job, task)` first dispatch independently
+    /// with probability `rate`.
+    pub fn new(seed: u64, rate: f64, policy: TransportPolicy) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "transport fault rate must be in [0, 1]");
+        TransportChaos {
+            seed,
+            rate,
+            policy,
+            fail_attempts: 1,
+            max_strikes: None,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Injector that strikes exactly the first dispatch it sees and
+    /// nothing else — "kill one worker mid-job", deterministically.
+    pub fn once(policy: TransportPolicy) -> Self {
+        let mut c = Self::new(0, 1.0, policy);
+        c.max_strikes = Some(1);
+        c
+    }
+
+    /// Caps the total number of strikes.
+    pub fn with_max_strikes(mut self, n: u64) -> Self {
+        self.max_strikes = Some(n);
+        self
+    }
+
+    /// Number of attempts of a task that are eligible to be struck.
+    pub fn with_fail_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1, "fail_attempts must be at least 1");
+        self.fail_attempts = n;
+        self
+    }
+
+    /// Transport faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consulted by the pool before sending a task: returns the policy
+    /// to apply to this dispatch, or `None` to send normally. Counts
+    /// every strike.
+    pub fn draw(&self, job: u64, task: u64, attempt: u32) -> Option<TransportPolicy> {
+        if attempt >= self.fail_attempts {
+            return None;
+        }
+        let h = splitmix64(
+            self.seed
+                ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ task.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        if let Some(cap) = self.max_strikes {
+            // claim a strike slot atomically so concurrent dispatches
+            // cannot overshoot the cap
+            let mut cur = self.injected.load(Ordering::Relaxed);
+            loop {
+                if cur >= cap {
+                    return None;
+                }
+                match self.injected.compare_exchange(
+                    cur,
+                    cur + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(self.policy),
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(self.policy)
+    }
 }
 
 #[cfg(test)]
@@ -323,5 +457,54 @@ mod tests {
     fn rate_bounds_validated() {
         let r = std::panic::catch_unwind(|| FaultInjector::transient(0, 1.5));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn transport_draws_are_deterministic_and_skip_retries() {
+        let a = TransportChaos::new(99, 0.3, TransportPolicy::KillWorker);
+        let b = TransportChaos::new(99, 0.3, TransportPolicy::KillWorker);
+        let mut hits = 0usize;
+        for job in 0..10u64 {
+            for task in 0..100u64 {
+                let da = a.draw(job, task, 0);
+                assert_eq!(da, b.draw(job, task, 0), "same seed must draw identically");
+                if da.is_some() {
+                    hits += 1;
+                }
+                // reassigned attempts are never struck again
+                assert_eq!(a.draw(job, task, 1), None);
+            }
+        }
+        let rate = hits as f64 / 1000.0;
+        assert!((rate - 0.3).abs() < 0.08, "got strike rate {rate}, expected ~0.3");
+        assert_eq!(a.injected() as usize, hits);
+    }
+
+    #[test]
+    fn once_strikes_exactly_one_dispatch() {
+        let c = TransportChaos::once(TransportPolicy::CorruptFrame);
+        assert_eq!(c.draw(0, 0, 0), Some(TransportPolicy::CorruptFrame));
+        for task in 1..50 {
+            assert_eq!(c.draw(0, task, 0), None);
+        }
+        assert_eq!(c.injected(), 1);
+    }
+
+    #[test]
+    fn max_strikes_caps_under_concurrency() {
+        let c = std::sync::Arc::new(
+            TransportChaos::new(5, 1.0, TransportPolicy::DropFrame).with_max_strikes(3),
+        );
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for task in 0..100u64 {
+                        let _ = c.draw(t, task, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.injected(), 3);
     }
 }

@@ -35,7 +35,14 @@
 //!   re-reading their blob), and output stays byte-identical;
 //! * a directory-backed [`ObjectStore`] standing in for HDFS;
 //! * a bounded backpressure [`channel`] used by the streaming layer to
-//!   feed micro-batches into the engine without unbounded buffering.
+//!   feed micro-batches into the engine without unbounded buffering;
+//! * supervised multi-process execution: serializable [`plan`]
+//!   fragments ship to forked worker processes over an STK1-framed TCP
+//!   [`transport`]; a [`WorkerPool`] heartbeats, detects worker loss
+//!   (crash, silence, torn frames), reassigns in-flight work to
+//!   survivors and respawns seats with jittered backoff, while
+//!   [`TransportChaos`] injects deterministic transport faults for
+//!   crash-recovery tests.
 //!
 //! ```
 //! use stark_engine::Context;
@@ -56,14 +63,21 @@ pub mod fault;
 pub mod memory;
 pub mod metrics;
 pub mod partition;
+pub mod plan;
 pub mod rdd;
 pub mod storage;
+pub mod supervisor;
+pub mod transport;
+pub mod worker;
 
 pub use cancel::{CancelReason, CancelScope, CancellationToken};
 pub use context::{Context, EngineConfig};
-pub use fault::{FaultInjector, FaultPolicy, FaultScope};
+pub use fault::{FaultInjector, FaultPolicy, FaultScope, TransportChaos, TransportPolicy};
 pub use memory::{ChildBudget, ChildReservation, MemoryManager, MemoryReservation};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partition::{Partition, PartitionIntoIter};
+pub use plan::{OpRegistry, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput, TaskResult};
 pub use rdd::{abort_invalid_record, Data, Lineage, Rdd, StoreData, TaskError, TaskErrorKind};
 pub use storage::{ObjectStore, StorageError};
+pub use supervisor::{DistTask, PoolError, PoolStats, WorkerPool, WorkerPoolConfig};
+pub use worker::WorkerRuntime;

@@ -79,6 +79,22 @@ pub struct Metrics {
     /// counts once per kernel pass, mirroring `records_read` for the
     /// row path).
     pub rows_scanned_columnar: AtomicU64,
+    /// Worker processes forked by a [`WorkerPool`](crate::WorkerPool)
+    /// (initial spawns and respawns both count).
+    pub workers_spawned: AtomicU64,
+    /// Workers declared lost (crash, heartbeat silence, torn frame or a
+    /// blown task deadline).
+    pub workers_lost: AtomicU64,
+    /// Lost worker seats successfully brought back.
+    pub workers_respawned: AtomicU64,
+    /// In-flight tasks reassigned away from a lost worker.
+    pub tasks_reassigned: AtomicU64,
+    /// Plan-fragment tasks dispatched to worker processes.
+    pub remote_tasks: AtomicU64,
+    /// Row-payload bytes shipped driver → workers.
+    pub remote_bytes_tx: AtomicU64,
+    /// Row-payload bytes received workers → driver.
+    pub remote_bytes_rx: AtomicU64,
 }
 
 impl Metrics {
@@ -152,6 +168,27 @@ impl Metrics {
     pub fn inc_rows_scanned_columnar(&self, n: u64) {
         self.rows_scanned_columnar.fetch_add(n, Ordering::Relaxed);
     }
+    pub fn inc_workers_spawned(&self) {
+        self.workers_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_workers_lost(&self) {
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_workers_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_tasks_reassigned(&self) {
+        self.tasks_reassigned.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_remote_tasks(&self) {
+        self.remote_tasks.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_remote_bytes_tx(&self, n: u64) {
+        self.remote_bytes_tx.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_remote_bytes_rx(&self, n: u64) {
+        self.remote_bytes_rx.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -181,6 +218,13 @@ impl Metrics {
                 .load(Ordering::Relaxed),
             columnar_batches_built: self.columnar_batches_built.load(Ordering::Relaxed),
             rows_scanned_columnar: self.rows_scanned_columnar.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            tasks_reassigned: self.tasks_reassigned.load(Ordering::Relaxed),
+            remote_tasks: self.remote_tasks.load(Ordering::Relaxed),
+            remote_bytes_tx: self.remote_bytes_tx.load(Ordering::Relaxed),
+            remote_bytes_rx: self.remote_bytes_rx.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,6 +275,20 @@ pub struct MetricsSnapshot {
     pub columnar_batches_built: u64,
     /// Rows scanned by columnar kernels (see [`Metrics::rows_scanned_columnar`]).
     pub rows_scanned_columnar: u64,
+    /// Worker processes forked (see [`Metrics::workers_spawned`]).
+    pub workers_spawned: u64,
+    /// Workers declared lost (see [`Metrics::workers_lost`]).
+    pub workers_lost: u64,
+    /// Seats brought back after a loss (see [`Metrics::workers_respawned`]).
+    pub workers_respawned: u64,
+    /// Tasks reassigned off lost workers (see [`Metrics::tasks_reassigned`]).
+    pub tasks_reassigned: u64,
+    /// Plan fragments dispatched remotely (see [`Metrics::remote_tasks`]).
+    pub remote_tasks: u64,
+    /// Payload bytes sent to workers (see [`Metrics::remote_bytes_tx`]).
+    pub remote_bytes_tx: u64,
+    /// Payload bytes received from workers (see [`Metrics::remote_bytes_rx`]).
+    pub remote_bytes_rx: u64,
 }
 
 impl MetricsSnapshot {
@@ -264,6 +322,13 @@ impl MetricsSnapshot {
                 - earlier.partitions_evicted_for_pressure,
             columnar_batches_built: self.columnar_batches_built - earlier.columnar_batches_built,
             rows_scanned_columnar: self.rows_scanned_columnar - earlier.rows_scanned_columnar,
+            workers_spawned: self.workers_spawned - earlier.workers_spawned,
+            workers_lost: self.workers_lost - earlier.workers_lost,
+            workers_respawned: self.workers_respawned - earlier.workers_respawned,
+            tasks_reassigned: self.tasks_reassigned - earlier.tasks_reassigned,
+            remote_tasks: self.remote_tasks - earlier.remote_tasks,
+            remote_bytes_tx: self.remote_bytes_tx - earlier.remote_bytes_tx,
+            remote_bytes_rx: self.remote_bytes_rx - earlier.remote_bytes_rx,
         }
     }
 }

@@ -559,8 +559,11 @@ impl<T: Data> RddImpl<T> for CachedRdd<T> {
 // checkpointing
 // ---------------------------------------------------------------------------
 
-/// Object-store key of one checkpointed partition blob.
-fn checkpoint_blob_key(key: &str, partition: usize) -> String {
+/// Object-store key of one checkpointed partition blob. Public so the
+/// distributed checkpoint sink (`plan::PlanSink::Checkpoint`, executed
+/// on a worker) writes blobs at exactly the keys a local
+/// [`Rdd::checkpoint`] reader recovers from.
+pub fn checkpoint_blob_key(key: &str, partition: usize) -> String {
     format!("{key}/part-{partition:05}")
 }
 

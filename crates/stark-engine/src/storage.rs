@@ -3,11 +3,13 @@
 //! are re-loaded by later programs).
 //!
 //! Objects are framed with a small header carrying a CRC32 of the
-//! payload, verified on every read: a bit-flipped checkpoint or
-//! persisted index surfaces as a typed [`StorageError::Corrupt`] instead
-//! of serde garbage. Writes stage into a per-write unique temp file and
-//! rename into place, so concurrent writers (and keys sharing a stem)
-//! never trample each other's staging file.
+//! payload and the payload's declared length, both verified on every
+//! read: a bit-flipped checkpoint or persisted index surfaces as a typed
+//! [`StorageError::Corrupt`] instead of serde garbage, and a corrupt
+//! length header is rejected against [`MAX_BLOB_LEN`] before any reader
+//! could size a buffer from it. Writes stage into a per-write unique
+//! temp file and rename into place, so concurrent writers (and keys
+//! sharing a stem) never trample each other's staging file.
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -90,11 +92,18 @@ impl ObjectStore {
     }
 
     /// Writes `data` under `key`, replacing any previous object. The
-    /// payload is framed with a [`FRAME_MAGIC`] + CRC32 header and staged
-    /// through a unique temp file (key-preserving name, suffixed with
-    /// pid and a process-wide counter — `path.with_extension` would make
-    /// `part.bin` and `part.json` race on the same staging file).
+    /// payload is framed with a [`FRAME_MAGIC`] + CRC32 + length header
+    /// and staged through a unique temp file (key-preserving name,
+    /// suffixed with pid and a process-wide counter —
+    /// `path.with_extension` would make `part.bin` and `part.json` race
+    /// on the same staging file).
     pub fn put_bytes(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        if data.len() > MAX_BLOB_LEN {
+            return Err(StorageError::Corrupt(format!(
+                "{key}: payload {} exceeds blob cap {MAX_BLOB_LEN}",
+                data.len()
+            )));
+        }
         let path = self.resolve(key)?;
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
@@ -106,6 +115,7 @@ impl ObjectStore {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(FRAME_MAGIC)?;
             f.write_all(&crc32(data).to_le_bytes())?;
+            f.write_all(&(data.len() as u32).to_le_bytes())?;
             f.write_all(data)?;
             f.sync_all()?;
         }
@@ -116,7 +126,9 @@ impl ObjectStore {
         Ok(())
     }
 
-    /// Reads the object stored under `key`, verifying its checksum.
+    /// Reads the object stored under `key`, verifying its declared
+    /// length (capped at [`MAX_BLOB_LEN`] — a corrupt length field must
+    /// never be trusted to size an allocation) and its checksum.
     pub fn get_bytes(&self, key: &str) -> Result<Vec<u8>, StorageError> {
         let path = self.resolve(key)?;
         let framed = match fs::read(&path) {
@@ -126,11 +138,16 @@ impl ObjectStore {
             }
             Err(e) => return Err(e.into()),
         };
-        let Some((header, payload)) = framed.split_at_checked(FRAME_HEADER_LEN) else {
+        let Some((header, payload)) = framed.split_at_checked(BLOB_HEADER_LEN) else {
             return Err(StorageError::Corrupt(key.to_string()));
         };
-        let (magic, crc_bytes) = header.split_at(FRAME_MAGIC.len());
+        let (magic, rest) = header.split_at(FRAME_MAGIC.len());
         if magic != FRAME_MAGIC {
+            return Err(StorageError::Corrupt(key.to_string()));
+        }
+        let (crc_bytes, len_bytes) = rest.split_at(4);
+        let declared = u32::from_le_bytes(len_bytes.try_into().expect("4-byte len field")) as usize;
+        if declared > MAX_BLOB_LEN || declared != payload.len() {
             return Err(StorageError::Corrupt(key.to_string()));
         }
         let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc field"));
@@ -194,11 +211,18 @@ impl ObjectStore {
 }
 
 /// Magic prefix identifying a framed store object. Shared with the
-/// query-service wire protocol, which frames request/response payloads
-/// the same way.
+/// query-service and worker wire protocols, which frame payloads the
+/// same way.
 pub const FRAME_MAGIC: &[u8; 4] = b"STK1";
-/// Frame header: magic + little-endian CRC32 of the payload.
+/// Wire-frame header: magic + little-endian CRC32 of the payload (the
+/// length travels ahead of the magic on the wire, see `transport`).
 pub const FRAME_HEADER_LEN: usize = FRAME_MAGIC.len() + 4;
+/// On-disk blob header: magic + CRC32 + little-endian payload length.
+pub const BLOB_HEADER_LEN: usize = FRAME_HEADER_LEN + 4;
+/// Hard cap on a stored blob's payload. A corrupt length header is
+/// rejected against this bound instead of being trusted for allocation
+/// sizing; the wire protocols enforce their own (smaller) frame cap.
+pub const MAX_BLOB_LEN: usize = 256 << 20;
 
 /// Process-wide staging-file counter: combined with the pid it makes
 /// every [`ObjectStore::put_bytes`] staging name unique.
@@ -384,6 +408,54 @@ mod tests {
         // a pre-framing (or foreign) file has no magic
         fs::write(s.root().join("legacy"), b"raw bytes from an old store").unwrap();
         assert!(matches!(s.get_bytes("legacy"), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_length_header_is_rejected_not_trusted() {
+        let s = temp_store("badlen");
+        s.put_bytes("k", b"payload").unwrap();
+        let path = s.root().join("k");
+        let mut raw = fs::read(&path).unwrap();
+        // overwrite the declared length with an absurd value — a reader
+        // sizing a buffer from it would attempt a multi-GiB allocation
+        raw[FRAME_HEADER_LEN..BLOB_HEADER_LEN].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &raw).unwrap();
+        match s.get_bytes("k") {
+            Err(StorageError::Corrupt(k)) => assert_eq!(k, "k"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_payload_mismatch_is_corrupt() {
+        let s = temp_store("lenmismatch");
+        s.put_bytes("k", b"payload").unwrap();
+        let path = s.root().join("k");
+        let mut raw = fs::read(&path).unwrap();
+        // a torn write that lost trailing payload bytes but kept a valid
+        // header shape must not surface as a short read
+        raw.truncate(raw.len() - 2);
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(s.get_bytes("k"), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_writes_are_refused() {
+        // the cap itself is too large to exercise with a real buffer in a
+        // unit test; the zero-copy declared-length check is what matters
+        let s = temp_store("cap");
+        let framed_len = |n: usize| n <= MAX_BLOB_LEN;
+        assert!(framed_len(1024));
+        assert!(!framed_len(MAX_BLOB_LEN + 1));
+        // a declared length over the cap with matching tiny payload is
+        // still corrupt (declared != actual is checked first)
+        let mut raw = Vec::new();
+        raw.extend_from_slice(FRAME_MAGIC);
+        raw.extend_from_slice(&crc32(b"x").to_le_bytes());
+        raw.extend_from_slice(&(MAX_BLOB_LEN as u32 + 1).to_le_bytes());
+        raw.push(b'x');
+        fs::write(s.root().join("forged"), &raw).unwrap();
+        assert!(matches!(s.get_bytes("forged"), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

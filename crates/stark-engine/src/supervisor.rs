@@ -1,0 +1,978 @@
+//! Driver-side supervision of worker processes.
+//!
+//! A [`WorkerPool`] forks N worker processes (any binary built on
+//! [`crate::worker::WorkerRuntime`]), each of which dials back over TCP
+//! and is supervised for the pool's lifetime:
+//!
+//! * **Liveness** — every inbound frame refreshes the worker's
+//!   `last_seen`; workers push heartbeats on a fixed cadence, so a
+//!   silent socket (network partition, frozen process) trips the
+//!   heartbeat timeout even though the connection looks open.
+//! * **Worker-loss detection** — connection EOF or a torn frame
+//!   (fail-stop workers die on any protocol error), heartbeat silence,
+//!   or a task outliving its per-task deadline. All three funnel into
+//!   one `mark_down` path.
+//! * **Recovery** — a dead worker's in-flight task is reassigned to a
+//!   survivor with a bumped attempt number (its shuffle output lives in
+//!   the shared object store and is simply rewritten — lineage-based
+//!   recovery at the granularity of plan fragments). The seat respawns
+//!   with exponential backoff, jittered so a mass outage doesn't
+//!   thunder back in lockstep.
+//! * **Graceful drain** — shutdown sends [`DriverMsg::Drain`], waits
+//!   briefly for clean exits, then kills stragglers.
+//!
+//! Transport chaos ([`TransportChaos`]) hooks the dispatch path:
+//! kill -9 after send, dropped/truncated/corrupted/delayed task frames.
+//! Each policy exercises a different detection route, but recovery is
+//! always the same reassignment path — which is why the chaos suite can
+//! pin `tasks_reassigned == injected` and byte-identical results.
+
+use crate::fault::{splitmix64, TransportChaos, TransportPolicy};
+use crate::metrics::Metrics;
+use crate::plan::{PlanFragment, TaskResult};
+use crate::storage::{crc32, ObjectStore, FRAME_MAGIC};
+use crate::transport::{recv_msg, recv_payload, send_msg, write_frame, DriverMsg, WorkerMsg};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`WorkerPool`].
+#[derive(Debug, Clone)]
+pub struct WorkerPoolConfig {
+    /// Number of worker seats.
+    pub workers: usize,
+    /// Worker binary to fork (see [`find_worker_bin`]).
+    pub program: PathBuf,
+    /// Heartbeat cadence pushed by workers (passed on their command
+    /// line).
+    pub heartbeat_interval: Duration,
+    /// A worker whose last inbound frame is older than this is declared
+    /// lost even if its socket is still open.
+    pub heartbeat_timeout: Duration,
+    /// A dispatched task not answered within this window marks its
+    /// worker lost (catches dropped task frames and wedged workers that
+    /// still heartbeat).
+    pub task_timeout: Duration,
+    /// How long a freshly forked worker may take to dial back.
+    pub spawn_timeout: Duration,
+    /// Base respawn backoff; doubled per consecutive failure of the
+    /// seat and jittered into `[0.5, 1.5)` of the scaled value.
+    pub respawn_backoff: Duration,
+    /// Respawn budget per seat.
+    pub max_respawns: u32,
+    /// Reassignment/retry budget per task.
+    pub max_task_retries: u32,
+    /// Shared object store for shuffle buckets and checkpoints; `None`
+    /// creates a fresh temp-dir store.
+    pub store_root: Option<PathBuf>,
+    /// Transport fault injection consulted on every dispatch.
+    pub chaos: Option<Arc<TransportChaos>>,
+    /// Engine metrics to mirror pool counters into.
+    pub metrics: Option<Arc<Metrics>>,
+    /// Seed for the respawn-backoff jitter.
+    pub seed: u64,
+}
+
+impl WorkerPoolConfig {
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        WorkerPoolConfig {
+            workers: 4,
+            program: program.into(),
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_secs(2),
+            task_timeout: Duration::from_secs(30),
+            spawn_timeout: Duration::from_secs(10),
+            respawn_backoff: Duration::from_millis(50),
+            max_respawns: 3,
+            max_task_retries: 3,
+            store_root: None,
+            chaos: None,
+            metrics: None,
+            seed: 0xC4A05,
+        }
+    }
+}
+
+/// Locates a worker binary: `STARK_WORKER_BIN` first, then as a sibling
+/// of the current executable (walking up from `target/*/deps` for test
+/// binaries). Returns `None` if the binary has not been built.
+pub fn find_worker_bin(name: &str) -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("STARK_WORKER_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..2 {
+        let cand = dir.join(name);
+        if cand.is_file() {
+            return Some(cand);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Errors and stats
+// ---------------------------------------------------------------------------
+
+/// Typed pool failure.
+#[derive(Debug)]
+pub enum PoolError {
+    Io(io::Error),
+    /// A worker seat failed to fork or complete its handshake.
+    Spawn {
+        seat: usize,
+        message: String,
+    },
+    /// A task failed deterministically (non-retryable plan error).
+    TaskFailed {
+        task: usize,
+        message: String,
+    },
+    /// A task exhausted its reassignment/retry budget.
+    RetriesExhausted {
+        task: usize,
+        attempts: u32,
+        last: String,
+    },
+    /// Every worker is down and no respawn budget remains.
+    NoWorkers {
+        pending: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Io(e) => write!(f, "pool I/O error: {e}"),
+            PoolError::Spawn { seat, message } => write!(f, "worker seat {seat}: {message}"),
+            PoolError::TaskFailed { task, message } => write!(f, "task {task} failed: {message}"),
+            PoolError::RetriesExhausted { task, attempts, last } => {
+                write!(f, "task {task} failed after {attempts} attempts: {last}")
+            }
+            PoolError::NoWorkers { pending } => {
+                write!(f, "all workers lost with {pending} tasks outstanding and no respawn budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<io::Error> for PoolError {
+    fn from(e: io::Error) -> Self {
+        PoolError::Io(e)
+    }
+}
+
+/// Pool-level counters, readable at any time via [`WorkerPool::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PoolStats {
+    pub workers_spawned: u64,
+    pub workers_lost: u64,
+    pub workers_respawned: u64,
+    pub tasks_dispatched: u64,
+    pub tasks_completed: u64,
+    /// Tasks re-run after a worker-reported (retryable) failure.
+    pub tasks_retried: u64,
+    /// Tasks re-run because their worker was lost mid-flight.
+    pub tasks_reassigned: u64,
+    pub heartbeats: u64,
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+/// One task to run on the pool: a plan fragment plus its optional inline
+/// row payload.
+#[derive(Debug, Clone)]
+pub struct DistTask {
+    pub fragment: PlanFragment,
+    pub payload: Option<Vec<u8>>,
+}
+
+impl DistTask {
+    pub fn new(fragment: PlanFragment) -> Self {
+        DistTask { fragment, payload: None }
+    }
+
+    pub fn with_rows(fragment: PlanFragment, payload: Vec<u8>) -> Self {
+        DistTask { fragment, payload: Some(payload) }
+    }
+}
+
+/// Derives the reduce-side store keys for `partition` from the map
+/// stage's [`TaskOutput::BucketCounts`] (one `Vec<u64>` per map task) —
+/// only buckets a map task actually wrote appear.
+pub fn bucket_keys_for_partition(
+    prefix: &str,
+    counts: &[Vec<u64>],
+    partition: usize,
+) -> Vec<String> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.get(partition).copied().unwrap_or(0) > 0)
+        .map(|(task, _)| crate::plan::shuffle_bucket_key(prefix, task, partition))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+enum Event {
+    Msg { seat: usize, gen: u64, msg: WorkerMsg, rows: Option<Vec<u8>> },
+    Gone { seat: usize, gen: u64, reason: String },
+}
+
+enum SlotState {
+    Idle,
+    Busy { task: usize, attempt: u32, deadline: Instant },
+    Down,
+}
+
+struct WorkerSlot {
+    /// Incarnation counter; events from a previous incarnation of this
+    /// seat are stale and ignored.
+    gen: u64,
+    child: Option<Child>,
+    writer: Option<TcpStream>,
+    last_seen: Arc<Mutex<Instant>>,
+    state: SlotState,
+    /// Consecutive losses of this seat — the respawn-backoff exponent,
+    /// reset when the seat completes a task.
+    consecutive_failures: u32,
+    respawns_left: u32,
+    next_respawn: Option<Instant>,
+}
+
+impl WorkerSlot {
+    fn is_live(&self) -> bool {
+        !matches!(self.state, SlotState::Down)
+    }
+}
+
+/// A supervised pool of worker processes executing [`DistTask`]s.
+pub struct WorkerPool {
+    cfg: WorkerPoolConfig,
+    listener: TcpListener,
+    addr: String,
+    slots: Vec<WorkerSlot>,
+    events_rx: Receiver<Event>,
+    events_tx: Sender<Event>,
+    store: ObjectStore,
+    heartbeats: Arc<AtomicU64>,
+    stats: PoolStats,
+    /// Monotonic job counter — part of the chaos draw identity.
+    jobs: u64,
+    /// splitmix64 state for respawn jitter.
+    rng: u64,
+    closed: bool,
+}
+
+impl WorkerPool {
+    /// Forks `cfg.workers` worker processes and completes their
+    /// handshakes. On any seat failure the already-started workers are
+    /// killed before the error returns.
+    pub fn spawn(cfg: WorkerPoolConfig) -> Result<WorkerPool, PoolError> {
+        assert!(cfg.workers >= 1, "a pool needs at least one worker");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        let store_root = cfg.store_root.clone().unwrap_or_else(|| {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            std::env::temp_dir().join(format!(
+                "stark-pool-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
+        let store = ObjectStore::open(&store_root)
+            .map_err(|e| PoolError::Spawn { seat: 0, message: format!("open store: {e}") })?;
+        let (events_tx, events_rx) = std::sync::mpsc::channel();
+        let mut pool = WorkerPool {
+            rng: splitmix64(cfg.seed ^ 0x57A2_4B00),
+            cfg,
+            listener,
+            addr,
+            slots: Vec::new(),
+            events_rx,
+            events_tx,
+            store,
+            heartbeats: Arc::new(AtomicU64::new(0)),
+            stats: PoolStats::default(),
+            jobs: 0,
+            closed: false,
+        };
+        for seat in 0..pool.cfg.workers {
+            pool.slots.push(WorkerSlot {
+                gen: 0,
+                child: None,
+                writer: None,
+                last_seen: Arc::new(Mutex::new(Instant::now())),
+                state: SlotState::Down,
+                consecutive_failures: 0,
+                respawns_left: pool.cfg.max_respawns,
+                next_respawn: None,
+            });
+            if let Err(e) = pool.spawn_worker(seat) {
+                pool.shutdown_inner();
+                return Err(e);
+            }
+        }
+        Ok(pool)
+    }
+
+    /// The shared object store workers read shuffle input from and write
+    /// shuffle/checkpoint output to.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Pool counters (heartbeats are read from the reader threads).
+    pub fn stats(&self) -> PoolStats {
+        let mut s = self.stats;
+        s.heartbeats = self.heartbeats.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Number of workers currently live (connected and not timed out).
+    pub fn live_workers(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_live()).count()
+    }
+
+    fn metric(&self, f: impl Fn(&Metrics)) {
+        if let Some(m) = &self.cfg.metrics {
+            f(m);
+        }
+    }
+
+    /// Forks one worker for `seat` and completes the Hello handshake.
+    fn spawn_worker(&mut self, seat: usize) -> Result<(), PoolError> {
+        let spawn_err = |message: String| PoolError::Spawn { seat, message };
+        let mut child = Command::new(&self.cfg.program)
+            .arg("--addr")
+            .arg(&self.addr)
+            .arg("--id")
+            .arg(seat.to_string())
+            .arg("--heartbeat-ms")
+            .arg(self.cfg.heartbeat_interval.as_millis().max(1).to_string())
+            .arg("--store")
+            .arg(self.store.root())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| spawn_err(format!("fork {:?}: {e}", self.cfg.program)))?;
+
+        // The listener is non-blocking; poll for the dial-back while
+        // watching for an early child death.
+        let deadline = Instant::now() + self.cfg.spawn_timeout;
+        let stream = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => break stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(spawn_err(format!("worker exited during spawn: {status}")));
+                    }
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        return Err(spawn_err("worker never dialed back".into()));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    return Err(e.into());
+                }
+            }
+        };
+        stream.set_nodelay(true).ok();
+
+        // Hello must arrive promptly; restore blocking mode afterwards.
+        stream.set_read_timeout(Some(self.cfg.spawn_timeout)).ok();
+        let mut hello_reader = BufReader::new(stream.try_clone()?);
+        match recv_msg::<WorkerMsg>(&mut hello_reader) {
+            Ok(Some(WorkerMsg::Hello { worker_id, .. })) if worker_id == seat => {}
+            Ok(other) => {
+                let _ = child.kill();
+                return Err(spawn_err(format!("bad handshake: {other:?}")));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                return Err(spawn_err(format!("handshake: {e}")));
+            }
+        }
+        stream.set_read_timeout(None).ok();
+
+        let slot = &mut self.slots[seat];
+        slot.gen += 1;
+        slot.child = Some(child);
+        slot.writer = Some(stream);
+        slot.state = SlotState::Idle;
+        *slot.last_seen.lock().unwrap() = Instant::now();
+        slot.next_respawn = None;
+        self.stats.workers_spawned += 1;
+        self.metric(|m| m.inc_workers_spawned());
+
+        // Reader thread: forwards messages and reports connection loss.
+        let gen = self.slots[seat].gen;
+        let tx = self.events_tx.clone();
+        let last_seen = self.slots[seat].last_seen.clone();
+        let heartbeats = self.heartbeats.clone();
+        std::thread::spawn(move || reader_loop(hello_reader, seat, gen, tx, last_seen, heartbeats));
+        Ok(())
+    }
+
+    /// Runs a stage of tasks to completion, reassigning work away from
+    /// lost workers, and returns the per-task results in input order.
+    pub fn execute(&mut self, tasks: &[DistTask]) -> Result<Vec<TaskResult>, PoolError> {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let job = self.jobs;
+        self.jobs += 1;
+        self.reset_for_new_job();
+
+        let n = tasks.len();
+        let mut results: Vec<Option<TaskResult>> = vec![None; n];
+        let mut pending: VecDeque<(usize, u32)> = (0..n).map(|i| (i, 0)).collect();
+        let mut done = 0usize;
+
+        while done < n {
+            self.respawn_due();
+            self.assign_pending(&mut pending, tasks, job);
+
+            if self.live_workers() == 0 && !self.respawn_possible() {
+                return Err(PoolError::NoWorkers { pending: n - done });
+            }
+
+            match self.events_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(ev) => self.handle_event(ev, &mut results, &mut pending, &mut done)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("pool holds an event sender")
+                }
+            }
+            self.check_timeouts(&mut pending)?;
+        }
+        Ok(results.into_iter().map(|r| r.expect("all tasks completed")).collect())
+    }
+
+    /// Discards events and in-flight bookkeeping left over from an
+    /// aborted previous job. `Gone` events are still honoured (the
+    /// worker is genuinely dead, just not reassigned — its task belongs
+    /// to a job that already failed).
+    fn reset_for_new_job(&mut self) {
+        while let Ok(ev) = self.events_rx.try_recv() {
+            if let Event::Gone { seat, gen, reason } = ev {
+                if self.slots[seat].gen == gen && self.slots[seat].is_live() {
+                    self.mark_down(seat, &reason, &mut VecDeque::new(), true);
+                }
+            }
+        }
+        for slot in &mut self.slots {
+            if matches!(slot.state, SlotState::Busy { .. }) {
+                slot.state = SlotState::Idle;
+            }
+        }
+    }
+
+    fn respawn_possible(&self) -> bool {
+        self.slots.iter().any(|s| !s.is_live() && s.respawns_left > 0 && s.next_respawn.is_some())
+    }
+
+    fn respawn_due(&mut self) {
+        for seat in 0..self.slots.len() {
+            let due = {
+                let s = &self.slots[seat];
+                !s.is_live()
+                    && s.respawns_left > 0
+                    && s.next_respawn.is_some_and(|t| Instant::now() >= t)
+            };
+            if due {
+                self.slots[seat].respawns_left -= 1;
+                match self.spawn_worker(seat) {
+                    Ok(()) => {
+                        self.stats.workers_respawned += 1;
+                        self.metric(|m| m.inc_workers_respawned());
+                    }
+                    Err(_) if self.slots[seat].respawns_left > 0 => {
+                        // schedule another attempt, backoff grown
+                        let exp = self.slots[seat].consecutive_failures;
+                        let wait = self.jittered_backoff(exp);
+                        self.slots[seat].consecutive_failures += 1;
+                        self.slots[seat].next_respawn = Some(Instant::now() + wait);
+                    }
+                    Err(_) => {
+                        self.slots[seat].next_respawn = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn assign_pending(
+        &mut self,
+        pending: &mut VecDeque<(usize, u32)>,
+        tasks: &[DistTask],
+        job: u64,
+    ) {
+        for seat in 0..self.slots.len() {
+            if pending.is_empty() {
+                return;
+            }
+            if matches!(self.slots[seat].state, SlotState::Idle) {
+                let (task, attempt) = pending.pop_front().expect("checked non-empty");
+                if let Err(reason) = self.dispatch(seat, task, attempt, &tasks[task], job) {
+                    // The send itself failed: the task never reached the
+                    // worker, so requeue it at the same attempt. Clear the
+                    // Busy state first so mark_down does not reassign it a
+                    // second time.
+                    self.slots[seat].state = SlotState::Idle;
+                    pending.push_front((task, attempt));
+                    self.mark_down(seat, &reason, pending, false);
+                }
+            }
+        }
+    }
+
+    /// Sends one task to one worker, applying any injected transport
+    /// fault. Returns `Err(reason)` if the transport write failed.
+    fn dispatch(
+        &mut self,
+        seat: usize,
+        task: usize,
+        attempt: u32,
+        dist: &DistTask,
+        job: u64,
+    ) -> Result<(), String> {
+        let policy = self.cfg.chaos.as_ref().and_then(|c| c.draw(job, task as u64, attempt));
+        let deadline = Instant::now() + self.cfg.task_timeout;
+        self.slots[seat].state = SlotState::Busy { task, attempt, deadline };
+        self.stats.tasks_dispatched += 1;
+        self.metric(|m| m.inc_remote_tasks());
+
+        let msg = DriverMsg::Task {
+            id: task as u64,
+            attempt,
+            fragment: dist.fragment.clone(),
+            has_payload: dist.payload.is_some(),
+        };
+
+        match policy {
+            Some(TransportPolicy::DropFrame) => {
+                // the worker never hears about the task; the per-task
+                // deadline recovers it
+                return Ok(());
+            }
+            Some(TransportPolicy::KillWorker) => {
+                // Fail-stop crash at dispatch: the victim dies before the
+                // task frame lands, so the in-flight task is always
+                // recovered by reassignment (never by a duplicate
+                // completion racing the kill). The reader thread reports
+                // EOF and the Gone path takes over.
+                if let Some(child) = &mut self.slots[seat].child {
+                    let _ = child.kill();
+                }
+                return Ok(());
+            }
+            Some(TransportPolicy::DelayFrame(d)) => std::thread::sleep(d),
+            _ => {}
+        }
+
+        let payload_len = dist.payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
+        let writer = self.slots[seat].writer.as_mut().expect("live worker has a writer");
+        let send_result = match policy {
+            Some(TransportPolicy::TruncateFrame) => send_truncated(writer, &msg),
+            Some(TransportPolicy::CorruptFrame) => send_corrupted(writer, &msg),
+            _ => {
+                let r = send_msg(writer, &msg);
+                match (&r, &dist.payload) {
+                    (Ok(()), Some(p)) => write_frame(writer, p),
+                    _ => r,
+                }
+            }
+        };
+        send_result.map_err(|e| format!("dispatch: {e}"))?;
+        let _ = writer.flush();
+        self.stats.bytes_tx += payload_len;
+        self.metric(|m| m.add_remote_bytes_tx(payload_len));
+        Ok(())
+    }
+
+    fn handle_event(
+        &mut self,
+        ev: Event,
+        results: &mut [Option<TaskResult>],
+        pending: &mut VecDeque<(usize, u32)>,
+        done: &mut usize,
+    ) -> Result<(), PoolError> {
+        match ev {
+            Event::Msg { seat, gen, msg, rows } => {
+                if self.slots[seat].gen != gen {
+                    return Ok(()); // stale incarnation
+                }
+                match msg {
+                    WorkerMsg::TaskOk { id, output, micros: _ } => {
+                        let matches_busy = matches!(
+                            self.slots[seat].state,
+                            SlotState::Busy { task, .. } if task == id as usize
+                        );
+                        if !matches_busy {
+                            return Ok(()); // answer to an abandoned job
+                        }
+                        let task = id as usize;
+                        self.slots[seat].state = SlotState::Idle;
+                        self.slots[seat].consecutive_failures = 0;
+                        if results[task].is_some() {
+                            return Ok(()); // duplicate of an already-recovered task
+                        }
+                        let bytes = rows.as_ref().map(|r| r.len() as u64).unwrap_or(0);
+                        self.stats.bytes_rx += bytes;
+                        self.metric(|m| m.add_remote_bytes_rx(bytes));
+                        results[task] = Some(TaskResult { output, payload: rows });
+                        *done += 1;
+                        self.stats.tasks_completed += 1;
+                    }
+                    WorkerMsg::TaskErr { id, message, retryable } => {
+                        let busy = match self.slots[seat].state {
+                            SlotState::Busy { task, attempt, .. } if task == id as usize => {
+                                Some((task, attempt))
+                            }
+                            _ => None,
+                        };
+                        let Some((task, attempt)) = busy else { return Ok(()) };
+                        self.slots[seat].state = SlotState::Idle;
+                        if !retryable {
+                            return Err(PoolError::TaskFailed { task, message });
+                        }
+                        if attempt + 1 > self.cfg.max_task_retries {
+                            return Err(PoolError::RetriesExhausted {
+                                task,
+                                attempts: attempt + 1,
+                                last: message,
+                            });
+                        }
+                        self.stats.tasks_retried += 1;
+                        pending.push_back((task, attempt + 1));
+                    }
+                    // liveness traffic is consumed by the reader thread
+                    WorkerMsg::Hello { .. }
+                    | WorkerMsg::Pong { .. }
+                    | WorkerMsg::Heartbeat { .. } => {}
+                }
+            }
+            Event::Gone { seat, gen, reason } => {
+                if self.slots[seat].gen != gen || !self.slots[seat].is_live() {
+                    return Ok(()); // stale or already handled
+                }
+                self.mark_down(seat, &reason, pending, false);
+                if let Some((_, attempt)) = pending.back() {
+                    if *attempt > self.cfg.max_task_retries {
+                        let (task, attempt) = pending.pop_back().expect("just observed");
+                        return Err(PoolError::RetriesExhausted {
+                            task,
+                            attempts: attempt,
+                            last: reason,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares a worker lost: kills the process, reassigns its
+    /// in-flight task (unless `abandon_task`) and schedules a respawn
+    /// with jittered exponential backoff.
+    fn mark_down(
+        &mut self,
+        seat: usize,
+        reason: &str,
+        pending: &mut VecDeque<(usize, u32)>,
+        abandon_task: bool,
+    ) {
+        let _ = reason;
+        let slot = &mut self.slots[seat];
+        if let Some(child) = &mut slot.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        slot.child = None;
+        slot.writer = None;
+        if let SlotState::Busy { task, attempt, .. } = slot.state {
+            if !abandon_task {
+                // lineage-based reassignment: the task's input is either
+                // inline (driver still holds it) or in the shared store,
+                // so any survivor can recompute it
+                self.stats.tasks_reassigned += 1;
+                self.metric(|m| m.inc_tasks_reassigned());
+                pending.push_back((task, attempt + 1));
+            }
+        }
+        let slot = &mut self.slots[seat];
+        slot.state = SlotState::Down;
+        let exp = slot.consecutive_failures;
+        slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+        let respawnable = slot.respawns_left > 0;
+        self.stats.workers_lost += 1;
+        self.metric(|m| m.inc_workers_lost());
+        if respawnable {
+            let wait = self.jittered_backoff(exp);
+            self.slots[seat].next_respawn = Some(Instant::now() + wait);
+        }
+    }
+
+    fn check_timeouts(&mut self, pending: &mut VecDeque<(usize, u32)>) -> Result<(), PoolError> {
+        let now = Instant::now();
+        for seat in 0..self.slots.len() {
+            if !self.slots[seat].is_live() {
+                continue;
+            }
+            let silent =
+                self.slots[seat].last_seen.lock().unwrap().elapsed() > self.cfg.heartbeat_timeout;
+            let overdue = matches!(
+                self.slots[seat].state,
+                SlotState::Busy { deadline, .. } if now >= deadline
+            );
+            if silent || overdue {
+                self.mark_down(
+                    seat,
+                    if silent { "heartbeat timeout" } else { "task deadline exceeded" },
+                    pending,
+                    false,
+                );
+                if let Some((task, attempt)) = pending.back().copied() {
+                    if attempt > self.cfg.max_task_retries {
+                        pending.pop_back();
+                        return Err(PoolError::RetriesExhausted {
+                            task,
+                            attempts: attempt,
+                            last: if silent {
+                                "heartbeat timeout".into()
+                            } else {
+                                "task deadline exceeded".into()
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic jittered exponential backoff: `base * 2^exp`,
+    /// scaled by a seeded draw in `[0.5, 1.5)` so seats that died
+    /// together don't respawn in lockstep.
+    fn jittered_backoff(&mut self, exp: u32) -> Duration {
+        let scaled = self.cfg.respawn_backoff * (1u32 << exp.min(6));
+        self.rng = splitmix64(self.rng);
+        let factor = 0.5 + (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        scaled.mul_f64(factor)
+    }
+
+    /// Waits up to `timeout` for scheduled respawns to bring lost seats
+    /// back, forking each as its backoff expires. Respawns normally
+    /// happen inside [`Self::execute`]'s scheduling loop; call this
+    /// between jobs to restore full capacity before dispatching the next
+    /// stage. Returns the number of live workers afterwards.
+    pub fn heal(&mut self, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // honour loss reports that arrived while the pool was idle
+            while let Ok(ev) = self.events_rx.try_recv() {
+                if let Event::Gone { seat, gen, reason } = ev {
+                    if self.slots[seat].gen == gen && self.slots[seat].is_live() {
+                        self.mark_down(seat, &reason, &mut VecDeque::new(), true);
+                    }
+                }
+            }
+            self.respawn_due();
+            if self.live_workers() == self.slots.len()
+                || Instant::now() >= deadline
+                || !self.respawn_possible()
+            {
+                return self.live_workers();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Graceful drain: ask every live worker to finish and exit, wait
+    /// briefly, then kill stragglers. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        for slot in &mut self.slots {
+            if let Some(w) = &mut slot.writer {
+                let _ = send_msg(w, &DriverMsg::Drain);
+                let _ = w.flush();
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for slot in &mut self.slots {
+            if let Some(child) = &mut slot.child {
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(5))
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            slot.child = None;
+            slot.writer = None;
+            slot.state = SlotState::Down;
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader thread + chaos frame writers
+// ---------------------------------------------------------------------------
+
+fn reader_loop(
+    mut reader: BufReader<TcpStream>,
+    seat: usize,
+    gen: u64,
+    tx: Sender<Event>,
+    last_seen: Arc<Mutex<Instant>>,
+    heartbeats: Arc<AtomicU64>,
+) {
+    loop {
+        match recv_msg::<WorkerMsg>(&mut reader) {
+            Ok(Some(msg)) => {
+                *last_seen.lock().unwrap() = Instant::now();
+                if matches!(msg, WorkerMsg::Heartbeat { .. }) {
+                    heartbeats.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let rows = if matches!(&msg, WorkerMsg::TaskOk { output, .. } if output.has_payload())
+                {
+                    match recv_payload(&mut reader) {
+                        Ok(p) => Some(p),
+                        Err(e) => {
+                            let _ = tx.send(Event::Gone {
+                                seat,
+                                gen,
+                                reason: format!("result payload: {e}"),
+                            });
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
+                if tx.send(Event::Msg { seat, gen, msg, rows }).is_err() {
+                    return; // pool dropped
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(Event::Gone { seat, gen, reason: "connection closed".into() });
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Gone { seat, gen, reason: e.to_string() });
+                return;
+            }
+        }
+    }
+}
+
+/// Chaos: writes a frame whose length prefix promises more bytes than
+/// follow — the receiver blocks mid-frame, wedged but heartbeating.
+fn send_truncated(w: &mut impl Write, msg: &DriverMsg) -> io::Result<()> {
+    let payload = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e}")))?;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(FRAME_MAGIC);
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload[..payload.len() / 2]);
+    w.write_all(&buf)
+}
+
+/// Chaos: writes a complete frame whose payload was bit-flipped after
+/// the checksum was computed — the receiver detects the mismatch and
+/// fail-stops.
+fn send_corrupted(w: &mut impl Write, msg: &DriverMsg) -> io::Result<()> {
+    let mut payload = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e}")))?;
+    let crc = crc32(&payload);
+    let mid = payload.len() / 2;
+    payload[mid] ^= 0x40;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(FRAME_MAGIC);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(&payload);
+    w.write_all(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_keys_skip_empty_buckets() {
+        let counts = vec![vec![2, 0, 1], vec![0, 0, 3], vec![1, 0, 0]];
+        assert_eq!(
+            bucket_keys_for_partition("sh", &counts, 0),
+            vec!["sh/task-00000/bucket-00000", "sh/task-00002/bucket-00000"]
+        );
+        assert!(bucket_keys_for_partition("sh", &counts, 1).is_empty());
+        assert_eq!(
+            bucket_keys_for_partition("sh", &counts, 2),
+            vec!["sh/task-00000/bucket-00002", "sh/task-00001/bucket-00002"]
+        );
+    }
+
+    #[test]
+    fn pool_error_displays() {
+        let e = PoolError::RetriesExhausted { task: 3, attempts: 4, last: "gone".into() };
+        assert!(e.to_string().contains("task 3"));
+        assert!(PoolError::NoWorkers { pending: 2 }.to_string().contains("2 tasks"));
+    }
+
+    #[test]
+    fn find_worker_bin_rejects_missing() {
+        assert!(find_worker_bin("definitely-not-a-real-binary-name").is_none());
+    }
+}

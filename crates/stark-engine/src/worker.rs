@@ -1,0 +1,419 @@
+//! Worker-side runtime: executes plan fragments received over one TCP
+//! connection to the driver.
+//!
+//! A worker is deliberately fail-stop: any transport decode error (torn
+//! frame, checksum mismatch, unknown message) terminates the serve loop
+//! with an error, and the binary wrapper exits non-zero. The driver sees
+//! a connection loss and recovers through its single worker-loss path —
+//! there is no in-worker repair, matching the crash-only model the
+//! supervision layer is built around.
+//!
+//! Concurrency inside a worker is two threads: the main loop reads task
+//! frames and executes them; a heartbeat thread pushes
+//! [`WorkerMsg::Heartbeat`] on a fixed cadence (also while a task is
+//! executing, so a long task is distinguishable from a dead process).
+//! Both share the write half of the socket behind a mutex, and every
+//! control-plus-payload pair is sent under one lock so frames never
+//! interleave.
+
+use crate::plan::{PlanError, PlanFragment, SchemaExecutor, TaskResult};
+use crate::storage::ObjectStore;
+use crate::transport::{recv_msg, recv_payload, send_msg, write_frame, DriverMsg, WorkerMsg};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A worker's executable surface: one [`SchemaExecutor`] per row schema.
+#[derive(Default)]
+pub struct WorkerRuntime {
+    executors: HashMap<String, Box<dyn SchemaExecutor>>,
+}
+
+impl WorkerRuntime {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an executor under its schema name (replacing any
+    /// previous one).
+    pub fn register(&mut self, exec: Box<dyn SchemaExecutor>) {
+        self.executors.insert(exec.schema().to_string(), exec);
+    }
+
+    /// The schema names this worker can execute, sorted.
+    pub fn schemas(&self) -> Vec<String> {
+        let mut s: Vec<String> = self.executors.keys().cloned().collect();
+        s.sort();
+        s
+    }
+
+    fn execute(
+        &self,
+        fragment: &PlanFragment,
+        payload: Option<&[u8]>,
+        store: Option<&ObjectStore>,
+    ) -> Result<TaskResult, PlanError> {
+        let exec =
+            self.executors.get(&fragment.schema).ok_or_else(|| PlanError::SchemaMismatch {
+                expected: self.schemas().join(","),
+                got: fragment.schema.clone(),
+            })?;
+        exec.execute(fragment, payload, store)
+    }
+
+    /// Connects to the driver at `addr` and serves until drained or the
+    /// connection fails.
+    pub fn run(
+        &self,
+        addr: &str,
+        worker_id: usize,
+        heartbeat: Duration,
+        store_root: Option<&Path>,
+    ) -> io::Result<()> {
+        let stream = TcpStream::connect(addr)?;
+        self.serve(stream, worker_id, heartbeat, store_root)
+    }
+
+    /// Serves the worker protocol over an established connection. Used
+    /// directly by in-process tests; the binaries call [`Self::run`].
+    pub fn serve(
+        &self,
+        stream: TcpStream,
+        worker_id: usize,
+        heartbeat: Duration,
+        store_root: Option<&Path>,
+    ) -> io::Result<()> {
+        stream.set_nodelay(true).ok();
+        let store = match store_root {
+            Some(root) => Some(ObjectStore::open(root).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("open store: {e}"))
+            })?),
+            None => None,
+        };
+
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let mut reader = BufReader::new(stream);
+
+        {
+            let mut w = writer.lock().unwrap();
+            send_msg(
+                &mut *w,
+                &WorkerMsg::Hello { worker_id, pid: std::process::id(), schemas: self.schemas() },
+            )?;
+        }
+
+        // Heartbeat thread: pushes liveness on a fixed cadence until the
+        // serve loop ends. `busy` reflects whether a task is in flight.
+        let stop = Arc::new(AtomicBool::new(false));
+        let busy = Arc::new(AtomicBool::new(false));
+        let hb_handle = {
+            let writer = writer.clone();
+            let stop = stop.clone();
+            let busy = busy.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(heartbeat);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let msg = WorkerMsg::Heartbeat { busy: busy.load(Ordering::Relaxed) };
+                    let mut w = writer.lock().unwrap();
+                    if send_msg(&mut *w, &msg).is_err() {
+                        break; // driver is gone; the main loop will notice too
+                    }
+                }
+            })
+        };
+
+        let result = self.serve_loop(&mut reader, &writer, &busy, store.as_ref());
+        stop.store(true, Ordering::Relaxed);
+        let _ = hb_handle.join();
+        result
+    }
+
+    fn serve_loop(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        writer: &Arc<Mutex<TcpStream>>,
+        busy: &AtomicBool,
+        store: Option<&ObjectStore>,
+    ) -> io::Result<()> {
+        loop {
+            let Some(msg) = recv_msg::<DriverMsg>(reader)? else {
+                return Ok(()); // driver hung up cleanly
+            };
+            match msg {
+                DriverMsg::Ping { seq } => {
+                    let mut w = writer.lock().unwrap();
+                    send_msg(&mut *w, &WorkerMsg::Pong { seq })?;
+                }
+                DriverMsg::Drain => return Ok(()),
+                DriverMsg::Task { id, attempt: _, fragment, has_payload } => {
+                    let payload = if has_payload { Some(recv_payload(reader)?) } else { None };
+                    busy.store(true, Ordering::Relaxed);
+                    let started = Instant::now();
+                    // A panicking op must not take the worker down with a
+                    // useless abort — it becomes a typed task failure and
+                    // the worker lives on (the fail-stop rule is for
+                    // *transport* faults, not task bugs).
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.execute(&fragment, payload.as_deref(), store)
+                    }));
+                    busy.store(false, Ordering::Relaxed);
+                    let micros = started.elapsed().as_micros() as u64;
+                    let reply = match outcome {
+                        Ok(Ok(result)) => {
+                            let mut w = writer.lock().unwrap();
+                            send_msg(
+                                &mut *w,
+                                &WorkerMsg::TaskOk { id, output: result.output.clone(), micros },
+                            )?;
+                            if let Some(rows) = &result.payload {
+                                write_frame(&mut *w, rows)?;
+                            }
+                            continue;
+                        }
+                        Ok(Err(e)) => WorkerMsg::TaskErr {
+                            id,
+                            message: e.to_string(),
+                            retryable: crate::plan::is_retryable(&e),
+                        },
+                        Err(panic) => WorkerMsg::TaskErr {
+                            id,
+                            message: format!("task panicked: {}", panic_message(&panic)),
+                            retryable: true,
+                        },
+                    };
+                    let mut w = writer.lock().unwrap();
+                    send_msg(&mut *w, &reply)?;
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Command-line surface shared by the worker binaries:
+///
+/// ```text
+/// <bin> --addr 127.0.0.1:PORT --id N [--heartbeat-ms 50] [--store DIR]
+/// ```
+///
+/// `STARK_WORKER_ADDR`, `STARK_WORKER_ID`, `STARK_WORKER_HEARTBEAT_MS`
+/// and `STARK_STORE_ROOT` serve as fallbacks for each flag.
+pub fn run_from_args(
+    runtime: &WorkerRuntime,
+    args: impl Iterator<Item = String>,
+) -> io::Result<()> {
+    let mut addr = std::env::var("STARK_WORKER_ADDR").ok();
+    let mut id: Option<usize> = std::env::var("STARK_WORKER_ID").ok().and_then(|s| s.parse().ok());
+    let mut heartbeat_ms: u64 =
+        std::env::var("STARK_WORKER_HEARTBEAT_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let mut store: Option<PathBuf> = std::env::var("STARK_STORE_ROOT").ok().map(PathBuf::from);
+
+    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidInput, m);
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| bad(format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--addr" => addr = Some(value()?),
+            "--id" => id = Some(value()?.parse().map_err(|e| bad(format!("--id: {e}")))?),
+            "--heartbeat-ms" => {
+                heartbeat_ms = value()?.parse().map_err(|e| bad(format!("--heartbeat-ms: {e}")))?
+            }
+            "--store" => store = Some(PathBuf::from(value()?)),
+            other => return Err(bad(format!("unknown flag {other:?}"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| bad("missing --addr (or STARK_WORKER_ADDR)".into()))?;
+    let id = id.ok_or_else(|| bad("missing --id (or STARK_WORKER_ID)".into()))?;
+    runtime.run(&addr, id, Duration::from_millis(heartbeat_ms.max(1)), store.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{encode_rows, int_registry, PlanInput, PlanSink, TaskOutput};
+    use serde_json::Value;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    fn int_runtime() -> WorkerRuntime {
+        let mut rt = WorkerRuntime::new();
+        rt.register(Box::new(int_registry()));
+        rt
+    }
+
+    /// Serves one in-process worker over a real TCP socketpair and
+    /// returns the driver-side stream plus the serve-thread handle.
+    fn spawn_worker() -> (TcpStream, std::thread::JoinHandle<io::Result<()>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let rt = int_runtime();
+            let stream = TcpStream::connect(addr).unwrap();
+            rt.serve(stream, 0, Duration::from_millis(10), None)
+        });
+        let (driver_side, _) = listener.accept().unwrap();
+        (driver_side, handle)
+    }
+
+    fn expect_hello(r: &mut BufReader<TcpStream>) {
+        loop {
+            match recv_msg::<WorkerMsg>(r).unwrap().expect("worker alive") {
+                WorkerMsg::Hello { schemas, .. } => {
+                    assert_eq!(schemas, vec!["i64".to_string()]);
+                    return;
+                }
+                WorkerMsg::Heartbeat { .. } => continue,
+                other => panic!("expected Hello, got {other:?}"),
+            }
+        }
+    }
+
+    /// Skips heartbeats, returning the next non-heartbeat message.
+    fn next_msg(r: &mut BufReader<TcpStream>) -> WorkerMsg {
+        loop {
+            match recv_msg::<WorkerMsg>(r).unwrap().expect("worker alive") {
+                WorkerMsg::Heartbeat { .. } => continue,
+                other => return other,
+            }
+        }
+    }
+
+    #[test]
+    fn executes_a_task_and_ships_rows_back() {
+        let (stream, handle) = spawn_worker();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = BufReader::new(stream);
+        expect_hello(&mut r);
+
+        let fragment = PlanFragment {
+            schema: "i64".into(),
+            input: PlanInput::Inline,
+            ops: vec![crate::plan::PlanOp::Map {
+                op: "add".into(),
+                arg: crate::plan::int_arg("k", 10),
+            }],
+            sink: PlanSink::Collect,
+        };
+        send_msg(&mut w, &DriverMsg::Task { id: 1, attempt: 0, fragment, has_payload: true })
+            .unwrap();
+        write_frame(&mut w, &encode_rows(&[1i64, 2, 3]).unwrap()).unwrap();
+
+        match next_msg(&mut r) {
+            WorkerMsg::TaskOk { id: 1, output: TaskOutput::Rows { rows: 3, .. }, .. } => {
+                let payload = recv_payload(&mut r).unwrap();
+                let rows: Vec<i64> = crate::plan::decode_rows(&payload).unwrap();
+                assert_eq!(rows, vec![11, 12, 13]);
+            }
+            other => panic!("expected TaskOk+rows, got {other:?}"),
+        }
+
+        send_msg(&mut w, &DriverMsg::Drain).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn heartbeats_flow_and_ping_pongs() {
+        let (stream, handle) = spawn_worker();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = BufReader::new(stream);
+        expect_hello(&mut r);
+
+        // at a 10ms cadence a heartbeat must arrive well inside a second
+        let mut saw_heartbeat = false;
+        send_msg(&mut w, &DriverMsg::Ping { seq: 42 }).unwrap();
+        loop {
+            match recv_msg::<WorkerMsg>(&mut r).unwrap().expect("worker alive") {
+                WorkerMsg::Heartbeat { .. } => saw_heartbeat = true,
+                WorkerMsg::Pong { seq } => {
+                    assert_eq!(seq, 42);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // wait for at least one heartbeat if the pong won the race
+        while !saw_heartbeat {
+            if let WorkerMsg::Heartbeat { .. } =
+                recv_msg::<WorkerMsg>(&mut r).unwrap().expect("worker alive")
+            {
+                saw_heartbeat = true;
+            }
+        }
+        send_msg(&mut w, &DriverMsg::Drain).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn unknown_op_fails_the_task_not_the_worker() {
+        let (stream, handle) = spawn_worker();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = BufReader::new(stream);
+        expect_hello(&mut r);
+
+        let fragment = PlanFragment {
+            schema: "i64".into(),
+            input: PlanInput::Inline,
+            ops: vec![crate::plan::PlanOp::Map { op: "missing".into(), arg: Value::Null }],
+            sink: PlanSink::Count,
+        };
+        send_msg(&mut w, &DriverMsg::Task { id: 5, attempt: 0, fragment, has_payload: true })
+            .unwrap();
+        write_frame(&mut w, &encode_rows(&[1i64]).unwrap()).unwrap();
+        match next_msg(&mut r) {
+            WorkerMsg::TaskErr { id: 5, retryable, message } => {
+                assert!(!retryable, "unknown op is deterministic: {message}");
+            }
+            other => panic!("expected TaskErr, got {other:?}"),
+        }
+
+        // the worker survives and still executes the next task
+        let ok = PlanFragment {
+            schema: "i64".into(),
+            input: PlanInput::Inline,
+            ops: vec![],
+            sink: PlanSink::Count,
+        };
+        send_msg(&mut w, &DriverMsg::Task { id: 6, attempt: 0, fragment: ok, has_payload: true })
+            .unwrap();
+        write_frame(&mut w, &encode_rows(&[1i64, 2]).unwrap()).unwrap();
+        match next_msg(&mut r) {
+            WorkerMsg::TaskOk { id: 6, output: TaskOutput::Count(2), .. } => {}
+            other => panic!("expected TaskOk count, got {other:?}"),
+        }
+        send_msg(&mut w, &DriverMsg::Drain).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn torn_frame_fail_stops_the_worker() {
+        let (stream, handle) = spawn_worker();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = BufReader::new(stream);
+        expect_hello(&mut r);
+
+        // declare a 100-byte payload but send garbage with a bad magic:
+        // the worker must reject and die, not guess
+        w.write_all(&100u32.to_le_bytes()).unwrap();
+        w.write_all(b"JUNK").unwrap();
+        w.write_all(&[0u8; 104]).unwrap();
+        w.flush().unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+}

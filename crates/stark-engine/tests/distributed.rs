@@ -1,0 +1,284 @@
+//! Multi-process execution tests: a [`WorkerPool`] forking real
+//! `stark-engine-worker` processes over TCP, with transport chaos.
+//!
+//! Every chaos test pins the two supervision invariants: results are
+//! byte-identical to a fault-free run, and `tasks_reassigned` equals the
+//! number of injected faults (`fail_attempts = 1` means a reassigned
+//! attempt is never struck again).
+
+use stark_engine::plan::{
+    decode_rows, encode_rows, int_arg, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput,
+};
+use stark_engine::supervisor::{bucket_keys_for_partition, DistTask};
+use stark_engine::{TransportChaos, TransportPolicy, WorkerPool, WorkerPoolConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKER: &str = env!("CARGO_BIN_EXE_stark-engine-worker");
+
+fn pool_config(workers: usize) -> WorkerPoolConfig {
+    let mut cfg = WorkerPoolConfig::new(WORKER);
+    cfg.workers = workers;
+    cfg
+}
+
+/// `Collect` fragment: inline rows through `(x + k) keep-even`.
+fn add_even_task(rows: &[i64], k: i64) -> DistTask {
+    let fragment = PlanFragment {
+        schema: "i64".into(),
+        input: PlanInput::Inline,
+        ops: vec![
+            PlanOp::Map { op: "add".into(), arg: int_arg("k", k) },
+            PlanOp::Filter { op: "even".into(), arg: serde_json::Value::Null },
+        ],
+        sink: PlanSink::Collect,
+    };
+    DistTask::with_rows(fragment, encode_rows(rows).unwrap())
+}
+
+fn collected_rows(result: &stark_engine::TaskResult) -> Vec<i64> {
+    assert!(matches!(result.output, TaskOutput::Rows { .. }), "{:?}", result.output);
+    decode_rows(result.payload.as_ref().expect("collect ships rows")).unwrap()
+}
+
+/// What `add_even_task` computes, single-process.
+fn add_even_local(rows: &[i64], k: i64) -> Vec<i64> {
+    rows.iter().map(|x| x + k).filter(|x| x % 2 == 0).collect()
+}
+
+#[test]
+fn pool_executes_a_stage_of_collect_tasks() {
+    let mut pool = WorkerPool::spawn(pool_config(4)).unwrap();
+    let inputs: Vec<Vec<i64>> = (0..8).map(|t| (t * 10..t * 10 + 10).collect()).collect();
+    let tasks: Vec<DistTask> = inputs.iter().map(|rows| add_even_task(rows, 3)).collect();
+    let results = pool.execute(&tasks).unwrap();
+
+    assert_eq!(results.len(), 8);
+    for (input, result) in inputs.iter().zip(&results) {
+        assert_eq!(collected_rows(result), add_even_local(input, 3));
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.workers_spawned, 4);
+    assert_eq!(stats.tasks_completed, 8);
+    assert_eq!(stats.tasks_reassigned, 0);
+    // the heartbeat cadence (25ms) may be longer than the whole job
+    std::thread::sleep(Duration::from_millis(80));
+    assert!(pool.stats().heartbeats > 0, "workers should have heartbeated");
+    pool.shutdown();
+}
+
+#[test]
+fn two_stage_shuffle_matches_single_process_result() {
+    let mut pool = WorkerPool::spawn(pool_config(3)).unwrap();
+    let inputs: Vec<Vec<i64>> = (0..6).map(|t| (t * 100..t * 100 + 50).collect()).collect();
+    let num_partitions = 4;
+
+    // Map stage: bucket rows by x mod 4, spilling buckets to the store.
+    let map_tasks: Vec<DistTask> = inputs
+        .iter()
+        .enumerate()
+        .map(|(task, rows)| {
+            let fragment = PlanFragment {
+                schema: "i64".into(),
+                input: PlanInput::Inline,
+                ops: vec![PlanOp::Map { op: "add".into(), arg: int_arg("k", 1) }],
+                sink: PlanSink::ShuffleWrite {
+                    partitioner: "mod".into(),
+                    arg: int_arg("parts", num_partitions as i64),
+                    num_partitions,
+                    prefix: "shuffle/s0".into(),
+                    task,
+                },
+            };
+            DistTask::with_rows(fragment, encode_rows(rows).unwrap())
+        })
+        .collect();
+    let map_results = pool.execute(&map_tasks).unwrap();
+    let counts: Vec<Vec<u64>> = map_results
+        .iter()
+        .map(|r| match &r.output {
+            TaskOutput::BucketCounts(c) => c.clone(),
+            other => panic!("expected bucket counts, got {other:?}"),
+        })
+        .collect();
+
+    // Reduce stage: each partition reads its buckets and sorts.
+    let reduce_tasks: Vec<DistTask> = (0..num_partitions)
+        .map(|p| {
+            DistTask::new(PlanFragment {
+                schema: "i64".into(),
+                input: PlanInput::Store {
+                    keys: bucket_keys_for_partition("shuffle/s0", &counts, p),
+                },
+                ops: vec![PlanOp::MapPartitions {
+                    op: "sort".into(),
+                    arg: serde_json::Value::Null,
+                }],
+                sink: PlanSink::Collect,
+            })
+        })
+        .collect();
+    let reduce_results = pool.execute(&reduce_tasks).unwrap();
+
+    // Single-process reference.
+    let mut expected: Vec<Vec<i64>> = vec![Vec::new(); num_partitions];
+    for rows in &inputs {
+        for x in rows {
+            let y = x + 1;
+            expected[y.rem_euclid(num_partitions as i64) as usize].push(y);
+        }
+    }
+    for part in &mut expected {
+        part.sort_unstable();
+    }
+    for (p, result) in reduce_results.iter().enumerate() {
+        assert_eq!(collected_rows(result), expected[p], "partition {p}");
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn checkpoint_sink_writes_recoverable_blobs_remotely() {
+    let mut pool = WorkerPool::spawn(pool_config(2)).unwrap();
+    let rows: Vec<i64> = (0..40).collect();
+    let task = DistTask::with_rows(
+        PlanFragment {
+            schema: "i64".into(),
+            input: PlanInput::Inline,
+            ops: vec![PlanOp::Map { op: "mul".into(), arg: int_arg("k", 2) }],
+            sink: PlanSink::Checkpoint { key: "ck/job7".into(), partition: 3 },
+        },
+        encode_rows(&rows).unwrap(),
+    );
+    let result = pool.execute(std::slice::from_ref(&task)).unwrap().remove(0);
+    match result.output {
+        TaskOutput::Checkpointed { ref key, rows: n, bytes } => {
+            assert_eq!(key, "ck/job7/part-00003");
+            assert_eq!(n, 40);
+            assert!(bytes > 0);
+        }
+        other => panic!("expected checkpoint output, got {other:?}"),
+    }
+    // The blob a worker wrote is readable as a local checkpoint blob.
+    let back: Vec<i64> = pool.store().get_json("ck/job7/part-00003").unwrap();
+    assert_eq!(back, (0..40).map(|x| x * 2).collect::<Vec<i64>>());
+    pool.shutdown();
+}
+
+/// Runs one job under an injected one-shot fault and asserts results are
+/// byte-identical to the fault-free reference, with exactly one
+/// reassignment.
+fn assert_recovers_from(policy: TransportPolicy, task_timeout: Option<Duration>) {
+    let inputs: Vec<Vec<i64>> = (0..10).map(|t| (t * 7..t * 7 + 30).collect()).collect();
+    let tasks: Vec<DistTask> = inputs.iter().map(|rows| add_even_task(rows, 5)).collect();
+
+    let chaos = Arc::new(TransportChaos::once(policy));
+    let mut cfg = pool_config(4);
+    cfg.chaos = Some(chaos.clone());
+    if let Some(t) = task_timeout {
+        cfg.task_timeout = t;
+    }
+    let mut pool = WorkerPool::spawn(cfg).unwrap();
+    let results = pool.execute(&tasks).unwrap();
+
+    for (input, result) in inputs.iter().zip(&results) {
+        assert_eq!(collected_rows(result), add_even_local(input, 5));
+    }
+    let stats = pool.stats();
+    assert_eq!(chaos.injected(), 1, "one-shot chaos must have struck");
+    assert_eq!(
+        stats.tasks_reassigned,
+        chaos.injected(),
+        "every injected transport fault costs exactly one reassignment"
+    );
+    assert_eq!(stats.workers_lost, 1);
+    assert_eq!(stats.tasks_completed, tasks.len() as u64);
+    pool.shutdown();
+}
+
+#[test]
+fn worker_killed_mid_task_is_detected_and_reassigned() {
+    assert_recovers_from(TransportPolicy::KillWorker, None);
+}
+
+#[test]
+fn corrupt_task_frame_fail_stops_the_worker_and_recovers() {
+    assert_recovers_from(TransportPolicy::CorruptFrame, None);
+}
+
+#[test]
+fn dropped_task_frame_recovers_via_task_deadline() {
+    assert_recovers_from(TransportPolicy::DropFrame, Some(Duration::from_millis(400)));
+}
+
+#[test]
+fn truncated_task_frame_recovers_via_task_deadline() {
+    assert_recovers_from(TransportPolicy::TruncateFrame, Some(Duration::from_millis(400)));
+}
+
+#[test]
+fn delayed_task_frame_completes_without_loss() {
+    let inputs: Vec<Vec<i64>> = (0..4).map(|t| vec![t, t + 1, t + 2]).collect();
+    let tasks: Vec<DistTask> = inputs.iter().map(|rows| add_even_task(rows, 2)).collect();
+    let chaos =
+        Arc::new(TransportChaos::once(TransportPolicy::DelayFrame(Duration::from_millis(50))));
+    let mut cfg = pool_config(2);
+    cfg.chaos = Some(chaos.clone());
+    let mut pool = WorkerPool::spawn(cfg).unwrap();
+    let results = pool.execute(&tasks).unwrap();
+    for (input, result) in inputs.iter().zip(&results) {
+        assert_eq!(collected_rows(result), add_even_local(input, 2));
+    }
+    assert_eq!(chaos.injected(), 1);
+    assert_eq!(pool.stats().tasks_reassigned, 0, "a delay is not a loss");
+    pool.shutdown();
+}
+
+#[test]
+fn respawned_seat_restores_capacity_for_the_next_job() {
+    let inputs: Vec<Vec<i64>> = (0..8).map(|t| (t..t + 20).collect()).collect();
+    let tasks: Vec<DistTask> = inputs.iter().map(|rows| add_even_task(rows, 1)).collect();
+
+    let mut cfg = pool_config(3);
+    cfg.chaos = Some(Arc::new(TransportChaos::once(TransportPolicy::KillWorker)));
+    cfg.respawn_backoff = Duration::from_millis(10);
+    let mut pool = WorkerPool::spawn(cfg).unwrap();
+
+    // Job 1 loses a worker; healing restores the seat (the chaos policy
+    // is exhausted after its single strike), and job 2 sees a full pool.
+    let first = pool.execute(&tasks).unwrap();
+    assert_eq!(pool.heal(Duration::from_secs(5)), 3, "heal must restore the dead seat");
+    let second = pool.execute(&tasks).unwrap();
+    for (input, result) in inputs.iter().zip(&second) {
+        assert_eq!(collected_rows(result), add_even_local(input, 1));
+    }
+    assert_eq!(first.len(), second.len());
+
+    let stats = pool.stats();
+    assert_eq!(stats.workers_lost, 1);
+    assert!(stats.workers_respawned >= 1, "the dead seat must come back");
+    assert_eq!(pool.live_workers(), 3);
+    pool.shutdown();
+}
+
+#[test]
+fn unknown_op_fails_the_task_without_killing_the_worker() {
+    let mut pool = WorkerPool::spawn(pool_config(2)).unwrap();
+    let bad = DistTask::with_rows(
+        PlanFragment {
+            schema: "i64".into(),
+            input: PlanInput::Inline,
+            ops: vec![PlanOp::Map { op: "no-such-op".into(), arg: serde_json::Value::Null }],
+            sink: PlanSink::Count,
+        },
+        encode_rows(&[1i64, 2]).unwrap(),
+    );
+    let err = pool.execute(std::slice::from_ref(&bad)).unwrap_err();
+    assert!(err.to_string().contains("no-such-op"), "{err}");
+    assert_eq!(pool.stats().workers_lost, 0, "a plan error is not a worker loss");
+
+    // The pool is still serviceable after the failed job.
+    let ok = pool.execute(&[add_even_task(&[1, 2, 3, 4], 0)]).unwrap();
+    assert_eq!(collected_rows(&ok[0]), vec![2, 4]);
+    pool.shutdown();
+}

@@ -12,14 +12,14 @@
 //! the protocol debuggable with a line of netcat while the frame header
 //! catches truncation and corruption before serde sees the bytes.
 
-use stark_engine::storage::{crc32, FRAME_HEADER_LEN, FRAME_MAGIC};
 use stark_engine::MetricsSnapshot;
 use stark_piglet::Output;
 use std::io::{self, Read, Write};
 
 /// Upper bound on a single frame's payload; a corrupt length prefix must
-/// not make the server allocate gigabytes.
-pub const MAX_FRAME_LEN: usize = 64 << 20;
+/// not make the server allocate gigabytes. Shared with the engine's
+/// worker transport, which owns the framing implementation.
+pub use stark_engine::transport::MAX_FRAME_LEN;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -84,74 +84,29 @@ pub struct ServiceStats {
 
 /// Writes one frame: length prefix, STK1 header, payload.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame payload {} exceeds max {}", payload.len(), MAX_FRAME_LEN),
-        ));
-    }
-    let mut buf = Vec::with_capacity(4 + FRAME_HEADER_LEN + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(FRAME_MAGIC);
-    buf.extend_from_slice(&crc32(payload).to_le_bytes());
-    buf.extend_from_slice(payload);
-    w.write_all(&buf)
+    stark_engine::transport::write_frame(w, payload)
 }
 
 /// Reads one frame, verifying magic and checksum. Returns `Ok(None)` on
 /// a clean EOF at a frame boundary (client hung up).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds max {MAX_FRAME_LEN}"),
-        ));
-    }
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    r.read_exact(&mut header)?;
-    if &header[..4] != FRAME_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame magic"));
-    }
-    let expect_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    let got_crc = crc32(&payload);
-    if got_crc != expect_crc {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame checksum mismatch: expected {expect_crc:08x}, got {got_crc:08x}"),
-        ));
-    }
-    Ok(Some(payload))
+    stark_engine::transport::read_frame(r)
 }
 
 /// Serializes and writes a message as one frame.
 pub fn send<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
-    let payload = serde_json::to_vec(msg)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e}")))?;
-    write_frame(w, &payload)
+    stark_engine::transport::send_msg(w, msg)
 }
 
 /// Reads and deserializes one message; `Ok(None)` on clean EOF.
 pub fn recv<T: serde::de::DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T>> {
-    let Some(payload) = read_frame(r)? else {
-        return Ok(None);
-    };
-    let msg = serde_json::from_slice(&payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decode: {e}")))?;
-    Ok(Some(msg))
+    stark_engine::transport::recv_msg(r)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stark_engine::storage::FRAME_MAGIC;
     use std::io::Cursor;
 
     #[test]

@@ -65,6 +65,20 @@ fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
 // primitive impls
 // --------------------------------------------------------------------------
 
+// A Value is its own serialised form — lets derived structs carry
+// free-form Value fields (e.g. plan-fragment op arguments).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -2,7 +2,7 @@
 //! Rust types and the JSON text format.
 
 /// A dynamically typed (de)serialisation value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
@@ -36,6 +36,28 @@ impl Value {
                 fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
             }
             _ => None,
+        }
+    }
+}
+
+/// JSON has one integer domain, so `Int(3)` and `UInt(3)` compare equal
+/// — the parser canonicalises non-negative integers to `UInt`, and a
+/// value built with `Int` must survive a text round-trip unchanged.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::UInt(a), Value::UInt(b)) => a == b,
+            (Value::Int(a), Value::UInt(b)) | (Value::UInt(b), Value::Int(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
         }
     }
 }
