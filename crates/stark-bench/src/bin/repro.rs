@@ -18,6 +18,9 @@
 //!   repro distributed `[n]`  # S14 supervised multi-process ablation: A1/F4/A2 on forked
 //!                            # workers over TCP, with a mid-shuffle worker kill
 //!                            # (writes target/s14-distributed.json)
+//!   repro shuffle `[n]`      # S15 remote-shuffle ablation: peer-served vs shared-store
+//!                            # buckets, plus kill-mid-shuffle lineage recovery
+//!                            # (writes target/s15-shuffle.json)
 //!   repro features | filter | join | knn | dbscan | pruning | balance | indexmodes | stream
 //!
 //! `n` overrides the workload size. Figure 4's paper-scale run is
@@ -161,6 +164,24 @@ fn main() {
         std::fs::write(&path, json).expect("write S14 json");
         eprintln!("[s14] wrote {path}");
     }
+    if run("shuffle") {
+        ran = true;
+        let workers: usize = std::env::var("S15_WORKERS")
+            .ok()
+            .map(|s| s.trim().parse().expect("S15_WORKERS must be a usize"))
+            .unwrap_or(4);
+        let t = experiments::remote_shuffle(n.unwrap_or(20_000), workers);
+        print!("{}", t.render());
+        println!();
+        // machine-readable copy for CI artifacts
+        let json = serde_json::to_string_pretty(&t).expect("serialise S15 table");
+        let path = std::env::var("S15_JSON").unwrap_or_else(|_| "target/s15-shuffle.json".into());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, json).expect("write S15 json");
+        eprintln!("[s15] wrote {path}");
+    }
     if run("chaos") {
         ran = true;
         let seed: u64 = std::env::var("STARK_CHAOS_SEED")
@@ -242,7 +263,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, ivm, distributed, chaos, stragglers, memory, service"
+            "unknown experiment {which:?}; try: all, features, figure4, filter, join, knn, dbscan, pruning, balance, scaling, temporal, indexmodes, stream, fusion, columnar, ivm, distributed, shuffle, chaos, stragglers, memory, service"
         );
         std::process::exit(2);
     }

@@ -1572,6 +1572,162 @@ pub fn distributed(n: usize, workers: usize) -> Table {
     t
 }
 
+/// S15 — remote-shuffle ablation: the A1 pruning filter and the F4
+/// self-join run through [`WorkerPool::run_shuffle`] with peer-served
+/// buckets (`ShuffleMode::Remote`) against the shared-store path
+/// (`ShuffleMode::SharedStore`), plus a kill-mid-shuffle round where the
+/// worker serving task-0's buckets dies on the first fetch and its
+/// outputs are regenerated via lineage. The table pins byte-identity
+/// across all three modes and `map_outputs_regenerated ==
+/// map_outputs_lost` for the kill rounds.
+pub fn remote_shuffle(n: usize, workers: usize) -> Table {
+    use stark::distributed::{to_arg, EventRow, SelfJoinArg, StFilterArg};
+    use stark_engine::plan::{encode_rows, PlanFragment, PlanInput, PlanOp, PlanSink};
+    use stark_engine::supervisor::{find_worker_bin, DistTask};
+    use stark_engine::{
+        FetchChaos, FetchPolicy, ShuffleMode, ShuffleSpec, WorkerPool, WorkerPoolConfig,
+    };
+
+    let mut t = Table::new(
+        format!("S15: remote shuffle, {n} points, {workers} workers, grid(4) routing"),
+        &[
+            "pipeline",
+            "shuffle",
+            "results",
+            "time [s]",
+            "fetched [KiB]",
+            "retries",
+            "lost",
+            "regenerated",
+            "identical",
+        ],
+    );
+    let worker_bin = find_worker_bin("stark-worker")
+        .expect("stark-worker binary not found; build the workspace or set STARK_WORKER_BIN");
+
+    let gen = Context::with_parallelism(workers.max(1));
+    let data: Vec<EventRow> = workloads::figure4_points(&gen, n, workers.max(1)).collect();
+    let summary: stark::DataSummary =
+        data.iter().map(|(o, _)| (o.envelope(), o.centroid())).collect();
+    let grid = GridPartitioner::build(4, &summary);
+    let parts = grid.num_partitions();
+    let chunk = n.div_ceil((workers * 2).max(1)).max(1);
+    let map_tasks: Vec<DistTask> = data
+        .chunks(chunk)
+        .map(|rows| {
+            DistTask::with_rows(
+                PlanFragment {
+                    schema: "event".into(),
+                    input: PlanInput::Inline,
+                    ops: Vec::new(),
+                    sink: PlanSink::Collect, // replaced by run_shuffle
+                },
+                encode_rows(rows).expect("encode S15 chunk"),
+            )
+        })
+        .collect();
+
+    let query = workloads::query_polygon(0.25);
+    let filter_op = PlanOp::Filter {
+        op: "st_filter".into(),
+        arg: to_arg(&StFilterArg { query: query.clone(), predicate: STPredicate::ContainedBy }),
+    };
+    let join_sink = PlanSink::CollectWith {
+        op: "self_join_pairs".into(),
+        arg: to_arg(&SelfJoinArg { predicate: STPredicate::within_distance(5.0) }),
+    };
+
+    let run =
+        |mode: ShuffleMode,
+         prefix: &str,
+         ops: Vec<PlanOp>,
+         sink: PlanSink,
+         chaos: Option<FetchChaos>|
+         -> (Vec<stark_engine::TaskResult>, std::time::Duration, stark_engine::PoolStats) {
+            let mut cfg = WorkerPoolConfig::new(&worker_bin);
+            cfg.workers = workers;
+            cfg.fetch_chaos = chaos;
+            cfg.respawn_backoff = std::time::Duration::from_millis(10);
+            let mut pool = WorkerPool::spawn(cfg).expect("spawn S15 worker pool");
+            let spec = ShuffleSpec {
+                mode,
+                partitioner: "grid".into(),
+                partitioner_arg: to_arg(&grid),
+                num_partitions: parts,
+                prefix: prefix.into(),
+                reduce_ops: ops,
+                reduce_sink: sink,
+            };
+            let (results, time) =
+                timed(|| pool.run_shuffle(&map_tasks, &spec).expect("S15 shuffle"));
+            let stats = pool.stats();
+            pool.shutdown();
+            (results, time, stats)
+        };
+
+    // The kill strikes the first fetch of a task-0 bucket; regenerated
+    // outputs land at epoch 1, above the chaos max_epoch, so recovery
+    // traffic is never struck again.
+    let kill_chaos =
+        || FetchChaos::once(FetchPolicy::KillServingWorker).with_key_filter("task-00000/");
+
+    let mut push = |pipeline: &str,
+                    shuffle: &str,
+                    results: usize,
+                    time: std::time::Duration,
+                    stats: &stark_engine::PoolStats,
+                    identical: &str| {
+        t.push(vec![
+            pipeline.into(),
+            shuffle.into(),
+            results.to_string(),
+            secs(time),
+            format!("{:.1}", stats.shuffle_bytes_fetched_remote as f64 / 1024.0),
+            stats.fetch_retries.to_string(),
+            stats.map_outputs_lost.to_string(),
+            stats.map_outputs_regenerated.to_string(),
+            identical.into(),
+        ]);
+    };
+
+    for (pipeline, ops, sink) in [
+        ("A1 filter", vec![filter_op.clone()], PlanSink::Collect),
+        ("F4 self-join", Vec::new(), join_sink.clone()),
+    ] {
+        let tag = if pipeline.starts_with("A1") { "a1" } else { "f4" };
+        let (shared, time, stats) = run(
+            ShuffleMode::SharedStore,
+            &format!("s15/{tag}-shared"),
+            ops.clone(),
+            sink.clone(),
+            None,
+        );
+        push(pipeline, "shared-store", shared.len(), time, &stats, "-");
+
+        let (remote, time, stats) =
+            run(ShuffleMode::Remote, &format!("s15/{tag}-remote"), ops.clone(), sink.clone(), None);
+        for (p, (s, r)) in shared.iter().zip(&remote).enumerate() {
+            assert_eq!(s.output, r.output, "S15 {pipeline}: partition {p} output diverged");
+            assert_eq!(s.payload, r.payload, "S15 {pipeline}: partition {p} payload diverged");
+        }
+        push(pipeline, "remote", remote.len(), time, &stats, "yes");
+
+        let (killed, time, stats) =
+            run(ShuffleMode::Remote, &format!("s15/{tag}-kill"), ops, sink, Some(kill_chaos()));
+        for (p, (s, r)) in shared.iter().zip(&killed).enumerate() {
+            assert_eq!(s.output, r.output, "S15 {pipeline}: kill partition {p} output diverged");
+            assert_eq!(s.payload, r.payload, "S15 {pipeline}: kill partition {p} payload diverged");
+        }
+        assert!(stats.map_outputs_lost >= 1, "S15 {pipeline}: the kill must lose outputs");
+        assert_eq!(
+            stats.map_outputs_regenerated, stats.map_outputs_lost,
+            "S15 {pipeline}: lineage must regenerate exactly the lost outputs"
+        );
+        push(pipeline, "remote + kill", killed.len(), time, &stats, "yes");
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -288,6 +288,9 @@ impl Context {
         self.inner.spill.get_or_init(|| {
             static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
             let base = self.inner.config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            // a crashed prior run never reached its Drop cleanup; its
+            // spill blobs are garbage once the owning pid is gone
+            crate::storage::sweep_orphan_dirs(&base, "stark-spill-");
             let dir = base.join(format!(
                 "stark-spill-{}-{}",
                 std::process::id(),

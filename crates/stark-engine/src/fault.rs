@@ -384,6 +384,172 @@ impl TransportChaos {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fetch chaos (remote shuffle)
+// ---------------------------------------------------------------------------
+
+/// What an injected fetch fault does to a shuffle bucket request. These
+/// extend [`TransportPolicy`] to the *data plane*: instead of a task
+/// dispatch failing driver→worker, a reducer's peer-to-peer bucket fetch
+/// fails worker→worker, and recovery must come from the supervisor's
+/// lost-map-output path (invalidate + regenerate via lineage), not just
+/// from the fetch retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchPolicy {
+    /// The serving worker answers the request with an explicit refusal
+    /// (models connection refused / a server shedding load). The client
+    /// retries with backoff.
+    RefuseFetch,
+    /// The server sends a valid response header, half of the remaining
+    /// payload bytes, then hangs up — a torn transfer. The client's
+    /// partial-fetch resume continues from the received offset.
+    DropBucket,
+    /// The server sends the full payload with one byte flipped after the
+    /// checksum was computed; the client's whole-payload CRC check
+    /// rejects it and the fetch restarts from offset 0.
+    CorruptBucket,
+    /// The server stalls this long before serving (a slow peer). The
+    /// fetch still succeeds; results must not change and no retry is
+    /// consumed.
+    DelayFetch(Duration),
+    /// The serving worker process exits immediately — the victim's map
+    /// outputs are lost and the supervisor must regenerate them via
+    /// lineage on survivors.
+    KillServingWorker,
+}
+
+/// Declarative fetch-fault spec, passed from the driver to workers via
+/// the `STARK_FETCH_CHAOS` environment variable (workers are separate
+/// processes, so the injector state cannot be shared — each worker
+/// tracks its own strike budget with a [`FetchChaosState`]).
+///
+/// The `max_epoch` guard is what makes kill-chaos runs converge:
+/// regenerated map outputs register at a bumped shuffle epoch, and a
+/// request for an epoch above `max_epoch` is never struck — so recovery
+/// traffic cannot re-trigger the fault that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchChaos {
+    pub policy: FetchPolicy,
+    /// Strike at most this many matching requests (per worker process).
+    pub max_strikes: u64,
+    /// Only requests for shuffle epochs `<= max_epoch` are eligible.
+    pub max_epoch: u64,
+    /// Only bucket keys containing this substring are eligible; `None`
+    /// matches every key. Kill-chaos tests scope the fault to one map
+    /// task's outputs (e.g. `"task-00000/"`) so exactly one worker dies.
+    pub key_filter: Option<String>,
+}
+
+impl FetchChaos {
+    /// A spec striking exactly one matching epoch-0 request.
+    pub fn once(policy: FetchPolicy) -> Self {
+        FetchChaos { policy, max_strikes: 1, max_epoch: 0, key_filter: None }
+    }
+
+    pub fn with_max_strikes(mut self, n: u64) -> Self {
+        self.max_strikes = n;
+        self
+    }
+
+    pub fn with_key_filter(mut self, filter: impl Into<String>) -> Self {
+        self.key_filter = Some(filter.into());
+        self
+    }
+
+    /// Encodes the spec for the `STARK_FETCH_CHAOS` environment variable:
+    /// `policy[:delay_ms]|max_strikes|max_epoch|key_filter` (the filter
+    /// field may be empty).
+    pub fn to_env(&self) -> String {
+        let policy = match self.policy {
+            FetchPolicy::RefuseFetch => "refuse".to_string(),
+            FetchPolicy::DropBucket => "drop".to_string(),
+            FetchPolicy::CorruptBucket => "corrupt".to_string(),
+            FetchPolicy::DelayFetch(d) => format!("delay:{}", d.as_millis()),
+            FetchPolicy::KillServingWorker => "kill".to_string(),
+        };
+        format!(
+            "{policy}|{}|{}|{}",
+            self.max_strikes,
+            self.max_epoch,
+            self.key_filter.as_deref().unwrap_or("")
+        )
+    }
+
+    /// Decodes [`FetchChaos::to_env`]'s format; `None` on any mismatch
+    /// (a malformed spec disables chaos rather than guessing).
+    pub fn from_env(s: &str) -> Option<FetchChaos> {
+        let mut parts = s.splitn(4, '|');
+        let policy = match parts.next()? {
+            "refuse" => FetchPolicy::RefuseFetch,
+            "drop" => FetchPolicy::DropBucket,
+            "corrupt" => FetchPolicy::CorruptBucket,
+            "kill" => FetchPolicy::KillServingWorker,
+            p => {
+                let ms: u64 = p.strip_prefix("delay:")?.parse().ok()?;
+                FetchPolicy::DelayFetch(Duration::from_millis(ms))
+            }
+        };
+        let max_strikes = parts.next()?.parse().ok()?;
+        let max_epoch = parts.next()?.parse().ok()?;
+        let filter = parts.next()?;
+        Some(FetchChaos {
+            policy,
+            max_strikes,
+            max_epoch,
+            key_filter: if filter.is_empty() { None } else { Some(filter.to_string()) },
+        })
+    }
+}
+
+/// Worker-side strike counter wrapping a [`FetchChaos`] spec. Consulted
+/// by the shuffle server on every bucket request.
+#[derive(Debug)]
+pub struct FetchChaosState {
+    spec: FetchChaos,
+    struck: AtomicU64,
+}
+
+impl FetchChaosState {
+    pub fn new(spec: FetchChaos) -> Self {
+        FetchChaosState { spec, struck: AtomicU64::new(0) }
+    }
+
+    /// Builds the state from `STARK_FETCH_CHAOS` if set and well-formed.
+    pub fn from_env_var() -> Option<Self> {
+        let spec = std::env::var("STARK_FETCH_CHAOS").ok()?;
+        FetchChaos::from_env(&spec).map(Self::new)
+    }
+
+    /// Fetch faults injected so far by this worker.
+    pub fn injected(&self) -> u64 {
+        self.struck.load(Ordering::Relaxed)
+    }
+
+    /// Returns the policy to apply to a request for `key` at `epoch`, or
+    /// `None` to serve normally. Claims a strike slot atomically so
+    /// concurrent request handlers cannot overshoot the cap.
+    pub fn draw(&self, key: &str, epoch: u64) -> Option<FetchPolicy> {
+        if epoch > self.spec.max_epoch {
+            return None; // regenerated outputs must serve cleanly
+        }
+        if let Some(filter) = &self.spec.key_filter {
+            if !key.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let mut cur = self.struck.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.spec.max_strikes {
+                return None;
+            }
+            match self.struck.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Some(self.spec.policy),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +654,45 @@ mod tests {
             assert_eq!(c.draw(0, task, 0), None);
         }
         assert_eq!(c.injected(), 1);
+    }
+
+    #[test]
+    fn fetch_chaos_env_roundtrip() {
+        for spec in [
+            FetchChaos::once(FetchPolicy::KillServingWorker).with_key_filter("task-00000/"),
+            FetchChaos::once(FetchPolicy::RefuseFetch),
+            FetchChaos::once(FetchPolicy::DropBucket).with_max_strikes(3),
+            FetchChaos::once(FetchPolicy::CorruptBucket),
+            FetchChaos {
+                policy: FetchPolicy::DelayFetch(Duration::from_millis(75)),
+                max_strikes: 2,
+                max_epoch: 1,
+                key_filter: None,
+            },
+        ] {
+            let env = spec.to_env();
+            assert_eq!(FetchChaos::from_env(&env), Some(spec), "spec {env:?} must roundtrip");
+        }
+        assert_eq!(FetchChaos::from_env("garbage|x|y|z"), None);
+        assert_eq!(FetchChaos::from_env(""), None);
+    }
+
+    #[test]
+    fn fetch_chaos_respects_epoch_filter_and_cap() {
+        let state = FetchChaosState::new(
+            FetchChaos::once(FetchPolicy::RefuseFetch)
+                .with_max_strikes(2)
+                .with_key_filter("task-00001/"),
+        );
+        // wrong key: never struck
+        assert_eq!(state.draw("sh/task-00000/bucket-00000", 0), None);
+        // regenerated epoch: never struck, even on a matching key
+        assert_eq!(state.draw("sh/task-00001/bucket-00000", 1), None);
+        // matching key at epoch 0: struck until the cap
+        assert_eq!(state.draw("sh/task-00001/bucket-00000", 0), Some(FetchPolicy::RefuseFetch));
+        assert_eq!(state.draw("sh/task-00001/bucket-00001", 0), Some(FetchPolicy::RefuseFetch));
+        assert_eq!(state.draw("sh/task-00001/bucket-00002", 0), None, "cap exhausted");
+        assert_eq!(state.injected(), 2);
     }
 
     #[test]

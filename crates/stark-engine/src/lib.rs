@@ -42,7 +42,16 @@
 //!   (crash, silence, torn frames), reassigns in-flight work to
 //!   survivors and respawns seats with jittered backoff, while
 //!   [`TransportChaos`] injects deterministic transport faults for
-//!   crash-recovery tests.
+//!   crash-recovery tests;
+//! * fault-tolerant remote shuffle: each worker serves its map outputs
+//!   over a per-worker [`shuffle`] port (CRC-checked transfers with
+//!   bounded timeouts, capped jittered retries and partial-fetch
+//!   resume); the driver keeps a map-output registry and, when a
+//!   producer dies mid-shuffle, regenerates the lost outputs via
+//!   lineage on the survivors at a bumped shuffle epoch
+//!   (`WorkerPool::run_shuffle`), with [`FetchChaos`] injecting
+//!   deterministic fetch-side faults; `ShuffleMode::SharedStore` keeps
+//!   the shared-directory path as a byte-identical fallback.
 //!
 //! ```
 //! use stark_engine::Context;
@@ -65,6 +74,7 @@ pub mod metrics;
 pub mod partition;
 pub mod plan;
 pub mod rdd;
+pub mod shuffle;
 pub mod storage;
 pub mod supervisor;
 pub mod transport;
@@ -72,12 +82,20 @@ pub mod worker;
 
 pub use cancel::{CancelReason, CancelScope, CancellationToken};
 pub use context::{Context, EngineConfig};
-pub use fault::{FaultInjector, FaultPolicy, FaultScope, TransportChaos, TransportPolicy};
+pub use fault::{
+    FaultInjector, FaultPolicy, FaultScope, FetchChaos, FetchChaosState, FetchPolicy,
+    TransportChaos, TransportPolicy,
+};
 pub use memory::{ChildBudget, ChildReservation, MemoryManager, MemoryReservation};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partition::{Partition, PartitionIntoIter};
-pub use plan::{OpRegistry, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput, TaskResult};
+pub use plan::{
+    ExecEnv, OpRegistry, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput, TaskResult,
+};
 pub use rdd::{abort_invalid_record, Data, Lineage, Rdd, StoreData, TaskError, TaskErrorKind};
+pub use shuffle::{FetchConfig, FetchFailure, FetchSource, ShuffleEnv};
 pub use storage::{ObjectStore, StorageError};
-pub use supervisor::{DistTask, PoolError, PoolStats, WorkerPool, WorkerPoolConfig};
+pub use supervisor::{
+    DistTask, PoolError, PoolStats, ShuffleMode, ShuffleSpec, WorkerPool, WorkerPoolConfig,
+};
 pub use worker::WorkerRuntime;

@@ -95,6 +95,21 @@ pub struct Metrics {
     pub remote_bytes_tx: AtomicU64,
     /// Row-payload bytes received workers → driver.
     pub remote_bytes_rx: AtomicU64,
+    /// Remote-shuffle fetch attempts re-tried after a transient failure
+    /// (refused connection, torn transfer, checksum mismatch, timeout).
+    pub fetch_retries: AtomicU64,
+    /// Remote-shuffle fetches that exhausted their retry budget or were
+    /// rejected as stale — each triggers lost-output recovery.
+    pub fetch_failures: AtomicU64,
+    /// Registered map outputs invalidated because their producing worker
+    /// died (or their registry entry went stale).
+    pub map_outputs_lost: AtomicU64,
+    /// Map outputs re-produced via lineage at a bumped shuffle epoch.
+    /// Recovery is exact when this equals `map_outputs_lost`.
+    pub map_outputs_regenerated: AtomicU64,
+    /// Bucket payload bytes reducers fetched over peer shuffle ports
+    /// (the remote-shuffle analogue of shared-store bucket reads).
+    pub shuffle_bytes_fetched_remote: AtomicU64,
 }
 
 impl Metrics {
@@ -189,6 +204,21 @@ impl Metrics {
     pub fn add_remote_bytes_rx(&self, n: u64) {
         self.remote_bytes_rx.fetch_add(n, Ordering::Relaxed);
     }
+    pub fn inc_fetch_retries(&self, n: u64) {
+        self.fetch_retries.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_fetch_failures(&self, n: u64) {
+        self.fetch_failures.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_map_outputs_lost(&self, n: u64) {
+        self.map_outputs_lost.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn inc_map_outputs_regenerated(&self, n: u64) {
+        self.map_outputs_regenerated.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_shuffle_bytes_fetched_remote(&self, n: u64) {
+        self.shuffle_bytes_fetched_remote.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -225,6 +255,11 @@ impl Metrics {
             remote_tasks: self.remote_tasks.load(Ordering::Relaxed),
             remote_bytes_tx: self.remote_bytes_tx.load(Ordering::Relaxed),
             remote_bytes_rx: self.remote_bytes_rx.load(Ordering::Relaxed),
+            fetch_retries: self.fetch_retries.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            map_outputs_lost: self.map_outputs_lost.load(Ordering::Relaxed),
+            map_outputs_regenerated: self.map_outputs_regenerated.load(Ordering::Relaxed),
+            shuffle_bytes_fetched_remote: self.shuffle_bytes_fetched_remote.load(Ordering::Relaxed),
         }
     }
 }
@@ -289,6 +324,18 @@ pub struct MetricsSnapshot {
     pub remote_bytes_tx: u64,
     /// Payload bytes received from workers (see [`Metrics::remote_bytes_rx`]).
     pub remote_bytes_rx: u64,
+    /// Remote-shuffle fetch re-attempts (see [`Metrics::fetch_retries`]).
+    pub fetch_retries: u64,
+    /// Fetches escalated past their budget (see [`Metrics::fetch_failures`]).
+    pub fetch_failures: u64,
+    /// Map outputs invalidated after a loss (see [`Metrics::map_outputs_lost`]).
+    pub map_outputs_lost: u64,
+    /// Map outputs regenerated via lineage (see
+    /// [`Metrics::map_outputs_regenerated`]).
+    pub map_outputs_regenerated: u64,
+    /// Bucket bytes fetched from peers (see
+    /// [`Metrics::shuffle_bytes_fetched_remote`]).
+    pub shuffle_bytes_fetched_remote: u64,
 }
 
 impl MetricsSnapshot {
@@ -329,6 +376,12 @@ impl MetricsSnapshot {
             remote_tasks: self.remote_tasks - earlier.remote_tasks,
             remote_bytes_tx: self.remote_bytes_tx - earlier.remote_bytes_tx,
             remote_bytes_rx: self.remote_bytes_rx - earlier.remote_bytes_rx,
+            fetch_retries: self.fetch_retries - earlier.fetch_retries,
+            fetch_failures: self.fetch_failures - earlier.fetch_failures,
+            map_outputs_lost: self.map_outputs_lost - earlier.map_outputs_lost,
+            map_outputs_regenerated: self.map_outputs_regenerated - earlier.map_outputs_regenerated,
+            shuffle_bytes_fetched_remote: self.shuffle_bytes_fetched_remote
+                - earlier.shuffle_bytes_fetched_remote,
         }
     }
 }

@@ -28,6 +28,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::rdd::{checkpoint_blob_key, Rdd, StoreData};
+use crate::shuffle::{FetchFailure, FetchSource, ShuffleEnv};
 use crate::storage::{ObjectStore, StorageError};
 
 // ---------------------------------------------------------------------------
@@ -59,6 +60,12 @@ pub enum PlanInput {
     /// shuffle-read side, where `keys` are the bucket blobs written by
     /// the map tasks of the previous stage.
     Store { keys: Vec<String> },
+    /// Remote-shuffle read: fetch each bucket from the peer worker that
+    /// produced it (in map-task order, so concatenation matches the
+    /// `Store` path byte-for-byte) and concatenate. A fetch that
+    /// exhausts its retry budget surfaces as [`PlanError::FetchFailed`],
+    /// which the driver treats as a lost-map-output signal.
+    Fetch { sources: Vec<FetchSource> },
 }
 
 /// One narrow operation, referenced by registered name plus argument.
@@ -108,6 +115,21 @@ pub enum PlanSink {
     /// byte-compatible with [`Rdd::checkpoint`], so a local engine can
     /// recover from blobs written by workers.
     Checkpoint { key: String, partition: usize },
+    /// Remote-shuffle write: identical bucketing to `ShuffleWrite`, but
+    /// the buckets land in the executing worker's *local* shuffle store,
+    /// registered under `epoch`, and are served to reducers over the
+    /// worker's shuffle port instead of a shared directory.
+    ShuffleWriteLocal {
+        partitioner: String,
+        arg: Value,
+        num_partitions: usize,
+        prefix: String,
+        task: usize,
+        /// Shuffle epoch of this output generation; bumped by the driver
+        /// when lost outputs are regenerated, so reducers holding stale
+        /// source lists are rejected instead of served mixed data.
+        epoch: u64,
+    },
 }
 
 /// What a task produced. Row payloads travel as their own raw frame
@@ -176,6 +198,12 @@ pub enum PlanError {
     /// The sink or input needs the shared object store, but none was
     /// configured on this side.
     MissingStore,
+    /// The sink or input needs a shuffle environment (remote shuffle),
+    /// but this side has none.
+    MissingShuffle,
+    /// A remote bucket fetch exhausted its retry budget or was rejected
+    /// as stale — the driver's cue to regenerate lost map outputs.
+    FetchFailed(FetchFailure),
     /// A partitioner routed a row outside `0..num_partitions`.
     BadPartition {
         partition: usize,
@@ -195,6 +223,10 @@ impl fmt::Display for PlanError {
             PlanError::BadArg { op, message } => write!(f, "bad argument for op {op:?}: {message}"),
             PlanError::MissingPayload => write!(f, "inline plan input without a payload frame"),
             PlanError::MissingStore => write!(f, "plan needs an object store but none is attached"),
+            PlanError::MissingShuffle => {
+                write!(f, "plan needs a shuffle environment but none is attached")
+            }
+            PlanError::FetchFailed(failure) => write!(f, "shuffle {failure}"),
             PlanError::BadPartition { partition, num_partitions } => {
                 write!(f, "partitioner routed a row to {partition} of {num_partitions}")
             }
@@ -229,6 +261,7 @@ pub fn is_retryable(e: &PlanError) -> bool {
             | PlanError::UnknownOp { .. }
             | PlanError::BadArg { .. }
             | PlanError::BadPartition { .. }
+            | PlanError::MissingShuffle
     )
 }
 
@@ -361,13 +394,27 @@ impl<T: StoreData> OpRegistry<T> {
     /// (for shuffle reads and store-writing sinks), returning the task
     /// result. This is the worker's entire task execution path, and is
     /// equally callable in-process — the chaos suite's "single-process
-    /// mode" baseline.
+    /// mode" baseline. Remote-shuffle fragments additionally need a
+    /// [`ShuffleEnv`]; use [`OpRegistry::execute_env`] for those.
     pub fn execute(
         &self,
         fragment: &PlanFragment,
         payload: Option<&[u8]>,
         store: Option<&ObjectStore>,
     ) -> Result<TaskResult, PlanError> {
+        self.execute_env(fragment, payload, &ExecEnv { store, shuffle: None })
+    }
+
+    /// [`OpRegistry::execute`] with the full execution environment:
+    /// the shared object store *and* the worker's shuffle half, so
+    /// `Fetch` inputs and `ShuffleWriteLocal` sinks resolve.
+    pub fn execute_env(
+        &self,
+        fragment: &PlanFragment,
+        payload: Option<&[u8]>,
+        env: &ExecEnv<'_>,
+    ) -> Result<TaskResult, PlanError> {
+        let store = env.store;
         if fragment.schema != self.schema {
             return Err(PlanError::SchemaMismatch {
                 expected: self.schema.clone(),
@@ -382,6 +429,17 @@ impl<T: StoreData> OpRegistry<T> {
                 let mut rows = Vec::new();
                 for key in keys {
                     rows.extend(decode_rows::<T>(&store.get_bytes(key)?)?);
+                }
+                rows
+            }
+            PlanInput::Fetch { sources } => {
+                let shuffle = env.shuffle.ok_or(PlanError::MissingShuffle)?;
+                let mut rows = Vec::new();
+                for src in sources {
+                    let bytes = shuffle
+                        .fetch(&src.addr, &src.key, src.epoch)
+                        .map_err(PlanError::FetchFailed)?;
+                    rows.extend(decode_rows::<T>(&bytes)?);
                 }
                 rows
             }
@@ -428,23 +486,37 @@ impl<T: StoreData> OpRegistry<T> {
             PlanSink::ShuffleWrite { partitioner, arg, num_partitions, prefix, task } => {
                 let store = store.ok_or(PlanError::MissingStore)?;
                 let key_fn = Self::resolve("partitioner", &self.partitioners, partitioner, arg)?;
-                let mut buckets: Vec<Vec<T>> = (0..*num_partitions).map(|_| Vec::new()).collect();
-                for row in rows {
-                    let p = key_fn(&row);
-                    if p >= *num_partitions {
-                        return Err(PlanError::BadPartition {
-                            partition: p,
-                            num_partitions: *num_partitions,
-                        });
-                    }
-                    buckets[p].push(row);
-                }
+                let buckets = route_buckets(&key_fn, rows, *num_partitions)?;
                 let mut counts = Vec::with_capacity(buckets.len());
                 for (b, bucket) in buckets.iter().enumerate() {
                     counts.push(bucket.len() as u64);
                     if !bucket.is_empty() {
                         store.put_bytes(
                             &shuffle_bucket_key(prefix, *task, b),
+                            &encode_rows(bucket)?,
+                        )?;
+                    }
+                }
+                Ok(TaskResult { output: TaskOutput::BucketCounts(counts), payload: None })
+            }
+            PlanSink::ShuffleWriteLocal {
+                partitioner,
+                arg,
+                num_partitions,
+                prefix,
+                task,
+                epoch,
+            } => {
+                let shuffle = env.shuffle.ok_or(PlanError::MissingShuffle)?;
+                let key_fn = Self::resolve("partitioner", &self.partitioners, partitioner, arg)?;
+                let buckets = route_buckets(&key_fn, rows, *num_partitions)?;
+                let mut counts = Vec::with_capacity(buckets.len());
+                for (b, bucket) in buckets.iter().enumerate() {
+                    counts.push(bucket.len() as u64);
+                    if !bucket.is_empty() {
+                        shuffle.put_bucket(
+                            &shuffle_bucket_key(prefix, *task, b),
+                            *epoch,
                             &encode_rows(bucket)?,
                         )?;
                     }
@@ -524,7 +596,8 @@ impl<T: StoreData> OpRegistry<T> {
             PlanSink::CollectWith { op, arg } => {
                 Self::resolve("collector", &self.collectors, op, arg).map(|_| ())?
             }
-            PlanSink::ShuffleWrite { partitioner, arg, .. } => {
+            PlanSink::ShuffleWrite { partitioner, arg, .. }
+            | PlanSink::ShuffleWriteLocal { partitioner, arg, .. } => {
                 Self::resolve("partitioner", &self.partitioners, partitioner, arg).map(|_| ())?
             }
             _ => {}
@@ -533,9 +606,37 @@ impl<T: StoreData> OpRegistry<T> {
     }
 }
 
+/// Routes rows into `num_partitions` buckets via a resolved partitioner,
+/// rejecting out-of-range indices — shared by the shared-store and
+/// worker-local shuffle-write sinks so both bucket identically.
+fn route_buckets<T>(
+    key_fn: &KeyFn<T>,
+    rows: Vec<T>,
+    num_partitions: usize,
+) -> Result<Vec<Vec<T>>, PlanError> {
+    let mut buckets: Vec<Vec<T>> = (0..num_partitions).map(|_| Vec::new()).collect();
+    for row in rows {
+        let p = key_fn(&row);
+        if p >= num_partitions {
+            return Err(PlanError::BadPartition { partition: p, num_partitions });
+        }
+        buckets[p].push(row);
+    }
+    Ok(buckets)
+}
+
 // ---------------------------------------------------------------------------
 // Schema-erased execution (worker-side dispatch)
 // ---------------------------------------------------------------------------
+
+/// Everything a task execution may touch beyond its inline payload: the
+/// shared object store (classic shuffle reads, checkpoints) and the
+/// worker's shuffle environment (remote bucket fetch/serve).
+#[derive(Clone, Copy, Default)]
+pub struct ExecEnv<'a> {
+    pub store: Option<&'a ObjectStore>,
+    pub shuffle: Option<&'a ShuffleEnv>,
+}
 
 /// Object-safe executor for one schema — what a worker keeps one of per
 /// registered row type and dispatches to by `PlanFragment::schema`.
@@ -547,6 +648,18 @@ pub trait SchemaExecutor: Send + Sync {
         payload: Option<&[u8]>,
         store: Option<&ObjectStore>,
     ) -> Result<TaskResult, PlanError>;
+
+    /// Execution with the full [`ExecEnv`]. Defaults to the store-only
+    /// path, so executors unaware of remote shuffle keep working (their
+    /// fragments simply cannot use `Fetch`/`ShuffleWriteLocal`).
+    fn execute_env(
+        &self,
+        fragment: &PlanFragment,
+        payload: Option<&[u8]>,
+        env: &ExecEnv<'_>,
+    ) -> Result<TaskResult, PlanError> {
+        self.execute(fragment, payload, env.store)
+    }
 }
 
 impl<T: StoreData> SchemaExecutor for OpRegistry<T> {
@@ -561,6 +674,15 @@ impl<T: StoreData> SchemaExecutor for OpRegistry<T> {
         store: Option<&ObjectStore>,
     ) -> Result<TaskResult, PlanError> {
         OpRegistry::execute(self, fragment, payload, store)
+    }
+
+    fn execute_env(
+        &self,
+        fragment: &PlanFragment,
+        payload: Option<&[u8]>,
+        env: &ExecEnv<'_>,
+    ) -> Result<TaskResult, PlanError> {
+        OpRegistry::execute_env(self, fragment, payload, env)
     }
 }
 

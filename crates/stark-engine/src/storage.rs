@@ -252,6 +252,41 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// Removes sibling directories under `base` named `{prefix}{pid}-{seq}`
+/// whose owning process is dead — the blob dirs (spill stores, worker
+/// shuffle stores) a crashed prior run left behind. Returns how many
+/// directories were removed.
+///
+/// Liveness is decided by `/proc/<pid>` existence; on platforms without
+/// `/proc`, every foreign pid is assumed live and nothing is removed
+/// (leaking is safer than deleting a running process's blobs). The
+/// current process's own directories are never touched.
+pub fn sweep_orphan_dirs(base: &Path, prefix: &str) -> usize {
+    let own_pid = std::process::id();
+    let have_proc = Path::new("/proc").is_dir();
+    let Ok(entries) = fs::read_dir(base) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(prefix) else { continue };
+        // the naming convention is `{prefix}{pid}-{seq}`
+        let Some((pid_part, seq_part)) = rest.split_once('-') else { continue };
+        if seq_part.is_empty() || !seq_part.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(pid) = pid_part.parse::<u32>() else { continue };
+        if pid == own_pid || !entry.path().is_dir() {
+            continue;
+        }
+        let alive = !have_proc || Path::new(&format!("/proc/{pid}")).exists();
+        if !alive && fs::remove_dir_all(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 fn collect_keys(root: &Path, dir: &Path, keys: &mut Vec<String>) -> Result<(), StorageError> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -313,6 +348,34 @@ mod tests {
             Err(StorageError::NotFound(k)) => assert_eq!(k, "nope"),
             other => panic!("expected NotFound, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn orphan_sweep_removes_dead_runs_but_keeps_live_and_foreign_dirs() {
+        let base = std::env::temp_dir().join(format!("stark-sweep-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        fs::create_dir_all(&base).unwrap();
+        // an orphan from a crashed run: pid u32::MAX never exists
+        let orphan = base.join("stark-spill-4294967295-0");
+        fs::create_dir_all(orphan.join("nested")).unwrap();
+        fs::write(orphan.join("nested/blob"), b"stale").unwrap();
+        // this run's own blobs, and a dir that doesn't match the scheme
+        let live = base.join(format!("stark-spill-{}-7", std::process::id()));
+        fs::create_dir_all(&live).unwrap();
+        fs::write(live.join("blob"), b"fresh").unwrap();
+        let foreign = base.join("stark-spill-not-a-pid");
+        fs::create_dir_all(&foreign).unwrap();
+
+        if Path::new("/proc").is_dir() {
+            assert_eq!(sweep_orphan_dirs(&base, "stark-spill-"), 1);
+            assert!(!orphan.exists(), "dead run's blobs must be removed");
+        } else {
+            // without /proc liveness is unknowable: nothing is removed
+            assert_eq!(sweep_orphan_dirs(&base, "stark-spill-"), 0);
+        }
+        assert!(live.join("blob").exists(), "live run's blobs must survive");
+        assert!(foreign.exists(), "non-matching names are never touched");
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

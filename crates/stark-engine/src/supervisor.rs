@@ -27,12 +27,16 @@
 //! always the same reassignment path — which is why the chaos suite can
 //! pin `tasks_reassigned == injected` and byte-identical results.
 
-use crate::fault::{splitmix64, TransportChaos, TransportPolicy};
+use crate::fault::{splitmix64, FetchChaos, TransportChaos, TransportPolicy};
 use crate::metrics::Metrics;
-use crate::plan::{PlanFragment, TaskResult};
+use crate::plan::{
+    shuffle_bucket_key, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput, TaskResult,
+};
+use crate::shuffle::{FetchFailure, FetchSource};
 use crate::storage::{crc32, ObjectStore, FRAME_MAGIC};
 use crate::transport::{recv_msg, recv_payload, send_msg, write_frame, DriverMsg, WorkerMsg};
-use std::collections::VecDeque;
+use serde_json::Value;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -78,6 +82,13 @@ pub struct WorkerPoolConfig {
     pub store_root: Option<PathBuf>,
     /// Transport fault injection consulted on every dispatch.
     pub chaos: Option<Arc<TransportChaos>>,
+    /// Fetch-side fault injection, exported to every forked worker via
+    /// the `STARK_FETCH_CHAOS` environment variable.
+    pub fetch_chaos: Option<FetchChaos>,
+    /// How many lost-output regeneration rounds one remote shuffle may
+    /// run before giving up (a fetch failure that survives this many
+    /// re-productions is not transient).
+    pub max_shuffle_regens: u32,
     /// Engine metrics to mirror pool counters into.
     pub metrics: Option<Arc<Metrics>>,
     /// Seed for the respawn-backoff jitter.
@@ -98,6 +109,8 @@ impl WorkerPoolConfig {
             max_task_retries: 3,
             store_root: None,
             chaos: None,
+            fetch_chaos: None,
+            max_shuffle_regens: 4,
             metrics: None,
             seed: 0xC4A05,
         }
@@ -154,6 +167,20 @@ pub enum PoolError {
     NoWorkers {
         pending: usize,
     },
+    /// A reduce task's remote bucket fetch failed for good (budget
+    /// exhausted or stale epoch); carries the typed failure so the
+    /// lost-output recovery loop can decide what to invalidate.
+    FetchFailed {
+        task: usize,
+        failure: FetchFailure,
+    },
+    /// A remote shuffle regenerated lost map outputs
+    /// [`WorkerPoolConfig::max_shuffle_regens`] times and fetches still
+    /// failed — the failure is not transient.
+    ShuffleRegensExhausted {
+        prefix: String,
+        rounds: u32,
+    },
 }
 
 impl fmt::Display for PoolError {
@@ -167,6 +194,15 @@ impl fmt::Display for PoolError {
             }
             PoolError::NoWorkers { pending } => {
                 write!(f, "all workers lost with {pending} tasks outstanding and no respawn budget")
+            }
+            PoolError::FetchFailed { task, failure } => {
+                write!(f, "reduce task {task}: {failure}")
+            }
+            PoolError::ShuffleRegensExhausted { prefix, rounds } => {
+                write!(
+                    f,
+                    "shuffle {prefix:?} still failing after {rounds} map-output regeneration rounds"
+                )
             }
         }
     }
@@ -195,6 +231,18 @@ pub struct PoolStats {
     pub heartbeats: u64,
     pub bytes_tx: u64,
     pub bytes_rx: u64,
+    /// Remote-shuffle fetch attempts beyond the first, summed over all
+    /// workers (each struck transfer costs exactly one retry).
+    pub fetch_retries: u64,
+    /// Fetches that exhausted their retry budget or hit a stale epoch.
+    pub fetch_failures: u64,
+    /// Registered map outputs invalidated because their producer died
+    /// or served unusable bytes.
+    pub map_outputs_lost: u64,
+    /// Map outputs re-produced via lineage at a bumped shuffle epoch.
+    pub map_outputs_regenerated: u64,
+    /// Bucket payload bytes pulled over peer-to-peer fetch connections.
+    pub shuffle_bytes_fetched_remote: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +284,77 @@ pub fn bucket_keys_for_partition(
 }
 
 // ---------------------------------------------------------------------------
+// Shuffle stages
+// ---------------------------------------------------------------------------
+
+/// How a shuffle stage moves buckets from map tasks to reduce tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleMode {
+    /// Map tasks write buckets into the pool's shared [`ObjectStore`];
+    /// reduce tasks read them back by key. No recovery needed — the
+    /// store outlives any worker.
+    SharedStore,
+    /// Map tasks keep buckets in their own local store and serve them
+    /// over a per-worker shuffle port; reduce tasks fetch peer-to-peer.
+    /// Lost outputs are re-produced via lineage at a bumped epoch.
+    Remote,
+}
+
+/// Declarative description of one shuffle stage for
+/// [`WorkerPool::run_shuffle`]. The pool builds the map-side sinks and
+/// reduce-side inputs itself, so the two [`ShuffleMode`]s stay
+/// byte-identical by construction.
+#[derive(Debug, Clone)]
+pub struct ShuffleSpec {
+    pub mode: ShuffleMode,
+    /// Registered partitioner op name (e.g. `"mod"`).
+    pub partitioner: String,
+    pub partitioner_arg: Value,
+    pub num_partitions: usize,
+    /// Stage key prefix; also names the map-output registry entry.
+    pub prefix: String,
+    /// Ops applied to each reduce partition's concatenated rows.
+    pub reduce_ops: Vec<PlanOp>,
+    /// Sink of each reduce task (one task per partition).
+    pub reduce_sink: PlanSink,
+}
+
+/// Where one map task's buckets live: which seat incarnation produced
+/// them, at which epoch, and how many rows each bucket holds.
+#[derive(Debug, Clone)]
+struct MapOutputEntry {
+    seat: usize,
+    gen: u64,
+    port: u16,
+    epoch: u64,
+    counts: Vec<u64>,
+}
+
+/// Map-output registry for one shuffle stage: map task index → current
+/// output location. `epoch` is the stage's high-water mark; entries
+/// below it were produced before the most recent regeneration round.
+#[derive(Default)]
+struct ShuffleRegistry {
+    epoch: u64,
+    entries: HashMap<usize, MapOutputEntry>,
+}
+
+impl ShuffleRegistry {
+    /// Registers a map output. Mirrors the duplicate-completion guard:
+    /// an entry at the same or newer epoch wins, so a straggling
+    /// duplicate production can never clobber a regenerated output.
+    fn register(&mut self, task: usize, entry: MapOutputEntry) -> bool {
+        if let Some(existing) = self.entries.get(&task) {
+            if existing.epoch >= entry.epoch {
+                return false;
+            }
+        }
+        self.entries.insert(task, entry);
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Pool internals
 // ---------------------------------------------------------------------------
 
@@ -263,6 +382,8 @@ struct WorkerSlot {
     consecutive_failures: u32,
     respawns_left: u32,
     next_respawn: Option<Instant>,
+    /// Port of this incarnation's bucket server (0 = none announced).
+    shuffle_port: u16,
 }
 
 impl WorkerSlot {
@@ -282,6 +403,8 @@ pub struct WorkerPool {
     store: ObjectStore,
     heartbeats: Arc<AtomicU64>,
     stats: PoolStats,
+    /// Map-output registry, one per remote-shuffle stage prefix.
+    map_outputs: HashMap<String, ShuffleRegistry>,
     /// Monotonic job counter — part of the chaos draw identity.
     jobs: u64,
     /// splitmix64 state for respawn jitter.
@@ -320,6 +443,7 @@ impl WorkerPool {
             store,
             heartbeats: Arc::new(AtomicU64::new(0)),
             stats: PoolStats::default(),
+            map_outputs: HashMap::new(),
             jobs: 0,
             closed: false,
         };
@@ -333,6 +457,7 @@ impl WorkerPool {
                 consecutive_failures: 0,
                 respawns_left: pool.cfg.max_respawns,
                 next_respawn: None,
+                shuffle_port: 0,
             });
             if let Err(e) = pool.spawn_worker(seat) {
                 pool.shutdown_inner();
@@ -369,8 +494,8 @@ impl WorkerPool {
     /// Forks one worker for `seat` and completes the Hello handshake.
     fn spawn_worker(&mut self, seat: usize) -> Result<(), PoolError> {
         let spawn_err = |message: String| PoolError::Spawn { seat, message };
-        let mut child = Command::new(&self.cfg.program)
-            .arg("--addr")
+        let mut cmd = Command::new(&self.cfg.program);
+        cmd.arg("--addr")
             .arg(&self.addr)
             .arg("--id")
             .arg(seat.to_string())
@@ -379,9 +504,12 @@ impl WorkerPool {
             .arg("--store")
             .arg(self.store.root())
             .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .spawn()
-            .map_err(|e| spawn_err(format!("fork {:?}: {e}", self.cfg.program)))?;
+            .stdout(Stdio::null());
+        if let Some(fc) = &self.cfg.fetch_chaos {
+            cmd.env("STARK_FETCH_CHAOS", fc.to_env());
+        }
+        let mut child =
+            cmd.spawn().map_err(|e| spawn_err(format!("fork {:?}: {e}", self.cfg.program)))?;
 
         // The listener is non-blocking; poll for the dial-back while
         // watching for an early child death.
@@ -407,11 +535,13 @@ impl WorkerPool {
         };
         stream.set_nodelay(true).ok();
 
-        // Hello must arrive promptly; restore blocking mode afterwards.
+        // Hello must arrive promptly.
         stream.set_read_timeout(Some(self.cfg.spawn_timeout)).ok();
         let mut hello_reader = BufReader::new(stream.try_clone()?);
-        match recv_msg::<WorkerMsg>(&mut hello_reader) {
-            Ok(Some(WorkerMsg::Hello { worker_id, .. })) if worker_id == seat => {}
+        let shuffle_port = match recv_msg::<WorkerMsg>(&mut hello_reader) {
+            Ok(Some(WorkerMsg::Hello { worker_id, shuffle_port, .. })) if worker_id == seat => {
+                shuffle_port
+            }
             Ok(other) => {
                 let _ = child.kill();
                 return Err(spawn_err(format!("bad handshake: {other:?}")));
@@ -420,10 +550,16 @@ impl WorkerPool {
                 let _ = child.kill();
                 return Err(spawn_err(format!("handshake: {e}")));
             }
-        }
-        stream.set_read_timeout(None).ok();
+        };
+        // Reads stay bounded for the connection's whole life: a peer
+        // that wedges mid-frame trips this timeout and is reported Gone,
+        // instead of parking the reader thread forever. Heartbeats
+        // arrive every `heartbeat_interval`, so a healthy worker never
+        // comes near the bound.
+        stream.set_read_timeout(Some(self.cfg.heartbeat_timeout * 2)).ok();
 
         let slot = &mut self.slots[seat];
+        slot.shuffle_port = shuffle_port;
         slot.gen += 1;
         slot.child = Some(child);
         slot.writer = Some(stream);
@@ -445,6 +581,16 @@ impl WorkerPool {
     /// Runs a stage of tasks to completion, reassigning work away from
     /// lost workers, and returns the per-task results in input order.
     pub fn execute(&mut self, tasks: &[DistTask]) -> Result<Vec<TaskResult>, PoolError> {
+        Ok(self.execute_traced(tasks)?.into_iter().map(|(r, _, _)| r).collect())
+    }
+
+    /// Like [`Self::execute`] but also reports which seat incarnation
+    /// `(seat, gen)` completed each task — the map-output registry needs
+    /// the producer's identity to later detect its loss.
+    fn execute_traced(
+        &mut self,
+        tasks: &[DistTask],
+    ) -> Result<Vec<(TaskResult, usize, u64)>, PoolError> {
         if tasks.is_empty() {
             return Ok(Vec::new());
         }
@@ -453,7 +599,7 @@ impl WorkerPool {
         self.reset_for_new_job();
 
         let n = tasks.len();
-        let mut results: Vec<Option<TaskResult>> = vec![None; n];
+        let mut results: Vec<Option<(TaskResult, usize, u64)>> = vec![None; n];
         let mut pending: VecDeque<(usize, u32)> = (0..n).map(|i| (i, 0)).collect();
         let mut done = 0usize;
 
@@ -475,6 +621,307 @@ impl WorkerPool {
             self.check_timeouts(&mut pending)?;
         }
         Ok(results.into_iter().map(|r| r.expect("all tasks completed")).collect())
+    }
+
+    // -----------------------------------------------------------------
+    // Shuffle stages
+    // -----------------------------------------------------------------
+
+    /// Runs a full map → shuffle → reduce stage. `map_tasks` supply the
+    /// map-side schema/input/ops and payloads; their sinks are replaced
+    /// by the pool so both [`ShuffleMode`]s bucket rows identically.
+    /// Returns one [`TaskResult`] per partition, in partition order.
+    ///
+    /// In [`ShuffleMode::Remote`], map outputs lost to a worker death
+    /// (or served corrupt) are re-produced via lineage at a bumped
+    /// epoch, up to [`WorkerPoolConfig::max_shuffle_regens`] rounds.
+    pub fn run_shuffle(
+        &mut self,
+        map_tasks: &[DistTask],
+        spec: &ShuffleSpec,
+    ) -> Result<Vec<TaskResult>, PoolError> {
+        if map_tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        match spec.mode {
+            ShuffleMode::SharedStore => self.run_shuffle_shared(map_tasks, spec),
+            ShuffleMode::Remote => self.run_shuffle_remote(map_tasks, spec),
+        }
+    }
+
+    /// Current epoch of a remote-shuffle stage's map-output registry
+    /// (`None` if the stage never ran in [`ShuffleMode::Remote`]).
+    pub fn shuffle_epoch(&self, prefix: &str) -> Option<u64> {
+        self.map_outputs.get(prefix).map(|r| r.epoch)
+    }
+
+    fn run_shuffle_shared(
+        &mut self,
+        map_tasks: &[DistTask],
+        spec: &ShuffleSpec,
+    ) -> Result<Vec<TaskResult>, PoolError> {
+        let schema = map_tasks[0].fragment.schema.clone();
+        let staged: Vec<DistTask> = map_tasks
+            .iter()
+            .enumerate()
+            .map(|(task, d)| {
+                let mut frag = d.fragment.clone();
+                frag.sink = PlanSink::ShuffleWrite {
+                    partitioner: spec.partitioner.clone(),
+                    arg: spec.partitioner_arg.clone(),
+                    num_partitions: spec.num_partitions,
+                    prefix: spec.prefix.clone(),
+                    task,
+                };
+                DistTask { fragment: frag, payload: d.payload.clone() }
+            })
+            .collect();
+        let counts: Vec<Vec<u64>> = self
+            .execute(&staged)?
+            .into_iter()
+            .map(|r| match r.output {
+                TaskOutput::BucketCounts(c) => c,
+                other => panic!("shuffle map task returned {other:?}, not bucket counts"),
+            })
+            .collect();
+        let reduces: Vec<DistTask> = (0..spec.num_partitions)
+            .map(|p| {
+                DistTask::new(PlanFragment {
+                    schema: schema.clone(),
+                    input: PlanInput::Store {
+                        keys: bucket_keys_for_partition(&spec.prefix, &counts, p),
+                    },
+                    ops: spec.reduce_ops.clone(),
+                    sink: spec.reduce_sink.clone(),
+                })
+            })
+            .collect();
+        self.execute(&reduces)
+    }
+
+    fn run_shuffle_remote(
+        &mut self,
+        map_tasks: &[DistTask],
+        spec: &ShuffleSpec,
+    ) -> Result<Vec<TaskResult>, PoolError> {
+        let schema = map_tasks[0].fragment.schema.clone();
+        self.map_outputs.insert(spec.prefix.clone(), ShuffleRegistry::default());
+
+        // Map stage, epoch 0: every producer keeps its buckets local.
+        let all: Vec<usize> = (0..map_tasks.len()).collect();
+        self.produce_map_outputs(map_tasks, spec, &all, 0)?;
+
+        let mut rounds = 0u32;
+        loop {
+            // Outputs whose producer incarnation is gone are lost; their
+            // map tasks re-run on survivors at a bumped epoch (lineage).
+            self.invalidate_dead_outputs(&spec.prefix);
+            let missing: Vec<usize> = {
+                let reg = &self.map_outputs[&spec.prefix];
+                (0..map_tasks.len()).filter(|t| !reg.entries.contains_key(t)).collect()
+            };
+            if !missing.is_empty() {
+                let epoch = {
+                    let reg = self.map_outputs.get_mut(&spec.prefix).expect("stage registered");
+                    reg.epoch += 1;
+                    reg.epoch
+                };
+                self.produce_map_outputs(map_tasks, spec, &missing, epoch)?;
+                // a producer may have died again during regeneration;
+                // re-check before building reduce inputs
+                continue;
+            }
+
+            let reduces: Vec<DistTask> = (0..spec.num_partitions)
+                .map(|p| {
+                    DistTask::new(PlanFragment {
+                        schema: schema.clone(),
+                        input: PlanInput::Fetch { sources: self.fetch_sources(&spec.prefix, p) },
+                        ops: spec.reduce_ops.clone(),
+                        sink: spec.reduce_sink.clone(),
+                    })
+                })
+                .collect();
+            match self.execute_traced(&reduces) {
+                Ok(traced) => {
+                    return Ok(traced.into_iter().map(|(r, _, _)| r).collect());
+                }
+                Err(PoolError::FetchFailed { task: _, failure }) => {
+                    rounds += 1;
+                    if rounds > self.cfg.max_shuffle_regens {
+                        return Err(PoolError::ShuffleRegensExhausted {
+                            prefix: spec.prefix.clone(),
+                            rounds,
+                        });
+                    }
+                    // Let in-flight reduces of the aborted round settle
+                    // so their answers can't be mistaken for the next
+                    // round's (task ids restart at 0 every job).
+                    self.quiesce();
+                    if !failure.stale {
+                        // The peer is unreachable or serving unusable
+                        // bytes: take it down. invalidate_dead_outputs
+                        // reaps its registry entries on the next pass.
+                        self.fail_address(&failure.addr);
+                    }
+                    // Stale epoch needs no invalidation: the registry has
+                    // already moved on, and the rebuilt sources carry the
+                    // new epoch.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs the given map tasks with local-bucket sinks at `epoch` and
+    /// registers their outputs. An output whose producer died before
+    /// registration counts as lost — it was produced but never servable,
+    /// and the next round re-produces it.
+    fn produce_map_outputs(
+        &mut self,
+        map_tasks: &[DistTask],
+        spec: &ShuffleSpec,
+        which: &[usize],
+        epoch: u64,
+    ) -> Result<(), PoolError> {
+        let staged: Vec<DistTask> = which
+            .iter()
+            .map(|&task| {
+                let mut frag = map_tasks[task].fragment.clone();
+                frag.sink = PlanSink::ShuffleWriteLocal {
+                    partitioner: spec.partitioner.clone(),
+                    arg: spec.partitioner_arg.clone(),
+                    num_partitions: spec.num_partitions,
+                    prefix: spec.prefix.clone(),
+                    task,
+                    epoch,
+                };
+                DistTask { fragment: frag, payload: map_tasks[task].payload.clone() }
+            })
+            .collect();
+        let traced = self.execute_traced(&staged)?;
+        let mut lost = 0u64;
+        let mut regenerated = 0u64;
+        for (i, (result, seat, gen)) in traced.into_iter().enumerate() {
+            let task = which[i];
+            let counts = match result.output {
+                TaskOutput::BucketCounts(c) => c,
+                other => panic!("shuffle map task returned {other:?}, not bucket counts"),
+            };
+            let port = self.slots[seat].shuffle_port;
+            if self.slots[seat].gen != gen || !self.slots[seat].is_live() || port == 0 {
+                lost += 1;
+                continue;
+            }
+            let reg = self.map_outputs.get_mut(&spec.prefix).expect("stage registered");
+            if reg.register(task, MapOutputEntry { seat, gen, port, epoch, counts }) && epoch > 0 {
+                regenerated += 1;
+            }
+        }
+        self.stats.map_outputs_lost += lost;
+        self.stats.map_outputs_regenerated += regenerated;
+        self.metric(|m| {
+            m.inc_map_outputs_lost(lost);
+            m.inc_map_outputs_regenerated(regenerated);
+        });
+        Ok(())
+    }
+
+    /// Drops registry entries whose producer incarnation is no longer
+    /// live and counts them lost. Returns how many were dropped.
+    fn invalidate_dead_outputs(&mut self, prefix: &str) -> u64 {
+        let live: Vec<(u64, bool)> = self.slots.iter().map(|s| (s.gen, s.is_live())).collect();
+        let Some(reg) = self.map_outputs.get_mut(prefix) else { return 0 };
+        let before = reg.entries.len();
+        reg.entries.retain(|_, e| live[e.seat] == (e.gen, true));
+        let lost = (before - reg.entries.len()) as u64;
+        if lost > 0 {
+            self.stats.map_outputs_lost += lost;
+            self.metric(|m| m.inc_map_outputs_lost(lost));
+        }
+        lost
+    }
+
+    /// Takes down the live seat currently serving `addr` (shape
+    /// `127.0.0.1:<port>`). Entries registered against an *older*
+    /// incarnation of this seat fall out via the gen check in
+    /// [`Self::invalidate_dead_outputs`] instead.
+    fn fail_address(&mut self, addr: &str) {
+        let Some(port) = addr.rsplit(':').next().and_then(|p| p.parse::<u16>().ok()) else {
+            return;
+        };
+        for seat in 0..self.slots.len() {
+            if self.slots[seat].shuffle_port == port && self.slots[seat].is_live() {
+                self.mark_down(seat, "unusable shuffle server", &mut VecDeque::new(), true);
+            }
+        }
+    }
+
+    /// Builds the fetch list for one reduce partition, in map-task order
+    /// so concatenation matches the shared-store path byte for byte.
+    /// Zero-count buckets are skipped — they were never written.
+    fn fetch_sources(&self, prefix: &str, partition: usize) -> Vec<FetchSource> {
+        let reg = &self.map_outputs[prefix];
+        let mut tasks: Vec<usize> = reg.entries.keys().copied().collect();
+        tasks.sort_unstable();
+        tasks
+            .into_iter()
+            .filter_map(|task| {
+                let e = &reg.entries[&task];
+                if e.counts.get(partition).copied().unwrap_or(0) == 0 {
+                    return None;
+                }
+                Some(FetchSource {
+                    addr: format!("127.0.0.1:{}", e.port),
+                    key: shuffle_bucket_key(prefix, task, partition),
+                    epoch: e.epoch,
+                })
+            })
+            .collect()
+    }
+
+    /// Waits for every Busy slot to settle (answer, die, or hit its
+    /// deadline) after an aborted job. Anything still wedged past the
+    /// task timeout is taken down so its eventual answer arrives under a
+    /// stale incarnation and is discarded.
+    fn quiesce(&mut self) {
+        let deadline = Instant::now() + self.cfg.task_timeout;
+        while self.slots.iter().any(|s| matches!(s.state, SlotState::Busy { .. })) {
+            if Instant::now() >= deadline {
+                break;
+            }
+            match self.events_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(Event::Msg { seat, gen, msg, .. }) => {
+                    if self.slots[seat].gen != gen {
+                        continue;
+                    }
+                    let answered = match msg {
+                        WorkerMsg::TaskOk { id, .. } | WorkerMsg::TaskErr { id, .. } => Some(id),
+                        _ => None,
+                    };
+                    if let Some(id) = answered {
+                        if matches!(
+                            self.slots[seat].state,
+                            SlotState::Busy { task, .. } if task == id as usize
+                        ) {
+                            self.slots[seat].state = SlotState::Idle;
+                        }
+                    }
+                }
+                Ok(Event::Gone { seat, gen, reason }) => {
+                    if self.slots[seat].gen == gen && self.slots[seat].is_live() {
+                        self.mark_down(seat, &reason, &mut VecDeque::new(), true);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for seat in 0..self.slots.len() {
+            if matches!(self.slots[seat].state, SlotState::Busy { .. }) {
+                self.mark_down(seat, "wedged during quiesce", &mut VecDeque::new(), true);
+            }
+        }
     }
 
     /// Discards events and in-flight bookkeeping left over from an
@@ -622,7 +1069,7 @@ impl WorkerPool {
     fn handle_event(
         &mut self,
         ev: Event,
-        results: &mut [Option<TaskResult>],
+        results: &mut [Option<(TaskResult, usize, u64)>],
         pending: &mut VecDeque<(usize, u32)>,
         done: &mut usize,
     ) -> Result<(), PoolError> {
@@ -632,7 +1079,7 @@ impl WorkerPool {
                     return Ok(()); // stale incarnation
                 }
                 match msg {
-                    WorkerMsg::TaskOk { id, output, micros: _ } => {
+                    WorkerMsg::TaskOk { id, output, micros: _, fetch_retries, fetch_bytes } => {
                         let matches_busy = matches!(
                             self.slots[seat].state,
                             SlotState::Busy { task, .. } if task == id as usize
@@ -643,17 +1090,23 @@ impl WorkerPool {
                         let task = id as usize;
                         self.slots[seat].state = SlotState::Idle;
                         self.slots[seat].consecutive_failures = 0;
+                        self.stats.fetch_retries += fetch_retries;
+                        self.stats.shuffle_bytes_fetched_remote += fetch_bytes;
+                        self.metric(|m| {
+                            m.inc_fetch_retries(fetch_retries);
+                            m.add_shuffle_bytes_fetched_remote(fetch_bytes);
+                        });
                         if results[task].is_some() {
                             return Ok(()); // duplicate of an already-recovered task
                         }
                         let bytes = rows.as_ref().map(|r| r.len() as u64).unwrap_or(0);
                         self.stats.bytes_rx += bytes;
                         self.metric(|m| m.add_remote_bytes_rx(bytes));
-                        results[task] = Some(TaskResult { output, payload: rows });
+                        results[task] = Some((TaskResult { output, payload: rows }, seat, gen));
                         *done += 1;
                         self.stats.tasks_completed += 1;
                     }
-                    WorkerMsg::TaskErr { id, message, retryable } => {
+                    WorkerMsg::TaskErr { id, message, retryable, fetch_retries, fetch } => {
                         let busy = match self.slots[seat].state {
                             SlotState::Busy { task, attempt, .. } if task == id as usize => {
                                 Some((task, attempt))
@@ -662,6 +1115,15 @@ impl WorkerPool {
                         };
                         let Some((task, attempt)) = busy else { return Ok(()) };
                         self.slots[seat].state = SlotState::Idle;
+                        self.stats.fetch_retries += fetch_retries;
+                        self.metric(|m| m.inc_fetch_retries(fetch_retries));
+                        if let Some(failure) = fetch {
+                            // escalate to the lost-output recovery loop
+                            // instead of burning generic task retries
+                            self.stats.fetch_failures += 1;
+                            self.metric(|m| m.inc_fetch_failures(1));
+                            return Err(PoolError::FetchFailed { task, failure });
+                        }
                         if !retryable {
                             return Err(PoolError::TaskFailed { task, message });
                         }
@@ -949,6 +1411,28 @@ fn send_corrupted(w: &mut impl Write, msg: &DriverMsg) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn duplicate_output_guard_keeps_the_newest_epoch() {
+        let mut reg = ShuffleRegistry::default();
+        let entry = |seat: usize, epoch: u64| MapOutputEntry {
+            seat,
+            gen: 1,
+            port: 40000,
+            epoch,
+            counts: vec![1, 2],
+        };
+        assert!(reg.register(7, entry(0, 0)));
+        // a straggling duplicate at the same epoch is rejected
+        assert!(!reg.register(7, entry(1, 0)));
+        assert_eq!(reg.entries[&7].seat, 0);
+        // a regenerated output at a bumped epoch wins
+        assert!(reg.register(7, entry(2, 1)));
+        assert_eq!(reg.entries[&7].seat, 2);
+        // ...and the late original can no longer clobber it
+        assert!(!reg.register(7, entry(0, 0)));
+        assert_eq!(reg.entries[&7].epoch, 1);
+    }
 
     #[test]
     fn bucket_keys_skip_empty_buckets() {

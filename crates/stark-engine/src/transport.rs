@@ -20,6 +20,7 @@
 //! single worker-loss recovery path.
 
 use crate::plan::{PlanFragment, TaskOutput};
+use crate::shuffle::FetchFailure;
 use crate::storage::{crc32, FRAME_HEADER_LEN, FRAME_MAGIC};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -124,19 +125,31 @@ pub enum DriverMsg {
 /// Worker → driver messages.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub enum WorkerMsg {
-    /// First message after connecting: identifies the worker seat and
-    /// the row schemas it can execute.
-    Hello { worker_id: usize, pid: u32, schemas: Vec<String> },
+    /// First message after connecting: identifies the worker seat, the
+    /// row schemas it can execute and the port its shuffle server
+    /// listens on (`0` when remote shuffle is unavailable).
+    Hello { worker_id: usize, pid: u32, schemas: Vec<String>, shuffle_port: u16 },
     /// Echo of [`DriverMsg::Ping`].
     Pong { seq: u64 },
     /// Periodic liveness push from the worker's heartbeat thread; also
     /// flows while a long task is executing.
     Heartbeat { busy: bool },
     /// Task finished. When `output.has_payload()`, the row payload
-    /// follows as one raw frame.
-    TaskOk { id: u64, output: TaskOutput, micros: u64 },
+    /// follows as one raw frame. `fetch_retries`/`fetch_bytes` report
+    /// the task's remote-shuffle fetch effort so the driver can account
+    /// retries and traffic even for tasks that ultimately succeeded.
+    TaskOk { id: u64, output: TaskOutput, micros: u64, fetch_retries: u64, fetch_bytes: u64 },
     /// Task failed on the worker (the worker itself stays healthy).
-    TaskErr { id: u64, message: String, retryable: bool },
+    /// When the failure was an exhausted remote bucket fetch, `fetch`
+    /// carries the typed failure so the driver runs lost-map-output
+    /// recovery instead of blind task retry.
+    TaskErr {
+        id: u64,
+        message: String,
+        retryable: bool,
+        fetch_retries: u64,
+        fetch: Option<FetchFailure>,
+    },
 }
 
 #[cfg(test)]
@@ -205,15 +218,73 @@ mod tests {
     #[test]
     fn worker_msgs_roundtrip() {
         for msg in [
-            WorkerMsg::Hello { worker_id: 2, pid: 4242, schemas: vec!["i64".into()] },
+            WorkerMsg::Hello {
+                worker_id: 2,
+                pid: 4242,
+                schemas: vec!["i64".into()],
+                shuffle_port: 40123,
+            },
             WorkerMsg::Pong { seq: 9 },
-            WorkerMsg::TaskOk { id: 3, output: TaskOutput::Count(11), micros: 55 },
-            WorkerMsg::TaskErr { id: 4, message: "boom".into(), retryable: true },
+            WorkerMsg::TaskOk {
+                id: 3,
+                output: TaskOutput::Count(11),
+                micros: 55,
+                fetch_retries: 2,
+                fetch_bytes: 8192,
+            },
+            WorkerMsg::TaskErr {
+                id: 4,
+                message: "boom".into(),
+                retryable: true,
+                fetch_retries: 0,
+                fetch: None,
+            },
+            WorkerMsg::TaskErr {
+                id: 5,
+                message: "fetch exhausted".into(),
+                retryable: true,
+                fetch_retries: 4,
+                fetch: Some(FetchFailure {
+                    addr: "127.0.0.1:40123".into(),
+                    key: "sh/task-00001/bucket-00002".into(),
+                    epoch: 1,
+                    stale: false,
+                    reason: "5 attempts exhausted".into(),
+                }),
+            },
         ] {
             let mut buf = Vec::new();
             send_msg(&mut buf, &msg).unwrap();
             let got: WorkerMsg = recv_msg(&mut Cursor::new(&buf)).unwrap().unwrap();
             assert_eq!(got, msg);
         }
+    }
+
+    #[test]
+    fn frame_at_exactly_the_cap_roundtrips() {
+        // the length check is `>`, so a payload of exactly MAX_FRAME_LEN
+        // bytes must survive both directions
+        let payload = vec![0xA7u8; MAX_FRAME_LEN];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(back.len(), MAX_FRAME_LEN);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn frame_one_past_the_cap_is_rejected_on_both_sides() {
+        let payload = vec![0u8; MAX_FRAME_LEN + 1];
+        let err = write_frame(&mut Vec::new(), &payload).unwrap_err();
+        assert!(err.to_string().contains("exceeds max"), "{err}");
+
+        // a forged length prefix of cap+1 must be rejected before the
+        // receiver allocates the buffer
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&((MAX_FRAME_LEN + 1) as u32).to_le_bytes());
+        forged.extend_from_slice(FRAME_MAGIC);
+        forged.extend_from_slice(&[0u8; 4]);
+        let err = read_frame(&mut Cursor::new(&forged)).unwrap_err();
+        assert!(err.to_string().contains("exceeds max"), "{err}");
     }
 }

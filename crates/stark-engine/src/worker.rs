@@ -16,16 +16,22 @@
 //! control-plus-payload pair is sent under one lock so frames never
 //! interleave.
 
-use crate::plan::{PlanError, PlanFragment, SchemaExecutor, TaskResult};
-use crate::storage::ObjectStore;
+use crate::fault::FetchChaosState;
+use crate::plan::{ExecEnv, PlanError, PlanFragment, SchemaExecutor, TaskResult};
+use crate::shuffle::{FetchConfig, ShuffleEnv};
+use crate::storage::{sweep_orphan_dirs, ObjectStore};
 use crate::transport::{recv_msg, recv_payload, send_msg, write_frame, DriverMsg, WorkerMsg};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Bound on connecting to the driver: an unreachable or half-up driver
+/// must fail the worker fast instead of hanging the spawn handshake.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A worker's executable surface: one [`SchemaExecutor`] per row schema.
 #[derive(Default)]
@@ -55,18 +61,18 @@ impl WorkerRuntime {
         &self,
         fragment: &PlanFragment,
         payload: Option<&[u8]>,
-        store: Option<&ObjectStore>,
+        env: &ExecEnv<'_>,
     ) -> Result<TaskResult, PlanError> {
         let exec =
             self.executors.get(&fragment.schema).ok_or_else(|| PlanError::SchemaMismatch {
                 expected: self.schemas().join(","),
                 got: fragment.schema.clone(),
             })?;
-        exec.execute(fragment, payload, store)
+        exec.execute_env(fragment, payload, env)
     }
 
-    /// Connects to the driver at `addr` and serves until drained or the
-    /// connection fails.
+    /// Connects to the driver at `addr` (bounded by [`CONNECT_TIMEOUT`])
+    /// and serves until drained or the connection fails.
     pub fn run(
         &self,
         addr: &str,
@@ -74,7 +80,13 @@ impl WorkerRuntime {
         heartbeat: Duration,
         store_root: Option<&Path>,
     ) -> io::Result<()> {
-        let stream = TcpStream::connect(addr)?;
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unresolvable driver address {addr:?}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, CONNECT_TIMEOUT)?;
         self.serve(stream, worker_id, heartbeat, store_root)
     }
 
@@ -95,6 +107,25 @@ impl WorkerRuntime {
             None => None,
         };
 
+        // Remote-shuffle half: sweep bucket dirs orphaned by crashed
+        // prior workers, then open this worker's own bucket store and
+        // serve it on a fresh port. `STARK_FETCH_CHAOS` arms
+        // deterministic fetch-side fault injection for the chaos suite.
+        static SHUFFLE_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let shuffle_base = std::env::temp_dir();
+        sweep_orphan_dirs(&shuffle_base, "stark-shuffle-");
+        let shuffle_root = shuffle_base.join(format!(
+            "stark-shuffle-{}-{}",
+            std::process::id(),
+            SHUFFLE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let shuffle =
+            ShuffleEnv::new(&shuffle_root, FetchConfig::default(), FetchChaosState::from_env_var())
+                .map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidInput, format!("open shuffle store: {e}"))
+                })?;
+        let shuffle_port = shuffle.serve().unwrap_or(0);
+
         let writer = Arc::new(Mutex::new(stream.try_clone()?));
         let mut reader = BufReader::new(stream);
 
@@ -102,7 +133,12 @@ impl WorkerRuntime {
             let mut w = writer.lock().unwrap();
             send_msg(
                 &mut *w,
-                &WorkerMsg::Hello { worker_id, pid: std::process::id(), schemas: self.schemas() },
+                &WorkerMsg::Hello {
+                    worker_id,
+                    pid: std::process::id(),
+                    schemas: self.schemas(),
+                    shuffle_port,
+                },
             )?;
         }
 
@@ -129,10 +165,12 @@ impl WorkerRuntime {
             })
         };
 
-        let result = self.serve_loop(&mut reader, &writer, &busy, store.as_ref());
+        let result = self.serve_loop(&mut reader, &writer, &busy, store.as_ref(), &shuffle);
         stop.store(true, Ordering::Relaxed);
         let _ = hb_handle.join();
         result
+        // `shuffle` drops here, stopping the bucket server and removing
+        // the worker-local bucket directory
     }
 
     fn serve_loop(
@@ -141,6 +179,7 @@ impl WorkerRuntime {
         writer: &Arc<Mutex<TcpStream>>,
         busy: &AtomicBool,
         store: Option<&ObjectStore>,
+        shuffle: &ShuffleEnv,
     ) -> io::Result<()> {
         loop {
             let Some(msg) = recv_msg::<DriverMsg>(reader)? else {
@@ -161,31 +200,51 @@ impl WorkerRuntime {
                     // the worker lives on (the fail-stop rule is for
                     // *transport* faults, not task bugs).
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.execute(&fragment, payload.as_deref(), store)
+                        let env = ExecEnv { store, shuffle: Some(shuffle) };
+                        self.execute(&fragment, payload.as_deref(), &env)
                     }));
                     busy.store(false, Ordering::Relaxed);
                     let micros = started.elapsed().as_micros() as u64;
+                    // drain this task's fetch effort exactly once so the
+                    // driver's counters stay attributable per task
+                    let (fetch_retries, fetch_bytes) = shuffle.take_counters();
                     let reply = match outcome {
                         Ok(Ok(result)) => {
                             let mut w = writer.lock().unwrap();
                             send_msg(
                                 &mut *w,
-                                &WorkerMsg::TaskOk { id, output: result.output.clone(), micros },
+                                &WorkerMsg::TaskOk {
+                                    id,
+                                    output: result.output.clone(),
+                                    micros,
+                                    fetch_retries,
+                                    fetch_bytes,
+                                },
                             )?;
                             if let Some(rows) = &result.payload {
                                 write_frame(&mut *w, rows)?;
                             }
                             continue;
                         }
-                        Ok(Err(e)) => WorkerMsg::TaskErr {
-                            id,
-                            message: e.to_string(),
-                            retryable: crate::plan::is_retryable(&e),
-                        },
+                        Ok(Err(e)) => {
+                            let fetch = match &e {
+                                PlanError::FetchFailed(f) => Some(f.clone()),
+                                _ => None,
+                            };
+                            WorkerMsg::TaskErr {
+                                id,
+                                message: e.to_string(),
+                                retryable: crate::plan::is_retryable(&e),
+                                fetch_retries,
+                                fetch,
+                            }
+                        }
                         Err(panic) => WorkerMsg::TaskErr {
                             id,
                             message: format!("task panicked: {}", panic_message(&panic)),
                             retryable: true,
+                            fetch_retries,
+                            fetch: None,
                         },
                     };
                     let mut w = writer.lock().unwrap();
@@ -376,7 +435,7 @@ mod tests {
             .unwrap();
         write_frame(&mut w, &encode_rows(&[1i64]).unwrap()).unwrap();
         match next_msg(&mut r) {
-            WorkerMsg::TaskErr { id: 5, retryable, message } => {
+            WorkerMsg::TaskErr { id: 5, retryable, message, .. } => {
                 assert!(!retryable, "unknown op is deterministic: {message}");
             }
             other => panic!("expected TaskErr, got {other:?}"),

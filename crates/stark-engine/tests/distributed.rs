@@ -10,7 +10,10 @@ use stark_engine::plan::{
     decode_rows, encode_rows, int_arg, PlanFragment, PlanInput, PlanOp, PlanSink, TaskOutput,
 };
 use stark_engine::supervisor::{bucket_keys_for_partition, DistTask};
-use stark_engine::{TransportChaos, TransportPolicy, WorkerPool, WorkerPoolConfig};
+use stark_engine::{
+    FetchChaos, FetchPolicy, ShuffleMode, ShuffleSpec, TransportChaos, TransportPolicy, WorkerPool,
+    WorkerPoolConfig,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -258,6 +261,152 @@ fn respawned_seat_restores_capacity_for_the_next_job() {
     assert_eq!(stats.workers_lost, 1);
     assert!(stats.workers_respawned >= 1, "the dead seat must come back");
     assert_eq!(pool.live_workers(), 3);
+    pool.shutdown();
+}
+
+/// `(x + 1) mod 4` shuffle over six inline map tasks, reduce = sort.
+fn shuffle_inputs() -> Vec<Vec<i64>> {
+    (0..6).map(|t| (t * 100..t * 100 + 50).collect()).collect()
+}
+
+fn shuffle_map_tasks(inputs: &[Vec<i64>]) -> Vec<DistTask> {
+    inputs
+        .iter()
+        .map(|rows| {
+            DistTask::with_rows(
+                PlanFragment {
+                    schema: "i64".into(),
+                    input: PlanInput::Inline,
+                    ops: vec![PlanOp::Map { op: "add".into(), arg: int_arg("k", 1) }],
+                    // replaced by run_shuffle
+                    sink: PlanSink::Collect,
+                },
+                encode_rows(rows).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn shuffle_spec(mode: ShuffleMode, prefix: &str) -> ShuffleSpec {
+    ShuffleSpec {
+        mode,
+        partitioner: "mod".into(),
+        partitioner_arg: int_arg("parts", 4),
+        num_partitions: 4,
+        prefix: prefix.into(),
+        reduce_ops: vec![PlanOp::MapPartitions { op: "sort".into(), arg: serde_json::Value::Null }],
+        reduce_sink: PlanSink::Collect,
+    }
+}
+
+/// What the shuffle computes, single-process.
+fn shuffle_expected(inputs: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    let mut expected: Vec<Vec<i64>> = vec![Vec::new(); 4];
+    for rows in inputs {
+        for x in rows {
+            let y = x + 1;
+            expected[y.rem_euclid(4) as usize].push(y);
+        }
+    }
+    for part in &mut expected {
+        part.sort_unstable();
+    }
+    expected
+}
+
+#[test]
+fn remote_shuffle_matches_shared_store_byte_for_byte() {
+    let inputs = shuffle_inputs();
+    let map_tasks = shuffle_map_tasks(&inputs);
+    let expected = shuffle_expected(&inputs);
+
+    let mut pool = WorkerPool::spawn(pool_config(3)).unwrap();
+    let shared =
+        pool.run_shuffle(&map_tasks, &shuffle_spec(ShuffleMode::SharedStore, "rs/shared")).unwrap();
+    let remote =
+        pool.run_shuffle(&map_tasks, &shuffle_spec(ShuffleMode::Remote, "rs/remote")).unwrap();
+
+    for p in 0..4 {
+        assert_eq!(collected_rows(&shared[p]), expected[p], "shared partition {p}");
+        assert_eq!(
+            shared[p].payload, remote[p].payload,
+            "partition {p} must be byte-identical across shuffle modes"
+        );
+    }
+    let stats = pool.stats();
+    assert!(stats.shuffle_bytes_fetched_remote > 0, "remote mode must fetch peer-to-peer");
+    assert_eq!(stats.fetch_retries, 0, "no chaos, no retries");
+    assert_eq!(stats.fetch_failures, 0);
+    assert_eq!(stats.map_outputs_lost, 0);
+    assert_eq!(stats.map_outputs_regenerated, 0);
+    assert_eq!(pool.shuffle_epoch("rs/remote"), Some(0), "clean run never bumps the epoch");
+    pool.shutdown();
+}
+
+#[test]
+fn torn_fetches_recover_with_one_retry_per_strike() {
+    let inputs = shuffle_inputs();
+    let map_tasks = shuffle_map_tasks(&inputs);
+    let expected = shuffle_expected(&inputs);
+
+    let mut cfg = pool_config(3);
+    // strikes are counted per serving process, so scope the fault to the
+    // one worker serving task-0 buckets to pin the total at 2
+    cfg.fetch_chaos = Some(
+        FetchChaos::once(FetchPolicy::DropBucket)
+            .with_max_strikes(2)
+            .with_key_filter("task-00000/"),
+    );
+    let mut pool = WorkerPool::spawn(cfg).unwrap();
+    let results =
+        pool.run_shuffle(&map_tasks, &shuffle_spec(ShuffleMode::Remote, "rs/torn")).unwrap();
+
+    for p in 0..4 {
+        assert_eq!(collected_rows(&results[p]), expected[p], "partition {p}");
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.fetch_retries, 2, "each torn transfer costs exactly one resume");
+    assert_eq!(stats.fetch_failures, 0, "strikes stay under the retry budget");
+    assert_eq!(stats.map_outputs_lost, 0);
+    assert_eq!(stats.workers_lost, 0);
+    pool.shutdown();
+}
+
+#[test]
+fn killed_serving_worker_regenerates_its_outputs_via_lineage() {
+    let inputs = shuffle_inputs();
+    let map_tasks = shuffle_map_tasks(&inputs);
+    let expected = shuffle_expected(&inputs);
+
+    let mut cfg = pool_config(3);
+    // Exactly one worker dies: the first fetch of a task-0 bucket kills
+    // its server; regenerated outputs live at epoch 1, above max_epoch.
+    cfg.fetch_chaos =
+        Some(FetchChaos::once(FetchPolicy::KillServingWorker).with_key_filter("task-00000/"));
+    cfg.respawn_backoff = Duration::from_millis(10);
+    let mut pool = WorkerPool::spawn(cfg).unwrap();
+    let results =
+        pool.run_shuffle(&map_tasks, &shuffle_spec(ShuffleMode::Remote, "rs/kill")).unwrap();
+
+    for p in 0..4 {
+        assert_eq!(
+            collected_rows(&results[p]),
+            expected[p],
+            "partition {p} must be byte-identical after lineage recovery"
+        );
+    }
+    let stats = pool.stats();
+    assert!(stats.workers_lost >= 1, "the serving worker must have died");
+    assert!(stats.fetch_failures >= 1, "the kill must surface as a fetch failure");
+    assert!(stats.map_outputs_lost >= 1, "the dead worker's outputs are lost");
+    assert_eq!(
+        stats.map_outputs_regenerated, stats.map_outputs_lost,
+        "every lost output is regenerated exactly once"
+    );
+    assert!(
+        pool.shuffle_epoch("rs/kill").unwrap() >= 1,
+        "regeneration must bump the shuffle epoch"
+    );
     pool.shutdown();
 }
 

@@ -44,8 +44,9 @@ pub enum Response {
         outputs: Vec<Output>,
         /// Whether the plan came from the cache.
         cache_hit: bool,
-        /// Engine counter deltas attributable to this request.
-        engine: MetricsSnapshot,
+        /// Engine counter deltas attributable to this request (boxed:
+        /// the snapshot dwarfs every other variant).
+        engine: Box<MetricsSnapshot>,
         /// Wall-clock service time in microseconds.
         micros: u64,
     },

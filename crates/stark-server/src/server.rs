@@ -441,7 +441,7 @@ fn execute_job(
         }
     };
 
-    let response = Response::Ok { outputs, cache_hit, engine, micros };
+    let response = Response::Ok { outputs, cache_hit, engine: Box::new(engine), micros };
     let payload = serde_json::to_vec(&response).expect("response serializes");
     // account the result bytes against the tenant's budget: a tenant
     // whose results exceed its carve-out fails alone, without touching
